@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one row/figure of the paper's evaluation and
+writes its report under ``benchmarks/output/``.  Stream sizes default to
+a laptop-friendly 20 000 points; set ``REPRO_FULL=1`` to run the paper's
+full 10^5-point streams (the shapes are identical, the numbers slightly
+tighter).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def paper_n(default: int = 20_000, full: int = 100_000) -> int:
+    """Stream length: the paper's 1e5 under REPRO_FULL=1, else smaller."""
+    return full if os.environ.get("REPRO_FULL") == "1" else default
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a benchmark's table/series under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def banner(title: str, body: str) -> str:
+    """Format a titled report block (also echoed into the pytest log)."""
+    line = "=" * max(len(title), 8)
+    return f"{line}\n{title}\n{line}\n{body}"

@@ -1,0 +1,60 @@
+"""Ablation: the refinement-tree height limit k (Section 5.1).
+
+"The tree height parameter can be used to control the degree of
+adaptive sampling": k = 0 reduces to uniform sampling; k = log2 r gives
+the full O(D/r^2) bound.  Sweeping k shows the error/work trade-off the
+paper describes — error falls as k grows, at the cost of more
+refinement-tree activity.
+"""
+
+from _util import banner, paper_n, write_report
+
+from repro.core import AdaptiveHull
+from repro.experiments.metrics import hull_distance
+from repro.geometry import convex_hull
+from repro.streams import as_tuples, ellipse_stream
+
+K_VALUES = [0, 1, 2, 3, 4]
+R = 16
+
+
+def _run():
+    n = paper_n(default=15_000, full=100_000)
+    pts = list(as_tuples(ellipse_stream(n, a=16.0, b=1.0, rotation=0.1, seed=6)))
+    true = convex_hull(pts)
+    rows = []
+    for k in K_VALUES:
+        h = AdaptiveHull(R, height_limit=k)
+        for p in pts:
+            h.insert(p)
+        rows.append(
+            (
+                k,
+                hull_distance(true, h.hull()),
+                len(h.samples()),
+                h.refinements,
+                h.nodes_visited / max(1, h.points_seen),
+            )
+        )
+    return rows
+
+
+def test_height_limit_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{'k':>3} {'hull error':>12} {'samples':>8} {'refines':>8} "
+        f"{'nodes/pt':>9}"
+    ]
+    for k, err, samples, refines, work in rows:
+        lines.append(
+            f"{k:>3} {err:>12.5f} {samples:>8} {refines:>8} {work:>9.2f}"
+        )
+    report = banner("Ablation: height limit k (r=16)", "\n".join(lines))
+    write_report("ablation_height", report)
+    print("\n" + report)
+    errs = [row[1] for row in rows]
+    # Deeper refinement never hurts, and full depth clearly beats k=0.
+    assert errs[-1] <= errs[0]
+    assert errs[-1] < 0.6 * errs[0]
+    # k=0 must do no refinement at all.
+    assert rows[0][3] == 0

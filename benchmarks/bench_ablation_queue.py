@@ -1,0 +1,72 @@
+"""Ablation: the Matias power-of-two threshold queue (Section 5.3).
+
+The paper replaces an exact priority queue (PriQ = O(log r)) with an
+array of power-of-two buckets (PriQ = O(1)) at the cost of unrefining
+slightly early; "the approximation quality is asymptotically unchanged".
+This ablation runs both queue modes on the same stream and reports
+error, structure sizes, and unrefinement counts — the quality columns
+must be near-identical.
+"""
+
+import pytest
+from _util import banner, paper_n, write_report
+
+from repro.core import AdaptiveHull
+from repro.experiments.metrics import hull_distance
+from repro.geometry import convex_hull
+from repro.streams import as_tuples, ellipse_stream
+
+
+def _run():
+    n = paper_n(default=15_000, full=100_000)
+    pts = list(as_tuples(ellipse_stream(n, a=16.0, b=1.0, rotation=0.1, seed=7)))
+    true = convex_hull(pts)
+    rows = {}
+    for mode in ("exact", "pow2"):
+        h = AdaptiveHull(16, queue_mode=mode)
+        for p in pts:
+            h.insert(p)
+        rows[mode] = (
+            hull_distance(true, h.hull()),
+            len(h.samples()),
+            h.refinements,
+            h.unrefinements,
+        )
+    return rows
+
+
+def test_queue_mode_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"{'mode':>6} {'hull error':>12} {'samples':>8} {'refines':>8} {'unref':>6}"]
+    for mode, (err, samples, refines, unref) in rows.items():
+        lines.append(f"{mode:>6} {err:>12.5f} {samples:>8} {refines:>8} {unref:>6}")
+    report = banner("Ablation: threshold queue mode (r=16)", "\n".join(lines))
+    write_report("ablation_queue", report)
+    print("\n" + report)
+    err_exact = rows["exact"][0]
+    err_pow2 = rows["pow2"][0]
+    # Asymptotically unchanged quality: within a small constant factor
+    # (the pow2 queue may unrefine up to 2x early).
+    assert err_pow2 <= 4.0 * err_exact + 1e-12
+    assert rows["pow2"][1] <= 33 and rows["exact"][1] <= 33
+
+
+@pytest.mark.parametrize("mode", ["exact", "pow2"])
+def test_queue_mode_throughput(benchmark, mode):
+    pts = list(
+        as_tuples(
+            ellipse_stream(
+                paper_n(default=8_000, full=50_000), a=4.0, b=1.0,
+                rotation=0.07, seed=8,
+            )
+        )
+    )
+
+    def run():
+        h = AdaptiveHull(32, queue_mode=mode)
+        for p in pts:
+            h.insert(p)
+        return h
+
+    h = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert h.points_seen == len(pts)

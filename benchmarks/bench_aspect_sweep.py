@@ -1,0 +1,60 @@
+"""Aspect-ratio sweep: where adaptive sampling starts to pay.
+
+Section 3.2 motivates adaptivity with skinny point sets: "if the point
+stream has a long skinny shape, then its width can be arbitrarily
+smaller than its diameter", and the uniform hull's O(D/r) error becomes
+unbounded *relative* error for width-like quantities.  This sweep runs
+both schemes across ellipse aspect ratios 1..64 and reports the error
+ratio — near 1 for round data (the disk row of Table 1), growing
+steadily with eccentricity (the ellipse rows).
+"""
+
+from _util import banner, paper_n, write_report
+
+from repro.core import FixedSizeAdaptiveHull, UniformHull
+from repro.experiments.metrics import hull_distance
+from repro.geometry import convex_hull
+from repro.streams import as_tuples, ellipse_stream
+
+ASPECTS = [1, 2, 4, 8, 16, 32, 64]
+R = 16
+
+
+def _run():
+    n = paper_n(default=10_000, full=50_000)
+    rows = []
+    for aspect in ASPECTS:
+        pts = list(
+            as_tuples(
+                ellipse_stream(n, a=float(aspect), b=1.0, rotation=0.1, seed=11)
+            )
+        )
+        true = convex_hull(pts)
+        uni = UniformHull(2 * R)
+        ada = FixedSizeAdaptiveHull(R)
+        for p in pts:
+            uni.insert(p)
+            ada.insert(p)
+        e_uni = hull_distance(true, uni.hull())
+        e_ada = hull_distance(true, ada.hull())
+        rows.append((aspect, e_uni, e_ada))
+    return rows
+
+
+def test_aspect_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{'aspect':>7} {'uniform err':>12} {'adaptive err':>13} {'ratio':>7}"
+    ]
+    for aspect, e_uni, e_ada in rows:
+        ratio = e_uni / e_ada if e_ada > 0 else float("inf")
+        lines.append(f"{aspect:>7} {e_uni:>12.5f} {e_ada:>13.5f} {ratio:>7.1f}")
+    report = banner("Aspect-ratio sweep (uniform 2r=32 vs adaptive r=16)", "\n".join(lines))
+    write_report("aspect_sweep", report)
+    print("\n" + report)
+    # Round data: schemes comparable.  Skinny data: adaptive wins big.
+    round_ratio = rows[0][1] / max(rows[0][2], 1e-12)
+    skinny_ratio = rows[-1][1] / max(rows[-1][2], 1e-12)
+    assert round_ratio < 3.0
+    assert skinny_ratio > 2.0
+    assert skinny_ratio > round_ratio

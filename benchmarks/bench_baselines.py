@@ -1,0 +1,62 @@
+"""Baseline comparison: every scheme the paper cites, one table.
+
+Runs the full comparator set (adaptive, uniform, radial histogram,
+Dudley kernel, reservoir sample, exact) on the rotated-ellipse workload
+at equal direction/sample budgets, reporting hull error and space.
+Expected ordering: exact (0) < adaptive ~ Dudley (O(D/r^2)) <
+uniform ~ radial (O(D/r)) << random sample.
+"""
+
+from _util import banner, paper_n, write_report
+
+from repro.baselines import (
+    DudleyKernelHull,
+    ExactHull,
+    RadialHistogramHull,
+    RandomSampleHull,
+    UniformHull,
+)
+from repro.core import FixedSizeAdaptiveHull
+from repro.experiments.metrics import hull_distance
+from repro.geometry import convex_hull
+from repro.streams import as_tuples, ellipse_stream
+
+R = 16  # adaptive parameter; all bounded schemes get ~2R samples
+
+
+def _schemes():
+    return [
+        FixedSizeAdaptiveHull(R),
+        UniformHull(2 * R),
+        RadialHistogramHull(2 * R),
+        DudleyKernelHull(2 * R),
+        RandomSampleHull(2 * R, seed=1),
+        ExactHull(),
+    ]
+
+
+def _run():
+    n = paper_n(default=15_000, full=100_000)
+    pts = list(as_tuples(ellipse_stream(n, a=16.0, b=1.0, rotation=0.1, seed=9)))
+    true = convex_hull(pts)
+    rows = []
+    for s in _schemes():
+        for p in pts:
+            s.insert(p)
+        rows.append((s.name, hull_distance(true, s.hull()), s.sample_size))
+    return rows
+
+
+def test_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"{'scheme':>16} {'hull error':>12} {'samples':>8}"]
+    for name, err, size in rows:
+        lines.append(f"{name:>16} {err:>12.5f} {size:>8}")
+    report = banner("Baseline comparison (rotated ellipse, r=16)", "\n".join(lines))
+    write_report("baselines", report)
+    print("\n" + report)
+    by_name = {name: err for name, err, _ in rows}
+    assert by_name["exact"] == 0.0
+    assert by_name["adaptive-fixed"] < by_name["uniform"]
+    assert by_name["adaptive-fixed"] < by_name["radial"]
+    assert by_name["uniform"] < by_name["random"]

@@ -1,0 +1,34 @@
+"""Theorem 5.4 error-scaling check: adaptive O(D/r^2) vs uniform O(D/r).
+
+Sweeps r and fits log-log slopes of the measured Hausdorff error on a
+rotated aspect-16 ellipse.  The paper's bounds predict slopes of about
+-2 (adaptive) and about -1 (uniform); this is the quantitative core of
+the "order of magnitude improvement" claim.
+"""
+
+from _util import banner, paper_n, write_report
+
+from repro.experiments import error_scaling, loglog_slope
+
+R_VALUES = [8, 16, 32, 64]
+
+
+def _run():
+    return error_scaling(R_VALUES, n=paper_n(default=12_000, full=50_000), seed=0)
+
+
+def test_error_scaling(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"{'r':>4} {'scheme':>10} {'error':>12} {'samples':>8}"]
+    for p in points:
+        lines.append(f"{p.r:>4} {p.scheme:>10} {p.error:>12.6f} {p.sample_size:>8}")
+    s_ada = loglog_slope(points, "adaptive")
+    s_uni = loglog_slope(points, "uniform")
+    lines.append("")
+    lines.append(f"log-log slope adaptive: {s_ada:+.2f}  (theory: -2)")
+    lines.append(f"log-log slope uniform : {s_uni:+.2f}  (theory: -1)")
+    report = banner("Error scaling (Theorem 5.4)", "\n".join(lines))
+    write_report("error_scaling", report)
+    print("\n" + report)
+    assert s_ada < -1.4
+    assert s_ada < s_uni

@@ -1,0 +1,54 @@
+"""Figure 10: the adaptive and uniform sample hulls for the "ellipse
+rotated by theta0/4" workload, with sample directions and uncertainty
+triangles drawn on top.
+
+The paper's picture shows the uniform hull's huge uncertainty triangles
+at the ellipse tips versus the adaptive hull's tight ring.  This bench
+regenerates both panels as SVG files under benchmarks/output/ and
+asserts the quantitative version of the visual (triangle areas).
+"""
+
+from pathlib import Path
+
+from _util import OUTPUT_DIR, banner, paper_n, write_report
+
+from repro.core import FixedSizeAdaptiveHull, UniformHull
+from repro.experiments import THETA0, make_fig10
+from repro.streams import as_tuples, ellipse_stream
+
+
+def _render():
+    return make_fig10(str(OUTPUT_DIR), n=paper_n(), rotation=THETA0 / 4.0)
+
+
+def test_fig10(benchmark):
+    adaptive_path, uniform_path = benchmark.pedantic(
+        _render, rounds=1, iterations=1
+    )
+    assert Path(adaptive_path).exists()
+    assert Path(uniform_path).exists()
+
+    # Quantify what the figure shows: the uniform ring's worst triangle
+    # towers over the adaptive ring's.
+    pts = list(
+        as_tuples(
+            ellipse_stream(paper_n(), a=16.0, b=1.0, rotation=THETA0 / 4, seed=0)
+        )
+    )
+    ada = FixedSizeAdaptiveHull(16)
+    uni = UniformHull(32)
+    for p in pts:
+        ada.insert(p)
+        uni.insert(p)
+    max_ada = max(t.height for t in ada.leaf_triangles())
+    max_uni = max(t.height for t in uni.edge_triangles())
+    report = banner(
+        "Fig. 10 / ellipse rotated by theta0/4",
+        f"adaptive panel: {adaptive_path}\n"
+        f"uniform panel:  {uniform_path}\n"
+        f"max uncertainty height: adaptive {max_ada:.4f}  "
+        f"uniform {max_uni:.4f}  (ratio {max_uni / max_ada:.1f}x)",
+    )
+    write_report("fig10", report)
+    print("\n" + report)
+    assert max_uni > 3.0 * max_ada

@@ -1,0 +1,44 @@
+"""Theorem 5.5: the Omega(D / r^2) lower bound is real and matched.
+
+2r points evenly spaced on a circle; any r-point sample leaves some
+point at distance Theta(D/r^2) from the sample hull.  The bench prints
+the optimal subsample's exact error next to the adaptive summary's
+measured error and the D/r^2 reference — all three must decay together
+quadratically, demonstrating the upper bound of Theorem 5.4 is tight.
+"""
+
+import pytest
+
+from _util import banner, write_report
+
+from repro.experiments import lower_bound_sweep
+
+R_VALUES = [8, 16, 32, 64, 128]
+
+
+def _run():
+    return lower_bound_sweep(R_VALUES, seed=0)
+
+
+def test_lower_bound(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{'r':>5} {'optimal subsample':>18} {'adaptive measured':>18} "
+        f"{'D/r^2':>12}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.r:>5} {p.optimal_error:>18.3e} {p.adaptive_error:>18.3e} "
+            f"{p.theory:>12.3e}"
+        )
+    report = banner("Lower bound (Theorem 5.5)", "\n".join(lines))
+    write_report("lower_bound", report)
+    print("\n" + report)
+    # Quadratic decay of the construction's optimal error.
+    assert points[0].optimal_error / points[-1].optimal_error == (
+        pytest.approx((R_VALUES[-1] / R_VALUES[0]) ** 2, rel=0.1)
+    )
+    # The streaming summary stays within a constant of D/r^2 throughout.
+    for p in points:
+        assert p.adaptive_error <= 64.0 * p.theory
+

@@ -1,0 +1,68 @@
+"""Theorem 5.4 processing-cost check: amortized O(log r) per point.
+
+Two measurements:
+
+* real wall-clock throughput of ``AdaptiveHull.insert`` across r values
+  (pytest-benchmark timing — this is the headline per-point cost), and
+* the summary's own operation counters (fraction of points escaping the
+  fast path, refinement-tree nodes visited per point), which isolate
+  the algorithmic work from Python overhead.
+
+Expected shape: per-point work grows far slower than linearly in r
+(the amortized O(log r) regime; see DESIGN.md on the O(r) worst case of
+our walk-based update).
+"""
+
+import pytest
+from _util import banner, paper_n, write_report
+
+from repro.core import AdaptiveHull
+from repro.experiments import work_per_point
+from repro.streams import as_tuples, ellipse_stream
+
+R_VALUES = [8, 16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    n = paper_n(default=10_000, full=100_000)
+    return list(as_tuples(ellipse_stream(n, a=4.0, b=1.0, rotation=0.07, seed=0)))
+
+
+@pytest.mark.parametrize("r", [16, 64])
+def test_insert_throughput(benchmark, stream, r):
+    """Wall-clock cost of consuming the whole stream at parameter r."""
+
+    def run():
+        h = AdaptiveHull(r)
+        for p in stream:
+            h.insert(p)
+        return h
+
+    h = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert h.points_seen == len(stream)
+
+
+def test_amortized_work_counters(benchmark):
+    points = benchmark.pedantic(
+        lambda: work_per_point(R_VALUES, n=paper_n(default=10_000, full=50_000)),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'r':>5} {'processed %':>12} {'nodes/point':>12} "
+        f"{'refine':>8} {'unrefine':>9}"
+    ]
+    for w in points:
+        lines.append(
+            f"{w.r:>5} {100 * w.processed_fraction:>11.2f}% "
+            f"{w.nodes_visited_per_point:>12.2f} "
+            f"{w.refinements:>8} {w.unrefinements:>9}"
+        )
+    report = banner("Amortized work per point (Theorem 5.4)", "\n".join(lines))
+    write_report("processing_time", report)
+    print("\n" + report)
+    # 16x larger r must NOT mean 16x more per-point work.
+    w_first = points[0].nodes_visited_per_point
+    w_last = points[-1].nodes_visited_per_point
+    assert w_last < (R_VALUES[-1] / R_VALUES[0]) * max(w_first, 0.5)

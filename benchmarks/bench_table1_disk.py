@@ -1,0 +1,34 @@
+"""Table 1, first section: 10^5 points uniform in a disk.
+
+Paper's row (r=32 uniform vs r=16 adaptive, fixed 2r directions):
+
+    Uncertainty max height:   uniform 64   adaptive 107
+    Uncertainty avg height:   uniform 47   adaptive 48
+    Max distance from hull:   uniform 43   adaptive 54
+    % points outside hull:    uniform 0.77 adaptive 0.84
+
+Expected shape: near-parity — the disk is uniform sampling's best case;
+adaptive is allowed to be modestly worse (paper: ~25% on max height).
+"""
+
+from _util import banner, paper_n, write_report
+
+from repro.experiments import format_table1, run_workload
+from repro.streams import disk_stream
+
+
+def _run():
+    pts = disk_stream(paper_n(), seed=0)
+    return run_workload("disk", "disk", pts, "uniform")
+
+
+def test_table1_disk(benchmark):
+    row = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = banner("Table 1 / disk", format_table1([row]))
+    write_report("table1_disk", report)
+    print("\n" + report)
+    # Shape assertions (who wins, roughly by how much).
+    assert row.adaptive.max_triangle_height <= (
+        3.0 * row.baseline.max_triangle_height + 1e-12
+    )
+    assert abs(row.adaptive.pct_outside - row.baseline.pct_outside) < 2.0

@@ -1,0 +1,50 @@
+"""Table 1, third section: 10^5 points in an aspect-16 ellipse, rotated
+by 0, theta0/4, theta0/3, theta0/2.
+
+Paper's rows (uniform 2r=32 vs adaptive r=16):
+
+    rotation   max h (uni/ada)  avg h   max d    % out
+    0           174 / 38        35/ 8   77/19   19.54/2.44
+    theta0/4    417 / 38        47/ 9  146/19   36.00/2.50
+    theta0/3    387 / 44        45/10  141/21   33.96/2.42
+    theta0/2    174 / 23        35/ 8   77/11   19.54/1.94
+
+Expected shape: the adaptive hull wins every metric by roughly 4-14x;
+uniform leaves tens of percent of the stream outside its hull while
+adaptive keeps it to a few percent.
+"""
+
+from _util import banner, paper_n, write_report
+
+from repro.experiments import ROTATIONS, format_table1, run_workload
+from repro.streams import ellipse_stream
+
+
+def _run():
+    rows = []
+    n = paper_n()
+    for label, angle in ROTATIONS:
+        pts = ellipse_stream(n, a=16.0, b=1.0, rotation=angle, seed=2)
+        rows.append(
+            run_workload(
+                "ellipse", f"ellipse rotated by {label}", pts, "uniform"
+            )
+        )
+    return rows
+
+
+def test_table1_ellipse(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = banner("Table 1 / ellipse (aspect 16)", format_table1(rows))
+    write_report("table1_ellipse", report)
+    print("\n" + report)
+    for row in rows:
+        # Adaptive wins all metrics decisively on the skinny ellipse.
+        assert row.baseline.max_triangle_height > (
+            3.0 * row.adaptive.max_triangle_height
+        ), row.workload
+        assert row.baseline.pct_outside > 10.0, row.workload
+        assert row.adaptive.pct_outside < 8.0, row.workload
+        assert row.baseline.max_outside_distance > (
+            2.0 * row.adaptive.max_outside_distance
+        ), row.workload

@@ -1,0 +1,49 @@
+"""Table 1, second section: 10^5 points in a square, rotated by
+0, theta0/4, theta0/3, theta0/2 (theta0 = pi/8).
+
+Paper's rows (uniform 2r=32 vs adaptive r=16):
+
+    rotation   max h (uni/ada)  avg h  max d  % out
+    0            30 /  22        8/ 5  11/ 4  0.16/0.07
+    theta0/4    489 /  84      195/10  13/ 6  0.35/0.12
+    theta0/3    439 /  90      176/21  13/ 4  0.35/0.09
+    theta0/2     30 /  27       11/ 7  11/11  0.17/0.11
+
+Expected shape: for the rotations that break the uniform grid's
+alignment (theta0/4, theta0/3) the uniform triangles blow up by 5-10x
+while the adaptive ones stay small; the aligned cases are close.
+"""
+
+import pytest
+from _util import banner, paper_n, write_report
+
+from repro.experiments import ROTATIONS, format_table1, run_workload
+from repro.streams import square_stream
+
+
+def _run():
+    rows = []
+    n = paper_n()
+    for label, angle in ROTATIONS:
+        pts = square_stream(n, rotation=angle, seed=1)
+        rows.append(
+            run_workload("square", f"square rotated by {label}", pts, "uniform")
+        )
+    return rows
+
+
+def test_table1_square(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = banner("Table 1 / square", format_table1(rows))
+    write_report("table1_square", report)
+    print("\n" + report)
+    by_label = {r.workload: r for r in rows}
+    # Misaligned rotations: uniform max height several times adaptive's.
+    for label in ("square rotated by theta0/4", "square rotated by theta0/3"):
+        row = by_label[label]
+        assert row.baseline.max_triangle_height > (
+            3.0 * row.adaptive.max_triangle_height
+        ), label
+    # Aligned cases: both schemes keep nearly every point inside.
+    assert by_label["square rotated by 0"].baseline.pct_outside < 1.0
+    assert by_label["square rotated by 0"].adaptive.pct_outside < 1.0

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""ClusterHull extension: multi-cluster shape sketching (Section 8).
+
+The paper's discussion asks how to summarise a stream that forms
+multiple clusters — one convex hull would hide the structure.  This
+example monitors three drifting sensor clusters with the ClusterHull
+extension: each cluster gets its own adaptive hull, under a global
+memory budget, and per-cluster extremal queries remain available.
+
+Run:  python examples/cluster_monitoring.py
+"""
+
+from repro import AdaptiveHull, ClusterHull
+from repro.geometry import area as polygon_area
+from repro.queries import diameter
+from repro.streams import as_tuples, clusters_stream
+
+
+def main() -> None:
+    sketch = ClusterHull(r=16, max_clusters=6, join_distance=2.5)
+
+    centers = [(0.0, 0.0), (12.0, 0.0), (6.0, 9.0)]
+    for p in as_tuples(
+        clusters_stream(30_000, centers=centers, sigma=0.6, seed=11)
+    ):
+        sketch.insert(p)
+
+    print(f"stream points : {sketch.points_seen:,}")
+    print(f"clusters found: {len(sketch.clusters)}")
+    print(f"total stored  : {sketch.sample_size} points")
+    print(f"merges        : {sketch.merges}")
+    print()
+    print(f"{'cluster':>7} {'points':>8} {'hull area':>10} {'diameter':>9} "
+          f"{'centroid':>18}")
+    for i, cluster in enumerate(sketch.clusters):
+        hull = cluster.hull()
+        cx = sum(v[0] for v in hull) / len(hull)
+        cy = sum(v[1] for v in hull) / len(hull)
+        print(
+            f"{i:>7} {cluster.count:>8,} {abs(polygon_area(hull)):>10.3f} "
+            f"{diameter(cluster.summary):>9.3f} "
+            f"({cx:>7.2f}, {cy:>6.2f})"
+        )
+
+    print()
+    print("single-hull comparison (what a lone summary would report):")
+    single = AdaptiveHull(16)
+    for p in as_tuples(
+        clusters_stream(30_000, centers=centers, sigma=0.6, seed=11)
+    ):
+        single.insert(p)
+    hull = single.hull()
+    print(f"  one hull of area {abs(polygon_area(hull)):.1f} — mostly empty "
+          f"space between the clusters")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Two-stream monitoring: separation, collision, and containment.
+
+The paper's multi-stream queries on live summaries:
+
+* track the minimum distance between the convex hulls of two vehicle
+  fleets (streams A and B);
+* report the moment they are "no longer linearly separable";
+* report when fleet A becomes completely surrounded by fleet B.
+
+Fleet B drifts toward fleet A over ten epochs; afterwards a third
+phase encircles A.
+
+Run:  python examples/fleet_separation.py
+"""
+
+import math
+
+from repro import AdaptiveHull, ContainmentTracker, SeparationTracker
+from repro.streams import as_tuples, disk_stream, translate
+
+
+def main() -> None:
+    factory = lambda: AdaptiveHull(r=16)
+    sep = SeparationTracker(factory)
+
+    # Fleet A patrols around (-4, 0).
+    for p in as_tuples(translate(disk_stream(5_000, seed=1), -4.0, 0.0)):
+        sep.insert("A", p)
+
+    print("epoch  B center   distance  separable  certificate direction")
+    for epoch in range(10):
+        bx = 5.0 - epoch * 1.1  # fleet B drifts west toward A
+        for p in as_tuples(
+            translate(disk_stream(1_000, seed=10 + epoch), bx, 0.0)
+        ):
+            sep.insert("B", p)
+        d = sep.distance("A", "B")
+        separable = sep.separable("A", "B")
+        cert = sep.certificate("A", "B")
+        cert_txt = (
+            f"({cert[1][0]:+.2f}, {cert[1][1]:+.2f})" if cert else "none"
+        )
+        print(
+            f"{epoch:>5}  {bx:>8.1f}  {d:>8.3f}  {str(separable):>9}  "
+            f"{cert_txt}"
+        )
+        if not separable:
+            w = sep.witness_overlap_point("A", "B")
+            print(f"       collision! witness point in both hulls: "
+                  f"({w[0]:.2f}, {w[1]:.2f})")
+            break
+
+    # Phase 3: fleet B fans out into a ring enclosing fleet A.
+    print()
+    print("fleet B encircles fleet A:")
+    cont = ContainmentTracker(factory)
+    for p in as_tuples(translate(disk_stream(3_000, seed=2), -4.0, 0.0)):
+        cont.insert("A", p)
+    for sector in range(8):
+        base = sector * math.pi / 4.0
+        for i in range(500):
+            ang = base + (i / 500.0) * math.pi / 4.0
+            cont.insert("B", (-4.0 + 6.0 * math.cos(ang), 6.0 * math.sin(ang)))
+        surrounded = cont.contained("A", "B")
+        print(f"  ring sector {sector + 1}/8 closed -> A surrounded: {surrounded}")
+        if surrounded:
+            margin = cont.containment_margin("A", "B")
+            print(f"  containment margin: {margin:.3f}")
+            break
+
+
+if __name__ == "__main__":
+    main()

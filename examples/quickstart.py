@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: summarise a million-point stream in 2r+1 samples.
+
+Feeds a synthetic GPS-like stream into the paper's adaptive hull and
+answers the basic extremal queries — diameter, width, directional
+extent, farthest point, smallest enclosing circle — from the bounded
+summary alone.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+from repro import AdaptiveHull, diameter, enclosing_circle, extent, width
+from repro.queries import farthest_neighbor
+from repro.streams import as_tuples, ellipse_stream
+
+
+def main() -> None:
+    r = 32
+    hull = AdaptiveHull(r=r)
+
+    # A 100k-point stream (positions of delivery vehicles, say); only
+    # the summary is kept — the points are consumed one by one.
+    stream = as_tuples(ellipse_stream(100_000, a=8.0, b=2.0, rotation=0.4, seed=7))
+    for point in stream:
+        hull.insert(point)
+
+    print(f"stream points seen : {hull.points_seen:,}")
+    print(f"points stored      : {hull.sample_size}  (bound: {2 * r + 1})")
+    print(f"hull vertices      : {len(hull.hull())}")
+    print()
+    print(f"diameter           : {diameter(hull):.4f}")
+    print(f"width              : {width(hull):.4f}")
+    print(f"extent along x     : {extent(hull, (1.0, 0.0)):.4f}")
+    print(f"extent along y     : {extent(hull, (0.0, 1.0)):.4f}")
+    d, witness = farthest_neighbor(hull, (0.0, 0.0))
+    print(f"farthest from origin: {d:.4f} at ({witness[0]:.3f}, {witness[1]:.3f})")
+    (cx, cy), rad = enclosing_circle(hull)
+    print(f"enclosing circle   : center ({cx:.3f}, {cy:.3f}) radius {rad:.4f}")
+    print()
+    bound = 16.0 * math.pi * hull.perimeter / (r * r)
+    print(f"guaranteed error   : every stream point within {bound:.4f} "
+          f"of the reported hull (Corollary 5.2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Distribution shift: why adaptivity matters (the Table 1 story).
+
+Replays the paper's changing-ellipse experiment at example scale: a
+stream that flips from a near-vertical ellipse to a much larger
+near-horizontal one mid-way.  Three schemes watch the same stream:
+
+* the fully adaptive hull (re-aims its sampling directions),
+* the "partially adaptive" hull (trains on the first half, freezes),
+* the uniform hull (never aims at all).
+
+The report shows the fraction of stream points each scheme's final hull
+fails to cover, and the worst distance from the hull to a missed point.
+
+Run:  python examples/shape_tracking.py
+"""
+
+from repro import FixedSizeAdaptiveHull, PartiallyAdaptiveHull, UniformHull
+from repro.experiments.metrics import outside_stats
+from repro.streams import as_tuples, changing_ellipse_stream
+
+
+def main() -> None:
+    r = 16
+    n_each = 25_000
+    pts = list(as_tuples(changing_ellipse_stream(n_each, seed=5)))
+
+    schemes = [
+        ("adaptive (continuous)", FixedSizeAdaptiveHull(r)),
+        ("partial (train/freeze)", PartiallyAdaptiveHull(r, train_size=n_each)),
+        ("uniform (fixed grid)", UniformHull(2 * r)),
+    ]
+    for _, s in schemes:
+        for p in pts:
+            s.insert(p)
+
+    print(f"stream: {len(pts):,} points — vertical ellipse, then a "
+          f"containing horizontal one\n")
+    print(f"{'scheme':<24} {'% missed':>9} {'worst miss':>11} {'stored':>7}")
+    for name, s in schemes:
+        max_d, frac = outside_stats(s.hull(), pts)
+        print(f"{name:<24} {100 * frac:>8.2f}% {max_d:>11.3f} "
+              f"{s.sample_size:>7}")
+
+    ada = schemes[0][1]
+    print()
+    print(f"adaptive scheme re-aimed its directions "
+          f"{ada.swaps} times after the shift")
+    print("takeaway: frozen directions point at yesterday's distribution; "
+          "the adaptive hull follows the stream.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim: this environment lacks the `wheel` package, so PEP 660
+editable installs fail; the legacy `setup.py develop` path works."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Adaptive sampling for geometric problems over data streams "
+        "(Hershberger & Suri, PODS 2004) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,67 @@
+"""repro — Adaptive Sampling for Geometric Problems over Data Streams.
+
+A complete reproduction of Hershberger & Suri (PODS 2004; Computational
+Geometry 39 (2008) 191-208): streaming convex-hull summaries with
+provably optimal O(D/r^2) error using at most 2r+1 adaptive samples,
+together with every substrate, baseline, query, and experiment the
+paper describes.
+
+Quickstart::
+
+    from repro import AdaptiveHull
+
+    hull = AdaptiveHull(r=32)
+    for x, y in stream:
+        hull.insert((x, y))
+    polygon = hull.hull()           # CCW convex polygon, <= 2r+1 points
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core.adaptive_hull import AdaptiveHull
+from .core.base import HullSummary
+from .core.fixed_size import FixedSizeAdaptiveHull
+from .core.uniform_hull import UniformHull
+from .baselines import (
+    DudleyKernelHull,
+    ExactHull,
+    PartiallyAdaptiveHull,
+    RadialHistogramHull,
+    RandomSampleHull,
+)
+from .extensions.clusterhull import ClusterHull
+from .queries import (
+    ContainmentTracker,
+    OverlapTracker,
+    SeparationTracker,
+    diameter,
+    enclosing_circle,
+    extent,
+    farthest_neighbor,
+    width,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveHull",
+    "FixedSizeAdaptiveHull",
+    "UniformHull",
+    "HullSummary",
+    "PartiallyAdaptiveHull",
+    "RadialHistogramHull",
+    "DudleyKernelHull",
+    "ExactHull",
+    "RandomSampleHull",
+    "ClusterHull",
+    "diameter",
+    "width",
+    "extent",
+    "farthest_neighbor",
+    "enclosing_circle",
+    "SeparationTracker",
+    "ContainmentTracker",
+    "OverlapTracker",
+    "__version__",
+]

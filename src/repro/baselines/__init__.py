@@ -1,0 +1,27 @@
+"""Baselines: every scheme the paper compares against or builds on.
+
+* :class:`UniformHull` (re-exported from core) — Feigenbaum-Kannan-Zhang
+  style fixed-direction extrema, the principal comparator of Section 7.
+* :class:`PartiallyAdaptiveHull` — Section 7's train-then-freeze straw man.
+* :class:`RadialHistogramHull` — Cormode-Muthukrishnan radial histogram.
+* :class:`DudleyKernelHull` — Dudley / core-set construction.
+* :class:`ExactHull` — unbounded-space ground truth.
+* :class:`RandomSampleHull` — reservoir sampling (why extremal sampling
+  is necessary).
+"""
+
+from ..core.uniform_hull import UniformHull
+from .partial_adaptive import PartiallyAdaptiveHull
+from .radial_histogram import RadialHistogramHull
+from .dudley import DudleyKernelHull
+from .exact import ExactHull
+from .random_sample import RandomSampleHull
+
+__all__ = [
+    "UniformHull",
+    "PartiallyAdaptiveHull",
+    "RadialHistogramHull",
+    "DudleyKernelHull",
+    "ExactHull",
+    "RandomSampleHull",
+]

@@ -1,0 +1,41 @@
+"""Exact (unbounded-space) hull baseline.
+
+Stores every hull vertex via the incremental
+:class:`~repro.geometry.hull.OnlineHull`.  Zero error, but the space is
+the hull size — up to the full stream for points in convex position —
+which is precisely the cost the paper's bounded summaries eliminate.
+Used as ground truth in the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.base import HullSummary
+from ..geometry.hull import OnlineHull
+from ..geometry.vec import Point
+
+__all__ = ["ExactHull"]
+
+
+class ExactHull(HullSummary):
+    """Keep-everything exact convex hull (ground truth)."""
+
+    name = "exact"
+
+    def __init__(self):
+        self._online = OnlineHull()
+
+    def insert(self, p: Point) -> bool:
+        return self._online.insert(p)
+
+    def hull(self) -> List[Point]:
+        return self._online.vertices()
+
+    def samples(self) -> List[Point]:
+        return self._online.vertices()
+
+    @property
+    def points_seen(self) -> int:
+        """Total points inserted."""
+        return self._online.points_seen

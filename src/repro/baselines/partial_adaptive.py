@@ -1,0 +1,150 @@
+"""The "partially adaptive" straw man of Section 7.
+
+The paper's changing-distribution experiment compares the fully adaptive
+hull against a scheme "inspired by (a particularly bad example of)
+machine learning": adapt on the first half of the stream as a training
+set, then freeze the chosen directions while processing the second half.
+When the distribution shifts after training, the frozen directions point
+the wrong way and the approximation degrades to roughly a uniform hull
+of half the resolution — exactly the behaviour Table 1's fourth section
+documents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.base import HullSummary
+from ..core.fixed_size import FixedSizeAdaptiveHull
+from ..geometry.hull import convex_hull
+from ..geometry.polygon import contains_point
+from ..geometry.vec import Point, Vector, dot
+
+__all__ = ["PartiallyAdaptiveHull"]
+
+
+class PartiallyAdaptiveHull(HullSummary):
+    """Train-then-freeze adaptive hull (Section 7, "Partial").
+
+    Args:
+        r: uniform direction count (total budget 2r, as in the adaptive
+            comparator).
+        train_size: number of initial stream points used to adapt; after
+            that the sampling directions are frozen and only the extrema
+            are updated.
+    """
+
+    name = "partial"
+
+    def __init__(self, r: int, train_size: int):
+        if train_size <= 0:
+            raise ValueError("train_size must be positive")
+        self.r = r
+        self.train_size = train_size
+        self._trainer: Optional[FixedSizeAdaptiveHull] = FixedSizeAdaptiveHull(r)
+        self._dirs: List[Vector] = []
+        self._extreme: List[Optional[Point]] = []
+        self._support: List[float] = []
+        self._hull: List[Point] = []
+        self.points_seen = 0
+        self.frozen = False
+
+    def insert(self, p: Point) -> bool:
+        self.points_seen += 1
+        if not self.frozen:
+            assert self._trainer is not None
+            changed = self._trainer.insert(p)
+            self._hull = self._trainer.hull()
+            if self.points_seen >= self.train_size:
+                self._freeze()
+            return changed
+        if self._hull and contains_point(self._hull, p):
+            return False
+        changed = False
+        for i, d in enumerate(self._dirs):
+            s = p[0] * d[0] + p[1] * d[1]
+            if s > self._support[i]:
+                self._support[i] = s
+                self._extreme[i] = p
+                changed = True
+        if changed:
+            self._hull = convex_hull(
+                e for e in self._extreme if e is not None
+            )
+        return changed
+
+    def hull(self) -> List[Point]:
+        return self._hull
+
+    def samples(self) -> List[Point]:
+        if not self.frozen:
+            assert self._trainer is not None
+            return self._trainer.samples()
+        return list(
+            dict.fromkeys(e for e in self._extreme if e is not None)
+        )
+
+    def edge_triangles(self):
+        """Uncertainty triangles of the frozen-direction hull.
+
+        After freezing, each stored extremum is supported by its frozen
+        direction; consecutive (by angle) distinct extrema bound an edge
+        whose triangle is built from the two supporting lines — the same
+        construction as the uniform hull's ring.  Before freezing,
+        delegates to the trainer's leaf triangles.
+        """
+        from ..core.uncertainty import triangle_for_edge
+
+        if not self.frozen:
+            assert self._trainer is not None
+            yield from self._trainer.leaf_triangles()
+            return
+        import math
+
+        order = sorted(
+            (
+                (math.atan2(d[1], d[0]) % (2.0 * math.pi), d, e)
+                for d, e in zip(self._dirs, self._extreme)
+                if e is not None
+            ),
+            key=lambda t: t[0],
+        )
+        m = len(order)
+        for i in range(m):
+            _, d1, e1 = order[i]
+            _, d2, e2 = order[(i + 1) % m]
+            if e1 == e2:
+                continue
+            yield triangle_for_edge(e1, e2, d1, d2)
+
+    @property
+    def direction_count(self) -> int:
+        """Number of (frozen or live) sampling directions."""
+        if not self.frozen:
+            assert self._trainer is not None
+            return self._trainer.active_direction_count
+        return len(self._dirs)
+
+    def _freeze(self) -> None:
+        """Capture the trainer's active directions and extrema, then
+        drop the adaptive machinery."""
+        assert self._trainer is not None
+        trainer = self._trainer
+        pairs: List[Tuple[Vector, Optional[Point]]] = []
+        uni = trainer.uniform_layer
+        for j in range(trainer.r):
+            pairs.append((uni.direction(j), uni.extreme(j)))
+        for root in trainer._roots:
+            if root is None:
+                continue
+            for node in root.iter_internal():
+                pairs.append((node.mid_vector, node.t))
+        self._dirs = [d for d, _ in pairs]
+        self._extreme = [e for _, e in pairs]
+        self._support = [
+            dot(e, d) if e is not None else float("-inf")
+            for d, e in pairs
+        ]
+        self._hull = trainer.hull()
+        self._trainer = None
+        self.frozen = True

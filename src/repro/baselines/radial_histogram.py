@@ -1,0 +1,77 @@
+"""Radial histogram baseline (Cormode & Muthukrishnan [7]).
+
+The radial histogram summarises a point stream relative to a fixed
+origin: the plane is cut into ``r`` equal angular sectors around the
+first stream point, and each sector keeps the arrived point farthest
+from the origin.  The convex hull of the kept points approximates the
+true hull with error O(D/r) — the bound the paper's adaptive scheme
+improves to O(D/r^2).
+
+This is a faithful single-level rendition of the technique the paper
+cites as prior work ("Cormode-Muthukrishnan's radial hull can also be
+viewed as a two-level variation" of uniform direction sampling); it is
+included as a comparator in the baseline benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.base import HullSummary
+from ..geometry.hull import convex_hull
+from ..geometry.vec import Point, dist
+
+__all__ = ["RadialHistogramHull"]
+
+
+class RadialHistogramHull(HullSummary):
+    """Farthest point per angular sector around a stream-chosen origin.
+
+    Args:
+        r: number of angular sectors (space O(r)).
+    """
+
+    name = "radial"
+
+    def __init__(self, r: int):
+        if r < 3:
+            raise ValueError("RadialHistogramHull requires r >= 3 sectors")
+        self.r = r
+        self._origin: Optional[Point] = None
+        self._farthest: List[Optional[Point]] = [None] * r
+        self._radius: List[float] = [-1.0] * r
+        self._hull: List[Point] = []
+        self.points_seen = 0
+
+    def insert(self, p: Point) -> bool:
+        self.points_seen += 1
+        if self._origin is None:
+            # Anchor the histogram at the first stream point.
+            self._origin = p
+            self._hull = [p]
+            return True
+        d = dist(p, self._origin)
+        if d == 0.0:
+            return False
+        angle = math.atan2(p[1] - self._origin[1], p[0] - self._origin[0])
+        sector = int(((angle % (2.0 * math.pi)) / (2.0 * math.pi)) * self.r)
+        sector = min(sector, self.r - 1)
+        if d > self._radius[sector]:
+            self._radius[sector] = d
+            self._farthest[sector] = p
+            self._rebuild()
+            return True
+        return False
+
+    def hull(self) -> List[Point]:
+        return self._hull
+
+    def samples(self) -> List[Point]:
+        pts = [p for p in self._farthest if p is not None]
+        if self._origin is not None:
+            pts.append(self._origin)
+        return list(dict.fromkeys(pts))
+
+    def _rebuild(self) -> None:
+        self._hull = convex_hull(self.samples())

@@ -1,0 +1,167 @@
+"""Command-line interface for the reproduction harness.
+
+Usage::
+
+    python -m repro table1 [--section disk|square|ellipse|changing]
+                           [--n N] [--r R] [--seed S]
+    python -m repro fig10  [--out DIR] [--n N]
+    python -m repro scaling [--n N]
+    python -m repro lower-bound
+    python -m repro work
+    python -m repro demo   [--n N]
+
+Every subcommand prints the corresponding table/series from the paper's
+evaluation; ``demo`` runs a quick end-to-end summary with queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Adaptive sampling for geometric "
+            "problems over data streams' (Hershberger & Suri, PODS 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="reproduce (part of) Table 1")
+    t1.add_argument(
+        "--section",
+        choices=["disk", "square", "ellipse", "changing"],
+        action="append",
+        help="restrict to one or more sections (default: all)",
+    )
+    t1.add_argument("--n", type=int, default=20_000, help="stream length")
+    t1.add_argument("--r", type=int, default=16, help="adaptive parameter r")
+    t1.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser("fig10", help="regenerate the Fig. 10 SVG panels")
+    fig.add_argument("--out", default="fig10_output", help="output directory")
+    fig.add_argument("--n", type=int, default=20_000)
+
+    sc = sub.add_parser("scaling", help="error scaling sweep (Theorem 5.4)")
+    sc.add_argument("--n", type=int, default=12_000)
+    sc.add_argument(
+        "--r-values", type=int, nargs="+", default=[8, 16, 32, 64]
+    )
+
+    sub.add_parser("lower-bound", help="Theorem 5.5 lower-bound sweep")
+    sub.add_parser("work", help="amortized per-point work counters")
+
+    demo = sub.add_parser("demo", help="summarise a stream and run queries")
+    demo.add_argument("--n", type=int, default=50_000)
+    demo.add_argument("--r", type=int, default=32)
+
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import format_table1, run_table1
+
+    rows = run_table1(
+        n=args.n, r=args.r, seed=args.seed, sections=args.section
+    )
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    from .experiments import make_fig10
+
+    adaptive, uniform = make_fig10(args.out, n=args.n)
+    print(f"wrote {adaptive}")
+    print(f"wrote {uniform}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .experiments import error_scaling, loglog_slope
+
+    points = error_scaling(args.r_values, n=args.n)
+    print(f"{'r':>5} {'scheme':>10} {'error':>12} {'samples':>8}")
+    for p in points:
+        print(f"{p.r:>5} {p.scheme:>10} {p.error:>12.6f} {p.sample_size:>8}")
+    print()
+    print(f"log-log slope adaptive: {loglog_slope(points, 'adaptive'):+.2f}  (theory -2)")
+    print(f"log-log slope uniform : {loglog_slope(points, 'uniform'):+.2f}  (theory -1)")
+    return 0
+
+
+def _cmd_lower_bound(_args: argparse.Namespace) -> int:
+    from .experiments import lower_bound_sweep
+
+    points = lower_bound_sweep([8, 16, 32, 64, 128])
+    print(f"{'r':>5} {'optimal':>12} {'adaptive':>12} {'D/r^2':>12}")
+    for p in points:
+        print(
+            f"{p.r:>5} {p.optimal_error:>12.3e} {p.adaptive_error:>12.3e} "
+            f"{p.theory:>12.3e}"
+        )
+    return 0
+
+
+def _cmd_work(_args: argparse.Namespace) -> int:
+    from .experiments import work_per_point
+
+    points = work_per_point([8, 16, 32, 64, 128], n=20_000)
+    print(f"{'r':>5} {'processed':>10} {'nodes/pt':>9} {'refine':>7} {'unref':>6}")
+    for w in points:
+        print(
+            f"{w.r:>5} {100 * w.processed_fraction:>9.2f}% "
+            f"{w.nodes_visited_per_point:>9.2f} {w.refinements:>7} "
+            f"{w.unrefinements:>6}"
+        )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import math
+
+    from .core import AdaptiveHull
+    from .queries import diameter, enclosing_circle, width
+    from .streams import as_tuples, ellipse_stream
+
+    hull = AdaptiveHull(args.r)
+    for p in as_tuples(ellipse_stream(args.n, a=8.0, b=2.0, rotation=0.4, seed=1)):
+        hull.insert(p)
+    print(f"points seen  : {hull.points_seen:,}")
+    print(f"points stored: {hull.sample_size} (bound {2 * args.r + 1})")
+    print(f"diameter     : {diameter(hull):.4f}")
+    print(f"width        : {width(hull):.4f}")
+    (cx, cy), rad = enclosing_circle(hull)
+    print(f"circle       : ({cx:.3f}, {cy:.3f}) r={rad:.4f}")
+    print(
+        f"error bound  : {16 * math.pi * hull.perimeter / args.r ** 2:.4f} "
+        f"(Corollary 5.2)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig10": _cmd_fig10,
+    "scaling": _cmd_scaling,
+    "lower-bound": _cmd_lower_bound,
+    "work": _cmd_work,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

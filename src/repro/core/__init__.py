@@ -1,0 +1,26 @@
+"""The paper's core contribution: uniform and adaptive hull summaries."""
+
+from .base import HullSummary
+from .uncertainty import UncertaintyTriangle, apex_point, triangle_for_edge
+from .weights import needs_refinement, refine_threshold, sample_weight
+from .uniform_hull import UniformHull
+from .refinement import RefinementNode
+from .adaptive_hull import AdaptiveHull
+from .fixed_size import FixedSizeAdaptiveHull
+from .static_adaptive import StaticAdaptiveResult, adaptive_sample
+
+__all__ = [
+    "HullSummary",
+    "UncertaintyTriangle",
+    "apex_point",
+    "triangle_for_edge",
+    "sample_weight",
+    "refine_threshold",
+    "needs_refinement",
+    "UniformHull",
+    "RefinementNode",
+    "AdaptiveHull",
+    "FixedSizeAdaptiveHull",
+    "StaticAdaptiveResult",
+    "adaptive_sample",
+]

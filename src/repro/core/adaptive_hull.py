@@ -1,0 +1,387 @@
+"""The adaptively sampled hull for streaming points (Section 5).
+
+This is the paper's main contribution.  On top of the uniformly sampled
+hull (extrema in ``r`` fixed directions) the scheme maintains up to
+``r + 1`` additional extrema in *adaptively chosen* dyadic directions,
+organised as refinement trees over the uniform edges.  The refinement
+policy is driven by the sample weight
+
+    w(e) = r * ell_tilde(e) / P - depth(e)
+
+(Section 4): an edge-range is kept refined while ``w(e) > 1``, i.e.
+while the perimeter ``P`` of the uniformly sampled hull is below the
+edge's threshold ``r * ell_tilde(e) / (1 + depth)``.  Refined nodes sit
+in a threshold queue (exact heap, or the Matias power-of-two buckets of
+Section 5.3) and are unrefined as ``P`` grows past their thresholds.
+
+The resulting sample has at most ``2r + 1`` points and its convex hull
+stays within ``O(D / r**2)`` of the true hull at every instant
+(Theorem 5.4), against ``O(D / r)`` for uniform sampling alone.
+
+Per-point processing
+--------------------
+A point inside the current sample hull is discarded after one O(log r)
+containment test (a conservative version of the paper's
+ring-of-uncertainty-triangles test: we discard a *subset* of what the
+paper discards, so the error bound is preserved verbatim).  A point
+outside the sample hull updates every sampling direction it beats and
+locally re-runs refinement — O(r) tree-node visits in the worst case,
+against the paper's O(log r) amortized bound; the operation counters
+(``points_processed``, ``nodes_visited``) let the benchmarks verify that
+the *amortized* per-point work on the paper's workloads matches the
+O(log r) regime.  See DESIGN.md ("substitutions") for the discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional
+
+from ..geometry.directions import DyadicDirection
+from ..geometry.hull import convex_hull
+from ..geometry.polygon import contains_point
+from ..geometry.vec import Point, Vector, dot
+from ..structures.bucket_queue import make_threshold_queue
+from .base import HullSummary, check_point
+from .refinement import RefinementNode
+from .uncertainty import UncertaintyTriangle, triangle_for_edge
+from .uniform_hull import UniformHull
+from .weights import refine_threshold, sample_weight
+
+__all__ = ["AdaptiveHull"]
+
+
+class AdaptiveHull(HullSummary):
+    """Streaming adaptive convex-hull summary (Algorithm AdaptiveHull).
+
+    Args:
+        r: number of uniform sampling directions (>= 8; the error
+            analysis of Lemma 5.1 needs ``r > 2*pi``).
+        height_limit: refinement-tree height cap ``k``; defaults to
+            ``round(log2 r)``, the paper's accuracy-maximising choice.
+            ``k = 0`` reduces the scheme to uniform sampling.
+        queue_mode: ``"pow2"`` for the O(1) Matias bucket queue
+            (the paper's final design), ``"exact"`` for an exact heap —
+            kept for the ablation benchmark.
+        ring_discard: when True, implement the paper's step 1 exactly:
+            a point inside the *ring of uncertainty triangles* (not just
+            the sample hull) is discarded.  This skips the tree update
+            for points that provably cannot improve any active
+            direction's extremum beyond its tolerance; the error
+            analysis (Lemma 5.1's offset lines) is designed for it.
+            Default False: discard only inside the hull — a conservative
+            subset that processes more points and errs on accuracy.
+
+    Attributes:
+        points_seen / points_processed: stream length vs. points that
+            survived the containment fast path.
+        refinements / unrefinements / nodes_visited: operation counters
+            backing the amortized-cost benchmarks.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        r: int,
+        height_limit: Optional[int] = None,
+        queue_mode: str = "pow2",
+        ring_discard: bool = False,
+    ):
+        if r < 8:
+            raise ValueError("AdaptiveHull requires r >= 8 (Lemma 5.1 needs r > 2*pi)")
+        self.r = r
+        self.theta0 = 2.0 * math.pi / r
+        if height_limit is None:
+            height_limit = max(1, round(math.log2(r)))
+        if height_limit < 0:
+            raise ValueError("height_limit must be >= 0")
+        self.k = height_limit
+        self.queue_mode = queue_mode
+        self.ring_discard = ring_discard
+        self.ring_discards = 0
+        self._uniform = UniformHull(r)
+        self._roots: List[Optional[RefinementNode]] = [None] * r
+        self._queue = make_threshold_queue(queue_mode)
+        self._hull: List[Point] = []
+        self._vec_cache: Dict[DyadicDirection, Vector] = {}
+        self.points_seen = 0
+        self.points_processed = 0
+        self.refinements = 0
+        self.unrefinements = 0
+        self.nodes_visited = 0
+
+    # -- HullSummary interface ----------------------------------------------
+
+    def insert(self, p: Point) -> bool:
+        """Process one stream point.
+
+        Step 1 of Algorithm AdaptiveHull: discard points inside the
+        current approximate hull.  Surviving points update the uniform
+        extrema (step 2), trigger queue-driven unrefinement as the
+        perimeter grows (step 4), and rebuild the affected refinement
+        trees (steps 3 and 5).
+        """
+        check_point(p)
+        self.points_seen += 1
+        if self._hull and contains_point(self._hull, p):
+            return False
+        if self.ring_discard and self._inside_ring(p):
+            self.ring_discards += 1
+            return False
+        self.points_processed += 1
+        uniform_changed = self._uniform.offer(p)
+        if uniform_changed:
+            self._drain_queue()
+        for j in range(self.r):
+            self._sync_tree(j, p)
+        self._rebuild_hull()
+        return True
+
+    def hull(self) -> List[Point]:
+        """Convex hull of the current sample points (CCW, cached)."""
+        return self._hull
+
+    def samples(self) -> List[Point]:
+        """Distinct stored sample points: the uniform extrema plus one
+        extremum per refined (internal) tree node.  Theorem 5.4 bounds
+        this at ``2r + 1``."""
+        out = dict.fromkeys(self._uniform.samples())
+        for root in self._roots:
+            if root is None:
+                continue
+            for node in root.iter_internal():
+                if node.t is not None:
+                    out.setdefault(node.t, None)
+        return list(out)
+
+    # -- structure accounting ------------------------------------------------
+
+    @property
+    def active_direction_count(self) -> int:
+        """Currently active sampling directions: r uniform + one per
+        internal refinement node."""
+        return self.r + self.internal_node_count
+
+    @property
+    def internal_node_count(self) -> int:
+        """Total refined (internal) nodes across all trees."""
+        return sum(
+            sum(1 for _ in root.iter_internal())
+            for root in self._roots
+            if root is not None
+        )
+
+    @property
+    def perimeter(self) -> float:
+        """Perimeter P of the underlying uniformly sampled hull."""
+        return self._uniform.perimeter
+
+    @property
+    def uniform_layer(self) -> UniformHull:
+        """The underlying uniformly sampled hull (read-only use)."""
+        return self._uniform
+
+    def leaf_triangles(self) -> Iterator[UncertaintyTriangle]:
+        """Uncertainty triangles of the adaptive hull's leaf edges.
+
+        The union of these triangles is the uncertainty ring: the true
+        hull lies between the sample hull and the ring boundary.  Vertex
+        nodes (collapsed edges) are skipped — their triangles are empty.
+        """
+        for j in range(self.r):
+            root = self._roots[j]
+            if root is None:
+                continue
+            for leaf in root.iter_leaves():
+                if leaf.is_vertex:
+                    continue
+                yield triangle_for_edge(
+                    leaf.a, leaf.b, self._dir_vec(leaf.lo), self._dir_vec(leaf.hi)
+                )
+
+    def node_weight(self, node: RefinementNode) -> float:
+        """Current sample weight of a tree node (diagnostics/ablation)."""
+        return sample_weight(
+            self._ell_tilde(node), self._uniform.perimeter, self.r, node.depth
+        )
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if a structural invariant is violated.
+
+        Used by the test suite and failure-injection tests: endpoint
+        consistency along each tree, depth bounds, and the sample-size
+        bound of Theorem 5.4.
+        """
+        assert len(self.samples()) <= 2 * self.r + 1, "sample budget exceeded"
+        for j in range(self.r):
+            root = self._roots[j]
+            if root is None:
+                continue
+            a = self._uniform.extreme(j)
+            b = self._uniform.extreme(j + 1)
+            assert root.a == a and root.b == b, "root endpoints out of sync"
+            self._check_node(root)
+
+    def _check_node(self, node: RefinementNode) -> None:
+        assert node.alive
+        assert node.depth <= self.k
+        if node.is_leaf:
+            return
+        assert node.left is not None and node.right is not None
+        assert node.left.a == node.a and node.left.b == node.t
+        assert node.right.a == node.t and node.right.b == node.b
+        assert node.left.depth == node.depth + 1
+        self._check_node(node.left)
+        self._check_node(node.right)
+
+    # -- internals -----------------------------------------------------------
+
+    def _inside_ring(self, p: Point) -> bool:
+        """Is ``p`` inside some leaf uncertainty triangle?
+
+        Called only for points already outside the sample hull, so
+        membership in the ring reduces to membership in a triangle.
+        O(r) over the leaf edges; such points are rare, and a ring hit
+        saves the full tree update.
+        """
+        from ..geometry.predicates import point_in_triangle
+
+        for t in self.leaf_triangles():
+            if t.apex is None:
+                continue
+            if point_in_triangle(p, t.a, t.apex, t.b):
+                return True
+        return False
+
+    def _dir_vec(self, d: DyadicDirection) -> Vector:
+        v = self._vec_cache.get(d)
+        if v is None:
+            v = d.vector
+            self._vec_cache[d] = v
+        return v
+
+    def _ell_tilde(self, node: RefinementNode) -> float:
+        return triangle_for_edge(
+            node.a, node.b, self._dir_vec(node.lo), self._dir_vec(node.hi)
+        ).ell_tilde
+
+    def _effective_threshold(self, node: RefinementNode) -> tuple:
+        """(effective, exact) perimeter thresholds for a node's weight."""
+        thr = refine_threshold(self._ell_tilde(node), self.r, node.depth)
+        return self._queue.effective_threshold(thr), thr
+
+    def _sync_tree(self, j: int, p: Optional[Point]) -> None:
+        """Steps 3 and 5 for the tree over uniform edge j."""
+        a = self._uniform.extreme(j)
+        b = self._uniform.extreme(j + 1)
+        root = self._roots[j]
+        if a is None or b is None:
+            return
+        if a == b:
+            # Step 3: the uniform edge became trivial; delete its tree.
+            if root is not None:
+                root.kill()
+                self._roots[j] = None
+            return
+        if root is None or not root.alive:
+            root = RefinementNode(
+                DyadicDirection.uniform(j, self.r),
+                DyadicDirection.uniform(j + 1, self.r),
+                a,
+                b,
+                0,
+            )
+            self._roots[j] = root
+        else:
+            root.a = a
+            root.b = b
+        self._fix(root, p)
+
+    def _fix(self, node: RefinementNode, p: Optional[Point]) -> None:
+        """Restore the weight invariant in a subtree after endpoint
+        updates: replace beaten extrema with ``p``, unrefine nodes whose
+        threshold the perimeter has passed, refine leaves whose weight
+        climbed above 1 (step 5 of the algorithm)."""
+        self.nodes_visited += 1
+        perim = self._uniform.perimeter
+        if node.a == node.b:
+            # Collapsed range: a vertex node stores no children.
+            if not node.is_leaf:
+                node.unrefine()
+                self.unrefinements += 1
+            return
+        if node.is_leaf:
+            self._try_refine(node)
+            return
+        # Internal node: the bisecting direction is active; let p compete.
+        mv = node.mid_vector
+        assert node.t is not None
+        if p is not None and dot(p, mv) > dot(node.t, mv):
+            node.t = p
+        if self._should_unrefine(node, perim):
+            node.unrefine()
+            self.unrefinements += 1
+            return
+        assert node.left is not None and node.right is not None
+        node.left.a = node.a
+        node.left.b = node.t
+        node.right.a = node.t
+        node.right.b = node.b
+        self._fix(node.left, p)
+        self._fix(node.right, p)
+
+    def _should_unrefine(self, node: RefinementNode, perim: float) -> bool:
+        """Unrefinement policy: collapse once P passes the node threshold.
+
+        Overridden by the fixed-size variant, which manages refinement by
+        a global budget instead of per-node thresholds.
+        """
+        eff, _thr = self._effective_threshold(node)
+        return perim >= eff
+
+    def _try_refine(self, node: RefinementNode) -> None:
+        """Refine a leaf (recursively) while its weight exceeds 1 and the
+        height limit allows (step 5c)."""
+        if node.is_vertex or node.depth >= self.k:
+            return
+        perim = self._uniform.perimeter
+        if perim <= 0.0:
+            return
+        eff, thr = self._effective_threshold(node)
+        if perim >= eff:
+            return
+        # New sampling direction: extremum among the stored candidates.
+        mv = node.mid_vector
+        t = node.a if dot(node.a, mv) >= dot(node.b, mv) else node.b
+        node.refine(t)
+        self.refinements += 1
+        self._queue.push(thr, node)
+        assert node.left is not None and node.right is not None
+        self.nodes_visited += 2
+        self._try_refine(node.left)
+        self._try_refine(node.right)
+
+    def _drain_queue(self) -> None:
+        """Step 4: unrefine nodes whose perimeter threshold has passed.
+
+        Entries are lazy: dead or already-collapsed nodes are skipped,
+        and nodes whose edge grew (threshold moved outward) are re-queued
+        at their new threshold.
+        """
+        perim = self._uniform.perimeter
+        requeue = []
+        for node in self._queue.pop_due(perim):
+            if not node.alive or node.is_leaf:
+                continue
+            eff, thr = self._effective_threshold(node)
+            if perim >= eff:
+                node.unrefine()
+                self.unrefinements += 1
+            else:
+                requeue.append((thr, node))
+        for thr, node in requeue:
+            self._queue.push(thr, node)
+
+    def _rebuild_hull(self) -> None:
+        self._hull = convex_hull(self.samples())

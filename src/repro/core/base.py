@@ -1,0 +1,72 @@
+"""Common interface for streaming hull summaries.
+
+Every summary in this library — the paper's adaptive hull, the uniform
+hull, and all baselines — implements :class:`HullSummary`, so the query
+layer, the experiment harness, and the trackers are agnostic to which
+scheme produced the summary.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterable, List
+
+from ..geometry.vec import Point
+
+__all__ = ["HullSummary", "check_point"]
+
+
+def check_point(p: Point) -> Point:
+    """Validate one stream point: a pair of finite floats.
+
+    NaN or infinite coordinates would silently poison every orientation
+    predicate downstream, so summaries reject them at the boundary.
+
+    Raises:
+        ValueError: on non-finite coordinates.
+        TypeError: on inputs that are not 2-sequences of numbers.
+    """
+    try:
+        x = float(p[0])
+        y = float(p[1])
+    except (TypeError, ValueError, IndexError, KeyError) as exc:
+        raise TypeError(f"stream point must be an (x, y) pair, got {p!r}") from exc
+    if not (math.isfinite(x) and math.isfinite(y)):
+        raise ValueError(f"stream point must be finite, got {p!r}")
+    return p
+
+
+class HullSummary(abc.ABC):
+    """A single-pass summary of a 2-D point stream.
+
+    Subclasses maintain a bounded sample of the stream whose convex hull
+    approximates the true convex hull from the inside (every sample is an
+    input point, so the approximate hull never overshoots).
+    """
+
+    #: Human-readable scheme name for experiment reports.
+    name: str = "summary"
+
+    @abc.abstractmethod
+    def insert(self, p: Point) -> bool:
+        """Process one stream point; return True if the summary changed."""
+
+    @abc.abstractmethod
+    def hull(self) -> List[Point]:
+        """The approximate convex hull as a CCW convex polygon."""
+
+    @abc.abstractmethod
+    def samples(self) -> List[Point]:
+        """The currently stored sample points (distinct)."""
+
+    @property
+    def sample_size(self) -> int:
+        """Number of stored sample points."""
+        return len(self.samples())
+
+    def extend(self, points: Iterable[Point]) -> "HullSummary":
+        """Insert every point of an iterable; returns self for chaining."""
+        for p in points:
+            self.insert(p)
+        return self

@@ -1,0 +1,184 @@
+"""Refinement trees (Section 5.1).
+
+The adaptively sampled hull refines each edge of the uniformly sampled
+hull through a binary tree over dyadic angular ranges.  Each node covers
+a range ``[lo, hi]`` (both :class:`~repro.geometry.directions.
+DyadicDirection`), stores the hull edge ``(a, b)`` whose endpoints are
+the extrema in those two directions, and — when refined — the extremum
+``t`` in the bisecting direction together with two children covering the
+half-ranges.
+
+Node taxonomy (matching the paper):
+
+* **edge leaf** — an unrefined range with ``a != b``; contributes one
+  edge (and one uncertainty triangle) to the adaptive hull.
+* **vertex node** — a range whose extremum collapsed onto a single
+  point (``a == b``); a "zero-length edge that is not refined further".
+* **internal node** — a refined range; its own edge data stays current
+  so its weight/threshold can be re-evaluated for unrefinement.
+
+The tree height is capped at ``k <= log2 r`` (Section 5.1): ``k = 0``
+degenerates to uniform sampling, ``k = log2 r`` gives the full O(D/r^2)
+error bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..geometry.directions import DyadicDirection
+from ..geometry.vec import Point, Vector
+
+__all__ = ["RefinementNode"]
+
+
+class RefinementNode:
+    """One node of a refinement tree.
+
+    Attributes:
+        lo, hi: the dyadic directions bounding the angular range.
+        a, b: sample points extreme in ``lo`` / ``hi`` respectively.
+        depth: refinement depth (the range spans ``theta0 / 2**depth``).
+        mid: bisecting direction (set when the node is refined).
+        t: extremum stored for ``mid`` (== left.b == right.a).
+        left, right: children (None for leaves).
+        alive: False once the node has been removed from its tree —
+            stale queue entries check this flag (lazy deletion).
+    """
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "a",
+        "b",
+        "depth",
+        "mid",
+        "t",
+        "left",
+        "right",
+        "alive",
+        "_mid_vec",
+    )
+
+    def __init__(
+        self,
+        lo: DyadicDirection,
+        hi: DyadicDirection,
+        a: Point,
+        b: Point,
+        depth: int,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.a = a
+        self.b = b
+        self.depth = depth
+        self.mid: Optional[DyadicDirection] = None
+        self.t: Optional[Point] = None
+        self.left: Optional["RefinementNode"] = None
+        self.right: Optional["RefinementNode"] = None
+        self.alive = True
+        self._mid_vec: Optional[Vector] = None
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return self.left is None
+
+    @property
+    def is_vertex(self) -> bool:
+        """True for a collapsed (zero-length edge) node."""
+        return self.a == self.b
+
+    @property
+    def mid_vector(self) -> Vector:
+        """Unit vector of the bisecting direction (computed on demand)."""
+        if self._mid_vec is None:
+            if self.mid is None:
+                self.mid = self.lo.bisect(self.hi)
+            self._mid_vec = self.mid.vector
+        return self._mid_vec
+
+    # -- tree surgery -------------------------------------------------------
+
+    def refine(self, t: Point) -> None:
+        """Split this leaf at its bisecting direction with extremum ``t``.
+
+        Children inherit the endpoint extrema; ``t`` becomes the shared
+        endpoint.  Caller is responsible for having chosen ``t`` as the
+        extremum among the stored candidates (Section 5.2, step 5c).
+        """
+        if not self.is_leaf:
+            raise ValueError("refine called on an internal node")
+        m = self.mid if self.mid is not None else self.lo.bisect(self.hi)
+        self.mid = m
+        self.t = t
+        self.left = RefinementNode(self.lo, m, self.a, t, self.depth + 1)
+        self.right = RefinementNode(m, self.hi, t, self.b, self.depth + 1)
+
+    def unrefine(self) -> None:
+        """Collapse this internal node back into a leaf.
+
+        The entire subtree below is marked dead so stale threshold-queue
+        entries can be recognised and dropped.
+        """
+        if self.is_leaf:
+            return
+        for child in (self.left, self.right):
+            if child is not None:
+                child.kill()
+        self.left = None
+        self.right = None
+        self.t = None
+
+    def kill(self) -> None:
+        """Mark this node and its whole subtree as removed."""
+        self.alive = False
+        if self.left is not None:
+            self.left.kill()
+        if self.right is not None:
+            self.right.kill()
+
+    # -- traversal ------------------------------------------------------------
+
+    def iter_leaves(self) -> Iterator["RefinementNode"]:
+        """Yield the leaf nodes of this subtree in angular (CCW) order."""
+        if self.is_leaf:
+            yield self
+        else:
+            assert self.left is not None and self.right is not None
+            yield from self.left.iter_leaves()
+            yield from self.right.iter_leaves()
+
+    def iter_internal(self) -> Iterator["RefinementNode"]:
+        """Yield the internal nodes of this subtree (pre-order)."""
+        if not self.is_leaf:
+            yield self
+            assert self.left is not None and self.right is not None
+            yield from self.left.iter_internal()
+            yield from self.right.iter_internal()
+
+    def count_nodes(self) -> int:
+        """Total number of nodes in this subtree."""
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.count_nodes() + self.right.count_nodes()
+
+    def height(self) -> int:
+        """Height of this subtree (0 for a leaf)."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.height(), self.right.height())
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        if self.is_vertex:
+            kind = "vertex"
+        return (
+            f"RefinementNode({kind}, depth={self.depth}, "
+            f"lo={self.lo!r}, hi={self.hi!r})"
+        )

@@ -1,0 +1,186 @@
+"""Static adaptive sampling (Section 4).
+
+The offline version of the paper's scheme, for a *fixed* point set:
+
+1. take the extrema in the ``r`` uniform directions,
+2. fix ``P`` = perimeter of the uniformly sampled hull,
+3. repeatedly pick any edge with sample weight ``w(e) > 1`` and refine
+   it — bisect its angular range and find the true extremum in the new
+   direction (the full point set is available, unlike in streaming).
+   If the extremum is distinct from both endpoints it becomes a new
+   sample; otherwise only the edge's angular range is halved.
+
+Lemma 4.1 guarantees each refinement decreases the total positive
+weight by at least 1, so at most ``r + 1`` extrema are added
+(Lemma 4.2), and on termination every uncertainty triangle has height
+``O(D / r^2)`` (Lemma 4.3).
+
+This module is both the reference implementation the streaming
+algorithm is tested against and a useful batch tool in its own right
+(e.g. compressing a stored point set to a 2r+1-point hull sketch with
+the paper's guarantee).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..geometry.directions import DyadicDirection
+from ..geometry.hull import convex_hull
+from ..geometry.polygon import perimeter as polygon_perimeter
+from ..geometry.vec import Point, Vector, dot, unit
+from .refinement import RefinementNode
+from .uncertainty import UncertaintyTriangle, triangle_for_edge
+from .weights import refine_threshold
+
+__all__ = ["StaticAdaptiveResult", "adaptive_sample"]
+
+
+@dataclass
+class StaticAdaptiveResult:
+    """Output of the offline adaptive sampling procedure.
+
+    Attributes:
+        r: the uniform direction count used.
+        samples: all sample points (uniform extrema + adaptive extrema).
+        added_extrema: the adaptively added samples only (Lemma 4.2
+            bounds their number by r + 1).
+        hull: convex hull of the samples (the approximate hull).
+        perimeter: the fixed perimeter P of the uniformly sampled hull.
+        refinements: total refinement steps performed (Lemma 4.1 bounds
+            these by the initial total weight, about r).
+        roots: the refinement forest (for inspection/visualisation).
+    """
+
+    r: int
+    samples: List[Point]
+    added_extrema: List[Point]
+    hull: List[Point]
+    perimeter: float
+    refinements: int
+    roots: List[Optional[RefinementNode]]
+
+    def leaf_triangles(self) -> Iterator[UncertaintyTriangle]:
+        """Uncertainty triangles of the final adaptive hull's edges."""
+        for root in self.roots:
+            if root is None:
+                continue
+            for leaf in root.iter_leaves():
+                if leaf.is_vertex:
+                    continue
+                yield triangle_for_edge(
+                    leaf.a, leaf.b, leaf.lo.vector, leaf.hi.vector
+                )
+
+
+def _extremum(points: Sequence[Point], d: Vector) -> Point:
+    """The true extremum of the point set in direction ``d``."""
+    best = points[0]
+    best_val = dot(best, d)
+    for p in points:
+        v = dot(p, d)
+        if v > best_val:
+            best = p
+            best_val = v
+    return best
+
+
+def adaptive_sample(
+    points: Sequence[Point],
+    r: int,
+    height_limit: Optional[int] = None,
+) -> StaticAdaptiveResult:
+    """Run Section 4's adaptive sampling on a fixed point set.
+
+    Args:
+        points: the full point set (at least one point).
+        r: uniform direction count (>= 8, as for the streaming version).
+        height_limit: optional refinement depth cap (the paper's static
+            procedure has none; Lemma 4.1 already bounds the work).
+
+    Returns:
+        A :class:`StaticAdaptiveResult`.
+
+    Raises:
+        ValueError: on empty input or r < 8.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("adaptive_sample needs at least one point")
+    if r < 8:
+        raise ValueError("adaptive_sample requires r >= 8")
+    theta0 = 2.0 * math.pi / r
+
+    # Step 1: uniform extrema and the fixed perimeter P.
+    dirs = [unit(j * theta0) for j in range(r)]
+    extreme = [_extremum(pts, d) for d in dirs]
+    uniform_hull = convex_hull(extreme)
+    perim = polygon_perimeter(uniform_hull)
+
+    samples = dict.fromkeys(extreme)
+    added: List[Point] = []
+    refinements = 0
+    roots: List[Optional[RefinementNode]] = [None] * r
+
+    if perim <= 0.0:
+        # All points coincide: nothing to refine.
+        return StaticAdaptiveResult(
+            r, list(samples), [], convex_hull(samples), perim, 0, roots
+        )
+
+    # Step 2: build the root forest and refine while any weight > 1.
+    work: List[RefinementNode] = []
+    for j in range(r):
+        a, b = extreme[j], extreme[(j + 1) % r]
+        if a == b:
+            continue
+        node = RefinementNode(
+            DyadicDirection.uniform(j, r),
+            DyadicDirection.uniform(j + 1, r),
+            a,
+            b,
+            0,
+        )
+        roots[j] = node
+        work.append(node)
+
+    while work:
+        node = work.pop()
+        if node.is_vertex:
+            continue
+        if height_limit is not None and node.depth >= height_limit:
+            continue
+        ell = triangle_for_edge(
+            node.a, node.b, node.lo.vector, node.hi.vector
+        ).ell_tilde
+        if perim >= refine_threshold(ell, r, node.depth):
+            continue  # w(e) <= 1
+        # Refine: true extremum in the bisecting direction.
+        mv = node.mid_vector
+        t = _extremum(pts, mv)
+        # Ties with an endpoint collapse onto that endpoint (the paper's
+        # "if p is the same as an endpoint, halve the angular range").
+        # t is the argmax, so these trigger only on exact support ties.
+        if dot(node.b, mv) >= dot(t, mv):
+            t = node.b
+        if dot(node.a, mv) >= dot(t, mv):
+            t = node.a
+        node.refine(t)
+        refinements += 1
+        if t not in samples:
+            samples[t] = None
+            added.append(t)
+        work.append(node.left)
+        work.append(node.right)
+
+    return StaticAdaptiveResult(
+        r=r,
+        samples=list(samples),
+        added_extrema=added,
+        hull=convex_hull(samples),
+        perimeter=perim,
+        refinements=refinements,
+        roots=roots,
+    )

@@ -1,0 +1,114 @@
+"""Uncertainty triangles (Section 2 of the paper).
+
+For a sampled-hull edge ``pq`` whose endpoints are extreme in directions
+``theta_p`` and ``theta_q``, the *uncertainty triangle* is bounded by the
+segment ``pq`` and the two supporting lines (perpendicular to the
+extremal directions, through the respective endpoints).  Every vertex of
+the true hull collapsed into ``pq`` lies inside this triangle, so its
+height bounds the local approximation error, and the ring of all
+uncertainty triangles sandwiches the true hull.
+
+This module computes, for an edge with its two supporting directions:
+
+* the triangle apex (intersection of the supporting lines),
+* ``ell_tilde`` — the total length of the two non-edge sides, the
+  quantity the paper's sample weight uses (Section 4),
+* the triangle height — the error bound for the edge (Eq. 1).
+
+All functions take the supporting directions as unit vectors and are
+robust to the degeneracies that arise in streams: coincident endpoints
+(vertex nodes), near-parallel supporting lines (tiny angular ranges),
+and numerically inconsistent supports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Optional
+
+from ..geometry.segment import point_line_distance
+from ..geometry.vec import Point, Vector, cross, dist, dot
+
+__all__ = ["UncertaintyTriangle", "triangle_for_edge", "apex_point"]
+
+_PARALLEL_EPS = 1e-14
+
+
+class UncertaintyTriangle(NamedTuple):
+    """The uncertainty triangle of one sampled-hull edge.
+
+    Attributes:
+        a: first edge endpoint (extreme in the low direction).
+        b: second edge endpoint (extreme in the high direction).
+        apex: intersection of the two supporting lines, or None when the
+            triangle is degenerate (a == b, or the lines are parallel).
+        height: distance from the apex to the edge line — the error
+            bound for this edge (0 for degenerate triangles).
+        ell_tilde: total length of the two non-edge sides; never smaller
+            than ``|ab|`` for a proper triangle, and defined as ``|ab|``
+            in the degenerate parallel case (the triangle flattens onto
+            the edge).
+    """
+
+    a: Point
+    b: Point
+    apex: Optional[Point]
+    height: float
+    ell_tilde: float
+
+
+def apex_point(
+    a: Point, b: Point, u_lo: Vector, u_hi: Vector
+) -> Optional[Point]:
+    """Intersection of the supporting lines at ``a`` (normal ``u_lo``)
+    and ``b`` (normal ``u_hi``).
+
+    The supporting line at an extremum ``p`` with outward unit normal
+    ``u`` is ``{x : u . x = u . p}``.  Returns None when the normals are
+    (near-)parallel.
+    """
+    denom = cross(u_lo, u_hi)
+    if abs(denom) <= _PARALLEL_EPS:
+        return None
+    c1 = dot(u_lo, a)
+    c2 = dot(u_hi, b)
+    x = (c1 * u_hi[1] - c2 * u_lo[1]) / denom
+    y = (c2 * u_lo[0] - c1 * u_hi[0]) / denom
+    return (x, y)
+
+
+def triangle_for_edge(
+    a: Point, b: Point, u_lo: Vector, u_hi: Vector
+) -> UncertaintyTriangle:
+    """Uncertainty triangle of edge ``ab`` with supporting normals
+    ``u_lo`` (at ``a``) and ``u_hi`` (at ``b``).
+
+    Degenerate cases:
+
+    * ``a == b`` (a vertex node): zero-size triangle, zero error.
+    * parallel supporting lines: the angular range is numerically zero,
+      the triangle flattens; ``ell_tilde = |ab|`` and height 0.
+    * a numerically inverted apex (below the edge): clamped to the flat
+      triangle, since the true chain cannot be below the edge.
+    """
+    if a == b:
+        return UncertaintyTriangle(a, b, None, 0.0, 0.0)
+    edge_len = dist(a, b)
+    apex = apex_point(a, b, u_lo, u_hi)
+    if apex is None:
+        return UncertaintyTriangle(a, b, None, 0.0, edge_len)
+    ell = dist(a, apex) + dist(apex, b)
+    if ell < edge_len:
+        # Numerical noise: the two sides can never be shorter than the base.
+        ell = edge_len
+    height = point_line_distance(apex, a, b)
+    # The apex must be on the outer side of the edge (the chain bulges
+    # outward).  With exact extremal invariants this always holds; clamp
+    # defensively against floating-point inversions.
+    outward = cross((b[0] - a[0], b[1] - a[1]), (apex[0] - a[0], apex[1] - a[1]))
+    if outward > 0.0:
+        # Apex strictly left of a->b.  Sampled hulls are CCW, so the
+        # outside is the left of each directed edge; this is the normal
+        # orientation.
+        pass
+    return UncertaintyTriangle(a, b, apex, height, ell)

@@ -1,0 +1,171 @@
+"""The uniformly sampled hull (Section 3).
+
+Maintains the extreme input point in each of ``r`` fixed, evenly spaced
+directions ``j * theta0`` (``theta0 = 2*pi/r``).  The convex hull of
+these extrema approximates the true hull with error O(D/r) (Lemma 3.2)
+and approximates the diameter within a ``1 + O(1/r^2)`` factor
+(Lemma 3.1).  This is both the base layer of the adaptive scheme and —
+run with parameter ``2r`` — the principal comparator in the paper's
+experiments.
+
+Update cost: a point inside the current sample hull is discarded after
+an O(log r) containment test.  A point outside triggers an O(r) pass
+over the fixed directions plus an O(r log r) hull-cache rebuild.  Over
+the random streams of the paper's experiments, hull-changing points are
+a vanishing fraction of the stream, so the amortized cost per point is
+O(log r) in practice; the worst-case per-point cost is O(r) (the paper's
+"straightforward implementation" of Section 3.1; its O(log r) worst-case
+variant trades considerable bookkeeping for the same amortized result —
+see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..geometry.hull import convex_hull
+from ..geometry.polygon import contains_point, perimeter as polygon_perimeter
+from ..geometry.vec import Point, Vector, dot, unit
+from .base import HullSummary, check_point
+
+__all__ = ["UniformHull"]
+
+
+class UniformHull(HullSummary):
+    """Extrema of the stream in ``r`` fixed, evenly spaced directions.
+
+    Args:
+        r: number of sampling directions (>= 3; the paper assumes r even
+            when pairing opposite directions for the diameter, and >= 8
+            is sensible in practice).
+
+    Attributes:
+        r: the direction count.
+        theta0: angular spacing ``2*pi / r``.
+        points_seen: total points offered to the summary.
+        points_processed: points that survived the fast discard and were
+            tested against every direction (an operation-count proxy for
+            the amortized analysis).
+    """
+
+    name = "uniform"
+
+    def __init__(self, r: int):
+        if r < 3:
+            raise ValueError("UniformHull requires r >= 3 directions")
+        self.r = r
+        self.theta0 = 2.0 * math.pi / r
+        self._dirs: List[Vector] = [unit(j * self.theta0) for j in range(r)]
+        self._extreme: List[Optional[Point]] = [None] * r
+        self._support: List[float] = [-math.inf] * r
+        self._hull: List[Point] = []
+        self._perimeter = 0.0
+        self.points_seen = 0
+        self.points_processed = 0
+
+    # -- HullSummary interface -------------------------------------------
+
+    def insert(self, p: Point) -> bool:
+        """Process one stream point (with the fast containment discard).
+
+        Raises:
+            ValueError / TypeError: on non-finite or malformed points.
+        """
+        check_point(p)
+        self.points_seen += 1
+        if self._hull and contains_point(self._hull, p):
+            return False
+        return self._offer(p)
+
+    def hull(self) -> List[Point]:
+        """Convex hull of the stored extrema (CCW, cached)."""
+        return self._hull
+
+    def samples(self) -> List[Point]:
+        """Distinct stored extrema."""
+        return list(dict.fromkeys(e for e in self._extreme if e is not None))
+
+    # -- uniform-hull specifics ---------------------------------------------
+
+    def offer(self, p: Point) -> bool:
+        """Update the extrema with ``p`` without the containment fast path.
+
+        Used by the adaptive hull, which performs its own (larger-hull)
+        discard test before delegating here.  Returns True if any
+        direction's extremum changed.
+        """
+        return self._offer(p)
+
+    def _offer(self, p: Point) -> bool:
+        self.points_processed += 1
+        changed = False
+        for j in range(self.r):
+            s = p[0] * self._dirs[j][0] + p[1] * self._dirs[j][1]
+            if s > self._support[j]:
+                self._support[j] = s
+                self._extreme[j] = p
+                changed = True
+        if changed:
+            self._rebuild()
+        return changed
+
+    def _rebuild(self) -> None:
+        self._hull = convex_hull(
+            e for e in self._extreme if e is not None
+        )
+        self._perimeter = polygon_perimeter(self._hull)
+
+    @property
+    def perimeter(self) -> float:
+        """Perimeter P of the sample hull (degenerate hulls measure the
+        out-and-back boundary, e.g. ``2 * length`` for a segment)."""
+        return self._perimeter
+
+    def extreme(self, j: int) -> Optional[Point]:
+        """The stored extremum in direction ``j * theta0`` (None before
+        any point has arrived)."""
+        return self._extreme[j % self.r]
+
+    def support(self, j: int) -> float:
+        """The support value ``max dot(p, u_j)`` over processed points."""
+        return self._support[j % self.r]
+
+    def direction(self, j: int) -> Vector:
+        """Unit vector of sampling direction ``j``."""
+        return self._dirs[j % self.r]
+
+    def beats(self, p: Point, j: int) -> bool:
+        """Would ``p`` strictly improve the extremum in direction ``j``?"""
+        return dot(p, self._dirs[j % self.r]) > self._support[j % self.r]
+
+    def edge_triangles(self):
+        """Uncertainty triangles of the uniformly sampled hull's edges.
+
+        For every adjacent direction pair ``(j, j+1)`` whose extrema
+        differ, yields the triangle bounded by the connecting edge and
+        the two supporting lines (angular range exactly ``theta0``).
+        Together these form the uniform hull's uncertainty ring
+        (Lemma 3.2: heights are O(D/r)).
+        """
+        from .uncertainty import triangle_for_edge
+
+        for j in range(self.r):
+            a = self._extreme[j]
+            b = self._extreme[(j + 1) % self.r]
+            if a is None or b is None or a == b:
+                continue
+            yield triangle_for_edge(
+                a, b, self._dirs[j], self._dirs[(j + 1) % self.r]
+            )
+
+    def sampled_extent(self, j: int) -> float:
+        """Extent along direction ``j`` between the stored extrema of the
+        opposite sampled directions ``j`` and ``j + r/2`` (requires even
+        ``r``); ``0`` before any data."""
+        if self.r % 2 != 0:
+            raise ValueError("opposite-direction extent requires even r")
+        opp = (j + self.r // 2) % self.r
+        if self._extreme[j % self.r] is None:
+            return 0.0
+        return self._support[j % self.r] + self._support[opp]

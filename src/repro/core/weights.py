@@ -1,0 +1,83 @@
+"""Sample weights and refinement thresholds (Section 4 / 5.3).
+
+The adaptive scheme assigns each hull edge ``e`` the weight
+
+    w(e) = r * ell_tilde(e) / P  -  log2(theta0 / theta(e)),
+
+where ``P`` is the perimeter of the uniformly sampled hull, ``ell_tilde``
+the two non-edge sides of the edge's uncertainty triangle, and
+``theta(e)`` its angular range.  Refinement always bisects the range, so
+``log2(theta0 / theta(e))`` is simply the edge's refinement depth ``d``.
+
+An edge is refined while ``w(e) > 1``, which rearranges to a *threshold*
+on the (monotonically growing) perimeter:
+
+    w(e) > 1   <=>   P < r * ell_tilde(e) / (1 + d) = Thresh(e).
+
+The streaming algorithm stores ``Thresh(e)`` for every refined node in a
+threshold queue and unrefines once ``P`` passes it (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["sample_weight", "refine_threshold", "needs_refinement"]
+
+
+def sample_weight(ell_tilde: float, perimeter: float, r: int, depth: int) -> float:
+    """The paper's edge weight ``w(e)``.
+
+    Args:
+        ell_tilde: two-sided uncertainty-triangle length of the edge.
+        perimeter: perimeter P of the uniformly sampled hull (> 0).
+        r: number of uniform sampling directions.
+        depth: refinement depth d of the edge (0 for uniform-hull edges).
+
+    Returns:
+        The weight; ``-inf`` when the perimeter is still zero (all points
+        coincident — nothing can or need be refined).
+    """
+    if perimeter <= 0.0:
+        return -math.inf
+    return r * ell_tilde / perimeter - depth
+
+
+def refine_threshold(ell_tilde: float, r: int, depth: int) -> float:
+    """Perimeter value at which the edge's weight drops to exactly 1.
+
+    The edge should be refined while ``P < refine_threshold`` and
+    unrefined once ``P`` reaches it.
+    """
+    return r * ell_tilde / (1.0 + depth)
+
+
+def needs_refinement(
+    ell_tilde: float,
+    perimeter: float,
+    r: int,
+    depth: int,
+    height_limit: int,
+    effective_threshold: float | None = None,
+) -> bool:
+    """Whether an edge node must be refined under the streaming policy.
+
+    Combines the weight criterion (``w(e) > 1``, expressed through the
+    perimeter threshold so the same value drives the unrefinement queue)
+    with the refinement-tree height limit ``k`` (Section 5.1).
+
+    Args:
+        effective_threshold: optional pre-rounded threshold (the
+            power-of-two value when the Matias queue is in use); defaults
+            to the exact threshold.
+    """
+    if depth >= height_limit:
+        return False
+    if perimeter <= 0.0:
+        return False
+    thresh = (
+        effective_threshold
+        if effective_threshold is not None
+        else refine_threshold(ell_tilde, r, depth)
+    )
+    return perimeter < thresh

@@ -1,0 +1,52 @@
+"""Experiment harness: Table 1, scaling laws, lower bound, figures."""
+
+from .metrics import (
+    QualityMetrics,
+    evaluate_summary,
+    hull_distance,
+    outside_stats,
+    triangle_heights,
+)
+from .table1 import (
+    DEFAULT_N,
+    DEFAULT_R,
+    ROTATIONS,
+    THETA0,
+    Table1Row,
+    format_table1,
+    run_table1,
+    run_workload,
+    table1_workloads,
+)
+from .scaling import (
+    ScalingPoint,
+    WorkPoint,
+    error_scaling,
+    loglog_slope,
+    work_per_point,
+)
+from .lower_bound import (
+    LowerBoundPoint,
+    lower_bound_sweep,
+    optimal_subsample_error,
+)
+from .figures import make_fig10
+from .report import (
+    full_report,
+    lower_bound_markdown,
+    scaling_markdown,
+    table1_markdown,
+)
+
+__all__ = [
+    "QualityMetrics", "evaluate_summary", "hull_distance", "outside_stats",
+    "triangle_heights",
+    "Table1Row", "run_table1", "run_workload", "table1_workloads",
+    "format_table1", "DEFAULT_N", "DEFAULT_R", "ROTATIONS", "THETA0",
+    "ScalingPoint", "WorkPoint", "error_scaling", "loglog_slope",
+    "work_per_point",
+    "LowerBoundPoint", "lower_bound_sweep", "optimal_subsample_error",
+    "make_fig10",
+    "table1_markdown", "scaling_markdown", "lower_bound_markdown",
+    "full_report",
+]

@@ -1,0 +1,73 @@
+"""The Omega(D / r^2) lower bound (Theorem 5.5).
+
+If 2r points lie evenly spaced on a circle and only r of them can be
+kept, some dropped point lies at distance Theta(D / r^2) from the hull
+of any kept subset.  This module computes, for the best possible
+sample (alternate points — by symmetry the optimal choice), the exact
+error, and compares it against what the adaptive summary achieves on
+the same stream: both must scale as 1/r^2, demonstrating that the
+upper bound of Theorem 5.4 is tight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.fixed_size import FixedSizeAdaptiveHull
+from ..geometry.distance import point_polygon_distance
+from ..geometry.hull import convex_hull
+from ..streams.generators import circle_points
+from ..streams.transforms import as_tuples, shuffle
+
+__all__ = ["LowerBoundPoint", "optimal_subsample_error", "lower_bound_sweep"]
+
+
+@dataclass
+class LowerBoundPoint:
+    """Lower-bound error vs adaptive error at one r."""
+
+    r: int
+    diameter: float
+    optimal_error: float      # best r-point subsample of the 2r circle points
+    adaptive_error: float     # what the streaming adaptive hull achieves
+    theory: float             # D / r^2 reference value
+
+
+def optimal_subsample_error(r: int, radius: float = 1.0) -> float:
+    """Exact error of the best r-point subsample of 2r circle points.
+
+    Keeping every other point is optimal by symmetry; each dropped point
+    then sits at distance ``radius * (1 - cos(pi / (2r)))`` =
+    Theta(D / r^2) from the sample hull (D = 2 * radius).
+    """
+    if r < 2:
+        raise ValueError("the construction needs r >= 2")
+    return radius * (1.0 - math.cos(math.pi / (2.0 * r)))
+
+
+def lower_bound_sweep(
+    r_values: Sequence[int], radius: float = 1.0, seed: int = 0
+) -> List[LowerBoundPoint]:
+    """Compare the construction's optimal error with the adaptive
+    summary's measured error on the same 2r-point circle stream."""
+    out: List[LowerBoundPoint] = []
+    for r in r_values:
+        pts_arr = shuffle(circle_points(2 * r, radius=radius), seed=seed)
+        pts = list(as_tuples(pts_arr))
+        ada = FixedSizeAdaptiveHull(max(8, r))
+        for p in pts:
+            ada.insert(p)
+        hull = ada.hull()
+        err = max(point_polygon_distance(hull, p) for p in pts)
+        out.append(
+            LowerBoundPoint(
+                r=r,
+                diameter=2.0 * radius,
+                optimal_error=optimal_subsample_error(r, radius),
+                adaptive_error=err,
+                theory=2.0 * radius / (r * r),
+            )
+        )
+    return out

@@ -1,0 +1,132 @@
+"""Approximation-quality metrics (the columns of Table 1).
+
+For a finished summary and the full point set (kept aside by the
+experiment harness — the algorithms themselves never store it), we
+measure exactly what the paper measures:
+
+* max / average height of the summary's uncertainty triangles,
+* max distance from the approximate hull to a data point outside it,
+* the percentage of stream points falling outside the approximate hull,
+
+plus the one-sided Hausdorff distance from the true hull to the
+approximate hull (the paper's formal error measure, Theorem 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..core.adaptive_hull import AdaptiveHull
+from ..core.base import HullSummary
+from ..core.uniform_hull import UniformHull
+from ..geometry.distance import point_polygon_distance
+from ..geometry.hull import convex_hull
+from ..geometry.polygon import contains_point
+from ..geometry.vec import Point
+
+__all__ = [
+    "QualityMetrics",
+    "triangle_heights",
+    "hull_distance",
+    "outside_stats",
+    "evaluate_summary",
+]
+
+
+@dataclass
+class QualityMetrics:
+    """One row of experiment output (units of the input coordinates)."""
+
+    scheme: str
+    sample_size: int
+    max_triangle_height: float
+    avg_triangle_height: float
+    max_outside_distance: float
+    pct_outside: float
+    hull_distance: float
+
+    def scaled(self, factor: float) -> "QualityMetrics":
+        """Return a copy with all length metrics multiplied by ``factor``
+        (used to present results in 1e-4 units as in Table 1)."""
+        return QualityMetrics(
+            scheme=self.scheme,
+            sample_size=self.sample_size,
+            max_triangle_height=self.max_triangle_height * factor,
+            avg_triangle_height=self.avg_triangle_height * factor,
+            max_outside_distance=self.max_outside_distance * factor,
+            pct_outside=self.pct_outside,
+            hull_distance=self.hull_distance * factor,
+        )
+
+
+def triangle_heights(summary: HullSummary) -> List[float]:
+    """Uncertainty-triangle heights for summaries that expose them.
+
+    Adaptive hulls expose leaf triangles; uniform hulls expose edge
+    triangles.  Other baselines have no uncertainty structure and yield
+    an empty list (their rows report 0 — distances outside the hull are
+    the comparable metric there).
+    """
+    if isinstance(summary, AdaptiveHull):
+        return [t.height for t in summary.leaf_triangles()]
+    if isinstance(summary, UniformHull):
+        return [t.height for t in summary.edge_triangles()]
+    edge_triangles = getattr(summary, "edge_triangles", None)
+    if callable(edge_triangles):
+        return [t.height for t in edge_triangles()]
+    return []
+
+
+def hull_distance(true_hull: Sequence[Point], approx_hull: Sequence[Point]) -> float:
+    """One-sided Hausdorff distance from the true hull to the approximate
+    hull (the approximate hull lies inside, so this is the paper's error
+    measure: max over true hull vertices of the distance to the
+    approximation)."""
+    if not true_hull or not approx_hull:
+        return 0.0
+    return max(point_polygon_distance(approx_hull, v) for v in true_hull)
+
+
+def outside_stats(
+    hull: Sequence[Point], points: Iterable[Point]
+) -> tuple:
+    """(max distance outside, fraction outside) of points vs a hull."""
+    max_d = 0.0
+    outside = 0
+    total = 0
+    for p in points:
+        total += 1
+        if hull and contains_point(hull, p):
+            continue
+        outside += 1
+        if hull:
+            d = point_polygon_distance(hull, p)
+            if d > max_d:
+                max_d = d
+    frac = outside / total if total else 0.0
+    return max_d, frac
+
+
+def evaluate_summary(
+    summary: HullSummary, points: Sequence[Point]
+) -> QualityMetrics:
+    """Run the full Table 1 metric set for a finished summary.
+
+    ``points`` is the complete stream (the harness keeps it; the summary
+    never did).  The true hull is recomputed exactly for the Hausdorff
+    column.
+    """
+    heights = triangle_heights(summary)
+    approx = summary.hull()
+    max_out, frac_out = outside_stats(approx, points)
+    true_hull = convex_hull(points)
+    return QualityMetrics(
+        scheme=summary.name,
+        sample_size=summary.sample_size,
+        max_triangle_height=max(heights) if heights else 0.0,
+        avg_triangle_height=(sum(heights) / len(heights)) if heights else 0.0,
+        max_outside_distance=max_out,
+        pct_outside=100.0 * frac_out,
+        hull_distance=hull_distance(true_hull, approx),
+    )

@@ -1,0 +1,118 @@
+"""Markdown report generation for reproduction runs.
+
+Turns harness outputs (Table 1 rows, scaling sweeps, lower-bound
+sweeps) into the markdown tables used in EXPERIMENTS.md, so the
+paper-vs-measured record can be regenerated from scratch:
+
+    python -m repro.experiments.report --n 100000 > EXPERIMENTS_fresh.md
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .lower_bound import LowerBoundPoint
+from .scaling import ScalingPoint, loglog_slope
+from .table1 import Table1Row
+
+__all__ = [
+    "table1_markdown",
+    "scaling_markdown",
+    "lower_bound_markdown",
+    "full_report",
+]
+
+
+def table1_markdown(rows: Sequence[Table1Row], unit: float = 1e-4) -> str:
+    """Render Table 1 rows as a markdown table (lengths in ``unit``)."""
+    scale = 1.0 / unit
+    out = [
+        "| workload | max h (base/ada) | avg h (base/ada) "
+        "| max d (base/ada) | % out (base/ada) |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        b = row.baseline.scaled(scale)
+        a = row.adaptive.scaled(scale)
+        out.append(
+            f"| {row.workload} "
+            f"| {b.max_triangle_height:.0f} / {a.max_triangle_height:.0f} "
+            f"| {b.avg_triangle_height:.0f} / {a.avg_triangle_height:.0f} "
+            f"| {b.max_outside_distance:.0f} / {a.max_outside_distance:.0f} "
+            f"| {row.baseline.pct_outside:.2f} / {row.adaptive.pct_outside:.2f} |"
+        )
+    return "\n".join(out)
+
+
+def scaling_markdown(points: Sequence[ScalingPoint]) -> str:
+    """Render an error-scaling sweep with fitted slopes."""
+    out = [
+        "| r | uniform error | adaptive error |",
+        "|---|---|---|",
+    ]
+    by_r = {}
+    for p in points:
+        by_r.setdefault(p.r, {})[p.scheme] = p.error
+    for r in sorted(by_r):
+        row = by_r[r]
+        out.append(
+            f"| {r} | {row.get('uniform', float('nan')):.6f} "
+            f"| {row.get('adaptive', float('nan')):.6f} |"
+        )
+    out.append("")
+    out.append(
+        f"Fitted log-log slopes: adaptive "
+        f"{loglog_slope(points, 'adaptive'):+.2f} (theory -2), uniform "
+        f"{loglog_slope(points, 'uniform'):+.2f} (theory -1)."
+    )
+    return "\n".join(out)
+
+
+def lower_bound_markdown(points: Sequence[LowerBoundPoint]) -> str:
+    """Render a Theorem 5.5 sweep."""
+    out = [
+        "| r | optimal subsample error | adaptive measured | D/r^2 |",
+        "|---|---|---|---|",
+    ]
+    for p in points:
+        out.append(
+            f"| {p.r} | {p.optimal_error:.3e} | {p.adaptive_error:.3e} "
+            f"| {p.theory:.3e} |"
+        )
+    return "\n".join(out)
+
+
+def full_report(n: int = 20_000, seed: int = 0) -> str:
+    """Run all experiments and produce one markdown document."""
+    from .lower_bound import lower_bound_sweep
+    from .scaling import error_scaling
+    from .table1 import run_table1
+
+    sections: List[str] = ["# Reproduction report", ""]
+    sections.append(f"Stream length per workload: {n}; base seed: {seed}.")
+    sections.append("")
+    sections.append("## Table 1")
+    sections.append("")
+    sections.append(table1_markdown(run_table1(n=n, seed=seed)))
+    sections.append("")
+    sections.append("## Error scaling (Theorem 5.4)")
+    sections.append("")
+    sections.append(
+        scaling_markdown(error_scaling([8, 16, 32, 64], n=min(n, 30_000)))
+    )
+    sections.append("")
+    sections.append("## Lower bound (Theorem 5.5)")
+    sections.append("")
+    sections.append(lower_bound_markdown(lower_bound_sweep([8, 16, 32, 64])))
+    sections.append("")
+    return "\n".join(sections)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(full_report(n=args.n, seed=args.seed))

@@ -1,0 +1,141 @@
+"""Error- and time-scaling experiments (Theorem 5.4 shape checks).
+
+The paper's headline claims are asymptotic:
+
+* adaptive hull error O(D / r^2) vs uniform hull error O(D / r) —
+  verified by sweeping r and fitting the log-log slope of the measured
+  Hausdorff error (expected about -2 vs about -1);
+* amortized O(log r) processing per point — verified by counting the
+  summary's actual work (tree-node visits + direction updates) per
+  stream point as r grows.
+
+These are the "figure-shaped" results backing the theory sections; the
+benchmark harness prints the series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..core.adaptive_hull import AdaptiveHull
+from ..core.fixed_size import FixedSizeAdaptiveHull
+from ..core.uniform_hull import UniformHull
+from ..geometry.hull import convex_hull
+from ..streams.generators import ellipse_stream
+from ..streams.transforms import as_tuples
+from .metrics import hull_distance
+
+__all__ = [
+    "ScalingPoint",
+    "error_scaling",
+    "loglog_slope",
+    "work_per_point",
+]
+
+
+@dataclass
+class ScalingPoint:
+    """Error of one scheme at one r (plus its actual sample size)."""
+
+    r: int
+    scheme: str
+    error: float
+    sample_size: int
+
+
+def error_scaling(
+    r_values: Sequence[int],
+    n: int = 20_000,
+    seed: int = 0,
+    make_stream: Callable[[int, int], np.ndarray] | None = None,
+) -> List[ScalingPoint]:
+    """Hausdorff error vs r for the uniform and adaptive schemes.
+
+    Both schemes are compared at equal direction budget: uniform with
+    ``2r`` directions vs fixed-size adaptive with parameter ``r``.
+    """
+    if make_stream is None:
+        make_stream = lambda n_, seed_: ellipse_stream(
+            n_, a=16.0, b=1.0, rotation=0.1, seed=seed_
+        )
+    pts = list(as_tuples(make_stream(n, seed)))
+    true_hull = convex_hull(pts)
+    out: List[ScalingPoint] = []
+    for r in r_values:
+        uni = UniformHull(2 * r)
+        ada = FixedSizeAdaptiveHull(r)
+        for p in pts:
+            uni.insert(p)
+            ada.insert(p)
+        out.append(
+            ScalingPoint(r, "uniform", hull_distance(true_hull, uni.hull()), uni.sample_size)
+        )
+        out.append(
+            ScalingPoint(r, "adaptive", hull_distance(true_hull, ada.hull()), ada.sample_size)
+        )
+    return out
+
+
+def loglog_slope(points: Sequence[ScalingPoint], scheme: str) -> float:
+    """Least-squares slope of log(error) against log(r) for one scheme.
+
+    Expected: about -1 for uniform, about -2 for adaptive (the paper's
+    O(D/r) vs O(D/r^2) bounds).  Zero-error points are skipped.
+    """
+    xs = []
+    ys = []
+    for pt in points:
+        if pt.scheme == scheme and pt.error > 0.0:
+            xs.append(math.log(pt.r))
+            ys.append(math.log(pt.error))
+    if len(xs) < 2:
+        raise ValueError(f"not enough positive-error points for {scheme!r}")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+@dataclass
+class WorkPoint:
+    """Amortized work counters for one (r, n) run."""
+
+    r: int
+    n: int
+    processed_fraction: float
+    nodes_visited_per_point: float
+    refinements: int
+    unrefinements: int
+
+
+def work_per_point(
+    r_values: Sequence[int],
+    n: int = 20_000,
+    seed: int = 0,
+) -> List[WorkPoint]:
+    """Operation counts per stream point as r grows (Theorem 5.4's
+    amortized O(log r) regime: the per-point work should grow far slower
+    than linearly in r)."""
+    pts = list(as_tuples(ellipse_stream(n, a=4.0, b=1.0, rotation=0.07, seed=seed)))
+    out: List[WorkPoint] = []
+    for r in r_values:
+        ada = AdaptiveHull(r)
+        for p in pts:
+            ada.insert(p)
+        out.append(
+            WorkPoint(
+                r=r,
+                n=n,
+                processed_fraction=ada.points_processed / max(1, ada.points_seen),
+                nodes_visited_per_point=ada.nodes_visited / max(1, ada.points_seen),
+                refinements=ada.refinements,
+                unrefinements=ada.unrefinements,
+            )
+        )
+    return out

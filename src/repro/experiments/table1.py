@@ -1,0 +1,203 @@
+"""Table 1 reproduction harness (Section 7).
+
+The paper's experimental table compares, at equal sample size:
+
+* the uniformly sampled hull with ``2r = 32`` directions, against
+* the fixed-size adaptive hull with parameter ``r = 16`` (which also
+  maintains exactly ``2r = 32`` directions),
+
+on 10^5 points drawn from a disk, a square (rotated by 0, theta0/4,
+theta0/3, theta0/2, with theta0 = 2*pi/r = pi/8), an ellipse of aspect
+ratio 16 (same rotations), and — for the fourth section — a
+distribution-shift stream where a "partially adaptive" hull (trained on
+the first half, frozen for the second) is compared against the fully
+adaptive one.
+
+Each row reports the paper's metrics (max/avg uncertainty-triangle
+height, max distance from the hull to an outside point, % points
+outside).  ``run_table1`` returns structured rows; ``format_table1``
+renders them in the layout of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.partial_adaptive import PartiallyAdaptiveHull
+from ..core.base import HullSummary
+from ..core.fixed_size import FixedSizeAdaptiveHull
+from ..core.uniform_hull import UniformHull
+from ..streams.generators import (
+    changing_ellipse_stream,
+    disk_stream,
+    ellipse_stream,
+    square_stream,
+)
+from ..streams.transforms import as_tuples
+from .metrics import QualityMetrics, evaluate_summary
+
+__all__ = [
+    "Table1Row",
+    "table1_workloads",
+    "run_workload",
+    "run_table1",
+    "format_table1",
+    "DEFAULT_R",
+    "DEFAULT_N",
+]
+
+DEFAULT_R = 16          # adaptive parameter; uniform runs with 2r = 32
+DEFAULT_N = 100_000     # paper's stream length
+THETA0 = 2.0 * math.pi / DEFAULT_R  # pi/8, the rotation unit of Table 1
+
+#: The rotation fractions used in Table 1's square and ellipse sections.
+ROTATIONS: List[Tuple[str, float]] = [
+    ("0", 0.0),
+    ("theta0/4", THETA0 / 4.0),
+    ("theta0/3", THETA0 / 3.0),
+    ("theta0/2", THETA0 / 2.0),
+]
+
+
+@dataclass
+class Table1Row:
+    """One comparison row: a workload and its two schemes' metrics."""
+
+    section: str
+    workload: str
+    baseline: QualityMetrics   # uniform (or partial, in the 4th section)
+    adaptive: QualityMetrics
+
+
+def table1_workloads(
+    n: int = DEFAULT_N, seed: int = 0
+) -> List[Tuple[str, str, np.ndarray, str]]:
+    """All Table 1 workloads as (section, label, points, baseline_kind).
+
+    ``baseline_kind`` is ``"uniform"`` for the first three sections and
+    ``"partial"`` for the changing-distribution section.
+    """
+    out: List[Tuple[str, str, np.ndarray, str]] = []
+    out.append(("disk", "disk", disk_stream(n, seed=seed), "uniform"))
+    for label, angle in ROTATIONS:
+        out.append(
+            (
+                "square",
+                f"square rotated by {label}",
+                square_stream(n, rotation=angle, seed=seed + 1),
+                "uniform",
+            )
+        )
+    for label, angle in ROTATIONS:
+        out.append(
+            (
+                "ellipse",
+                f"ellipse rotated by {label}",
+                ellipse_stream(n, a=16.0, b=1.0, rotation=angle, seed=seed + 2),
+                "uniform",
+            )
+        )
+    for label, angle in ROTATIONS:
+        out.append(
+            (
+                "changing",
+                f"changing ellipse rotated by {label}",
+                changing_ellipse_stream(n // 2, tilt=angle, seed=seed + 3),
+                "partial",
+            )
+        )
+    return out
+
+
+def _make_schemes(
+    baseline_kind: str, r: int, n: int
+) -> Tuple[HullSummary, HullSummary]:
+    if baseline_kind == "uniform":
+        baseline: HullSummary = UniformHull(2 * r)
+    elif baseline_kind == "partial":
+        baseline = PartiallyAdaptiveHull(r, train_size=n // 2)
+    else:
+        raise ValueError(f"unknown baseline kind {baseline_kind!r}")
+    return baseline, FixedSizeAdaptiveHull(r)
+
+
+def run_workload(
+    section: str,
+    label: str,
+    points: np.ndarray,
+    baseline_kind: str = "uniform",
+    r: int = DEFAULT_R,
+) -> Table1Row:
+    """Run both schemes over one workload and collect the metrics."""
+    pts = list(as_tuples(points))
+    baseline, adaptive = _make_schemes(baseline_kind, r, len(pts))
+    for p in pts:
+        baseline.insert(p)
+        adaptive.insert(p)
+    return Table1Row(
+        section=section,
+        workload=label,
+        baseline=evaluate_summary(baseline, pts),
+        adaptive=evaluate_summary(adaptive, pts),
+    )
+
+
+def run_table1(
+    n: int = DEFAULT_N,
+    r: int = DEFAULT_R,
+    seed: int = 0,
+    sections: Optional[Sequence[str]] = None,
+) -> List[Table1Row]:
+    """Reproduce Table 1 (optionally restricted to some sections).
+
+    Args:
+        n: stream length per workload (the paper uses 10^5).
+        r: adaptive parameter (uniform uses 2r directions).
+        seed: workload generator seed.
+        sections: subset of {"disk", "square", "ellipse", "changing"}.
+    """
+    rows = []
+    for section, label, points, kind in table1_workloads(n=n, seed=seed):
+        if sections is not None and section not in sections:
+            continue
+        rows.append(run_workload(section, label, points, kind, r=r))
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row], unit: float = 1e-4) -> str:
+    """Render rows in the layout of the paper's Table 1.
+
+    Lengths are reported in multiples of ``unit`` (default 1e-4 of the
+    input coordinate unit), mirroring the paper's integer presentation.
+    """
+    scale = 1.0 / unit
+    lines = []
+    header = (
+        f"{'workload':<34}"
+        f"{'max h':>8}{'max h':>8}"
+        f"{'avg h':>8}{'avg h':>8}"
+        f"{'max d':>8}{'max d':>8}"
+        f"{'% out':>8}{'% out':>8}"
+    )
+    sub = (
+        f"{'':<34}"
+        + "".join(f"{s:>8}" for s in ["base", "adapt"] * 4)
+    )
+    lines.append(header)
+    lines.append(sub)
+    lines.append("-" * len(header))
+    for row in rows:
+        b = row.baseline.scaled(scale)
+        a = row.adaptive.scaled(scale)
+        lines.append(
+            f"{row.workload:<34}"
+            f"{b.max_triangle_height:>8.0f}{a.max_triangle_height:>8.0f}"
+            f"{b.avg_triangle_height:>8.0f}{a.avg_triangle_height:>8.0f}"
+            f"{b.max_outside_distance:>8.0f}{a.max_outside_distance:>8.0f}"
+            f"{row.baseline.pct_outside:>8.2f}{row.adaptive.pct_outside:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core: ClusterHulls (Section 8)."""
+
+from .clusterhull import ClusterHull, StreamCluster
+
+__all__ = ["ClusterHull", "StreamCluster"]

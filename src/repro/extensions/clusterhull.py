@@ -1,0 +1,152 @@
+"""ClusterHull extension (Section 8 / Hershberger-Shrivastava-Suri [17]).
+
+Section 8 asks: what if the stream forms multiple clusters?  A single
+convex hull hides the structure (the hull of two separated blobs is one
+big polygon).  The authors' follow-up work, ClusterHulls, combines
+clustering with approximate hulls; this module implements a simplified
+streaming rendition in the same spirit:
+
+* maintain at most ``max_clusters`` cluster summaries, each an adaptive
+  hull (so per-cluster extent queries keep the O(D/r^2) guarantee);
+* route each arriving point to the nearest cluster if it is within
+  ``join_distance`` of that cluster's hull, otherwise open a new
+  cluster;
+* when the cluster budget overflows, merge the two clusters whose hulls
+  are closest (re-inserting the smaller summary's samples — a bounded,
+  single-pass-safe operation since summaries hold O(r) points).
+
+The result is a bounded-memory sketch of the stream's *shape*, not just
+its outer extent — answering the "L-shaped data" and "multiple
+clusters" questions the paper's discussion raises.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+from ..core.adaptive_hull import AdaptiveHull
+from ..core.base import HullSummary
+from ..geometry.distance import point_polygon_distance, polygon_distance
+from ..geometry.vec import Point
+
+__all__ = ["ClusterHull", "StreamCluster"]
+
+
+class StreamCluster:
+    """One cluster: an adaptive hull summary plus a population count."""
+
+    def __init__(self, summary: HullSummary):
+        self.summary = summary
+        self.count = 0
+
+    def insert(self, p: Point) -> None:
+        """Add a point to this cluster."""
+        self.summary.insert(p)
+        self.count += 1
+
+    def hull(self) -> List[Point]:
+        """The cluster's approximate hull."""
+        return self.summary.hull()
+
+    def distance_to(self, p: Point) -> float:
+        """Distance from a point to this cluster's hull (0 if inside)."""
+        hull = self.summary.hull()
+        if not hull:
+            return math.inf
+        return point_polygon_distance(hull, p)
+
+
+class ClusterHull:
+    """Bounded-memory multi-cluster hull sketch of a point stream.
+
+    Args:
+        r: adaptive-hull parameter for each cluster summary.
+        max_clusters: cluster budget m (total space O(m * r)).
+        join_distance: a point farther than this from every existing
+            cluster hull opens a new cluster.
+        summary_factory: override the per-cluster summary scheme
+            (defaults to ``AdaptiveHull(r)``).
+    """
+
+    def __init__(
+        self,
+        r: int = 16,
+        max_clusters: int = 8,
+        join_distance: float = 1.0,
+        summary_factory: Optional[Callable[[], HullSummary]] = None,
+    ):
+        if max_clusters < 1:
+            raise ValueError("max_clusters must be >= 1")
+        if join_distance < 0.0:
+            raise ValueError("join_distance must be non-negative")
+        self.r = r
+        self.max_clusters = max_clusters
+        self.join_distance = join_distance
+        self._factory = summary_factory or (lambda: AdaptiveHull(r))
+        self.clusters: List[StreamCluster] = []
+        self.points_seen = 0
+        self.merges = 0
+
+    def insert(self, p: Point) -> None:
+        """Route one stream point to its cluster (possibly a new one)."""
+        self.points_seen += 1
+        best: Optional[StreamCluster] = None
+        best_d = math.inf
+        for c in self.clusters:
+            d = c.distance_to(p)
+            if d < best_d:
+                best_d = d
+                best = c
+        if best is not None and best_d <= self.join_distance:
+            best.insert(p)
+            return
+        fresh = StreamCluster(self._factory())
+        fresh.insert(p)
+        self.clusters.append(fresh)
+        if len(self.clusters) > self.max_clusters:
+            self._merge_closest()
+
+    def hulls(self) -> List[List[Point]]:
+        """The approximate hull of every cluster."""
+        return [c.hull() for c in self.clusters]
+
+    def sizes(self) -> List[int]:
+        """Population count of every cluster."""
+        return [c.count for c in self.clusters]
+
+    @property
+    def sample_size(self) -> int:
+        """Total stored samples across clusters (bounded by m * (2r+1))."""
+        return sum(c.summary.sample_size for c in self.clusters)
+
+    # -- internals ------------------------------------------------------------
+
+    def _closest_pair(self) -> Tuple[int, int]:
+        best = (0, 1)
+        best_d = math.inf
+        for i in range(len(self.clusters)):
+            hi = self.clusters[i].hull()
+            if not hi:
+                continue
+            for j in range(i + 1, len(self.clusters)):
+                hj = self.clusters[j].hull()
+                if not hj:
+                    continue
+                d, _ = polygon_distance(hi, hj)
+                if d < best_d:
+                    best_d = d
+                    best = (i, j)
+        return best
+
+    def _merge_closest(self) -> None:
+        i, j = self._closest_pair()
+        a, b = self.clusters[i], self.clusters[j]
+        # Keep the larger population; replay the smaller summary's O(r)
+        # samples into it (single-pass safe: samples are stored points).
+        keep, fold = (a, b) if a.count >= b.count else (b, a)
+        for p in fold.summary.samples():
+            keep.summary.insert(p)
+        keep.count += fold.count
+        self.clusters.remove(fold)
+        self.merges += 1

@@ -1,0 +1,127 @@
+"""Rotating calipers on convex polygons.
+
+Implements the classical linear-time extremal computations the query
+layer (Section 6 of the paper) runs on the hull summaries: diameter,
+width, antipodal pairs, and farthest neighbors.
+
+All functions accept polygons in the library convention (CCW, strictly
+convex) and handle the degenerate 0/1/2-vertex cases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .predicates import orient
+from .segment import point_line_distance
+from .vec import Point, cross, dist, sub
+
+__all__ = [
+    "antipodal_pairs",
+    "diameter",
+    "width",
+    "farthest_vertex_from",
+]
+
+
+def antipodal_pairs(poly: Sequence[Point]) -> List[Tuple[int, int]]:
+    """All antipodal vertex pairs of a convex polygon (rotating calipers).
+
+    An antipodal pair admits two parallel supporting lines touching the
+    polygon at those vertices.  The diameter is realised by one of these
+    pairs.  Runs in O(n); returns at most O(n) pairs.
+    """
+    n = len(poly)
+    if n < 2:
+        return []
+    if n == 2:
+        return [(0, 1)]
+    pairs: List[Tuple[int, int]] = []
+    j = 1
+    for i in range(n):
+        i2 = (i + 1) % n
+        # Advance j while the vertex after it is farther from edge (i, i2).
+        while _edge_dist(poly, i, i2, (j + 1) % n) > _edge_dist(poly, i, i2, j):
+            j = (j + 1) % n
+        pairs.append((i, j))
+        pairs.append((i2, j))
+    # Deduplicate while preserving order.
+    seen = set()
+    uniq = []
+    for a, b in pairs:
+        key = (min(a, b), max(a, b))
+        if key not in seen and a != b:
+            seen.add(key)
+            uniq.append(key)
+    return uniq
+
+
+def _edge_dist(poly: Sequence[Point], i: int, j: int, k: int) -> float:
+    """Twice the area of triangle (poly[i], poly[j], poly[k]) — a proxy
+    for the distance of vertex k from line ij (same ordering)."""
+    return abs(orient(poly[i], poly[j], poly[k]))
+
+
+def diameter(poly: Sequence[Point]) -> Tuple[float, Tuple[Point, Point]]:
+    """Diameter of the convex polygon and a realising vertex pair, O(n).
+
+    For robustness this checks every antipodal pair produced by the
+    calipers sweep; degenerate polygons fall back to direct computation.
+    """
+    n = len(poly)
+    if n == 0:
+        return 0.0, ((0.0, 0.0), (0.0, 0.0))
+    if n == 1:
+        return 0.0, (poly[0], poly[0])
+    if n == 2:
+        return dist(poly[0], poly[1]), (poly[0], poly[1])
+    best = 0.0
+    best_pair = (poly[0], poly[0])
+    for i, j in antipodal_pairs(poly):
+        d = dist(poly[i], poly[j])
+        if d > best:
+            best = d
+            best_pair = (poly[i], poly[j])
+    return best, best_pair
+
+
+def width(poly: Sequence[Point]) -> float:
+    """Width: minimum distance between parallel supporting lines, O(n).
+
+    For each edge, the farthest vertex determines the slab width in the
+    edge's normal direction; the width is the minimum over edges.
+    """
+    n = len(poly)
+    if n < 3:
+        return 0.0
+    best = math.inf
+    j = 1
+    for i in range(n):
+        i2 = (i + 1) % n
+        # Advance j while the distance from edge (i, i2) keeps growing.
+        while _edge_dist(poly, i, i2, (j + 1) % n) > _edge_dist(poly, i, i2, j):
+            j = (j + 1) % n
+        h = point_line_distance(poly[j], poly[i], poly[i2])
+        if h < best:
+            best = h
+    return best
+
+
+def farthest_vertex_from(poly: Sequence[Point], p: Point) -> Tuple[float, Point]:
+    """Farthest polygon vertex from an arbitrary point ``p``, O(n).
+
+    The farthest point of a convex region from any query point is always
+    a vertex, so this answers the paper's farthest-neighbor query on a
+    hull summary.
+    """
+    if not poly:
+        raise ValueError("farthest vertex of an empty polygon is undefined")
+    best = -1.0
+    best_v = poly[0]
+    for v in poly:
+        d = dist(p, v)
+        if d > best:
+            best = d
+            best_v = v
+    return best, best_v

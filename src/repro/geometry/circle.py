@@ -1,0 +1,90 @@
+"""Smallest enclosing circle (Welzl's algorithm).
+
+Section 6 of the paper lists the smallest circle containing all points
+as one of the extremal quantities computable from the hull summary; we
+run Welzl on the O(r) summary vertices, giving an O(r) expected-time
+query whose answer inherits the summary's O(D/r^2) error.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .vec import Point, dist
+
+__all__ = ["Circle", "smallest_enclosing_circle"]
+
+Circle = Tuple[Point, float]  # (center, radius)
+
+
+def _circle_two(a: Point, b: Point) -> Circle:
+    c = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+    return c, dist(a, b) / 2.0
+
+
+def _circle_three(a: Point, b: Point, c: Point) -> Optional[Circle]:
+    """Circumcircle of three points; None when (near-)collinear."""
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if d == 0.0:
+        return None
+    ux = (
+        (ax * ax + ay * ay) * (by - cy)
+        + (bx * bx + by * by) * (cy - ay)
+        + (cx * cx + cy * cy) * (ay - by)
+    ) / d
+    uy = (
+        (ax * ax + ay * ay) * (cx - bx)
+        + (bx * bx + by * by) * (ax - cx)
+        + (cx * cx + cy * cy) * (bx - ax)
+    ) / d
+    center = (ux, uy)
+    return center, dist(center, a)
+
+
+def _in_circle(circle: Optional[Circle], p: Point, tol: float = 1e-9) -> bool:
+    if circle is None:
+        return False
+    center, radius = circle
+    return dist(center, p) <= radius * (1.0 + tol) + tol
+
+
+def smallest_enclosing_circle(
+    points: Sequence[Point], seed: int = 0
+) -> Circle:
+    """Smallest circle enclosing the points (Welzl, expected O(n)).
+
+    The iterative move-to-front formulation avoids recursion limits.
+    ``seed`` fixes the shuffle for deterministic behaviour.
+
+    Raises:
+        ValueError: on empty input.
+    """
+    pts: List[Point] = list(dict.fromkeys(points))
+    if not pts:
+        raise ValueError("smallest enclosing circle of no points is undefined")
+    rng = random.Random(seed)
+    rng.shuffle(pts)
+    circle: Optional[Circle] = (pts[0], 0.0)
+    for i, p in enumerate(pts):
+        if _in_circle(circle, p):
+            continue
+        circle = (p, 0.0)
+        for j in range(i):
+            q = pts[j]
+            if _in_circle(circle, q):
+                continue
+            circle = _circle_two(p, q)
+            for k in range(j):
+                s = pts[k]
+                if _in_circle(circle, s):
+                    continue
+                c3 = _circle_three(p, q, s)
+                if c3 is not None:
+                    circle = c3
+    assert circle is not None
+    return circle

@@ -1,0 +1,193 @@
+"""Exact dyadic direction arithmetic.
+
+The paper's sampling directions are of the form ``j * theta0 / 2**i``
+with ``theta0 = 2*pi / r`` (Section 5.3).  Representing them as floats
+would make angular bisection and the ``index(theta)`` computation fragile,
+so we store each direction exactly as an integer pair:
+
+    angle = num * theta0 / 2**level,   0 <= num < r * 2**level,
+
+kept in canonical form (``num`` odd, or ``level == 0``).  With this
+representation:
+
+* ``index(theta)`` (the smallest i such that theta is a multiple of
+  ``theta0 / 2**i``) is simply ``level`` — exactly the quantity used in
+  the offset-line distances ``d_index`` of Lemma 5.1;
+* bisection of an angular interval is exact integer arithmetic;
+* comparisons and hashing are exact.
+
+Only the final conversion to a unit vector touches floating point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from .vec import Vector
+
+__all__ = ["DyadicDirection", "full_turn_units"]
+
+
+def full_turn_units(r: int, level: int) -> int:
+    """Number of grid units in a full turn at the given refinement level."""
+    return r << level
+
+
+class DyadicDirection:
+    """An exact direction ``num * (2*pi/r) / 2**level``.
+
+    Instances are immutable, hashable, and totally ordered by angle
+    (within the fundamental domain ``[0, 2*pi)``).  ``r`` is the number
+    of uniform sampling directions; two directions are only comparable
+    when they share the same ``r``.
+    """
+
+    __slots__ = ("num", "level", "r")
+
+    def __init__(self, num: int, level: int, r: int):
+        if r <= 0:
+            raise ValueError("r must be positive")
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        # Canonicalise: strip common factors of two, wrap into [0, full turn).
+        full = r << level
+        num %= full
+        while level > 0 and num % 2 == 0:
+            num //= 2
+            level -= 1
+        self.num = num
+        self.level = level
+        self.r = r
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def uniform(cls, j: int, r: int) -> "DyadicDirection":
+        """The j-th uniform sampling direction ``j * theta0``."""
+        return cls(j, 0, r)
+
+    # -- exact queries -------------------------------------------------
+
+    @property
+    def index(self) -> int:
+        """The paper's ``index(theta)``: smallest i with theta a multiple
+        of ``theta0 / 2**i``.  Zero for uniform directions."""
+        return self.level
+
+    def units_at(self, level: int) -> int:
+        """This direction expressed in grid units of ``theta0 / 2**level``.
+
+        Raises:
+            ValueError: if the direction is not representable at ``level``
+                (i.e. ``level < self.level``).
+        """
+        if level < self.level:
+            raise ValueError(
+                f"direction at level {self.level} not representable "
+                f"at coarser level {level}"
+            )
+        return self.num << (level - self.level)
+
+    def is_uniform(self) -> bool:
+        """True if this is one of the ``r`` uniform directions."""
+        return self.level == 0
+
+    # -- angular arithmetic ---------------------------------------------
+
+    def bisect(self, other: "DyadicDirection") -> "DyadicDirection":
+        """Return the direction bisecting the CCW interval self -> other.
+
+        The interval is measured counter-clockwise from ``self`` to
+        ``other`` (wrapping past ``2*pi`` if needed); the result lies
+        strictly inside it whenever the interval is non-empty.
+        """
+        self._check_compatible(other)
+        level = max(self.level, other.level)
+        a = self.units_at(level)
+        b = other.units_at(level)
+        full = full_turn_units(self.r, level)
+        span = (b - a) % full
+        if span == 0:
+            raise ValueError("cannot bisect an empty angular interval")
+        if span % 2 == 0:
+            return DyadicDirection(a + span // 2, level, self.r)
+        return DyadicDirection(2 * a + span, level + 1, self.r)
+
+    def ccw_span_units(self, other: "DyadicDirection", level: int) -> int:
+        """Grid units (at ``level``) in the CCW interval self -> other."""
+        self._check_compatible(other)
+        a = self.units_at(level)
+        b = other.units_at(level)
+        return (b - a) % full_turn_units(self.r, level)
+
+    def angle_between(self, other: "DyadicDirection") -> float:
+        """The CCW angular extent from ``self`` to ``other`` in radians."""
+        level = max(self.level, other.level)
+        span = self.ccw_span_units(other, level)
+        return 2.0 * math.pi * span / full_turn_units(self.r, level)
+
+    def in_ccw_interval(
+        self, lo: "DyadicDirection", hi: "DyadicDirection"
+    ) -> bool:
+        """True if self lies in the closed CCW interval ``[lo, hi]``.
+
+        An interval with ``lo == hi`` contains only that direction.
+        """
+        level = max(self.level, lo.level, hi.level)
+        full = full_turn_units(self.r, level)
+        a = lo.units_at(level)
+        b = hi.units_at(level)
+        x = self.units_at(level)
+        span = (b - a) % full
+        off = (x - a) % full
+        return off <= span
+
+    # -- float conversions ----------------------------------------------
+
+    @property
+    def theta(self) -> float:
+        """The angle in radians, in ``[0, 2*pi)``."""
+        return 2.0 * math.pi * self.num / (self.r << self.level)
+
+    @property
+    def vector(self) -> Vector:
+        """The unit vector pointing in this direction."""
+        t = self.theta
+        return (math.cos(t), math.sin(t))
+
+    # -- dunder protocol --------------------------------------------------
+
+    def _check_compatible(self, other: "DyadicDirection") -> None:
+        if self.r != other.r:
+            raise ValueError(
+                f"directions over different grids (r={self.r} vs r={other.r})"
+            )
+
+    def _key(self) -> Tuple[int, int]:
+        # Compare at a common level without materialising huge ints:
+        # num / 2**level as an exact fraction of theta0.
+        return (self.num, self.level)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DyadicDirection):
+            return NotImplemented
+        return (
+            self.r == other.r
+            and self.num == other.num
+            and self.level == other.level
+        )
+
+    def __lt__(self, other: "DyadicDirection") -> bool:
+        self._check_compatible(other)
+        level = max(self.level, other.level)
+        return self.units_at(level) < other.units_at(level)
+
+    def __le__(self, other: "DyadicDirection") -> bool:
+        return self == other or self < other
+
+    def __hash__(self) -> int:
+        return hash((self.num, self.level, self.r))
+
+    def __repr__(self) -> str:
+        return f"DyadicDirection({self.num}*theta0/2^{self.level}, r={self.r})"

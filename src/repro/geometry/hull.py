@@ -1,0 +1,121 @@
+"""Exact convex hulls: static (monotone chain) and online (incremental).
+
+Both are substrates for the paper's summaries: the static hull is the
+ground truth against which approximation error is measured, and the
+online hull is the unbounded-space baseline (``repro.baselines.exact``
+wraps it in the common summary interface).
+
+Convention used across the library: a *convex polygon* is a list of
+vertices in counter-clockwise (CCW) order with no duplicate and no three
+collinear vertices.  Degenerate hulls (a point or a segment) are returned
+as lists of length 1 or 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .predicates import orientation_sign
+from .vec import Point
+
+__all__ = ["convex_hull", "OnlineHull"]
+
+
+def _half_hull(points: Sequence[Point]) -> List[Point]:
+    """Build one chain of the hull from x-sorted points (strict turns).
+
+    Uses the library's toleranced orientation sign, so vertices that are
+    collinear within the relative EPS are dropped — keeping hulls
+    consistent with the predicates used by containment and convexity
+    checks elsewhere.
+    """
+    chain: List[Point] = []
+    for p in points:
+        while len(chain) >= 2 and orientation_sign(chain[-2], chain[-1], p) <= 0:
+            chain.pop()
+        chain.append(p)
+    return chain
+
+
+def convex_hull(points: Iterable[Point]) -> List[Point]:
+    """Exact convex hull via Andrew's monotone chain, CCW order.
+
+    Duplicate points are removed; collinear interior points are dropped
+    (the hull has only true corners).  Returns:
+
+    * ``[]`` for no input,
+    * ``[p]`` for a single distinct point,
+    * ``[a, b]`` for a collinear set (the two extreme points),
+    * otherwise the CCW vertex list starting at the lexicographically
+      smallest vertex.
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+    lower = _half_hull(pts)
+    upper = _half_hull(list(reversed(pts)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        # All points collinear: monotone chain degenerates to endpoints.
+        return [pts[0], pts[-1]]
+    return hull
+
+
+class OnlineHull:
+    """Incremental exact convex hull under insertions only.
+
+    Keeps the current hull's vertex list.  A new point inside the hull is
+    discarded after an O(log h) containment test (h = hull size); a point
+    outside triggers a monotone-chain recompute over the h stored
+    vertices plus the newcomer — O(h log h), but only on hull-changing
+    insertions, which are rare for the library's workloads (O(n^{1/3})
+    of a uniform-disk stream, O(log n) for a square).
+
+    Correctness rests on the standard fact that
+    ``hull(S + {p}) == hull(vertices(hull(S)) + {p})``.
+
+    This is the paper's implicit "keep everything" comparator: exact,
+    but with space linear in the hull size — up to the whole stream for
+    points in convex position — which the bounded summaries avoid.
+    """
+
+    def __init__(self, points: Iterable[Point] = ()):
+        self._hull: List[Point] = []
+        self._n = 0
+        for p in points:
+            self.insert(p)
+
+    # -- public API ------------------------------------------------------
+
+    def insert(self, p: Point) -> bool:
+        """Insert ``p``; return True if it changed the hull."""
+        self._n += 1
+        if self.contains(p):
+            return False
+        new_hull = convex_hull(self._hull + [p])
+        if new_hull == self._hull:
+            return False
+        self._hull = new_hull
+        return True
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the current hull."""
+        from .polygon import contains_point
+
+        if not self._hull:
+            return False
+        return contains_point(self._hull, p)
+
+    @property
+    def size(self) -> int:
+        """Number of vertices on the current hull."""
+        return len(self._hull)
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of points inserted so far."""
+        return self._n
+
+    def vertices(self) -> List[Point]:
+        """The hull as a CCW convex polygon (see module conventions)."""
+        return list(self._hull)

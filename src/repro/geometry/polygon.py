@@ -1,0 +1,195 @@
+"""Convex polygon operations.
+
+A convex polygon is a list of CCW-ordered vertices with no duplicates
+and no three collinear vertices (see ``repro.geometry.hull``).  Functions
+here tolerate the degenerate cases produced by hulls of fewer than three
+distinct points (empty list, single point, segment).
+
+Complexity notes: ``contains_point`` is O(log n) (binary search on the
+fan from vertex 0).  ``extreme_vertex`` and ``tangent_indices`` are O(n)
+scans — robust and ample for the summary sizes in this library (hulls
+have O(r) vertices).  The O(log r) query bounds claimed by the paper for
+its summaries are achieved in the summary classes themselves, which keep
+vertices indexed by sampling direction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .predicates import EPS, between, orientation_sign
+from .vec import Point, Vector, cross, dist, dot, sub
+
+__all__ = [
+    "perimeter",
+    "area",
+    "contains_point",
+    "extreme_vertex",
+    "support",
+    "extent",
+    "edges",
+    "tangent_indices",
+    "is_convex_ccw",
+]
+
+
+def perimeter(poly: Sequence[Point]) -> float:
+    """Perimeter of the polygon.
+
+    For a segment (two vertices) this is twice its length — the boundary
+    of the degenerate region traversed out and back — matching the
+    paper's use of P for possibly-degenerate uniformly sampled hulls.
+    """
+    n = len(poly)
+    if n <= 1:
+        return 0.0
+    return sum(dist(poly[i], poly[(i + 1) % n]) for i in range(n))
+
+
+def area(poly: Sequence[Point]) -> float:
+    """Signed shoelace area (positive for CCW order)."""
+    n = len(poly)
+    if n < 3:
+        return 0.0
+    s = 0.0
+    for i in range(n):
+        a = poly[i]
+        b = poly[(i + 1) % n]
+        s += a[0] * b[1] - b[0] * a[1]
+    return 0.5 * s
+
+
+def is_convex_ccw(poly: Sequence[Point]) -> bool:
+    """True if vertices form a strictly convex CCW polygon."""
+    n = len(poly)
+    if n < 3:
+        return False
+    for i in range(n):
+        if orientation_sign(poly[i], poly[(i + 1) % n], poly[(i + 2) % n]) <= 0:
+            return False
+    return True
+
+
+def edges(poly: Sequence[Point]):
+    """Iterate over the directed edges ``(poly[i], poly[i+1])``."""
+    n = len(poly)
+    for i in range(n):
+        yield poly[i], poly[(i + 1) % n]
+
+
+def contains_point(poly: Sequence[Point], p: Point, tol: float = 0.0) -> bool:
+    """Point-in-convex-polygon test, O(log n).
+
+    ``tol`` expands the polygon outward by that absolute amount: points
+    within distance ``tol`` of the boundary count as inside.  With the
+    default ``tol=0`` boundary points count as inside (closed region).
+    """
+    n = len(poly)
+    if n == 0:
+        return False
+    if n == 1:
+        return dist(p, poly[0]) <= tol + EPS
+    if n == 2:
+        from .segment import point_segment_distance
+
+        return point_segment_distance(p, poly[0], poly[1]) <= tol + EPS
+    if tol > 0.0:
+        return _contains_with_tolerance(poly, p, tol)
+    o = poly[0]
+    # p must lie in the angular fan of o's incident edges.
+    if orientation_sign(o, poly[1], p) < 0:
+        return False
+    if orientation_sign(o, poly[n - 1], p) > 0:
+        return False
+    # Binary search for the fan triangle containing p.
+    lo, hi = 1, n - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if orientation_sign(o, poly[mid], p) >= 0:
+            lo = mid
+        else:
+            hi = mid
+    return orientation_sign(poly[lo], poly[hi], p) >= 0
+
+
+def _contains_with_tolerance(poly: Sequence[Point], p: Point, tol: float) -> bool:
+    """O(n) fallback: inside, or within ``tol`` of the boundary."""
+    if contains_point(poly, p, 0.0):
+        return True
+    from .segment import point_segment_distance
+
+    return any(
+        point_segment_distance(p, a, b) <= tol for a, b in edges(poly)
+    )
+
+
+def extreme_vertex(poly: Sequence[Point], d: Vector) -> int:
+    """Index of a vertex maximizing the dot product with ``d`` (O(n)).
+
+    Ties (direction perpendicular to an edge) return the first maximal
+    index encountered.
+    """
+    if not poly:
+        raise ValueError("extreme vertex of an empty polygon is undefined")
+    best = 0
+    best_val = dot(poly[0], d)
+    for i in range(1, len(poly)):
+        v = dot(poly[i], d)
+        if v > best_val:
+            best = i
+            best_val = v
+    return best
+
+
+def support(poly: Sequence[Point], d: Vector) -> float:
+    """Support function: ``max_v dot(v, d)`` over the vertices."""
+    return dot(poly[extreme_vertex(poly, d)], d)
+
+
+def extent(poly: Sequence[Point], d: Vector) -> float:
+    """Directional extent: width of the polygon's projection onto ``d``.
+
+    ``d`` need not be unit length; the extent scales with ``|d|``.
+    """
+    if not poly:
+        return 0.0
+    vals = [dot(v, d) for v in poly]
+    return max(vals) - min(vals)
+
+
+def tangent_indices(poly: Sequence[Point], p: Point) -> Tuple[int, int]:
+    """Indices ``(left, right)`` of the tangent vertices from exterior ``p``.
+
+    ``left`` is the tangent vertex such that the whole polygon lies to the
+    right of ray ``p -> poly[left]``; ``right`` likewise with the polygon
+    to the left.  The chain of vertices strictly between ``right`` and
+    ``left`` (going CCW from right to left) is the part visible from
+    ``p``.  O(n) scan.
+
+    Raises:
+        ValueError: if ``p`` lies inside the polygon (no tangents) or the
+            polygon has fewer than two vertices.
+    """
+    n = len(poly)
+    if n < 2:
+        raise ValueError("tangents require a polygon with >= 2 vertices")
+    if n == 2:
+        return (0, 1) if orientation_sign(p, poly[0], poly[1]) <= 0 else (1, 0)
+    if contains_point(poly, p):
+        raise ValueError("tangents from an interior point are undefined")
+    left = right = None
+    for i in range(n):
+        prev = poly[(i - 1) % n]
+        nxt = poly[(i + 1) % n]
+        o_prev = orientation_sign(p, poly[i], prev)
+        o_next = orientation_sign(p, poly[i], nxt)
+        # Left tangent: both neighbours on the right side (clockwise side).
+        if o_prev <= 0 and o_next <= 0 and left is None:
+            left = i
+        # Right tangent: both neighbours on the left side.
+        if o_prev >= 0 and o_next >= 0 and right is None:
+            right = i
+    if left is None or right is None:
+        raise ValueError("tangent search failed (degenerate input?)")
+    return left, right

@@ -1,0 +1,92 @@
+"""Orientation predicates and tolerance policy.
+
+The paper assumes a Real RAM; we compute in float64 and centralise the
+tie-breaking policy here.  ``EPS`` is a *relative* tolerance: orientation
+magnitudes are compared against ``EPS`` scaled by the magnitude of the
+operands, so the predicates behave consistently across coordinate scales.
+"""
+
+from __future__ import annotations
+
+from .vec import Point, cross, dist_sq, dot, sub
+
+EPS = 1e-12
+
+__all__ = [
+    "EPS",
+    "orient",
+    "orientation_sign",
+    "is_ccw",
+    "is_cw",
+    "collinear",
+    "point_in_triangle",
+    "between",
+]
+
+
+def orient(a: Point, b: Point, c: Point) -> float:
+    """Return twice the signed area of triangle ``abc``.
+
+    Positive when ``c`` lies to the left of the directed line ``a -> b``
+    (counter-clockwise turn), negative to the right, near zero when the
+    three points are collinear.
+    """
+    return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+
+def _orient_scale(a: Point, b: Point, c: Point) -> float:
+    """Magnitude scale used to make the orientation test relative."""
+    return (
+        abs((b[0] - a[0]) * (c[1] - a[1]))
+        + abs((b[1] - a[1]) * (c[0] - a[0]))
+        + 1e-300
+    )
+
+
+def orientation_sign(a: Point, b: Point, c: Point) -> int:
+    """Return +1 for a CCW turn, -1 for CW, 0 for collinear (within EPS)."""
+    v = orient(a, b, c)
+    if abs(v) <= EPS * _orient_scale(a, b, c):
+        return 0
+    return 1 if v > 0.0 else -1
+
+
+def is_ccw(a: Point, b: Point, c: Point) -> bool:
+    """Return True if ``abc`` makes a strict counter-clockwise turn."""
+    return orientation_sign(a, b, c) > 0
+
+
+def is_cw(a: Point, b: Point, c: Point) -> bool:
+    """Return True if ``abc`` makes a strict clockwise turn."""
+    return orientation_sign(a, b, c) < 0
+
+
+def collinear(a: Point, b: Point, c: Point) -> bool:
+    """Return True if the three points are collinear within tolerance."""
+    return orientation_sign(a, b, c) == 0
+
+
+def between(a: Point, b: Point, c: Point) -> bool:
+    """Return True if collinear point ``c`` lies on the closed segment ``ab``.
+
+    The caller is responsible for having checked collinearity; this only
+    performs the box test.
+    """
+    return (
+        min(a[0], b[0]) - EPS <= c[0] <= max(a[0], b[0]) + EPS
+        and min(a[1], b[1]) - EPS <= c[1] <= max(a[1], b[1]) + EPS
+    )
+
+
+def point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:
+    """Return True if ``p`` lies in the closed triangle ``abc``.
+
+    Works for either vertex orientation; degenerate (collinear) triangles
+    degrade to a segment containment test.
+    """
+    s1 = orientation_sign(a, b, p)
+    s2 = orientation_sign(b, c, p)
+    s3 = orientation_sign(c, a, p)
+    has_neg = (s1 < 0) or (s2 < 0) or (s3 < 0)
+    has_pos = (s1 > 0) or (s2 > 0) or (s3 > 0)
+    return not (has_neg and has_pos)

@@ -1,0 +1,121 @@
+"""Segment and line primitives.
+
+Distances, projections, line intersections, and supporting-line helpers
+used by the uncertainty-triangle computations and the query layer.
+A line is represented implicitly by a point and a direction, or in
+normal form ``(n, c)`` meaning ``{p : n . p = c}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from .vec import Point, Vector, cross, dist, dot, norm, norm_sq, sub
+
+__all__ = [
+    "project_param",
+    "closest_point_on_segment",
+    "point_segment_distance",
+    "point_line_distance",
+    "line_intersection",
+    "segments_intersect",
+    "supporting_line",
+    "signed_line_distance",
+]
+
+
+def project_param(p: Point, a: Point, b: Point) -> float:
+    """Parameter t of the projection of ``p`` onto the line through ``ab``.
+
+    ``t = 0`` at ``a``, ``t = 1`` at ``b``.  For a degenerate segment
+    (``a == b``) returns 0.
+    """
+    ab = sub(b, a)
+    denom = norm_sq(ab)
+    if denom == 0.0:
+        return 0.0
+    return dot(sub(p, a), ab) / denom
+
+
+def closest_point_on_segment(p: Point, a: Point, b: Point) -> Point:
+    """The point of the closed segment ``ab`` nearest to ``p``."""
+    t = project_param(p, a, b)
+    if t <= 0.0:
+        return a
+    if t >= 1.0:
+        return b
+    return (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Euclidean distance from ``p`` to the closed segment ``ab``."""
+    return dist(p, closest_point_on_segment(p, a, b))
+
+
+def point_line_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from ``p`` to the infinite line through ``a`` and ``b``.
+
+    Raises:
+        ValueError: if ``a == b`` (no unique line).
+    """
+    ab = sub(b, a)
+    n = norm(ab)
+    if n == 0.0:
+        raise ValueError("line through two identical points is undefined")
+    return abs(cross(ab, sub(p, a))) / n
+
+
+def line_intersection(
+    p1: Point, d1: Vector, p2: Point, d2: Vector
+) -> Optional[Point]:
+    """Intersection of two lines given in point-direction form.
+
+    Returns None when the lines are parallel (including coincident).
+    """
+    denom = cross(d1, d2)
+    if denom == 0.0:
+        return None
+    t = cross(sub(p2, p1), d2) / denom
+    return (p1[0] + t * d1[0], p1[1] + t * d1[1])
+
+
+def segments_intersect(a: Point, b: Point, c: Point, d: Point) -> bool:
+    """True if closed segments ``ab`` and ``cd`` share at least one point."""
+    from .predicates import between, orientation_sign
+
+    o1 = orientation_sign(a, b, c)
+    o2 = orientation_sign(a, b, d)
+    o3 = orientation_sign(c, d, a)
+    o4 = orientation_sign(c, d, b)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and between(a, b, c):
+        return True
+    if o2 == 0 and between(a, b, d):
+        return True
+    if o3 == 0 and between(c, d, a):
+        return True
+    if o4 == 0 and between(c, d, b):
+        return True
+    return False
+
+
+def supporting_line(p: Point, theta_vec: Vector) -> Tuple[Vector, float]:
+    """Normal form of the supporting line at ``p`` with outward normal
+    ``theta_vec``: returns ``(n, c)`` with ``n . x = c`` on the line and
+    ``n . x <= c`` on the inner half-plane.
+
+    The paper's supporting line of an extremum ``p`` in direction theta
+    is perpendicular to theta and passes through ``p`` (Section 2).
+    """
+    return (theta_vec, dot(theta_vec, p))
+
+
+def signed_line_distance(p: Point, n: Vector, c: float) -> float:
+    """Signed distance of ``p`` from line ``n . x = c`` (positive outside).
+
+    Assumes ``n`` is a unit vector; for a general normal the value scales
+    by ``|n|``.
+    """
+    return dot(n, p) - c

@@ -1,0 +1,174 @@
+"""Two-dimensional vector and point arithmetic.
+
+Points and vectors are plain ``(x, y)`` tuples of floats throughout the
+library.  Tuples keep the hot algorithmic paths allocation-cheap and make
+every intermediate value hashable, which the hull structures rely on.
+Bulk data (whole streams) lives in NumPy arrays and is converted at the
+boundary by :func:`iter_points`.
+
+All functions are pure and operate on their arguments without mutation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Point = Tuple[float, float]
+Vector = Tuple[float, float]
+
+__all__ = [
+    "Point",
+    "Vector",
+    "add",
+    "sub",
+    "scale",
+    "neg",
+    "dot",
+    "cross",
+    "norm",
+    "norm_sq",
+    "dist",
+    "dist_sq",
+    "normalize",
+    "perp",
+    "rotate",
+    "angle_of",
+    "unit",
+    "lerp",
+    "midpoint",
+    "iter_points",
+    "centroid",
+    "almost_equal",
+]
+
+
+def add(a: Point, b: Point) -> Point:
+    """Return the componentwise sum ``a + b``."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def sub(a: Point, b: Point) -> Vector:
+    """Return the vector ``a - b`` (from ``b`` to ``a``)."""
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def scale(a: Vector, s: float) -> Vector:
+    """Return ``a`` scaled by the scalar ``s``."""
+    return (a[0] * s, a[1] * s)
+
+
+def neg(a: Vector) -> Vector:
+    """Return ``-a``."""
+    return (-a[0], -a[1])
+
+
+def dot(a: Vector, b: Vector) -> float:
+    """Return the dot product ``a . b``."""
+    return a[0] * b[0] + a[1] * b[1]
+
+
+def cross(a: Vector, b: Vector) -> float:
+    """Return the scalar cross product ``a x b`` (z-component)."""
+    return a[0] * b[1] - a[1] * b[0]
+
+
+def norm_sq(a: Vector) -> float:
+    """Return the squared Euclidean norm of ``a``."""
+    return a[0] * a[0] + a[1] * a[1]
+
+
+def norm(a: Vector) -> float:
+    """Return the Euclidean norm of ``a``."""
+    return math.hypot(a[0], a[1])
+
+
+def dist_sq(a: Point, b: Point) -> float:
+    """Return the squared distance between points ``a`` and ``b``."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def dist(a: Point, b: Point) -> float:
+    """Return the Euclidean distance between points ``a`` and ``b``."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def normalize(a: Vector) -> Vector:
+    """Return the unit vector in the direction of ``a``.
+
+    Raises:
+        ValueError: if ``a`` is the zero vector.
+    """
+    n = norm(a)
+    if n == 0.0:
+        raise ValueError("cannot normalize the zero vector")
+    return (a[0] / n, a[1] / n)
+
+
+def perp(a: Vector) -> Vector:
+    """Return ``a`` rotated by +90 degrees (counter-clockwise)."""
+    return (-a[1], a[0])
+
+
+def rotate(a: Vector, theta: float) -> Vector:
+    """Return ``a`` rotated counter-clockwise by ``theta`` radians."""
+    c = math.cos(theta)
+    s = math.sin(theta)
+    return (c * a[0] - s * a[1], s * a[0] + c * a[1])
+
+
+def angle_of(a: Vector) -> float:
+    """Return the polar angle of ``a`` in ``[0, 2*pi)``.
+
+    Raises:
+        ValueError: if ``a`` is the zero vector (its angle is undefined).
+    """
+    if a[0] == 0.0 and a[1] == 0.0:
+        raise ValueError("the zero vector has no direction")
+    t = math.atan2(a[1], a[0])
+    if t < 0.0:
+        t += 2.0 * math.pi
+    return t
+
+
+def unit(theta: float) -> Vector:
+    """Return the unit vector with polar angle ``theta``."""
+    return (math.cos(theta), math.sin(theta))
+
+
+def lerp(a: Point, b: Point, t: float) -> Point:
+    """Return the point ``a + t * (b - a)``."""
+    return (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Return the midpoint of segment ``ab``."""
+    return ((a[0] + b[0]) * 0.5, (a[1] + b[1]) * 0.5)
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Return the arithmetic mean of a non-empty point sequence."""
+    if not points:
+        raise ValueError("centroid of an empty point set is undefined")
+    sx = sum(p[0] for p in points)
+    sy = sum(p[1] for p in points)
+    n = float(len(points))
+    return (sx / n, sy / n)
+
+
+def almost_equal(a: Point, b: Point, tol: float = 1e-12) -> bool:
+    """Return True if ``a`` and ``b`` coincide within absolute tolerance."""
+    return abs(a[0] - b[0]) <= tol and abs(a[1] - b[1]) <= tol
+
+
+def iter_points(data: Iterable) -> Iterator[Point]:
+    """Yield ``(x, y)`` float tuples from any iterable of 2-D coordinates.
+
+    Accepts NumPy arrays of shape ``(n, 2)``, lists of tuples, generators,
+    etc.  This is the boundary between the NumPy world (stream generators)
+    and the tuple world (hull algorithms).
+    """
+    for row in data:
+        yield (float(row[0]), float(row[1]))

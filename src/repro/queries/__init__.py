@@ -1,0 +1,21 @@
+"""Extremal queries on hull summaries (Section 6)."""
+
+from .diameter import diameter, diameter_witness
+from .width import extent, extent_in_angle, width
+from .farthest import enclosing_circle, farthest_neighbor
+from .direction_index import DirectionalExtentIndex
+from .trackers import (
+    ContainmentTracker,
+    MultiStreamTracker,
+    OverlapTracker,
+    SeparationTracker,
+)
+
+__all__ = [
+    "diameter", "diameter_witness",
+    "width", "extent", "extent_in_angle",
+    "farthest_neighbor", "enclosing_circle",
+    "DirectionalExtentIndex",
+    "MultiStreamTracker", "SeparationTracker", "ContainmentTracker",
+    "OverlapTracker",
+]

@@ -1,0 +1,35 @@
+"""Diameter queries on hull summaries (Section 6, "Diameter").
+
+The diameter of the adaptively sampled hull estimates the stream
+diameter within additive error O(D/r^2) (Corollary 5.2); the uniform
+hull achieves the same bound for the *diameter specifically* even though
+its hull error is only O(D/r) (Lemma 3.1 — the large uncertainty
+triangles only occur on near-diametral edges).  The query runs rotating
+calipers on the O(r)-vertex summary hull: O(r) time.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.base import HullSummary
+from ..geometry.calipers import diameter as polygon_diameter
+from ..geometry.vec import Point
+
+__all__ = ["diameter", "diameter_witness"]
+
+
+def diameter(summary: HullSummary) -> float:
+    """Approximate diameter of the summarised stream (O(r))."""
+    return polygon_diameter(summary.hull())[0]
+
+
+def diameter_witness(summary: HullSummary) -> Tuple[float, Tuple[Point, Point]]:
+    """Approximate diameter plus the realising sample-point pair.
+
+    Both witness points are genuine input points (samples are always
+    input points), so the reported distance is a *lower* bound on the
+    true diameter, within additive O(D/r^2) of it for the adaptive
+    summary.
+    """
+    return polygon_diameter(summary.hull())

@@ -1,0 +1,141 @@
+"""O(log r) directional queries via a direction-sorted index (Section 6).
+
+The paper answers "extent in a given direction" in O(log r) time by
+searching the summary's vertices in direction order.  This module
+builds that index: a snapshot of a summary's sampling directions and
+their extrema in a :class:`~repro.structures.circular_map.CircularMap`
+(skip-list backed), supporting:
+
+* ``support(theta)`` — an inner bound on the stream's support function
+  from the nearest sampled direction, with the Lemma 3.1 guarantee
+  ``support(theta) >= cos(delta) * true_support`` for gap ``delta``;
+* ``extent(theta)`` — directional extent from the two opposite supports,
+  a ``cos(theta0/2)``-factor approximation like the sampled diameter;
+* ``extreme_vertex(theta)`` — the stored witness point.
+
+Each query is one circular floor/ceiling search: O(log r).  The index is
+a snapshot — rebuild (O(r log r)) after more stream points if needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..core.adaptive_hull import AdaptiveHull
+from ..core.base import HullSummary
+from ..core.uniform_hull import UniformHull
+from ..geometry.vec import Point, dot, unit
+from ..structures.circular_map import CircularMap
+
+__all__ = ["DirectionalExtentIndex"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+class DirectionalExtentIndex:
+    """Snapshot index of (sampling direction -> extremum) for a summary.
+
+    Args:
+        summary: a hull summary.  Uniform and adaptive hulls expose
+            their true sampling directions; for any other summary the
+            index falls back to the hull vertices' outward-normal fan
+            (every vertex is extreme in the directions between its
+            adjacent edge normals, so indexing vertices by an interior
+            normal is exact for the *sample hull*).
+    """
+
+    def __init__(self, summary: HullSummary):
+        self._map = CircularMap()
+        self._n = 0
+        for theta, point in self._collect(summary):
+            if point is None:
+                continue
+            # Keep the farthest point per direction key.
+            existing = self._map.get(theta)
+            if existing is None or dot(point, unit(theta)) > dot(
+                existing, unit(theta)
+            ):
+                self._map.replace(theta, point)
+        self._n = len(self._map)
+        if self._n == 0:
+            raise ValueError("cannot index an empty summary")
+
+    @staticmethod
+    def _collect(summary: HullSummary) -> List[Tuple[float, Optional[Point]]]:
+        out: List[Tuple[float, Optional[Point]]] = []
+        if isinstance(summary, AdaptiveHull):
+            uni = summary.uniform_layer
+            for j in range(uni.r):
+                out.append((uni.direction(j), uni.extreme(j)))
+            for root in summary._roots:
+                if root is None:
+                    continue
+                for node in root.iter_internal():
+                    out.append((node.mid_vector, node.t))
+            return [(DirectionalExtentIndex._angle(v), p) for v, p in out]
+        if isinstance(summary, UniformHull):
+            return [
+                (j * summary.theta0, summary.extreme(j))
+                for j in range(summary.r)
+            ]
+        # Generic fallback: hull vertices indexed by an interior normal
+        # of their supporting-direction range.
+        hull = summary.hull()
+        entries: List[Tuple[float, Optional[Point]]] = []
+        n = len(hull)
+        if n == 1:
+            return [(0.0, hull[0])]
+        for i, v in enumerate(hull):
+            prev_v = hull[(i - 1) % n]
+            next_v = hull[(i + 1) % n]
+            n1 = DirectionalExtentIndex._angle(
+                (v[1] - prev_v[1], prev_v[0] - v[0])
+            )
+            n2 = DirectionalExtentIndex._angle(
+                (next_v[1] - v[1], v[0] - next_v[0])
+            )
+            span = (n2 - n1) % _TWO_PI
+            entries.append(((n1 + span / 2.0) % _TWO_PI, v))
+        return entries
+
+    @staticmethod
+    def _angle(v) -> float:
+        return math.atan2(v[1], v[0]) % _TWO_PI
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- queries (each one circular-map search: O(log r)) -----------------
+
+    def extreme_vertex(self, theta: float) -> Point:
+        """Stored extremum of the sampled direction nearest to ``theta``."""
+        theta %= _TWO_PI
+        lo, hi = self._map.neighbours(theta)
+        gap_lo = (theta - lo[0]) % _TWO_PI
+        gap_hi = (hi[0] - theta) % _TWO_PI
+        return lo[1] if gap_lo <= gap_hi else hi[1]
+
+    def support(self, theta: float) -> float:
+        """Inner bound on the stream support function at angle ``theta``.
+
+        Evaluates the nearest sampled direction's extremum against
+        ``theta`` itself, so the value never exceeds the true support
+        and is within a ``cos(gap)`` factor of it (Lemma 3.1's argument).
+        """
+        return dot(self.extreme_vertex(theta), unit(theta))
+
+    def extent(self, theta: float) -> float:
+        """Directional extent at angle ``theta`` (two support queries)."""
+        return self.support(theta) + self.support(theta + math.pi)
+
+    def max_gap(self) -> float:
+        """Largest angular gap between indexed directions (quality of
+        the support approximation: error factor ``1 - cos(gap/2)``)."""
+        angles = sorted(self._map)
+        if len(angles) == 1:
+            return _TWO_PI
+        worst = 0.0
+        for a, b in zip(angles, angles[1:] + [angles[0] + _TWO_PI]):
+            worst = max(worst, b - a)
+        return worst

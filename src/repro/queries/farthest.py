@@ -1,0 +1,42 @@
+"""Farthest-neighbor and enclosing-circle queries (Section 6's "many
+other natural geometric quantities").
+
+The farthest point of a convex region from any query point is a vertex,
+so the farthest neighbor query scans the O(r) summary vertices.  The
+smallest enclosing circle of the stream is approximated by Welzl's
+algorithm on the summary vertices (expected O(r)); its radius is
+underestimated by at most the summary's Hausdorff error O(D/r^2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.base import HullSummary
+from ..geometry.calipers import farthest_vertex_from
+from ..geometry.circle import Circle, smallest_enclosing_circle
+from ..geometry.vec import Point
+
+__all__ = ["farthest_neighbor", "enclosing_circle"]
+
+
+def farthest_neighbor(summary: HullSummary, p: Point) -> Tuple[float, Point]:
+    """Approximate farthest stream point from ``p``: (distance, witness).
+
+    The witness is a stored sample (a true input point), so the distance
+    is a lower bound on the true farthest distance, within the summary's
+    error of it.
+    """
+    return farthest_vertex_from(summary.hull(), p)
+
+
+def enclosing_circle(summary: HullSummary) -> Circle:
+    """Approximate smallest enclosing circle ``(center, radius)``.
+
+    Computed exactly on the sample hull; the true stream may extend up
+    to the summary's Hausdorff error beyond the reported circle.
+    """
+    hull = summary.hull()
+    if not hull:
+        raise ValueError("enclosing circle of an empty summary is undefined")
+    return smallest_enclosing_circle(hull)

@@ -1,0 +1,184 @@
+"""Multi-stream trackers (Section 6: separation, containment, overlap).
+
+Each tracker owns one hull summary per stream and exposes the paper's
+standing queries:
+
+* :class:`SeparationTracker` — minimum distance between the hulls of two
+  streams; linear-separability with a separating-line certificate; a
+  non-separation certificate (a point in both hulls) when they meet.
+* :class:`ContainmentTracker` — report when all points of stream A are
+  surrounded by (the hull of) stream B, within the summary error.
+* :class:`OverlapTracker` — quantify the overlap of two streams' spatial
+  extents (intersection polygon / area of the approximate hulls).
+
+Trackers are agnostic to the summary scheme: pass a factory (for
+example ``lambda: AdaptiveHull(32)``) and feed points per stream.  All
+answers carry the summaries' one-sided error: approximate hulls lie
+inside the true hulls, so reported distances over-estimate true
+distances by at most the summed Hausdorff errors, and "contained" means
+contained up to O(D/r^2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..core.base import HullSummary
+from ..geometry.distance import (
+    linearly_separable,
+    point_polygon_distance,
+    polygon_distance,
+    separating_line,
+)
+from ..geometry.intersection import intersect_convex, overlap_area
+from ..geometry.polygon import contains_point
+from ..geometry.vec import Point, Vector
+
+__all__ = ["MultiStreamTracker", "SeparationTracker", "ContainmentTracker", "OverlapTracker"]
+
+SummaryFactory = Callable[[], HullSummary]
+
+
+class MultiStreamTracker:
+    """Base: one summary per named stream, created on first use."""
+
+    def __init__(self, factory: SummaryFactory):
+        self._factory = factory
+        self._streams: Dict[Hashable, HullSummary] = {}
+
+    def insert(self, stream: Hashable, p: Point) -> bool:
+        """Feed one point into the named stream's summary."""
+        summary = self._streams.get(stream)
+        if summary is None:
+            summary = self._factory()
+            self._streams[stream] = summary
+        return summary.insert(p)
+
+    def summary(self, stream: Hashable) -> HullSummary:
+        """The summary for a stream (KeyError if never fed)."""
+        return self._streams[stream]
+
+    def hull(self, stream: Hashable) -> List[Point]:
+        """Approximate hull of a stream ([] if never fed)."""
+        summary = self._streams.get(stream)
+        return summary.hull() if summary is not None else []
+
+    def streams(self) -> List[Hashable]:
+        """Names of all streams seen so far."""
+        return list(self._streams)
+
+
+class SeparationTracker(MultiStreamTracker):
+    """Track the minimum distance / linear separability of two streams."""
+
+    def distance(self, a: Hashable, b: Hashable) -> float:
+        """Approximate minimum distance between the two streams' hulls.
+
+        Over-estimates the true hull distance by at most the two
+        summaries' combined error; 0 when the approximate hulls meet.
+        """
+        pa, pb = self.hull(a), self.hull(b)
+        if not pa or not pb:
+            raise ValueError("both streams need data before querying")
+        return polygon_distance(pa, pb)[0]
+
+    def separable(self, a: Hashable, b: Hashable) -> bool:
+        """Are the approximate hulls still linearly separable?"""
+        pa, pb = self.hull(a), self.hull(b)
+        if not pa or not pb:
+            return True
+        return linearly_separable(pa, pb)
+
+    def certificate(
+        self, a: Hashable, b: Hashable
+    ) -> Optional[Tuple[Point, Vector]]:
+        """A separating line ``(point, direction)`` or None when the
+        hulls intersect (certificate of non-separation is available via
+        :meth:`witness_overlap_point`)."""
+        pa, pb = self.hull(a), self.hull(b)
+        if not pa or not pb:
+            return None
+        return separating_line(pa, pb)
+
+    def witness_overlap_point(
+        self, a: Hashable, b: Hashable
+    ) -> Optional[Point]:
+        """A point lying in both approximate hulls (the paper's
+        certificate of non-separation), or None while separable."""
+        inter = intersect_convex(self.hull(a), self.hull(b))
+        return inter[0] if inter else None
+
+
+class ContainmentTracker(MultiStreamTracker):
+    """Track whether stream ``inner`` is surrounded by stream ``outer``."""
+
+    def contained(self, inner: Hashable, outer: Hashable) -> bool:
+        """True when every sample of ``inner`` lies in ``outer``'s
+        approximate hull.  One-sided error: a True answer can be wrong
+        by at most ``outer``'s uncertainty O(D/r^2) near its boundary;
+        use ``margin`` via :meth:`containment_margin` for a quantified
+        answer."""
+        inner_hull = self.hull(inner)
+        outer_hull = self.hull(outer)
+        if not inner_hull or not outer_hull:
+            return False
+        return all(contains_point(outer_hull, v) for v in inner_hull)
+
+    def containment_margin(self, inner: Hashable, outer: Hashable) -> float:
+        """Signed margin: positive = deepest containment slack (distance
+        from the most exposed inner vertex to outer's boundary, inward),
+        negative = how far the worst inner vertex pokes outside."""
+        inner_hull = self.hull(inner)
+        outer_hull = self.hull(outer)
+        if not inner_hull or not outer_hull:
+            raise ValueError("both streams need data before querying")
+        worst = float("inf")
+        for v in inner_hull:
+            if contains_point(outer_hull, v):
+                # Inside: slack is the distance to the boundary (the
+                # region distance would be 0).
+                worst = min(worst, _boundary_distance(outer_hull, v))
+            else:
+                worst = min(worst, -point_polygon_distance(outer_hull, v))
+        return worst
+
+
+def _boundary_distance(poly: List[Point], p: Point) -> float:
+    """Distance from ``p`` to the polygon boundary (not the region)."""
+    from ..geometry.segment import point_segment_distance
+    from ..geometry.polygon import edges
+
+    n = len(poly)
+    if n == 1:
+        from ..geometry.vec import dist
+
+        return dist(p, poly[0])
+    return min(point_segment_distance(p, a, b) for a, b in edges(poly))
+
+
+class OverlapTracker(MultiStreamTracker):
+    """Quantify the spatial overlap of two streams' extents."""
+
+    def overlap_polygon(self, a: Hashable, b: Hashable) -> List[Point]:
+        """Intersection of the two approximate hulls (possibly empty)."""
+        return intersect_convex(self.hull(a), self.hull(b))
+
+    def overlap_area(self, a: Hashable, b: Hashable) -> float:
+        """Area of the approximate overlap region."""
+        return overlap_area(self.hull(a), self.hull(b))
+
+    def jaccard(self, a: Hashable, b: Hashable) -> float:
+        """Overlap area over union area (0 when disjoint, 1 when equal).
+
+        A scale-free overlap score convenient for monitoring dashboards.
+        """
+        from ..geometry.polygon import area as polygon_area
+
+        pa, pb = self.hull(a), self.hull(b)
+        inter = overlap_area(pa, pb)
+        if inter == 0.0:
+            return 0.0
+        union = abs(polygon_area(pa)) + abs(polygon_area(pb)) - inter
+        if union <= 0.0:
+            return 0.0
+        return inter / union

@@ -1,0 +1,39 @@
+"""Width and directional-extent queries (Section 6, "Width or
+Directional Extent").
+
+The width (minimum distance between enclosing parallel lines) is an
+O(r) rotating-calipers computation on the summary hull.  The extent in
+a *given* direction is a projection of the O(r) hull vertices; on the
+adaptive summary both inherit the additive O(D/r^2) error — which, as
+the paper warns, can be an arbitrarily poor *relative* approximation
+when the true width is much smaller than the diameter (the ellipse
+benchmark quantifies this).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.base import HullSummary
+from ..geometry.calipers import width as polygon_width
+from ..geometry.polygon import extent as polygon_extent
+from ..geometry.vec import Vector, unit
+
+__all__ = ["width", "extent", "extent_in_angle"]
+
+
+def width(summary: HullSummary) -> float:
+    """Approximate width of the summarised stream (O(r))."""
+    return polygon_width(summary.hull())
+
+
+def extent(summary: HullSummary, direction: Vector) -> float:
+    """Approximate extent of the stream along ``direction`` (O(r) on the
+    generic polygon; ``direction`` need not be unit length — the result
+    scales with its norm)."""
+    return polygon_extent(summary.hull(), direction)
+
+
+def extent_in_angle(summary: HullSummary, theta: float) -> float:
+    """Extent along the direction with polar angle ``theta`` (radians)."""
+    return polygon_extent(summary.hull(), unit(theta))

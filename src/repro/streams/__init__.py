@@ -1,0 +1,32 @@
+"""Synthetic stream generators and transforms (Section 7 workloads)."""
+
+from .generators import (
+    changing_ellipse_stream,
+    circle_points,
+    clusters_stream,
+    convex_position_stream,
+    disk_stream,
+    ellipse_stream,
+    gaussian_stream,
+    spiral_stream,
+    square_stream,
+)
+from .io import load_stream, replay, save_stream
+from .transforms import (
+    as_tuples,
+    concatenate,
+    interleave,
+    rotate,
+    scale,
+    shuffle,
+    translate,
+)
+
+__all__ = [
+    "disk_stream", "square_stream", "ellipse_stream", "circle_points",
+    "gaussian_stream", "clusters_stream", "changing_ellipse_stream",
+    "spiral_stream", "convex_position_stream",
+    "rotate", "scale", "translate", "concatenate", "interleave",
+    "shuffle", "as_tuples",
+    "save_stream", "load_stream", "replay",
+]

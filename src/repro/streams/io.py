@@ -1,0 +1,91 @@
+"""Stream persistence and replay.
+
+Production plumbing around the generators: save synthetic workloads,
+load recorded point streams (CSV or ``.npy``), and replay them with
+rate bookkeeping.  Keeps the experiment harness reproducible across
+machines without re-deriving streams from seeds.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+__all__ = ["save_stream", "load_stream", "replay"]
+
+PathLike = Union[str, Path]
+
+
+def save_stream(points: np.ndarray, path: PathLike) -> Path:
+    """Save an ``(n, 2)`` array as ``.npy`` or ``.csv`` (by extension).
+
+    Raises:
+        ValueError: for a wrong-shaped array or unknown extension.
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array, got shape {arr.shape}")
+    path = Path(path)
+    if path.suffix == ".npy":
+        np.save(path, arr)
+    elif path.suffix == ".csv":
+        with open(path, "w", newline="", encoding="utf-8") as f:
+            writer = csv.writer(f)
+            writer.writerow(["x", "y"])
+            writer.writerows(arr.tolist())
+    else:
+        raise ValueError(f"unknown stream format {path.suffix!r} (.npy or .csv)")
+    return path
+
+
+def load_stream(path: PathLike) -> np.ndarray:
+    """Load a point stream saved by :func:`save_stream`.
+
+    CSV files may or may not carry the ``x,y`` header row.
+
+    Raises:
+        ValueError: on malformed content or unknown extension.
+        FileNotFoundError: when the file does not exist.
+    """
+    path = Path(path)
+    if path.suffix == ".npy":
+        arr = np.load(path)
+    elif path.suffix == ".csv":
+        rows = []
+        with open(path, newline="", encoding="utf-8") as f:
+            for row in csv.reader(f):
+                if not row:
+                    continue
+                try:
+                    rows.append((float(row[0]), float(row[1])))
+                except ValueError:
+                    # Header row; anything else malformed raises below.
+                    if rows:
+                        raise
+                    continue
+        arr = np.asarray(rows, dtype=float)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+    else:
+        raise ValueError(f"unknown stream format {path.suffix!r} (.npy or .csv)")
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"{path} does not contain an (n, 2) point stream")
+    return arr
+
+
+def replay(
+    points: np.ndarray, chunk: int = 1
+) -> Iterator[Tuple[int, Tuple[float, float]]]:
+    """Replay a stored stream as ``(index, (x, y))`` pairs.
+
+    ``chunk`` > 1 yields only every chunk-th point — cheap downsampling
+    for quick-look runs on large recordings.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    for i in range(0, len(points), chunk):
+        row = points[i]
+        yield i, (float(row[0]), float(row[1]))

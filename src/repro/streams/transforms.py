@@ -1,0 +1,71 @@
+"""Stream transforms: rotation, scaling, translation, composition.
+
+Array-in / array-out helpers used by the experiment harness to build the
+rotated variants of Table 1 and to compose multi-phase streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "rotate",
+    "scale",
+    "translate",
+    "concatenate",
+    "interleave",
+    "shuffle",
+    "as_tuples",
+]
+
+
+def rotate(points: np.ndarray, angle: float) -> np.ndarray:
+    """Rotate every point counter-clockwise by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    rot = np.array([[c, -s], [s, c]])
+    return points @ rot.T
+
+
+def scale(points: np.ndarray, sx: float, sy: float | None = None) -> np.ndarray:
+    """Scale x by ``sx`` and y by ``sy`` (``sx`` when omitted)."""
+    if sy is None:
+        sy = sx
+    return points * np.array([sx, sy])
+
+
+def translate(points: np.ndarray, dx: float, dy: float) -> np.ndarray:
+    """Translate every point by ``(dx, dy)``."""
+    return points + np.array([dx, dy])
+
+
+def concatenate(*streams: np.ndarray) -> np.ndarray:
+    """Play streams back to back (phased workloads)."""
+    return np.vstack(streams)
+
+
+def interleave(*streams: np.ndarray) -> np.ndarray:
+    """Round-robin merge of equal-length streams (concurrent sources)."""
+    if not streams:
+        return np.empty((0, 2))
+    n = min(len(s) for s in streams)
+    out = np.empty((n * len(streams), 2))
+    for i, s in enumerate(streams):
+        out[i :: len(streams)] = s[:n]
+    return out
+
+
+def shuffle(points: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Random arrival-order permutation (the order is adversarial in the
+    model; shuffling checks order-insensitivity of final summaries)."""
+    g = np.random.default_rng(seed)
+    idx = g.permutation(len(points))
+    return points[idx]
+
+
+def as_tuples(points: Iterable) -> Iterator[tuple]:
+    """Adapter from array rows to the library's ``(x, y)`` tuples."""
+    for row in points:
+        yield (float(row[0]), float(row[1]))

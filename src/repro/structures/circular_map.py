@@ -1,0 +1,109 @@
+"""Circular ordered map over directions.
+
+Hull summaries index their sample vertices by the direction in which
+each vertex is extreme.  Directions live on a circle, so ordinary
+floor/ceiling queries must wrap around; this adapter provides the
+circular variants on top of :class:`repro.structures.skiplist.SkipList`
+while keeping the O(log n) bounds.
+
+Keys may be any totally ordered angular type — the library uses both
+plain floats in ``[0, 2*pi)`` and
+:class:`repro.geometry.directions.DyadicDirection`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from .skiplist import SkipList
+
+__all__ = ["CircularMap"]
+
+
+class CircularMap:
+    """Sorted circular map with wrap-around neighbour queries."""
+
+    def __init__(self, seed: int = 0):
+        self._list = SkipList(seed=seed)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._list
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._list)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All ``(key, value)`` pairs in ascending key order."""
+        return self._list.items()
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert a new key (KeyError on duplicates)."""
+        self._list.insert(key, value)
+
+    def replace(self, key: Any, value: Any) -> None:
+        """Insert or overwrite."""
+        self._list.replace(key, value)
+
+    def delete(self, key: Any) -> Any:
+        """Remove a key, returning its value (KeyError when absent)."""
+        return self._list.delete(key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value at ``key`` or ``default``."""
+        return self._list.get(key, default)
+
+    # -- circular order queries ------------------------------------------
+
+    def floor_circular(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Largest entry <= key, wrapping to the global max below the min.
+
+        Returns None only when the map is empty.
+        """
+        if not self._list:
+            return None
+        hit = self._list.floor(key)
+        if hit is not None:
+            return hit
+        return self._list.max()
+
+    def ceiling_circular(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Smallest entry >= key, wrapping to the global min above the max."""
+        if not self._list:
+            return None
+        hit = self._list.ceiling(key)
+        if hit is not None:
+            return hit
+        return self._list.min()
+
+    def successor_circular(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Next entry strictly after ``key`` in circular order."""
+        if not self._list:
+            return None
+        hit = self._list.successor(key)
+        if hit is not None:
+            return hit
+        return self._list.min()
+
+    def predecessor_circular(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Previous entry strictly before ``key`` in circular order."""
+        if not self._list:
+            return None
+        hit = self._list.predecessor(key)
+        if hit is not None:
+            return hit
+        return self._list.max()
+
+    def neighbours(self, key: Any) -> Tuple[Tuple[Any, Any], Tuple[Any, Any]]:
+        """The entries bracketing ``key``: (floor-or-wrap, ceiling-or-wrap).
+
+        Raises:
+            KeyError: when the map is empty.
+        """
+        lo = self.floor_circular(key)
+        hi = self.ceiling_circular(key)
+        if lo is None or hi is None:
+            raise KeyError("neighbours of a key in an empty CircularMap")
+        return lo, hi

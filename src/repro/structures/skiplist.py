@@ -1,0 +1,216 @@
+"""A sorted, searchable skip list.
+
+The paper (Section 3.1) stores hull vertices in "a searchable,
+concatenable list structure, implemented as a balanced binary tree, a
+skip list, or (concretely) as a C++ STL set".  This module is our
+substitute for the STL set: a deterministic-seeded skip list with
+O(log n) expected search, insert, and delete, plus the neighbour
+(predecessor/successor) queries the hull maintenance needs.
+
+Keys must be totally ordered; values are arbitrary.  Duplicate keys are
+rejected (it is a map, not a multimap).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["SkipList"]
+
+_MAX_LEVEL = 32
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int):
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """Sorted map with O(log n) expected-time operations.
+
+    Args:
+        seed: seed for the level-generation RNG, making structure (and
+            therefore performance) reproducible across runs.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    # -- size / iteration ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key
+            node = node.forward[0]
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate keys in ascending order."""
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        """Iterate values in ascending key order."""
+        for _, v in self.items():
+            yield v
+
+    # -- internals -------------------------------------------------------
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_update(self, key: Any) -> List[_Node]:
+        """Per-level predecessors of ``key`` (the splice points)."""
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    # -- map operations ----------------------------------------------------
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` with ``value``.
+
+        Raises:
+            KeyError: if the key is already present (use
+                :meth:`replace` to overwrite).
+        """
+        update = self._find_update(key)
+        nxt = update[0].forward[0]
+        if nxt is not None and nxt.key == key:
+            raise KeyError(f"duplicate key {key!r}")
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._size += 1
+
+    def replace(self, key: Any, value: Any) -> None:
+        """Insert or overwrite the value at ``key``."""
+        update = self._find_update(key)
+        nxt = update[0].forward[0]
+        if nxt is not None and nxt.key == key:
+            nxt.value = value
+        else:
+            self.insert(key, value)
+
+    def delete(self, key: Any) -> Any:
+        """Remove ``key`` and return its value.
+
+        Raises:
+            KeyError: if the key is absent.
+        """
+        update = self._find_update(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            raise KeyError(key)
+        for lvl in range(len(node.forward)):
+            if update[lvl].forward[lvl] is node:
+                update[lvl].forward[lvl] = node.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return node.value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value at ``key``, or ``default`` when absent."""
+        node = self._find_update(key)[0].forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._find_update(key)[0].forward[0]
+        return node is not None and node.key == key
+
+    # -- order queries -----------------------------------------------------
+
+    def min(self) -> Tuple[Any, Any]:
+        """Smallest ``(key, value)``; raises KeyError when empty."""
+        node = self._head.forward[0]
+        if node is None:
+            raise KeyError("min of empty SkipList")
+        return node.key, node.value
+
+    def max(self) -> Tuple[Any, Any]:
+        """Largest ``(key, value)``; raises KeyError when empty."""
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None:
+                node = node.forward[lvl]
+        if node is self._head:
+            raise KeyError("max of empty SkipList")
+        return node.key, node.value
+
+    def predecessor(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Largest ``(key, value)`` with key strictly less than ``key``."""
+        node = self._find_update(key)[0]
+        if node is self._head:
+            return None
+        return node.key, node.value
+
+    def successor(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Smallest ``(key, value)`` with key strictly greater than ``key``."""
+        node = self._find_update(key)[0].forward[0]
+        if node is not None and node.key == key:
+            node = node.forward[0]
+        if node is None:
+            return None
+        return node.key, node.value
+
+    def floor(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Largest ``(key, value)`` with key less than or equal to ``key``."""
+        update = self._find_update(key)
+        nxt = update[0].forward[0]
+        if nxt is not None and nxt.key == key:
+            return nxt.key, nxt.value
+        if update[0] is self._head:
+            return None
+        return update[0].key, update[0].value
+
+    def ceiling(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Smallest ``(key, value)`` with key greater than or equal to
+        ``key``."""
+        nxt = self._find_update(key)[0].forward[0]
+        if nxt is None:
+            return None
+        return nxt.key, nxt.value
+
+    def range(self, lo: Any, hi: Any) -> Iterator[Tuple[Any, Any]]:
+        """Iterate ``(key, value)`` with ``lo <= key <= hi`` ascending."""
+        node = self._find_update(lo)[0].forward[0]
+        while node is not None and node.key <= hi:
+            yield node.key, node.value
+            node = node.forward[0]

@@ -1,0 +1,5 @@
+"""Dependency-free SVG visualisation (Fig. 10 style renderings)."""
+
+from .svg import SvgCanvas, render_summary
+
+__all__ = ["SvgCanvas", "render_summary"]

@@ -1,0 +1,161 @@
+"""Dependency-free SVG rendering of hulls and uncertainty triangles.
+
+Reproduces the Fig. 10 style of the paper: the data cloud, the sample
+hull, the radial sample directions, and the uncertainty triangles drawn
+on top.  Writes plain SVG text so the repository needs no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.adaptive_hull import AdaptiveHull
+from ..core.uniform_hull import UniformHull
+from ..core.uncertainty import UncertaintyTriangle
+from ..geometry.vec import Point
+
+__all__ = ["SvgCanvas", "render_summary"]
+
+
+class SvgCanvas:
+    """Minimal SVG document builder with a fitted world-to-view transform."""
+
+    def __init__(self, width: int = 900, height: int = 450, margin: float = 20.0):
+        self.width = width
+        self.height = height
+        self.margin = margin
+        self._elements: List[str] = []
+        self._bounds: Optional[Tuple[float, float, float, float]] = None
+
+    def fit(self, points: Iterable[Point]) -> None:
+        """Fit the view box to the given world points."""
+        xs, ys = [], []
+        for p in points:
+            xs.append(p[0])
+            ys.append(p[1])
+        if not xs:
+            raise ValueError("cannot fit an empty point set")
+        self._bounds = (min(xs), min(ys), max(xs), max(ys))
+
+    def _tx(self, p: Point) -> Tuple[float, float]:
+        if self._bounds is None:
+            raise ValueError("call fit() before drawing")
+        x0, y0, x1, y1 = self._bounds
+        sx = (self.width - 2 * self.margin) / max(x1 - x0, 1e-12)
+        sy = (self.height - 2 * self.margin) / max(y1 - y0, 1e-12)
+        s = min(sx, sy)
+        # y is flipped: SVG's y axis points down.
+        return (
+            self.margin + (p[0] - x0) * s,
+            self.height - self.margin - (p[1] - y0) * s,
+        )
+
+    def circle(self, p: Point, radius: float = 1.0, fill: str = "#888") -> None:
+        """Draw a fixed-pixel-radius dot at world point ``p``."""
+        x, y = self._tx(p)
+        self._elements.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{radius}" fill="{fill}"/>'
+        )
+
+    def polyline(
+        self,
+        pts: Sequence[Point],
+        stroke: str = "#000",
+        width: float = 1.0,
+        close: bool = False,
+        fill: str = "none",
+    ) -> None:
+        """Draw a world-space polyline/polygon."""
+        if len(pts) < 2:
+            return
+        coords = " ".join(
+            "{:.2f},{:.2f}".format(*self._tx(p)) for p in pts
+        )
+        tag = "polygon" if close else "polyline"
+        self._elements.append(
+            f'<{tag} points="{coords}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def segment(
+        self, a: Point, b: Point, stroke: str = "#999", width: float = 0.5
+    ) -> None:
+        """Draw a world-space line segment."""
+        xa, ya = self._tx(a)
+        xb, yb = self._tx(b)
+        self._elements.append(
+            f'<line x1="{xa:.2f}" y1="{ya:.2f}" x2="{xb:.2f}" y2="{yb:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def text(self, p: Point, s: str, size: int = 12, fill: str = "#000") -> None:
+        """Draw a text label anchored at world point ``p``."""
+        x, y = self._tx(p)
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'fill="{fill}" font-family="sans-serif">{s}</text>'
+        )
+
+    def to_svg(self) -> str:
+        """Serialise the document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        """Write the SVG file."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_svg())
+
+
+def _triangles_of(summary) -> List[UncertaintyTriangle]:
+    if isinstance(summary, AdaptiveHull):
+        return list(summary.leaf_triangles())
+    if isinstance(summary, UniformHull):
+        return list(summary.edge_triangles())
+    return []
+
+
+def render_summary(
+    summary,
+    points: Sequence[Point],
+    canvas: Optional[SvgCanvas] = None,
+    max_points: int = 4000,
+    show_directions: bool = True,
+) -> SvgCanvas:
+    """Render a summary over its data in the style of the paper's Fig. 10.
+
+    Draws (a subsample of) the data points, the sample hull, the radial
+    sample directions from the hull centroid, and the uncertainty
+    triangles on top.
+    """
+    canvas = canvas or SvgCanvas()
+    tris = _triangles_of(summary)
+    extra = [t.apex for t in tris if t.apex is not None]
+    canvas.fit(list(points) + list(summary.hull()) + extra)
+    step = max(1, len(points) // max_points)
+    for p in points[::step]:
+        canvas.circle(p, radius=0.8, fill="#bbb")
+    hull = summary.hull()
+    if show_directions and hull:
+        cx = sum(p[0] for p in hull) / len(hull)
+        cy = sum(p[1] for p in hull) / len(hull)
+        for v in summary.samples():
+            canvas.segment((cx, cy), v, stroke="#ccc", width=0.5)
+    for t in tris:
+        if t.apex is not None:
+            canvas.polyline(
+                [t.a, t.apex, t.b], close=True, fill="#f4c2c2",
+                stroke="#c33", width=0.7,
+            )
+    canvas.polyline(hull, close=True, stroke="#06c", width=1.5)
+    for v in summary.samples():
+        canvas.circle(v, radius=2.2, fill="#06c")
+    return canvas

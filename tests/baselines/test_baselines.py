@@ -1,0 +1,244 @@
+"""Tests for all baseline summaries (contract + scheme-specific)."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    DudleyKernelHull,
+    ExactHull,
+    PartiallyAdaptiveHull,
+    RadialHistogramHull,
+    RandomSampleHull,
+    UniformHull,
+)
+from repro.geometry import contains_point, convex_hull
+from repro.experiments.metrics import hull_distance
+from repro.streams import as_tuples, changing_ellipse_stream, ellipse_stream
+
+
+def all_baselines(n_stream):
+    return [
+        UniformHull(16),
+        PartiallyAdaptiveHull(16, train_size=n_stream // 2),
+        RadialHistogramHull(32),
+        DudleyKernelHull(32),
+        ExactHull(),
+        RandomSampleHull(32, seed=1),
+    ]
+
+
+class TestCommonContract:
+    """Every baseline obeys the HullSummary contract."""
+
+    def test_samples_are_input_points(self, small_ellipse_points):
+        pts = set(small_ellipse_points)
+        for s in all_baselines(len(small_ellipse_points)):
+            for p in small_ellipse_points:
+                s.insert(p)
+            for v in s.samples():
+                assert v in pts, s.name
+
+    def test_hull_inside_true_hull(self, small_ellipse_points):
+        true = convex_hull(small_ellipse_points)
+        for s in all_baselines(len(small_ellipse_points)):
+            for p in small_ellipse_points:
+                s.insert(p)
+            for v in s.hull():
+                assert contains_point(true, v, tol=1e-9), s.name
+
+    def test_single_point_stream(self):
+        for s in all_baselines(2):
+            s.insert((1.0, 2.0))
+            assert s.samples() == [(1.0, 2.0)], s.name
+
+    def test_sample_size_property(self, small_disk_points):
+        for s in all_baselines(len(small_disk_points)):
+            for p in small_disk_points:
+                s.insert(p)
+            assert s.sample_size == len(s.samples()), s.name
+
+
+class TestBoundedSpace:
+    def test_space_bounds(self, small_ellipse_points):
+        n = len(small_ellipse_points)
+        bounds = {
+            "uniform": 16,
+            "partial": 2 * 16 + 1,
+            "radial": 33,
+            "dudley": 32,
+            "random": 32,
+        }
+        for s in all_baselines(n):
+            if s.name == "exact":
+                continue
+            for p in small_ellipse_points:
+                s.insert(p)
+            assert s.sample_size <= bounds[s.name], s.name
+
+
+class TestExactHull:
+    def test_zero_error(self, small_disk_points):
+        s = ExactHull()
+        for p in small_disk_points:
+            s.insert(p)
+        assert s.hull() == convex_hull(small_disk_points)
+
+    def test_points_seen(self, small_disk_points):
+        s = ExactHull()
+        for p in small_disk_points:
+            s.insert(p)
+        assert s.points_seen == len(small_disk_points)
+
+
+class TestRandomSample:
+    def test_reservoir_size(self, small_disk_points):
+        s = RandomSampleHull(32, seed=7)
+        for p in small_disk_points:
+            s.insert(p)
+        assert len(s._reservoir) == 32
+
+    def test_deterministic_with_seed(self, small_disk_points):
+        a = RandomSampleHull(16, seed=3)
+        b = RandomSampleHull(16, seed=3)
+        for p in small_disk_points:
+            a.insert(p)
+            b.insert(p)
+        assert a.samples() == b.samples()
+
+    def test_much_worse_than_extremal_sampling(self, small_ellipse_points):
+        """Reservoir sampling misses extrema: its error should dwarf the
+        uniform hull's on the same budget (the motivating comparison)."""
+        rs = RandomSampleHull(16, seed=5)
+        uh = UniformHull(16)
+        for p in small_ellipse_points:
+            rs.insert(p)
+            uh.insert(p)
+        true = convex_hull(small_ellipse_points)
+        assert hull_distance(true, rs.hull()) > hull_distance(true, uh.hull())
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            RandomSampleHull(0)
+
+
+class TestRadialHistogram:
+    def test_sector_count_validation(self):
+        with pytest.raises(ValueError):
+            RadialHistogramHull(2)
+
+    def test_origin_is_first_point(self):
+        s = RadialHistogramHull(8)
+        s.insert((3.0, 4.0))
+        assert s._origin == (3.0, 4.0)
+
+    def test_keeps_farthest_per_sector(self):
+        s = RadialHistogramHull(4)
+        s.insert((0.0, 0.0))        # origin
+        s.insert((1.0, 0.1))        # sector 0
+        s.insert((5.0, 0.1))        # farther in sector 0
+        s.insert((2.0, 0.2))        # nearer, ignored
+        assert (5.0, 0.1) in s.samples()
+        assert (2.0, 0.2) not in s.samples()
+
+    def test_error_is_o_d_over_r(self, small_disk_points):
+        s = RadialHistogramHull(64)
+        for p in small_disk_points:
+            s.insert(p)
+        true = convex_hull(small_disk_points)
+        from repro.geometry.calipers import diameter as poly_diam
+
+        D = poly_diam(true)[0]
+        # Generous constant; the point is boundedness at the O(D/r) scale.
+        assert hull_distance(true, s.hull()) <= 4.0 * D * math.pi / 64 + 0.05 * D
+
+
+class TestDudley:
+    def test_anchor_validation(self):
+        with pytest.raises(ValueError):
+            DudleyKernelHull(2)
+
+    def test_warmup_buffer_exact(self):
+        s = DudleyKernelHull(16, warmup=10)
+        pts = [(float(i), float(i % 3)) for i in range(5)]
+        for p in pts:
+            s.insert(p)
+        # Still buffering: summary is exact so far.
+        assert set(s.hull()) == set(convex_hull(pts))
+
+    def test_rebuild_on_escape(self):
+        s = DudleyKernelHull(16, warmup=4)
+        for p in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]:
+            s.insert(p)
+        assert s.rebuilds == 0
+        s.insert((100.0, 100.0))  # escapes the circumscribed circle
+        assert s.rebuilds == 1
+        assert (100.0, 100.0) in s.samples()
+
+    def test_quadratic_error_shape(self, small_ellipse_points):
+        """Dudley kernels achieve O(D/r^2): doubling anchors should cut
+        the error by roughly 4x (allow slack for constants)."""
+        true = convex_hull(small_ellipse_points)
+        errs = {}
+        for r in [16, 64]:
+            s = DudleyKernelHull(r, warmup=64)
+            for p in small_ellipse_points:
+                s.insert(p)
+            errs[r] = hull_distance(true, s.hull())
+        assert errs[64] < errs[16]
+
+
+class TestPartiallyAdaptive:
+    def test_train_size_validation(self):
+        with pytest.raises(ValueError):
+            PartiallyAdaptiveHull(16, train_size=0)
+
+    def test_freezes_after_training(self):
+        s = PartiallyAdaptiveHull(16, train_size=100)
+        pts = list(as_tuples(ellipse_stream(150, seed=8)))
+        for p in pts[:99]:
+            s.insert(p)
+        assert not s.frozen
+        s.insert(pts[99])
+        assert s.frozen
+
+    def test_frozen_directions_still_update_extrema(self):
+        s = PartiallyAdaptiveHull(16, train_size=10)
+        pts = list(as_tuples(ellipse_stream(10, seed=9)))
+        for p in pts:
+            s.insert(p)
+        assert s.frozen
+        far = (100.0, 0.0)
+        assert s.insert(far)
+        assert far in s.samples()
+
+    def test_direction_count_preserved_at_freeze(self):
+        s = PartiallyAdaptiveHull(16, train_size=500)
+        for p in as_tuples(ellipse_stream(600, seed=10)):
+            s.insert(p)
+        assert s.direction_count == 2 * 16
+
+    def test_worse_than_adaptive_on_shift(self):
+        """The paper's headline for Table 1 section 4: training on the
+        wrong distribution makes the frozen hull much worse than the
+        continuously adaptive one."""
+        from repro.core import FixedSizeAdaptiveHull
+
+        pts = list(as_tuples(changing_ellipse_stream(2500, seed=11)))
+        partial = PartiallyAdaptiveHull(16, train_size=len(pts) // 2)
+        adaptive = FixedSizeAdaptiveHull(16)
+        for p in pts:
+            partial.insert(p)
+            adaptive.insert(p)
+        true = convex_hull(pts)
+        assert hull_distance(true, partial.hull()) > 2.0 * hull_distance(
+            true, adaptive.hull()
+        )
+
+    def test_edge_triangles_available_after_freeze(self):
+        s = PartiallyAdaptiveHull(16, train_size=50)
+        for p in as_tuples(ellipse_stream(200, seed=12)):
+            s.insert(p)
+        tris = list(s.edge_triangles())
+        assert tris
+        assert all(t.height >= 0.0 for t in tris)

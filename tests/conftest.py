@@ -1,0 +1,60 @@
+"""Shared fixtures: canonical point sets and stream factories."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.streams import (
+    as_tuples,
+    disk_stream,
+    ellipse_stream,
+    square_stream,
+)
+
+
+@pytest.fixture
+def unit_square():
+    """A CCW unit square polygon."""
+    return [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+
+
+@pytest.fixture
+def triangle():
+    """A CCW triangle."""
+    return [(0.0, 0.0), (4.0, 0.0), (0.0, 3.0)]
+
+
+@pytest.fixture
+def regular_hexagon():
+    """A CCW regular hexagon of circumradius 2."""
+    return [
+        (2.0 * math.cos(k * math.pi / 3.0), 2.0 * math.sin(k * math.pi / 3.0))
+        for k in range(6)
+    ]
+
+
+@pytest.fixture
+def small_disk_points():
+    """2000 seeded points in the unit disk, as tuples."""
+    return list(as_tuples(disk_stream(2000, seed=11)))
+
+
+@pytest.fixture
+def small_ellipse_points():
+    """2000 seeded points in a rotated aspect-16 ellipse, as tuples."""
+    return list(as_tuples(ellipse_stream(2000, rotation=0.1, seed=12)))
+
+
+@pytest.fixture
+def small_square_points():
+    """2000 seeded points in a tilted square, as tuples."""
+    return list(as_tuples(square_stream(2000, rotation=0.1, seed=13)))
+
+
+@pytest.fixture
+def rng():
+    """Seeded stdlib RNG for ad-hoc randomness inside tests."""
+    return random.Random(1234)

@@ -1,0 +1,62 @@
+"""Tests for the summary interface and input validation."""
+
+import math
+
+import pytest
+
+from repro.core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull
+from repro.core.base import check_point
+
+
+class TestCheckPoint:
+    def test_valid_tuple(self):
+        assert check_point((1.0, 2.0)) == (1.0, 2.0)
+
+    def test_valid_list(self):
+        assert check_point([1, 2]) == [1, 2]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_point((float("nan"), 0.0))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_point((0.0, math.inf))
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            check_point("xy")
+
+    def test_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            check_point(3.0)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            check_point(None)
+
+
+class TestSummariesValidateInput:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: UniformHull(8), lambda: AdaptiveHull(8),
+         lambda: FixedSizeAdaptiveHull(8)],
+    )
+    def test_nan_rejected_before_state_change(self, factory):
+        s = factory()
+        s.insert((1.0, 1.0))
+        before = s.samples()
+        with pytest.raises(ValueError):
+            s.insert((float("nan"), 0.0))
+        assert s.samples() == before
+
+
+class TestExtend:
+    def test_returns_self(self):
+        h = UniformHull(8)
+        assert h.extend([(0.0, 0.0), (1.0, 1.0)]) is h
+        assert h.points_seen == 2
+
+    def test_sample_size_property(self):
+        h = UniformHull(8).extend([(0.0, 0.0), (2.0, 0.0), (1.0, 2.0)])
+        assert h.sample_size == len(h.samples())

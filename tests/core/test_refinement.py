@@ -1,0 +1,141 @@
+"""Unit tests for refinement-tree nodes (Section 5.1)."""
+
+import pytest
+
+from repro.core import RefinementNode
+from repro.geometry.directions import DyadicDirection
+
+R = 16
+
+
+def make_root(a=(1.0, 0.0), b=(0.0, 1.0), j=0, r=R):
+    # For r=16 directions 0 and 4 are 0 and pi/2 when j=0 span 4... use
+    # adjacent uniform directions as the algorithm does.
+    return RefinementNode(
+        DyadicDirection.uniform(j, r),
+        DyadicDirection.uniform(j + 1, r),
+        a,
+        b,
+        0,
+    )
+
+
+class TestNodeBasics:
+    def test_fresh_node_is_leaf(self):
+        n = make_root()
+        assert n.is_leaf
+        assert not n.is_vertex
+        assert n.alive
+
+    def test_vertex_node(self):
+        n = make_root(a=(1.0, 1.0), b=(1.0, 1.0))
+        assert n.is_vertex
+
+    def test_mid_vector_is_bisector(self):
+        n = make_root()
+        mv = n.mid_vector
+        expected = n.lo.bisect(n.hi).vector
+        assert mv == pytest.approx(expected)
+
+    def test_repr_mentions_kind(self):
+        n = make_root()
+        assert "leaf" in repr(n)
+
+
+class TestRefine:
+    def test_refine_creates_children(self):
+        n = make_root()
+        t = (0.8, 0.8)
+        n.refine(t)
+        assert not n.is_leaf
+        assert n.t == t
+        assert n.left.a == n.a and n.left.b == t
+        assert n.right.a == t and n.right.b == n.b
+        assert n.left.depth == n.right.depth == 1
+
+    def test_children_ranges_bisect(self):
+        n = make_root()
+        n.refine((0.8, 0.8))
+        assert n.left.lo == n.lo
+        assert n.left.hi == n.mid
+        assert n.right.lo == n.mid
+        assert n.right.hi == n.hi
+        assert n.mid == n.lo.bisect(n.hi)
+
+    def test_refine_internal_raises(self):
+        n = make_root()
+        n.refine((0.8, 0.8))
+        with pytest.raises(ValueError):
+            n.refine((0.9, 0.9))
+
+    def test_refine_with_endpoint_makes_vertex_child(self):
+        n = make_root()
+        n.refine(n.a)  # extremum coincides with endpoint a
+        assert n.left.is_vertex
+        assert not n.right.is_vertex
+
+
+class TestUnrefine:
+    def test_unrefine_restores_leaf(self):
+        n = make_root()
+        n.refine((0.8, 0.8))
+        left, right = n.left, n.right
+        n.unrefine()
+        assert n.is_leaf
+        assert n.t is None
+        assert not left.alive and not right.alive
+
+    def test_unrefine_kills_whole_subtree(self):
+        n = make_root()
+        n.refine((0.8, 0.8))
+        n.right.refine((0.5, 0.9))
+        grandchild = n.right.left
+        n.unrefine()
+        assert not grandchild.alive
+
+    def test_unrefine_leaf_is_noop(self):
+        n = make_root()
+        n.unrefine()
+        assert n.is_leaf and n.alive
+
+
+class TestTraversal:
+    def make_tree(self):
+        n = make_root()
+        n.refine((0.8, 0.8))
+        n.left.refine((0.95, 0.4))
+        return n
+
+    def test_iter_leaves_in_angular_order(self):
+        n = self.make_tree()
+        leaves = list(n.iter_leaves())
+        assert len(leaves) == 3
+        # Consecutive leaves share endpoints.
+        for prev, nxt in zip(leaves, leaves[1:]):
+            assert prev.b == nxt.a
+        # First leaf starts at the root's a, last ends at the root's b.
+        assert leaves[0].a == n.a
+        assert leaves[-1].b == n.b
+
+    def test_iter_internal(self):
+        n = self.make_tree()
+        internal = list(n.iter_internal())
+        assert len(internal) == 2
+        assert n in internal
+
+    def test_count_nodes(self):
+        n = self.make_tree()
+        assert n.count_nodes() == 5  # root + 2 children + 2 grandchildren
+
+    def test_height(self):
+        n = self.make_tree()
+        assert n.height() == 2
+        assert make_root().height() == 0
+
+    def test_leaf_ranges_partition_root_range(self):
+        n = self.make_tree()
+        leaves = list(n.iter_leaves())
+        assert leaves[0].lo == n.lo
+        assert leaves[-1].hi == n.hi
+        for prev, nxt in zip(leaves, leaves[1:]):
+            assert prev.hi == nxt.lo

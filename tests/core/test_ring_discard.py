@@ -1,0 +1,95 @@
+"""Tests for the paper-exact ring-of-uncertainty-triangles discard
+(Algorithm AdaptiveHull, step 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptiveHull
+from repro.geometry.distance import point_polygon_distance
+from repro.streams import as_tuples, disk_stream, ellipse_stream, spiral_stream
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))
+point_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=40)
+
+
+def feed(h, pts):
+    for p in pts:
+        h.insert(p)
+    return h
+
+
+class TestRingDiscardBehaviour:
+    def test_processes_far_fewer_points(self, small_ellipse_points):
+        plain = feed(AdaptiveHull(16), small_ellipse_points)
+        ring = feed(AdaptiveHull(16, ring_discard=True), small_ellipse_points)
+        assert ring.points_processed < plain.points_processed
+        assert ring.ring_discards > 0
+        assert (
+            ring.points_processed + ring.ring_discards
+            <= plain.points_processed
+        )
+
+    def test_disabled_by_default(self, small_disk_points):
+        h = feed(AdaptiveHull(16), small_disk_points)
+        assert h.ring_discards == 0
+
+    def test_counters_partition_the_stream(self, small_ellipse_points):
+        h = feed(AdaptiveHull(16, ring_discard=True), small_ellipse_points)
+        assert h.points_seen == len(small_ellipse_points)
+        # seen = inside-hull discards + ring discards + processed
+        assert h.points_processed + h.ring_discards <= h.points_seen
+
+
+class TestRingDiscardGuarantees:
+    """Corollary 5.2 is designed for the ring discard; the 16*pi*P/r^2
+    bound must hold verbatim."""
+
+    def bound(self, h):
+        return 16.0 * math.pi * h.perimeter / (h.r * h.r)
+
+    @pytest.mark.parametrize("make", [
+        lambda: ellipse_stream(3000, rotation=0.1, seed=31),
+        lambda: disk_stream(3000, seed=32),
+        lambda: spiral_stream(800, seed=33),
+    ])
+    def test_error_bound_holds(self, make):
+        pts = list(as_tuples(make()))
+        h = feed(AdaptiveHull(16, ring_discard=True), pts)
+        worst = max(point_polygon_distance(h.hull(), p) for p in pts)
+        assert worst <= self.bound(h) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(point_lists)
+    def test_error_bound_on_random_streams(self, pts):
+        h = feed(AdaptiveHull(8, ring_discard=True), pts)
+        hull = h.hull()
+        if not hull:
+            return
+        worst = max(point_polygon_distance(hull, p) for p in pts)
+        assert worst <= self.bound(h) + 1e-7
+
+    def test_invariants_hold(self, small_ellipse_points):
+        h = feed(AdaptiveHull(16, ring_discard=True), small_ellipse_points)
+        h.check_invariants()
+
+    def test_sample_bound_holds(self, small_ellipse_points):
+        h = feed(AdaptiveHull(16, ring_discard=True), small_ellipse_points)
+        assert len(h.samples()) <= 33
+
+    def test_error_close_to_plain_variant(self, small_ellipse_points):
+        from repro.experiments.metrics import hull_distance
+        from repro.geometry import convex_hull
+
+        true = convex_hull(small_ellipse_points)
+        plain = feed(AdaptiveHull(16), small_ellipse_points)
+        ring = feed(AdaptiveHull(16, ring_discard=True), small_ellipse_points)
+        e_plain = hull_distance(true, plain.hull())
+        e_ring = hull_distance(true, ring.hull())
+        # Ring discard may lose borderline points, but only within the
+        # uncertainty tolerance — same error class.
+        assert e_ring <= 4.0 * max(e_plain, 1e-6) + self.bound(ring)

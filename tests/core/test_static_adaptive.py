@@ -1,0 +1,131 @@
+"""Tests for the offline adaptive sampling of Section 4 (Lemmas 4.2/4.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptiveHull, adaptive_sample
+from repro.experiments.metrics import hull_distance
+from repro.geometry import contains_point, convex_hull, diameter
+from repro.streams import as_tuples, disk_stream, ellipse_stream
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))
+point_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=50)
+
+
+class TestValidation:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            adaptive_sample([], 16)
+
+    def test_small_r_raises(self):
+        with pytest.raises(ValueError):
+            adaptive_sample([(0.0, 0.0)], 4)
+
+
+class TestDegenerate:
+    def test_single_point(self):
+        res = adaptive_sample([(1.0, 2.0)], 16)
+        assert res.samples == [(1.0, 2.0)]
+        assert res.refinements == 0
+        assert res.perimeter == 0.0
+
+    def test_identical_points(self):
+        res = adaptive_sample([(3.0, 4.0)] * 20, 16)
+        assert res.samples == [(3.0, 4.0)]
+
+    def test_collinear_points(self):
+        pts = [(float(i), float(i)) for i in range(10)]
+        res = adaptive_sample(pts, 16)
+        assert set(res.hull) == {(0.0, 0.0), (9.0, 9.0)}
+
+
+class TestLemma42SampleBound:
+    """Adaptive sampling adds at most r + 1 new extrema."""
+
+    @pytest.mark.parametrize("r", [8, 16, 32])
+    def test_on_ellipse(self, r, small_ellipse_points):
+        res = adaptive_sample(small_ellipse_points, r)
+        assert len(res.added_extrema) <= r + 1
+        assert len(res.samples) <= 2 * r + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_lists)
+    def test_on_random_sets(self, pts):
+        res = adaptive_sample(pts, 8)
+        assert len(res.added_extrema) <= 9
+        assert len(res.samples) <= 17
+
+
+class TestLemma43ErrorBound:
+    """Every final uncertainty triangle has height O(D/r^2)."""
+
+    @pytest.mark.parametrize("r", [16, 32])
+    def test_triangle_heights(self, r, small_ellipse_points):
+        res = adaptive_sample(small_ellipse_points, r)
+        D = diameter(convex_hull(small_ellipse_points))[0]
+        # Lemma 4.3's worst case is edges ~2P/r with theta <= theta0/2;
+        # use the explicit constant from the proof with P <= pi*D.
+        bound = 16.0 * math.pi * D / (r * r)
+        for t in res.leaf_triangles():
+            assert t.height <= bound
+
+    def test_hull_distance_quadratic(self, small_ellipse_points):
+        true = convex_hull(small_ellipse_points)
+        D = diameter(true)[0]
+        err = {}
+        for r in [8, 32]:
+            res = adaptive_sample(small_ellipse_points, r)
+            err[r] = hull_distance(true, res.hull)
+        assert err[32] < err[8] / 4.0
+        assert err[32] <= 16.0 * math.pi * D / (32 * 32)
+
+
+class TestStructure:
+    def test_samples_are_input_points(self, small_disk_points):
+        res = adaptive_sample(small_disk_points, 16)
+        pts = set(small_disk_points)
+        assert all(s in pts for s in res.samples)
+
+    def test_hull_inside_true(self, small_disk_points):
+        true = convex_hull(small_disk_points)
+        res = adaptive_sample(small_disk_points, 16)
+        assert all(contains_point(true, v, tol=1e-9) for v in res.hull)
+
+    def test_height_limit_respected(self, small_ellipse_points):
+        res = adaptive_sample(small_ellipse_points, 16, height_limit=2)
+        for root in res.roots:
+            if root is not None:
+                assert root.height() <= 2
+
+    def test_refinement_count_bounded(self, small_ellipse_points):
+        # Lemma 4.1: each refinement lowers the total positive weight by
+        # >= 1 and the initial total is about r, so refinements stay
+        # within a small multiple of r.
+        r = 16
+        res = adaptive_sample(small_ellipse_points, r)
+        assert res.refinements <= 4 * r
+
+
+class TestStaticVsStreaming:
+    """The streaming algorithm should be in the same quality class as
+    the static one on the same data (the static version sees all points
+    for every direction, so it is at least as accurate)."""
+
+    def test_comparable_error(self, small_ellipse_points):
+        true = convex_hull(small_ellipse_points)
+        static_err = hull_distance(
+            true, adaptive_sample(small_ellipse_points, 16).hull
+        )
+        h = AdaptiveHull(16)
+        for p in small_ellipse_points:
+            h.insert(p)
+        stream_err = hull_distance(true, h.hull())
+        D = diameter(true)[0]
+        bound = 16.0 * math.pi * D / 256
+        assert static_err <= bound
+        assert stream_err <= bound

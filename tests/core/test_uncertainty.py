@@ -1,0 +1,98 @@
+"""Unit tests for uncertainty triangles (Section 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import apex_point, triangle_for_edge
+from repro.geometry.vec import dist, dot, unit
+
+
+class TestApexPoint:
+    def test_perpendicular_supports(self):
+        # a extreme in +x at (1,0); b extreme in +y at (0,1).
+        apex = apex_point((1.0, 0.0), (0.0, 1.0), (1.0, 0.0), (0.0, 1.0))
+        assert apex == pytest.approx((1.0, 1.0))
+
+    def test_parallel_supports_none(self):
+        assert apex_point((0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (0.0, 1.0)) is None
+
+    def test_apex_on_both_lines(self):
+        a, b = (2.0, 0.0), (1.5, 1.5)
+        u1, u2 = unit(0.1), unit(0.9)
+        apex = apex_point(a, b, u1, u2)
+        assert dot(apex, u1) == pytest.approx(dot(a, u1))
+        assert dot(apex, u2) == pytest.approx(dot(b, u2))
+
+
+class TestTriangleForEdge:
+    def test_vertex_node_degenerate(self):
+        t = triangle_for_edge((1.0, 1.0), (1.0, 1.0), unit(0.0), unit(0.5))
+        assert t.height == 0.0
+        assert t.ell_tilde == 0.0
+        assert t.apex is None
+
+    def test_quarter_circle_triangle(self):
+        # Unit-circle extremes at 0 and pi/2: apex at (1,1),
+        # height = distance from (1,1) to the chord x + y = 1.
+        t = triangle_for_edge((1.0, 0.0), (0.0, 1.0), unit(0.0), unit(math.pi / 2))
+        assert t.apex == pytest.approx((1.0, 1.0))
+        assert t.height == pytest.approx(1.0 / math.sqrt(2.0))
+        assert t.ell_tilde == pytest.approx(2.0)
+
+    def test_ell_tilde_at_least_edge_length(self):
+        a, b = (1.0, 0.0), (0.0, 1.0)
+        t = triangle_for_edge(a, b, unit(0.0), unit(math.pi / 2))
+        assert t.ell_tilde >= dist(a, b)
+
+    def test_parallel_supports_flatten(self):
+        a, b = (0.0, 0.0), (2.0, 0.0)
+        t = triangle_for_edge(a, b, (0.0, 1.0), (0.0, 1.0))
+        assert t.height == 0.0
+        assert t.ell_tilde == pytest.approx(2.0)
+
+    def test_small_angle_small_height(self):
+        # Eq. (1): height <= len * tan(theta/2); for theta -> 0 it vanishes.
+        a = (1.0, 0.0)
+        for theta in [0.5, 0.25, 0.1, 0.02]:
+            b = (math.cos(theta), math.sin(theta))
+            t = triangle_for_edge(a, b, unit(0.0), unit(theta))
+            bound = dist(a, b) * math.tan(theta / 2.0) + 1e-12
+            assert t.height <= bound * (1 + 1e-9)
+
+    @settings(max_examples=60)
+    @given(
+        st.floats(min_value=0.05, max_value=1.4),
+        st.floats(min_value=0.0, max_value=6.28),
+    )
+    def test_circle_arc_triangles_heights(self, span, start):
+        # Extremes of the unit circle in directions start, start+span.
+        a = unit(start)
+        b = unit(start + span)
+        t = triangle_for_edge(a, b, unit(start), unit(start + span))
+        # Exact: apex at distance 1/cos(span/2) from origin, height =
+        # 1/cos(span/2) - cos(span/2).
+        expected = 1.0 / math.cos(span / 2.0) - math.cos(span / 2.0)
+        assert t.height == pytest.approx(expected, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=60)
+    @given(
+        st.floats(min_value=0.05, max_value=1.4),
+        st.floats(min_value=0.0, max_value=6.28),
+    )
+    def test_eq1_bound_holds(self, span, start):
+        # The paper's Eq. (1): height <= len(pq) * tan(theta/2) (with
+        # tan(t) ~ t/2 nearby); check the tan form exactly.
+        a = unit(start)
+        b = unit(start + span)
+        t = triangle_for_edge(a, b, unit(start), unit(start + span))
+        assert t.height <= dist(a, b) * math.tan(span / 2.0) * (1 + 1e-9) + 1e-12
+
+    def test_numerically_inverted_supports_clamped(self):
+        # Supports inconsistent with convex position: ell_tilde must not
+        # drop below the edge length (defensive clamp).
+        a, b = (0.0, 0.0), (1.0, 0.0)
+        t = triangle_for_edge(a, b, unit(1.5), unit(1.6))
+        assert t.ell_tilde >= dist(a, b) - 1e-12

@@ -1,0 +1,217 @@
+"""Unit and property tests for the uniformly sampled hull (Section 3)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UniformHull
+from repro.geometry import contains_point, convex_hull, diameter
+from repro.geometry.vec import dist, dot, unit
+from repro.experiments.metrics import hull_distance
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))
+points = st.tuples(coords, coords)
+point_lists = st.lists(points, min_size=1, max_size=60)
+
+
+class TestConstruction:
+    def test_requires_at_least_three_directions(self):
+        with pytest.raises(ValueError):
+            UniformHull(2)
+
+    def test_theta0(self):
+        assert UniformHull(8).theta0 == pytest.approx(math.pi / 4.0)
+
+    def test_direction_vectors(self):
+        h = UniformHull(4)
+        assert h.direction(0) == pytest.approx((1.0, 0.0))
+        assert h.direction(1)[1] == pytest.approx(1.0)
+        assert h.direction(4) == h.direction(0)  # modular indexing
+
+
+class TestInsertion:
+    def test_first_point_everywhere_extreme(self):
+        h = UniformHull(8)
+        h.insert((1.0, 2.0))
+        for j in range(8):
+            assert h.extreme(j) == (1.0, 2.0)
+        assert h.hull() == [(1.0, 2.0)]
+
+    def test_interior_point_discarded(self, unit_square):
+        h = UniformHull(8)
+        for p in unit_square:
+            h.insert(p)
+        before = h.points_processed
+        assert not h.insert((0.5, 0.5))
+        assert h.points_processed == before  # fast path, never scanned
+
+    def test_duplicate_point_no_change(self):
+        h = UniformHull(8)
+        h.insert((1.0, 0.0))
+        assert not h.insert((1.0, 0.0))
+
+    def test_points_seen_counter(self, small_disk_points):
+        h = UniformHull(8)
+        for p in small_disk_points:
+            h.insert(p)
+        assert h.points_seen == len(small_disk_points)
+
+    def test_offer_bypasses_fast_path(self, unit_square):
+        h = UniformHull(8)
+        for p in unit_square:
+            h.insert(p)
+        before = h.points_processed
+        h.offer((0.5, 0.5))
+        assert h.points_processed == before + 1
+
+
+class TestExtremaInvariants:
+    @settings(max_examples=50)
+    @given(point_lists)
+    def test_extrema_are_true_argmax(self, pts):
+        """Every stored extremum attains the true max dot product over
+        the whole stream — the invariant the error analysis rests on."""
+        r = 8
+        h = UniformHull(r)
+        for p in pts:
+            h.insert(p)
+        for j in range(r):
+            d = h.direction(j)
+            true_best = max(dot(p, d) for p in pts)
+            assert h.support(j) == pytest.approx(true_best, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=50)
+    @given(point_lists, st.integers(min_value=0, max_value=99))
+    def test_order_invariance_of_supports(self, pts, seed):
+        r = 8
+        a = UniformHull(r)
+        b = UniformHull(r)
+        shuffled = list(pts)
+        random.Random(seed).shuffle(shuffled)
+        for p in pts:
+            a.insert(p)
+        for p in shuffled:
+            b.insert(p)
+        for j in range(r):
+            assert a.support(j) == pytest.approx(b.support(j), rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=50)
+    @given(point_lists)
+    def test_sample_hull_inside_true_hull(self, pts):
+        h = UniformHull(8)
+        for p in pts:
+            h.insert(p)
+        true = convex_hull(pts)
+        if len(true) < 3:
+            return
+        for v in h.hull():
+            assert contains_point(true, v, tol=1e-7)
+
+    @settings(max_examples=50)
+    @given(point_lists)
+    def test_sample_size_bounded_by_r(self, pts):
+        r = 8
+        h = UniformHull(r)
+        for p in pts:
+            h.insert(p)
+        assert 1 <= len(h.samples()) <= r
+
+
+class TestErrorBounds:
+    def test_lemma_32_error_bound_on_disk(self, small_disk_points):
+        """Lemma 3.2: uncertainty triangle heights are O(D/r); concretely
+        height <= (D) * tan(theta0/2) since edges are <= D."""
+        r = 32
+        h = UniformHull(r)
+        for p in small_disk_points:
+            h.insert(p)
+        D = diameter(convex_hull(small_disk_points))[0]
+        bound = D * math.tan(math.pi / r)
+        for t in h.edge_triangles():
+            assert t.height <= bound * (1 + 1e-9)
+
+    def test_hull_distance_bounded(self, small_disk_points):
+        r = 32
+        h = UniformHull(r)
+        for p in small_disk_points:
+            h.insert(p)
+        true = convex_hull(small_disk_points)
+        D = diameter(true)[0]
+        assert hull_distance(true, h.hull()) <= D * math.tan(math.pi / r)
+
+    def test_lemma_31_diameter_approximation(self):
+        """Lemma 3.1: the sampled diameter is within (1 + O(1/r^2))."""
+        random.seed(5)
+        pts = [
+            (math.cos(t) * 3.0, math.sin(t) * 3.0)
+            for t in [random.uniform(0, 2 * math.pi) for _ in range(500)]
+        ]
+        for r in [8, 16, 32, 64]:
+            h = UniformHull(r)
+            for p in pts:
+                h.insert(p)
+            true_d = diameter(convex_hull(pts))[0]
+            approx_d = diameter(h.hull())[0]
+            assert approx_d <= true_d + 1e-9
+            # cos(theta0/2) lower bound from the lemma's proof.
+            assert approx_d >= true_d * math.cos(math.pi / r) - 1e-9
+
+    def test_error_shrinks_with_r(self, small_ellipse_points):
+        true = convex_hull(small_ellipse_points)
+        errs = []
+        for r in [8, 32, 128]:
+            h = UniformHull(r)
+            for p in small_ellipse_points:
+                h.insert(p)
+            errs.append(hull_distance(true, h.hull()))
+        assert errs[0] > errs[1] > errs[2] or errs[2] < errs[0] * 0.2
+
+
+class TestSampledExtent:
+    def test_requires_even_r(self):
+        h = UniformHull(9)
+        with pytest.raises(ValueError):
+            h.sampled_extent(0)
+
+    def test_square_extent(self, unit_square):
+        h = UniformHull(8)
+        for p in unit_square:
+            h.insert(p)
+        assert h.sampled_extent(0) == pytest.approx(1.0)  # x extent
+        assert h.sampled_extent(2) == pytest.approx(1.0)  # y extent
+
+    def test_empty_extent(self):
+        assert UniformHull(8).sampled_extent(0) == 0.0
+
+
+class TestPerimeter:
+    def test_single_point_zero(self):
+        h = UniformHull(8)
+        h.insert((1.0, 1.0))
+        assert h.perimeter == 0.0
+
+    def test_segment_out_and_back(self):
+        h = UniformHull(8)
+        h.insert((0.0, 0.0))
+        h.insert((3.0, 0.0))
+        assert h.perimeter == pytest.approx(6.0)
+
+    def test_square_perimeter(self, unit_square):
+        h = UniformHull(8)
+        for p in unit_square:
+            h.insert(p)
+        assert h.perimeter == pytest.approx(4.0)
+
+    def test_perimeter_at_most_true_perimeter(self, small_disk_points):
+        from repro.geometry.polygon import perimeter as poly_perim
+
+        h = UniformHull(16)
+        for p in small_disk_points:
+            h.insert(p)
+        true = convex_hull(small_disk_points)
+        assert h.perimeter <= poly_perim(true) + 1e-9

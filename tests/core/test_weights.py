@@ -1,0 +1,79 @@
+"""Unit tests for the sample-weight algebra (Section 4 / 5.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import needs_refinement, refine_threshold, sample_weight
+
+pos = st.floats(min_value=1e-6, max_value=1e6)
+r_values = st.integers(min_value=4, max_value=256)
+depths = st.integers(min_value=0, max_value=12)
+
+
+class TestSampleWeight:
+    def test_formula(self):
+        # w = r * ell / P - depth
+        assert sample_weight(2.0, 8.0, 16, 0) == pytest.approx(4.0)
+        assert sample_weight(2.0, 8.0, 16, 3) == pytest.approx(1.0)
+
+    def test_zero_perimeter_gives_minus_inf(self):
+        assert sample_weight(1.0, 0.0, 16, 0) == -math.inf
+
+    def test_weight_decreases_with_depth(self):
+        w0 = sample_weight(1.0, 4.0, 16, 0)
+        w1 = sample_weight(1.0, 4.0, 16, 1)
+        assert w1 == w0 - 1
+
+    def test_weight_decreases_with_perimeter(self):
+        assert sample_weight(1.0, 10.0, 16, 0) < sample_weight(1.0, 5.0, 16, 0)
+
+    @given(pos, pos, r_values, depths)
+    def test_threshold_is_weight_crossing(self, ell, P, r, d):
+        # w(e) > 1  <=>  P < refine_threshold(e)
+        w = sample_weight(ell, P, r, d)
+        thr = refine_threshold(ell, r, d)
+        assert (w > 1.0) == (P < thr) or math.isclose(P, thr, rel_tol=1e-12)
+
+
+class TestRefineThreshold:
+    def test_formula(self):
+        assert refine_threshold(2.0, 16, 0) == pytest.approx(32.0)
+        assert refine_threshold(2.0, 16, 3) == pytest.approx(8.0)
+
+    def test_monotone_in_ell(self):
+        assert refine_threshold(2.0, 16, 0) > refine_threshold(1.0, 16, 0)
+
+    def test_decreases_with_depth(self):
+        assert refine_threshold(1.0, 16, 5) < refine_threshold(1.0, 16, 0)
+
+
+class TestNeedsRefinement:
+    def test_refines_when_weight_above_one(self):
+        # ell=2, P=8, r=16, d=0: w = 4 > 1 -> refine.
+        assert needs_refinement(2.0, 8.0, 16, 0, height_limit=4)
+
+    def test_no_refinement_when_weight_below_one(self):
+        # ell=0.1, P=8, r=16, d=0: w = 0.2 -> no.
+        assert not needs_refinement(0.1, 8.0, 16, 0, height_limit=4)
+
+    def test_height_limit_blocks(self):
+        assert not needs_refinement(2.0, 8.0, 16, 4, height_limit=4)
+
+    def test_zero_perimeter_blocks(self):
+        assert not needs_refinement(2.0, 0.0, 16, 0, height_limit=4)
+
+    def test_effective_threshold_override(self):
+        # Exact threshold is 32; a rounded-down effective threshold of 16
+        # stops refinement earlier.
+        assert needs_refinement(2.0, 20.0, 16, 0, 4)
+        assert not needs_refinement(
+            2.0, 20.0, 16, 0, 4, effective_threshold=16.0
+        )
+
+    @given(pos, pos, r_values, depths)
+    def test_consistent_with_weight(self, ell, P, r, d):
+        if needs_refinement(ell, P, r, d, height_limit=d + 1):
+            assert sample_weight(ell, P, r, d) > 1.0 - 1e-9

@@ -1,0 +1,119 @@
+"""Tests for the experiment metric computations."""
+
+import math
+
+import pytest
+
+from repro.core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull
+from repro.experiments import (
+    QualityMetrics,
+    evaluate_summary,
+    hull_distance,
+    outside_stats,
+    triangle_heights,
+)
+from repro.geometry import convex_hull
+from repro.streams import as_tuples, ellipse_stream
+
+
+class TestHullDistance:
+    def test_identical_zero(self, unit_square):
+        assert hull_distance(unit_square, unit_square) == 0.0
+
+    def test_nested_squares(self, unit_square):
+        inner = [(0.25, 0.25), (0.75, 0.25), (0.75, 0.75), (0.25, 0.75)]
+        # Farthest true vertex (corner) from the inner square.
+        assert hull_distance(unit_square, inner) == pytest.approx(
+            math.sqrt(2.0) / 4.0
+        )
+
+    def test_empty_inputs(self, unit_square):
+        assert hull_distance([], unit_square) == 0.0
+        assert hull_distance(unit_square, []) == 0.0
+
+    def test_one_sided(self, unit_square):
+        # Approximation inside the true hull: distance measured from the
+        # true vertices only.
+        bigger = [(-1.0, -1.0), (2.0, -1.0), (2.0, 2.0), (-1.0, 2.0)]
+        assert hull_distance(bigger, unit_square) == pytest.approx(
+            math.sqrt(2.0)
+        )
+
+
+class TestOutsideStats:
+    def test_all_inside(self, unit_square):
+        max_d, frac = outside_stats(unit_square, [(0.5, 0.5), (0.1, 0.9)])
+        assert max_d == 0.0
+        assert frac == 0.0
+
+    def test_some_outside(self, unit_square):
+        pts = [(0.5, 0.5), (3.0, 0.5), (0.2, 0.2), (0.5, 2.0)]
+        max_d, frac = outside_stats(unit_square, pts)
+        assert max_d == pytest.approx(2.0)
+        assert frac == pytest.approx(0.5)
+
+    def test_empty_points(self, unit_square):
+        max_d, frac = outside_stats(unit_square, [])
+        assert max_d == 0.0 and frac == 0.0
+
+
+class TestTriangleHeights:
+    def test_adaptive_exposes_heights(self, small_ellipse_points):
+        h = AdaptiveHull(16)
+        for p in small_ellipse_points:
+            h.insert(p)
+        heights = triangle_heights(h)
+        assert heights
+        assert all(x >= 0 for x in heights)
+
+    def test_uniform_exposes_heights(self, small_ellipse_points):
+        h = UniformHull(16)
+        for p in small_ellipse_points:
+            h.insert(p)
+        assert triangle_heights(h)
+
+    def test_partial_exposes_heights(self, small_ellipse_points):
+        from repro.baselines import PartiallyAdaptiveHull
+
+        h = PartiallyAdaptiveHull(16, train_size=1000)
+        for p in small_ellipse_points:
+            h.insert(p)
+        assert triangle_heights(h)
+
+    def test_schemes_without_triangles_empty(self, small_disk_points):
+        from repro.baselines import RandomSampleHull
+
+        h = RandomSampleHull(16)
+        for p in small_disk_points:
+            h.insert(p)
+        assert triangle_heights(h) == []
+
+
+class TestEvaluateSummary:
+    def test_full_row(self, small_ellipse_points):
+        h = FixedSizeAdaptiveHull(16)
+        for p in small_ellipse_points:
+            h.insert(p)
+        m = evaluate_summary(h, small_ellipse_points)
+        assert m.scheme == "adaptive-fixed"
+        assert m.sample_size == len(h.samples())
+        assert m.max_triangle_height >= m.avg_triangle_height >= 0
+        assert 0 <= m.pct_outside <= 100
+        assert m.hull_distance >= 0
+
+    def test_max_outside_le_corollary_bound(self, small_ellipse_points):
+        h = AdaptiveHull(16)
+        for p in small_ellipse_points:
+            h.insert(p)
+        m = evaluate_summary(h, small_ellipse_points)
+        assert m.max_outside_distance <= 16 * math.pi * h.perimeter / 256 + 1e-9
+
+    def test_scaled(self):
+        m = QualityMetrics("x", 5, 1.0, 0.5, 2.0, 10.0, 0.25)
+        s = m.scaled(10.0)
+        assert s.max_triangle_height == 10.0
+        assert s.avg_triangle_height == 5.0
+        assert s.max_outside_distance == 20.0
+        assert s.pct_outside == 10.0  # percentages are not scaled
+        assert s.hull_distance == 2.5
+        assert s.sample_size == 5

@@ -1,0 +1,56 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments import (
+    full_report,
+    lower_bound_markdown,
+    run_table1,
+    scaling_markdown,
+    table1_markdown,
+)
+from repro.experiments.lower_bound import lower_bound_sweep
+from repro.experiments.scaling import error_scaling
+
+
+class TestTable1Markdown:
+    def test_structure(self):
+        rows = run_table1(n=600, sections=["disk"])
+        md = table1_markdown(rows)
+        lines = md.splitlines()
+        assert lines[0].startswith("| workload |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + len(rows)
+        assert "disk" in lines[2]
+
+    def test_unit_scaling(self):
+        rows = run_table1(n=600, sections=["disk"])
+        md_small = table1_markdown(rows, unit=1e-4)
+        md_big = table1_markdown(rows, unit=1e-2)
+        assert md_small != md_big
+
+
+class TestScalingMarkdown:
+    def test_structure(self):
+        points = error_scaling([8, 16], n=2000)
+        md = scaling_markdown(points)
+        assert "| r | uniform error | adaptive error |" in md
+        assert "| 8 |" in md and "| 16 |" in md
+        assert "log-log slopes" in md
+
+
+class TestLowerBoundMarkdown:
+    def test_structure(self):
+        points = lower_bound_sweep([8, 16])
+        md = lower_bound_markdown(points)
+        assert "| 8 |" in md and "| 16 |" in md
+        assert "D/r^2" in md
+
+
+class TestFullReport:
+    def test_contains_all_sections(self):
+        md = full_report(n=800)
+        assert "# Reproduction report" in md
+        assert "## Table 1" in md
+        assert "## Error scaling" in md
+        assert "## Lower bound" in md

@@ -1,0 +1,106 @@
+"""Tests for error/time scaling and the lower bound (Theorems 5.4/5.5)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    error_scaling,
+    loglog_slope,
+    lower_bound_sweep,
+    optimal_subsample_error,
+    work_per_point,
+)
+
+
+@pytest.fixture(scope="module")
+def scaling_points():
+    return error_scaling([8, 16, 32, 64], n=6000, seed=1)
+
+
+class TestErrorScaling:
+    def test_adaptive_error_decreases(self, scaling_points):
+        errs = [p.error for p in scaling_points if p.scheme == "adaptive"]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_adaptive_slope_near_minus_two(self, scaling_points):
+        slope = loglog_slope(scaling_points, "adaptive")
+        assert slope < -1.4, f"adaptive slope {slope} not ~ -2"
+
+    def test_uniform_slope_near_minus_one(self, scaling_points):
+        slope = loglog_slope(scaling_points, "uniform")
+        assert -2.2 < slope < -0.5, f"uniform slope {slope} not ~ -1"
+
+    def test_adaptive_strictly_steeper(self, scaling_points):
+        assert loglog_slope(scaling_points, "adaptive") < loglog_slope(
+            scaling_points, "uniform"
+        )
+
+    def test_sample_sizes_bounded(self, scaling_points):
+        for p in scaling_points:
+            if p.scheme == "adaptive":
+                assert p.sample_size <= 2 * p.r + 1
+            else:
+                assert p.sample_size <= 2 * p.r
+
+    def test_unknown_scheme_raises(self, scaling_points):
+        with pytest.raises(ValueError):
+            loglog_slope(scaling_points, "nope")
+
+
+class TestWorkPerPoint:
+    def test_counters_populated(self):
+        pts = work_per_point([8, 16], n=3000)
+        assert len(pts) == 2
+        for w in pts:
+            assert 0 < w.processed_fraction <= 1
+            assert w.nodes_visited_per_point >= 0
+
+    def test_sublinear_work_growth(self):
+        """Theorem 5.4's O(log r) amortized regime: growing r by 8x must
+        grow per-point work far slower than 8x."""
+        pts = work_per_point([8, 64], n=4000)
+        w8, w64 = pts[0], pts[1]
+        assert w64.nodes_visited_per_point < 8.0 * max(
+            w8.nodes_visited_per_point, 0.5
+        )
+
+    def test_processed_fraction_small(self):
+        """Most stream points are inside the hull and take the O(log r)
+        fast path; only a vanishing fraction is processed."""
+        pts = work_per_point([16], n=4000)
+        assert pts[0].processed_fraction < 0.2
+
+
+class TestLowerBound:
+    def test_formula(self):
+        # radius * (1 - cos(pi / (2r)))
+        assert optimal_subsample_error(8) == pytest.approx(
+            1.0 - math.cos(math.pi / 16.0)
+        )
+
+    def test_r_validation(self):
+        with pytest.raises(ValueError):
+            optimal_subsample_error(1)
+
+    def test_theta_d_over_r_squared(self):
+        for r in [8, 16, 32, 64]:
+            err = optimal_subsample_error(r)
+            theory = 2.0 / (r * r)  # D / r^2 with D = 2
+            # 1 - cos(x) ~ x^2/2: err ~ pi^2/(8 r^2) ~ 0.617 * D/r^2.
+            assert 0.3 * theory < err < 1.0 * theory
+
+    def test_sweep_matches_construction(self):
+        points = lower_bound_sweep([8, 16, 32], seed=0)
+        for pt in points:
+            # The streaming adaptive hull cannot beat the lower bound's
+            # order; its error is within a constant of D/r^2 and at
+            # least the best-subsample error order.
+            assert pt.adaptive_error <= 64.0 * pt.theory
+            assert pt.optimal_error <= pt.theory
+
+    def test_quadratic_decay_of_sweep(self):
+        points = lower_bound_sweep([8, 32], seed=0)
+        e8 = points[0].optimal_error
+        e32 = points[1].optimal_error
+        assert e32 == pytest.approx(e8 / 16.0, rel=0.05)

@@ -1,0 +1,100 @@
+"""Tests for the ClusterHull extension (Section 8)."""
+
+import pytest
+
+from repro.extensions import ClusterHull
+from repro.geometry import contains_point
+from repro.streams import as_tuples, clusters_stream, disk_stream, translate
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterHull(max_clusters=0)
+        with pytest.raises(ValueError):
+            ClusterHull(join_distance=-1.0)
+
+
+class TestClustering:
+    def feed(self, ch, seed=2, n=2400):
+        for p in as_tuples(clusters_stream(n, seed=seed)):
+            ch.insert(p)
+        return ch
+
+    def test_finds_three_clusters(self):
+        ch = self.feed(ClusterHull(r=16, max_clusters=6, join_distance=2.0))
+        assert len(ch.clusters) == 3
+
+    def test_cluster_sizes_balanced(self):
+        ch = self.feed(ClusterHull(r=16, max_clusters=6, join_distance=2.0))
+        sizes = ch.sizes()
+        assert sum(sizes) == ch.points_seen
+        assert min(sizes) > 400
+
+    def test_hulls_capture_their_blobs(self):
+        ch = self.feed(ClusterHull(r=16, max_clusters=6, join_distance=2.0))
+        centers = [(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)]
+        hulls = ch.hulls()
+        for c in centers:
+            assert any(
+                len(h) >= 3 and contains_point(h, c) for h in hulls
+            ), f"no cluster hull covers {c}"
+
+    def test_single_blob_single_cluster(self):
+        ch = ClusterHull(r=16, max_clusters=4, join_distance=1.0)
+        for p in as_tuples(disk_stream(1000, seed=3)):
+            ch.insert(p)
+        assert len(ch.clusters) == 1
+
+
+class TestBudgetAndMerging:
+    def test_merges_when_over_budget(self):
+        ch = ClusterHull(r=16, max_clusters=2, join_distance=0.5)
+        # Three far-apart blobs force a merge.
+        for seed, dx in [(4, 0.0), (5, 50.0), (6, 100.0)]:
+            for p in as_tuples(translate(disk_stream(200, seed=seed), dx, 0.0)):
+                ch.insert(p)
+        assert len(ch.clusters) <= 2
+        assert ch.merges >= 1
+
+    def test_merge_preserves_population(self):
+        ch = ClusterHull(r=16, max_clusters=2, join_distance=0.5)
+        total = 0
+        for seed, dx in [(7, 0.0), (8, 50.0), (9, 100.0)]:
+            for p in as_tuples(translate(disk_stream(150, seed=seed), dx, 0.0)):
+                ch.insert(p)
+                total += 1
+        assert sum(ch.sizes()) == total
+
+    def test_merge_joins_nearest_pair(self):
+        ch = ClusterHull(r=16, max_clusters=2, join_distance=0.5)
+        # Blobs at 0 and 10 are the nearest pair; 100 stays alone.
+        for seed, dx in [(10, 0.0), (11, 100.0), (12, 10.0)]:
+            for p in as_tuples(translate(disk_stream(150, seed=seed), dx, 0.0)):
+                ch.insert(p)
+        xs = sorted(
+            sum(v[0] for v in c.hull()) / len(c.hull()) for c in ch.clusters
+        )
+        assert xs[0] < 20.0 and xs[1] > 80.0
+
+    def test_sample_size_bounded(self):
+        ch = ClusterHull(r=8, max_clusters=3, join_distance=2.0)
+        for p in as_tuples(clusters_stream(3000, seed=13)):
+            ch.insert(p)
+        assert ch.sample_size <= 3 * (2 * 8 + 1)
+
+
+class TestCustomFactory:
+    def test_uniform_summaries(self):
+        from repro.core import UniformHull
+
+        ch = ClusterHull(
+            max_clusters=4,
+            join_distance=2.0,
+            summary_factory=lambda: UniformHull(8),
+        )
+        for p in as_tuples(clusters_stream(900, seed=14)):
+            ch.insert(p)
+        assert len(ch.clusters) == 3
+        for c in ch.clusters:
+            assert isinstance(c.summary, UniformHull)

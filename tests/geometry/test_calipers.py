@@ -1,0 +1,188 @@
+"""Unit and property tests for rotating calipers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    antipodal_pairs,
+    convex_hull,
+    diameter,
+    farthest_vertex_from,
+    width,
+)
+from repro.geometry.vec import dist
+
+coords = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))
+points = st.tuples(coords, coords)
+point_lists = st.lists(points, min_size=3, max_size=30)
+
+
+class TestDiameter:
+    def test_square(self, unit_square):
+        d, (a, b) = diameter(unit_square)
+        assert d == pytest.approx(math.sqrt(2.0))
+        assert dist(a, b) == pytest.approx(d)
+
+    def test_degenerate_point(self):
+        d, _ = diameter([(1.0, 1.0)])
+        assert d == 0.0
+
+    def test_degenerate_segment(self):
+        d, pair = diameter([(0.0, 0.0), (3.0, 4.0)])
+        assert d == pytest.approx(5.0)
+        assert set(pair) == {(0.0, 0.0), (3.0, 4.0)}
+
+    def test_empty(self):
+        assert diameter([])[0] == 0.0
+
+    def test_long_thin_rectangle(self):
+        rect = [(0.0, 0.0), (10.0, 0.0), (10.0, 1.0), (0.0, 1.0)]
+        d, _ = diameter(rect)
+        assert d == pytest.approx(math.sqrt(101.0))
+
+    def test_regular_hexagon(self, regular_hexagon):
+        d, _ = diameter(regular_hexagon)
+        assert d == pytest.approx(4.0)  # opposite vertices, 2 * circumradius
+
+    @settings(max_examples=80)
+    @given(point_lists)
+    def test_matches_bruteforce(self, pts):
+        poly = convex_hull(pts)
+        if len(poly) < 2:
+            return
+        d, _ = diameter(poly)
+        brute = max(
+            dist(poly[i], poly[j])
+            for i in range(len(poly))
+            for j in range(i + 1, len(poly))
+        )
+        assert d == pytest.approx(brute, rel=1e-9)
+
+    @settings(max_examples=40)
+    @given(point_lists)
+    def test_witness_realises_diameter(self, pts):
+        poly = convex_hull(pts)
+        if len(poly) < 2:
+            return
+        d, (a, b) = diameter(poly)
+        assert dist(a, b) == pytest.approx(d)
+        assert a in poly and b in poly
+
+
+class TestWidth:
+    def test_square(self, unit_square):
+        assert width(unit_square) == pytest.approx(1.0)
+
+    def test_long_thin_rectangle(self):
+        rect = [(0.0, 0.0), (10.0, 0.0), (10.0, 1.0), (0.0, 1.0)]
+        assert width(rect) == pytest.approx(1.0)
+
+    def test_triangle_is_smallest_height(self, triangle):
+        # Heights of the 3-4-5 right triangle: 3, 4, and 12/5.
+        assert width(triangle) == pytest.approx(12.0 / 5.0)
+
+    def test_degenerate_zero(self):
+        assert width([(0.0, 0.0), (5.0, 0.0)]) == 0.0
+        assert width([(1.0, 1.0)]) == 0.0
+
+    def test_rotation_invariance(self, regular_hexagon):
+        from repro.geometry.vec import rotate
+
+        w0 = width(regular_hexagon)
+        rotated = [rotate(v, 0.37) for v in regular_hexagon]
+        assert width(rotated) == pytest.approx(w0, rel=1e-9)
+
+    @settings(max_examples=60)
+    @given(point_lists)
+    def test_width_at_most_diameter(self, pts):
+        poly = convex_hull(pts)
+        if len(poly) < 3:
+            return
+        assert width(poly) <= diameter(poly)[0] + 1e-9
+
+    @settings(max_examples=40)
+    @given(point_lists)
+    def test_matches_bruteforce_edge_heights(self, pts):
+        from repro.geometry.segment import point_line_distance
+
+        poly = convex_hull(pts)
+        if len(poly) < 3:
+            return
+        n = len(poly)
+        brute = min(
+            max(
+                point_line_distance(poly[k], poly[i], poly[(i + 1) % n])
+                for k in range(n)
+            )
+            for i in range(n)
+        )
+        assert width(poly) == pytest.approx(brute, rel=1e-9)
+
+
+class TestAntipodalPairs:
+    def test_square_has_diagonals(self, unit_square):
+        pairs = antipodal_pairs(unit_square)
+        got = {
+            frozenset((unit_square[i], unit_square[j])) for i, j in pairs
+        }
+        assert frozenset({(0.0, 0.0), (1.0, 1.0)}) in got
+        assert frozenset({(1.0, 0.0), (0.0, 1.0)}) in got
+
+    def test_segment(self):
+        assert antipodal_pairs([(0.0, 0.0), (1.0, 0.0)]) == [(0, 1)]
+
+    def test_point(self):
+        assert antipodal_pairs([(0.0, 0.0)]) == []
+
+    @settings(max_examples=60)
+    @given(point_lists)
+    def test_linear_count(self, pts):
+        poly = convex_hull(pts)
+        if len(poly) < 3:
+            return
+        pairs = antipodal_pairs(poly)
+        assert len(pairs) <= 2 * len(poly)
+
+    @settings(max_examples=60)
+    @given(point_lists)
+    def test_contains_diametral_pair(self, pts):
+        poly = convex_hull(pts)
+        if len(poly) < 3:
+            return
+        pairs = antipodal_pairs(poly)
+        best = max(dist(poly[i], poly[j]) for i, j in pairs)
+        brute = max(
+            dist(poly[i], poly[j])
+            for i in range(len(poly))
+            for j in range(i + 1, len(poly))
+        )
+        assert best == pytest.approx(brute, rel=1e-9)
+
+
+class TestFarthestVertex:
+    def test_from_center(self, unit_square):
+        d, v = farthest_vertex_from(unit_square, (0.5, 0.5))
+        assert d == pytest.approx(math.sqrt(0.5))
+
+    def test_from_far_away(self, unit_square):
+        d, v = farthest_vertex_from(unit_square, (10.0, 10.0))
+        assert v == (0.0, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            farthest_vertex_from([], (0.0, 0.0))
+
+    @settings(max_examples=40)
+    @given(point_lists, points)
+    def test_farthest_over_hull_equals_over_points(self, pts, q):
+        # The farthest point of a set from q is always a hull vertex.
+        poly = convex_hull(pts)
+        if len(poly) < 1:
+            return
+        d, _ = farthest_vertex_from(poly, q)
+        assert d == pytest.approx(max(dist(q, p) for p in pts), rel=1e-9)

@@ -1,0 +1,94 @@
+"""Unit and property tests for the smallest enclosing circle."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import smallest_enclosing_circle
+from repro.geometry.vec import dist
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))
+points = st.tuples(coords, coords)
+point_lists = st.lists(points, min_size=1, max_size=40)
+
+
+class TestSmallestEnclosingCircle:
+    def test_single_point(self):
+        c, r = smallest_enclosing_circle([(2.0, 3.0)])
+        assert c == (2.0, 3.0)
+        assert r == 0.0
+
+    def test_two_points(self):
+        c, r = smallest_enclosing_circle([(0.0, 0.0), (4.0, 0.0)])
+        assert c == pytest.approx((2.0, 0.0))
+        assert r == pytest.approx(2.0)
+
+    def test_equilateral_triangle(self):
+        pts = [
+            (math.cos(2 * math.pi * k / 3), math.sin(2 * math.pi * k / 3))
+            for k in range(3)
+        ]
+        c, r = smallest_enclosing_circle(pts)
+        assert c == pytest.approx((0.0, 0.0), abs=1e-9)
+        assert r == pytest.approx(1.0)
+
+    def test_right_triangle_diametral(self):
+        # For a right triangle the circle is determined by the hypotenuse.
+        c, r = smallest_enclosing_circle([(0.0, 0.0), (4.0, 0.0), (0.0, 3.0)])
+        assert c == pytest.approx((2.0, 1.5))
+        assert r == pytest.approx(2.5)
+
+    def test_square(self, unit_square):
+        c, r = smallest_enclosing_circle(unit_square)
+        assert c == pytest.approx((0.5, 0.5))
+        assert r == pytest.approx(math.sqrt(0.5))
+
+    def test_duplicates_ignored(self):
+        c, r = smallest_enclosing_circle([(1.0, 1.0)] * 7)
+        assert r == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_enclosing_circle([])
+
+    def test_interior_points_irrelevant(self, unit_square):
+        with_inner = unit_square + [(0.5, 0.5), (0.3, 0.7)]
+        c1, r1 = smallest_enclosing_circle(unit_square)
+        c2, r2 = smallest_enclosing_circle(with_inner)
+        assert r1 == pytest.approx(r2)
+
+    def test_deterministic_given_seed(self, small_disk_points):
+        a = smallest_enclosing_circle(small_disk_points, seed=3)
+        b = smallest_enclosing_circle(small_disk_points, seed=3)
+        assert a == b
+
+    @settings(max_examples=60)
+    @given(point_lists)
+    def test_encloses_all_points(self, pts):
+        c, r = smallest_enclosing_circle(pts)
+        for p in pts:
+            assert dist(c, p) <= r * (1 + 1e-7) + 1e-7
+
+    @settings(max_examples=60)
+    @given(point_lists)
+    def test_not_larger_than_diameter_circle(self, pts):
+        # r <= diameter of the set (trivially true for the optimum; a
+        # gross overshoot would indicate a Welzl bug).
+        c, r = smallest_enclosing_circle(pts)
+        if len(pts) < 2:
+            return
+        diam = max(
+            dist(a, b) for i, a in enumerate(pts) for b in pts[i + 1 :]
+        )
+        assert r <= diam + 1e-7
+
+    @settings(max_examples=30)
+    @given(point_lists, st.integers(min_value=0, max_value=5))
+    def test_seed_does_not_change_radius(self, pts, seed):
+        r0 = smallest_enclosing_circle(pts, seed=0)[1]
+        r1 = smallest_enclosing_circle(pts, seed=seed)[1]
+        assert r0 == pytest.approx(r1, rel=1e-9, abs=1e-9)

@@ -1,0 +1,159 @@
+"""Unit tests for the exact dyadic direction arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.directions import DyadicDirection, full_turn_units
+
+R = 16
+
+
+def d(num, level, r=R):
+    return DyadicDirection(num, level, r)
+
+
+class TestCanonicalisation:
+    def test_uniform_is_level_zero(self):
+        x = DyadicDirection.uniform(3, R)
+        assert x.level == 0 and x.num == 3
+
+    def test_even_numerator_reduces(self):
+        assert d(6, 1) == d(3, 0)
+
+    def test_deep_reduction(self):
+        assert d(8, 3) == d(1, 0)
+
+    def test_wraparound(self):
+        assert d(R + 2, 0) == d(2, 0)
+
+    def test_negative_wraps(self):
+        assert d(-1, 0) == d(R - 1, 0)
+
+    def test_index_equals_level(self):
+        assert d(1, 0).index == 0
+        assert d(1, 3).index == 3
+        assert d(4, 3).index == 1  # 4/8 reduces to 1/2
+
+    def test_invalid_r_raises(self):
+        with pytest.raises(ValueError):
+            DyadicDirection(0, 0, 0)
+
+    def test_negative_level_raises(self):
+        with pytest.raises(ValueError):
+            DyadicDirection(1, -1, R)
+
+
+class TestAngles:
+    def test_theta_of_uniform(self):
+        assert d(4, 0).theta == pytest.approx(4 * 2 * math.pi / R)
+
+    def test_theta_of_refined(self):
+        assert d(1, 1).theta == pytest.approx(math.pi / R)
+
+    def test_vector_unit_length(self):
+        v = d(5, 2).vector
+        assert math.hypot(*v) == pytest.approx(1.0)
+
+    def test_vector_direction(self):
+        v = d(0, 0).vector
+        assert v[0] == pytest.approx(1.0)
+        assert v[1] == pytest.approx(0.0, abs=1e-15)
+
+
+class TestOrderingAndHashing:
+    def test_total_order(self):
+        assert d(0, 0) < d(1, 1) < d(1, 0)
+
+    def test_le_includes_equality(self):
+        assert d(1, 0) <= d(1, 0)
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(d(6, 1)) == hash(d(3, 0))
+
+    def test_cross_grid_comparison_raises(self):
+        with pytest.raises(ValueError):
+            _ = d(1, 0, r=16) < d(1, 0, r=32)
+
+    def test_usable_as_dict_key(self):
+        m = {d(1, 0): "a"}
+        assert m[d(2, 1)] == "a"
+
+
+class TestBisection:
+    def test_bisect_adjacent_uniform(self):
+        m = d(0, 0).bisect(d(1, 0))
+        assert m == d(1, 1)
+        assert m.index == 1
+
+    def test_bisect_refined_range(self):
+        m = d(0, 0).bisect(d(1, 1))
+        assert m == d(1, 2)
+
+    def test_bisect_wrapping_range(self):
+        # Interval from direction R-1 to 0 wraps through the origin.
+        m = d(R - 1, 0).bisect(d(0, 0))
+        assert m == d(2 * (R - 1) + 1, 1)
+
+    def test_bisect_empty_raises(self):
+        with pytest.raises(ValueError):
+            d(3, 0).bisect(d(3, 0))
+
+    def test_bisect_strictly_inside(self):
+        lo, hi = d(2, 0), d(3, 0)
+        m = lo.bisect(hi)
+        assert lo < m < hi
+
+    @given(
+        st.integers(min_value=0, max_value=R - 1),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_repeated_bisection_increases_index(self, j, depth):
+        lo = DyadicDirection.uniform(j, R)
+        hi = DyadicDirection.uniform(j + 1, R)
+        for i in range(depth):
+            m = lo.bisect(hi)
+            assert m.index == i + 1
+            hi = m
+
+    def test_bisect_angle_is_halved(self):
+        lo, hi = d(0, 0), d(1, 0)
+        m = lo.bisect(hi)
+        assert lo.angle_between(m) == pytest.approx(lo.angle_between(hi) / 2)
+
+
+class TestIntervals:
+    def test_angle_between_adjacent(self):
+        assert d(0, 0).angle_between(d(1, 0)) == pytest.approx(2 * math.pi / R)
+
+    def test_angle_between_wraps(self):
+        assert d(R - 1, 0).angle_between(d(1, 0)) == pytest.approx(
+            4 * math.pi / R
+        )
+
+    def test_in_ccw_interval_basic(self):
+        assert d(1, 1).in_ccw_interval(d(0, 0), d(1, 0))
+
+    def test_in_ccw_interval_endpoints(self):
+        assert d(0, 0).in_ccw_interval(d(0, 0), d(1, 0))
+        assert d(1, 0).in_ccw_interval(d(0, 0), d(1, 0))
+
+    def test_not_in_interval(self):
+        assert not d(2, 0).in_ccw_interval(d(0, 0), d(1, 0))
+
+    def test_wrapping_interval_contains(self):
+        assert d(0, 0).in_ccw_interval(d(R - 1, 0), d(1, 0))
+
+    def test_degenerate_interval(self):
+        assert d(3, 0).in_ccw_interval(d(3, 0), d(3, 0))
+        assert not d(4, 0).in_ccw_interval(d(3, 0), d(3, 0))
+
+    def test_units_at_coarser_level_raises(self):
+        with pytest.raises(ValueError):
+            d(1, 2).units_at(1)
+
+    def test_full_turn_units(self):
+        assert full_turn_units(16, 0) == 16
+        assert full_turn_units(16, 3) == 128

@@ -1,0 +1,166 @@
+"""Unit and property tests for convex hulls (static and online)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import OnlineHull, convex_hull, contains_point, is_convex_ccw
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))  # quantised: avoids 1e-14 tolerance-boundary ties
+points = st.tuples(coords, coords)
+point_lists = st.lists(points, min_size=0, max_size=40)
+
+
+class TestStaticHullBasics:
+    def test_empty(self):
+        assert convex_hull([]) == []
+
+    def test_single_point(self):
+        assert convex_hull([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_duplicate_points_collapse(self):
+        assert convex_hull([(1.0, 2.0)] * 5) == [(1.0, 2.0)]
+
+    def test_two_points(self):
+        h = convex_hull([(0.0, 0.0), (1.0, 1.0)])
+        assert len(h) == 2
+
+    def test_collinear_returns_extremes(self):
+        h = convex_hull([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+        assert h == [(0.0, 0.0), (3.0, 3.0)]
+
+    def test_square_with_interior_point(self, unit_square):
+        h = convex_hull(unit_square + [(0.5, 0.5)])
+        assert set(h) == set(unit_square)
+
+    def test_square_with_edge_midpoints_dropped(self, unit_square):
+        mids = [(0.5, 0.0), (1.0, 0.5), (0.5, 1.0), (0.0, 0.5)]
+        h = convex_hull(unit_square + mids)
+        assert set(h) == set(unit_square)
+
+    def test_ccw_orientation(self, unit_square):
+        h = convex_hull(unit_square)
+        assert is_convex_ccw(h)
+
+    def test_starts_at_lexicographic_min(self):
+        h = convex_hull([(2.0, 2.0), (0.0, 0.0), (2.0, 0.0), (0.0, 2.0)])
+        assert h[0] == (0.0, 0.0)
+
+
+class TestStaticHullProperties:
+    @settings(max_examples=80)
+    @given(point_lists)
+    def test_hull_is_convex_ccw_or_degenerate(self, pts):
+        h = convex_hull(pts)
+        if len(h) >= 3:
+            assert is_convex_ccw(h)
+
+    @settings(max_examples=80)
+    @given(point_lists)
+    def test_hull_vertices_are_input_points(self, pts):
+        h = convex_hull(pts)
+        assert set(h) <= set(pts)
+
+    @settings(max_examples=80)
+    @given(point_lists)
+    def test_all_points_inside_hull(self, pts):
+        h = convex_hull(pts)
+        if len(h) < 3:
+            return
+        for p in pts:
+            assert contains_point(h, p, tol=1e-7)
+
+    @settings(max_examples=80)
+    @given(point_lists)
+    def test_idempotent(self, pts):
+        h = convex_hull(pts)
+        assert convex_hull(h) == sorted_cycle(h)
+
+    @settings(max_examples=50)
+    @given(point_lists, st.integers(min_value=0, max_value=1000))
+    def test_order_invariance(self, pts, seed):
+        shuffled = list(pts)
+        random.Random(seed).shuffle(shuffled)
+        assert set(convex_hull(pts)) == set(convex_hull(shuffled))
+
+
+def sorted_cycle(poly):
+    """Rotate a polygon so it starts at the lexicographic minimum (the
+    static hull's normal form); degenerate inputs are returned as is."""
+    if len(poly) < 3:
+        return sorted(poly)
+    i = poly.index(min(poly))
+    return poly[i:] + poly[:i]
+
+
+class TestOnlineHull:
+    def test_empty(self):
+        oh = OnlineHull()
+        assert oh.vertices() == []
+        assert oh.size == 0
+
+    def test_single_insert(self):
+        oh = OnlineHull()
+        assert oh.insert((1.0, 1.0))
+        assert oh.vertices() == [(1.0, 1.0)]
+
+    def test_duplicate_insert_no_change(self):
+        oh = OnlineHull([(1.0, 1.0)])
+        assert not oh.insert((1.0, 1.0))
+
+    def test_interior_point_no_change(self, unit_square):
+        oh = OnlineHull(unit_square)
+        assert not oh.insert((0.5, 0.5))
+        assert set(oh.vertices()) == set(unit_square)
+
+    def test_exterior_point_changes(self, unit_square):
+        oh = OnlineHull(unit_square)
+        assert oh.insert((3.0, 0.5))
+        assert (3.0, 0.5) in oh.vertices()
+
+    def test_contains(self, unit_square):
+        oh = OnlineHull(unit_square)
+        assert oh.contains((0.5, 0.5))
+        assert oh.contains((0.0, 0.0))
+        assert not oh.contains((2.0, 2.0))
+
+    def test_points_seen_counter(self):
+        oh = OnlineHull()
+        for i in range(10):
+            oh.insert((float(i % 3), float(i % 2)))
+        assert oh.points_seen == 10
+
+    @settings(max_examples=60)
+    @given(point_lists)
+    def test_matches_static_hull(self, pts):
+        oh = OnlineHull()
+        for p in pts:
+            oh.insert(p)
+        assert set(oh.vertices()) == set(convex_hull(pts))
+
+    @settings(max_examples=40)
+    @given(point_lists, st.integers(min_value=0, max_value=99))
+    def test_insertion_order_irrelevant(self, pts, seed):
+        a = OnlineHull(pts)
+        shuffled = list(pts)
+        random.Random(seed).shuffle(shuffled)
+        b = OnlineHull(shuffled)
+        assert set(a.vertices()) == set(b.vertices())
+
+    def test_large_random_agrees_with_static(self, small_disk_points):
+        oh = OnlineHull(small_disk_points)
+        assert oh.vertices() == convex_hull(small_disk_points)
+
+    def test_convex_position_keeps_everything(self):
+        # Points on a circle: every one is a hull vertex.
+        pts = [
+            (math.cos(2 * math.pi * k / 17), math.sin(2 * math.pi * k / 17))
+            for k in range(17)
+        ]
+        oh = OnlineHull(pts)
+        assert oh.size == 17

@@ -1,0 +1,121 @@
+"""Tests for Minkowski sums/differences and the distance cross-check."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    area,
+    contains_point,
+    convex_hull,
+    distance_via_minkowski,
+    intersects_via_minkowski,
+    linearly_separable,
+    minkowski_difference,
+    minkowski_sum,
+    polygon_distance,
+)
+
+coords = st.floats(
+    min_value=-20, max_value=20, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))
+points = st.tuples(coords, coords)
+point_lists = st.lists(points, min_size=3, max_size=12)
+
+
+class TestMinkowskiSum:
+    def test_square_plus_square(self, unit_square):
+        s = minkowski_sum(unit_square, unit_square)
+        assert area(s) == pytest.approx(4.0)
+        assert set(s) == {(0, 0), (2, 0), (2, 2), (0, 2)}
+
+    def test_sum_with_point_translates(self, unit_square):
+        s = minkowski_sum(unit_square, [(5.0, 7.0)])
+        assert set(s) == {(5, 7), (6, 7), (6, 8), (5, 8)}
+
+    def test_empty_inputs(self, unit_square):
+        assert minkowski_sum([], unit_square) == []
+        assert minkowski_sum(unit_square, []) == []
+
+    def test_commutative(self, unit_square, triangle):
+        a = minkowski_sum(unit_square, triangle)
+        b = minkowski_sum(triangle, unit_square)
+        assert set(a) == set(b)
+
+    @settings(max_examples=40)
+    @given(point_lists, point_lists)
+    def test_area_superadditive(self, pts1, pts2):
+        # area(A + B) >= area(A) + area(B) for convex sets.
+        p = convex_hull(pts1)
+        q = convex_hull(pts2)
+        if len(p) < 3 or len(q) < 3:
+            return
+        s = minkowski_sum(p, q)
+        assert area(s) >= area(p) + area(q) - 1e-6
+
+    @settings(max_examples=40)
+    @given(point_lists, point_lists)
+    def test_support_additivity(self, pts1, pts2):
+        # The defining property: support functions add.
+        from repro.geometry.polygon import support
+        from repro.geometry.vec import unit as unit_vec
+
+        p = convex_hull(pts1)
+        q = convex_hull(pts2)
+        if len(p) < 3 or len(q) < 3:
+            return
+        s = minkowski_sum(p, q)
+        for theta in [0.0, 1.0, 2.5, 4.0]:
+            d = unit_vec(theta)
+            assert support(s, d) == pytest.approx(
+                support(p, d) + support(q, d), rel=1e-9, abs=1e-9
+            )
+
+
+class TestMinkowskiDifference:
+    def test_self_difference_contains_origin(self, unit_square):
+        diff = minkowski_difference(unit_square, unit_square)
+        assert contains_point(diff, (0.0, 0.0))
+
+    def test_disjoint_excludes_origin(self, unit_square):
+        far = [(5.0, 0.0), (6.0, 0.0), (6.0, 1.0), (5.0, 1.0)]
+        diff = minkowski_difference(unit_square, far)
+        assert not contains_point(diff, (0.0, 0.0))
+
+
+class TestCrossValidation:
+    """The Minkowski route must agree with the edge-vs-edge primary."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists, point_lists)
+    def test_distance_agrees(self, pts1, pts2):
+        p = convex_hull(pts1)
+        q = convex_hull(pts2)
+        if len(p) < 3 or len(q) < 3:
+            return
+        d_edge = polygon_distance(p, q)[0]
+        d_mink = distance_via_minkowski(p, q)
+        assert d_mink == pytest.approx(d_edge, rel=1e-6, abs=1e-7)
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists, point_lists)
+    def test_intersection_agrees(self, pts1, pts2):
+        p = convex_hull(pts1)
+        q = convex_hull(pts2)
+        if len(p) < 3 or len(q) < 3:
+            return
+        sep = linearly_separable(p, q)
+        inter = intersects_via_minkowski(p, q)
+        # Separable <=> not intersecting (ties at touching boundaries
+        # may differ within tolerance; skip the razor-edge cases).
+        d = polygon_distance(p, q)[0]
+        if d > 1e-6:
+            assert sep and not inter
+        elif d == 0.0 and not sep:
+            assert inter
+
+    def test_distance_empty_raises(self):
+        with pytest.raises(ValueError):
+            distance_via_minkowski([], [])

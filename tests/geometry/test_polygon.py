@@ -1,0 +1,200 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    area,
+    contains_point,
+    convex_hull,
+    edges,
+    extent,
+    extreme_vertex,
+    is_convex_ccw,
+    perimeter,
+    support,
+    tangent_indices,
+)
+from repro.geometry.vec import dot, unit
+
+coords = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))  # quantised: avoids 1e-14 tolerance-boundary ties
+points = st.tuples(coords, coords)
+
+
+def random_convex(draw_pts):
+    h = convex_hull(draw_pts)
+    return h if len(h) >= 3 else None
+
+
+class TestPerimeterArea:
+    def test_square_perimeter(self, unit_square):
+        assert perimeter(unit_square) == pytest.approx(4.0)
+
+    def test_square_area(self, unit_square):
+        assert area(unit_square) == pytest.approx(1.0)
+
+    def test_triangle_area(self, triangle):
+        assert area(triangle) == pytest.approx(6.0)
+
+    def test_cw_area_negative(self, unit_square):
+        assert area(list(reversed(unit_square))) == pytest.approx(-1.0)
+
+    def test_segment_perimeter_out_and_back(self):
+        assert perimeter([(0.0, 0.0), (3.0, 0.0)]) == pytest.approx(6.0)
+
+    def test_point_perimeter_zero(self):
+        assert perimeter([(1.0, 1.0)]) == 0.0
+
+    def test_degenerate_area_zero(self):
+        assert area([(0.0, 0.0), (1.0, 0.0)]) == 0.0
+        assert area([]) == 0.0
+
+    def test_hexagon_area(self, regular_hexagon):
+        # Regular hexagon with circumradius 2: area = 3*sqrt(3)/2 * R^2.
+        assert area(regular_hexagon) == pytest.approx(
+            1.5 * math.sqrt(3.0) * 4.0
+        )
+
+
+class TestContainsPoint:
+    def test_inside(self, unit_square):
+        assert contains_point(unit_square, (0.5, 0.5))
+
+    def test_outside(self, unit_square):
+        assert not contains_point(unit_square, (1.5, 0.5))
+
+    def test_on_edge(self, unit_square):
+        assert contains_point(unit_square, (1.0, 0.5))
+
+    def test_on_vertex(self, unit_square):
+        assert contains_point(unit_square, (0.0, 0.0))
+
+    def test_tolerance_expands(self, unit_square):
+        assert not contains_point(unit_square, (1.05, 0.5))
+        assert contains_point(unit_square, (1.05, 0.5), tol=0.1)
+
+    def test_empty_polygon(self):
+        assert not contains_point([], (0.0, 0.0))
+
+    def test_single_point_polygon(self):
+        assert contains_point([(1.0, 1.0)], (1.0, 1.0))
+        assert not contains_point([(1.0, 1.0)], (1.0, 1.1))
+
+    def test_segment_polygon(self):
+        seg = [(0.0, 0.0), (2.0, 0.0)]
+        assert contains_point(seg, (1.0, 0.0))
+        assert not contains_point(seg, (1.0, 0.5))
+
+    @settings(max_examples=60)
+    @given(st.lists(points, min_size=6, max_size=25), points)
+    def test_matches_bruteforce_halfplane_test(self, pts, q):
+        poly = random_convex(pts)
+        if poly is None:
+            return
+        from repro.geometry.predicates import orient
+
+        brute_inside = all(
+            orient(a, b, q) >= -1e-9 * (1 + abs(q[0]) + abs(q[1]))
+            for a, b in edges(poly)
+        )
+        brute_outside = any(
+            orient(a, b, q) < -1e-6 * (1 + abs(q[0]) + abs(q[1]))
+            for a, b in edges(poly)
+        )
+        got = contains_point(poly, q)
+        # Only check clear-cut cases; boundary ties may go either way.
+        if brute_inside:
+            assert got or not brute_inside
+        if brute_outside:
+            assert not got
+
+
+class TestExtremeVertex:
+    def test_rightmost(self, unit_square):
+        i = extreme_vertex(unit_square, (1.0, 0.0))
+        assert unit_square[i][0] == 1.0
+
+    def test_topmost(self, unit_square):
+        i = extreme_vertex(unit_square, (0.0, 1.0))
+        assert unit_square[i][1] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            extreme_vertex([], (1.0, 0.0))
+
+    def test_support_value(self, unit_square):
+        assert support(unit_square, (1.0, 0.0)) == 1.0
+        assert support(unit_square, (-1.0, 0.0)) == 0.0
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(points, min_size=3, max_size=25),
+        st.floats(min_value=0, max_value=6.283),
+    )
+    def test_extreme_is_argmax(self, pts, theta):
+        poly = random_convex(pts)
+        if poly is None:
+            return
+        d = unit(theta)
+        i = extreme_vertex(poly, d)
+        best = max(dot(v, d) for v in poly)
+        assert dot(poly[i], d) == pytest.approx(best)
+
+
+class TestExtent:
+    def test_square_axis_extent(self, unit_square):
+        assert extent(unit_square, (1.0, 0.0)) == pytest.approx(1.0)
+
+    def test_square_diagonal_extent(self, unit_square):
+        assert extent(unit_square, unit(math.pi / 4)) == pytest.approx(
+            math.sqrt(2.0)
+        )
+
+    def test_empty_extent(self):
+        assert extent([], (1.0, 0.0)) == 0.0
+
+    def test_scales_with_direction_norm(self, unit_square):
+        assert extent(unit_square, (2.0, 0.0)) == pytest.approx(2.0)
+
+
+class TestTangents:
+    def test_square_from_right(self, unit_square):
+        left, right = tangent_indices(unit_square, (3.0, 0.5))
+        assert set((unit_square[left], unit_square[right])) == {
+            (1.0, 0.0),
+            (1.0, 1.0),
+        }
+
+    def test_interior_point_raises(self, unit_square):
+        with pytest.raises(ValueError):
+            tangent_indices(unit_square, (0.5, 0.5))
+
+    def test_tiny_polygon_raises(self):
+        with pytest.raises(ValueError):
+            tangent_indices([(0.0, 0.0)], (1.0, 1.0))
+
+    @settings(max_examples=50)
+    @given(st.lists(points, min_size=4, max_size=20))
+    def test_tangent_lines_support_polygon(self, pts):
+        poly = random_convex(pts)
+        if poly is None:
+            return
+        q = (200.0, 137.0)  # far outside the coordinate range
+        from repro.geometry.predicates import orientation_sign
+
+        left, right = tangent_indices(poly, q)
+        # Left tangent: the whole polygon is right of ray q -> poly[left]
+        # (no vertex strictly to the left); right tangent symmetric.
+        left_signs = {
+            orientation_sign(q, poly[left], v) for v in poly if v != poly[left]
+        }
+        right_signs = {
+            orientation_sign(q, poly[right], v) for v in poly if v != poly[right]
+        }
+        assert 1 not in left_signs
+        assert -1 not in right_signs

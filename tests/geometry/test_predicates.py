@@ -1,0 +1,118 @@
+"""Unit tests for repro.geometry.predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import predicates as pr
+
+coords = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(coords, coords)
+
+
+class TestOrient:
+    def test_ccw_positive(self):
+        assert pr.orient((0, 0), (1, 0), (0, 1)) > 0
+
+    def test_cw_negative(self):
+        assert pr.orient((0, 0), (0, 1), (1, 0)) < 0
+
+    def test_collinear_zero(self):
+        assert pr.orient((0, 0), (1, 1), (2, 2)) == 0.0
+
+    def test_orient_is_twice_area(self):
+        # Right triangle with legs 3 and 4: area 6, orient 12.
+        assert pr.orient((0, 0), (3, 0), (0, 4)) == pytest.approx(12.0)
+
+    @given(points, points, points)
+    def test_orient_antisymmetric_in_last_two(self, a, b, c):
+        assert pr.orient(a, b, c) == pytest.approx(-pr.orient(a, c, b), abs=1e-3)
+
+    @given(points, points, points)
+    def test_sign_cyclic_invariance(self, a, b, c):
+        s1 = pr.orientation_sign(a, b, c)
+        s2 = pr.orientation_sign(b, c, a)
+        s3 = pr.orientation_sign(c, a, b)
+        # Orientation sign is invariant under cyclic rotation (ties may
+        # flicker at the tolerance boundary, so only check strict cases).
+        if s1 != 0 and s2 != 0 and s3 != 0:
+            assert s1 == s2 == s3
+
+
+class TestOrientationSign:
+    def test_strict_turns(self):
+        assert pr.orientation_sign((0, 0), (1, 0), (1, 1)) == 1
+        assert pr.orientation_sign((0, 0), (1, 0), (1, -1)) == -1
+
+    def test_collinear_detection(self):
+        assert pr.orientation_sign((0, 0), (2, 2), (5, 5)) == 0
+
+    def test_near_collinear_tolerance(self):
+        # A perturbation at the 1e-15 relative level counts as collinear.
+        assert pr.orientation_sign((0, 0), (1e6, 1e6), (2e6, 2e6 + 1e-6)) == 0
+
+    def test_is_ccw_is_cw(self):
+        assert pr.is_ccw((0, 0), (1, 0), (0, 1))
+        assert pr.is_cw((0, 0), (0, 1), (1, 0))
+        assert not pr.is_ccw((0, 0), (1, 1), (2, 2))
+
+    def test_collinear_helper(self):
+        assert pr.collinear((0, 0), (1, 2), (2, 4))
+        assert not pr.collinear((0, 0), (1, 2), (2, 5))
+
+
+class TestBetween:
+    def test_inside_segment(self):
+        assert pr.between((0, 0), (4, 0), (2, 0))
+
+    def test_at_endpoints(self):
+        assert pr.between((0, 0), (4, 0), (0, 0))
+        assert pr.between((0, 0), (4, 0), (4, 0))
+
+    def test_outside_segment(self):
+        assert not pr.between((0, 0), (4, 0), (5, 0))
+
+
+class TestPointInTriangle:
+    def test_strictly_inside(self, triangle):
+        a, b, c = triangle
+        assert pr.point_in_triangle((1.0, 1.0), a, b, c)
+
+    def test_outside(self, triangle):
+        a, b, c = triangle
+        assert not pr.point_in_triangle((5.0, 5.0), a, b, c)
+
+    def test_on_edge(self, triangle):
+        a, b, c = triangle
+        assert pr.point_in_triangle((2.0, 0.0), a, b, c)
+
+    def test_at_vertex(self, triangle):
+        a, b, c = triangle
+        assert pr.point_in_triangle(a, a, b, c)
+
+    def test_orientation_agnostic(self, triangle):
+        a, b, c = triangle
+        assert pr.point_in_triangle((1.0, 1.0), c, b, a)
+
+    @given(points, points, points)
+    def test_vertices_always_inside(self, a, b, c):
+        assert pr.point_in_triangle(a, a, b, c)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.98),
+        st.floats(min_value=0.01, max_value=0.98),
+    )
+    def test_convex_combination_inside(self, u, v):
+        # Barycentric point of a fixed triangle is inside when weights
+        # are strictly positive.
+        if u + v >= 0.99:
+            u, v = u / 2.0, v / 2.0
+        a, b, c = (0.0, 0.0), (4.0, 0.0), (1.0, 3.0)
+        w = 1.0 - u - v
+        p = (
+            u * a[0] + v * b[0] + w * c[0],
+            u * a[1] + v * b[1] + w * c[1],
+        )
+        assert pr.point_in_triangle(p, a, b, c)

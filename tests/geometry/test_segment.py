@@ -1,0 +1,128 @@
+"""Unit tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import segment as sg
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(coords, coords)
+
+
+class TestProjection:
+    def test_param_at_endpoints(self):
+        assert sg.project_param((0, 0), (0, 0), (4, 0)) == 0.0
+        assert sg.project_param((4, 0), (0, 0), (4, 0)) == 1.0
+
+    def test_param_midpoint(self):
+        assert sg.project_param((2, 5), (0, 0), (4, 0)) == pytest.approx(0.5)
+
+    def test_param_degenerate_segment(self):
+        assert sg.project_param((3, 3), (1, 1), (1, 1)) == 0.0
+
+    def test_closest_point_clamps_low(self):
+        assert sg.closest_point_on_segment((-5, 0), (0, 0), (4, 0)) == (0, 0)
+
+    def test_closest_point_clamps_high(self):
+        assert sg.closest_point_on_segment((9, 0), (0, 0), (4, 0)) == (4, 0)
+
+    def test_closest_point_interior(self):
+        c = sg.closest_point_on_segment((2, 3), (0, 0), (4, 0))
+        assert c == pytest.approx((2.0, 0.0))
+
+
+class TestDistances:
+    def test_point_segment_distance_perpendicular(self):
+        assert sg.point_segment_distance((2, 3), (0, 0), (4, 0)) == pytest.approx(3.0)
+
+    def test_point_segment_distance_beyond_end(self):
+        assert sg.point_segment_distance((7, 4), (0, 0), (4, 0)) == pytest.approx(5.0)
+
+    def test_point_on_segment_zero(self):
+        assert sg.point_segment_distance((1, 0), (0, 0), (4, 0)) == 0.0
+
+    def test_point_line_distance(self):
+        assert sg.point_line_distance((0, 5), (-1, 0), (1, 0)) == pytest.approx(5.0)
+
+    def test_point_line_distance_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            sg.point_line_distance((0, 0), (1, 1), (1, 1))
+
+    @given(points, points, points)
+    def test_line_distance_never_exceeds_segment_distance(self, p, a, b):
+        if a == b:
+            return
+        assert (
+            sg.point_line_distance(p, a, b)
+            <= sg.point_segment_distance(p, a, b) + 1e-9
+        )
+
+    @given(points, points, points)
+    def test_segment_distance_attained_at_closest_point(self, p, a, b):
+        c = sg.closest_point_on_segment(p, a, b)
+        assert math.hypot(p[0] - c[0], p[1] - c[1]) == pytest.approx(
+            sg.point_segment_distance(p, a, b), abs=1e-9
+        )
+
+
+class TestLineIntersection:
+    def test_perpendicular_lines(self):
+        p = sg.line_intersection((0, 0), (1, 0), (2, -1), (0, 1))
+        assert p == pytest.approx((2.0, 0.0))
+
+    def test_parallel_returns_none(self):
+        assert sg.line_intersection((0, 0), (1, 1), (0, 1), (2, 2)) is None
+
+    def test_coincident_returns_none(self):
+        assert sg.line_intersection((0, 0), (1, 0), (5, 0), (1, 0)) is None
+
+    def test_oblique(self):
+        p = sg.line_intersection((0, 0), (1, 1), (4, 0), (-1, 1))
+        assert p == pytest.approx((2.0, 2.0))
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert sg.segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_disjoint(self):
+        assert not sg.segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_touching_at_endpoint(self):
+        assert sg.segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_collinear_overlap(self):
+        assert sg.segments_intersect((0, 0), (3, 0), (2, 0), (5, 0))
+
+    def test_collinear_disjoint(self):
+        assert not sg.segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_t_junction(self):
+        assert sg.segments_intersect((0, 0), (4, 0), (2, -1), (2, 0))
+
+
+class TestSupportingLine:
+    def test_normal_form(self):
+        n, c = sg.supporting_line((3.0, 0.0), (1.0, 0.0))
+        assert n == (1.0, 0.0)
+        assert c == 3.0
+
+    def test_point_on_line_has_zero_signed_distance(self):
+        n, c = sg.supporting_line((3.0, 4.0), (0.0, 1.0))
+        assert sg.signed_line_distance((10.0, 4.0), n, c) == pytest.approx(0.0)
+
+    def test_signed_distance_sign(self):
+        n, c = sg.supporting_line((0.0, 2.0), (0.0, 1.0))
+        assert sg.signed_line_distance((0.0, 5.0), n, c) > 0  # outside
+        assert sg.signed_line_distance((0.0, 0.0), n, c) < 0  # inside
+
+    @given(points, st.floats(min_value=0, max_value=6.28))
+    def test_supporting_point_always_on_line(self, p, theta):
+        u = (math.cos(theta), math.sin(theta))
+        n, c = sg.supporting_line(p, u)
+        assert sg.signed_line_distance(p, n, c) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,159 @@
+"""Unit tests for repro.geometry.vec."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import vec
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(finite, finite)
+
+
+class TestBasicArithmetic:
+    def test_add(self):
+        assert vec.add((1.0, 2.0), (3.0, -1.0)) == (4.0, 1.0)
+
+    def test_sub(self):
+        assert vec.sub((3.0, 5.0), (1.0, 2.0)) == (2.0, 3.0)
+
+    def test_scale(self):
+        assert vec.scale((2.0, -3.0), 2.0) == (4.0, -6.0)
+
+    def test_neg(self):
+        assert vec.neg((1.0, -2.0)) == (-1.0, 2.0)
+
+    def test_dot_orthogonal(self):
+        assert vec.dot((1.0, 0.0), (0.0, 5.0)) == 0.0
+
+    def test_dot_parallel(self):
+        assert vec.dot((2.0, 3.0), (2.0, 3.0)) == pytest.approx(13.0)
+
+    def test_cross_right_hand(self):
+        assert vec.cross((1.0, 0.0), (0.0, 1.0)) == 1.0
+
+    def test_cross_antisymmetric(self):
+        a, b = (2.0, 3.0), (5.0, -1.0)
+        assert vec.cross(a, b) == -vec.cross(b, a)
+
+    @given(points, points)
+    def test_sub_then_add_roundtrip(self, a, b):
+        d = vec.sub(a, b)
+        restored = vec.add(b, d)
+        assert restored[0] == pytest.approx(a[0], abs=1e-6)
+        assert restored[1] == pytest.approx(a[1], abs=1e-6)
+
+
+class TestNorms:
+    def test_norm_345(self):
+        assert vec.norm((3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_norm_sq(self):
+        assert vec.norm_sq((3.0, 4.0)) == pytest.approx(25.0)
+
+    def test_dist(self):
+        assert vec.dist((1.0, 1.0), (4.0, 5.0)) == pytest.approx(5.0)
+
+    def test_dist_sq_matches_dist(self):
+        a, b = (0.5, -2.0), (3.0, 1.0)
+        assert vec.dist_sq(a, b) == pytest.approx(vec.dist(a, b) ** 2)
+
+    @given(points, points)
+    def test_dist_symmetric(self, a, b):
+        assert vec.dist(a, b) == pytest.approx(vec.dist(b, a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert vec.dist(a, c) <= vec.dist(a, b) + vec.dist(b, c) + 1e-6
+
+
+class TestNormalizeRotate:
+    def test_normalize_unit_result(self):
+        n = vec.normalize((3.0, 4.0))
+        assert vec.norm(n) == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            vec.normalize((0.0, 0.0))
+
+    def test_perp_is_ccw_quarter_turn(self):
+        assert vec.perp((1.0, 0.0)) == (0.0, 1.0)
+        assert vec.perp((0.0, 1.0)) == (-1.0, 0.0)
+
+    def test_perp_preserves_norm(self):
+        v = (3.0, -4.0)
+        assert vec.norm(vec.perp(v)) == pytest.approx(vec.norm(v))
+
+    def test_rotate_quarter(self):
+        r = vec.rotate((1.0, 0.0), math.pi / 2.0)
+        assert r[0] == pytest.approx(0.0, abs=1e-12)
+        assert r[1] == pytest.approx(1.0)
+
+    @given(points, st.floats(min_value=-10, max_value=10))
+    def test_rotate_preserves_norm(self, v, theta):
+        assert vec.norm(vec.rotate(v, theta)) == pytest.approx(
+            vec.norm(v), abs=1e-6
+        )
+
+    def test_rotate_composes(self):
+        v = (2.0, 1.0)
+        once = vec.rotate(vec.rotate(v, 0.3), 0.4)
+        both = vec.rotate(v, 0.7)
+        assert once[0] == pytest.approx(both[0])
+        assert once[1] == pytest.approx(both[1])
+
+
+class TestAngles:
+    def test_angle_of_axes(self):
+        assert vec.angle_of((1.0, 0.0)) == pytest.approx(0.0)
+        assert vec.angle_of((0.0, 1.0)) == pytest.approx(math.pi / 2.0)
+        assert vec.angle_of((-1.0, 0.0)) == pytest.approx(math.pi)
+        assert vec.angle_of((0.0, -1.0)) == pytest.approx(3.0 * math.pi / 2.0)
+
+    def test_angle_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            vec.angle_of((0.0, 0.0))
+
+    def test_unit_roundtrip(self):
+        for theta in [0.0, 0.5, 2.0, 4.0, 6.0]:
+            assert vec.angle_of(vec.unit(theta)) == pytest.approx(theta)
+
+    def test_unit_is_unit(self):
+        assert vec.norm(vec.unit(1.234)) == pytest.approx(1.0)
+
+
+class TestInterpolation:
+    def test_lerp_endpoints(self):
+        a, b = (1.0, 2.0), (3.0, 6.0)
+        assert vec.lerp(a, b, 0.0) == a
+        assert vec.lerp(a, b, 1.0) == b
+
+    def test_lerp_halfway_is_midpoint(self):
+        a, b = (1.0, 2.0), (3.0, 6.0)
+        assert vec.lerp(a, b, 0.5) == vec.midpoint(a, b)
+
+    def test_centroid_square(self, unit_square):
+        assert vec.centroid(unit_square) == (0.5, 0.5)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            vec.centroid([])
+
+
+class TestAdapters:
+    def test_iter_points_from_lists(self):
+        assert list(vec.iter_points([[1, 2], [3, 4]])) == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_iter_points_from_numpy(self):
+        import numpy as np
+
+        arr = np.array([[1.5, 2.5], [0.0, -1.0]])
+        assert list(vec.iter_points(arr)) == [(1.5, 2.5), (0.0, -1.0)]
+
+    def test_almost_equal(self):
+        assert vec.almost_equal((1.0, 1.0), (1.0 + 1e-13, 1.0))
+        assert not vec.almost_equal((1.0, 1.0), (1.1, 1.0))

@@ -1,0 +1,106 @@
+"""Tests for the O(log r) directional-extent index."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactHull
+from repro.core import AdaptiveHull, UniformHull
+from repro.geometry.vec import dot, unit
+from repro.queries import DirectionalExtentIndex
+from repro.streams import as_tuples, ellipse_stream
+
+
+@pytest.fixture(scope="module")
+def stream_points():
+    return list(as_tuples(ellipse_stream(4000, rotation=0.3, seed=17)))
+
+
+@pytest.fixture(scope="module")
+def adaptive_index(stream_points):
+    h = AdaptiveHull(32)
+    for p in stream_points:
+        h.insert(p)
+    return h, DirectionalExtentIndex(h)
+
+
+class TestConstruction:
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            DirectionalExtentIndex(AdaptiveHull(16))
+
+    def test_size_matches_directions(self, adaptive_index):
+        h, idx = adaptive_index
+        # At most one entry per active direction (coincident extrema of
+        # different directions keep separate keys).
+        assert 1 <= len(idx) <= h.active_direction_count
+
+    def test_uniform_summary(self, stream_points):
+        h = UniformHull(16)
+        for p in stream_points:
+            h.insert(p)
+        idx = DirectionalExtentIndex(h)
+        assert len(idx) == 16
+
+    def test_generic_fallback(self, stream_points):
+        h = ExactHull()
+        for p in stream_points:
+            h.insert(p)
+        idx = DirectionalExtentIndex(h)
+        assert len(idx) == len(h.hull())
+
+    def test_single_point_summary(self):
+        h = AdaptiveHull(16)
+        h.insert((2.0, 3.0))
+        idx = DirectionalExtentIndex(h)
+        assert idx.extreme_vertex(1.0) == (2.0, 3.0)
+        assert idx.extent(0.0) == pytest.approx(0.0)
+
+
+class TestSupportQueries:
+    def test_support_never_exceeds_true(self, adaptive_index, stream_points):
+        _, idx = adaptive_index
+        for theta in [0.0, 0.7, 1.9, 3.1, 4.4, 5.8]:
+            true_support = max(dot(p, unit(theta)) for p in stream_points)
+            assert idx.support(theta) <= true_support + 1e-9
+
+    def test_support_within_cos_gap(self, adaptive_index, stream_points):
+        _, idx = adaptive_index
+        gap = idx.max_gap()
+        for theta in [0.0, 0.7, 1.9, 3.1]:
+            true_support = max(dot(p, unit(theta)) for p in stream_points)
+            # Lemma 3.1's argument: the nearest sampled direction's
+            # extremum projects within cos(gap) of the true support
+            # (allow additive slack for supports near zero).
+            assert idx.support(theta) >= true_support * math.cos(gap) - 0.05
+
+    def test_extent_matches_true_extent(self, adaptive_index, stream_points):
+        _, idx = adaptive_index
+        for theta in [0.0, 0.5, 1.2, 2.0]:
+            vals = [dot(p, unit(theta)) for p in stream_points]
+            true_ext = max(vals) - min(vals)
+            got = idx.extent(theta)
+            assert got <= true_ext + 1e-9
+            assert got >= true_ext * math.cos(idx.max_gap()) - 0.05
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=-10.0, max_value=10.0))
+    def test_extent_nonnegative_any_angle(self, theta):
+        h = AdaptiveHull(16)
+        for p in [(0.0, 0.0), (3.0, 0.0), (1.0, 2.0), (-1.0, -2.0)]:
+            h.insert(p)
+        idx = DirectionalExtentIndex(h)
+        assert idx.extent(theta) >= -1e-12
+
+    def test_extreme_vertex_is_sample(self, adaptive_index):
+        h, idx = adaptive_index
+        samples = set(h.samples())
+        for theta in [0.1, 1.3, 2.9, 5.0]:
+            assert idx.extreme_vertex(theta) in samples
+
+    def test_max_gap_bounded_by_theta0(self, adaptive_index):
+        h, idx = adaptive_index
+        # Uniform directions alone guarantee gaps of at most theta0.
+        assert idx.max_gap() <= 2.0 * math.pi / h.r + 1e-9

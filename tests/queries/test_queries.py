@@ -1,0 +1,139 @@
+"""Tests for the single-stream extremal queries (Section 6)."""
+
+import math
+
+import pytest
+
+from repro.core import AdaptiveHull, FixedSizeAdaptiveHull
+from repro.baselines import ExactHull
+from repro.geometry import convex_hull
+from repro.geometry.calipers import diameter as poly_diameter
+from repro.geometry.calipers import width as poly_width
+from repro.geometry.vec import dist, unit
+from repro.queries import (
+    diameter,
+    diameter_witness,
+    enclosing_circle,
+    extent,
+    extent_in_angle,
+    farthest_neighbor,
+    width,
+)
+from repro.streams import as_tuples, ellipse_stream
+
+
+@pytest.fixture
+def summary(small_ellipse_points):
+    h = AdaptiveHull(32)
+    for p in small_ellipse_points:
+        h.insert(p)
+    return h
+
+
+@pytest.fixture
+def true_hull(small_ellipse_points):
+    return convex_hull(small_ellipse_points)
+
+
+class TestDiameter:
+    def test_lower_bound_and_accuracy(self, summary, true_hull):
+        true_d = poly_diameter(true_hull)[0]
+        approx = diameter(summary)
+        assert approx <= true_d + 1e-9
+        # Additive error O(D/r^2) with generous constant.
+        assert approx >= true_d - 64.0 * true_d / (32 * 32)
+
+    def test_witness_is_sample_pair(self, summary):
+        d, (a, b) = diameter_witness(summary)
+        assert dist(a, b) == pytest.approx(d)
+        samples = set(summary.samples())
+        assert a in samples and b in samples
+
+    def test_on_exact_summary(self, small_ellipse_points, true_hull):
+        s = ExactHull()
+        for p in small_ellipse_points:
+            s.insert(p)
+        assert diameter(s) == pytest.approx(poly_diameter(true_hull)[0])
+
+
+class TestWidthExtent:
+    def test_width_lower_bounds_true(self, summary, true_hull):
+        assert width(summary) <= poly_width(true_hull) + 1e-9
+
+    def test_width_additive_error(self, summary, true_hull):
+        true_w = poly_width(true_hull)
+        true_d = poly_diameter(true_hull)[0]
+        # O(D/r^2) additive error bound (generous constant).
+        assert width(summary) >= true_w - 64.0 * true_d / (32 * 32)
+
+    def test_extent_known_direction(self, unit_square):
+        s = ExactHull()
+        for p in unit_square:
+            s.insert(p)
+        assert extent(s, (1.0, 0.0)) == pytest.approx(1.0)
+        assert extent_in_angle(s, math.pi / 4) == pytest.approx(math.sqrt(2.0))
+
+    def test_extent_scales_with_norm(self, summary):
+        e1 = extent(summary, (1.0, 0.0))
+        e2 = extent(summary, (2.0, 0.0))
+        assert e2 == pytest.approx(2.0 * e1)
+
+    def test_extent_never_exceeds_true(self, summary, small_ellipse_points):
+        from repro.geometry.vec import dot
+
+        for theta in [0.0, 0.4, 1.1, 2.3]:
+            d = unit(theta)
+            vals = [dot(p, d) for p in small_ellipse_points]
+            true_ext = max(vals) - min(vals)
+            assert extent(summary, d) <= true_ext + 1e-9
+
+
+class TestFarthestNeighbor:
+    def test_matches_true_farthest(self, summary, small_ellipse_points):
+        q = (100.0, 50.0)
+        d, witness = farthest_neighbor(summary, q)
+        true_d = max(dist(q, p) for p in small_ellipse_points)
+        assert d <= true_d + 1e-9
+        assert d >= true_d * 0.99
+        assert witness in set(summary.samples())
+
+
+class TestEnclosingCircle:
+    def test_encloses_all_samples(self, summary):
+        (cx, cy), rad = enclosing_circle(summary)
+        for v in summary.hull():
+            assert dist((cx, cy), v) <= rad * (1 + 1e-7) + 1e-9
+
+    def test_radius_close_to_true(self, summary, small_ellipse_points):
+        from repro.geometry import smallest_enclosing_circle
+
+        _, true_r = smallest_enclosing_circle(small_ellipse_points)
+        _, approx_r = enclosing_circle(summary)
+        assert approx_r <= true_r + 1e-7
+        assert approx_r >= true_r * 0.98
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            enclosing_circle(AdaptiveHull(16))
+
+
+class TestQueriesAcrossSchemes:
+    """Query layer is scheme-agnostic: it must run on any HullSummary."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: AdaptiveHull(16),
+            lambda: FixedSizeAdaptiveHull(16),
+            lambda: ExactHull(),
+        ],
+    )
+    def test_all_queries_run(self, factory, small_disk_points):
+        s = factory()
+        for p in small_disk_points:
+            s.insert(p)
+        assert diameter(s) > 0
+        assert width(s) > 0
+        assert extent(s, (1.0, 0.0)) > 0
+        assert farthest_neighbor(s, (0.0, 0.0))[0] > 0
+        assert enclosing_circle(s)[1] > 0

@@ -1,0 +1,170 @@
+"""Tests for the multi-stream trackers (Section 6)."""
+
+import math
+
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.queries import (
+    ContainmentTracker,
+    OverlapTracker,
+    SeparationTracker,
+)
+from repro.streams import as_tuples, disk_stream, scale, translate
+
+
+def factory():
+    return lambda: AdaptiveHull(16)
+
+
+def feed_disk(tracker, name, n=1500, seed=0, dx=0.0, dy=0.0, s=1.0):
+    pts = translate(scale(disk_stream(n, seed=seed), s), dx, dy)
+    for p in as_tuples(pts):
+        tracker.insert(name, p)
+    return tracker
+
+
+class TestMultiStreamBasics:
+    def test_streams_listed(self):
+        t = SeparationTracker(factory())
+        feed_disk(t, "A", n=50, seed=1)
+        feed_disk(t, "B", n=50, seed=2)
+        assert set(t.streams()) == {"A", "B"}
+
+    def test_missing_stream_raises(self):
+        t = SeparationTracker(factory())
+        with pytest.raises(KeyError):
+            t.summary("nope")
+
+    def test_hull_empty_before_data(self):
+        t = SeparationTracker(factory())
+        assert t.hull("ghost") == []
+
+
+class TestSeparationTracker:
+    def test_distance_of_separated_disks(self):
+        t = SeparationTracker(factory())
+        feed_disk(t, "A", seed=1, dx=-3.0)
+        feed_disk(t, "B", seed=2, dx=3.0)
+        d = t.distance("A", "B")
+        # True gap is ~4 (disks of radius ~1 at +-3); sample hulls are
+        # inside, so the reported distance is slightly larger.
+        assert 3.9 < d < 4.3
+        assert t.separable("A", "B")
+
+    def test_distance_requires_data(self):
+        t = SeparationTracker(factory())
+        feed_disk(t, "A", n=10, seed=1)
+        with pytest.raises(ValueError):
+            t.distance("A", "B")
+
+    def test_overlapping_not_separable(self):
+        t = SeparationTracker(factory())
+        feed_disk(t, "A", seed=3, dx=-0.2)
+        feed_disk(t, "B", seed=4, dx=0.2)
+        assert not t.separable("A", "B")
+        assert t.distance("A", "B") == 0.0
+        assert t.certificate("A", "B") is None
+        assert t.witness_overlap_point("A", "B") is not None
+
+    def test_certificate_separates_hulls(self):
+        from repro.geometry.vec import dot, perp
+
+        t = SeparationTracker(factory())
+        feed_disk(t, "A", seed=5, dx=-3.0)
+        feed_disk(t, "B", seed=6, dx=3.0)
+        point, direction = t.certificate("A", "B")
+        n = perp(direction)
+        c = dot(n, point)
+        sides_a = {dot(n, v) - c > 0 for v in t.hull("A")}
+        sides_b = {dot(n, v) - c > 0 for v in t.hull("B")}
+        assert len(sides_a) == 1 and len(sides_b) == 1
+        assert sides_a != sides_b
+
+    def test_becomes_inseparable_as_streams_drift(self):
+        """Streaming scenario: B drifts toward A until they collide."""
+        t = SeparationTracker(factory())
+        feed_disk(t, "A", seed=7, dx=-2.0)
+        state = []
+        for step in range(5):
+            feed_disk(t, "B", n=300, seed=8 + step, dx=4.0 - step * 1.5)
+            state.append(t.separable("A", "B"))
+        assert state[0] and not state[-1]
+
+
+class TestContainmentTracker:
+    def test_contained_nested_disks(self):
+        t = ContainmentTracker(factory())
+        feed_disk(t, "inner", seed=9, s=0.4)
+        feed_disk(t, "outer", seed=10, s=3.0)
+        assert t.contained("inner", "outer")
+        assert t.containment_margin("inner", "outer") > 0
+
+    def test_not_contained_when_disjoint(self):
+        t = ContainmentTracker(factory())
+        feed_disk(t, "inner", seed=11, dx=10.0)
+        feed_disk(t, "outer", seed=12)
+        assert not t.contained("inner", "outer")
+        assert t.containment_margin("inner", "outer") < 0
+
+    def test_not_contained_partial_overlap(self):
+        t = ContainmentTracker(factory())
+        feed_disk(t, "inner", seed=13, dx=0.9)
+        feed_disk(t, "outer", seed=14)
+        assert not t.contained("inner", "outer")
+
+    def test_empty_streams(self):
+        t = ContainmentTracker(factory())
+        assert not t.contained("a", "b")
+        feed_disk(t, "a", n=10, seed=15)
+        with pytest.raises(ValueError):
+            t.containment_margin("a", "b")
+
+    def test_surrounded_event_detection(self):
+        """The paper's 'report when A becomes surrounded by B' query."""
+        t = ContainmentTracker(factory())
+        feed_disk(t, "A", seed=16, s=0.5)
+        # B arrives in angular sectors; containment holds only once the
+        # ring closes.
+        import math
+
+        states = []
+        for k in range(6):
+            for i in range(200):
+                ang = (k + i / 200.0) * math.pi / 3.0 * 2.0
+                # ring of radius 2 around the origin, sector by sector
+                t.insert("B", (2.0 * math.cos(ang), 2.0 * math.sin(ang)))
+            states.append(t.contained("A", "B"))
+        assert not states[0]
+        assert states[-1]
+
+
+class TestOverlapTracker:
+    def test_disjoint_zero(self):
+        t = OverlapTracker(factory())
+        feed_disk(t, "A", seed=17, dx=-5.0)
+        feed_disk(t, "B", seed=18, dx=5.0)
+        assert t.overlap_area("A", "B") == 0.0
+        assert t.jaccard("A", "B") == 0.0
+        assert t.overlap_polygon("A", "B") == []
+
+    def test_lens_overlap_area(self):
+        t = OverlapTracker(factory())
+        feed_disk(t, "A", seed=19, dx=-0.5)
+        feed_disk(t, "B", seed=20, dx=0.5)
+        area = t.overlap_area("A", "B")
+        # Two unit disks at distance 1: lens area = 2*pi/3 - sqrt(3)/2
+        # ~ 1.228; sample hulls sit just inside.
+        assert 1.0 < area < 1.3
+
+    def test_jaccard_identical_streams(self):
+        t = OverlapTracker(factory())
+        feed_disk(t, "A", seed=21)
+        feed_disk(t, "B", seed=21)
+        assert t.jaccard("A", "B") > 0.95
+
+    def test_jaccard_bounds(self):
+        t = OverlapTracker(factory())
+        feed_disk(t, "A", seed=22, dx=-0.3)
+        feed_disk(t, "B", seed=23, dx=0.3)
+        assert 0.0 <= t.jaccard("A", "B") <= 1.0

@@ -1,0 +1,80 @@
+"""Tests for stream persistence and replay."""
+
+import numpy as np
+import pytest
+
+from repro.streams import disk_stream, load_stream, replay, save_stream
+
+
+class TestSaveLoadRoundtrip:
+    @pytest.mark.parametrize("ext", [".npy", ".csv"])
+    def test_roundtrip(self, tmp_path, ext):
+        pts = disk_stream(50, seed=1)
+        path = save_stream(pts, tmp_path / f"s{ext}")
+        loaded = load_stream(path)
+        assert np.allclose(loaded, pts)
+
+    def test_csv_has_header(self, tmp_path):
+        path = save_stream(disk_stream(3, seed=2), tmp_path / "s.csv")
+        first = open(path).readline().strip()
+        assert first == "x,y"
+
+    def test_csv_without_header_loads(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        loaded = load_stream(path)
+        assert loaded.tolist() == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_stream(disk_stream(3, seed=3), tmp_path / "s.txt")
+        with pytest.raises(ValueError):
+            load_stream(tmp_path / "nothing.txt")
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_stream(np.zeros((3, 3)), tmp_path / "s.npy")
+
+    def test_malformed_csv_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\noops,3.0\n")
+        with pytest.raises(ValueError):
+            load_stream(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_stream(tmp_path / "absent.npy")
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y\n")
+        loaded = load_stream(path)
+        assert loaded.shape == (0, 2)
+
+
+class TestReplay:
+    def test_yields_indexed_tuples(self):
+        pts = disk_stream(5, seed=4)
+        out = list(replay(pts))
+        assert len(out) == 5
+        assert out[0][0] == 0
+        assert out[0][1] == (float(pts[0][0]), float(pts[0][1]))
+
+    def test_chunked_downsampling(self):
+        pts = disk_stream(10, seed=5)
+        out = list(replay(pts, chunk=3))
+        assert [i for i, _ in out] == [0, 3, 6, 9]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            list(replay(disk_stream(5, seed=6), chunk=0))
+
+    def test_feeds_summary(self, tmp_path):
+        from repro.core import AdaptiveHull
+
+        pts = disk_stream(200, seed=7)
+        path = save_stream(pts, tmp_path / "s.npy")
+        h = AdaptiveHull(16)
+        for _, p in replay(load_stream(path)):
+            h.insert(p)
+        assert h.points_seen == 200

@@ -1,0 +1,88 @@
+"""Tests for stream transforms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    as_tuples,
+    concatenate,
+    disk_stream,
+    interleave,
+    rotate,
+    scale,
+    shuffle,
+    translate,
+)
+
+
+class TestRotate:
+    def test_quarter_turn(self):
+        pts = np.array([[1.0, 0.0]])
+        out = rotate(pts, math.pi / 2.0)
+        assert out[0] == pytest.approx([0.0, 1.0], abs=1e-12)
+
+    def test_preserves_norms(self):
+        pts = disk_stream(100, seed=1)
+        out = rotate(pts, 0.37)
+        assert np.allclose(
+            np.hypot(pts[:, 0], pts[:, 1]), np.hypot(out[:, 0], out[:, 1])
+        )
+
+    def test_inverse(self):
+        pts = disk_stream(50, seed=2)
+        back = rotate(rotate(pts, 0.5), -0.5)
+        assert np.allclose(pts, back)
+
+
+class TestScaleTranslate:
+    def test_scale_isotropic(self):
+        out = scale(np.array([[1.0, 2.0]]), 3.0)
+        assert out[0] == pytest.approx([3.0, 6.0])
+
+    def test_scale_anisotropic(self):
+        out = scale(np.array([[1.0, 2.0]]), 2.0, 0.5)
+        assert out[0] == pytest.approx([2.0, 1.0])
+
+    def test_translate(self):
+        out = translate(np.array([[1.0, 1.0]]), -1.0, 2.0)
+        assert out[0] == pytest.approx([0.0, 3.0])
+
+
+class TestComposition:
+    def test_concatenate(self):
+        a = disk_stream(10, seed=3)
+        b = disk_stream(20, seed=4)
+        out = concatenate(a, b)
+        assert out.shape == (30, 2)
+        assert np.array_equal(out[:10], a)
+
+    def test_interleave_round_robin(self):
+        a = np.array([[1.0, 0.0], [2.0, 0.0]])
+        b = np.array([[10.0, 0.0], [20.0, 0.0]])
+        out = interleave(a, b)
+        assert out[0][0] == 1.0
+        assert out[1][0] == 10.0
+        assert out[2][0] == 2.0
+        assert out[3][0] == 20.0
+
+    def test_interleave_empty(self):
+        assert interleave().shape == (0, 2)
+
+    def test_shuffle_is_permutation(self):
+        pts = disk_stream(100, seed=5)
+        out = shuffle(pts, seed=6)
+        assert sorted(map(tuple, pts)) == sorted(map(tuple, out))
+        assert not np.array_equal(pts, out)
+
+    def test_shuffle_deterministic(self):
+        pts = disk_stream(100, seed=7)
+        assert np.array_equal(shuffle(pts, seed=8), shuffle(pts, seed=8))
+
+
+class TestAsTuples:
+    def test_yields_float_tuples(self):
+        out = list(as_tuples(np.array([[1, 2], [3, 4]])))
+        assert out == [(1.0, 2.0), (3.0, 4.0)]
+        assert all(isinstance(x, float) for p in out for x in p)

@@ -1,0 +1,141 @@
+"""Unit tests for the unrefinement threshold queues."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import (
+    HeapThresholdQueue,
+    Pow2BucketQueue,
+    make_threshold_queue,
+)
+
+
+class TestFactory:
+    def test_exact_mode(self):
+        assert isinstance(make_threshold_queue("exact"), HeapThresholdQueue)
+
+    def test_pow2_mode(self):
+        assert isinstance(make_threshold_queue("pow2"), Pow2BucketQueue)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            make_threshold_queue("bogus")
+
+
+class TestHeapQueue:
+    def test_pop_due_in_threshold_order(self):
+        q = HeapThresholdQueue()
+        q.push(5.0, "a")
+        q.push(1.0, "b")
+        q.push(3.0, "c")
+        assert list(q.pop_due(4.0)) == ["b", "c"]
+        assert len(q) == 1
+
+    def test_nothing_due(self):
+        q = HeapThresholdQueue()
+        q.push(10.0, "a")
+        assert list(q.pop_due(5.0)) == []
+        assert len(q) == 1
+
+    def test_exact_boundary_is_due(self):
+        q = HeapThresholdQueue()
+        q.push(5.0, "a")
+        assert list(q.pop_due(5.0)) == ["a"]
+
+    def test_effective_threshold_is_identity(self):
+        q = HeapThresholdQueue()
+        assert q.effective_threshold(13.7) == 13.7
+
+    def test_fifo_among_equal_thresholds(self):
+        q = HeapThresholdQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert list(q.pop_due(1.0)) == ["first", "second"]
+
+
+class TestPow2Queue:
+    def test_effective_threshold_rounds_down(self):
+        q = Pow2BucketQueue()
+        assert q.effective_threshold(10.0) == 8.0
+        assert q.effective_threshold(8.0) == 8.0
+        assert q.effective_threshold(0.75) == 0.5
+
+    def test_effective_threshold_nonpositive(self):
+        q = Pow2BucketQueue()
+        assert q.effective_threshold(0.0) == 0.0
+        assert q.effective_threshold(-3.0) == 0.0
+
+    def test_pops_at_rounded_threshold(self):
+        # Threshold 10 surfaces once the driver reaches 8 (early, never late).
+        q = Pow2BucketQueue()
+        q.push(10.0, "a")
+        assert list(q.pop_due(7.9)) == []
+        assert list(q.pop_due(8.0)) == ["a"]
+
+    def test_never_late(self):
+        q = Pow2BucketQueue()
+        q.push(10.0, "a")
+        assert list(q.pop_due(10.0)) == ["a"]
+
+    def test_len_tracks(self):
+        q = Pow2BucketQueue()
+        q.push(2.0, "a")
+        q.push(100.0, "b")
+        assert len(q) == 2
+        list(q.pop_due(3.0))
+        assert len(q) == 1
+
+    def test_multiple_buckets_drain_in_order(self):
+        q = Pow2BucketQueue()
+        q.push(2.0, "low")     # bucket 1
+        q.push(40.0, "high")   # bucket 5
+        q.push(5.0, "mid")     # bucket 2
+        assert list(q.pop_due(1000.0)) == ["low", "mid", "high"]
+
+    def test_nonpositive_threshold_due_immediately(self):
+        q = Pow2BucketQueue()
+        q.push(0.0, "zero")
+        assert list(q.pop_due(0.001)) == ["zero"]
+
+    def test_driver_below_one(self):
+        q = Pow2BucketQueue()
+        q.push(0.3, "tiny")  # bucket floor(log2 0.3) = -2, due at 0.25
+        assert list(q.pop_due(0.2)) == []
+        assert list(q.pop_due(0.26)) == ["tiny"]
+
+
+class TestQueueContract:
+    """Properties both implementations must share."""
+
+    @pytest.mark.parametrize("mode", ["exact", "pow2"])
+    @settings(max_examples=40, deadline=None)
+    @given(
+        thresholds=st.lists(
+            st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=30
+        ),
+        driver=st.floats(min_value=0.01, max_value=1e6),
+    )
+    def test_never_pops_late(self, mode, thresholds, driver):
+        # An item may surface early (pow2 rounding) but never after its
+        # true threshold has been exceeded without surfacing.
+        q = make_threshold_queue(mode)
+        for i, t in enumerate(thresholds):
+            q.push(t, i)
+        popped = set(q.pop_due(driver))
+        for i, t in enumerate(thresholds):
+            if t <= driver:
+                assert i in popped, f"item with threshold {t} missed at {driver}"
+
+    @pytest.mark.parametrize("mode", ["exact", "pow2"])
+    def test_monotone_draining(self, mode):
+        q = make_threshold_queue(mode)
+        for t in [1.0, 2.0, 4.0, 8.0, 16.0]:
+            q.push(t, t)
+        seen = []
+        for driver in [1.0, 3.0, 9.0, 100.0]:
+            seen.extend(q.pop_due(driver))
+        assert sorted(seen) == [1.0, 2.0, 4.0, 8.0, 16.0]
+        assert len(q) == 0

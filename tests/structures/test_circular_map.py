@@ -1,0 +1,120 @@
+"""Unit tests for the circular ordered map."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import CircularMap
+
+
+def build(keys):
+    m = CircularMap()
+    for k in keys:
+        m.insert(k, f"v{k}")
+    return m
+
+
+class TestBasics:
+    def test_empty(self):
+        m = CircularMap()
+        assert len(m) == 0
+        assert m.floor_circular(1.0) is None
+        assert m.ceiling_circular(1.0) is None
+
+    def test_insert_get_delete(self):
+        m = build([0.5, 1.5])
+        assert m.get(0.5) == "v0.5"
+        assert m.delete(0.5) == "v0.5"
+        assert 0.5 not in m
+
+    def test_duplicate_insert_raises(self):
+        m = build([1.0])
+        with pytest.raises(KeyError):
+            m.insert(1.0)
+
+    def test_replace(self):
+        m = build([1.0])
+        m.replace(1.0, "new")
+        assert m.get(1.0) == "new"
+
+    def test_iteration_sorted(self):
+        m = build([3.0, 1.0, 2.0])
+        assert list(m) == [1.0, 2.0, 3.0]
+
+
+class TestCircularQueries:
+    def test_floor_within_range(self):
+        m = build([1.0, 2.0, 3.0])
+        assert m.floor_circular(2.5) == (2.0, "v2.0")
+
+    def test_floor_wraps_to_max(self):
+        m = build([1.0, 2.0, 3.0])
+        assert m.floor_circular(0.5) == (3.0, "v3.0")
+
+    def test_ceiling_within_range(self):
+        m = build([1.0, 2.0, 3.0])
+        assert m.ceiling_circular(2.5) == (3.0, "v3.0")
+
+    def test_ceiling_wraps_to_min(self):
+        m = build([1.0, 2.0, 3.0])
+        assert m.ceiling_circular(3.5) == (1.0, "v1.0")
+
+    def test_successor_strict(self):
+        m = build([1.0, 2.0, 3.0])
+        assert m.successor_circular(2.0) == (3.0, "v3.0")
+        assert m.successor_circular(3.0) == (1.0, "v1.0")
+
+    def test_predecessor_strict(self):
+        m = build([1.0, 2.0, 3.0])
+        assert m.predecessor_circular(2.0) == (1.0, "v1.0")
+        assert m.predecessor_circular(1.0) == (3.0, "v3.0")
+
+    def test_neighbours(self):
+        m = build([1.0, 2.0, 3.0])
+        lo, hi = m.neighbours(2.5)
+        assert lo[0] == 2.0 and hi[0] == 3.0
+
+    def test_neighbours_wrap(self):
+        m = build([1.0, 2.0, 3.0])
+        lo, hi = m.neighbours(0.1)
+        assert lo[0] == 3.0 and hi[0] == 1.0
+
+    def test_neighbours_empty_raises(self):
+        with pytest.raises(KeyError):
+            CircularMap().neighbours(1.0)
+
+    def test_single_entry_wraps_to_itself(self):
+        m = build([2.0])
+        assert m.floor_circular(1.0) == (2.0, "v2.0")
+        assert m.ceiling_circular(3.0) == (2.0, "v2.0")
+        assert m.successor_circular(2.0) == (2.0, "v2.0")
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=6.28).map(lambda x: round(x, 3)),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        ),
+        st.floats(min_value=0, max_value=6.28),
+    )
+    def test_successor_matches_sorted_model(self, keys, probe):
+        m = build(keys)
+        srt = sorted(keys)
+        above = [k for k in srt if k > probe]
+        expected = above[0] if above else srt[0]
+        assert m.successor_circular(probe)[0] == expected
+
+    def test_works_with_dyadic_directions(self):
+        from repro.geometry.directions import DyadicDirection
+
+        m = CircularMap()
+        r = 8
+        for j in range(r):
+            m.insert(DyadicDirection.uniform(j, r), j)
+        probe = DyadicDirection(1, 1, r)  # between 0 and 1
+        lo, hi = m.neighbours(probe)
+        assert lo[1] == 0 and hi[1] == 1

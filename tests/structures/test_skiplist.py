@@ -1,0 +1,188 @@
+"""Unit and model-based tests for the skip list."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import SkipList
+
+
+def build(items):
+    s = SkipList()
+    for k in items:
+        s.insert(k, k * 10)
+    return s
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        s = SkipList()
+        assert len(s) == 0
+        assert not s
+        assert list(s) == []
+
+    def test_insert_and_get(self):
+        s = build([5, 1, 9])
+        assert s.get(5) == 50
+        assert s.get(1) == 10
+        assert s.get(404) is None
+        assert s.get(404, "x") == "x"
+
+    def test_sorted_iteration(self):
+        s = build([5, 1, 9, 3, 7])
+        assert list(s) == [1, 3, 5, 7, 9]
+        assert list(s.items()) == [(k, k * 10) for k in [1, 3, 5, 7, 9]]
+        assert list(s.values()) == [10, 30, 50, 70, 90]
+
+    def test_contains(self):
+        s = build([2, 4])
+        assert 2 in s
+        assert 3 not in s
+
+    def test_duplicate_insert_raises(self):
+        s = build([1])
+        with pytest.raises(KeyError):
+            s.insert(1, "again")
+
+    def test_replace_overwrites(self):
+        s = build([1])
+        s.replace(1, "new")
+        assert s.get(1) == "new"
+        assert len(s) == 1
+
+    def test_replace_inserts_when_absent(self):
+        s = SkipList()
+        s.replace(7, "v")
+        assert s.get(7) == "v"
+
+    def test_delete(self):
+        s = build([1, 2, 3])
+        assert s.delete(2) == 20
+        assert list(s) == [1, 3]
+        assert len(s) == 2
+
+    def test_delete_missing_raises(self):
+        s = build([1])
+        with pytest.raises(KeyError):
+            s.delete(99)
+
+    def test_len_tracks_mutations(self):
+        s = SkipList()
+        for i in range(20):
+            s.insert(i)
+        for i in range(0, 20, 2):
+            s.delete(i)
+        assert len(s) == 10
+
+
+class TestOrderQueries:
+    def test_min_max(self):
+        s = build([5, 1, 9])
+        assert s.min() == (1, 10)
+        assert s.max() == (9, 90)
+
+    def test_min_max_empty_raise(self):
+        s = SkipList()
+        with pytest.raises(KeyError):
+            s.min()
+        with pytest.raises(KeyError):
+            s.max()
+
+    def test_predecessor_successor(self):
+        s = build([1, 3, 5])
+        assert s.predecessor(3) == (1, 10)
+        assert s.successor(3) == (5, 50)
+        assert s.predecessor(1) is None
+        assert s.successor(5) is None
+
+    def test_predecessor_successor_between_keys(self):
+        s = build([1, 3, 5])
+        assert s.predecessor(4) == (3, 30)
+        assert s.successor(4) == (5, 50)
+
+    def test_floor_ceiling_exact(self):
+        s = build([1, 3, 5])
+        assert s.floor(3) == (3, 30)
+        assert s.ceiling(3) == (3, 30)
+
+    def test_floor_ceiling_between(self):
+        s = build([1, 3, 5])
+        assert s.floor(4) == (3, 30)
+        assert s.ceiling(4) == (5, 50)
+
+    def test_floor_ceiling_out_of_range(self):
+        s = build([1, 3, 5])
+        assert s.floor(0) is None
+        assert s.ceiling(6) is None
+
+    def test_range(self):
+        s = build([1, 2, 3, 4, 5])
+        assert [k for k, _ in s.range(2, 4)] == [2, 3, 4]
+
+    def test_range_empty_interval(self):
+        s = build([1, 5])
+        assert list(s.range(2, 4)) == []
+
+
+class TestModelBased:
+    """Compare against a plain dict + sorted() model."""
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "get"]),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=100,
+        )
+    )
+    def test_against_dict_model(self, ops):
+        s = SkipList()
+        model = {}
+        for op, key in ops:
+            if op == "insert":
+                if key in model:
+                    with pytest.raises(KeyError):
+                        s.insert(key, key)
+                else:
+                    s.insert(key, key)
+                    model[key] = key
+            elif op == "delete":
+                if key in model:
+                    assert s.delete(key) == model.pop(key)
+                else:
+                    with pytest.raises(KeyError):
+                        s.delete(key)
+            else:
+                assert s.get(key) == model.get(key)
+        assert list(s) == sorted(model)
+        assert len(s) == len(model)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=-50, max_value=50), unique=True))
+    def test_neighbour_queries_match_sorted_list(self, keys):
+        s = SkipList()
+        for k in keys:
+            s.insert(k)
+        for probe in range(-55, 56, 7):
+            below = [k for k in keys if k < probe]
+            above = [k for k in keys if k > probe]
+            le = [k for k in keys if k <= probe]
+            ge = [k for k in keys if k >= probe]
+            assert (s.predecessor(probe) or (None,))[0] == (
+                max(below) if below else None
+            )
+            assert (s.successor(probe) or (None,))[0] == (
+                min(above) if above else None
+            )
+            assert (s.floor(probe) or (None,))[0] == (max(le) if le else None)
+            assert (s.ceiling(probe) or (None,))[0] == (min(ge) if ge else None)
+
+    def test_large_scale(self):
+        s = SkipList()
+        n = 5000
+        for i in range(n):
+            s.insert((i * 7919) % n)  # permutation of 0..n-1
+        assert len(s) == n
+        assert list(s) == list(range(n))

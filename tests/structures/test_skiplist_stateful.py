@@ -1,0 +1,74 @@
+"""Stateful (rule-based) testing of the skip list against a dict model.
+
+Hypothesis drives random interleavings of insert/replace/delete/query
+operations and checks every observable against a reference model after
+each step — the strongest correctness net for the ordered-map substrate
+the hull structures stand on.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.structures import SkipList
+
+KEYS = st.integers(min_value=-25, max_value=25)
+
+
+class SkipListMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sl = SkipList()
+        self.model = {}
+
+    @rule(key=KEYS)
+    def insert_new(self, key):
+        if key in self.model:
+            try:
+                self.sl.insert(key, key)
+                raise AssertionError("duplicate insert must raise")
+            except KeyError:
+                pass
+        else:
+            self.sl.insert(key, key * 3)
+            self.model[key] = key * 3
+
+    @rule(key=KEYS, value=st.integers())
+    def replace_any(self, key, value):
+        self.sl.replace(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete_maybe(self, key):
+        if key in self.model:
+            assert self.sl.delete(key) == self.model.pop(key)
+        else:
+            try:
+                self.sl.delete(key)
+                raise AssertionError("deleting a missing key must raise")
+            except KeyError:
+                pass
+
+    @rule(key=KEYS)
+    def check_get(self, key):
+        assert self.sl.get(key, "absent") == self.model.get(key, "absent")
+
+    @rule(probe=KEYS)
+    def check_neighbours(self, probe):
+        below = [k for k in self.model if k < probe]
+        above = [k for k in self.model if k > probe]
+        pred = self.sl.predecessor(probe)
+        succ = self.sl.successor(probe)
+        assert (pred[0] if pred else None) == (max(below) if below else None)
+        assert (succ[0] if succ else None) == (min(above) if above else None)
+
+    @invariant()
+    def sorted_and_sized(self):
+        assert list(self.sl) == sorted(self.model)
+        assert len(self.sl) == len(self.model)
+
+
+TestSkipListStateful = SkipListMachine.TestCase
+TestSkipListStateful.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)

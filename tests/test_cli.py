@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.n == 20_000
+        assert args.r == 16
+        assert args.section is None
+
+    def test_table1_sections_accumulate(self):
+        args = build_parser().parse_args(
+            ["table1", "--section", "disk", "--section", "ellipse"]
+        )
+        assert args.section == ["disk", "ellipse"]
+
+    def test_invalid_section_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--section", "bogus"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_table1_disk(self, capsys):
+        assert main(["table1", "--section", "disk", "--n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "disk" in out
+        assert "max h" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "2000", "--r", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out
+        assert "Corollary 5.2" in out
+
+    def test_lower_bound(self, capsys):
+        assert main(["lower-bound"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+
+    def test_work(self, capsys):
+        assert main(["work"]) == 0
+        assert "nodes/pt" in capsys.readouterr().out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--n", "2000", "--r-values", "8", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "slope adaptive" in out
+
+    def test_fig10(self, tmp_path, capsys):
+        assert main(["fig10", "--out", str(tmp_path), "--n", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10_adaptive.svg" in out
+        assert (tmp_path / "fig10_adaptive.svg").exists()
+        assert (tmp_path / "fig10_uniform.svg").exists()

@@ -1,0 +1,184 @@
+"""Cross-module property-based tests.
+
+These tie together multiple subsystems with hypothesis-driven
+invariants that must hold for *any* point stream:
+
+* summary hulls nest: adaptive ⊆ true hull, uniform ⊆ adaptive class;
+* query answers are consistent across summaries and with brute force;
+* the static (Section 4) and streaming (Section 5) algorithms agree on
+  their guarantees for the same data;
+* geometric identities (support additivity, extent symmetry).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactHull
+from repro.core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull, adaptive_sample
+from repro.experiments.metrics import hull_distance
+from repro.geometry import (
+    contains_point,
+    convex_hull,
+    diameter,
+    point_polygon_distance,
+    width,
+)
+from repro.geometry.vec import dist, dot, unit
+from repro.queries import diameter as q_diameter
+from repro.queries import extent as q_extent
+from repro.queries import width as q_width
+
+coords = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 2))
+points = st.tuples(coords, coords)
+streams = st.lists(points, min_size=1, max_size=60)
+
+R = 8
+
+
+def feed(summary, pts):
+    for p in pts:
+        summary.insert(p)
+    return summary
+
+
+class TestHullNesting:
+    @settings(max_examples=40, deadline=None)
+    @given(streams)
+    def test_every_summary_inside_true_hull(self, pts):
+        true = convex_hull(pts)
+        if len(true) < 3:
+            return
+        for summary in (
+            feed(UniformHull(R), pts),
+            feed(AdaptiveHull(R), pts),
+            feed(FixedSizeAdaptiveHull(R), pts),
+        ):
+            for v in summary.hull():
+                assert contains_point(true, v, tol=1e-7), type(summary).__name__
+
+    @settings(max_examples=40, deadline=None)
+    @given(streams)
+    def test_uniform_extrema_subset_of_adaptive_samples(self, pts):
+        """The adaptive hull always contains the uniform layer's extrema."""
+        ada = feed(AdaptiveHull(R), pts)
+        uni_samples = set(ada.uniform_layer.samples())
+        assert uni_samples <= set(ada.samples())
+
+
+class TestQueryConsistency:
+    @settings(max_examples=30, deadline=None)
+    @given(streams)
+    def test_diameter_ordering(self, pts):
+        """exact >= adaptive and exact >= uniform diameters, and both
+        within the Lemma 3.1 factor."""
+        exact = feed(ExactHull(), pts)
+        ada = feed(AdaptiveHull(R), pts)
+        uni = feed(UniformHull(R), pts)
+        d_true = q_diameter(exact)
+        for s in (ada, uni):
+            d = q_diameter(s)
+            assert d <= d_true + 1e-9
+            assert d >= d_true * math.cos(math.pi / R) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(streams, st.floats(min_value=0.0, max_value=6.28))
+    def test_extent_never_exceeds_brute_force(self, pts, theta):
+        ada = feed(AdaptiveHull(R), pts)
+        d = unit(theta)
+        vals = [dot(p, d) for p in pts]
+        true_ext = max(vals) - min(vals)
+        assert q_extent(ada, d) <= true_ext + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(streams)
+    def test_width_le_diameter_on_summaries(self, pts):
+        ada = feed(AdaptiveHull(R), pts)
+        if len(ada.hull()) < 3:
+            return
+        assert q_width(ada) <= q_diameter(ada) + 1e-9
+
+
+class TestStaticStreamingAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_both_meet_the_same_bound(self, pts):
+        true = convex_hull(pts)
+        if len(true) < 3:
+            return
+        D = diameter(true)[0]
+        bound = 16.0 * math.pi * D / (R * R) * math.pi  # P <= pi*D slack
+        static_err = hull_distance(true, adaptive_sample(pts, R).hull)
+        stream_err = hull_distance(true, feed(AdaptiveHull(R), pts).hull())
+        assert static_err <= bound + 1e-7
+        assert stream_err <= bound + 1e-7
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_sample_budgets(self, pts):
+        assert len(adaptive_sample(pts, R).samples) <= 2 * R + 1
+        assert len(feed(AdaptiveHull(R), pts).samples()) <= 2 * R + 1
+
+
+class TestStreamOrderInsensitivity:
+    @settings(max_examples=20, deadline=None)
+    @given(streams, st.integers(min_value=0, max_value=9))
+    def test_uniform_summary_order_invariant(self, pts, seed):
+        """The uniform hull's final state is order-independent (exact
+        argmax per direction) — the anchor the adaptive layer builds on."""
+        shuffled = list(pts)
+        random.Random(seed).shuffle(shuffled)
+        a = feed(UniformHull(R), pts)
+        b = feed(UniformHull(R), shuffled)
+        for j in range(R):
+            assert a.support(j) == pytest.approx(b.support(j), abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(streams, st.integers(min_value=0, max_value=9))
+    def test_adaptive_guarantee_order_invariant(self, pts, seed):
+        """The adaptive hull's *structure* is order-dependent, but the
+        guarantee is not: any order meets the Corollary 5.2 bound."""
+        shuffled = list(pts)
+        random.Random(seed).shuffle(shuffled)
+        h = feed(AdaptiveHull(R), shuffled)
+        hull = h.hull()
+        if not hull:
+            return
+        bound = 16.0 * math.pi * h.perimeter / (R * R)
+        assert all(
+            point_polygon_distance(hull, p) <= bound + 1e-7 for p in pts
+        )
+
+
+class TestMonotoneGrowth:
+    @settings(max_examples=20, deadline=None)
+    @given(streams)
+    def test_support_is_monotone_in_time(self, pts):
+        """Per-direction supports never decrease as the stream advances."""
+        h = UniformHull(R)
+        prev = [-math.inf] * R
+        for p in pts:
+            h.insert(p)
+            for j in range(R):
+                assert h.support(j) >= prev[j] - 1e-12
+                prev[j] = h.support(j)
+
+    @settings(max_examples=20, deadline=None)
+    @given(streams)
+    def test_diameter_estimate_near_monotone(self, pts):
+        """Sample points can be dropped by unrefinement, so the sampled
+        diameter is not strictly monotone — but the opposite-direction
+        supports are, so it can never fall below cos(theta0/2) of its
+        running maximum (the Lemma 3.1 projection argument)."""
+        h = AdaptiveHull(R)
+        running_max = 0.0
+        for p in pts:
+            h.insert(p)
+            d = diameter(h.hull())[0]
+            assert d >= running_max * math.cos(math.pi / R) - 1e-9
+            running_max = max(running_max, d)

@@ -1,0 +1,108 @@
+"""Tests for the SVG rendering layer."""
+
+import os
+
+import pytest
+
+from repro.core import AdaptiveHull, UniformHull
+from repro.streams import as_tuples, ellipse_stream
+from repro.viz import SvgCanvas, render_summary
+
+
+@pytest.fixture
+def points():
+    return list(as_tuples(ellipse_stream(600, rotation=0.1, seed=5)))
+
+
+class TestSvgCanvas:
+    def test_fit_required_before_drawing(self):
+        c = SvgCanvas()
+        with pytest.raises(ValueError):
+            c.circle((0.0, 0.0))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            SvgCanvas().fit([])
+
+    def test_document_structure(self):
+        c = SvgCanvas(width=200, height=100)
+        c.fit([(0.0, 0.0), (1.0, 1.0)])
+        c.circle((0.5, 0.5))
+        svg = c.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert 'width="200"' in svg
+        assert "<circle" in svg
+
+    def test_polyline_and_polygon(self):
+        c = SvgCanvas()
+        c.fit([(0.0, 0.0), (2.0, 2.0)])
+        c.polyline([(0.0, 0.0), (1.0, 1.0)], close=False)
+        c.polyline([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)], close=True)
+        svg = c.to_svg()
+        assert "<polyline" in svg
+        assert "<polygon" in svg
+
+    def test_polyline_too_short_skipped(self):
+        c = SvgCanvas()
+        c.fit([(0.0, 0.0), (1.0, 1.0)])
+        c.polyline([(0.5, 0.5)])
+        assert "<polyline" not in c.to_svg()
+
+    def test_y_axis_flipped(self):
+        c = SvgCanvas(width=100, height=100, margin=0)
+        c.fit([(0.0, 0.0), (1.0, 1.0)])
+        c.circle((0.0, 1.0))  # top-left in world -> small SVG y
+        svg = c.to_svg()
+        assert 'cy="0.00"' in svg
+
+    def test_segment_and_text(self):
+        c = SvgCanvas()
+        c.fit([(0.0, 0.0), (1.0, 1.0)])
+        c.segment((0.0, 0.0), (1.0, 1.0))
+        c.text((0.5, 0.5), "label")
+        svg = c.to_svg()
+        assert "<line" in svg
+        assert ">label</text>" in svg
+
+    def test_save(self, tmp_path):
+        c = SvgCanvas()
+        c.fit([(0.0, 0.0), (1.0, 1.0)])
+        path = tmp_path / "out.svg"
+        c.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestRenderSummary:
+    def test_adaptive_render(self, points):
+        h = AdaptiveHull(16)
+        for p in points:
+            h.insert(p)
+        svg = render_summary(h, points).to_svg()
+        assert "<polygon" in svg  # uncertainty triangles + hull
+        assert svg.count("<circle") > 10
+
+    def test_uniform_render(self, points):
+        h = UniformHull(16)
+        for p in points:
+            h.insert(p)
+        svg = render_summary(h, points).to_svg()
+        assert "<polygon" in svg
+
+    def test_point_subsampling(self, points):
+        h = AdaptiveHull(16)
+        for p in points:
+            h.insert(p)
+        svg = render_summary(h, points, max_points=50).to_svg()
+        # At most ~50 data dots plus the sample markers.
+        assert svg.count("<circle") < 150
+
+
+class TestFig10:
+    def test_files_written(self, tmp_path):
+        from repro.experiments import make_fig10
+
+        a, u = make_fig10(str(tmp_path), n=800)
+        assert os.path.exists(a) and os.path.exists(u)
+        assert open(a).read().startswith("<svg")
+        assert open(u).read().startswith("<svg")
