@@ -4,9 +4,9 @@ A complete reproduction of Hershberger & Suri (PODS 2004; Computational
 Geometry 39 (2008) 191-208): streaming convex-hull summaries with
 provably optimal O(D/r^2) error using at most 2r+1 adaptive samples,
 together with every substrate, baseline, query, and experiment the
-paper describes.
+paper describes — grown into a batch-first, multi-stream engine.
 
-Quickstart::
+Quickstart (single stream, point at a time)::
 
     from repro import AdaptiveHull
 
@@ -14,6 +14,34 @@ Quickstart::
     for x, y in stream:
         hull.insert((x, y))
     polygon = hull.hull()           # CCW convex polygon, <= 2r+1 points
+
+Batch quickstart — real feeds arrive as ``(n, 2)`` NumPy blocks, and
+``insert_many`` ingests them through a vectorised containment
+pre-filter (several times the sequential throughput, bit-for-bit the
+same result)::
+
+    import numpy as np
+    from repro import AdaptiveHull
+
+    hull = AdaptiveHull(r=32)
+    hull.insert_many(np.random.default_rng(0).normal(size=(100_000, 2)))
+
+Many streams — one summary per vehicle/sensor/user — go through the
+:class:`StreamEngine`: keyed batch routing, lazy per-key summaries,
+LRU eviction, standing-query subscriptions, and JSON snapshot/restore::
+
+    from repro import AdaptiveHull, SeparationTracker, StreamEngine
+
+    engine = StreamEngine(lambda: AdaptiveHull(r=32))
+    engine.ingest([("drone-1", 0.5, 1.2), ("drone-2", 3.1, -0.4)])
+    engine.ingest_arrays(keys, points)          # NumPy-native routing
+
+    tracker = SeparationTracker(lambda: AdaptiveHull(r=32))
+    engine.attach_tracker(tracker, ["drone-1", "drone-2"])
+    tracker.separable("drone-1", "drone-2")     # live standing query
+
+    engine.snapshot("fleet.json")               # checkpoint...
+    engine = StreamEngine.restore("fleet.json", lambda: AdaptiveHull(r=32))
 
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -30,6 +58,7 @@ from .baselines import (
     RadialHistogramHull,
     RandomSampleHull,
 )
+from .engine import EngineStats, StreamEngine, Subscription
 from .extensions.clusterhull import ClusterHull
 from .queries import (
     ContainmentTracker,
@@ -41,8 +70,9 @@ from .queries import (
     farthest_neighbor,
     width,
 )
+from .streams.io import load_summary, save_summary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveHull",
@@ -55,6 +85,11 @@ __all__ = [
     "ExactHull",
     "RandomSampleHull",
     "ClusterHull",
+    "StreamEngine",
+    "EngineStats",
+    "Subscription",
+    "save_summary",
+    "load_summary",
     "diameter",
     "width",
     "extent",

@@ -59,6 +59,10 @@ class DudleyKernelHull(HullSummary):
         self.points_seen = 0
         self.rebuilds = 0
 
+    def get_config(self):
+        """Constructor kwargs that recreate an equivalent empty summary."""
+        return {"r": self.r, "warmup": self.warmup, "growth": self.growth}
+
     def insert(self, p: Point) -> bool:
         self.points_seen += 1
         if self._center is None:

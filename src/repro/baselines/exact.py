@@ -39,3 +39,19 @@ class ExactHull(HullSummary):
     def points_seen(self) -> int:
         """Total points inserted."""
         return self._online.points_seen
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self):
+        """Replaying the hull vertices reconstructs the hull exactly —
+        they are the entire state; the stream-length counter rides
+        along explicitly (it is a derived read-only property here)."""
+        return {
+            "replay_samples": [[p[0], p[1]] for p in self.samples()],
+            "points_seen": self.points_seen,
+        }
+
+    def load_state(self, state) -> None:
+        for p in state["replay_samples"]:
+            self.insert((float(p[0]), float(p[1])))
+        self._online._n = int(state["points_seen"])

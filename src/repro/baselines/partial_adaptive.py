@@ -49,6 +49,10 @@ class PartiallyAdaptiveHull(HullSummary):
         self.points_seen = 0
         self.frozen = False
 
+    def get_config(self):
+        """Constructor kwargs that recreate an equivalent empty summary."""
+        return {"r": self.r, "train_size": self.train_size}
+
     def insert(self, p: Point) -> bool:
         self.points_seen += 1
         if not self.frozen:

@@ -44,6 +44,10 @@ class RadialHistogramHull(HullSummary):
         self._hull: List[Point] = []
         self.points_seen = 0
 
+    def get_config(self):
+        """Constructor kwargs that recreate an equivalent empty summary."""
+        return {"r": self.r}
+
     def insert(self, p: Point) -> bool:
         self.points_seen += 1
         if self._origin is None:

@@ -33,11 +33,18 @@ class RandomSampleHull(HullSummary):
         if r < 1:
             raise ValueError("RandomSampleHull requires r >= 1")
         self.r = r
+        self.seed = seed
         self._rng = random.Random(seed)
         self._reservoir: List[Point] = []
         self._hull: List[Point] = []
         self._dirty = False
         self.points_seen = 0
+
+    def get_config(self):
+        """Constructor kwargs that recreate an equivalent empty summary
+        (the RNG restarts from the stored seed; the replay-based state
+        snapshot is documented as lossy for this scheme)."""
+        return {"r": self.r, "seed": self.seed}
 
     def insert(self, p: Point) -> bool:
         self.points_seen += 1

@@ -9,9 +9,14 @@ Usage::
     python -m repro lower-bound
     python -m repro work
     python -m repro demo   [--n N]
+    python -m repro engine [--keys K] [--n N] [--r R] [--batch B]
+                           [--snapshot PATH] [--seed S]
 
 Every subcommand prints the corresponding table/series from the paper's
-evaluation; ``demo`` runs a quick end-to-end summary with queries.
+evaluation; ``demo`` runs a quick end-to-end summary with queries, and
+``engine`` exercises the multi-stream batch engine: K keyed streams,
+shuffled record batches, per-key hulls, and (optionally) a snapshot/
+restore round trip.
 """
 
 from __future__ import annotations
@@ -61,6 +66,22 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="summarise a stream and run queries")
     demo.add_argument("--n", type=int, default=50_000)
     demo.add_argument("--r", type=int, default=32)
+
+    eng = sub.add_parser(
+        "engine", help="multi-stream batch ingestion engine demo"
+    )
+    eng.add_argument("--keys", type=int, default=200, help="keyed streams")
+    eng.add_argument(
+        "--n", type=int, default=200_000, help="total records across all keys"
+    )
+    eng.add_argument("--r", type=int, default=32, help="adaptive parameter r")
+    eng.add_argument(
+        "--batch", type=int, default=20_000, help="records per ingest batch"
+    )
+    eng.add_argument(
+        "--snapshot", default=None, help="write a snapshot here and verify restore"
+    )
+    eng.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -147,6 +168,59 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from .core import AdaptiveHull
+    from .engine import StreamEngine
+    from .geometry import area as polygon_area
+
+    if args.keys < 1:
+        raise SystemExit("engine: --keys must be >= 1")
+    if args.batch < 1:
+        raise SystemExit("engine: --batch must be >= 1")
+    rng = np.random.default_rng(args.seed)
+    keys = np.array([f"stream-{i:04d}" for i in range(args.keys)])
+    centers = rng.uniform(-100.0, 100.0, (args.keys, 2))
+
+    engine = StreamEngine(lambda: AdaptiveHull(args.r))
+    t0 = time.perf_counter()
+    done = 0
+    while done < args.n:
+        b = min(args.batch, args.n - done)
+        idx = rng.integers(0, args.keys, b)
+        pts = centers[idx] + rng.normal(0.0, 2.0, (b, 2))
+        engine.ingest_arrays(keys[idx], pts)
+        done += b
+    elapsed = time.perf_counter() - t0
+
+    stats = engine.stats()
+    print(f"streams      : {stats.streams}")
+    print(f"records      : {stats.points_ingested:,} in {stats.batches_ingested} batches")
+    print(f"stored       : {stats.sample_points:,} sample points "
+          f"(bound {args.keys * (2 * args.r + 1):,})")
+    print(f"throughput   : {done / elapsed:,.0f} records/sec")
+    areas = sorted(
+        ((abs(polygon_area(engine.hull(k))), k) for k in engine.keys()),
+        reverse=True,
+    )
+    print("largest hulls:")
+    for a, k in areas[:5]:
+        print(f"  {k}: area {a:.2f}, {len(engine.hull(k))} vertices")
+
+    if args.snapshot:
+        path = engine.snapshot(args.snapshot)
+        restored = StreamEngine.restore(path, lambda: AdaptiveHull(args.r))
+        ok = all(restored.hull(k) == engine.hull(k) for k in engine.keys())
+        print(f"snapshot     : {path} ({path.stat().st_size:,} bytes)")
+        print(f"restore check: {len(engine)} keys, identical hulls: {ok}")
+        if not ok:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig10": _cmd_fig10,
@@ -154,6 +228,7 @@ _COMMANDS = {
     "lower-bound": _cmd_lower_bound,
     "work": _cmd_work,
     "demo": _cmd_demo,
+    "engine": _cmd_engine,
 }
 
 

@@ -42,7 +42,8 @@ from ..geometry.hull import convex_hull
 from ..geometry.polygon import contains_point
 from ..geometry.vec import Point, Vector, dot
 from ..structures.bucket_queue import make_threshold_queue
-from .base import HullSummary, check_point
+from .base import HullSummary, coerce_point
+from .batch import DEFAULT_CHUNK, prefiltered_insert_many
 from .refinement import RefinementNode
 from .uncertainty import UncertaintyTriangle, triangle_for_edge
 from .uniform_hull import UniformHull
@@ -122,7 +123,7 @@ class AdaptiveHull(HullSummary):
         perimeter grows (step 4), and rebuild the affected refinement
         trees (steps 3 and 5).
         """
-        check_point(p)
+        p = coerce_point(p)
         self.points_seen += 1
         if self._hull and contains_point(self._hull, p):
             return False
@@ -137,6 +138,17 @@ class AdaptiveHull(HullSummary):
             self._sync_tree(j, p)
         self._rebuild_hull()
         return True
+
+    def insert_many(self, points, chunk: int = DEFAULT_CHUNK) -> int:
+        """Vectorised batch ingestion (see :mod:`repro.core.batch`).
+
+        Pre-filters each chunk against the current sample hull with one
+        NumPy orientation sweep before running the full per-point update
+        on the survivors.  Exactly equivalent to sequential
+        :meth:`insert` — same hull, samples, refinement forest, and
+        operation counters.
+        """
+        return prefiltered_insert_many(self, points, chunk=chunk)
 
     def hull(self) -> List[Point]:
         """Convex hull of the current sample points (CCW, cached)."""
@@ -234,6 +246,97 @@ class AdaptiveHull(HullSummary):
         assert node.left.depth == node.depth + 1
         self._check_node(node.left)
         self._check_node(node.right)
+
+    # -- persistence ---------------------------------------------------------
+
+    def get_config(self) -> Dict:
+        """Constructor kwargs that recreate an equivalent empty summary."""
+        return {
+            "r": self.r,
+            "height_limit": self.k,
+            "queue_mode": self.queue_mode,
+            "ring_discard": self.ring_discard,
+        }
+
+    def state_dict(self) -> Dict:
+        """JSON-serialisable snapshot: uniform layer, refinement forest
+        (internal-node extrema only — endpoints and dyadic ranges are
+        derivable), and the operation counters."""
+        return {
+            "uniform": self._uniform.state_dict(),
+            "roots": [self._tree_state(root) for root in self._roots],
+            "counters": {
+                "points_seen": self.points_seen,
+                "points_processed": self.points_processed,
+                "refinements": self.refinements,
+                "unrefinements": self.unrefinements,
+                "nodes_visited": self.nodes_visited,
+                "ring_discards": self.ring_discards,
+            },
+        }
+
+    def load_state(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (in place).
+
+        The refinement forest is rebuilt node-for-node and the threshold
+        queue repopulated with one entry per internal node at its
+        current threshold, so the restored summary has the identical
+        sample set and hull, and continues streaming under the same
+        policy.
+        """
+        roots_state = state["roots"]
+        if len(roots_state) != self.r:
+            raise ValueError(
+                f"snapshot has {len(roots_state)} trees, summary has r={self.r}"
+            )
+        self._uniform.load_state(state["uniform"])
+        self._queue = make_threshold_queue(self.queue_mode)
+        self._roots = [None] * self.r
+        for j, tree in enumerate(roots_state):
+            if tree is None:
+                continue
+            a = self._uniform.extreme(j)
+            b = self._uniform.extreme(j + 1)
+            if a is None or b is None:
+                raise ValueError(f"snapshot tree {j} has no uniform edge under it")
+            root = RefinementNode(
+                DyadicDirection.uniform(j, self.r),
+                DyadicDirection.uniform(j + 1, self.r),
+                a,
+                b,
+                0,
+            )
+            self._restore_tree(root, tree)
+            self._roots[j] = root
+        counters = state["counters"]
+        self.points_seen = int(counters["points_seen"])
+        self.points_processed = int(counters["points_processed"])
+        self.refinements = int(counters["refinements"])
+        self.unrefinements = int(counters["unrefinements"])
+        self.nodes_visited = int(counters["nodes_visited"])
+        self.ring_discards = int(counters["ring_discards"])
+        self._rebuild_hull()
+
+    def _tree_state(self, node: Optional[RefinementNode]):
+        """Nested dict for an internal node, None for a leaf/absent tree."""
+        if node is None or node.is_leaf:
+            return None
+        assert node.t is not None
+        return {
+            "t": [node.t[0], node.t[1]],
+            "left": self._tree_state(node.left),
+            "right": self._tree_state(node.right),
+        }
+
+    def _restore_tree(self, node: RefinementNode, tree: Optional[Dict]) -> None:
+        if tree is None:
+            return
+        node.refine((float(tree["t"][0]), float(tree["t"][1])))
+        thr = refine_threshold(self._ell_tilde(node), self.r, node.depth)
+        self._queue.push(thr, node)
+        assert node.left is not None and node.right is not None
+        self._restore_tree(node.left, tree["left"])
+        self._restore_tree(node.right, tree["right"])
 
     # -- internals -----------------------------------------------------------
 

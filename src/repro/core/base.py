@@ -14,27 +14,48 @@ from typing import Iterable, List
 
 from ..geometry.vec import Point
 
-__all__ = ["HullSummary", "check_point"]
+__all__ = ["HullSummary", "check_point", "coerce_point"]
 
 
 def check_point(p: Point) -> Point:
-    """Validate one stream point: a pair of finite floats.
+    """Validate one stream point: a pair of finite numbers.
 
     NaN or infinite coordinates would silently poison every orientation
     predicate downstream, so summaries reject them at the boundary.
+    Accepts anything indexable whose coordinates support float
+    conversion — tuples, lists, NumPy rows, NumPy scalars — without
+    round-tripping each coordinate through ``float()`` (``math.isfinite``
+    validates in place, which keeps this off the batch-ingestion hot
+    path).
 
     Raises:
         ValueError: on non-finite coordinates.
         TypeError: on inputs that are not 2-sequences of numbers.
     """
     try:
-        x = float(p[0])
-        y = float(p[1])
+        ok = math.isfinite(p[0]) and math.isfinite(p[1])
     except (TypeError, ValueError, IndexError, KeyError) as exc:
         raise TypeError(f"stream point must be an (x, y) pair, got {p!r}") from exc
-    if not (math.isfinite(x) and math.isfinite(y)):
+    if not ok:
         raise ValueError(f"stream point must be finite, got {p!r}")
     return p
+
+
+def coerce_point(p: Point) -> Point:
+    """Validate ``p`` and normalise it to an ``(x, y)`` tuple of floats.
+
+    The batch paths use this at the boundary so that every stored sample
+    is a plain hashable float tuple regardless of whether the caller
+    passed tuples, lists, or NumPy rows.  Already-normalised points pass
+    through untouched.
+
+    Raises:
+        ValueError / TypeError: as :func:`check_point`.
+    """
+    if type(p) is tuple and len(p) == 2 and type(p[0]) is float and type(p[1]) is float:
+        return check_point(p)
+    check_point(p)
+    return (float(p[0]), float(p[1]))
 
 
 class HullSummary(abc.ABC):
@@ -70,3 +91,68 @@ class HullSummary(abc.ABC):
         for p in points:
             self.insert(p)
         return self
+
+    def insert_many(self, points: Iterable[Point], chunk: int = 4096) -> int:
+        """Ingest a batch of points; return how many changed the summary.
+
+        Accepts anything :func:`coerce_point` accepts per row — an
+        ``(n, 2)`` NumPy array, a list of tuples, a generator — and is
+        exactly equivalent to calling :meth:`insert` point by point (same
+        final hull, samples, and operation counters).
+
+        The whole batch is validated *before* any point is ingested, so
+        a malformed or non-finite row rejects the batch atomically
+        instead of leaving a half-ingested prefix behind.
+        :class:`~repro.core.uniform_hull.UniformHull` and
+        :class:`~repro.core.adaptive_hull.AdaptiveHull` override this
+        with a NumPy-vectorised fast path that pre-filters ``chunk``
+        points at a time; the default is the portable per-point loop,
+        which accepts ``chunk`` for interface uniformity but has no use
+        for it.
+
+        Raises:
+            ValueError / TypeError: on malformed or non-finite rows; the
+                summary is left untouched.
+        """
+        batch = [coerce_point(p) for p in points]
+        changed = 0
+        for p in batch:
+            if self.insert(p):
+                changed += 1
+        return changed
+
+    # -- persistence ---------------------------------------------------------
+
+    def get_config(self) -> dict:
+        """Constructor kwargs that recreate an equivalent empty summary.
+
+        Subclasses with constructor parameters (``r``, queue modes, …)
+        must override this for snapshots to round-trip; the base default
+        suits parameterless schemes.
+        """
+        return {}
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the summary state.
+
+        Default: record the current samples for replay.  This is exact
+        for schemes whose state is a function of their samples (e.g.
+        the exact hull); the core streaming schemes override it with a
+        field-level snapshot that also restores counters and internal
+        structure bit-for-bit.
+        """
+        return {
+            "replay_samples": [[p[0], p[1]] for p in self.samples()],
+            "points_seen": getattr(self, "points_seen", None),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this (fresh) summary."""
+        for p in state["replay_samples"]:
+            self.insert((float(p[0]), float(p[1])))
+        seen = state.get("points_seen")
+        if seen is not None and hasattr(self, "points_seen"):
+            try:
+                self.points_seen = int(seen)
+            except AttributeError:
+                pass  # read-only counter (derived property)

@@ -1,0 +1,244 @@
+"""Vectorised batch ingestion for containment-filtering summaries.
+
+Real callers rarely arrive with one point at a time: sensor buses,
+replayed recordings, and the :class:`~repro.engine.StreamEngine` all
+deliver ``(n, 2)`` NumPy blocks.  On the paper's workloads the vast
+majority of stream points fall *inside* the current sample hull and are
+discarded by the per-point containment fast path — so the batch hot
+path can be turned into array operations: test a whole segment against
+the sample hull with one vectorised orientation sweep, skip the certain
+insiders in bulk, and fall back to per-point :meth:`insert` only for
+the rare survivors.
+
+Exact equivalence with sequential ``insert`` is non-negotiable (the
+``tests/engine/test_batch_equivalence.py`` suite enforces it), and two
+subtleties guard it:
+
+* The vectorised containment test is *conservative*: it certifies a
+  point as inside only when every edge cross product clears a margin
+  (:data:`MASK_MARGIN`) three orders of magnitude wider than the EPS
+  tolerance of :func:`~repro.geometry.polygon.contains_point`.  A
+  certified point is therefore guaranteed to also be discarded by the
+  sequential containment test; anything near the boundary simply takes
+  the per-point path, which is bit-for-bit the sequential code.
+* Sample hulls do not grow monotonically — an extremum update can
+  *shrink* the hull (dropping a formerly covered region), which would
+  invalidate an already-computed mask.  After every summary-changing
+  insert the driver checks (vectorised) that the new hull still covers
+  the hull the mask was filtered against; while the hull only grows
+  (the overwhelmingly common case) the mask stays valid, and a genuine
+  shrink downgrades the rest of the current segment to the plain
+  per-point loop.
+
+Segments adapt: they start small — while the young hull still changes
+on most points, masks would be invalidated immediately — and double up
+to ``chunk`` as the hull stabilises, which is what turns the steady
+state into nearly pure NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.vec import Point
+
+__all__ = ["as_point_array", "certain_inside_mask", "prefiltered_insert_many"]
+
+#: Relative margin for the conservative vectorised containment test.
+#: Must dominate ``repro.geometry.predicates.EPS`` (1e-12) by a wide
+#: gap so that a certified-inside point can never flip to "outside"
+#: under the exact predicate's tolerance policy.
+MASK_MARGIN = 1e-9
+
+#: Default maximum number of points filtered per vectorised segment.
+DEFAULT_CHUNK = 4096
+
+#: Initial segment length while the hull is still volatile.
+_MIN_SEGMENT = 64
+
+#: Mask re-filters allowed per segment before degrading that segment to
+#: the per-point path (protects against adversarial hull churn).
+_MAX_REFILTERS = 8
+
+
+def as_point_array(points) -> np.ndarray:
+    """Coerce a batch into a validated ``(n, 2)`` float64 array.
+
+    Accepts an ``(n, 2)`` array, any sequence of 2-sequences, or a
+    generator of points.  Validation is vectorised: one ``isfinite``
+    sweep replaces the two ``float()`` round trips per point that
+    dominate naive batch ingestion.
+
+    Raises:
+        TypeError: when the input cannot be shaped into ``(n, 2)``.
+        ValueError: when any row has a NaN or infinite coordinate (the
+            error names the first offending row).
+    """
+    if not isinstance(points, (np.ndarray, list, tuple)):
+        points = list(points)  # generators and other lazy iterables
+    try:
+        arr = np.asarray(points, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"batch must be coercible to an (n, 2) float array: {exc}"
+        ) from exc
+    if arr.ndim == 1 and arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise TypeError(f"batch must have shape (n, 2), got {arr.shape}")
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = int(np.nonzero(~finite.all(axis=1))[0][0])
+        raise ValueError(f"batch row {bad} is not finite: {tuple(arr[bad])!r}")
+    return np.ascontiguousarray(arr)
+
+
+def _edge_forms(hull: Sequence[Point]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Linear forms of a CCW hull's edges.
+
+    For edge ``a -> b`` the orientation cross product of point ``p`` is
+    the linear form ``-ey*px + ex*py + (ey*ax - ex*ay)`` with
+    ``(ex, ey) = b - a``; a point is left of the edge when the form is
+    positive.  Returns ``(N, c, span)``: the ``(h, 2)`` coefficient
+    matrix, the ``(h,)`` constants, and the per-edge scale coefficient
+    ``|ex| + |ey|`` used to bound the relative tolerance of the exact
+    predicate.
+    """
+    h = np.asarray(hull, dtype=np.float64)
+    b = np.roll(h, -1, axis=0)
+    ex = b[:, 0] - h[:, 0]
+    ey = b[:, 1] - h[:, 1]
+    coeffs = np.stack((-ey, ex), axis=1)
+    const = ey * h[:, 0] - ex * h[:, 1]
+    return coeffs, const, np.abs(ex) + np.abs(ey)
+
+
+def certain_inside_mask(
+    hull: Sequence[Point], xs: np.ndarray, ys: np.ndarray
+) -> Optional[np.ndarray]:
+    """Boolean mask of points *certainly* inside a CCW convex hull.
+
+    ``mask[i]`` is True only when point ``i`` clears every edge of
+    ``hull`` by more than the relative :data:`MASK_MARGIN` — a strict
+    subset of what :func:`~repro.geometry.polygon.contains_point`
+    accepts (the exact predicate's tolerance scale ``|t1| + |t2|`` is
+    bounded above by ``(|ex| + |ey|) * span`` with ``span`` the
+    coordinate spread of the batch and hull) — so a True entry licenses
+    skipping the sequential containment test entirely.  Returns None
+    for degenerate hulls (< 3 vertices), where no point can be
+    certified.
+    """
+    if len(hull) < 3:
+        return None
+    coeffs, const, edge_scale = _edge_forms(hull)
+    hv = np.asarray(hull, dtype=np.float64)
+    span = max(
+        max(xs.max(initial=-np.inf), hv[:, 0].max())
+        - min(xs.min(initial=np.inf), hv[:, 0].min()),
+        max(ys.max(initial=-np.inf), hv[:, 1].max())
+        - min(ys.min(initial=np.inf), hv[:, 1].min()),
+    )
+    cross = coeffs @ np.stack((xs, ys)) + const[:, None]
+    return (cross > (MASK_MARGIN * span) * edge_scale[:, None]).all(axis=0)
+
+
+def _region_covers(outer: Sequence[Point], inner: Sequence[Point]) -> bool:
+    """Does hull ``outer`` (as a closed region) cover every vertex of
+    ``inner``?  By convexity this certifies region containment, which
+    is what keeps a previously computed inside-mask valid after the
+    summary changed.  Strict (no tolerance): a borderline cover merely
+    triggers a harmless re-filter."""
+    if not inner:
+        return True
+    if len(outer) < 3:
+        return False
+    coeffs, const, _ = _edge_forms(outer)
+    pts = np.asarray(inner, dtype=np.float64)
+    cross = coeffs @ pts.T + const[:, None]
+    return bool((cross >= 0.0).all())
+
+
+def prefiltered_insert_many(
+    summary, points, chunk: int = DEFAULT_CHUNK
+) -> int:
+    """Batch-ingest ``points`` into ``summary`` with vectorised pre-filtering.
+
+    ``summary`` must discard contained points exactly as its first
+    per-point step (as :class:`~repro.core.uniform_hull.UniformHull` and
+    :class:`~repro.core.adaptive_hull.AdaptiveHull` do), counting only
+    ``points_seen`` for them.  Returns the number of summary-changing
+    points — identical to what a sequential ``insert`` loop would
+    return, with identical final state and counters.
+
+    Raises:
+        ValueError / TypeError: on malformed batches, before any point
+            is ingested (atomic validation).
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    arr = as_point_array(points)
+    xs = arr[:, 0]
+    ys = arr[:, 1]
+    n = len(arr)
+    changed = 0
+    pos = 0
+    seg = min(_MIN_SEGMENT, chunk)
+    while pos < n:
+        end = min(pos + seg, n)
+        refilters = 0
+        while pos < end:
+            hull = summary.hull()
+            if len(hull) < 3:
+                # Degenerate hull: nothing can be certified; step
+                # per-point until the hull takes shape.
+                if summary.insert((float(xs[pos]), float(ys[pos]))):
+                    changed += 1
+                pos += 1
+                continue
+            if refilters > _MAX_REFILTERS:
+                # Pathologically churning hull: finish this segment on
+                # the plain per-point path (bit-for-bit sequential).
+                for j in range(pos, end):
+                    if summary.insert((float(xs[j]), float(ys[j]))):
+                        changed += 1
+                pos = end
+                break
+            ref_hull = list(hull)
+            mask = certain_inside_mask(ref_hull, xs[pos:end], ys[pos:end])
+            survivors = np.flatnonzero(~mask)
+            done = pos  # next index whose points_seen is unaccounted
+            dirty = False
+            for off in survivors:
+                j = pos + int(off)
+                # Everything between the last survivor and this one is
+                # certified inside: sequential insert would discard
+                # each after bumping points_seen.
+                summary.points_seen += j - done
+                if summary.insert((float(xs[j]), float(ys[j]))):
+                    changed += 1
+                    new_hull = summary.hull()
+                    if new_hull != ref_hull and not _region_covers(
+                        new_hull, ref_hull
+                    ):
+                        # The hull shrank: the mask past this point is
+                        # no longer certified — re-filter the rest of
+                        # the segment against the new hull.
+                        done = j + 1
+                        dirty = True
+                        break
+                done = j + 1
+            if dirty:
+                refilters += 1
+                pos = done
+                continue
+            summary.points_seen += end - done
+            pos = end
+        # Segments grow while masks survive whole segments and shrink
+        # while the young hull still churns, bounding wasted filter work.
+        if refilters == 0:
+            seg = min(seg * 2, chunk)
+        else:
+            seg = max(min(_MIN_SEGMENT, chunk), seg // 2)
+    return changed

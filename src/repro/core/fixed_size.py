@@ -62,6 +62,25 @@ class FixedSizeAdaptiveHull(AdaptiveHull):
         self.max_swaps = max_swaps if max_swaps is not None else 8 * r
         self.swaps = 0
 
+    # -- persistence ----------------------------------------------------------
+
+    def get_config(self):
+        """Constructor kwargs that recreate an equivalent empty summary."""
+        return {
+            "r": self.r,
+            "height_limit": self.k,
+            "max_swaps": self.max_swaps,
+        }
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["swaps"] = self.swaps
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self.swaps = int(state.get("swaps", 0))
+
     # -- policy overrides -----------------------------------------------------
 
     def _should_unrefine(self, node: RefinementNode, perim: float) -> bool:

@@ -22,12 +22,13 @@ see DESIGN.md, substitutions).
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..geometry.hull import convex_hull
 from ..geometry.polygon import contains_point, perimeter as polygon_perimeter
 from ..geometry.vec import Point, Vector, dot, unit
-from .base import HullSummary, check_point
+from .base import HullSummary, coerce_point
+from .batch import DEFAULT_CHUNK, prefiltered_insert_many
 
 __all__ = ["UniformHull"]
 
@@ -69,14 +70,28 @@ class UniformHull(HullSummary):
     def insert(self, p: Point) -> bool:
         """Process one stream point (with the fast containment discard).
 
+        The point is normalised to a float tuple at the boundary, so
+        NumPy rows and lists are stored in the same hashable form the
+        hull structures require.
+
         Raises:
             ValueError / TypeError: on non-finite or malformed points.
         """
-        check_point(p)
+        p = coerce_point(p)
         self.points_seen += 1
         if self._hull and contains_point(self._hull, p):
             return False
         return self._offer(p)
+
+    def insert_many(self, points, chunk: int = DEFAULT_CHUNK) -> int:
+        """Vectorised batch ingestion (see :mod:`repro.core.batch`).
+
+        Pre-filters each chunk against the current sample hull with one
+        NumPy orientation sweep; only the rare survivors take the
+        per-point path.  Exactly equivalent to sequential
+        :meth:`insert` — same hull, samples, and counters.
+        """
+        return prefiltered_insert_many(self, points, chunk=chunk)
 
     def hull(self) -> List[Point]:
         """Convex hull of the stored extrema (CCW, cached)."""
@@ -85,6 +100,41 @@ class UniformHull(HullSummary):
     def samples(self) -> List[Point]:
         """Distinct stored extrema."""
         return list(dict.fromkeys(e for e in self._extreme if e is not None))
+
+    # -- persistence ---------------------------------------------------------
+
+    def get_config(self) -> Dict:
+        """Constructor kwargs that recreate an equivalent empty summary."""
+        return {"r": self.r}
+
+    def state_dict(self) -> Dict:
+        """JSON-serialisable snapshot of the full summary state."""
+        return {
+            "extreme": [list(e) if e is not None else None for e in self._extreme],
+            "support": list(self._support),
+            "points_seen": self.points_seen,
+            "points_processed": self.points_processed,
+        }
+
+    def load_state(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (in place, exact)."""
+        extreme = state["extreme"]
+        support = state["support"]
+        if len(extreme) != self.r or len(support) != self.r:
+            raise ValueError(
+                f"snapshot has {len(extreme)} directions, summary has {self.r}"
+            )
+        self._extreme = [
+            (float(e[0]), float(e[1])) if e is not None else None for e in extreme
+        ]
+        self._support = [float(s) for s in support]
+        self.points_seen = int(state["points_seen"])
+        self.points_processed = int(state["points_processed"])
+        if any(e is not None for e in self._extreme):
+            self._rebuild()
+        else:
+            self._hull = []
+            self._perimeter = 0.0
 
     # -- uniform-hull specifics ---------------------------------------------
 

@@ -1,0 +1,12 @@
+"""Multi-stream ingestion engine.
+
+Scales the single-summary streaming algorithms to the production shape:
+thousands of keyed streams, batch-routed ``(key, x, y)`` records,
+vectorised per-key ingestion, eviction/compaction hooks, standing-query
+subscriptions, and JSON snapshot/restore.  See
+:class:`~repro.engine.engine.StreamEngine`.
+"""
+
+from .engine import EngineStats, StreamEngine, Subscription
+
+__all__ = ["StreamEngine", "EngineStats", "Subscription"]

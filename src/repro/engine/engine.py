@@ -1,0 +1,437 @@
+"""The multi-stream hull engine.
+
+One :class:`~repro.core.base.HullSummary` bounds one stream in O(r)
+space — the engine manages *many* of them: a fleet of vehicles, a grid
+of sensors, one summary per user.  It is the architectural seam the
+scaling roadmap builds on (sharding keys across engines, batching
+records per key, caching hot summaries) and deliberately stays simple:
+
+* **factory-injected scheme** — the engine is agnostic to which summary
+  it manages; pass ``lambda: AdaptiveHull(32)`` (exactly like the
+  query-layer trackers) and every key lazily gets its own instance on
+  first touch;
+* **batch routing** — :meth:`StreamEngine.ingest` takes an iterable of
+  ``(key, x, y)`` records, groups them by key, and hands each group to
+  the summary's vectorised :meth:`insert_many`;
+  :meth:`StreamEngine.ingest_arrays` takes a parallel ``keys`` array
+  and ``(n, 2)`` points block and routes with NumPy grouping;
+* **eviction/compaction hooks** — an optional ``max_streams`` LRU bound
+  with an ``on_evict`` callback, plus :meth:`StreamEngine.compact` for
+  predicate-driven sweeps (drop idle keys, persist-and-forget, …);
+* **standing queries** — :meth:`StreamEngine.subscribe` registers a
+  callback that fires after every batch with the set of touched keys,
+  and :meth:`StreamEngine.attach_tracker` binds engine-owned summaries
+  into a :class:`~repro.queries.trackers.MultiStreamTracker` so the
+  paper's separation/containment/overlap queries run live against
+  engine state;
+* **snapshot/restore** — :meth:`StreamEngine.snapshot` serialises every
+  summary through the :mod:`repro.streams.io` summary format;
+  :meth:`StreamEngine.restore` rebuilds an identical engine (identical
+  hulls, counters, and refinement state for the core schemes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..core.base import HullSummary
+from ..core.batch import as_point_array
+from ..geometry.vec import Point
+from ..streams.io import summary_from_state, summary_state
+
+__all__ = ["StreamEngine", "EngineStats", "Subscription"]
+
+SummaryFactory = Callable[[], HullSummary]
+PathLike = Union[str, Path]
+
+ENGINE_FORMAT = "repro.engine"
+ENGINE_FORMAT_VERSION = 1
+
+
+@dataclass
+class EngineStats:
+    """Aggregate bookkeeping across all keyed streams."""
+
+    streams: int
+    points_ingested: int
+    batches_ingested: int
+    evictions: int
+    sample_points: int
+
+    def __str__(self) -> str:
+        return (
+            f"streams={self.streams} points={self.points_ingested:,} "
+            f"batches={self.batches_ingested} evictions={self.evictions} "
+            f"stored={self.sample_points}"
+        )
+
+
+class Subscription:
+    """Handle for a standing-query callback (see
+    :meth:`StreamEngine.subscribe`); call :meth:`cancel` to detach."""
+
+    def __init__(
+        self,
+        engine: "StreamEngine",
+        callback: Callable[[Set[Hashable]], None],
+        keys: Optional[Set[Hashable]],
+    ):
+        self._engine = engine
+        self.callback = callback
+        self.keys = keys
+        self.fired = 0
+
+    def cancel(self) -> None:
+        """Detach this subscription; no further notifications fire."""
+        self._engine._subscriptions = [
+            s for s in self._engine._subscriptions if s is not self
+        ]
+
+    def _notify(self, touched: Set[Hashable]) -> None:
+        relevant = touched if self.keys is None else touched & self.keys
+        if relevant:
+            self.fired += 1
+            self.callback(relevant)
+
+
+class StreamEngine:
+    """Thousands of keyed hull summaries behind one batch front door.
+
+    Args:
+        factory: zero-argument callable producing a fresh summary; one
+            is created lazily per key on first touch.
+        max_streams: optional LRU bound on live summaries; exceeding it
+            evicts the least-recently-touched key (after calling
+            ``on_evict``).
+        on_evict: optional ``callback(key, summary)`` invoked before a
+            summary is dropped (eviction or :meth:`compact`) — the
+            natural place to persist it via
+            :func:`repro.streams.io.save_summary`.
+    """
+
+    def __init__(
+        self,
+        factory: SummaryFactory,
+        *,
+        max_streams: Optional[int] = None,
+        on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
+    ):
+        if max_streams is not None and max_streams < 1:
+            raise ValueError("max_streams must be >= 1")
+        self._factory = factory
+        self._summaries: Dict[Hashable, HullSummary] = {}
+        self._subscriptions: List[Subscription] = []
+        self._tracker_bindings: Dict[Hashable, List] = {}
+        self.max_streams = max_streams
+        self.on_evict = on_evict
+        self.points_ingested = 0
+        self.batches_ingested = 0
+        self.evictions = 0
+
+    # -- keyed access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._summaries
+
+    def keys(self) -> List[Hashable]:
+        """Live stream keys, least-recently-touched first."""
+        return list(self._summaries)
+
+    def get(self, key: Hashable) -> Optional[HullSummary]:
+        """The summary for ``key``, or None if the key is not live."""
+        return self._summaries.get(key)
+
+    def summary(self, key: Hashable) -> HullSummary:
+        """The summary for ``key``, created lazily on first use."""
+        summary = self._summaries.get(key)
+        if summary is None:
+            summary = self._factory()
+            self._summaries[key] = summary
+            # Keep attached trackers pointing at the live object: after
+            # an eviction, the key's next touch re-binds the fresh
+            # summary so standing queries never read dead state.
+            for tracker in self._tracker_bindings.get(key, ()):
+                tracker.bind(key, summary)
+            self._enforce_bound()
+        return summary
+
+    def hull(self, key: Hashable) -> List[Point]:
+        """Approximate hull of a keyed stream ([] if never fed)."""
+        summary = self._summaries.get(key)
+        return summary.hull() if summary is not None else []
+
+    def stats(self) -> EngineStats:
+        """Aggregate counters across all live streams."""
+        return EngineStats(
+            streams=len(self._summaries),
+            points_ingested=self.points_ingested,
+            batches_ingested=self.batches_ingested,
+            evictions=self.evictions,
+            sample_points=sum(s.sample_size for s in self._summaries.values()),
+        )
+
+    # -- ingestion ---------------------------------------------------------
+
+    def insert(self, key: Hashable, x: float, y: float) -> bool:
+        """Route a single record; returns True if the summary changed."""
+        self._touch(key)
+        changed = self.summary(key).insert((float(x), float(y)))
+        self.points_ingested += 1
+        self._notify({key})
+        return changed
+
+    def ingest(
+        self, records: Iterable[Tuple[Hashable, float, float]], chunk: int = 4096
+    ) -> int:
+        """Batch-route ``(key, x, y)`` records; returns changed count.
+
+        Records are grouped by key and each group is ingested through
+        the summary's (vectorised) :meth:`insert_many`.  Subscribers
+        are notified once, after the whole batch, with the set of
+        touched keys.
+        """
+        groups: Dict[Hashable, List[Tuple[float, float]]] = {}
+        for key, x, y in records:
+            groups.setdefault(key, []).append((x, y))
+        # Validate every group before touching any summary, so one bad
+        # record cannot leave the batch half-applied across keys.
+        validated = [(key, as_point_array(pts)) for key, pts in groups.items()]
+        return self._ingest_groups(validated, chunk)
+
+    def ingest_arrays(
+        self, keys: Sequence[Hashable], points, chunk: int = 4096
+    ) -> int:
+        """Batch-route a parallel ``keys`` sequence and ``(n, 2)`` block.
+
+        The NumPy-native front door: grouping is one ``argsort`` over
+        the key array, so a million-record batch routes without a
+        Python-level loop over records.
+        """
+        arr = as_point_array(points)
+        if isinstance(keys, np.ndarray):
+            key_arr = keys
+        else:
+            # Preserve key types exactly: np.asarray on a plain sequence
+            # would coerce a mixed list (e.g. ints + strs) to one dtype
+            # and silently split a logical stream into two keys.
+            seq = list(keys)
+            key_arr = np.empty(len(seq), dtype=object)
+            key_arr[:] = seq
+        if key_arr.ndim != 1 or len(key_arr) != len(arr):
+            raise ValueError(
+                f"keys has shape {key_arr.shape}, expected ({len(arr)},)"
+            )
+        if len(arr) == 0:
+            return 0
+        if key_arr.dtype == object:
+            # Arbitrary (possibly incomparable) hashables: group through
+            # a dict instead of sorting.
+            index_map: Dict[Hashable, List[int]] = {}
+            for i, k in enumerate(key_arr.tolist()):
+                index_map.setdefault(k, []).append(i)
+
+            def groups():
+                for k, idx in index_map.items():
+                    yield k, arr[np.asarray(idx)]
+
+        else:
+            order = np.argsort(key_arr, kind="stable")
+            sorted_keys = key_arr[order]
+            boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(arr)]))
+
+            def groups():
+                for s, e in zip(starts, ends):
+                    key = sorted_keys[s]
+                    if isinstance(key, np.generic):
+                        key = key.item()  # native str/int, not a NumPy scalar
+                    yield key, arr[order[s:e]]
+
+        return self._ingest_groups(groups(), chunk)
+
+    def _ingest_groups(self, groups, chunk: int) -> int:
+        changed = 0
+        touched: Set[Hashable] = set()
+        for key, pts in groups:
+            self._touch(key)
+            summary = self.summary(key)
+            before = summary.points_seen if hasattr(summary, "points_seen") else None
+            changed += summary.insert_many(pts, chunk=chunk)
+            self.points_ingested += (
+                summary.points_seen - before if before is not None else len(pts)
+            )
+            touched.add(key)
+        self.batches_ingested += 1
+        self._notify(touched)
+        return changed
+
+    # -- eviction / compaction ---------------------------------------------
+
+    def evict(self, key: Hashable) -> HullSummary:
+        """Drop a keyed summary (KeyError if not live) and return it.
+
+        The ``on_evict`` hook runs first, while the summary is still
+        queryable — persist it there if it must survive.
+        """
+        summary = self._summaries[key]
+        if self.on_evict is not None:
+            self.on_evict(key, summary)
+        del self._summaries[key]
+        self.evictions += 1
+        return summary
+
+    def compact(
+        self, drop: Callable[[Hashable, HullSummary], bool]
+    ) -> List[Hashable]:
+        """Evict every key for which ``drop(key, summary)`` is true;
+        returns the evicted keys.  The workhorse for idle-key sweeps
+        (e.g. ``engine.compact(lambda k, s: s.points_seen == 0)``)."""
+        victims = [k for k, s in self._summaries.items() if drop(k, s)]
+        for k in victims:
+            self.evict(k)
+        return victims
+
+    def _touch(self, key: Hashable) -> None:
+        """Mark a key most-recently-used (dict order is the LRU list)."""
+        summary = self._summaries.pop(key, None)
+        if summary is not None:
+            self._summaries[key] = summary
+
+    def _enforce_bound(self) -> None:
+        if self.max_streams is None:
+            return
+        while len(self._summaries) > self.max_streams:
+            self.evict(next(iter(self._summaries)))
+
+    # -- standing queries ---------------------------------------------------
+
+    def subscribe(
+        self,
+        callback: Callable[[Set[Hashable]], None],
+        keys: Optional[Iterable[Hashable]] = None,
+    ) -> Subscription:
+        """Register ``callback(touched_keys)`` to fire after every batch
+        that touches a subscribed key (all keys when ``keys`` is None).
+
+        This is the engine half of the paper's standing queries: a
+        subscriber re-evaluates its tracker predicates only when the
+        hulls it watches may have moved.
+        """
+        sub = Subscription(self, callback, None if keys is None else set(keys))
+        self._subscriptions.append(sub)
+        return sub
+
+    def attach_tracker(
+        self,
+        tracker,
+        keys: Iterable[Hashable],
+        on_update: Optional[Callable[[Set[Hashable]], None]] = None,
+    ) -> Optional[Subscription]:
+        """Bind engine-owned summaries into a multi-stream tracker.
+
+        Each key's (lazily created) summary is registered with
+        ``tracker`` under the same name, so tracker queries — distance,
+        separability, containment, overlap — read the live engine
+        state without copying points.  An optional ``on_update``
+        callback is subscribed to batches touching the bound keys —
+        the hook for re-evaluating the tracker's standing queries only
+        when the hulls they watch may have moved; the returned
+        :class:`Subscription` cancels it.
+
+        Bindings survive LRU eviction: when an evicted key is touched
+        again and a fresh summary is created, every tracker attached to
+        that key is re-bound to the new object (until then the tracker
+        answers from the last pre-eviction state).  Note that binding
+        more keys than ``max_streams`` allows will itself evict the
+        earliest ones.
+        """
+        keys = list(keys)
+        for key in keys:
+            self._tracker_bindings.setdefault(key, [])
+            if tracker not in self._tracker_bindings[key]:
+                self._tracker_bindings[key].append(tracker)
+            tracker.bind(key, self.summary(key))
+        if on_update is not None:
+            return self.subscribe(on_update, keys)
+        return None
+
+    def _notify(self, touched: Set[Hashable]) -> None:
+        for sub in list(self._subscriptions):
+            sub._notify(touched)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self, path: PathLike) -> Path:
+        """Serialise every live summary to a JSON snapshot file.
+
+        Keys must be JSON scalars (str/int/float/bool); anything else
+        raises TypeError — hash-only keys cannot round-trip a text
+        format.
+        """
+        entries = []
+        for key, summary in self._summaries.items():
+            if not isinstance(key, (str, int, float, bool)):
+                raise TypeError(
+                    f"snapshot keys must be JSON scalars, got {type(key).__name__}"
+                )
+            entries.append([key, summary_state(summary)])
+        doc = {
+            "format": ENGINE_FORMAT,
+            "version": ENGINE_FORMAT_VERSION,
+            "points_ingested": self.points_ingested,
+            "batches_ingested": self.batches_ingested,
+            "evictions": self.evictions,
+            "summaries": entries,
+        }
+        path = Path(path)
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        path: PathLike,
+        factory: SummaryFactory,
+        *,
+        max_streams: Optional[int] = None,
+        on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
+    ) -> "StreamEngine":
+        """Rebuild an engine from a :meth:`snapshot` file.
+
+        ``factory`` must produce the same scheme/configuration the
+        snapshot was taken with (checked per summary); the restored
+        engine has identical hulls and counters and keeps streaming.
+        """
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        if doc.get("format") != ENGINE_FORMAT:
+            raise ValueError(f"not an engine snapshot: {doc.get('format')!r}")
+        if doc.get("version") != ENGINE_FORMAT_VERSION:
+            raise ValueError(f"unsupported snapshot version {doc.get('version')!r}")
+        engine = cls(factory, max_streams=max_streams, on_evict=on_evict)
+        for key, snap in doc["summaries"]:
+            engine._summaries[key] = summary_from_state(snap, factory=factory)
+        engine.points_ingested = int(doc.get("points_ingested", 0))
+        engine.batches_ingested = int(doc.get("batches_ingested", 0))
+        engine.evictions = int(doc.get("evictions", 0))
+        engine._enforce_bound()
+        return engine

@@ -46,13 +46,31 @@ class MultiStreamTracker:
         self._factory = factory
         self._streams: Dict[Hashable, HullSummary] = {}
 
-    def insert(self, stream: Hashable, p: Point) -> bool:
-        """Feed one point into the named stream's summary."""
+    def _summary_for(self, stream: Hashable) -> HullSummary:
         summary = self._streams.get(stream)
         if summary is None:
             summary = self._factory()
             self._streams[stream] = summary
-        return summary.insert(p)
+        return summary
+
+    def insert(self, stream: Hashable, p: Point) -> bool:
+        """Feed one point into the named stream's summary."""
+        return self._summary_for(stream).insert(p)
+
+    def insert_many(self, stream: Hashable, points) -> int:
+        """Batch-feed a stream (vectorised when the scheme supports it)."""
+        return self._summary_for(stream).insert_many(points)
+
+    def bind(self, stream: Hashable, summary: HullSummary) -> HullSummary:
+        """Register an externally owned summary under a stream name.
+
+        The wiring used by :meth:`repro.engine.StreamEngine.attach_tracker`:
+        the tracker's standing queries then read the live summary the
+        engine keeps fed, instead of one the tracker owns.  Replaces
+        any summary previously registered for the stream.
+        """
+        self._streams[stream] = summary
+        return summary
 
     def summary(self, stream: Hashable) -> HullSummary:
         """The summary for a stream (KeyError if never fed)."""

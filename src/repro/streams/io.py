@@ -1,22 +1,52 @@
-"""Stream persistence and replay.
+"""Stream and summary persistence.
 
-Production plumbing around the generators: save synthetic workloads,
-load recorded point streams (CSV or ``.npy``), and replay them with
-rate bookkeeping.  Keeps the experiment harness reproducible across
-machines without re-deriving streams from seeds.
+Production plumbing around the generators and summaries: save synthetic
+workloads, load recorded point streams (CSV or ``.npy``), replay them
+with rate bookkeeping, and — new with the multi-stream engine —
+serialise hull summaries to a JSON snapshot format so long-running
+services can checkpoint and restore thousands of keyed summaries.
+
+Snapshot format (version 1)::
+
+    {"format": "repro.summary", "version": 1,
+     "class": "AdaptiveHull", "config": {...constructor kwargs...},
+     "state": {...scheme-specific state_dict...}}
+
+The core schemes (:class:`~repro.core.uniform_hull.UniformHull`,
+:class:`~repro.core.adaptive_hull.AdaptiveHull`,
+:class:`~repro.core.fixed_size.FixedSizeAdaptiveHull`) serialise their
+full internal state field-for-field — extrema, supports, refinement
+forest, operation counters — so a restored summary has the identical
+hull and keeps streaming under the identical policy.  Baselines fall
+back to replaying their samples (exact for schemes whose state is a
+function of their samples, such as the exact hull).  Values may include
+IEEE infinities (pre-first-point supports); Python's ``json`` module
+round-trips them natively.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Iterator, Tuple, Union
+from typing import Dict, Iterator, Tuple, Union
 
 import numpy as np
 
-__all__ = ["save_stream", "load_stream", "replay"]
+__all__ = [
+    "save_stream",
+    "load_stream",
+    "replay",
+    "summary_state",
+    "summary_from_state",
+    "save_summary",
+    "load_summary",
+]
 
 PathLike = Union[str, Path]
+
+SUMMARY_FORMAT = "repro.summary"
+SUMMARY_FORMAT_VERSION = 1
 
 
 def save_stream(points: np.ndarray, path: PathLike) -> Path:
@@ -74,6 +104,98 @@ def load_stream(path: PathLike) -> np.ndarray:
     if arr.ndim != 2 or arr.shape[1] != 2:
         raise ValueError(f"{path} does not contain an (n, 2) point stream")
     return arr
+
+
+def _scheme_registry() -> Dict[str, type]:
+    """Summary classes restorable by name (lazy import: io must stay
+    importable without dragging the whole algorithm stack in)."""
+    from ..baselines import (
+        DudleyKernelHull,
+        ExactHull,
+        PartiallyAdaptiveHull,
+        RadialHistogramHull,
+        RandomSampleHull,
+    )
+    from ..core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            UniformHull,
+            AdaptiveHull,
+            FixedSizeAdaptiveHull,
+            ExactHull,
+            DudleyKernelHull,
+            PartiallyAdaptiveHull,
+            RadialHistogramHull,
+            RandomSampleHull,
+        )
+    }
+
+
+def summary_state(summary) -> Dict:
+    """Serialise a hull summary to a JSON-compatible snapshot dict."""
+    return {
+        "format": SUMMARY_FORMAT,
+        "version": SUMMARY_FORMAT_VERSION,
+        "class": type(summary).__name__,
+        "config": summary.get_config(),
+        "state": summary.state_dict(),
+    }
+
+
+def summary_from_state(snapshot: Dict, factory=None):
+    """Reconstruct a summary from a :func:`summary_state` snapshot.
+
+    ``factory`` (a zero-argument callable) takes precedence when given:
+    the engine restores through the same factory that created its
+    summaries, and the snapshot's class name is used as a consistency
+    check.  Without a factory, the class is looked up by name in the
+    scheme registry and constructed from the stored config.
+
+    Raises:
+        ValueError: on unknown formats, unknown classes, or a factory
+            whose product does not match the snapshot's class.
+    """
+    if snapshot.get("format") != SUMMARY_FORMAT:
+        raise ValueError(f"not a summary snapshot: {snapshot.get('format')!r}")
+    if snapshot.get("version") != SUMMARY_FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot version {snapshot.get('version')!r}")
+    name = snapshot["class"]
+    if factory is not None:
+        summary = factory()
+        if type(summary).__name__ != name:
+            raise ValueError(
+                f"snapshot holds a {name}, factory produced "
+                f"{type(summary).__name__}"
+            )
+        config = summary.get_config()
+        if config != snapshot["config"]:
+            raise ValueError(
+                f"snapshot {name} config {snapshot['config']!r} does not "
+                f"match factory config {config!r}; the restored summary "
+                "would stream under a different policy"
+            )
+    else:
+        registry = _scheme_registry()
+        if name not in registry:
+            raise ValueError(f"unknown summary class {name!r}")
+        summary = registry[name](**snapshot["config"])
+    summary.load_state(snapshot["state"])
+    return summary
+
+
+def save_summary(summary, path: PathLike) -> Path:
+    """Write a summary snapshot as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(summary_state(summary)), encoding="utf-8")
+    return path
+
+
+def load_summary(path: PathLike, factory=None):
+    """Load a summary snapshot written by :func:`save_summary`."""
+    snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    return summary_from_state(snapshot, factory=factory)
 
 
 def replay(

@@ -2,10 +2,12 @@
 
 import math
 
+import numpy as np
 import pytest
 
+from repro.baselines import RadialHistogramHull
 from repro.core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull
-from repro.core.base import check_point
+from repro.core.base import check_point, coerce_point
 
 
 class TestCheckPoint:
@@ -35,6 +37,45 @@ class TestCheckPoint:
         with pytest.raises(TypeError):
             check_point(None)
 
+    def test_numeric_strings_rejected(self):
+        # float()-based validation used to wave these through; the
+        # isfinite-based check rejects them before they poison the
+        # orientation predicates.
+        with pytest.raises(TypeError):
+            check_point(("1", "2"))
+
+    def test_numpy_row_accepted_in_place(self):
+        row = np.array([1.5, -2.5])
+        assert check_point(row) is row
+
+    def test_numpy_scalars_accepted(self):
+        p = (np.float64(0.25), np.float64(4.0))
+        assert check_point(p) is p
+
+    def test_numpy_nan_row_rejected(self):
+        with pytest.raises(ValueError):
+            check_point(np.array([np.nan, 0.0]))
+        with pytest.raises(ValueError):
+            check_point(np.array([0.0, np.inf]))
+
+
+class TestCoercePoint:
+    def test_float_tuple_passes_through_unchanged(self):
+        p = (1.0, 2.0)
+        assert coerce_point(p) is p
+
+    def test_numpy_row_becomes_float_tuple(self):
+        out = coerce_point(np.array([1.5, 2.5]))
+        assert out == (1.5, 2.5)
+        assert type(out[0]) is float and type(out[1]) is float
+
+    def test_list_becomes_tuple(self):
+        assert coerce_point([1, 2]) == (1.0, 2.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            coerce_point((0.0, float("nan")))
+
 
 class TestSummariesValidateInput:
     @pytest.mark.parametrize(
@@ -49,6 +90,81 @@ class TestSummariesValidateInput:
         with pytest.raises(ValueError):
             s.insert((float("nan"), 0.0))
         assert s.samples() == before
+
+
+class TestInsertCoercion:
+    """insert() normalises rows to float tuples at the boundary."""
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: UniformHull(8), lambda: AdaptiveHull(8)]
+    )
+    def test_numpy_row_insert_round_trips(self, factory):
+        s = factory()
+        s.insert(np.array([1.5, -2.5]))
+        s.insert([3.0, 4.0])
+        assert set(s.samples()) == {(1.5, -2.5), (3.0, 4.0)}
+        assert all(type(x) is float for p in s.samples() for x in p)
+
+    def test_numpy_rows_equal_tuple_inserts(self):
+        arr = np.array([[0.0, 0.0], [2.0, 1.0], [1.0, 3.0], [0.5, 0.5]])
+        a, b = UniformHull(8), UniformHull(8)
+        for row in arr:
+            a.insert(row)
+        for row in arr:
+            b.insert((float(row[0]), float(row[1])))
+        assert a.samples() == b.samples()
+        assert a.hull() == b.hull()
+
+
+class TestBatchValidation:
+    """NaN/inf rows inside batches must reject the batch atomically."""
+
+    BAD_ROWS = [
+        [0.5, float("nan")],
+        [float("inf"), 0.0],
+        [float("-inf"), float("nan")],
+    ]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UniformHull(8),
+            lambda: AdaptiveHull(8),
+            lambda: FixedSizeAdaptiveHull(8),
+            lambda: RadialHistogramHull(8),  # base-class insert_many loop
+        ],
+    )
+    @pytest.mark.parametrize("bad_row", BAD_ROWS)
+    def test_bad_row_mid_batch_leaves_summary_untouched(self, factory, bad_row):
+        s = factory()
+        s.insert((1.0, 1.0))
+        before_samples = s.samples()
+        before_seen = s.points_seen
+        batch = [[0.0, 0.0], [2.0, 3.0], bad_row, [5.0, 5.0]]
+        with pytest.raises(ValueError):
+            s.insert_many(batch)
+        assert s.samples() == before_samples
+        assert s.points_seen == before_seen
+
+    def test_numpy_nan_batch_rejected_with_row_index(self):
+        s = UniformHull(8)
+        arr = np.ones((10, 2))
+        arr[7, 1] = np.nan
+        with pytest.raises(ValueError, match="row 7"):
+            s.insert_many(arr)
+        assert s.points_seen == 0
+
+    def test_wrong_shape_rejected(self):
+        s = UniformHull(8)
+        with pytest.raises(TypeError):
+            s.insert_many(np.ones((4, 3)))
+        with pytest.raises(TypeError):
+            s.insert_many(np.ones(5))
+
+    def test_malformed_rows_rejected(self):
+        s = UniformHull(8)
+        with pytest.raises(TypeError):
+            s.insert_many([(0.0, 0.0), "xy"])
 
 
 class TestExtend:

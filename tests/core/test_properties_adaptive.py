@@ -1,0 +1,98 @@
+"""Property-based invariants of the adaptive hull (hypothesis).
+
+On random disk/square/ellipse streams — the paper's own workload
+shapes, drawn with hypothesis-chosen seeds, sizes, and parameters —
+the following must hold at every stopping point:
+
+* every hull vertex is an input point (inner approximation, never
+  fabricated coordinates);
+* the hull is a CCW-convex polygon (or a degenerate hull of < 3
+  distinct extreme points);
+* the sample budget of Theorem 5.4 holds: at most 2r + 1 stored points;
+* the one-sided Hausdorff error against the exact hull stays within
+  the Theorem 5.4 / Corollary 5.2 bound 16*pi*P/r^2.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactHull
+from repro.core import AdaptiveHull
+from repro.experiments.metrics import hull_distance
+from repro.geometry.polygon import is_convex_ccw
+from repro.streams import as_tuples, disk_stream, ellipse_stream, square_stream
+
+
+def _make_stream(kind, n, seed, rotation):
+    if kind == "disk":
+        return disk_stream(n, seed=seed)
+    if kind == "square":
+        return square_stream(n, rotation=rotation, seed=seed)
+    return ellipse_stream(n, a=8.0, b=1.0, rotation=rotation, seed=seed)
+
+
+stream_params = st.tuples(
+    st.sampled_from(["disk", "square", "ellipse"]),
+    st.integers(min_value=1, max_value=250),
+    st.integers(min_value=0, max_value=2**16),
+    st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+)
+r_values = st.sampled_from([8, 16, 32])
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream_params, r_values)
+def test_hull_vertices_are_input_points(params, r):
+    kind, n, seed, rotation = params
+    pts = set(as_tuples(_make_stream(kind, n, seed, rotation)))
+    h = AdaptiveHull(r)
+    h.insert_many(_make_stream(kind, n, seed, rotation))
+    for v in h.hull():
+        assert v in pts
+    for s in h.samples():
+        assert s in pts
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream_params, r_values)
+def test_hull_is_ccw_convex(params, r):
+    kind, n, seed, rotation = params
+    h = AdaptiveHull(r)
+    h.insert_many(_make_stream(kind, n, seed, rotation))
+    hull = h.hull()
+    if len(hull) >= 3:
+        assert is_convex_ccw(hull)
+    else:
+        # Degenerate: all distinct samples lie on the hull itself.
+        assert len(set(hull)) == len(hull)
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream_params, r_values)
+def test_sample_budget_theorem_5_4(params, r):
+    kind, n, seed, rotation = params
+    h = AdaptiveHull(r)
+    # Insert sequentially and check the bound at prefixes too: the
+    # theorem is "at every instant", not just at the end.
+    checkpoints = {1, n // 2, n}
+    for i, p in enumerate(as_tuples(_make_stream(kind, n, seed, rotation)), 1):
+        h.insert(p)
+        if i in checkpoints:
+            assert h.sample_size <= 2 * r + 1
+            h.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream_params, r_values)
+def test_hausdorff_error_within_theorem_5_4_bound(params, r):
+    kind, n, seed, rotation = params
+    stream = _make_stream(kind, n, seed, rotation)
+    h = AdaptiveHull(r)
+    h.insert_many(stream)
+    exact = ExactHull()
+    exact.extend(as_tuples(stream))
+    err = hull_distance(exact.hull(), h.hull())
+    bound = 16.0 * math.pi * h.perimeter / (r * r)
+    assert err <= bound + 1e-9

@@ -1,0 +1,174 @@
+"""Batch/sequential equivalence: insert_many == point-by-point insert.
+
+The batch fast path (``repro.core.batch``) must be *undetectable* from
+the outside: for every summary scheme, every workload shape (including
+the adversarial spiral that maximises hull churn and the grid stream
+full of exact ties), and every chunk size, ``insert_many`` must yield
+the identical hull, identical samples, and identical operation
+counters as the sequential loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DudleyKernelHull,
+    ExactHull,
+    PartiallyAdaptiveHull,
+    RadialHistogramHull,
+    RandomSampleHull,
+)
+from repro.core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull
+from repro.streams import (
+    as_tuples,
+    clusters_stream,
+    disk_stream,
+    ellipse_stream,
+    spiral_stream,
+    square_stream,
+)
+
+COUNTERS = (
+    "points_seen",
+    "points_processed",
+    "refinements",
+    "unrefinements",
+    "nodes_visited",
+    "ring_discards",
+    "swaps",
+)
+
+SCHEMES = [
+    pytest.param(lambda: UniformHull(8), id="uniform-8"),
+    pytest.param(lambda: UniformHull(32), id="uniform-32"),
+    pytest.param(lambda: AdaptiveHull(8), id="adaptive-8"),
+    pytest.param(lambda: AdaptiveHull(16, queue_mode="exact"), id="adaptive-exact"),
+    pytest.param(lambda: AdaptiveHull(16, ring_discard=True), id="adaptive-ring"),
+    pytest.param(lambda: AdaptiveHull(16, height_limit=0), id="adaptive-k0"),
+    pytest.param(lambda: FixedSizeAdaptiveHull(8), id="fixed-size"),
+    pytest.param(lambda: ExactHull(), id="exact"),
+    pytest.param(lambda: DudleyKernelHull(8), id="dudley"),
+    pytest.param(lambda: PartiallyAdaptiveHull(8, train_size=200), id="partial"),
+    pytest.param(lambda: RadialHistogramHull(8), id="radial"),
+    pytest.param(lambda: RandomSampleHull(17, seed=5), id="reservoir"),
+]
+
+
+def _grid_stream(n, seed):
+    """Integer grid points — exact duplicates and exact orientation ties,
+    the worst case for any tolerance-based shortcut."""
+    g = np.random.default_rng(seed)
+    return g.integers(-5, 6, (n, 2)).astype(float)
+
+
+STREAMS = [
+    pytest.param(lambda: disk_stream(1500, seed=1), id="disk"),
+    pytest.param(lambda: ellipse_stream(1500, rotation=0.1, seed=2), id="ellipse"),
+    pytest.param(lambda: square_stream(1500, rotation=0.15, seed=3), id="square"),
+    pytest.param(lambda: spiral_stream(800, seed=4), id="spiral"),
+    pytest.param(lambda: clusters_stream(1500, seed=5), id="clusters"),
+    pytest.param(lambda: _grid_stream(1500, 6), id="grid-ties"),
+]
+
+
+def _assert_equivalent(seq, bat):
+    assert seq.hull() == bat.hull()
+    assert seq.samples() == bat.samples()
+    for attr in COUNTERS:
+        assert getattr(seq, attr, None) == getattr(bat, attr, None), attr
+
+
+@pytest.mark.parametrize("make_stream", STREAMS)
+@pytest.mark.parametrize("factory", SCHEMES)
+def test_insert_many_equals_sequential(factory, make_stream):
+    arr = make_stream()
+    seq = factory()
+    for p in as_tuples(arr):
+        seq.insert(p)
+    bat = factory()
+    changed = bat.insert_many(arr)
+    _assert_equivalent(seq, bat)
+    assert 0 <= changed <= len(arr)
+
+
+def test_tiny_chunk_bound_is_respected_after_refilters(monkeypatch):
+    """A hull-shrink re-filter must not balloon segments past the
+    caller's chunk bound (the spiral forces constant hull change)."""
+    from repro.core import batch as batch_mod
+
+    seen = []
+    orig = batch_mod.certain_inside_mask
+
+    def spying(hull, xs, ys):
+        seen.append(len(xs))
+        return orig(hull, xs, ys)
+
+    monkeypatch.setattr(batch_mod, "certain_inside_mask", spying)
+    h = AdaptiveHull(8)
+    h.insert_many(clusters_stream(600, seed=8), chunk=10)
+    assert seen and max(seen) <= 10
+
+
+@pytest.mark.parametrize("chunk", [1, 3, 64, 100_000])
+def test_chunk_size_is_invisible(chunk):
+    arr = ellipse_stream(1200, rotation=0.07, seed=9)
+    seq = AdaptiveHull(16)
+    for p in as_tuples(arr):
+        seq.insert(p)
+    bat = AdaptiveHull(16)
+    bat.insert_many(arr, chunk=chunk)
+    _assert_equivalent(seq, bat)
+
+
+def test_changed_count_matches_sequential():
+    arr = disk_stream(2000, seed=11)
+    seq = AdaptiveHull(16)
+    seq_changed = sum(1 for p in as_tuples(arr) if seq.insert(p))
+    bat = AdaptiveHull(16)
+    assert bat.insert_many(arr) == seq_changed
+
+
+def test_batches_can_be_split_arbitrarily():
+    arr = disk_stream(3000, seed=12)
+    whole = AdaptiveHull(16)
+    whole.insert_many(arr)
+    pieces = AdaptiveHull(16)
+    cuts = [0, 1, 7, 500, 501, 2999, 3000]
+    for lo, hi in zip(cuts, cuts[1:]):
+        pieces.insert_many(arr[lo:hi])
+    _assert_equivalent(whole, pieces)
+
+
+def test_accepts_lists_tuples_and_generators():
+    arr = disk_stream(300, seed=13)
+    expected = UniformHull(8)
+    expected.insert_many(arr)
+    for form in (
+        arr.tolist(),
+        list(as_tuples(arr)),
+        (tuple(row) for row in arr.tolist()),
+    ):
+        h = UniformHull(8)
+        h.insert_many(form)
+        _assert_equivalent(expected, h)
+
+
+def test_empty_batch_is_a_noop():
+    h = AdaptiveHull(8)
+    assert h.insert_many([]) == 0
+    assert h.insert_many(np.empty((0, 2))) == 0
+    assert h.points_seen == 0
+    assert h.hull() == []
+
+
+def test_interleaved_batch_and_single_inserts():
+    arr = ellipse_stream(1000, rotation=0.2, seed=14)
+    seq = AdaptiveHull(16)
+    for p in as_tuples(arr):
+        seq.insert(p)
+    mixed = AdaptiveHull(16)
+    mixed.insert_many(arr[:400])
+    for p in as_tuples(arr[400:600]):
+        mixed.insert(p)
+    mixed.insert_many(arr[600:])
+    _assert_equivalent(seq, mixed)

@@ -1,0 +1,268 @@
+"""StreamEngine behaviour: routing, eviction, subscriptions, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveHull, UniformHull
+from repro.engine import StreamEngine
+from repro.queries import ContainmentTracker, SeparationTracker
+from repro.streams import disk_stream
+from repro.streams.io import load_summary, save_summary
+
+
+def _engine(r=16, **kw):
+    return StreamEngine(lambda: AdaptiveHull(r), **kw)
+
+
+class TestKeyedRouting:
+    def test_lazy_per_key_creation(self):
+        e = _engine()
+        assert len(e) == 0
+        assert e.get("a") is None
+        assert e.hull("a") == []
+        s = e.summary("a")
+        assert len(e) == 1
+        assert e.summary("a") is s  # stable identity
+
+    def test_ingest_groups_by_key(self):
+        e = _engine()
+        e.ingest([("a", 0.0, 0.0), ("b", 1.0, 1.0), ("a", 2.0, 0.5)])
+        assert sorted(e.keys()) == ["a", "b"]
+        assert e.get("a").points_seen == 2
+        assert e.get("b").points_seen == 1
+        assert e.stats().points_ingested == 3
+
+    def test_ingest_equals_per_key_sequential(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(0, 5, (2000, 2))
+        keys = [f"k{i % 7}" for i in range(2000)]
+        e = _engine()
+        e.ingest((k, x, y) for k, (x, y) in zip(keys, pts))
+        by_hand = {}
+        for k, (x, y) in zip(keys, pts):
+            by_hand.setdefault(k, AdaptiveHull(16)).insert((float(x), float(y)))
+        for k, h in by_hand.items():
+            assert e.hull(k) == h.hull()
+            assert e.get(k).points_seen == h.points_seen
+
+    def test_ingest_arrays_matches_ingest(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(0, 5, (1500, 2))
+        keys = np.array([f"k{i % 11}" for i in range(1500)])
+        e1 = _engine()
+        e1.ingest_arrays(keys, pts)
+        e2 = _engine()
+        e2.ingest((k, x, y) for k, (x, y) in zip(keys.tolist(), pts))
+        assert sorted(e1.keys()) == sorted(e2.keys())
+        for k in e1.keys():
+            assert e1.hull(k) == e2.hull(k)
+            assert e1.get(k).points_seen == e2.get(k).points_seen
+
+    def test_ingest_arrays_integer_keys(self):
+        e = _engine()
+        e.ingest_arrays(np.array([3, 1, 3, 1]), np.eye(4, 2) * 2.0)
+        assert sorted(e.keys()) == [1, 3]
+
+    def test_ingest_arrays_shape_mismatch(self):
+        e = _engine()
+        with pytest.raises(ValueError):
+            e.ingest_arrays(["a"], np.zeros((2, 2)))
+
+    def test_single_insert(self):
+        e = _engine()
+        assert e.insert("x", 1.0, 2.0) is True
+        assert e.get("x").points_seen == 1
+        assert e.stats().points_ingested == 1
+
+    def test_bad_batch_is_rejected(self):
+        e = _engine()
+        with pytest.raises(ValueError):
+            e.ingest([("a", float("nan"), 0.0)])
+
+    def test_bad_batch_is_atomic_across_keys(self):
+        e = _engine()
+        seen = []
+        e.subscribe(lambda keys: seen.append(keys))
+        with pytest.raises(ValueError):
+            e.ingest([("a", 5.0, 5.0), ("b", float("nan"), 0.0)])
+        # No key was mutated and no subscriber fired.
+        assert e.get("a") is None or e.get("a").points_seen == 0
+        assert seen == []
+        assert e.stats().points_ingested == 0
+
+    def test_ingest_arrays_preserves_mixed_key_types(self):
+        e = _engine()
+        e.insert(1, 0.0, 0.0)
+        e.ingest_arrays([1, "a"], np.ones((2, 2)))
+        assert sorted(e.keys(), key=str) == [1, "a"]
+        assert e.get(1).points_seen == 2
+
+
+class TestEvictionCompaction:
+    def test_lru_bound(self):
+        evicted = []
+        e = _engine(max_streams=3, on_evict=lambda k, s: evicted.append(k))
+        for k in "abcd":
+            e.ingest([(k, 1.0, 1.0)])
+        assert evicted == ["a"]
+        assert sorted(e.keys()) == ["b", "c", "d"]
+        assert e.evictions == 1
+
+    def test_lru_order_follows_touches(self):
+        e = _engine(max_streams=2)
+        e.ingest([("a", 1.0, 1.0)])
+        e.ingest([("b", 1.0, 1.0)])
+        e.ingest([("a", 2.0, 2.0)])  # refresh a; b is now oldest
+        e.ingest([("c", 1.0, 1.0)])
+        assert sorted(e.keys()) == ["a", "c"]
+
+    def test_explicit_evict_returns_summary(self):
+        e = _engine()
+        e.ingest([("a", 1.0, 1.0)])
+        s = e.evict("a")
+        assert s.points_seen == 1
+        assert "a" not in e
+        with pytest.raises(KeyError):
+            e.evict("a")
+
+    def test_compact_predicate(self):
+        e = _engine()
+        e.ingest([("keep", x, 0.0) for x in np.linspace(0, 1, 50)])
+        e.ingest([("drop", 0.0, 0.0)])
+        gone = e.compact(lambda k, s: s.points_seen < 10)
+        assert gone == ["drop"]
+        assert e.keys() == ["keep"]
+
+    def test_on_evict_can_persist(self, tmp_path):
+        saved = {}
+        e = _engine(
+            max_streams=1,
+            on_evict=lambda k, s: saved.update(
+                {k: save_summary(s, tmp_path / f"{k}.json")}
+            ),
+        )
+        e.ingest([("a", 1.0, 1.0)])
+        old_hull = e.hull("a")
+        e.ingest([("b", 2.0, 2.0)])
+        restored = load_summary(saved["a"], factory=lambda: AdaptiveHull(16))
+        assert restored.hull() == old_hull
+
+
+class TestSubscriptions:
+    def test_fires_with_touched_keys(self):
+        e = _engine()
+        seen = []
+        e.subscribe(lambda keys: seen.append(sorted(keys)))
+        e.ingest([("a", 1.0, 1.0), ("b", 2.0, 2.0)])
+        assert seen == [["a", "b"]]
+
+    def test_key_filter(self):
+        e = _engine()
+        seen = []
+        sub = e.subscribe(lambda keys: seen.append(sorted(keys)), keys=["a"])
+        e.ingest([("b", 1.0, 1.0)])
+        e.ingest([("a", 1.0, 1.0), ("b", 0.0, 0.0)])
+        assert seen == [["a"]]
+        assert sub.fired == 1
+
+    def test_cancel(self):
+        e = _engine()
+        seen = []
+        sub = e.subscribe(lambda keys: seen.append(keys))
+        sub.cancel()
+        e.ingest([("a", 1.0, 1.0)])
+        assert seen == []
+
+    def test_tracker_attach_reads_live_state(self):
+        e = _engine()
+        left = disk_stream(400, seed=1) - (5.0, 0.0)
+        right = disk_stream(400, seed=2) + (5.0, 0.0)
+        e.ingest_arrays(np.repeat("left", 400), left)
+        e.ingest_arrays(np.repeat("right", 400), right)
+        tracker = SeparationTracker(lambda: AdaptiveHull(16))
+        e.attach_tracker(tracker, ["left", "right"])
+        assert tracker.separable("left", "right")
+        d0 = tracker.distance("left", "right")
+        # The tracker sees subsequent engine ingestion without re-binding.
+        e.ingest([("left", 4.0, 0.0)])
+        assert tracker.distance("left", "right") < d0
+
+    def test_tracker_rebinds_after_eviction(self):
+        e = _engine(max_streams=2)
+        tracker = SeparationTracker(lambda: AdaptiveHull(16))
+        e.ingest([("a", 0.0, 0.0), ("b", 10.0, 0.0)])
+        e.attach_tracker(tracker, ["a", "b"])
+        e.ingest([("c", 5.0, 5.0)])  # evicts "a"
+        assert e.get("a") is None
+        # The key's next touch creates a fresh summary; the tracker must
+        # follow it instead of answering from the dead object.
+        e.ingest([("a", 100.0, 100.0)])
+        assert tracker.summary("a") is e.get("a")
+        assert tracker.hull("a") == [(100.0, 100.0)]
+
+    def test_tracker_attach_on_update(self):
+        e = _engine()
+        tracker = ContainmentTracker(lambda: AdaptiveHull(16))
+        calls = []
+        sub = e.attach_tracker(
+            tracker, ["inner", "outer"], on_update=lambda keys: calls.append(keys)
+        )
+        e.ingest([("outer", 0.0, 0.0), ("elsewhere", 9.0, 9.0)])
+        assert calls == [{"outer"}]
+        sub.cancel()
+        e.ingest([("inner", 0.0, 0.0)])
+        assert len(calls) == 1
+
+
+class TestSnapshotRestore:
+    def test_round_trip_100_keys_identical_hulls(self, tmp_path):
+        rng = np.random.default_rng(3)
+        e = _engine()
+        for i in range(100):
+            pts = rng.normal((i % 10, i // 10), 0.5, (120, 2))
+            e.ingest_arrays(np.repeat(f"cell-{i}", len(pts)), pts)
+        path = e.snapshot(tmp_path / "grid.json")
+        restored = StreamEngine.restore(path, lambda: AdaptiveHull(16))
+        assert len(restored) == 100
+        for k in e.keys():
+            assert restored.hull(k) == e.hull(k)
+            assert restored.get(k).samples() == e.get(k).samples()
+            assert restored.get(k).points_seen == e.get(k).points_seen
+        assert restored.stats().points_ingested == e.stats().points_ingested
+
+    def test_restored_engine_keeps_streaming_identically(self, tmp_path):
+        e = _engine()
+        e.ingest_arrays(np.repeat("a", 500), disk_stream(500, seed=4))
+        restored = StreamEngine.restore(
+            e.snapshot(tmp_path / "s.json"), lambda: AdaptiveHull(16)
+        )
+        more = disk_stream(500, seed=5) * 1.5
+        e.ingest_arrays(np.repeat("a", 500), more)
+        restored.ingest_arrays(np.repeat("a", 500), more)
+        assert restored.hull("a") == e.hull("a")
+        assert restored.get("a").points_processed == e.get("a").points_processed
+
+    def test_factory_mismatch_rejected(self, tmp_path):
+        e = _engine()
+        e.ingest([("a", 1.0, 1.0)])
+        path = e.snapshot(tmp_path / "s.json")
+        with pytest.raises(ValueError):
+            StreamEngine.restore(path, lambda: UniformHull(16))
+
+    def test_non_scalar_keys_rejected(self, tmp_path):
+        e = _engine()
+        e.ingest([(("tuple", "key"), 1.0, 1.0)])
+        with pytest.raises(TypeError):
+            e.snapshot(tmp_path / "s.json")
+
+    def test_uniform_hull_engine_round_trip(self, tmp_path):
+        e = StreamEngine(lambda: UniformHull(12))
+        e.ingest_arrays(
+            np.array([f"k{i % 20}" for i in range(2000)]),
+            disk_stream(2000, seed=6),
+        )
+        restored = StreamEngine.restore(
+            e.snapshot(tmp_path / "u.json"), lambda: UniformHull(12)
+        )
+        for k in e.keys():
+            assert restored.hull(k) == e.hull(k)

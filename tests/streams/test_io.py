@@ -78,3 +78,127 @@ class TestReplay:
         for _, p in replay(load_stream(path)):
             h.insert(p)
         assert h.points_seen == 200
+
+
+class TestSummarySerialisation:
+    """The JSON summary snapshot format (engine checkpointing)."""
+
+    def _fed(self, factory, n=800, seed=21):
+        from repro.streams import ellipse_stream
+
+        s = factory()
+        s.insert_many(ellipse_stream(n, rotation=0.1, seed=seed))
+        return s
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: __import__("repro").UniformHull(12),
+            lambda: __import__("repro").AdaptiveHull(16),
+            lambda: __import__("repro").AdaptiveHull(16, queue_mode="exact"),
+            lambda: __import__("repro").FixedSizeAdaptiveHull(8),
+        ],
+    )
+    def test_round_trip_is_exact(self, factory, tmp_path):
+        from repro.streams.io import load_summary, save_summary
+
+        original = self._fed(factory)
+        path = save_summary(original, tmp_path / "s.json")
+        restored = load_summary(path)
+        assert type(restored) is type(original)
+        assert restored.hull() == original.hull()
+        assert restored.samples() == original.samples()
+        assert restored.points_seen == original.points_seen
+        assert restored.points_processed == original.points_processed
+
+    def test_restored_adaptive_keeps_streaming_identically(self, tmp_path):
+        from repro import AdaptiveHull
+        from repro.streams import ellipse_stream
+        from repro.streams.io import load_summary, save_summary
+
+        original = self._fed(lambda: AdaptiveHull(16))
+        restored = load_summary(save_summary(original, tmp_path / "s.json"))
+        more = ellipse_stream(500, rotation=0.1, seed=33) * 1.7
+        original.insert_many(more)
+        restored.insert_many(more)
+        assert restored.hull() == original.hull()
+        assert restored.samples() == original.samples()
+        assert restored.nodes_visited == original.nodes_visited
+        restored.check_invariants()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: __import__("repro").DudleyKernelHull(16),
+            lambda: __import__("repro").RadialHistogramHull(8),
+            lambda: __import__("repro").PartiallyAdaptiveHull(8, train_size=100),
+            lambda: __import__("repro").RandomSampleHull(10, seed=3),
+        ],
+    )
+    def test_baseline_registry_restore_reconstructs_config(self, factory, tmp_path):
+        from repro.streams.io import load_summary, save_summary
+
+        original = self._fed(factory, n=300)
+        restored = load_summary(save_summary(original, tmp_path / "b.json"))
+        assert type(restored) is type(original)
+        assert restored.get_config() == original.get_config()
+
+    def test_baseline_factory_config_mismatch_rejected(self, tmp_path):
+        from repro import DudleyKernelHull
+        from repro.streams.io import load_summary, save_summary
+
+        path = save_summary(self._fed(lambda: DudleyKernelHull(16), n=300),
+                            tmp_path / "d.json")
+        with pytest.raises(ValueError, match="different policy"):
+            load_summary(path, factory=lambda: DudleyKernelHull(64))
+
+    def test_exact_hull_replay_snapshot(self, tmp_path):
+        from repro.baselines import ExactHull
+        from repro.streams.io import load_summary, save_summary
+
+        original = ExactHull()
+        original.insert_many(disk_stream(300, seed=9))
+        restored = load_summary(save_summary(original, tmp_path / "e.json"))
+        assert restored.hull() == original.hull()
+        assert restored.points_seen == original.points_seen
+
+    def test_factory_takes_precedence_and_is_checked(self, tmp_path):
+        from repro import AdaptiveHull, UniformHull
+        from repro.streams.io import load_summary, save_summary
+
+        path = save_summary(self._fed(lambda: AdaptiveHull(16)), tmp_path / "s.json")
+        restored = load_summary(path, factory=lambda: AdaptiveHull(16))
+        assert isinstance(restored, AdaptiveHull)
+        with pytest.raises(ValueError):
+            load_summary(path, factory=lambda: UniformHull(16))
+
+    def test_factory_config_mismatch_rejected(self, tmp_path):
+        from repro import AdaptiveHull
+        from repro.streams.io import load_summary, save_summary
+
+        path = save_summary(
+            self._fed(lambda: AdaptiveHull(16, queue_mode="exact")),
+            tmp_path / "s.json",
+        )
+        # Same class, different policy: must refuse, not silently
+        # restore under pow2 buckets.
+        with pytest.raises(ValueError, match="different policy"):
+            load_summary(path, factory=lambda: AdaptiveHull(16))
+        ok = load_summary(path, factory=lambda: AdaptiveHull(16, queue_mode="exact"))
+        assert ok.queue_mode == "exact"
+
+    def test_unknown_format_rejected(self):
+        from repro.streams.io import summary_from_state
+
+        with pytest.raises(ValueError):
+            summary_from_state({"format": "something.else"})
+
+    def test_empty_summary_round_trips(self, tmp_path):
+        from repro import UniformHull
+        from repro.streams.io import load_summary, save_summary
+
+        restored = load_summary(save_summary(UniformHull(8), tmp_path / "u.json"))
+        assert restored.hull() == []
+        assert restored.samples() == []
+        restored.insert((1.0, 2.0))
+        assert restored.samples() == [(1.0, 2.0)]

@@ -30,6 +30,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["engine"])
+        assert args.keys == 200
+        assert args.r == 32
+        assert args.snapshot is None
+
 
 class TestCommands:
     def test_table1_disk(self, capsys):
@@ -57,6 +63,26 @@ class TestCommands:
         assert main(["scaling", "--n", "2000", "--r-values", "8", "16"]) == 0
         out = capsys.readouterr().out
         assert "slope adaptive" in out
+
+    def test_engine(self, tmp_path, capsys):
+        snap = tmp_path / "engine.json"
+        assert (
+            main(
+                [
+                    "engine",
+                    "--keys", "20",
+                    "--n", "5000",
+                    "--r", "8",
+                    "--batch", "1000",
+                    "--snapshot", str(snap),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "streams      : 20" in out
+        assert "identical hulls: True" in out
+        assert snap.exists()
 
     def test_fig10(self, tmp_path, capsys):
         assert main(["fig10", "--out", str(tmp_path), "--n", "800"]) == 0
