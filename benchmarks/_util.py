@@ -9,6 +9,7 @@ tighter).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -20,11 +21,38 @@ def paper_n(default: int = 20_000, full: int = 100_000) -> int:
     return full if os.environ.get("REPRO_FULL") == "1" else default
 
 
+def smoke() -> bool:
+    """REPRO_SMOKE=1 shrinks the heavyweight benchmarks to a CI-sized
+    sanity run (tiny streams, no machine-dependent assertions)."""
+    return os.environ.get("REPRO_SMOKE") == "1"
+
+
+def _output_name(name: str) -> str:
+    """Smoke runs write under a ``-smoke`` suffix so a CI sanity pass
+    can never clobber the recorded full-size results in place."""
+    return f"{name}-smoke" if smoke() else name
+
+
 def write_report(name: str, text: str) -> Path:
     """Persist a benchmark's table/series under benchmarks/output/."""
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    path = OUTPUT_DIR / f"{name}.txt"
+    path = OUTPUT_DIR / f"{_output_name(name)}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result under benchmarks/output/.
+
+    The BENCH trajectory reads these: one JSON document per benchmark,
+    flat keys, numbers in base units (points/sec, seconds), so runs can
+    be compared across commits without re-parsing the human tables.
+    """
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"{_output_name(name)}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path
 
 

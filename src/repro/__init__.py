@@ -43,6 +43,19 @@ LRU eviction, standing-query subscriptions, and JSON snapshot/restore::
     engine.snapshot("fleet.json")               # checkpoint...
     engine = StreamEngine.restore("fleet.json", lambda: AdaptiveHull(r=32))
 
+Summaries are *mergeable* (``a |= b`` folds another summary of the same
+scheme/config into ``a``, preserving the error bounds), which scales
+the engine across processes: the :class:`ShardedEngine` routes keys
+over N workers by consistent hashing and answers global queries through
+a tree reduction of per-shard merged summaries::
+
+    from repro import ShardedEngine, SummarySpec
+
+    with ShardedEngine(SummarySpec("AdaptiveHull", {"r": 32}), shards=4) as eng:
+        eng.ingest_arrays(keys, points)         # parallel fan-out
+        eng.merged_hull()                       # global union hull
+        eng.snapshot("ring.json")               # whole-ring checkpoint
+
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
@@ -60,6 +73,7 @@ from .baselines import (
 )
 from .engine import EngineStats, StreamEngine, Subscription
 from .extensions.clusterhull import ClusterHull
+from .shard import HashRing, ShardedEngine, ShardError, ShardStats, SummarySpec, tree_merge
 from .queries import (
     ContainmentTracker,
     OverlapTracker,
@@ -72,7 +86,7 @@ from .queries import (
 )
 from .streams.io import load_summary, save_summary
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveHull",
@@ -88,6 +102,12 @@ __all__ = [
     "StreamEngine",
     "EngineStats",
     "Subscription",
+    "ShardedEngine",
+    "ShardError",
+    "ShardStats",
+    "SummarySpec",
+    "HashRing",
+    "tree_merge",
     "save_summary",
     "load_summary",
     "diameter",

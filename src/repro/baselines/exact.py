@@ -40,6 +40,16 @@ class ExactHull(HullSummary):
         """Total points inserted."""
         return self._online.points_seen
 
+    # -- merging -------------------------------------------------------------
+
+    def _set_merged_points_seen(self, total: int) -> None:
+        """``points_seen`` is derived from the online hull here; a merge
+        writes the union-stream length straight into it.  The merge
+        itself is exact: re-ingesting the other operand's hull vertices
+        reproduces the hull of the union (``hull(A ∪ B) =
+        hull(hull(A) ∪ hull(B))``)."""
+        self._online._n = int(total)
+
     # -- persistence ---------------------------------------------------------
 
     def state_dict(self):

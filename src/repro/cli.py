@@ -11,12 +11,17 @@ Usage::
     python -m repro demo   [--n N]
     python -m repro engine [--keys K] [--n N] [--r R] [--batch B]
                            [--snapshot PATH] [--seed S]
+    python -m repro shard  [--keys K] [--n N] [--r R] [--batch B]
+                           [--workers W] [--snapshot PATH] [--seed S]
 
 Every subcommand prints the corresponding table/series from the paper's
-evaluation; ``demo`` runs a quick end-to-end summary with queries, and
+evaluation; ``demo`` runs a quick end-to-end summary with queries,
 ``engine`` exercises the multi-stream batch engine: K keyed streams,
 shuffled record batches, per-key hulls, and (optionally) a snapshot/
-restore round trip.
+restore round trip; ``shard`` runs the same keyed workload through the
+multi-process :class:`~repro.shard.ShardedEngine` — consistent-hash
+routing across W workers, global merged-hull queries, and a whole-ring
+snapshot/restore check.
 """
 
 from __future__ import annotations
@@ -82,6 +87,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot", default=None, help="write a snapshot here and verify restore"
     )
     eng.add_argument("--seed", type=int, default=0)
+
+    sh = sub.add_parser(
+        "shard", help="sharded multi-process ingestion engine demo"
+    )
+    sh.add_argument("--keys", type=int, default=64, help="keyed streams")
+    sh.add_argument(
+        "--n", type=int, default=100_000, help="total records across all keys"
+    )
+    sh.add_argument("--r", type=int, default=32, help="adaptive parameter r")
+    sh.add_argument(
+        "--batch", type=int, default=20_000, help="records per ingest batch"
+    )
+    sh.add_argument(
+        "--workers", type=int, default=2, help="shard worker processes"
+    )
+    sh.add_argument(
+        "--snapshot", default=None,
+        help="write a whole-ring snapshot here and verify restore",
+    )
+    sh.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -221,6 +246,71 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from .shard import ShardedEngine, SummarySpec
+
+    if args.keys < 1:
+        raise SystemExit("shard: --keys must be >= 1")
+    if args.batch < 1:
+        raise SystemExit("shard: --batch must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("shard: --workers must be >= 1")
+    rng = np.random.default_rng(args.seed)
+    keys = np.array([f"stream-{i:04d}" for i in range(args.keys)])
+    centers = rng.uniform(-100.0, 100.0, (args.keys, 2))
+    spec = SummarySpec("AdaptiveHull", {"r": args.r})
+
+    with ShardedEngine(spec, shards=args.workers) as engine:
+        t0 = time.perf_counter()
+        done = 0
+        while done < args.n:
+            b = min(args.batch, args.n - done)
+            idx = rng.integers(0, args.keys, b)
+            pts = centers[idx] + rng.normal(0.0, 2.0, (b, 2))
+            engine.ingest_arrays(keys[idx], pts)
+            done += b
+        elapsed = time.perf_counter() - t0
+
+        stats = engine.stats()
+        loads = ", ".join(
+            f"shard {i}: {s['streams']} keys / {s['points_ingested']:,} pts"
+            for i, s in enumerate(stats.per_shard)
+        )
+        print(f"workers      : {args.workers}")
+        print(f"streams      : {stats.streams}")
+        print(f"records      : {stats.points_ingested:,} in "
+              f"{stats.batches_ingested} batches")
+        print(f"stored       : {stats.sample_points:,} sample points")
+        print(f"throughput   : {done / elapsed:,.0f} records/sec")
+        print(f"ring load    : {loads}")
+        # One whole-ring reduction serves all three global answers.
+        from .queries import diameter, width
+
+        merged = engine.merged_summary()
+        print(f"global hull  : {len(merged.hull())} vertices over "
+              f"{merged.points_seen:,} points")
+        print(f"global diam  : {diameter(merged):.4f}")
+        print(f"global width : {width(merged):.4f}")
+
+        if args.snapshot:
+            path = engine.snapshot(args.snapshot)
+            restored = ShardedEngine.restore(path)
+            try:
+                all_keys = engine.keys()
+                ok = all(restored.hull(k) == engine.hull(k) for k in all_keys)
+            finally:
+                restored.close()
+            print(f"snapshot     : {path} ({path.stat().st_size:,} bytes)")
+            print(f"restore check: {len(all_keys)} keys, identical hulls: {ok}")
+            if not ok:
+                return 1
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig10": _cmd_fig10,
@@ -229,6 +319,7 @@ _COMMANDS = {
     "work": _cmd_work,
     "demo": _cmd_demo,
     "engine": _cmd_engine,
+    "shard": _cmd_shard,
 }
 
 

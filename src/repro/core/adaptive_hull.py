@@ -167,6 +167,49 @@ class AdaptiveHull(HullSummary):
                     out.setdefault(node.t, None)
         return list(out)
 
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "AdaptiveHull") -> "AdaptiveHull":
+        """Fold another adaptive summary into this one.
+
+        Two-phase union.  First the uniform layers merge
+        direction-bucket-wise (one vectorised support comparison keeps
+        the extreme point per fixed direction — see
+        :meth:`UniformHull.merge_directions`), after which the threshold
+        queue is drained against the grown perimeter and every
+        refinement tree re-synced, exactly the step-4/5 sequence a
+        hull-changing insert runs.  Second, the other operand's stored
+        samples are offered through the standard :meth:`insert` path so
+        they can compete for the adaptively chosen dyadic directions;
+        points that fall inside the merged hull are discarded by step 1,
+        which is sound — a contained point beats no direction's support.
+
+        The result is a valid adaptive summary of the concatenated
+        stream: the sample budget (≤ 2r + 1) and the Theorem 5.4 error
+        bound hold as after any insert sequence, with the other
+        operand's already-discarded points accounted for by *its* bound.
+        Counters afterwards describe the union stream (operand sums);
+        the merge machinery itself is not billed.
+        """
+        self._require_mergeable(other)
+        seen = self.points_seen + other.points_seen
+        processed = self.points_processed + other.points_processed
+        self.refinements += other.refinements
+        self.unrefinements += other.unrefinements
+        self.nodes_visited += other.nodes_visited
+        self.ring_discards += other.ring_discards
+        extras = other.samples()
+        if self._uniform.merge_directions(other.uniform_layer):
+            self._drain_queue()
+            for j in range(self.r):
+                self._sync_tree(j, None)
+            self._rebuild_hull()
+        for p in extras:
+            self.insert(p)
+        self.points_seen = seen
+        self.points_processed = processed
+        return self
+
     # -- structure accounting ------------------------------------------------
 
     @property

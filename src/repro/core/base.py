@@ -14,7 +14,7 @@ from typing import Iterable, List
 
 from ..geometry.vec import Point
 
-__all__ = ["HullSummary", "check_point", "coerce_point"]
+__all__ = ["HullSummary", "check_point", "coerce_point", "tree_merge"]
 
 
 def check_point(p: Point) -> Point:
@@ -87,9 +87,14 @@ class HullSummary(abc.ABC):
         return len(self.samples())
 
     def extend(self, points: Iterable[Point]) -> "HullSummary":
-        """Insert every point of an iterable; returns self for chaining."""
-        for p in points:
-            self.insert(p)
+        """Insert every point of an iterable; returns self for chaining.
+
+        Delegates to :meth:`insert_many`, so every scheme gets the same
+        atomic whole-batch validation (and, where available, the
+        vectorised fast path) instead of a raw per-point loop: a
+        malformed row rejects the batch without a half-ingested prefix.
+        """
+        self.insert_many(points)
         return self
 
     def insert_many(self, points: Iterable[Point], chunk: int = 4096) -> int:
@@ -120,6 +125,69 @@ class HullSummary(abc.ABC):
             if self.insert(p):
                 changed += 1
         return changed
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "HullSummary") -> "HullSummary":
+        """Fold another summary of the *same scheme and config* into this one.
+
+        Every stored sample is an input point, which makes the summaries
+        naturally mergeable: re-ingesting the other side's samples yields
+        a valid summary of the concatenated stream, and the one-sided
+        error guarantee of each scheme carries over (the merged hull is
+        built from input points of the union and approximates its hull
+        within the scheme's bound — for the adaptive hull, Theorem 5.4
+        degrades by at most a constant factor because the other operand's
+        discarded points were already within *its* bound).
+
+        This portable default routes through :meth:`insert_many`;
+        :class:`~repro.core.uniform_hull.UniformHull` and
+        :class:`~repro.core.adaptive_hull.AdaptiveHull` override it with
+        a vectorised direction-bucket-wise union that keeps the extreme
+        point per sampling direction.  ``points_seen`` afterwards counts
+        the union stream (both operands' totals), not just the re-ingested
+        samples.  Returns ``self``; ``other`` is not modified.
+
+        Raises:
+            ValueError: when ``other`` is a different scheme or was built
+                with a different configuration (mismatched ``r``, queue
+                mode, …) — merging those would silently change policy.
+        """
+        self._require_mergeable(other)
+        seen = getattr(self, "points_seen", None)
+        other_seen = getattr(other, "points_seen", None)
+        self.insert_many(other.samples())
+        if seen is not None and other_seen is not None:
+            self._set_merged_points_seen(int(seen) + int(other_seen))
+        return self
+
+    def __ior__(self, other: "HullSummary") -> "HullSummary":
+        """``a |= b`` merges ``b`` into ``a`` (see :meth:`merge`)."""
+        if not isinstance(other, HullSummary):
+            return NotImplemented
+        return self.merge(other)
+
+    def _require_mergeable(self, other: "HullSummary") -> None:
+        """Reject cross-scheme / cross-config merges with a clear error."""
+        if type(other) is not type(self):
+            raise ValueError(
+                f"cannot merge a {type(other).__name__} into a "
+                f"{type(self).__name__}; merge operands must be the same scheme"
+            )
+        mine = self.get_config()
+        theirs = other.get_config()
+        if mine != theirs:
+            raise ValueError(
+                f"cannot merge mismatched configs: {theirs!r} into {mine!r}"
+            )
+
+    def _set_merged_points_seen(self, total: int) -> None:
+        """Set the union-stream length after a merge; schemes whose
+        counter is a derived property override this."""
+        try:
+            self.points_seen = total
+        except AttributeError:
+            pass
 
     # -- persistence ---------------------------------------------------------
 
@@ -156,3 +224,29 @@ class HullSummary(abc.ABC):
                 self.points_seen = int(seen)
             except AttributeError:
                 pass  # read-only counter (derived property)
+
+
+def tree_merge(summaries: Iterable[HullSummary]) -> HullSummary:
+    """Merge summaries pairwise in rounds (balanced tree reduction).
+
+    The shard layer reduces K per-shard summaries to one global answer
+    this way: each round halves the operand count, so the reduction
+    depth is O(log K) and no single summary absorbs all others through a
+    long sequential chain.  Operands are mutated (each round's left
+    operand absorbs the right); pass fresh/disposable summaries.
+
+    Raises:
+        ValueError: on an empty iterable, or on mismatched operands
+            (propagated from :meth:`HullSummary.merge`).
+    """
+    items = list(summaries)
+    if not items:
+        raise ValueError("tree_merge needs at least one summary")
+    while len(items) > 1:
+        nxt = [
+            items[i].merge(items[i + 1]) for i in range(0, len(items) - 1, 2)
+        ]
+        if len(items) % 2:
+            nxt.append(items[-1])
+        items = nxt
+    return items[0]

@@ -44,7 +44,12 @@ import numpy as np
 
 from ..geometry.vec import Point
 
-__all__ = ["as_point_array", "certain_inside_mask", "prefiltered_insert_many"]
+__all__ = [
+    "as_key_array",
+    "as_point_array",
+    "certain_inside_mask",
+    "prefiltered_insert_many",
+]
 
 #: Relative margin for the conservative vectorised containment test.
 #: Must dominate ``repro.geometry.predicates.EPS`` (1e-12) by a wide
@@ -93,6 +98,30 @@ def as_point_array(points) -> np.ndarray:
         bad = int(np.nonzero(~finite.all(axis=1))[0][0])
         raise ValueError(f"batch row {bad} is not finite: {tuple(arr[bad])!r}")
     return np.ascontiguousarray(arr)
+
+
+def as_key_array(keys, n: int) -> np.ndarray:
+    """Coerce a parallel key sequence into a 1-D array of length ``n``.
+
+    NumPy arrays pass through unchanged; plain sequences are wrapped in
+    an object array element by element — ``np.asarray`` on a mixed list
+    (e.g. ints + strs) would coerce everything to one dtype and
+    silently split a logical stream into two keys.  Shared by
+    :meth:`repro.engine.StreamEngine.ingest_arrays` and the shard
+    layer's fan-out so keyed routing semantics cannot diverge.
+
+    Raises:
+        ValueError: when the keys are not a flat length-``n`` sequence.
+    """
+    if isinstance(keys, np.ndarray):
+        key_arr = keys
+    else:
+        seq = list(keys)
+        key_arr = np.empty(len(seq), dtype=object)
+        key_arr[:] = seq
+    if key_arr.ndim != 1 or len(key_arr) != n:
+        raise ValueError(f"keys has shape {key_arr.shape}, expected ({n},)")
+    return key_arr
 
 
 def _edge_forms(hull: Sequence[Point]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

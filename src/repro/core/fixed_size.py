@@ -81,6 +81,23 @@ class FixedSizeAdaptiveHull(AdaptiveHull):
         super().load_state(state)
         self.swaps = int(state.get("swaps", 0))
 
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, other: "FixedSizeAdaptiveHull") -> "FixedSizeAdaptiveHull":
+        """Adaptive merge, then restore the 2r-direction budget.
+
+        The inherited union (direction-bucket-wise uniform merge plus
+        re-offering the other operand's samples) runs under this class's
+        disabled threshold policy, so afterwards one greedy rebalance
+        brings the refined set back to exactly ``budget`` internal
+        nodes — the same maintenance an ordinary insert performs.
+        """
+        super().merge(other)
+        self._rebalance()
+        self._rebuild_hull()
+        self.swaps += other.swaps
+        return self
+
     # -- policy overrides -----------------------------------------------------
 
     def _should_unrefine(self, node: RefinementNode, perim: float) -> bool:

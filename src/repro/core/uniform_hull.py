@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..geometry.hull import convex_hull
 from ..geometry.polygon import contains_point, perimeter as polygon_perimeter
 from ..geometry.vec import Point, Vector, dot, unit
@@ -100,6 +102,44 @@ class UniformHull(HullSummary):
     def samples(self) -> List[Point]:
         """Distinct stored extrema."""
         return list(dict.fromkeys(e for e in self._extreme if e is not None))
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "UniformHull") -> "UniformHull":
+        """Direction-bucket-wise union: keep the extreme point per direction.
+
+        Both operands sample the same ``r`` fixed directions, so the
+        union of the two streams has, in each direction ``j``, exactly
+        the operand extremum with the larger support — one vectorised
+        comparison of the support arrays replaces re-ingesting the other
+        side's samples.  Equal supports keep ``self``'s extremum (the
+        streaming tie-break: an incoming point must *strictly* beat the
+        stored support).  Counters afterwards describe the union stream.
+        """
+        self._require_mergeable(other)
+        self.merge_directions(other)
+        self.points_seen += other.points_seen
+        self.points_processed += other.points_processed
+        return self
+
+    def merge_directions(self, other: "UniformHull") -> bool:
+        """Union the per-direction extrema only (no counters, no rebuild
+        of this layer's hull cache beyond the standard one).
+
+        The adaptive hull's merge uses this to fold another summary's
+        uniform layer in before re-syncing its refinement forest;
+        returns True when any direction changed.
+        """
+        wins = np.flatnonzero(
+            np.asarray(other._support) > np.asarray(self._support)
+        )
+        for j in wins:
+            self._support[j] = other._support[j]
+            self._extreme[j] = other._extreme[j]
+        if len(wins):
+            self._rebuild()
+            return True
+        return False
 
     # -- persistence ---------------------------------------------------------
 

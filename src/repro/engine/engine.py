@@ -51,7 +51,7 @@ from typing import (
 import numpy as np
 
 from ..core.base import HullSummary
-from ..core.batch import as_point_array
+from ..core.batch import as_key_array, as_point_array
 from ..geometry.vec import Point
 from ..streams.io import summary_from_state, summary_state
 
@@ -179,6 +179,47 @@ class StreamEngine:
         summary = self._summaries.get(key)
         return summary.hull() if summary is not None else []
 
+    def adopt(self, key: Hashable, summary: HullSummary) -> HullSummary:
+        """Install an externally built summary under ``key``.
+
+        Used by the shard layer when a whole-ring snapshot is restored
+        onto a different worker count: each deserialised summary is
+        adopted by whichever engine now owns its key.  Replaces any live
+        summary for the key, re-binds attached trackers, and enforces
+        the LRU bound like any other touch.
+        """
+        self._summaries.pop(key, None)
+        self._summaries[key] = summary
+        for tracker in self._tracker_bindings.get(key, ()):
+            tracker.bind(key, summary)
+        self._enforce_bound()
+        return summary
+
+    def merged_summary(
+        self, keys: Optional[Iterable[Hashable]] = None
+    ) -> HullSummary:
+        """One summary covering the union of the selected keyed streams.
+
+        Builds a fresh summary from the engine's factory and folds every
+        (live) selected summary into it — the all-keys reduction a shard
+        worker answers global queries with (:meth:`HullSummary.merge`
+        leaves its right operand untouched, so the engine's own
+        summaries are never mutated; the cross-shard *tree* reduction
+        over disposable deserialised summaries lives in
+        :func:`~repro.core.base.tree_merge`).  ``keys=None`` merges
+        every live stream; unknown keys are skipped.
+        """
+        if keys is None:
+            selected = list(self._summaries.values())
+        else:
+            selected = [
+                self._summaries[k] for k in keys if k in self._summaries
+            ]
+        merged = self._factory()
+        for s in selected:
+            merged.merge(s)
+        return merged
+
     def stats(self) -> EngineStats:
         """Aggregate counters across all live streams."""
         return EngineStats(
@@ -227,19 +268,7 @@ class StreamEngine:
         Python-level loop over records.
         """
         arr = as_point_array(points)
-        if isinstance(keys, np.ndarray):
-            key_arr = keys
-        else:
-            # Preserve key types exactly: np.asarray on a plain sequence
-            # would coerce a mixed list (e.g. ints + strs) to one dtype
-            # and silently split a logical stream into two keys.
-            seq = list(keys)
-            key_arr = np.empty(len(seq), dtype=object)
-            key_arr[:] = seq
-        if key_arr.ndim != 1 or len(key_arr) != len(arr):
-            raise ValueError(
-                f"keys has shape {key_arr.shape}, expected ({len(arr)},)"
-            )
+        key_arr = as_key_array(keys, len(arr))
         if len(arr) == 0:
             return 0
         if key_arr.dtype == object:
@@ -381,12 +410,15 @@ class StreamEngine:
 
     # -- snapshot / restore --------------------------------------------------
 
-    def snapshot(self, path: PathLike) -> Path:
-        """Serialise every live summary to a JSON snapshot file.
+    def snapshot_state(self) -> dict:
+        """The engine's full state as a JSON-compatible document.
 
-        Keys must be JSON scalars (str/int/float/bool); anything else
-        raises TypeError — hash-only keys cannot round-trip a text
-        format.
+        This is the payload :meth:`snapshot` writes to disk and the
+        shard layer ships over worker pipes — one entry per live summary
+        through the :mod:`repro.streams.io` summary format, plus the
+        engine counters.  Keys must be JSON scalars (str/int/float/
+        bool); anything else raises TypeError — hash-only keys cannot
+        round-trip a text format.
         """
         entries = []
         for key, summary in self._summaries.items():
@@ -395,7 +427,7 @@ class StreamEngine:
                     f"snapshot keys must be JSON scalars, got {type(key).__name__}"
                 )
             entries.append([key, summary_state(summary)])
-        doc = {
+        return {
             "format": ENGINE_FORMAT,
             "version": ENGINE_FORMAT_VERSION,
             "points_ingested": self.points_ingested,
@@ -403,26 +435,29 @@ class StreamEngine:
             "evictions": self.evictions,
             "summaries": entries,
         }
+
+    def snapshot(self, path: PathLike) -> Path:
+        """Serialise every live summary to a JSON snapshot file (see
+        :meth:`snapshot_state` for the document and key constraints)."""
         path = Path(path)
-        path.write_text(json.dumps(doc), encoding="utf-8")
+        path.write_text(json.dumps(self.snapshot_state()), encoding="utf-8")
         return path
 
     @classmethod
-    def restore(
+    def from_snapshot_state(
         cls,
-        path: PathLike,
+        doc: dict,
         factory: SummaryFactory,
         *,
         max_streams: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
     ) -> "StreamEngine":
-        """Rebuild an engine from a :meth:`snapshot` file.
+        """Rebuild an engine from a :meth:`snapshot_state` document.
 
         ``factory`` must produce the same scheme/configuration the
         snapshot was taken with (checked per summary); the restored
         engine has identical hulls and counters and keeps streaming.
         """
-        doc = json.loads(Path(path).read_text(encoding="utf-8"))
         if doc.get("format") != ENGINE_FORMAT:
             raise ValueError(f"not an engine snapshot: {doc.get('format')!r}")
         if doc.get("version") != ENGINE_FORMAT_VERSION:
@@ -435,3 +470,18 @@ class StreamEngine:
         engine.evictions = int(doc.get("evictions", 0))
         engine._enforce_bound()
         return engine
+
+    @classmethod
+    def restore(
+        cls,
+        path: PathLike,
+        factory: SummaryFactory,
+        *,
+        max_streams: Optional[int] = None,
+        on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
+    ) -> "StreamEngine":
+        """Rebuild an engine from a :meth:`snapshot` file."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_snapshot_state(
+            doc, factory, max_streams=max_streams, on_evict=on_evict
+        )

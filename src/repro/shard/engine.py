@@ -1,0 +1,491 @@
+"""The sharded multi-process ingestion engine.
+
+:class:`ShardedEngine` is the parallel tier above
+:class:`~repro.engine.StreamEngine`: keys are routed across N shards by
+consistent hashing (:class:`~repro.shard.hashing.HashRing`), each shard
+runs a full engine in its own worker process
+(:func:`~repro.shard.worker.shard_worker_main`), and batches fan out to
+all owning workers concurrently — the parent sends every shard its
+slice before collecting any reply, so W workers ingest W sub-batches in
+parallel.
+
+Because every key lives on exactly one shard and arrives there in
+stream order, **per-key results are bit-for-bit identical** to a single
+:class:`StreamEngine` fed the same records.  Global answers — the
+all-keys hull, diameter, width — come from the merge layer: each worker
+folds its local summaries into one per-shard summary
+(:meth:`StreamEngine.merged_summary`), and the parent tree-reduces the
+K shard summaries (:func:`~repro.core.base.tree_merge`), preserving the
+schemes' error bounds.
+
+Snapshot/restore covers the whole ring: one JSON document holds every
+shard engine's state (the :mod:`repro.streams.io` summary format all
+the way down).  Restoring onto the *same* worker count reloads each
+engine wholesale; restoring onto a *different* count re-routes each
+key's summary through the new ring — consistent hashing keeps the
+reshuffle proportional to the resize.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.base import HullSummary, coerce_point, tree_merge
+from ..core.batch import as_key_array, as_point_array
+from ..geometry.vec import Point
+from ..streams.io import summary_from_state
+from .hashing import HashRing
+from .spec import SummarySpec
+from .worker import shard_worker_main
+
+__all__ = ["ShardedEngine", "ShardStats", "ShardError"]
+
+PathLike = Union[str, Path]
+
+SHARD_FORMAT = "repro.shard"
+SHARD_FORMAT_VERSION = 1
+
+
+class ShardError(RuntimeError):
+    """A shard worker reported an error or died mid-request."""
+
+
+@dataclass
+class ShardStats:
+    """Aggregate bookkeeping across the whole ring."""
+
+    shards: int
+    streams: int
+    points_ingested: int
+    batches_ingested: int
+    sample_points: int
+    per_shard: List[Dict]
+
+    def __str__(self) -> str:
+        loads = "/".join(str(s["streams"]) for s in self.per_shard)
+        return (
+            f"shards={self.shards} streams={self.streams} "
+            f"points={self.points_ingested:,} batches={self.batches_ingested} "
+            f"stored={self.sample_points} load={loads}"
+        )
+
+
+def _default_context():
+    """Prefer fork (fast start, inherits the imported package); fall
+    back to spawn where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ShardedEngine:
+    """Keyed hull summaries sharded across worker processes.
+
+    Args:
+        spec: which summary scheme each key gets — a
+            :class:`~repro.shard.spec.SummarySpec` (e.g.
+            ``SummarySpec.of(AdaptiveHull, r=32)``); a plain
+            ``HullSummary`` subclass or instance is coerced.
+        shards: number of worker processes (>= 1).
+        replicas: virtual nodes per shard on the hash ring.
+        max_streams: optional per-shard LRU bound (passed to each
+            worker's engine).
+        start_method: multiprocessing start method override
+            ("fork"/"spawn"/"forkserver"); default picks fork when
+            available.
+
+    The engine is a context manager; on exit the workers are stopped
+    and joined.  All public methods raise :class:`ShardError` when a
+    worker reports a failure or has died.
+    """
+
+    def __init__(
+        self,
+        spec,
+        *,
+        shards: int = 2,
+        replicas: int = 64,
+        max_streams: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        if shards < 1:
+            raise ValueError("ShardedEngine needs at least one shard")
+        self.spec = SummarySpec.coerce(spec)
+        self.num_shards = shards
+        self.ring = HashRing(shards, replicas=replicas)
+        self.points_ingested = 0
+        self.batches_ingested = 0
+        # Route decisions are memoised per key: consistent hashing costs
+        # one BLAKE2 digest per *distinct* key, not per record.  The
+        # memo is bounded (workers may LRU-evict keys, but the parent
+        # would otherwise remember every key ever seen): on overflow it
+        # is simply cleared — recomputing a route is pure and cheap.
+        self._route_cache: Dict[Hashable, int] = {}
+        self._closed = False
+        ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else _default_context()
+        )
+        self._conns = []
+        self._procs = []
+        try:
+            for i in range(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, self.spec, max_streams),
+                    name=f"repro-shard-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()  # parent keeps only its end: EOF propagates
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop every worker and join its process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    # -- worker RPC --------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardError("ShardedEngine is closed")
+
+    def _request(self, shard: int, op: str, *args) -> None:
+        try:
+            self._conns[shard].send((op,) + args)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardError(f"shard {shard} is gone: {exc}") from exc
+
+    def _collect(self, shard: int):
+        try:
+            status, payload = self._conns[shard].recv()
+        except (EOFError, OSError) as exc:
+            raise ShardError(f"shard {shard} died mid-request") from exc
+        if status != "ok":
+            raise ShardError(f"shard {shard}: {payload}")
+        return payload
+
+    def _call(self, shard: int, op: str, *args):
+        self._check_open()
+        self._request(shard, op, *args)
+        return self._collect(shard)
+
+    def _collect_all(self, shards: Sequence[int]) -> List:
+        """Collect one reply per listed shard, draining every pending
+        reply even when one errors: abandoning a queued reply would
+        permanently desynchronise that shard's request/reply pipe.  The
+        first error is raised after the drain."""
+        payloads = []
+        first_error: Optional[Exception] = None
+        for i in shards:
+            try:
+                payloads.append(self._collect(i))
+            except ShardError as exc:
+                payloads.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return payloads
+
+    def _broadcast(self, op: str, *args) -> List:
+        """Send ``op`` to every shard, then collect — requests overlap."""
+        self._check_open()
+        for i in range(self.num_shards):
+            self._request(i, op, *args)
+        return self._collect_all(range(self.num_shards))
+
+    # -- routing -----------------------------------------------------------
+
+    #: Distinct keys memoised before the route cache resets.
+    _ROUTE_CACHE_LIMIT = 1 << 18
+
+    def shard_for(self, key: Hashable) -> int:
+        """Which shard owns ``key`` (stable across processes/sessions)."""
+        if isinstance(key, np.generic):
+            key = key.item()
+        shard = self._route_cache.get(key)
+        if shard is None:
+            shard = self.ring.shard_for(key)
+            if len(self._route_cache) >= self._ROUTE_CACHE_LIMIT:
+                self._route_cache.clear()
+            self._route_cache[key] = shard
+        return shard
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(
+        self, records: Iterable[Tuple[Hashable, float, float]]
+    ) -> int:
+        """Route ``(key, x, y)`` records to their shards; returns the
+        number of summary-changing records.  Each shard receives its
+        slice in stream order, so per-key results match a single-engine
+        ingestion of the same records exactly.
+
+        Every record is validated in the parent *before* anything is
+        sent, so a malformed record rejects the whole batch atomically
+        across shards (a worker-side rejection would leave the other
+        shards' slices already ingested)."""
+        per_shard: List[List[Tuple[Hashable, float, float]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        total = 0
+        for key, x, y in records:
+            x, y = coerce_point((x, y))
+            per_shard[self.shard_for(key)].append((key, x, y))
+            total += 1
+        return self._fan_out(
+            [
+                (i, ("ingest", recs))
+                for i, recs in enumerate(per_shard)
+                if recs
+            ],
+            total,
+        )
+
+    def ingest_arrays(self, keys: Sequence[Hashable], points) -> int:
+        """NumPy-native fan-out: a parallel ``keys`` sequence and an
+        ``(n, 2)`` point block are partitioned per shard with one
+        vectorised routing pass (unique keys hashed once, cached across
+        batches) and the sub-batches ingest on all workers
+        concurrently."""
+        arr = as_point_array(points)
+        key_arr = as_key_array(keys, len(arr))
+        if len(arr) == 0:
+            return 0
+        if key_arr.dtype == object:
+            # Arbitrary hashables: route record by record (cached).
+            shard_ids = np.fromiter(
+                (self.shard_for(k) for k in key_arr.tolist()),
+                dtype=np.int64,
+                count=len(key_arr),
+            )
+        else:
+            uniq, inverse = np.unique(key_arr, return_inverse=True)
+            lookup = np.fromiter(
+                (self.shard_for(k) for k in uniq.tolist()),
+                dtype=np.int64,
+                count=len(uniq),
+            )
+            shard_ids = lookup[inverse]
+        requests = []
+        for i in range(self.num_shards):
+            idx = np.flatnonzero(shard_ids == i)
+            if len(idx):
+                requests.append((i, ("ingest_arrays", key_arr[idx], arr[idx])))
+        return self._fan_out(requests, len(arr))
+
+    def _fan_out(self, requests: List[Tuple[int, tuple]], total: int) -> int:
+        """Send every shard its slice, then collect all acks."""
+        self._check_open()
+        for shard, msg in requests:
+            self._request(shard, *msg)
+        changed = sum(self._collect_all([shard for shard, _ in requests]))
+        self.points_ingested += total
+        self.batches_ingested += 1
+        return changed
+
+    # -- queries -----------------------------------------------------------
+
+    def keys(self) -> List[Hashable]:
+        """All live keys across the ring (per-shard order concatenated)."""
+        out: List[Hashable] = []
+        for shard_keys in self._broadcast("keys"):
+            out.extend(shard_keys)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(ks) for ks in self._broadcast("keys"))
+
+    def hull(self, key: Hashable) -> List[Point]:
+        """Approximate hull of one keyed stream ([] if never fed)."""
+        return [tuple(v) for v in self._call(self.shard_for(key), "hull", key)]
+
+    def summary(self, key: Hashable) -> Optional[HullSummary]:
+        """A *copy* of one key's summary, rebuilt from its shard's
+        snapshot state (None if the key was never fed).  Mutating the
+        copy does not touch the worker."""
+        state = self._call(self.shard_for(key), "summary_state", key)
+        if state is None:
+            return None
+        return summary_from_state(state, factory=self.spec.build)
+
+    def merged_summary(
+        self, keys: Optional[Iterable[Hashable]] = None
+    ) -> HullSummary:
+        """One summary covering the union of the selected streams.
+
+        Every worker folds its local summaries into a per-shard summary;
+        the parent deserialises the K shard summaries and tree-reduces
+        them (:func:`~repro.core.base.tree_merge`).  The result carries
+        the scheme's usual one-sided error against the union stream's
+        true hull."""
+        selection = None if keys is None else list(keys)
+        states = self._broadcast("merged_state", selection)
+        summaries = [
+            summary_from_state(s, factory=self.spec.build) for s in states
+        ]
+        return tree_merge(summaries)
+
+    def merged_hull(
+        self, keys: Optional[Iterable[Hashable]] = None
+    ) -> List[Point]:
+        """The all-keys (or selected-keys) approximate hull."""
+        return self.merged_summary(keys).hull()
+
+    def diameter(self, keys: Optional[Iterable[Hashable]] = None) -> float:
+        """Approximate diameter of the union of the selected streams
+        (0.0 before any data) via the existing query layer."""
+        from ..queries import diameter as diameter_query
+
+        merged = self.merged_summary(keys)
+        if not merged.hull():
+            return 0.0
+        return diameter_query(merged)
+
+    def width(self, keys: Optional[Iterable[Hashable]] = None) -> float:
+        """Approximate width of the union of the selected streams
+        (0.0 before any data) via the existing query layer."""
+        from ..queries import width as width_query
+
+        merged = self.merged_summary(keys)
+        if not merged.hull():
+            return 0.0
+        return width_query(merged)
+
+    def stats(self) -> ShardStats:
+        """Aggregate counters across all shards."""
+        per_shard = self._broadcast("stats")
+        return ShardStats(
+            shards=self.num_shards,
+            streams=sum(s["streams"] for s in per_shard),
+            points_ingested=self.points_ingested,
+            batches_ingested=self.batches_ingested,
+            sample_points=sum(s["sample_points"] for s in per_shard),
+            per_shard=per_shard,
+        )
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self, path: PathLike) -> Path:
+        """Serialise the whole ring — every shard engine, every summary —
+        to one JSON document (keys must be JSON scalars, as for
+        :meth:`StreamEngine.snapshot`)."""
+        engines = self._broadcast("snapshot_state")
+        doc = {
+            "format": SHARD_FORMAT,
+            "version": SHARD_FORMAT_VERSION,
+            "shards": self.num_shards,
+            "replicas": self.ring.replicas,
+            "spec": self.spec.to_doc(),
+            "points_ingested": self.points_ingested,
+            "batches_ingested": self.batches_ingested,
+            "engines": engines,
+        }
+        path = Path(path)
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        path: PathLike,
+        *,
+        shards: Optional[int] = None,
+        replicas: Optional[int] = None,
+        max_streams: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> "ShardedEngine":
+        """Rebuild a ring from a :meth:`snapshot` file.
+
+        With the snapshot's own shard count (the default) each worker
+        reloads its engine wholesale — identical per-shard state and
+        counters.  With a different ``shards`` (or ``replicas``) every
+        key's summary is re-routed through the new ring and adopted by
+        its new owner; per-key summaries are preserved exactly, while
+        per-shard point counters are re-derived from the summaries' own
+        ``points_seen`` (per-shard *batch* counts are not reconstructed).
+        """
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        if doc.get("format") != SHARD_FORMAT:
+            raise ValueError(f"not a shard snapshot: {doc.get('format')!r}")
+        if doc.get("version") != SHARD_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard snapshot version {doc.get('version')!r}"
+            )
+        spec = SummarySpec.from_doc(doc["spec"])
+        target_shards = shards if shards is not None else int(doc["shards"])
+        target_replicas = (
+            replicas if replicas is not None else int(doc["replicas"])
+        )
+        engine = cls(
+            spec,
+            shards=target_shards,
+            replicas=target_replicas,
+            max_streams=max_streams,
+            start_method=start_method,
+        )
+        same_layout = (
+            target_shards == int(doc["shards"])
+            and target_replicas == int(doc["replicas"])
+        )
+        if same_layout:
+            for i, engine_doc in enumerate(doc["engines"]):
+                engine._request(i, "load_snapshot", engine_doc)
+            for i in range(len(doc["engines"])):
+                engine._collect(i)
+        else:
+            # One adopt round-trip per key: slower than bulk reload but
+            # immune to pipe back-pressure, and restore is not a hot
+            # path.  Consistent hashing keeps most keys on their old
+            # shard anyway, so resizes move only the proportional slice.
+            for engine_doc in doc["engines"]:
+                for key, snap in engine_doc["summaries"]:
+                    engine._call(engine.shard_for(key), "adopt", key, snap)
+        engine.points_ingested = int(doc.get("points_ingested", 0))
+        engine.batches_ingested = int(doc.get("batches_ingested", 0))
+        return engine

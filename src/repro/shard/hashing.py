@@ -1,0 +1,122 @@
+"""Consistent hashing of stream keys onto shards.
+
+Routing must be *stable across processes and sessions*: Python's
+built-in ``hash`` is salted per interpreter for strings, so the ring
+hashes a canonical byte encoding of each key with BLAKE2 instead.  Each
+shard owns ``replicas`` pseudo-random points ("virtual nodes") on a
+64-bit ring; a key belongs to the shard owning the first point at or
+after the key's own ring position.  Virtual nodes keep the load spread
+even for small shard counts, and — the classic consistent-hashing
+property — resizing the ring from N to N' shards moves only ~1/max(N,N')
+of the keys, which is what makes whole-ring snapshot *re-distribution*
+(restoring onto a different worker count) cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, List, Tuple
+
+__all__ = ["HashRing", "stable_key_token"]
+
+_TOKEN_BYTES = 8
+_RING_SALT = "repro.shard.v1"
+
+
+def _key_bytes(key: Hashable) -> bytes:
+    """Canonical byte encoding of a stream key.
+
+    Two invariants:
+
+    * Keys that compare equal as dict keys (``True == 1 == 1.0``) must
+      route identically — a :class:`~repro.engine.StreamEngine` would
+      fold them into one stream, so the ring cannot split them across
+      shards.  NumPy scalars are unwrapped by the caller
+      (:meth:`HashRing.shard_for`) before reaching here.
+    * Encoding must depend only on the key's *value*: a ``repr``-based
+      fallback would bake in object identity (``<Foo at 0x...>``) and
+      give two equal keys different tokens, silently splitting one
+      logical stream.  Unsupported key types are therefore rejected.
+
+    Tuples are encoded recursively with length-prefixed elements, so
+    ``("a,b",)`` and ``("a", "b")`` cannot collide.
+
+    Raises:
+        TypeError: for key types without a deterministic value encoding.
+    """
+    if key is None:
+        return b"n"
+    if isinstance(key, (bool, int)):
+        return b"i:" + str(int(key)).encode("ascii")
+    if isinstance(key, float):
+        if key.is_integer():
+            return b"i:" + str(int(key)).encode("ascii")
+        return b"f:" + repr(key).encode("ascii")
+    if isinstance(key, str):
+        return b"s:" + key.encode("utf-8", "surrogatepass")
+    if isinstance(key, bytes):
+        return b"b:" + key
+    if isinstance(key, tuple):
+        parts = [_key_bytes(k) for k in key]
+        return b"t:" + b"".join(
+            str(len(p)).encode("ascii") + b"|" + p for p in parts
+        )
+    raise TypeError(
+        f"shard keys must be str/bytes/numbers/None or tuples thereof; "
+        f"{type(key).__name__} has no deterministic value encoding"
+    )
+
+
+def stable_key_token(key: Hashable) -> int:
+    """Interpreter-salt-independent 64-bit token of a stream key."""
+    digest = hashlib.blake2b(_key_bytes(key), digest_size=_TOKEN_BYTES)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping keys to ``shards`` buckets.
+
+    Args:
+        shards: number of buckets (worker processes), >= 1.
+        replicas: virtual nodes per shard; more replicas = smoother
+            load at the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64):
+        if shards < 1:
+            raise ValueError("HashRing needs at least one shard")
+        if replicas < 1:
+            raise ValueError("HashRing needs at least one replica per shard")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for rep in range(replicas):
+                token = stable_key_token(f"{_RING_SALT}|{shard}|{rep}")
+                points.append((token, shard))
+        points.sort()
+        self._tokens = [t for t, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, key: Hashable) -> int:
+        """The shard owning ``key`` (deterministic across processes)."""
+        try:
+            import numpy as np
+
+            if isinstance(key, np.generic):
+                key = key.item()
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            pass
+        token = stable_key_token(key)
+        i = bisect.bisect_right(self._tokens, token)
+        if i == len(self._tokens):
+            i = 0  # wrap around the ring
+        return self._owners[i]
+
+    def distribution(self, keys) -> List[int]:
+        """Per-shard key counts for an iterable of keys (diagnostics)."""
+        counts = [0] * self.shards
+        for k in keys:
+            counts[self.shard_for(k)] += 1
+        return counts

@@ -1,0 +1,86 @@
+"""Picklable summary specifications.
+
+The single-process layers pass summary *factories* around as closures
+(``lambda: AdaptiveHull(32)``).  Closures do not cross process
+boundaries, so the shard layer describes a scheme as data instead: a
+:class:`SummarySpec` names a registered summary class and its
+constructor kwargs, travels over a worker pipe as a plain dataclass,
+and rebuilds the factory on the other side through the same scheme
+registry the snapshot format uses
+(:func:`repro.streams.io.scheme_registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.base import HullSummary
+from ..streams.io import scheme_registry
+
+__all__ = ["SummarySpec"]
+
+
+@dataclass(frozen=True)
+class SummarySpec:
+    """A summary scheme as data: registered class name + constructor kwargs.
+
+    Examples::
+
+        SummarySpec("AdaptiveHull", {"r": 32})
+        SummarySpec.of(AdaptiveHull, r=32)
+        SummarySpec.for_summary(existing_summary)
+
+    The spec doubles as a zero-argument factory (:meth:`build`), so it
+    plugs directly into every factory-taking API —
+    ``StreamEngine(spec.build)``, trackers, snapshot restore.
+    """
+
+    scheme: str
+    config: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        registry = scheme_registry()
+        if self.scheme not in registry:
+            known = ", ".join(sorted(registry))
+            raise ValueError(
+                f"unknown summary scheme {self.scheme!r} (known: {known})"
+            )
+
+    @classmethod
+    def of(cls, scheme, **config) -> "SummarySpec":
+        """Build a spec from a class (or its name) plus constructor kwargs."""
+        name = scheme if isinstance(scheme, str) else scheme.__name__
+        return cls(name, dict(config))
+
+    @classmethod
+    def for_summary(cls, summary: HullSummary) -> "SummarySpec":
+        """The spec that recreates an equivalent empty summary."""
+        return cls(type(summary).__name__, summary.get_config())
+
+    @classmethod
+    def coerce(cls, spec) -> "SummarySpec":
+        """Accept a spec, a summary class, or a live summary instance."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, HullSummary):
+            return cls.for_summary(spec)
+        if isinstance(spec, type) and issubclass(spec, HullSummary):
+            return cls.of(spec)
+        raise TypeError(
+            f"expected a SummarySpec, HullSummary class, or instance; "
+            f"got {type(spec).__name__}"
+        )
+
+    def build(self) -> HullSummary:
+        """Instantiate a fresh summary (the factory the spec describes)."""
+        return scheme_registry()[self.scheme](**self.config)
+
+    def to_doc(self) -> Dict:
+        """JSON-compatible form for the whole-ring snapshot header."""
+        return {"class": self.scheme, "config": dict(self.config)}
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "SummarySpec":
+        """Inverse of :meth:`to_doc`."""
+        return cls(doc["class"], dict(doc["config"]))

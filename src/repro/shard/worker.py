@@ -1,0 +1,112 @@
+"""The shard worker: one :class:`~repro.engine.StreamEngine` per process.
+
+Each worker owns the summaries for the keys its shard was assigned and
+speaks a small request/reply protocol over a :mod:`multiprocessing`
+pipe: every message is a ``(op, *args)`` tuple, every reply is
+``("ok", result)`` or ``("err", message)``.  Summaries cross the pipe
+exclusively through the :mod:`repro.streams.io` snapshot format — the
+same JSON-compatible documents the on-disk checkpoints use — so the
+IPC layer adds no second serialisation story.
+
+The worker is deliberately dumb: it never touches the hash ring and
+trusts the parent's routing.  Global answers are produced by the parent
+tree-reducing the per-shard ``merged_state`` replies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Optional
+
+from ..engine import StreamEngine
+from ..streams.io import summary_from_state, summary_state
+from .spec import SummarySpec
+
+__all__ = ["shard_worker_main"]
+
+
+class _ShardServer:
+    """Dispatches protocol ops against the worker's engine."""
+
+    def __init__(self, spec: SummarySpec, max_streams: Optional[int] = None):
+        self.spec = spec
+        self.max_streams = max_streams
+        self.engine = StreamEngine(spec.build, max_streams=max_streams)
+
+    # Each op_* method is one protocol verb; the result is pickled back
+    # verbatim as the "ok" payload.
+
+    def op_ingest(self, records):
+        return self.engine.ingest(records)
+
+    def op_ingest_arrays(self, keys, points):
+        return self.engine.ingest_arrays(keys, points)
+
+    def op_keys(self):
+        return self.engine.keys()
+
+    def op_hull(self, key):
+        return self.engine.hull(key)
+
+    def op_summary_state(self, key):
+        summary = self.engine.get(key)
+        return None if summary is None else summary_state(summary)
+
+    def op_merged_state(self, keys=None):
+        return summary_state(self.engine.merged_summary(keys))
+
+    def op_stats(self):
+        return asdict(self.engine.stats())
+
+    def op_snapshot_state(self):
+        return self.engine.snapshot_state()
+
+    def op_load_snapshot(self, doc):
+        self.engine = StreamEngine.from_snapshot_state(
+            doc, self.spec.build, max_streams=self.max_streams
+        )
+        return len(self.engine)
+
+    def op_adopt(self, key, snapshot):
+        summary = summary_from_state(snapshot, factory=self.spec.build)
+        self.engine.adopt(key, summary)
+        # Re-derive this engine's ingest counter from the adopted
+        # summary's own stream length, so per-shard stats stay truthful
+        # after a re-sharded restore re-deals the keys.
+        self.engine.points_ingested += int(getattr(summary, "points_seen", 0) or 0)
+        return True
+
+
+def shard_worker_main(
+    conn, spec: SummarySpec, max_streams: Optional[int] = None
+) -> None:
+    """Worker process entry point: serve requests until ``stop`` or EOF.
+
+    Errors raised by an op are caught and reported as ``("err", msg)``
+    replies — a malformed batch must not take the whole shard down.  An
+    EOF on the pipe (parent died or closed) shuts the worker down
+    cleanly.
+    """
+    server = _ShardServer(spec, max_streams=max_streams)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                return
+            op, args = msg[0], msg[1:]
+            if op == "stop":
+                conn.send(("ok", None))
+                return
+            handler = getattr(server, f"op_{op}", None)
+            if handler is None:
+                conn.send(("err", f"unknown shard op {op!r}"))
+                continue
+            try:
+                result = handler(*args)
+            except Exception as exc:  # noqa: BLE001 - protocol boundary
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", result))
+    finally:
+        conn.close()

@@ -37,6 +37,7 @@ __all__ = [
     "save_stream",
     "load_stream",
     "replay",
+    "scheme_registry",
     "summary_state",
     "summary_from_state",
     "save_summary",
@@ -106,9 +107,13 @@ def load_stream(path: PathLike) -> np.ndarray:
     return arr
 
 
-def _scheme_registry() -> Dict[str, type]:
-    """Summary classes restorable by name (lazy import: io must stay
-    importable without dragging the whole algorithm stack in)."""
+def scheme_registry() -> Dict[str, type]:
+    """Summary classes addressable by name (lazy import: io must stay
+    importable without dragging the whole algorithm stack in).
+
+    Shared by snapshot restore and the shard layer's picklable summary
+    specs — anywhere a scheme must travel as data instead of a factory
+    closure."""
     from ..baselines import (
         DudleyKernelHull,
         ExactHull,
@@ -177,7 +182,7 @@ def summary_from_state(snapshot: Dict, factory=None):
                 "would stream under a different policy"
             )
     else:
-        registry = _scheme_registry()
+        registry = scheme_registry()
         if name not in registry:
             raise ValueError(f"unknown summary class {name!r}")
         summary = registry[name](**snapshot["config"])

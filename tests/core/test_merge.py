@@ -1,0 +1,356 @@
+"""Merge layer: algebraic and error-bound properties (hypothesis).
+
+Summaries store input points, so merging is re-sampling the union
+stream.  On the paper's own workload shapes (seeded disk / square /
+ellipse streams drawn by hypothesis) the following must hold:
+
+* exactness where exactness is possible — the exact hull merges to the
+  identical hull a single-stream ingestion produces, the uniform hull's
+  direction-bucket-wise union reproduces the union stream's supports;
+* the merged hull contains (or stays within the scheme's error bound
+  of) both operands' hull vertices;
+* the resulting hull is order-insensitive: exactly for exact/uniform,
+  within the Theorem 5.4 bound both ways for the adaptive hull;
+* the adaptive sample budget (<= 2r + 1) and structural invariants
+  survive a merge, and the merged summary's one-sided error against
+  the *union* stream's true hull stays within 16*pi*P/r^2;
+* merging commutes with snapshot/restore;
+* cross-scheme and cross-config merges are rejected.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DudleyKernelHull,
+    ExactHull,
+    PartiallyAdaptiveHull,
+    RadialHistogramHull,
+    RandomSampleHull,
+)
+from repro.core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull
+from repro.core.base import tree_merge
+from repro.experiments.metrics import hull_distance
+from repro.geometry.polygon import contains_point
+from repro.streams import as_tuples, disk_stream, ellipse_stream, square_stream
+from repro.streams.io import summary_from_state, summary_state
+
+
+def _make_stream(kind, n, seed, rotation):
+    if kind == "disk":
+        return disk_stream(n, seed=seed)
+    if kind == "square":
+        return square_stream(n, rotation=rotation, seed=seed)
+    return ellipse_stream(n, a=8.0, b=1.0, rotation=rotation, seed=seed)
+
+
+stream_params = st.tuples(
+    st.sampled_from(["disk", "square", "ellipse"]),
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=0, max_value=2**16),
+    st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+)
+r_values = st.sampled_from([8, 16, 32])
+
+
+def _pair(params_a, params_b):
+    a = list(as_tuples(_make_stream(*params_a)))
+    b = list(as_tuples(_make_stream(*params_b)))
+    return a, b
+
+
+# -- exactness ---------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    stream_params,
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_exact_hull_sharded_merge_identical(params, k, _salt):
+    """Acceptance property: merging K disjoint shard summaries of an
+    ExactHull yields the identical hull as single-stream ingestion."""
+    pts = list(as_tuples(_make_stream(*params)))
+    whole = ExactHull()
+    whole.insert_many(pts)
+    shards = [ExactHull() for _ in range(k)]
+    for i, p in enumerate(pts):
+        shards[i % k].insert(p)
+    merged = tree_merge(shards)
+    assert merged.hull() == whole.hull()
+    assert merged.points_seen == whole.points_seen
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream_params, stream_params, r_values)
+def test_uniform_merge_matches_union_stream(params_a, params_b, r):
+    """Direction-bucket-wise union == streaming the concatenation:
+    identical supports, extrema, hull, and union counters."""
+    a_pts, b_pts = _pair(params_a, params_b)
+    a, b, union = UniformHull(r), UniformHull(r), UniformHull(r)
+    a.insert_many(a_pts)
+    b.insert_many(b_pts)
+    union.insert_many(a_pts + b_pts)
+    a.merge(b)
+    assert a._support == union._support
+    assert a.hull() == union.hull()
+    assert a.points_seen == union.points_seen
+
+
+@settings(max_examples=15, deadline=None)
+@given(stream_params, stream_params, r_values)
+def test_uniform_merge_commutes(params_a, params_b, r):
+    a_pts, b_pts = _pair(params_a, params_b)
+
+    def build(first, second):
+        x, y = UniformHull(r), UniformHull(r)
+        x.insert_many(first)
+        y.insert_many(second)
+        return x.merge(y)
+
+    ab = build(a_pts, b_pts)
+    ba = build(b_pts, a_pts)
+    assert ab._support == ba._support
+    assert set(ab.hull()) == set(ba.hull())
+
+
+# -- containment and error bounds --------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream_params, stream_params, r_values)
+def test_merged_hull_contains_operand_hulls(params_a, params_b, r):
+    """For the exact hull, both operands' hull vertices lie inside the
+    merged hull.  For the sampled schemes the guarantee is the support
+    sandwich: a losing operand vertex may fall outside the merged inner
+    hull (that is the schemes' one-sided error), but it can never beat
+    the merged summary's support in any sampled direction — every
+    operand vertex satisfies all of the merged supporting half-planes."""
+    a_pts, b_pts = _pair(params_a, params_b)
+    # exact: true containment
+    a, b = ExactHull(), ExactHull()
+    a.insert_many(a_pts)
+    b.insert_many(b_pts)
+    operand_vertices = a.hull() + b.hull()
+    a.merge(b)
+    assert hull_distance(operand_vertices, a.hull()) <= 1e-9
+    # sampled schemes: the outer envelope covers the operand vertices
+    for scheme in ("uniform", "adaptive"):
+        if scheme == "uniform":
+            a, b = UniformHull(r), UniformHull(r)
+        else:
+            a, b = AdaptiveHull(r), AdaptiveHull(r)
+        a.insert_many(a_pts)
+        b.insert_many(b_pts)
+        operand_vertices = a.hull() + b.hull()
+        a.merge(b)
+        uniform = a if scheme == "uniform" else a.uniform_layer
+        for v in operand_vertices:
+            for j in range(r):
+                u = uniform.direction(j)
+                assert (
+                    v[0] * u[0] + v[1] * u[1]
+                    <= uniform.support(j) + 1e-9
+                )
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream_params, stream_params, r_values)
+def test_adaptive_merge_budget_invariants_and_bound(params_a, params_b, r):
+    """Sample budget, structural invariants, and the Theorem 5.4 error
+    against the union stream's true hull, after merging."""
+    a_pts, b_pts = _pair(params_a, params_b)
+    a, b = AdaptiveHull(r), AdaptiveHull(r)
+    a.insert_many(a_pts)
+    b.insert_many(b_pts)
+    a.merge(b)
+    assert a.sample_size <= 2 * r + 1
+    a.check_invariants()
+    assert a.points_seen == len(a_pts) + len(b_pts)
+    exact = ExactHull()
+    exact.insert_many(a_pts + b_pts)
+    err = hull_distance(exact.hull(), a.hull())
+    bound = 16.0 * math.pi * a.perimeter / (r * r)
+    assert err <= bound + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream_params, stream_params, r_values)
+def test_adaptive_merge_order_insensitive_within_bound(params_a, params_b, r):
+    """a∪b and b∪a may refine differently, but both stay within the
+    Theorem 5.4 bound of the same true union hull."""
+    a_pts, b_pts = _pair(params_a, params_b)
+    exact = ExactHull()
+    exact.insert_many(a_pts + b_pts)
+
+    for first, second in ((a_pts, b_pts), (b_pts, a_pts)):
+        x, y = AdaptiveHull(r), AdaptiveHull(r)
+        x.insert_many(first)
+        y.insert_many(second)
+        x.merge(y)
+        err = hull_distance(exact.hull(), x.hull())
+        assert err <= 16.0 * math.pi * x.perimeter / (r * r) + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream_params, stream_params, st.sampled_from([8, 16]))
+def test_fixed_size_merge_budget(params_a, params_b, r):
+    a_pts, b_pts = _pair(params_a, params_b)
+    a, b = FixedSizeAdaptiveHull(r), FixedSizeAdaptiveHull(r)
+    a.insert_many(a_pts)
+    b.insert_many(b_pts)
+    a.merge(b)
+    a.check_invariants()
+    assert a.sample_size <= 2 * r + 1
+    # every stored sample is an input point of the union
+    union = set(a_pts) | set(b_pts)
+    assert set(a.samples()) <= union
+
+
+# -- snapshot / restore interplay --------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream_params, stream_params, r_values)
+def test_merge_after_snapshot_restore_roundtrip(params_a, params_b, r):
+    """Merging composes with snapshot/restore.
+
+    Snapshotting the *merged* summary restores it bit-for-bit (hull,
+    samples, counters).  Merging *restored operands* reproduces the
+    deterministic layers exactly — uniform supports/extrema and the
+    union counters — and yields a valid summary within the Theorem 5.4
+    bound.  (Full bit-identity of the refinement forest under further
+    mutation is not promised: a restored threshold queue holds one
+    fresh entry per node, while a live queue may carry stale lazy
+    entries that delay unrefinement — equivalent policy, different
+    tie-timing.)"""
+    a_pts, b_pts = _pair(params_a, params_b)
+    a, b = AdaptiveHull(r), AdaptiveHull(r)
+    a.insert_many(a_pts)
+    b.insert_many(b_pts)
+    a2 = summary_from_state(summary_state(a))
+    b2 = summary_from_state(summary_state(b))
+    a.merge(b)
+    a2.merge(b2)
+
+    # (1) snapshot of the merged summary restores exactly
+    reloaded = summary_from_state(summary_state(a))
+    assert reloaded.hull() == a.hull()
+    assert reloaded.samples() == a.samples()
+    assert reloaded.points_seen == a.points_seen
+    assert reloaded.points_processed == a.points_processed
+
+    # (2) merge of restored operands: deterministic layers identical
+    assert a2.uniform_layer._support == a.uniform_layer._support
+    assert a2.uniform_layer._extreme == a.uniform_layer._extreme
+    assert a2.points_seen == a.points_seen
+    assert a2.points_processed == a.points_processed
+    a2.check_invariants()
+    assert a2.sample_size <= 2 * r + 1
+    exact = ExactHull()
+    exact.insert_many(a_pts + b_pts)
+    err = hull_distance(exact.hull(), a2.hull())
+    assert err <= 16.0 * math.pi * a2.perimeter / (r * r) + 1e-9
+
+
+# -- the long tail: baselines, empties, rejection ----------------------------
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: ExactHull(),
+        lambda: UniformHull(16),
+        lambda: AdaptiveHull(16),
+        lambda: FixedSizeAdaptiveHull(16),
+        lambda: RandomSampleHull(16),
+        lambda: DudleyKernelHull(16, warmup=8),
+        lambda: RadialHistogramHull(16),
+        lambda: PartiallyAdaptiveHull(8, train_size=50),
+    ],
+    ids=lambda f: type(f()).__name__,
+)
+def test_every_scheme_merges(make, small_disk_points, small_ellipse_points):
+    """Each scheme merges two populated operands: samples stay input
+    points of the union, counters add up, and the empty-operand edge
+    cases hold."""
+    a, b = make(), make()
+    a.insert_many(small_disk_points[:400])
+    b.insert_many(small_ellipse_points[:400])
+    union = set(small_disk_points[:400]) | set(small_ellipse_points[:400])
+    result = a.merge(b)
+    assert result is a
+    assert set(a.samples()) <= union
+    assert a.points_seen == 800
+    # empty |= full and full |= empty
+    e1, full = make(), make()
+    full.insert_many(small_disk_points[:100])
+    e1 |= full
+    assert set(e1.samples()) <= set(small_disk_points[:100])
+    full |= make()
+    assert full.points_seen == 100
+
+
+def test_merge_rejects_mismatches(small_disk_points):
+    with pytest.raises(ValueError, match="mismatched configs"):
+        UniformHull(16).merge(UniformHull(32))
+    with pytest.raises(ValueError, match="same scheme"):
+        UniformHull(16).merge(AdaptiveHull(16))
+    with pytest.raises(ValueError, match="same scheme"):
+        AdaptiveHull(16).merge(FixedSizeAdaptiveHull(16))
+    with pytest.raises(ValueError, match="mismatched configs"):
+        AdaptiveHull(16, queue_mode="exact").merge(AdaptiveHull(16))
+    with pytest.raises(TypeError):
+        h = UniformHull(16)
+        h |= [(0.0, 0.0)]
+
+
+def test_tree_merge_edge_cases(small_disk_points):
+    with pytest.raises(ValueError, match="at least one"):
+        tree_merge([])
+    single = ExactHull()
+    single.insert_many(small_disk_points[:50])
+    assert tree_merge([single]) is single
+    # odd operand counts fold the straggler in the next round
+    parts = [ExactHull() for _ in range(5)]
+    for i, p in enumerate(small_disk_points):
+        parts[i % 5].insert(p)
+    whole = ExactHull()
+    whole.insert_many(small_disk_points)
+    assert tree_merge(parts).hull() == whole.hull()
+
+
+def test_merged_summary_answers_queries(small_disk_points, small_ellipse_points):
+    """A merged summary feeds the existing query layer directly."""
+    from repro.queries import diameter, width
+
+    a, b = AdaptiveHull(32), AdaptiveHull(32)
+    a.insert_many(small_disk_points)
+    b.insert_many(small_ellipse_points)
+    a.merge(b)
+    exact = ExactHull()
+    exact.insert_many(small_disk_points + small_ellipse_points)
+    bound = 16.0 * math.pi * a.perimeter / (32 * 32)
+    assert diameter(a) <= diameter(exact) + 1e-9
+    assert diameter(a) >= diameter(exact) - 2 * bound
+    assert width(a) <= width(exact) + 2 * bound + 1e-9
+
+
+def test_merged_hull_vertices_inside_merged_region(small_disk_points):
+    """Merging never fabricates coordinates: all merged samples are
+    stored input points and the hull is their hull."""
+    a, b = AdaptiveHull(16), AdaptiveHull(16)
+    a.insert_many(small_disk_points[:1000])
+    b.insert_many(small_disk_points[1000:])
+    a.merge(b)
+    pts = set(small_disk_points)
+    for v in a.hull():
+        assert v in pts
+    for s in a.samples():
+        assert s in pts
+    for v in a.hull():
+        assert contains_point(a.hull(), v)

@@ -1,0 +1,112 @@
+"""Consistent-hash ring: determinism, balance, and resize locality."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.shard import HashRing, stable_key_token
+
+
+def test_ring_validates_parameters():
+    with pytest.raises(ValueError):
+        HashRing(0)
+    with pytest.raises(ValueError):
+        HashRing(2, replicas=0)
+
+
+def test_routing_is_deterministic_and_in_range():
+    ring = HashRing(4)
+    keys = [f"key-{i}" for i in range(500)] + list(range(500))
+    first = [ring.shard_for(k) for k in keys]
+    again = [ring.shard_for(k) for k in keys]
+    assert first == again
+    assert all(0 <= s < 4 for s in first)
+    # An independently built ring with the same parameters agrees.
+    other = HashRing(4)
+    assert [other.shard_for(k) for k in keys] == first
+
+
+def test_equal_dict_keys_route_together():
+    """True == 1 == 1.0 as dict keys, so they must share a shard — a
+    StreamEngine would fold them into one stream."""
+    ring = HashRing(8)
+    assert ring.shard_for(1) == ring.shard_for(1.0) == ring.shard_for(True)
+    assert ring.shard_for(0) == ring.shard_for(0.0) == ring.shard_for(False)
+
+
+def test_numpy_scalars_route_like_their_python_values():
+    np = pytest.importorskip("numpy")
+    ring = HashRing(4)
+    assert ring.shard_for(np.int64(17)) == ring.shard_for(17)
+    assert ring.shard_for(np.str_("abc")) == ring.shard_for("abc")
+
+
+def test_tuple_keys_encode_unambiguously():
+    """Length-prefixed tuple encoding: composite keys that flatten to
+    the same characters still get distinct tokens."""
+    assert stable_key_token(("a,b",)) != stable_key_token(("a", "b"))
+    assert stable_key_token(("a", ("b", "c"))) != stable_key_token(("a", "b", "c"))
+    ring = HashRing(4)
+    assert ring.shard_for(("x", 1)) == ring.shard_for(("x", 1))
+    assert stable_key_token(None) != stable_key_token("None")
+
+
+def test_undeterministic_key_types_are_rejected():
+    """A repr()-based fallback would bake object identity into the
+    token and split equal keys across shards — so unsupported key
+    types fail loudly instead."""
+
+    class Custom:
+        def __hash__(self):
+            return 7
+
+        def __eq__(self, other):
+            return isinstance(other, Custom)
+
+    with pytest.raises(TypeError, match="deterministic value encoding"):
+        stable_key_token(Custom())
+    with pytest.raises(TypeError, match="deterministic value encoding"):
+        HashRing(2).shard_for(Custom())
+
+
+def test_load_balance_is_reasonable():
+    ring = HashRing(4, replicas=64)
+    counts = ring.distribution(f"sensor-{i}" for i in range(4000))
+    assert sum(counts) == 4000
+    # With 64 virtual nodes per shard no bucket should be wildly off
+    # the 1000-key average.
+    assert min(counts) > 400
+    assert max(counts) < 2000
+
+
+def test_resize_moves_only_a_fraction_of_keys():
+    """The consistent-hashing property that makes re-sharded restores
+    cheap: growing 4 -> 5 shards should re-route roughly 1/5 of keys,
+    not re-deal everything."""
+    small = HashRing(4, replicas=64)
+    big = HashRing(5, replicas=64)
+    keys = [f"k{i}" for i in range(3000)]
+    moved = sum(1 for k in keys if small.shard_for(k) != big.shard_for(k))
+    assert moved < len(keys) * 0.45  # ~0.2 expected; generous ceiling
+
+
+def test_tokens_are_stable_across_interpreters():
+    """The whole point of not using hash(): a fresh interpreter (fresh
+    PYTHONHASHSEED) must compute identical tokens."""
+    expected = stable_key_token("stability-probe")
+    code = (
+        "from repro.shard import stable_key_token;"
+        "print(stable_key_token('stability-probe'))"
+    )
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src_dir), "PYTHONHASHSEED": "12345"},
+    )
+    assert int(out.stdout.strip()) == expected
