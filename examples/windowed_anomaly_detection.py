@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Anomaly detection on a drifting stream with sliding-window hulls.
+
+A fleet of sensors reports positions that drift over time
+(:func:`repro.streams.drifting_clusters_stream`).  An all-time hull is
+useless for anomaly detection here: it only ever grows, so yesterday's
+extremes mask today's outliers forever.  A *windowed* engine
+(``window=WindowConfig(horizon=...)``) forgets whole buckets as they
+age out, so the live hull tracks where the fleet is *now* — and a
+burst of spoofed readings shows up as a diameter spike that then
+**ages back out** once the horizon passes it.
+
+The detector is three lines: after each batch, compare the windowed
+diameter against the trailing median; flag batches that blow past it.
+The same records feed an all-time summary to show why the window is
+the right tool — after the spike, the all-time diameter never comes
+back down.
+
+Run:  python examples/windowed_anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import AdaptiveHull, StreamEngine, WindowConfig, diameter
+from repro.streams import drifting_clusters_stream
+
+HORIZON = 15.0     # time units a reading stays relevant
+BATCH = 1_000      # readings per tick
+TICKS = 60         # one time unit per tick
+SPIKE_AT = range(20, 23)  # ticks carrying spoofed outlier readings
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    pts = drifting_clusters_stream(
+        TICKS * BATCH, n_clusters=3, drift=0.05, sigma=0.4, seed=23
+    )
+    sensors = np.array([f"sensor-{i}" for i in rng.integers(0, 6, len(pts))])
+
+    windowed = StreamEngine(
+        lambda: AdaptiveHull(32), window=WindowConfig(horizon=HORIZON)
+    )
+    all_time = AdaptiveHull(32)
+
+    history: list = []
+    spike_seen = spike_cleared = False
+    print(f"{'tick':>5} {'window diam':>12} {'all-time':>9} {'buckets':>8}  note")
+    for tick in range(TICKS):
+        s = tick * BATCH
+        batch = pts[s : s + BATCH].copy()
+        if tick in SPIKE_AT:
+            # A handful of spoofed readings far outside the fleet.
+            batch[:10] += (400.0, 400.0)
+        ts = np.full(BATCH, float(tick))
+        windowed.ingest_arrays(sensors[s : s + BATCH], batch, ts=ts)
+        all_time.insert_many(batch)
+
+        view = windowed.merged_summary()
+        d = diameter(view)
+        baseline = float(np.median(history)) if history else d
+        anomalous = len(history) >= 5 and d > 1.8 * baseline
+        if not anomalous:
+            history = (history + [d])[-20:]
+
+        note = ""
+        if anomalous and not spike_seen:
+            note = "<-- ANOMALY: window diameter spiked"
+            spike_seen = True
+        elif spike_seen and not spike_cleared and d < 1.8 * baseline:
+            note = "<-- spike aged out of the window"
+            spike_cleared = True
+        if tick % 5 == 0 or note:
+            print(
+                f"{tick:>5} {d:>12.2f} {diameter(all_time):>9.2f} "
+                f"{windowed.stats().buckets:>8}  {note}"
+            )
+
+    print()
+    stats = windowed.stats()
+    print(f"window maintenance: {stats.bucket_merges} bucket merges, "
+          f"{stats.bucket_expiries} expiries across {stats.streams} sensors")
+    print(f"final window diameter   : {diameter(windowed.merged_summary()):.2f}")
+    print(f"final all-time diameter : {diameter(all_time):.2f} "
+          "(the spike is stuck in it forever)")
+    if not (spike_seen and spike_cleared):
+        raise SystemExit("expected the spike to appear and then age out")
+
+
+if __name__ == "__main__":
+    main()

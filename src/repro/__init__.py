@@ -56,6 +56,20 @@ a tree reduction of per-shard merged summaries::
         eng.merged_hull()                       # global union hull
         eng.snapshot("ring.json")               # whole-ring checkpoint
 
+Monitoring workloads ask about the *recent* window, not the whole
+prefix — stale extremes must age out.  Both engine tiers take a
+``window=`` config that gives every key a
+:class:`~repro.window.WindowedHullSummary`: bucketed summaries merged
+through the same algebra, whole-bucket expiry, logarithmic space::
+
+    from repro import AdaptiveHull, StreamEngine, WindowConfig
+
+    engine = StreamEngine(lambda: AdaptiveHull(32),
+                          window=WindowConfig(horizon=300.0))
+    engine.ingest_arrays(keys, points, ts=timestamps)
+    engine.advance_time(now)                    # expire with no new data
+    engine.merged_summary().hull()              # hull of the live windows
+
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
@@ -85,8 +99,9 @@ from .queries import (
     width,
 )
 from .streams.io import load_summary, save_summary
+from .window import WindowConfig, WindowedHullSummary
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdaptiveHull",
@@ -108,6 +123,8 @@ __all__ = [
     "SummarySpec",
     "HashRing",
     "tree_merge",
+    "WindowConfig",
+    "WindowedHullSummary",
     "save_summary",
     "load_summary",
     "diameter",

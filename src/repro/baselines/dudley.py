@@ -65,6 +65,7 @@ class DudleyKernelHull(HullSummary):
 
     def insert(self, p: Point) -> bool:
         self.points_seen += 1
+        self._bump_generation()  # conservative: any offer may mutate
         if self._center is None:
             self._buffer.append(p)
             if len(self._buffer) >= self.warmup:

@@ -27,7 +27,10 @@ class ExactHull(HullSummary):
         self._online = OnlineHull()
 
     def insert(self, p: Point) -> bool:
-        return self._online.insert(p)
+        changed = self._online.insert(p)
+        if changed:
+            self._bump_generation()
+        return changed
 
     def hull(self) -> List[Point]:
         return self._online.vertices()

@@ -55,6 +55,7 @@ class PartiallyAdaptiveHull(HullSummary):
 
     def insert(self, p: Point) -> bool:
         self.points_seen += 1
+        self._bump_generation()  # conservative: any offer may mutate
         if not self.frozen:
             assert self._trainer is not None
             changed = self._trainer.insert(p)

@@ -50,6 +50,7 @@ class RadialHistogramHull(HullSummary):
 
     def insert(self, p: Point) -> bool:
         self.points_seen += 1
+        self._bump_generation()  # conservative: any offer may mutate
         if self._origin is None:
             # Anchor the histogram at the first stream point.
             self._origin = p

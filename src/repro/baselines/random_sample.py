@@ -48,6 +48,7 @@ class RandomSampleHull(HullSummary):
 
     def insert(self, p: Point) -> bool:
         self.points_seen += 1
+        self._bump_generation()  # conservative: any offer may mutate
         if len(self._reservoir) < self.r:
             self._reservoir.append(p)
             self._dirty = True

@@ -13,6 +13,9 @@ Usage::
                            [--snapshot PATH] [--seed S]
     python -m repro shard  [--keys K] [--n N] [--r R] [--batch B]
                            [--workers W] [--snapshot PATH] [--seed S]
+    python -m repro window [--keys K] [--n N] [--r R] [--batch B]
+                           [--last-n N | --horizon T] [--workers W]
+                           [--snapshot PATH] [--seed S]
 
 Every subcommand prints the corresponding table/series from the paper's
 evaluation; ``demo`` runs a quick end-to-end summary with queries,
@@ -21,7 +24,9 @@ shuffled record batches, per-key hulls, and (optionally) a snapshot/
 restore round trip; ``shard`` runs the same keyed workload through the
 multi-process :class:`~repro.shard.ShardedEngine` — consistent-hash
 routing across W workers, global merged-hull queries, and a whole-ring
-snapshot/restore check.
+snapshot/restore check; ``window`` streams drifting clusters through a
+sliding-window engine (count- or time-based) and contrasts the live
+window's hull/diameter with the ever-growing all-time hull.
 """
 
 from __future__ import annotations
@@ -107,6 +112,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a whole-ring snapshot here and verify restore",
     )
     sh.add_argument("--seed", type=int, default=0)
+
+    win = sub.add_parser(
+        "window", help="sliding-window hull engine demo (drifting clusters)"
+    )
+    win.add_argument("--keys", type=int, default=16, help="keyed streams")
+    win.add_argument(
+        "--n", type=int, default=100_000, help="total records across all keys"
+    )
+    win.add_argument("--r", type=int, default=32, help="adaptive parameter r")
+    win.add_argument(
+        "--batch", type=int, default=10_000, help="records per ingest batch"
+    )
+    mode = win.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--last-n", type=int, default=None,
+        help="count-based window per key (default 5000)",
+    )
+    mode.add_argument(
+        "--horizon", type=float, default=None,
+        help="time-based window in time units (records carry ts)",
+    )
+    win.add_argument(
+        "--workers", type=int, default=0,
+        help="shard worker processes (0 = in-process StreamEngine)",
+    )
+    win.add_argument(
+        "--snapshot", default=None,
+        help="write an engine snapshot here and verify restore",
+    )
+    win.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -226,6 +261,9 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     print(f"records      : {stats.points_ingested:,} in {stats.batches_ingested} batches")
     print(f"stored       : {stats.sample_points:,} sample points "
           f"(bound {args.keys * (2 * args.r + 1):,})")
+    print(f"maintenance  : {stats.evictions} evictions, "
+          f"{stats.bucket_merges} bucket merges, "
+          f"{stats.bucket_expiries} bucket expiries")
     print(f"throughput   : {done / elapsed:,.0f} records/sec")
     areas = sorted(
         ((abs(polygon_area(engine.hull(k))), k) for k in engine.keys()),
@@ -311,6 +349,123 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_window(args: argparse.Namespace) -> int:
+    import math
+    import time
+
+    import numpy as np
+
+    from .core import AdaptiveHull
+    from .queries import diameter
+    from .streams import drifting_clusters_stream
+    from .window import WindowConfig
+
+    if args.keys < 1:
+        raise SystemExit("window: --keys must be >= 1")
+    if args.batch < 1:
+        raise SystemExit("window: --batch must be >= 1")
+    if args.workers < 0:
+        raise SystemExit("window: --workers must be >= 0")
+    if args.last_n is not None and args.last_n < 1:
+        raise SystemExit("window: --last-n must be >= 1")
+    if args.horizon is not None and not (
+        args.horizon > 0.0 and math.isfinite(args.horizon)
+    ):
+        raise SystemExit("window: --horizon must be positive and finite")
+    if args.last_n is not None:
+        window = WindowConfig(last_n=args.last_n)
+    elif args.horizon is not None:
+        window = WindowConfig(horizon=args.horizon)
+    else:
+        window = WindowConfig(last_n=5000)
+
+    rng = np.random.default_rng(args.seed)
+    pts = drifting_clusters_stream(
+        args.n, n_clusters=max(2, args.keys // 4), drift=0.1, seed=args.seed
+    )
+    keys = np.array([f"stream-{i:04d}" for i in range(args.keys)])[
+        rng.integers(0, args.keys, args.n)
+    ]
+    # One time unit per 1000 records; only sent for time-based windows.
+    ts = np.arange(args.n, dtype=np.float64) / 1000.0
+
+    all_time = AdaptiveHull(args.r)  # the contrast: extremes never age out
+    all_time.insert_many(pts)  # fed outside the timed region
+
+    def run(engine):
+        t0 = time.perf_counter()
+        for s in range(0, args.n, args.batch):
+            e = min(s + args.batch, args.n)
+            kw = {"ts": ts[s:e]} if window.timed else {}
+            engine.ingest_arrays(keys[s:e], pts[s:e], **kw)
+        return time.perf_counter() - t0
+
+    mode = (
+        f"last_n={window.last_n}" if not window.timed
+        else f"horizon={window.horizon}"
+    )
+    if args.workers:
+        from .shard import ShardedEngine, SummarySpec
+
+        spec = SummarySpec("AdaptiveHull", {"r": args.r})
+        with ShardedEngine(
+            spec, shards=args.workers, window=window
+        ) as engine:
+            elapsed = run(engine)
+            stats = engine.stats()
+            windowed_diam = engine.diameter()
+            merged_hull = engine.merged_hull()
+            snapshot_ok = None
+            if args.snapshot:
+                path = engine.snapshot(args.snapshot)
+                restored = ShardedEngine.restore(path)
+                try:
+                    snapshot_ok = all(
+                        restored.hull(k) == engine.hull(k)
+                        for k in engine.keys()
+                    )
+                finally:
+                    restored.close()
+    else:
+        from .engine import StreamEngine
+
+        engine = StreamEngine(lambda: AdaptiveHull(args.r), window=window)
+        elapsed = run(engine)
+        stats = engine.stats()
+        merged = engine.merged_summary()
+        merged_hull = merged.hull()
+        windowed_diam = diameter(merged) if merged_hull else 0.0
+        snapshot_ok = None
+        if args.snapshot:
+            path = engine.snapshot(args.snapshot)
+            restored = StreamEngine.restore(
+                path, lambda: AdaptiveHull(args.r)
+            )
+            snapshot_ok = all(
+                restored.hull(k) == engine.hull(k) for k in engine.keys()
+            )
+
+    tier = f"sharded x{args.workers}" if args.workers else "in-process"
+    print(f"engine       : {tier}, window {mode}, r={args.r}")
+    print(f"streams      : {stats.streams}")
+    print(f"records      : {stats.points_ingested:,} in "
+          f"{stats.batches_ingested} batches")
+    print(f"stored       : {stats.sample_points:,} sample points in "
+          f"{stats.buckets} buckets")
+    print(f"maintenance  : {stats.bucket_merges} bucket merges, "
+          f"{stats.bucket_expiries} bucket expiries")
+    print(f"throughput   : {args.n / elapsed:,.0f} records/sec")
+    print(f"window hull  : {len(merged_hull)} vertices, "
+          f"diameter {windowed_diam:.3f}")
+    print(f"all-time hull: {len(all_time.hull())} vertices, "
+          f"diameter {diameter(all_time):.3f}  <- stale extremes retained")
+    if snapshot_ok is not None:
+        print(f"restore check: identical hulls: {snapshot_ok}")
+        if not snapshot_ok:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig10": _cmd_fig10,
@@ -320,6 +475,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "engine": _cmd_engine,
     "shard": _cmd_shard,
+    "window": _cmd_window,
 }
 
 

@@ -530,4 +530,7 @@ class AdaptiveHull(HullSummary):
             self._queue.push(thr, node)
 
     def _rebuild_hull(self) -> None:
+        # Every sample-changing path (insert, merge, load_state) ends
+        # here, making it the one chokepoint for the staleness counter.
+        self._bump_generation()
         self._hull = convex_hull(self.samples())

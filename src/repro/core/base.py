@@ -69,6 +69,21 @@ class HullSummary(abc.ABC):
     #: Human-readable scheme name for experiment reports.
     name: str = "summary"
 
+    #: Monotone mutation counter.  Every state-changing operation —
+    #: a summary-changing ``insert``, a ``merge``, a ``load_state`` —
+    #: bumps it (via :meth:`_bump_generation`), so derived snapshot
+    #: structures such as
+    #: :class:`~repro.queries.direction_index.DirectionalExtentIndex`
+    #: can detect staleness with one integer comparison instead of
+    #: silently serving answers from a dead state.  A class-level zero
+    #: keeps parameterless ``__init__``-free subclasses working; the
+    #: first bump shadows it with an instance attribute.
+    generation: int = 0
+
+    def _bump_generation(self) -> None:
+        """Mark the summary mutated (cheap: one integer increment)."""
+        self.generation += 1
+
     @abc.abstractmethod
     def insert(self, p: Point) -> bool:
         """Process one stream point; return True if the summary changed."""
@@ -159,6 +174,7 @@ class HullSummary(abc.ABC):
         self.insert_many(other.samples())
         if seen is not None and other_seen is not None:
             self._set_merged_points_seen(int(seen) + int(other_seen))
+        self._bump_generation()
         return self
 
     def __ior__(self, other: "HullSummary") -> "HullSummary":
@@ -224,6 +240,7 @@ class HullSummary(abc.ABC):
                 self.points_seen = int(seen)
             except AttributeError:
                 pass  # read-only counter (derived property)
+        self._bump_generation()
 
 
 def tree_merge(summaries: Iterable[HullSummary]) -> HullSummary:

@@ -47,6 +47,7 @@ from ..geometry.vec import Point
 __all__ = [
     "as_key_array",
     "as_point_array",
+    "as_ts_array",
     "certain_inside_mask",
     "prefiltered_insert_many",
 ]
@@ -122,6 +123,31 @@ def as_key_array(keys, n: int) -> np.ndarray:
     if key_arr.ndim != 1 or len(key_arr) != n:
         raise ValueError(f"keys has shape {key_arr.shape}, expected ({n},)")
     return key_arr
+
+
+def as_ts_array(ts, n: int) -> Optional[np.ndarray]:
+    """Normalise a batch timestamp argument to a length-``n`` float64
+    array (or None for "no timestamps").
+
+    A scalar broadcasts to the whole batch.  Shared by the windowed
+    summary and both engine tiers so ts normalisation cannot diverge;
+    semantic policy (finiteness, monotonicity, clocks) stays with each
+    caller.
+
+    Raises:
+        ValueError: when ``ts`` is neither a scalar nor a flat
+            length-``n`` sequence.
+    """
+    if ts is None:
+        return None
+    ts_arr = np.asarray(ts, dtype=np.float64)
+    if ts_arr.ndim == 0:
+        ts_arr = np.full(n, float(ts_arr))
+    if ts_arr.shape != (n,):
+        raise ValueError(
+            f"ts has shape {ts_arr.shape}, expected a scalar or ({n},)"
+        )
+    return ts_arr
 
 
 def _edge_forms(hull: Sequence[Point]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

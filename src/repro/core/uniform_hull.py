@@ -201,6 +201,10 @@ class UniformHull(HullSummary):
         return changed
 
     def _rebuild(self) -> None:
+        # Every extremum-changing path (offer, merge_directions,
+        # load_state) funnels through here, making it the one chokepoint
+        # for the staleness counter.
+        self._bump_generation()
         self._hull = convex_hull(
             e for e in self._extreme if e is not None
         )

@@ -50,10 +50,11 @@ from typing import (
 
 import numpy as np
 
-from ..core.base import HullSummary
-from ..core.batch import as_key_array, as_point_array
+from ..core.base import HullSummary, coerce_point
+from ..core.batch import as_key_array, as_point_array, as_ts_array
 from ..geometry.vec import Point
 from ..streams.io import summary_from_state, summary_state
+from ..window import WindowConfig, windowed_factory
 
 __all__ = ["StreamEngine", "EngineStats", "Subscription"]
 
@@ -66,19 +67,35 @@ ENGINE_FORMAT_VERSION = 1
 
 @dataclass
 class EngineStats:
-    """Aggregate bookkeeping across all keyed streams."""
+    """Aggregate bookkeeping across all keyed streams.
+
+    The bucket fields describe the sliding-window layer and stay zero
+    on unwindowed engines: ``buckets`` is the current live bucket
+    total, ``bucket_merges``/``bucket_expiries`` count coalesces and
+    whole-bucket expiries over the engine's lifetime (evicted keys'
+    counts included).
+    """
 
     streams: int
     points_ingested: int
     batches_ingested: int
     evictions: int
     sample_points: int
+    buckets: int = 0
+    bucket_merges: int = 0
+    bucket_expiries: int = 0
 
     def __str__(self) -> str:
-        return (
+        base = (
             f"streams={self.streams} points={self.points_ingested:,} "
             f"batches={self.batches_ingested} evictions={self.evictions} "
             f"stored={self.sample_points}"
+        )
+        return base + (
+            f" buckets={self.buckets} merges={self.bucket_merges} "
+            f"expiries={self.bucket_expiries}"
+            if self.buckets or self.bucket_merges or self.bucket_expiries
+            else ""
         )
 
 
@@ -123,6 +140,13 @@ class StreamEngine:
             summary is dropped (eviction or :meth:`compact`) — the
             natural place to persist it via
             :func:`repro.streams.io.save_summary`.
+        window: optional :class:`~repro.window.WindowConfig` (or kwargs
+            dict).  When set, every key gets a
+            :class:`~repro.window.WindowedHullSummary` wrapping the
+            factory's scheme: ingestion accepts per-record timestamps,
+            :meth:`advance_time` expires stale buckets across all keys,
+            and every query answers over the sliding window instead of
+            the whole stream prefix.
     """
 
     def __init__(
@@ -131,10 +155,16 @@ class StreamEngine:
         *,
         max_streams: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
+        window=None,
     ):
         if max_streams is not None and max_streams < 1:
             raise ValueError("max_streams must be >= 1")
-        self._factory = factory
+        self.window = WindowConfig.coerce(window)
+        self._base_factory = factory
+        if self.window is not None:
+            self._factory = windowed_factory(factory, self.window)
+        else:
+            self._factory = factory
         self._summaries: Dict[Hashable, HullSummary] = {}
         self._subscriptions: List[Subscription] = []
         self._tracker_bindings: Dict[Hashable, List] = {}
@@ -143,8 +173,18 @@ class StreamEngine:
         self.points_ingested = 0
         self.batches_ingested = 0
         self.evictions = 0
+        # Window counters of already-evicted keys, so engine-lifetime
+        # stats survive LRU churn.
+        self._retired_bucket_merges = 0
+        self._retired_bucket_expiries = 0
 
     # -- keyed access ------------------------------------------------------
+
+    @property
+    def summary_factory(self) -> SummaryFactory:
+        """The effective per-key factory (window-wrapped when the
+        engine is windowed) — what snapshot restore must produce."""
+        return self._factory
 
     def __len__(self) -> int:
         return len(self._summaries)
@@ -215,27 +255,97 @@ class StreamEngine:
             selected = [
                 self._summaries[k] for k in keys if k in self._summaries
             ]
+        if self.window is not None:
+            # Windowed engines reduce over per-key *merged views* (plain
+            # summaries of the base scheme): windows themselves refuse
+            # cross-key merging, and the global answer should cover the
+            # union of the live windows.
+            merged = self._base_factory()
+            for s in selected:
+                merged.merge(s.merged_view())
+            return merged
         merged = self._factory()
         for s in selected:
             merged.merge(s)
         return merged
 
+    def advance_time(self, now: float) -> int:
+        """Advance every live windowed summary's clock (time-based
+        windows only); returns the total number of expired buckets.
+        Clocks that already ran ahead of ``now`` are left alone.
+        Subscribers are notified with the keys whose windows expired
+        buckets — their hulls moved without any new data.
+
+        Raises:
+            ValueError: when the engine has no time-based window.
+        """
+        if self.window is None or not self.window.timed:
+            raise ValueError(
+                "advance_time requires an engine with a time-based window"
+            )
+        total = 0
+        touched: Set[Hashable] = set()
+        for key, s in self._summaries.items():
+            expired = s.advance_time(now)
+            if expired:
+                total += expired
+                touched.add(key)
+        if touched:
+            self._notify(touched)
+        return total
+
     def stats(self) -> EngineStats:
         """Aggregate counters across all live streams."""
+        live = list(self._summaries.values())
         return EngineStats(
-            streams=len(self._summaries),
+            streams=len(live),
             points_ingested=self.points_ingested,
             batches_ingested=self.batches_ingested,
             evictions=self.evictions,
-            sample_points=sum(s.sample_size for s in self._summaries.values()),
+            sample_points=sum(s.sample_size for s in live),
+            buckets=sum(getattr(s, "bucket_count", 0) for s in live),
+            bucket_merges=self._retired_bucket_merges
+            + sum(getattr(s, "buckets_merged", 0) for s in live),
+            bucket_expiries=self._retired_bucket_expiries
+            + sum(getattr(s, "buckets_expired", 0) for s in live),
         )
 
     # -- ingestion ---------------------------------------------------------
 
-    def insert(self, key: Hashable, x: float, y: float) -> bool:
-        """Route a single record; returns True if the summary changed."""
+    def insert(
+        self, key: Hashable, x: float, y: float, ts: Optional[float] = None
+    ) -> bool:
+        """Route a single record; returns True if the summary changed.
+
+        ``ts`` is the record's event time — required per record on an
+        engine with a time-based window, rejected on an unwindowed
+        engine."""
+        # Validate the whole record first: a rejected record must not
+        # touch the LRU order, create the key, or evict a victim.
+        p = coerce_point((x, y))
+        if ts is not None:
+            if self.window is None:
+                raise ValueError("ts requires a windowed engine")
+            ts = float(ts)
+            if not np.isfinite(ts):
+                raise ValueError("ts must be finite")
+        if self.window is not None:
+            if ts is None and self.window.timed:
+                raise ValueError(
+                    "time-based windows require an explicit ts per insert"
+                )
+            live = self._summaries.get(key)
+            last = live.last_ts if live is not None else None
+            if ts is not None and last is not None and ts < last:
+                raise ValueError(
+                    f"timestamps must be non-decreasing: got {ts} after {last}"
+                )
         self._touch(key)
-        changed = self.summary(key).insert((float(x), float(y)))
+        summary = self.summary(key)
+        if ts is None:
+            changed = summary.insert(p)
+        else:
+            changed = summary.insert(p, ts=ts)
         self.points_ingested += 1
         self._notify({key})
         return changed
@@ -246,29 +356,77 @@ class StreamEngine:
         """Batch-route ``(key, x, y)`` records; returns changed count.
 
         Records are grouped by key and each group is ingested through
-        the summary's (vectorised) :meth:`insert_many`.  Subscribers
-        are notified once, after the whole batch, with the set of
-        touched keys.
+        the summary's (vectorised) :meth:`insert_many`.  On a windowed
+        engine, records may instead be ``(key, x, y, ts)`` — all or
+        none of a batch must carry timestamps.  Subscribers are
+        notified once, after the whole batch, with the set of touched
+        keys.
         """
+        if self.window is not None:
+            return self._ingest_windowed(records, chunk)
         groups: Dict[Hashable, List[Tuple[float, float]]] = {}
-        for key, x, y in records:
-            groups.setdefault(key, []).append((x, y))
+        try:
+            for key, x, y in records:
+                groups.setdefault(key, []).append((x, y))
+        except ValueError as exc:
+            # A 4-tuple here means the caller sent timestamps to an
+            # unwindowed engine — say so instead of an unpacking error.
+            raise ValueError(
+                "records must be (key, x, y) 3-tuples; ts requires a "
+                "windowed engine"
+            ) from exc
         # Validate every group before touching any summary, so one bad
         # record cannot leave the batch half-applied across keys.
-        validated = [(key, as_point_array(pts)) for key, pts in groups.items()]
+        validated = [
+            (key, as_point_array(pts), None) for key, pts in groups.items()
+        ]
+        return self._ingest_groups(validated, chunk)
+
+    def _ingest_windowed(self, records, chunk: int) -> int:
+        """The windowed records path: 3- or 4-tuples, grouped with
+        their per-key timestamp runs and validated atomically."""
+        groups: Dict[Hashable, List[Tuple[float, float]]] = {}
+        ts_groups: Dict[Hashable, List[Optional[float]]] = {}
+        saw_ts = saw_bare = False
+        for rec in records:
+            key = rec[0]
+            groups.setdefault(key, []).append((rec[1], rec[2]))
+            if len(rec) > 3:
+                saw_ts = True
+                ts_groups.setdefault(key, []).append(rec[3])
+            else:
+                saw_bare = True
+                ts_groups.setdefault(key, []).append(None)
+        if saw_ts and saw_bare:
+            raise ValueError(
+                "mixed timestamped and untimestamped records in one batch"
+            )
+        validated = []
+        for key, pts in groups.items():
+            validated.append(
+                (
+                    key,
+                    as_point_array(pts),
+                    self._check_group_ts(key, ts_groups[key]),
+                )
+            )
         return self._ingest_groups(validated, chunk)
 
     def ingest_arrays(
-        self, keys: Sequence[Hashable], points, chunk: int = 4096
+        self, keys: Sequence[Hashable], points, chunk: int = 4096, ts=None
     ) -> int:
         """Batch-route a parallel ``keys`` sequence and ``(n, 2)`` block.
 
         The NumPy-native front door: grouping is one ``argsort`` over
         the key array, so a million-record batch routes without a
-        Python-level loop over records.
+        Python-level loop over records.  On a windowed engine ``ts``
+        may carry event time — one scalar for the whole batch or a
+        parallel length-``n`` array; per-key timestamp runs must be
+        non-decreasing (a globally time-ordered batch always is).
         """
         arr = as_point_array(points)
         key_arr = as_key_array(keys, len(arr))
+        ts_arr = self._check_batch_ts(ts, len(arr))
         if len(arr) == 0:
             return 0
         if key_arr.dtype == object:
@@ -278,9 +436,9 @@ class StreamEngine:
             for i, k in enumerate(key_arr.tolist()):
                 index_map.setdefault(k, []).append(i)
 
-            def groups():
+            def index_runs():
                 for k, idx in index_map.items():
-                    yield k, arr[np.asarray(idx)]
+                    yield k, np.asarray(idx)
 
         else:
             order = np.argsort(key_arr, kind="stable")
@@ -289,23 +447,87 @@ class StreamEngine:
             starts = np.concatenate(([0], boundaries))
             ends = np.concatenate((boundaries, [len(arr)]))
 
-            def groups():
+            def index_runs():
                 for s, e in zip(starts, ends):
                     key = sorted_keys[s]
                     if isinstance(key, np.generic):
                         key = key.item()  # native str/int, not a NumPy scalar
-                    yield key, arr[order[s:e]]
+                    yield key, order[s:e]
 
-        return self._ingest_groups(groups(), chunk)
+        if ts_arr is None:
+            groups = ((k, arr[idx], None) for k, idx in index_runs())
+            return self._ingest_groups(groups, chunk)
+        # Timestamped: validate every key's run before any is applied,
+        # mirroring the records path's cross-key atomicity.
+        validated = []
+        for k, idx in index_runs():
+            run_ts = ts_arr[idx]
+            validated.append((k, arr[idx], self._check_group_ts(k, run_ts)))
+        return self._ingest_groups(validated, chunk)
+
+    def _check_batch_ts(self, ts, n: int):
+        """Normalise a batch-level ts argument (None, scalar, or
+        parallel array) without per-key semantics yet.  Missing ts on a
+        timed window is rejected here — before any key is touched or
+        evicted — to keep the batch rejection atomic."""
+        if ts is not None and self.window is None:
+            raise ValueError("ts requires a windowed engine")
+        if (
+            ts is None
+            and n
+            and self.window is not None
+            and self.window.timed
+        ):
+            raise ValueError(
+                "time-based windows require a ts on every record"
+            )
+        return as_ts_array(ts, n)
+
+    def _check_group_ts(self, key: Hashable, run_ts):
+        """Validate one key's timestamp run against its live summary so
+        the whole batch can be rejected before any group is applied.
+        Returns the run as a float array (or None for untimestamped
+        groups on count windows)."""
+        assert self.window is not None
+        seq = list(run_ts) if not isinstance(run_ts, np.ndarray) else run_ts
+        if not isinstance(seq, np.ndarray):
+            if all(t is None for t in seq):
+                if self.window.timed:
+                    raise ValueError(
+                        "time-based windows require a ts on every record"
+                    )
+                return None
+            if any(t is None for t in seq):
+                raise ValueError(
+                    "mixed timestamped and untimestamped records in one batch"
+                )
+            seq = np.asarray(seq, dtype=np.float64)
+        if not np.isfinite(seq).all():
+            raise ValueError(f"key {key!r}: ts must be finite")
+        if (np.diff(seq) < 0.0).any():
+            raise ValueError(
+                f"key {key!r}: ts must be non-decreasing within a batch"
+            )
+        summary = self._summaries.get(key)
+        last = summary.last_ts if summary is not None else None
+        if last is not None and len(seq) and seq[0] < last:
+            raise ValueError(
+                f"key {key!r}: ts must be non-decreasing: got {seq[0]} "
+                f"after {last}"
+            )
+        return seq
 
     def _ingest_groups(self, groups, chunk: int) -> int:
         changed = 0
         touched: Set[Hashable] = set()
-        for key, pts in groups:
+        for key, pts, ts in groups:
             self._touch(key)
             summary = self.summary(key)
             before = summary.points_seen if hasattr(summary, "points_seen") else None
-            changed += summary.insert_many(pts, chunk=chunk)
+            if ts is None:
+                changed += summary.insert_many(pts, chunk=chunk)
+            else:
+                changed += summary.insert_many(pts, chunk=chunk, ts=ts)
             self.points_ingested += (
                 summary.points_seen - before if before is not None else len(pts)
             )
@@ -327,6 +549,8 @@ class StreamEngine:
             self.on_evict(key, summary)
         del self._summaries[key]
         self.evictions += 1
+        self._retired_bucket_merges += getattr(summary, "buckets_merged", 0)
+        self._retired_bucket_expiries += getattr(summary, "buckets_expired", 0)
         return summary
 
     def compact(
@@ -433,6 +657,7 @@ class StreamEngine:
             "points_ingested": self.points_ingested,
             "batches_ingested": self.batches_ingested,
             "evictions": self.evictions,
+            "window": self.window.to_doc() if self.window else None,
             "summaries": entries,
         }
 
@@ -451,20 +676,40 @@ class StreamEngine:
         *,
         max_streams: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
+        window=None,
     ) -> "StreamEngine":
         """Rebuild an engine from a :meth:`snapshot_state` document.
 
         ``factory`` must produce the same scheme/configuration the
         snapshot was taken with (checked per summary); the restored
         engine has identical hulls and counters and keeps streaming.
+        A windowed snapshot restores its own window config by default;
+        passing ``window`` explicitly must match the snapshot's.
         """
         if doc.get("format") != ENGINE_FORMAT:
             raise ValueError(f"not an engine snapshot: {doc.get('format')!r}")
         if doc.get("version") != ENGINE_FORMAT_VERSION:
             raise ValueError(f"unsupported snapshot version {doc.get('version')!r}")
-        engine = cls(factory, max_streams=max_streams, on_evict=on_evict)
+        snap_window = doc.get("window")
+        snap_window = (
+            WindowConfig.from_doc(snap_window) if snap_window else None
+        )
+        window = WindowConfig.coerce(window)
+        if window is None:
+            window = snap_window
+        elif window != snap_window:
+            raise ValueError(
+                f"snapshot window {snap_window!r} does not match requested "
+                f"window {window!r}; the restored engine would expire under "
+                "a different policy"
+            )
+        engine = cls(
+            factory, max_streams=max_streams, on_evict=on_evict, window=window
+        )
         for key, snap in doc["summaries"]:
-            engine._summaries[key] = summary_from_state(snap, factory=factory)
+            engine._summaries[key] = summary_from_state(
+                snap, factory=engine._factory
+            )
         engine.points_ingested = int(doc.get("points_ingested", 0))
         engine.batches_ingested = int(doc.get("batches_ingested", 0))
         engine.evictions = int(doc.get("evictions", 0))
@@ -479,9 +724,14 @@ class StreamEngine:
         *,
         max_streams: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
+        window=None,
     ) -> "StreamEngine":
         """Rebuild an engine from a :meth:`snapshot` file."""
         doc = json.loads(Path(path).read_text(encoding="utf-8"))
         return cls.from_snapshot_state(
-            doc, factory, max_streams=max_streams, on_evict=on_evict
+            doc,
+            factory,
+            max_streams=max_streams,
+            on_evict=on_evict,
+            window=window,
         )

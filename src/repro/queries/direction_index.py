@@ -13,8 +13,13 @@ their extrema in a :class:`~repro.structures.circular_map.CircularMap`
   a ``cos(theta0/2)``-factor approximation like the sampled diameter;
 * ``extreme_vertex(theta)`` — the stored witness point.
 
-Each query is one circular floor/ceiling search: O(log r).  The index is
-a snapshot — rebuild (O(r log r)) after more stream points if needed.
+Each query is one circular floor/ceiling search: O(log r).  The index
+is built from a snapshot of the summary, but it is *not* allowed to go
+silently stale: it remembers the summary's
+:attr:`~repro.core.base.HullSummary.generation` at build time and every
+query re-checks it (one integer comparison), rebuilding the map
+(O(r log r)) when an ``insert``/``merge``/``load_state`` has mutated
+the summary since.
 """
 
 from __future__ import annotations
@@ -46,9 +51,14 @@ class DirectionalExtentIndex:
     """
 
     def __init__(self, summary: HullSummary):
+        self._summary = summary
+        self._built_generation = -1
+        self._build()
+
+    def _build(self) -> None:
         self._map = CircularMap()
         self._n = 0
-        for theta, point in self._collect(summary):
+        for theta, point in self._collect(self._summary):
             if point is None:
                 continue
             # Keep the farthest point per direction key.
@@ -59,7 +69,23 @@ class DirectionalExtentIndex:
                 self._map.replace(theta, point)
         self._n = len(self._map)
         if self._n == 0:
-            raise ValueError("cannot index an empty summary")
+            raise ValueError(
+                "cannot index an empty summary (a windowed summary may "
+                "have expired every bucket; the index recovers once the "
+                "summary holds points again)"
+            )
+        self._built_generation = self._summary.generation
+
+    def _refresh(self) -> None:
+        """Rebuild when the indexed summary has mutated since build.
+
+        If the summary has become *empty* (windowed summaries reach
+        that state routinely via expiry) the rebuild raises the same
+        ValueError construction does — directional queries have no
+        answer on an empty summary — and the next query after the
+        summary refills rebuilds successfully."""
+        if self._summary.generation != self._built_generation:
+            self._build()
 
     @staticmethod
     def _collect(summary: HullSummary) -> List[Tuple[float, Optional[Point]]]:
@@ -104,12 +130,14 @@ class DirectionalExtentIndex:
         return math.atan2(v[1], v[0]) % _TWO_PI
 
     def __len__(self) -> int:
+        self._refresh()
         return self._n
 
     # -- queries (each one circular-map search: O(log r)) -----------------
 
     def extreme_vertex(self, theta: float) -> Point:
         """Stored extremum of the sampled direction nearest to ``theta``."""
+        self._refresh()
         theta %= _TWO_PI
         lo, hi = self._map.neighbours(theta)
         gap_lo = (theta - lo[0]) % _TWO_PI
@@ -132,6 +160,7 @@ class DirectionalExtentIndex:
     def max_gap(self) -> float:
         """Largest angular gap between indexed directions (quality of
         the support approximation: error factor ``1 - cos(gap/2)``)."""
+        self._refresh()
         angles = sorted(self._map)
         if len(angles) == 1:
             return _TWO_PI

@@ -37,9 +37,10 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Un
 import numpy as np
 
 from ..core.base import HullSummary, coerce_point, tree_merge
-from ..core.batch import as_key_array, as_point_array
+from ..core.batch import as_key_array, as_point_array, as_ts_array
 from ..geometry.vec import Point
 from ..streams.io import summary_from_state
+from ..window import WindowConfig, windowed_factory
 from .hashing import HashRing
 from .spec import SummarySpec
 from .worker import shard_worker_main
@@ -58,7 +59,11 @@ class ShardError(RuntimeError):
 
 @dataclass
 class ShardStats:
-    """Aggregate bookkeeping across the whole ring."""
+    """Aggregate bookkeeping across the whole ring.
+
+    The bucket fields aggregate the shards' sliding-window layers and
+    stay zero on unwindowed rings (see
+    :class:`~repro.engine.EngineStats`)."""
 
     shards: int
     streams: int
@@ -66,13 +71,22 @@ class ShardStats:
     batches_ingested: int
     sample_points: int
     per_shard: List[Dict]
+    buckets: int = 0
+    bucket_merges: int = 0
+    bucket_expiries: int = 0
 
     def __str__(self) -> str:
         loads = "/".join(str(s["streams"]) for s in self.per_shard)
-        return (
+        base = (
             f"shards={self.shards} streams={self.streams} "
             f"points={self.points_ingested:,} batches={self.batches_ingested} "
             f"stored={self.sample_points} load={loads}"
+        )
+        return base + (
+            f" buckets={self.buckets} merges={self.bucket_merges} "
+            f"expiries={self.bucket_expiries}"
+            if self.buckets or self.bucket_merges or self.bucket_expiries
+            else ""
         )
 
 
@@ -98,6 +112,15 @@ class ShardedEngine:
         start_method: multiprocessing start method override
             ("fork"/"spawn"/"forkserver"); default picks fork when
             available.
+        window: optional :class:`~repro.window.WindowConfig` (or kwargs
+            dict), propagated to every worker: each key then gets a
+            windowed summary, ingestion accepts timestamps,
+            :meth:`advance_time` broadcasts expiry, and global queries
+            tree-reduce the per-shard *windowed views*.  Timestamped
+            batches must be globally time-ordered (each batch
+            non-decreasing and no earlier than the previous batch /
+            ``advance_time``) so the parent can reject violations
+            atomically before any shard ingests.
 
     The engine is a context manager; on exit the workers are stopped
     and joined.  All public methods raise :class:`ShardError` when a
@@ -112,10 +135,13 @@ class ShardedEngine:
         replicas: int = 64,
         max_streams: Optional[int] = None,
         start_method: Optional[str] = None,
+        window=None,
     ):
         if shards < 1:
             raise ValueError("ShardedEngine needs at least one shard")
         self.spec = SummarySpec.coerce(spec)
+        self.window = WindowConfig.coerce(window)
+        self._clock: Optional[float] = None  # high-water event time
         self.num_shards = shards
         self.ring = HashRing(shards, replicas=replicas)
         self.points_ingested = 0
@@ -139,7 +165,7 @@ class ShardedEngine:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=shard_worker_main,
-                    args=(child_conn, self.spec, max_streams),
+                    args=(child_conn, self.spec, max_streams, self.window),
                     name=f"repro-shard-{i}",
                     daemon=True,
                 )
@@ -258,26 +284,73 @@ class ShardedEngine:
 
     # -- ingestion ---------------------------------------------------------
 
+    def _check_ring_ts(
+        self, ts_arr: Optional[np.ndarray], n: int
+    ) -> None:
+        """Parent-side timestamp policy for a windowed ring: the batch
+        must be globally non-decreasing and start no earlier than the
+        high-water clock — a sufficient condition for every worker to
+        accept its slice, which keeps a rejection atomic across shards
+        (nothing is sent on failure).  Validation only: the clock
+        itself advances in :meth:`_fan_out` once the batch is routed,
+        so a later routing error cannot poison subsequent retries."""
+        if ts_arr is None:
+            if n and self.window is not None and self.window.timed:
+                raise ValueError(
+                    "time-based windows require a ts on every record"
+                )
+            return
+        if self.window is None:
+            raise ValueError("ts requires a windowed ring")
+        if len(ts_arr) == 0:
+            return
+        if not np.isfinite(ts_arr).all():
+            raise ValueError("ts must be finite")
+        if (np.diff(ts_arr) < 0.0).any():
+            raise ValueError(
+                "sharded ingestion requires globally non-decreasing ts "
+                "within a batch"
+            )
+        if self._clock is not None and ts_arr[0] < self._clock:
+            raise ValueError(
+                f"ts must be non-decreasing across batches: got "
+                f"{ts_arr[0]} after {self._clock}"
+            )
+
     def ingest(
         self, records: Iterable[Tuple[Hashable, float, float]]
     ) -> int:
         """Route ``(key, x, y)`` records to their shards; returns the
         number of summary-changing records.  Each shard receives its
         slice in stream order, so per-key results match a single-engine
-        ingestion of the same records exactly.
+        ingestion of the same records exactly.  On a windowed ring
+        records may be ``(key, x, y, ts)`` — all or none, globally
+        time-ordered.
 
         Every record is validated in the parent *before* anything is
         sent, so a malformed record rejects the whole batch atomically
         across shards (a worker-side rejection would leave the other
         shards' slices already ingested)."""
-        per_shard: List[List[Tuple[Hashable, float, float]]] = [
-            [] for _ in range(self.num_shards)
-        ]
+        per_shard: List[List[tuple]] = [[] for _ in range(self.num_shards)]
         total = 0
-        for key, x, y in records:
-            x, y = coerce_point((x, y))
-            per_shard[self.shard_for(key)].append((key, x, y))
+        ts_list: List[float] = []
+        saw_bare = False
+        for rec in records:
+            key = rec[0]
+            x, y = coerce_point((rec[1], rec[2]))
+            if len(rec) > 3:
+                ts_list.append(rec[3])
+                per_shard[self.shard_for(key)].append((key, x, y, rec[3]))
+            else:
+                saw_bare = True
+                per_shard[self.shard_for(key)].append((key, x, y))
             total += 1
+        if ts_list and saw_bare:
+            raise ValueError(
+                "mixed timestamped and untimestamped records in one batch"
+            )
+        ts_arr = np.asarray(ts_list, dtype=np.float64) if ts_list else None
+        self._check_ring_ts(ts_arr, total)
         return self._fan_out(
             [
                 (i, ("ingest", recs))
@@ -285,16 +358,22 @@ class ShardedEngine:
                 if recs
             ],
             total,
+            batch_max_ts=float(ts_arr[-1]) if ts_arr is not None else None,
         )
 
-    def ingest_arrays(self, keys: Sequence[Hashable], points) -> int:
+    def ingest_arrays(
+        self, keys: Sequence[Hashable], points, ts=None
+    ) -> int:
         """NumPy-native fan-out: a parallel ``keys`` sequence and an
         ``(n, 2)`` point block are partitioned per shard with one
         vectorised routing pass (unique keys hashed once, cached across
         batches) and the sub-batches ingest on all workers
-        concurrently."""
+        concurrently.  On a windowed ring ``ts`` may carry event time
+        (scalar or parallel array, globally non-decreasing)."""
         arr = as_point_array(points)
         key_arr = as_key_array(keys, len(arr))
+        ts_arr = as_ts_array(ts, len(arr))
+        self._check_ring_ts(ts_arr, len(arr))
         if len(arr) == 0:
             return 0
         if key_arr.dtype == object:
@@ -316,14 +395,30 @@ class ShardedEngine:
         for i in range(self.num_shards):
             idx = np.flatnonzero(shard_ids == i)
             if len(idx):
-                requests.append((i, ("ingest_arrays", key_arr[idx], arr[idx])))
-        return self._fan_out(requests, len(arr))
+                slice_ts = ts_arr[idx] if ts_arr is not None else None
+                requests.append(
+                    (i, ("ingest_arrays", key_arr[idx], arr[idx], slice_ts))
+                )
+        return self._fan_out(
+            requests,
+            len(arr),
+            batch_max_ts=float(ts_arr[-1]) if ts_arr is not None else None,
+        )
 
-    def _fan_out(self, requests: List[Tuple[int, tuple]], total: int) -> int:
-        """Send every shard its slice, then collect all acks."""
+    def _fan_out(
+        self,
+        requests: List[Tuple[int, tuple]],
+        total: int,
+        batch_max_ts: Optional[float] = None,
+    ) -> int:
+        """Send every shard its slice, then collect all acks.  The
+        high-water clock advances here — after routing succeeded and
+        the slices are on the wire — never on a rejected batch."""
         self._check_open()
         for shard, msg in requests:
             self._request(shard, *msg)
+        if batch_max_ts is not None:
+            self._clock = batch_max_ts
         changed = sum(self._collect_all([shard for shard, _ in requests]))
         self.points_ingested += total
         self.batches_ingested += 1
@@ -345,6 +440,26 @@ class ShardedEngine:
         """Approximate hull of one keyed stream ([] if never fed)."""
         return [tuple(v) for v in self._call(self.shard_for(key), "hull", key)]
 
+    def _summary_factory(self):
+        """The per-key factory a worker engine uses (window-wrapped when
+        the ring is windowed)."""
+        if self.window is None:
+            return self.spec.build
+        return windowed_factory(self.spec, self.window)
+
+    def advance_time(self, now: float) -> int:
+        """Broadcast a clock advance to every shard (time-based windows
+        only); returns the total number of expired buckets across the
+        ring."""
+        if self.window is None or not self.window.timed:
+            raise ValueError(
+                "advance_time requires a ring with a time-based window"
+            )
+        expired = sum(self._broadcast("advance_time", float(now)))
+        if self._clock is None or now > self._clock:
+            self._clock = float(now)
+        return expired
+
     def summary(self, key: Hashable) -> Optional[HullSummary]:
         """A *copy* of one key's summary, rebuilt from its shard's
         snapshot state (None if the key was never fed).  Mutating the
@@ -352,18 +467,20 @@ class ShardedEngine:
         state = self._call(self.shard_for(key), "summary_state", key)
         if state is None:
             return None
-        return summary_from_state(state, factory=self.spec.build)
+        return summary_from_state(state, factory=self._summary_factory())
 
     def merged_summary(
         self, keys: Optional[Iterable[Hashable]] = None
     ) -> HullSummary:
         """One summary covering the union of the selected streams.
 
-        Every worker folds its local summaries into a per-shard summary;
-        the parent deserialises the K shard summaries and tree-reduces
+        Every worker folds its local summaries into a per-shard summary
+        (on a windowed ring: a per-shard *windowed view* of the base
+        scheme, covering the union of that shard's live windows); the
+        parent deserialises the K shard summaries and tree-reduces
         them (:func:`~repro.core.base.tree_merge`).  The result carries
         the scheme's usual one-sided error against the union stream's
-        true hull."""
+        (respectively the union window's) true hull."""
         selection = None if keys is None else list(keys)
         states = self._broadcast("merged_state", selection)
         summaries = [
@@ -407,6 +524,11 @@ class ShardedEngine:
             batches_ingested=self.batches_ingested,
             sample_points=sum(s["sample_points"] for s in per_shard),
             per_shard=per_shard,
+            buckets=sum(s.get("buckets", 0) for s in per_shard),
+            bucket_merges=sum(s.get("bucket_merges", 0) for s in per_shard),
+            bucket_expiries=sum(
+                s.get("bucket_expiries", 0) for s in per_shard
+            ),
         )
 
     # -- snapshot / restore ------------------------------------------------
@@ -422,6 +544,8 @@ class ShardedEngine:
             "shards": self.num_shards,
             "replicas": self.ring.replicas,
             "spec": self.spec.to_doc(),
+            "window": self.window.to_doc() if self.window else None,
+            "clock": self._clock,
             "points_ingested": self.points_ingested,
             "batches_ingested": self.batches_ingested,
             "engines": engines,
@@ -458,6 +582,8 @@ class ShardedEngine:
                 f"unsupported shard snapshot version {doc.get('version')!r}"
             )
         spec = SummarySpec.from_doc(doc["spec"])
+        window_doc = doc.get("window")
+        window = WindowConfig.from_doc(window_doc) if window_doc else None
         target_shards = shards if shards is not None else int(doc["shards"])
         target_replicas = (
             replicas if replicas is not None else int(doc["replicas"])
@@ -468,6 +594,7 @@ class ShardedEngine:
             replicas=target_replicas,
             max_streams=max_streams,
             start_method=start_method,
+            window=window,
         )
         same_layout = (
             target_shards == int(doc["shards"])
@@ -488,4 +615,6 @@ class ShardedEngine:
                     engine._call(engine.shard_for(key), "adopt", key, snap)
         engine.points_ingested = int(doc.get("points_ingested", 0))
         engine.batches_ingested = int(doc.get("batches_ingested", 0))
+        clock = doc.get("clock")
+        engine._clock = float(clock) if clock is not None else None
         return engine

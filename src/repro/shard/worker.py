@@ -28,10 +28,18 @@ __all__ = ["shard_worker_main"]
 class _ShardServer:
     """Dispatches protocol ops against the worker's engine."""
 
-    def __init__(self, spec: SummarySpec, max_streams: Optional[int] = None):
+    def __init__(
+        self,
+        spec: SummarySpec,
+        max_streams: Optional[int] = None,
+        window=None,
+    ):
         self.spec = spec
         self.max_streams = max_streams
-        self.engine = StreamEngine(spec.build, max_streams=max_streams)
+        self.window = window
+        self.engine = StreamEngine(
+            spec.build, max_streams=max_streams, window=window
+        )
 
     # Each op_* method is one protocol verb; the result is pickled back
     # verbatim as the "ok" payload.
@@ -39,8 +47,11 @@ class _ShardServer:
     def op_ingest(self, records):
         return self.engine.ingest(records)
 
-    def op_ingest_arrays(self, keys, points):
-        return self.engine.ingest_arrays(keys, points)
+    def op_ingest_arrays(self, keys, points, ts=None):
+        return self.engine.ingest_arrays(keys, points, ts=ts)
+
+    def op_advance_time(self, now):
+        return self.engine.advance_time(now)
 
     def op_keys(self):
         return self.engine.keys()
@@ -63,12 +74,17 @@ class _ShardServer:
 
     def op_load_snapshot(self, doc):
         self.engine = StreamEngine.from_snapshot_state(
-            doc, self.spec.build, max_streams=self.max_streams
+            doc,
+            self.spec.build,
+            max_streams=self.max_streams,
+            window=self.window,
         )
         return len(self.engine)
 
     def op_adopt(self, key, snapshot):
-        summary = summary_from_state(snapshot, factory=self.spec.build)
+        summary = summary_from_state(
+            snapshot, factory=self.engine.summary_factory
+        )
         self.engine.adopt(key, summary)
         # Re-derive this engine's ingest counter from the adopted
         # summary's own stream length, so per-shard stats stay truthful
@@ -78,16 +94,20 @@ class _ShardServer:
 
 
 def shard_worker_main(
-    conn, spec: SummarySpec, max_streams: Optional[int] = None
+    conn,
+    spec: SummarySpec,
+    max_streams: Optional[int] = None,
+    window=None,
 ) -> None:
     """Worker process entry point: serve requests until ``stop`` or EOF.
 
     Errors raised by an op are caught and reported as ``("err", msg)``
     replies — a malformed batch must not take the whole shard down.  An
     EOF on the pipe (parent died or closed) shuts the worker down
-    cleanly.
+    cleanly.  ``window`` (a :class:`~repro.window.WindowConfig`) makes
+    this shard's engine windowed, exactly like the parent's config.
     """
-    server = _ShardServer(spec, max_streams=max_streams)
+    server = _ShardServer(spec, max_streams=max_streams, window=window)
     try:
         while True:
             try:

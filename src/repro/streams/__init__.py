@@ -6,6 +6,7 @@ from .generators import (
     clusters_stream,
     convex_position_stream,
     disk_stream,
+    drifting_clusters_stream,
     ellipse_stream,
     gaussian_stream,
     spiral_stream,
@@ -24,8 +25,8 @@ from .transforms import (
 
 __all__ = [
     "disk_stream", "square_stream", "ellipse_stream", "circle_points",
-    "gaussian_stream", "clusters_stream", "changing_ellipse_stream",
-    "spiral_stream", "convex_position_stream",
+    "gaussian_stream", "clusters_stream", "drifting_clusters_stream",
+    "changing_ellipse_stream", "spiral_stream", "convex_position_stream",
     "rotate", "scale", "translate", "concatenate", "interleave",
     "shuffle", "as_tuples",
     "save_stream", "load_stream", "replay",

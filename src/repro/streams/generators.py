@@ -24,6 +24,7 @@ __all__ = [
     "circle_points",
     "gaussian_stream",
     "clusters_stream",
+    "drifting_clusters_stream",
     "changing_ellipse_stream",
     "spiral_stream",
     "convex_position_stream",
@@ -139,6 +140,38 @@ def clusters_stream(
     idx = g.integers(0, len(centers_arr), n)
     noise = g.normal(0.0, sigma, (n, 2))
     return centers_arr[idx] + noise
+
+
+def drifting_clusters_stream(
+    n: int,
+    n_clusters: int = 3,
+    drift: float = 0.05,
+    sigma: float = 0.5,
+    spread: float = 10.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """``n`` points from Gaussian clusters whose centers random-walk.
+
+    Each point is drawn around one of ``n_clusters`` centers (chosen
+    uniformly); after every point each center takes an independent
+    Gaussian step of scale ``drift``.  Over the stream the occupied
+    region migrates, so early extremes become stale — the motivating
+    workload for the sliding-window summaries: an all-time hull keeps
+    growing while the hull of the *recent* window tracks the clusters'
+    current position.  Initial centers are uniform in
+    ``[-spread, spread]^2``.
+    """
+    if n_clusters < 1:
+        raise ValueError("drifting_clusters_stream needs n_clusters >= 1")
+    g = _rng(seed)
+    centers = g.uniform(-spread, spread, (n_clusters, 2))
+    idx = g.integers(0, n_clusters, n)
+    noise = g.normal(0.0, sigma, (n, 2))
+    # Center trajectories: cumulative random walks, sampled at the
+    # point's arrival index — vectorised over the whole stream.
+    steps = g.normal(0.0, drift, (n, n_clusters, 2))
+    walks = centers[None, :, :] + np.cumsum(steps, axis=0)
+    return walks[np.arange(n), idx] + noise
 
 
 def spiral_stream(

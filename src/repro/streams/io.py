@@ -122,6 +122,7 @@ def scheme_registry() -> Dict[str, type]:
         RandomSampleHull,
     )
     from ..core import AdaptiveHull, FixedSizeAdaptiveHull, UniformHull
+    from ..window import WindowedHullSummary
 
     return {
         cls.__name__: cls
@@ -134,6 +135,7 @@ def scheme_registry() -> Dict[str, type]:
             PartiallyAdaptiveHull,
             RadialHistogramHull,
             RandomSampleHull,
+            WindowedHullSummary,
         )
     }
 

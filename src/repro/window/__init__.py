@@ -1,0 +1,11 @@
+"""Sliding-window & time-decayed hull summaries (bucketed merge algebra).
+
+See :mod:`repro.window.windowed` for the design.  The engines accept a
+:class:`WindowConfig` (``StreamEngine(..., window=WindowConfig(last_n=10_000))``)
+to give every keyed stream its own :class:`WindowedHullSummary`.
+"""
+
+from .config import WindowConfig
+from .windowed import WindowedHullSummary, windowed_factory
+
+__all__ = ["WindowConfig", "WindowedHullSummary", "windowed_factory"]

@@ -1,0 +1,109 @@
+"""Window policy as data.
+
+:class:`WindowConfig` is the engine-facing description of a sliding
+window: count-based (``last_n``) or time-based (``horizon``), plus the
+bucketing knobs.  It is a plain frozen dataclass so it can be passed to
+:class:`~repro.engine.StreamEngine`, pickled to shard workers, and
+embedded in snapshot documents (:meth:`to_doc`/:meth:`from_doc`),
+mirroring how :class:`~repro.shard.spec.SummarySpec` describes a
+summary scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["WindowConfig"]
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Sliding-window policy for a :class:`WindowedHullSummary`.
+
+    Exactly one of ``last_n`` (count-based: the hull of roughly the
+    last N points) and ``horizon`` (time-based: the hull of roughly the
+    last T time units, driven by explicit insert timestamps) must be
+    set.
+
+    Args:
+        last_n: window length in points (>= 1).
+        horizon: window length in time units (> 0, finite).
+        head_capacity: points accumulated in the open head bucket
+            before it is sealed; defaults to ``max(1, last_n // 8)``
+            (capped at 4096) for count windows and 256 for time
+            windows.  Smaller values track the window more tightly at
+            the cost of more bucket churn.
+        level_width: sealed buckets tolerated per size class before the
+            two oldest coalesce (>= 1; the exponential-histogram fanout
+            parameter — bucket count grows with
+            ``level_width * log(n)``).
+    """
+
+    last_n: Optional[int] = None
+    horizon: Optional[float] = None
+    head_capacity: Optional[int] = None
+    level_width: int = 2
+
+    def __post_init__(self):
+        if (self.last_n is None) == (self.horizon is None):
+            raise ValueError(
+                "exactly one of last_n (count window) and horizon "
+                "(time window) must be set"
+            )
+        if self.last_n is not None and self.last_n < 1:
+            raise ValueError("last_n must be >= 1")
+        if self.horizon is not None and not (
+            math.isfinite(self.horizon) and self.horizon > 0.0
+        ):
+            raise ValueError("horizon must be positive and finite")
+        if self.head_capacity is not None and self.head_capacity < 1:
+            raise ValueError("head_capacity must be >= 1")
+        if self.level_width < 1:
+            raise ValueError("level_width must be >= 1")
+
+    @property
+    def timed(self) -> bool:
+        """True for time-based windows (inserts require timestamps)."""
+        return self.horizon is not None
+
+    @property
+    def effective_head_capacity(self) -> int:
+        """The head-bucket seal threshold after defaulting."""
+        if self.head_capacity is not None:
+            return self.head_capacity
+        if self.last_n is not None:
+            return max(1, min(self.last_n // 8, 4096))
+        return 256
+
+    @classmethod
+    def coerce(cls, window) -> Optional["WindowConfig"]:
+        """Accept a config, a kwargs dict, or None (no window)."""
+        if window is None or isinstance(window, cls):
+            return window
+        if isinstance(window, dict):
+            return cls(**window)
+        raise TypeError(
+            f"expected a WindowConfig, a kwargs dict, or None; "
+            f"got {type(window).__name__}"
+        )
+
+    def to_doc(self) -> Dict:
+        """JSON-compatible form for snapshot headers."""
+        return {
+            "last_n": self.last_n,
+            "horizon": self.horizon,
+            "head_capacity": self.head_capacity,
+            "level_width": self.level_width,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "WindowConfig":
+        """Inverse of :meth:`to_doc`."""
+        return cls(
+            last_n=doc.get("last_n"),
+            horizon=doc.get("horizon"),
+            head_capacity=doc.get("head_capacity"),
+            level_width=int(doc.get("level_width", 2)),
+        )

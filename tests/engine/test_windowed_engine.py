@@ -1,0 +1,244 @@
+"""StreamEngine with a sliding window: timestamped routing, atomic
+validation, advance_time, stats counters, snapshot/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.geometry.hull import convex_hull
+from repro.streams import drifting_clusters_stream
+from repro.window import WindowConfig, WindowedHullSummary
+
+
+def make_engine(**window):
+    return StreamEngine(lambda: AdaptiveHull(16), window=window or None)
+
+
+@pytest.fixture()
+def workload():
+    rng = np.random.default_rng(5)
+    n = 4000
+    pts = drifting_clusters_stream(n, drift=0.1, seed=5)
+    keys = np.array([f"k{i}" for i in rng.integers(0, 6, n)])
+    ts = np.linspace(0.0, 40.0, n)
+    return keys, pts, ts
+
+
+class TestConfigAndRouting:
+    def test_window_coercion(self):
+        eng = StreamEngine(
+            lambda: AdaptiveHull(16), window={"last_n": 100}
+        )
+        assert eng.window == WindowConfig(last_n=100)
+        assert StreamEngine(lambda: AdaptiveHull(16)).window is None
+        with pytest.raises(TypeError):
+            StreamEngine(lambda: AdaptiveHull(16), window="soon")
+
+    def test_per_key_summaries_are_windowed(self, workload):
+        keys, pts, _ = workload
+        eng = make_engine(last_n=200)
+        eng.ingest_arrays(keys, pts)
+        for k in eng.keys():
+            s = eng.get(k)
+            assert isinstance(s, WindowedHullSummary)
+            assert 200 <= s.covered_count <= 200 + max(25, 200 // 4)
+
+    def test_windowed_matches_standalone_summary(self, workload):
+        """Engine routing adds nothing: each key's windowed summary is
+        bit-identical to feeding that key's records to a standalone
+        WindowedHullSummary in stream order."""
+        keys, pts, ts = workload
+        eng = make_engine(horizon=10.0)
+        for s in range(0, len(pts), 1000):
+            eng.ingest_arrays(
+                keys[s : s + 1000], pts[s : s + 1000], ts=ts[s : s + 1000]
+            )
+        for k in set(keys.tolist()):
+            mask = keys == k
+            solo = WindowedHullSummary(lambda: AdaptiveHull(16), horizon=10.0)
+            solo.insert_many(pts[mask], ts=ts[mask])
+            assert eng.hull(k) == solo.hull()
+            assert eng.get(k).buckets() == solo.buckets()
+
+    def test_records_path_with_ts(self):
+        eng = make_engine(horizon=5.0)
+        eng.ingest(
+            [("a", 0.0, 0.0, 1.0), ("b", 1.0, 1.0, 1.5), ("a", 2.0, 0.5, 2.0)]
+        )
+        assert eng.hull("a") == [(0.0, 0.0), (2.0, 0.5)]
+        with pytest.raises(ValueError):
+            eng.ingest([("a", 0.0, 0.0)])  # timed window needs ts
+        with pytest.raises(ValueError):
+            eng.ingest([("a", 0.0, 0.0, 1.0), ("b", 1.0, 1.0)])  # mixed
+
+    def test_ts_rejected_without_window(self):
+        eng = StreamEngine(lambda: AdaptiveHull(16))
+        with pytest.raises(ValueError):
+            eng.ingest_arrays(["a"], [(0.0, 0.0)], ts=1.0)
+        with pytest.raises(ValueError):
+            eng.insert("a", 0.0, 0.0, ts=1.0)
+
+    def test_missing_ts_on_arrays_rejected_before_any_touch(self):
+        """Regression: ingest_arrays without ts on a timed engine used
+        to create a phantom key (and could evict a live one) before the
+        summary rejected the batch."""
+        evicted = []
+        eng = StreamEngine(
+            lambda: AdaptiveHull(16),
+            window={"horizon": 10.0},
+            max_streams=2,
+            on_evict=lambda k, s: evicted.append(k),
+        )
+        eng.insert("a", 1.0, 1.0, ts=0.0)
+        eng.insert("b", 2.0, 2.0, ts=0.0)
+        with pytest.raises(ValueError, match="require a ts"):
+            eng.ingest_arrays(["c", "d"], [(0.0, 0.0), (1.0, 1.0)])
+        assert sorted(eng.keys()) == ["a", "b"] and evicted == []
+
+    def test_unwindowed_records_with_ts_get_clear_error(self):
+        eng = StreamEngine(lambda: AdaptiveHull(16))
+        with pytest.raises(ValueError, match="windowed engine"):
+            eng.ingest([("a", 1.0, 2.0, 5.0)])
+
+    def test_mixed_ts_rejected_across_keys(self):
+        """Regression: mixed bare/timestamped records used to slip
+        through when the bare and timestamped ones hit different keys;
+        the batch-wide check matches the sharded tier now."""
+        eng = make_engine(last_n=100)
+        with pytest.raises(ValueError):
+            eng.ingest([("a", 1.0, 2.0), ("b", 3.0, 4.0, 5.0)])
+        assert len(eng) == 0  # nothing landed
+
+    def test_rejected_insert_leaves_engine_untouched(self):
+        """Regression: a rejected single insert used to touch the LRU
+        order, create the key, and evict a victim before validating."""
+        eng = StreamEngine(
+            lambda: AdaptiveHull(16), window={"last_n": 10}, max_streams=1
+        )
+        eng.insert("old", 1.0, 2.0)
+        with pytest.raises(ValueError):
+            eng.insert("new", float("nan"), 1.0)
+        assert eng.keys() == ["old"] and eng.evictions == 0
+        # Same for a regressing timestamp on a timed window.
+        timed = make_engine(horizon=5.0)
+        timed.insert("a", 1.0, 2.0, ts=10.0)
+        with pytest.raises(ValueError):
+            timed.insert("b", 1.0, 2.0, ts=None)  # timed needs ts
+        with pytest.raises(ValueError):
+            timed.insert("a", 1.0, 2.0, ts=9.0)
+        assert timed.get("b") is None
+        assert timed.get("a").points_seen == 1
+
+    def test_batch_ts_violation_atomic_across_keys(self):
+        eng = make_engine(horizon=5.0)
+        eng.ingest([("a", 0.0, 0.0, 10.0)])
+        before_a = eng.get("a").points_seen
+        # Key b's run is fine; key a's regresses — nothing may land.
+        with pytest.raises(ValueError):
+            eng.ingest(
+                [("b", 1.0, 1.0, 11.0), ("a", 2.0, 2.0, 9.0)]
+            )
+        assert eng.get("a").points_seen == before_a
+        assert eng.get("b") is None
+
+
+class TestAdvanceAndStats:
+    def test_advance_time_broadcasts(self, workload):
+        keys, pts, ts = workload
+        eng = make_engine(horizon=10.0)
+        eng.ingest_arrays(keys, pts, ts=ts)
+        assert eng.advance_time(1e6) > 0
+        assert all(eng.hull(k) == [] for k in eng.keys())
+        st = eng.stats()
+        assert st.buckets == 0 and st.bucket_expiries > 0
+
+    def test_advance_time_notifies_subscribers(self):
+        """Regression: expiry moves hulls without new data, so standing
+        queries must hear about it."""
+        eng = make_engine(horizon=5.0)
+        eng.insert("k", 1.0, 1.0, ts=0.0)
+        eng.insert("quiet", 2.0, 2.0, ts=0.0)
+        fired = []
+        eng.subscribe(lambda keys: fired.append(set(keys)))
+        assert eng.advance_time(100.0) > 0
+        assert fired and fired[-1] == {"k", "quiet"}
+        fired.clear()
+        assert eng.advance_time(200.0) == 0  # nothing left to expire
+        assert fired == []
+
+    def test_advance_time_needs_timed_window(self):
+        with pytest.raises(ValueError):
+            make_engine(last_n=10).advance_time(1.0)
+        with pytest.raises(ValueError):
+            StreamEngine(lambda: AdaptiveHull(16)).advance_time(1.0)
+
+    def test_stats_counters(self, workload):
+        keys, pts, _ = workload
+        eng = make_engine(last_n=100, head_capacity=16)
+        eng.ingest_arrays(keys, pts)
+        st = eng.stats()
+        assert st.buckets > 0
+        assert st.bucket_expiries > 0
+        assert "buckets=" in str(st)
+        # Unwindowed engines keep the old shape (zeros, no suffix).
+        plain = StreamEngine(lambda: AdaptiveHull(16))
+        plain.ingest_arrays(keys[:10], pts[:10])
+        assert plain.stats().bucket_merges == 0
+        assert "buckets=" not in str(plain.stats())
+
+    def test_counters_survive_eviction(self, workload):
+        keys, pts, _ = workload
+        eng = StreamEngine(
+            lambda: AdaptiveHull(16),
+            window={"last_n": 100, "head_capacity": 16},
+            max_streams=2,
+        )
+        eng.ingest_arrays(keys, pts)
+        assert eng.evictions > 0
+        assert eng.stats().bucket_expiries > 0  # includes evicted keys
+
+    def test_merged_summary_covers_live_windows(self, workload):
+        keys, pts, _ = workload
+        eng = make_engine(last_n=300, head_capacity=32)
+        eng.ingest_arrays(keys, pts)
+        merged = eng.merged_summary()
+        assert isinstance(merged, AdaptiveHull)  # base scheme, not a window
+        union_live = set()
+        for k in eng.keys():
+            union_live.update(eng.get(k).samples())
+        # The reduction re-samples the union of the live windows: every
+        # merged vertex is a live point, and the merged hull tracks the
+        # union hull within the scheme's bound.
+        assert set(merged.hull()) <= union_live
+        import math
+
+        from repro.experiments.metrics import hull_distance
+
+        hull_of_views = convex_hull(union_live)
+        err = hull_distance(hull_of_views, merged.hull())
+        assert err <= 4.0 * 16.0 * math.pi * merged.perimeter / (16 * 16)
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self, workload, tmp_path):
+        keys, pts, ts = workload
+        eng = make_engine(horizon=10.0)
+        eng.ingest_arrays(keys, pts, ts=ts)
+        path = eng.snapshot(tmp_path / "win.json")
+        restored = StreamEngine.restore(path, lambda: AdaptiveHull(16))
+        assert restored.window == eng.window
+        for k in eng.keys():
+            assert restored.hull(k) == eng.hull(k)
+        # Restored engine keeps expiring under the same policy.
+        assert restored.advance_time(1e6) == eng.advance_time(1e6)
+
+    def test_window_mismatch_rejected(self, workload, tmp_path):
+        keys, pts, _ = workload
+        eng = make_engine(last_n=100)
+        eng.ingest_arrays(keys, pts)
+        path = eng.snapshot(tmp_path / "win.json")
+        with pytest.raises(ValueError):
+            StreamEngine.restore(
+                path, lambda: AdaptiveHull(16), window={"last_n": 101}
+            )

@@ -104,3 +104,69 @@ class TestSupportQueries:
         h, idx = adaptive_index
         # Uniform directions alone guarantee gaps of at most theta0.
         assert idx.max_gap() <= 2.0 * math.pi / h.r + 1e-9
+
+
+class TestStalenessRefresh:
+    """Regression: the index used to snapshot the summary at construction
+    and silently serve stale answers after the summary mutated; it now
+    detects the summary's generation counter and rebuilds."""
+
+    def test_insert_invalidates(self):
+        h = AdaptiveHull(16)
+        h.insert((1.0, 0.0))
+        h.insert((0.0, 1.0))
+        h.insert((-1.0, -1.0))
+        idx = DirectionalExtentIndex(h)
+        before = idx.support(0.0)
+        h.insert((50.0, 0.0))  # new extreme point along +x
+        assert idx.support(0.0) == pytest.approx(50.0)
+        assert idx.support(0.0) > before
+
+    def test_merge_invalidates(self):
+        a, b = UniformHull(16), UniformHull(16)
+        a.insert((1.0, 0.0))
+        a.insert((-1.0, 1.0))
+        b.insert((0.0, 30.0))
+        idx = DirectionalExtentIndex(a)
+        assert idx.support(math.pi / 2.0) < 2.0
+        a.merge(b)
+        assert idx.support(math.pi / 2.0) == pytest.approx(30.0)
+
+    def test_load_state_invalidates(self, stream_points):
+        big = AdaptiveHull(16)
+        for p in stream_points:
+            big.insert(p)
+        h = AdaptiveHull(16)
+        h.insert((0.1, 0.1))
+        idx = DirectionalExtentIndex(h)
+        stale_extent = idx.extent(0.0)
+        h.load_state(big.state_dict())
+        assert idx.extent(0.0) > stale_extent
+        assert idx.extent(0.0) == pytest.approx(
+            DirectionalExtentIndex(big).extent(0.0)
+        )
+
+    def test_generation_counts_mutations_only(self):
+        h = UniformHull(8)
+        assert h.generation == 0
+        for p in [(2.0, 0.0), (-2.0, 2.0), (-2.0, -2.0)]:
+            h.insert(p)
+        g1 = h.generation
+        assert g1 > 0
+        h.insert((0.0, 0.0))  # contained: discarded, no state change
+        assert h.generation == g1
+
+    def test_every_scheme_has_generation(self, small_disk_points):
+        from repro.streams.io import scheme_registry
+
+        kwargs = {
+            "ExactHull": {},
+            "PartiallyAdaptiveHull": {"r": 16, "train_size": 50},
+        }
+        for name, cls in scheme_registry().items():
+            if name == "WindowedHullSummary":
+                continue  # windowed wrapper needs a scheme argument
+            s = cls(**kwargs.get(name, {"r": 16}))
+            assert s.generation == 0
+            s.insert_many(small_disk_points[:200])
+            assert s.generation > 0

@@ -1,0 +1,187 @@
+"""ShardedEngine with sliding windows: window config propagation,
+cross-tier parity (the acceptance criterion), advance_time broadcast,
+global windowed queries, whole-ring snapshot/restore."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.experiments.metrics import hull_distance
+from repro.geometry.hull import convex_hull
+from repro.shard import ShardedEngine, SummarySpec
+from repro.streams import disk_stream, drifting_clusters_stream, spiral_stream
+from repro.window import WindowConfig
+
+R = 16
+SPEC = SummarySpec("AdaptiveHull", {"r": R})
+
+
+def _shaped_workload(kind, n=3000, keys=6, seed=9):
+    if kind == "disk":
+        pts = disk_stream(n, seed=seed)
+    elif kind == "spiral":
+        pts = spiral_stream(n, seed=seed)
+    else:
+        pts = drifting_clusters_stream(n, drift=0.15, seed=seed)
+    rng = np.random.default_rng(seed)
+    key_arr = np.array([f"k{i}" for i in rng.integers(0, keys, n)])
+    return key_arr, pts
+
+
+@pytest.mark.parametrize("kind", ["disk", "spiral", "drifting"])
+def test_windowed_parity_across_tiers(kind):
+    """Acceptance: per-key windowed results identical between
+    StreamEngine and ShardedEngine, and both within the scheme's bound
+    of an exact recompute over each key's live window."""
+    keys, pts = _shaped_workload(kind)
+    window = WindowConfig(last_n=400, head_capacity=64)
+
+    single = StreamEngine(lambda: AdaptiveHull(R), window=window)
+    with ShardedEngine(SPEC, shards=2, window=window) as ring:
+        for s in range(0, len(pts), 1000):
+            single.ingest_arrays(keys[s : s + 1000], pts[s : s + 1000])
+            ring.ingest_arrays(keys[s : s + 1000], pts[s : s + 1000])
+
+        for k in sorted(set(keys.tolist())):
+            assert ring.hull(k) == single.hull(k)
+            copy = ring.summary(k)
+            mine = single.get(k)
+            assert copy.buckets() == mine.buckets()
+            assert copy.covered_count == mine.covered_count
+            # Memory stays sub-linear in the per-key stream.
+            cap = window.effective_head_capacity
+            count_cap = max(cap, window.last_n // 4)
+            bound = (
+                window.level_width
+                * (math.log2(max(2.0, (window.last_n + count_cap) / cap)) + 2)
+                + 2 * copy.covered_count / count_cap
+                + 4
+            )
+            assert copy.bucket_count <= bound
+            # Exact-recompute baseline over this key's live window.
+            key_pts = [tuple(p) for p in pts[keys == k]]
+            live = key_pts[-copy.covered_count :]
+            exact = convex_hull(live)
+            err = hull_distance(exact, copy.hull())
+            view = copy.merged_view()
+            assert err <= 4.0 * 16.0 * math.pi * view.perimeter / (R * R) + 1e-9
+            assert all(v in set(live) for v in copy.hull())
+
+
+def test_global_windowed_queries_tree_reduce():
+    keys, pts = _shaped_workload("drifting")
+    window = WindowConfig(last_n=300, head_capacity=32)
+    single = StreamEngine(lambda: AdaptiveHull(R), window=window)
+    with ShardedEngine(SPEC, shards=3, window=window) as ring:
+        single.ingest_arrays(keys, pts)
+        ring.ingest_arrays(keys, pts)
+        merged = ring.merged_summary()
+        assert isinstance(merged, AdaptiveHull)
+        # Global vertices are live window points of some key.
+        union_live = set()
+        for k in single.keys():
+            union_live.update(single.get(k).samples())
+        assert set(merged.hull()) <= union_live
+        assert ring.diameter() > 0.0
+        assert ring.width() > 0.0
+        st = ring.stats()
+        assert st.buckets > 0 and st.bucket_expiries > 0
+
+
+def test_advance_time_broadcast_and_ts_policy():
+    keys, pts = _shaped_workload("disk", n=2000)
+    ts = np.linspace(0.0, 20.0, len(pts))
+    window = WindowConfig(horizon=5.0)
+    with ShardedEngine(SPEC, shards=2, window=window) as ring:
+        ring.ingest_arrays(keys, pts, ts=ts)
+        assert ring.stats().buckets > 0
+        expired = ring.advance_time(1e6)
+        assert expired > 0
+        assert ring.merged_hull() == []
+        # The ring keeps streaming after total expiry.
+        ring.ingest([("a", 1.0, 2.0, 1e6 + 1.0)])
+        assert ring.hull("a") == [(1.0, 2.0)]
+        # Parent-side policy: violations rejected before any shard sees
+        # the batch (atomic across shards).
+        with pytest.raises(ValueError):
+            ring.ingest_arrays(keys[:2], pts[:2], ts=[1e6 + 2.0, 1e6 + 1.5])
+        with pytest.raises(ValueError):
+            ring.ingest_arrays(keys[:2], pts[:2], ts=[0.0, 1.0])  # behind clock
+        with pytest.raises(ValueError):
+            ring.ingest_arrays(keys[:2], pts[:2])  # timed ring needs ts
+        with pytest.raises(ValueError):
+            ring.ingest([("a", 0.0, 0.0, 1e6 + 2.0), ("b", 0.0, 0.0)])  # mixed
+        assert ring.hull("a") == [(1.0, 2.0)]
+
+    with ShardedEngine(SPEC, shards=2) as plain:
+        with pytest.raises(ValueError):
+            plain.ingest_arrays(keys[:2], pts[:2], ts=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            plain.advance_time(1.0)
+
+
+def test_rejected_batch_does_not_poison_clock():
+    """Regression: the high-water clock used to advance during
+    validation, so a batch rejected later (e.g. unroutable key) made
+    every valid retry fail 'non-decreasing across batches' forever."""
+    window = WindowConfig(horizon=5.0)
+    with ShardedEngine(SPEC, shards=2, window=window) as ring:
+        class NoEncode:  # hashable but with no deterministic encoding
+            __hash__ = object.__hash__
+
+        with pytest.raises(TypeError):
+            ring.ingest_arrays(
+                np.array([NoEncode(), NoEncode()], dtype=object),
+                [(0.0, 0.0), (1.0, 1.0)],
+                ts=[5.0, 6.0],
+            )
+        # The failed batch must not have moved the clock: the same
+        # timestamps now succeed with routable keys.
+        assert ring.ingest_arrays(["a", "b"], [(0.0, 0.0), (1.0, 1.0)],
+                                  ts=[5.0, 6.0]) >= 0
+        assert ring.hull("a") == [(0.0, 0.0)]
+
+
+def test_empty_batches_are_noops_on_timed_ring():
+    """Regression: empty batches used to be rejected on a timed ring
+    ('ts required') while StreamEngine no-ops — parity restored."""
+    window = WindowConfig(horizon=5.0)
+    with ShardedEngine(SPEC, shards=2, window=window) as ring:
+        assert ring.ingest([]) == 0
+        assert ring.ingest_arrays([], np.empty((0, 2))) == 0
+    single = StreamEngine(lambda: AdaptiveHull(R), window=window)
+    assert single.ingest([]) == 0
+    assert single.ingest_arrays([], np.empty((0, 2))) == 0
+
+
+def test_whole_ring_snapshot_restore_and_reshard(tmp_path):
+    keys, pts = _shaped_workload("drifting", n=2500)
+    ts = np.linspace(0.0, 25.0, len(pts))
+    window = WindowConfig(horizon=8.0)
+    with ShardedEngine(SPEC, shards=2, window=window) as ring:
+        ring.ingest_arrays(keys, pts, ts=ts)
+        path = ring.snapshot(tmp_path / "ring.json")
+        all_keys = ring.keys()
+
+        same = ShardedEngine.restore(path)
+        try:
+            assert same.window == window
+            for k in all_keys:
+                assert same.hull(k) == ring.hull(k)
+            # Clock restored: stale batches still rejected.
+            with pytest.raises(ValueError):
+                same.ingest([("x", 0.0, 0.0, 1.0)])
+        finally:
+            same.close()
+
+        resharded = ShardedEngine.restore(path, shards=3)
+        try:
+            for k in all_keys:
+                assert resharded.hull(k) == ring.hull(k)
+            # Restored windows keep expiring under the same policy.
+            assert resharded.advance_time(1e6) == ring.advance_time(1e6)
+        finally:
+            resharded.close()

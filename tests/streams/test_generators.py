@@ -11,6 +11,7 @@ from repro.streams import (
     clusters_stream,
     convex_position_stream,
     disk_stream,
+    drifting_clusters_stream,
     ellipse_stream,
     gaussian_stream,
     spiral_stream,
@@ -156,3 +157,32 @@ class TestConvexPosition:
         pts = convex_position_stream(500, seed=13)
         vals = (pts[:, 0] / 3.0) ** 2 + pts[:, 1] ** 2
         assert np.allclose(vals, 1.0)
+
+
+class TestDriftingClusters:
+    def test_shape_seeded_finite(self):
+        pts = drifting_clusters_stream(1000, seed=3)
+        assert pts.shape == (1000, 2)
+        assert np.isfinite(pts).all()
+        assert np.array_equal(pts, drifting_clusters_stream(1000, seed=3))
+        assert not np.array_equal(pts, drifting_clusters_stream(1000, seed=4))
+
+    def test_centers_actually_drift(self):
+        """Early and late stream segments occupy different regions —
+        the property that makes stale extremes matter for windows."""
+        pts = drifting_clusters_stream(
+            20_000, n_clusters=2, drift=0.3, sigma=0.2, seed=7
+        )
+        early = pts[:2000].mean(axis=0)
+        late = pts[-2000:].mean(axis=0)
+        assert np.hypot(*(late - early)) > 3.0
+
+    def test_zero_drift_stays_put(self):
+        pts = drifting_clusters_stream(
+            5000, n_clusters=1, drift=0.0, sigma=0.1, spread=0.0, seed=1
+        )
+        assert np.hypot(pts[:, 0], pts[:, 1]).max() < 1.0
+
+    def test_rejects_bad_cluster_count(self):
+        with pytest.raises(ValueError):
+            drifting_clusters_stream(10, n_clusters=0)

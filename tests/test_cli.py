@@ -36,6 +36,27 @@ class TestParser:
         assert args.r == 32
         assert args.snapshot is None
 
+    def test_window_defaults(self):
+        args = build_parser().parse_args(["window"])
+        assert args.last_n is None and args.horizon is None
+        assert args.workers == 0
+
+    def test_window_modes_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["window", "--last-n", "100", "--horizon", "5"]
+            )
+
+    def test_window_rejects_bad_window_values(self):
+        for argv in (
+            ["window", "--last-n", "0"],
+            ["window", "--horizon", "0"],
+            ["window", "--horizon", "-3"],
+            ["window", "--horizon", "inf"],
+        ):
+            with pytest.raises(SystemExit, match="window: --"):
+                main(argv)
+
 
 class TestCommands:
     def test_table1_disk(self, capsys):
@@ -83,6 +104,46 @@ class TestCommands:
         assert "streams      : 20" in out
         assert "identical hulls: True" in out
         assert snap.exists()
+
+    def test_window_count_mode(self, tmp_path, capsys):
+        snap = tmp_path / "window.json"
+        assert (
+            main(
+                [
+                    "window",
+                    "--keys", "6",
+                    "--n", "6000",
+                    "--r", "8",
+                    "--batch", "2000",
+                    "--last-n", "500",
+                    "--snapshot", str(snap),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "window last_n=500" in out
+        assert "all-time hull" in out
+        assert "identical hulls: True" in out
+        assert snap.exists()
+
+    def test_window_time_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "window",
+                    "--keys", "4",
+                    "--n", "4000",
+                    "--r", "8",
+                    "--batch", "2000",
+                    "--horizon", "1.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "window horizon=1.5" in out
+        assert "bucket expiries" in out
 
     def test_fig10(self, tmp_path, capsys):
         assert main(["fig10", "--out", str(tmp_path), "--n", "800"]) == 0
