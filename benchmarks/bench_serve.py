@@ -1,0 +1,165 @@
+"""Serving front door vs direct synchronous engine calls.
+
+Measures the cost of the asyncio layer on the monitoring access
+pattern: batched keyed ingest with periodic global hull queries.
+Three paths over the identical drifting-cluster workload and the same
+in-process engine configuration:
+
+* **direct** — synchronous ``StreamEngine.ingest_arrays`` +
+  ``merged_hull`` calls (the PR 1 baseline shape);
+* **facade** — through :class:`~repro.serve.AsyncHullService`
+  (bounded queue, batch coalescing, single engine thread);
+* **tcp** — through the NDJSON loopback
+  :class:`~repro.serve.HullServer` / :class:`~repro.serve.AsyncHullClient`
+  pair (JSON encode/decode + socket hops included).
+
+The recorded JSON carries ingest rates and mean global-query latency
+per path plus the facade/tcp overhead ratios.  No machine-dependent
+assertion (1-CPU CI containers): the enforced property is the
+acceptance criterion — **bit-identical** global hulls across all three
+paths.  Coalescing typically makes the facade's *engine* batch count
+lower than the producer's put count; that is recorded too.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+from _util import banner, smoke, write_json, write_report
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.serve import AsyncHullClient, AsyncHullService, HullServer
+from repro.streams import drifting_clusters_stream
+
+N = 5_000 if smoke() else 100_000
+KEYS = 32
+R = 32
+BATCH = 2_000
+QUERIES = 5 if smoke() else 25
+
+
+def _workload():
+    pts = drifting_clusters_stream(N, n_clusters=4, drift=0.1, seed=9)
+    keys = np.array([f"stream-{i:03d}" for i in range(KEYS)])[
+        np.random.default_rng(9).integers(0, KEYS, N)
+    ]
+    return keys, pts
+
+
+def _engine():
+    return StreamEngine(lambda: AdaptiveHull(R))
+
+
+def _run_direct(keys, pts):
+    with _engine() as engine:
+        t0 = time.perf_counter()
+        for s in range(0, N, BATCH):
+            engine.ingest_arrays(keys[s : s + BATCH], pts[s : s + BATCH])
+        rate = N / (time.perf_counter() - t0)
+        q0 = time.perf_counter()
+        for _ in range(QUERIES):
+            hull = engine.merged_hull()
+        latency = (time.perf_counter() - q0) / QUERIES
+        return rate, latency, hull, engine.stats().batches_ingested
+
+
+async def _run_facade(keys, pts):
+    engine = _engine()
+    async with AsyncHullService(engine, own_engine=True) as service:
+        t0 = time.perf_counter()
+        for s in range(0, N, BATCH):
+            await service.ingest_arrays(keys[s : s + BATCH], pts[s : s + BATCH])
+        await service.flush()
+        rate = N / (time.perf_counter() - t0)
+        q0 = time.perf_counter()
+        for _ in range(QUERIES):
+            hull = await service.merged_hull()
+        latency = (time.perf_counter() - q0) / QUERIES
+        stats = await service.stats()
+        return rate, latency, hull, stats.batches_ingested
+
+
+async def _run_tcp(keys, pts):
+    engine = _engine()
+    async with AsyncHullService(engine, own_engine=True) as service:
+        async with HullServer(service) as server:
+            client = await AsyncHullClient.connect(port=server.port)
+            try:
+                t0 = time.perf_counter()
+                for s in range(0, N, BATCH):
+                    await client.ingest(
+                        [
+                            (str(k), float(x), float(y))
+                            for k, (x, y) in zip(
+                                keys[s : s + BATCH], pts[s : s + BATCH]
+                            )
+                        ]
+                    )
+                await client.flush()
+                rate = N / (time.perf_counter() - t0)
+                q0 = time.perf_counter()
+                for _ in range(QUERIES):
+                    hull = await client.merged_hull()
+                latency = (time.perf_counter() - q0) / QUERIES
+                return rate, latency, hull
+            finally:
+                await client.aclose()
+
+
+def test_serve_facade_and_tcp_vs_direct():
+    keys, pts = _workload()
+    d_rate, d_lat, d_hull, d_batches = _run_direct(keys, pts)
+    f_rate, f_lat, f_hull, f_batches = asyncio.run(_run_facade(keys, pts))
+    t_rate, t_lat, t_hull = asyncio.run(_run_tcp(keys, pts))
+
+    # The acceptance property: identical answers through every door.
+    assert f_hull == d_hull, "async facade result diverged from direct"
+    assert t_hull == d_hull, "tcp round trip result diverged from direct"
+
+    lines = [
+        f"{'path':>14} {'ingest rate':>16} {'query latency':>15}",
+        f"{'direct sync':>14} {d_rate:>12,.0f} r/s {d_lat * 1e3:>11.2f} ms",
+        f"{'async facade':>14} {f_rate:>12,.0f} r/s {f_lat * 1e3:>11.2f} ms",
+        f"{'tcp loopback':>14} {t_rate:>12,.0f} r/s {t_lat * 1e3:>11.2f} ms",
+        "",
+        f"facade overhead : {d_rate / f_rate:.2f}x ingest, "
+        f"{f_lat / d_lat:.2f}x query latency",
+        f"tcp overhead    : {d_rate / t_rate:.2f}x ingest, "
+        f"{t_lat / d_lat:.2f}x query latency",
+        f"engine batches  : direct {d_batches}, facade {f_batches} "
+        "(coalescing)",
+        "parity          : bit-identical global hulls on all paths",
+    ]
+    report = banner(
+        f"Async serving, {N:,} records / {KEYS} keys / batch {BATCH}", "\n".join(lines)
+    )
+    write_report("serve", report)
+    write_json(
+        "serve",
+        {
+            "benchmark": "serve",
+            "n": N,
+            "keys": KEYS,
+            "r": R,
+            "batch": BATCH,
+            "queries": QUERIES,
+            "smoke": smoke(),
+            "direct_rate_records_per_sec": d_rate,
+            "facade_rate_records_per_sec": f_rate,
+            "tcp_rate_records_per_sec": t_rate,
+            "direct_query_latency_sec": d_lat,
+            "facade_query_latency_sec": f_lat,
+            "tcp_query_latency_sec": t_lat,
+            "facade_ingest_overhead": d_rate / f_rate,
+            "tcp_ingest_overhead": d_rate / t_rate,
+            "direct_engine_batches": d_batches,
+            "facade_engine_batches": f_batches,
+            "parity_bit_identical": True,
+        },
+    )
+    print("\n" + report)
+
+
+if __name__ == "__main__":
+    test_serve_facade_and_tcp_vs_direct()

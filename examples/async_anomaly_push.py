@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Standing-query push through the asyncio serving front door.
+
+The windowed-anomaly story (see ``windowed_anomaly_detection.py``), but
+as a *service*: producers push sensor batches into an
+:class:`~repro.serve.AsyncHullService` without blocking on summary
+maintenance, while a detector coroutine sits on a standing-query
+subscription.  Every time a batch (or a window expiry) moves a hull,
+the touched keys are pushed to the detector's asyncio queue; it
+recomputes the windowed diameter only then — no polling.
+
+The script is deterministic: a burst of spoofed readings spikes the
+windowed diameter (the detector is *pushed* the anomaly), then the
+clock advances past the horizon and the expiry notification — also
+pushed, no new data needed — shows the window clean again.
+
+Run:  python examples/async_anomaly_push.py
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro import AdaptiveHull, StreamEngine, WindowConfig
+from repro.serve import AsyncHullService
+from repro.streams import drifting_clusters_stream
+
+HORIZON = 15.0     # time units a reading stays relevant
+BATCH = 500        # readings per tick
+TICKS = 40         # one time unit per tick
+SPIKE_AT = range(15, 17)  # ticks carrying spoofed outlier readings
+
+
+async def detector(service, events):
+    """Re-evaluate the standing query only when pushed."""
+    sub = await service.subscribe()
+    history = []
+    async for touched in sub:
+        d = await service.diameter()
+        baseline = float(np.median(history)) if history else d
+        if len(history) >= 5 and d > 1.8 * baseline:
+            if "spike" not in events:
+                print(f"  >> pushed update for {sorted(touched)}: "
+                      f"diameter {d:.1f} vs baseline {baseline:.1f} "
+                      "<-- ANOMALY")
+                events["spike"] = d
+        else:
+            history = (history + [d])[-20:]
+            if "spike" in events and "cleared" not in events:
+                print(f"  >> pushed update: diameter back to {d:.1f} "
+                      "<-- spike aged out of the window")
+                events["cleared"] = d
+
+
+async def main() -> None:
+    rng = np.random.default_rng(23)
+    pts = drifting_clusters_stream(
+        TICKS * BATCH, n_clusters=3, drift=0.05, sigma=0.4, seed=23
+    )
+    sensors = np.array(
+        [f"sensor-{i}" for i in rng.integers(0, 6, len(pts))]
+    )
+
+    engine = StreamEngine(
+        lambda: AdaptiveHull(32), window=WindowConfig(horizon=HORIZON)
+    )
+    events: dict = {}
+    async with AsyncHullService(engine, own_engine=True) as service:
+        watcher = asyncio.ensure_future(detector(service, events))
+        for tick in range(TICKS):
+            s = tick * BATCH
+            batch = pts[s : s + BATCH].copy()
+            if tick in SPIKE_AT:
+                batch[:10] += (400.0, 400.0)  # spoofed readings
+            ts = np.full(BATCH, float(tick))
+            await service.ingest_arrays(
+                sensors[s : s + BATCH], batch, ts=ts
+            )
+            await service.flush()
+            await asyncio.sleep(0)  # let the detector drain its pushes
+        # Quiet stream from here: expiry alone must clear the spike.
+        while "cleared" not in events and engine.stats().buckets:
+            await service.advance_time(
+                engine.window.horizon + TICKS + 1.0
+            )
+            await asyncio.sleep(0.01)
+        watcher.cancel()
+        stats = await service.stats()
+        print(f"\nserved {stats.points_ingested:,} readings across "
+              f"{stats.streams} sensors; "
+              f"{stats.bucket_expiries} bucket expiries")
+        print(f"service counters: {service.service_stats()}")
+
+    if not ("spike" in events and "cleared" in events):
+        raise SystemExit("expected the spike to be pushed and then age out")
+    print("anomaly pushed and aged out — standing query works end to end")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

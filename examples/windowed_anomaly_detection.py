@@ -55,8 +55,7 @@ def main() -> None:
         windowed.ingest_arrays(sensors[s : s + BATCH], batch, ts=ts)
         all_time.insert_many(batch)
 
-        view = windowed.merged_summary()
-        d = diameter(view)
+        d = windowed.diameter()  # EngineProtocol global extent query
         baseline = float(np.median(history)) if history else d
         anomalous = len(history) >= 5 and d > 1.8 * baseline
         if not anomalous:
@@ -79,7 +78,7 @@ def main() -> None:
     stats = windowed.stats()
     print(f"window maintenance: {stats.bucket_merges} bucket merges, "
           f"{stats.bucket_expiries} expiries across {stats.streams} sensors")
-    print(f"final window diameter   : {diameter(windowed.merged_summary()):.2f}")
+    print(f"final window diameter   : {windowed.diameter():.2f}")
     print(f"final all-time diameter : {diameter(all_time):.2f} "
           "(the spike is stuck in it forever)")
     if not (spike_seen and spike_cleared):

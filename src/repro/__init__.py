@@ -70,6 +70,22 @@ through the same algebra, whole-bucket expiry, logarithmic space::
     engine.advance_time(now)                    # expire with no new data
     engine.merged_summary().hull()              # hull of the live windows
 
+Both tiers implement one formal contract, :class:`EngineProtocol`
+(ingest / queries / standing-query subscribe / snapshots / lifecycle),
+so they are drop-in interchangeable — and the :mod:`repro.serve`
+package serves any of them asynchronously: a bounded batch-coalescing
+ingest queue, standing-query push to asyncio subscribers, periodic
+window expiry ticks, and a newline-delimited-JSON TCP server with a
+matching client (results bit-identical to direct synchronous calls)::
+
+    from repro import AdaptiveHull, StreamEngine
+    from repro.serve import AsyncHullService, HullServer
+
+    engine = StreamEngine(lambda: AdaptiveHull(32))
+    async with AsyncHullService(engine, own_engine=True) as service:
+        async with HullServer(service, port=8765) as server:
+            await server.serve_forever()
+
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
@@ -85,8 +101,9 @@ from .baselines import (
     RadialHistogramHull,
     RandomSampleHull,
 )
-from .engine import EngineStats, StreamEngine, Subscription
+from .engine import EngineProtocol, EngineStats, StreamEngine, Subscription
 from .extensions.clusterhull import ClusterHull
+from .serve import AsyncHullClient, AsyncHullService, HullServer
 from .shard import HashRing, ShardedEngine, ShardError, ShardStats, SummarySpec, tree_merge
 from .queries import (
     ContainmentTracker,
@@ -101,7 +118,7 @@ from .queries import (
 from .streams.io import load_summary, save_summary
 from .window import WindowConfig, WindowedHullSummary
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdaptiveHull",
@@ -117,6 +134,10 @@ __all__ = [
     "StreamEngine",
     "EngineStats",
     "Subscription",
+    "EngineProtocol",
+    "AsyncHullService",
+    "HullServer",
+    "AsyncHullClient",
     "ShardedEngine",
     "ShardError",
     "ShardStats",

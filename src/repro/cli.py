@@ -16,6 +16,12 @@ Usage::
     python -m repro window [--keys K] [--n N] [--r R] [--batch B]
                            [--last-n N | --horizon T] [--workers W]
                            [--snapshot PATH] [--seed S]
+    python -m repro serve run   [--host H] [--port P] [--r R]
+                                [--last-n N | --horizon T] [--workers W]
+                                [--tick SEC] [--duration SEC]
+                                [--selfcheck] [--snapshot PATH]
+    python -m repro serve bench [--n N] [--keys K] [--batch B] [--r R]
+                                [--workers W] [--queries Q]
 
 Every subcommand prints the corresponding table/series from the paper's
 evaluation; ``demo`` runs a quick end-to-end summary with queries,
@@ -26,7 +32,11 @@ multi-process :class:`~repro.shard.ShardedEngine` — consistent-hash
 routing across W workers, global merged-hull queries, and a whole-ring
 snapshot/restore check; ``window`` streams drifting clusters through a
 sliding-window engine (count- or time-based) and contrasts the live
-window's hull/diameter with the ever-growing all-time hull.
+window's hull/diameter with the ever-growing all-time hull; ``serve``
+is the asyncio front door — ``run`` starts the NDJSON TCP server over
+either engine tier, ``bench`` measures ingest throughput and query
+latency through the async facade and the TCP loop against direct
+synchronous calls (with a bit-identical parity check).
 """
 
 from __future__ import annotations
@@ -142,6 +152,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="write an engine snapshot here and verify restore",
     )
     win.add_argument("--seed", type=int, default=0)
+
+    srv = sub.add_parser(
+        "serve", help="asyncio serving front door (NDJSON over TCP)"
+    )
+    srv_sub = srv.add_subparsers(dest="serve_cmd", required=True)
+
+    run = srv_sub.add_parser("run", help="start the hull server")
+    run.add_argument("--host", default="127.0.0.1")
+    run.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 picks an ephemeral port, printed on start)",
+    )
+    run.add_argument("--r", type=int, default=32, help="adaptive parameter r")
+    mode = run.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--last-n", type=int, default=None,
+        help="count-based window per key (default: no window)",
+    )
+    mode.add_argument(
+        "--horizon", type=float, default=None,
+        help="time-based window in seconds (records carry wall-clock ts)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=0,
+        help="shard worker processes (0 = in-process StreamEngine)",
+    )
+    run.add_argument(
+        "--tick", type=float, default=None,
+        help="advance_time tick interval in seconds (time windows only; "
+        "uses the wall clock)",
+    )
+    run.add_argument(
+        "--duration", type=float, default=0.0,
+        help="serve for this many seconds then drain and exit (0 = forever)",
+    )
+    run.add_argument(
+        "--selfcheck", action="store_true",
+        help="run a loopback client workload against the live server, "
+        "verify results, then exit",
+    )
+    run.add_argument(
+        "--snapshot", default=None,
+        help="write a final engine snapshot here on shutdown",
+    )
+
+    sbench = srv_sub.add_parser(
+        "bench", help="async facade + TCP throughput/latency vs direct calls"
+    )
+    sbench.add_argument("--n", type=int, default=50_000, help="records")
+    sbench.add_argument("--keys", type=int, default=32, help="keyed streams")
+    sbench.add_argument(
+        "--batch", type=int, default=2_000, help="records per batch"
+    )
+    sbench.add_argument("--r", type=int, default=32)
+    sbench.add_argument(
+        "--workers", type=int, default=0,
+        help="shard worker processes (0 = in-process StreamEngine)",
+    )
+    sbench.add_argument(
+        "--queries", type=int, default=20, help="global queries per path"
+    )
+    sbench.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -350,7 +422,6 @@ def _cmd_shard(args: argparse.Namespace) -> int:
 
 
 def _cmd_window(args: argparse.Namespace) -> int:
-    import math
     import time
 
     import numpy as np
@@ -364,20 +435,10 @@ def _cmd_window(args: argparse.Namespace) -> int:
         raise SystemExit("window: --keys must be >= 1")
     if args.batch < 1:
         raise SystemExit("window: --batch must be >= 1")
-    if args.workers < 0:
-        raise SystemExit("window: --workers must be >= 0")
-    if args.last_n is not None and args.last_n < 1:
-        raise SystemExit("window: --last-n must be >= 1")
-    if args.horizon is not None and not (
-        args.horizon > 0.0 and math.isfinite(args.horizon)
-    ):
-        raise SystemExit("window: --horizon must be positive and finite")
-    if args.last_n is not None:
-        window = WindowConfig(last_n=args.last_n)
-    elif args.horizon is not None:
-        window = WindowConfig(horizon=args.horizon)
-    else:
-        window = WindowConfig(last_n=5000)
+    engine_cm, restore = _tier_engine(
+        args, "window", default_window=WindowConfig(last_n=5000)
+    )
+    window = engine_cm.window
 
     rng = np.random.default_rng(args.seed)
     pts = drifting_clusters_stream(
@@ -404,46 +465,21 @@ def _cmd_window(args: argparse.Namespace) -> int:
         f"last_n={window.last_n}" if not window.timed
         else f"horizon={window.horizon}"
     )
-    if args.workers:
-        from .shard import ShardedEngine, SummarySpec
-
-        spec = SummarySpec("AdaptiveHull", {"r": args.r})
-        with ShardedEngine(
-            spec, shards=args.workers, window=window
-        ) as engine:
-            elapsed = run(engine)
-            stats = engine.stats()
-            windowed_diam = engine.diameter()
-            merged_hull = engine.merged_hull()
-            snapshot_ok = None
-            if args.snapshot:
-                path = engine.snapshot(args.snapshot)
-                restored = ShardedEngine.restore(path)
-                try:
-                    snapshot_ok = all(
-                        restored.hull(k) == engine.hull(k)
-                        for k in engine.keys()
-                    )
-                finally:
-                    restored.close()
-    else:
-        from .engine import StreamEngine
-
-        engine = StreamEngine(lambda: AdaptiveHull(args.r), window=window)
+    with engine_cm as engine:
         elapsed = run(engine)
         stats = engine.stats()
+        # One whole-engine reduction serves both global answers.
         merged = engine.merged_summary()
         merged_hull = merged.hull()
         windowed_diam = diameter(merged) if merged_hull else 0.0
         snapshot_ok = None
         if args.snapshot:
             path = engine.snapshot(args.snapshot)
-            restored = StreamEngine.restore(
-                path, lambda: AdaptiveHull(args.r)
-            )
-            snapshot_ok = all(
-                restored.hull(k) == engine.hull(k) for k in engine.keys()
-            )
+            with restore(path) as restored:
+                snapshot_ok = all(
+                    restored.hull(k) == engine.hull(k)
+                    for k in engine.keys()
+                )
 
     tier = f"sharded x{args.workers}" if args.workers else "in-process"
     print(f"engine       : {tier}, window {mode}, r={args.r}")
@@ -466,6 +502,250 @@ def _cmd_window(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tier_engine(args, prog: str, default_window=None):
+    """Validate the shared tier/window flags and build the requested
+    engine (both tiers implement EngineProtocol, so callers stay
+    tier-agnostic).  Returns ``(engine, restore)`` with ``restore`` the
+    tier's snapshot-file loader.  Shared by the ``window`` and
+    ``serve`` subcommands so their construction cannot drift."""
+    import math
+
+    from .core import AdaptiveHull
+    from .window import WindowConfig
+
+    if args.workers < 0:
+        raise SystemExit(f"{prog}: --workers must be >= 0")
+    last_n = getattr(args, "last_n", None)
+    horizon = getattr(args, "horizon", None)
+    if last_n is not None and last_n < 1:
+        raise SystemExit(f"{prog}: --last-n must be >= 1")
+    if horizon is not None and not (horizon > 0.0 and math.isfinite(horizon)):
+        raise SystemExit(f"{prog}: --horizon must be positive and finite")
+    if last_n is not None:
+        window = WindowConfig(last_n=last_n)
+    elif horizon is not None:
+        window = WindowConfig(horizon=horizon)
+    else:
+        window = default_window
+    if args.workers:
+        from .shard import ShardedEngine, SummarySpec
+
+        engine = ShardedEngine(
+            SummarySpec("AdaptiveHull", {"r": args.r}),
+            shards=args.workers,
+            window=window,
+        )
+        restore = ShardedEngine.restore
+    else:
+        from .engine import StreamEngine
+
+        engine = StreamEngine(lambda: AdaptiveHull(args.r), window=window)
+        restore = lambda p: StreamEngine.restore(  # noqa: E731
+            p, lambda: AdaptiveHull(args.r)
+        )
+    return engine, restore
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from .serve import AsyncHullClient, AsyncHullService, HullServer
+
+    if args.tick is not None and (
+        args.horizon is None or args.tick <= 0.0
+    ):
+        raise SystemExit("serve: --tick needs --horizon and must be > 0")
+
+    async def selfcheck(port: int) -> bool:
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        pts = rng.normal(0.0, 2.0, (2000, 2))
+        # Synthetic event times run an hour AHEAD of the wall clock:
+        # the --tick ticker advances the ring clock to time.time(), and
+        # timestamps near "now" would race it (a tick between two
+        # batches rejects the second batch as stale).
+        now = time.time() + 3600.0
+        client = await AsyncHullClient.connect(args.host, port)
+        try:
+            await client.ping()
+            records = []
+            for i, (x, y) in enumerate(pts):
+                rec = [f"check-{i % 8}", float(x), float(y)]
+                if args.horizon is not None:
+                    rec.append(now + i * 1e-4)
+                records.append(rec)
+            queued = sum(
+                [
+                    await client.ingest(records[s : s + 500])
+                    for s in range(0, len(records), 500)
+                ]
+            )
+            await client.flush()
+            hull = await client.merged_hull()
+            diam = await client.diameter()
+            stats = await client.stats()
+            print(f"selfcheck    : queued {queued}, streams "
+                  f"{stats['streams']}, hull {len(hull)} vertices, "
+                  f"diameter {diam:.3f}")
+            return (
+                queued == len(records)
+                and stats["points_ingested"] >= queued
+                and len(hull) >= 3
+                and diam > 0.0
+            )
+        finally:
+            await client.aclose()
+
+    async def main() -> int:
+        engine, _ = _tier_engine(args, "serve")
+        service = AsyncHullService(
+            engine,
+            tick_interval=args.tick,
+            clock=time.time if args.tick is not None else None,
+            own_engine=True,
+        )
+        ok = True
+        async with service:
+            async with HullServer(service, args.host, args.port) as server:
+                window = engine.window
+                mode = (
+                    "no window" if window is None
+                    else f"last_n={window.last_n}" if not window.timed
+                    else f"horizon={window.horizon}"
+                )
+                tier = (
+                    f"sharded x{args.workers}" if args.workers
+                    else "in-process"
+                )
+                print(f"serving      : {args.host}:{server.port} "
+                      f"({tier}, {mode}, r={args.r})")
+                if args.selfcheck:
+                    ok = await selfcheck(server.port)
+                elif args.duration > 0:
+                    await asyncio.sleep(args.duration)
+                else:
+                    try:
+                        await server.serve_forever()
+                    except asyncio.CancelledError:
+                        # Operator stop (Ctrl-C): fall through so the
+                        # drain and the final snapshot still happen.
+                        pass
+            # Drain + final snapshot through aclose, which stays
+            # correct even when the runner cancelled the drain task
+            # too (Python 3.10's Ctrl-C cancels every task, not just
+            # this one — a bare flush() would hang with no consumer).
+            await service.aclose(final_snapshot=args.snapshot)
+            sstats = service.service_stats()
+            print(f"drained      : {sstats['ingested_records']:,} records "
+                  f"({sstats['coalesced_batches']} batches coalesced, "
+                  f"{sstats['ingest_errors']} rejected)")
+            if args.snapshot:
+                print(f"snapshot     : {args.snapshot}")
+        return 0 if ok else 1
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        # main() already drained and snapshotted on cancellation;
+        # asyncio.run re-raises the interrupt afterwards.
+        return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    import numpy as np
+
+    from .serve import AsyncHullClient, AsyncHullService, HullServer
+
+    if args.keys < 1 or args.batch < 1 or args.n < 1 or args.queries < 1:
+        raise SystemExit("serve: --n/--keys/--batch/--queries must be >= 1")
+    rng = np.random.default_rng(args.seed)
+    keys = np.array([f"stream-{i:04d}" for i in range(args.keys)])
+    centers = rng.uniform(-100.0, 100.0, (args.keys, 2))
+    idx = rng.integers(0, args.keys, args.n)
+    pts = centers[idx] + rng.normal(0.0, 2.0, (args.n, 2))
+    all_keys = keys[idx]
+
+    def batches():
+        for s in range(0, args.n, args.batch):
+            yield all_keys[s : s + args.batch], pts[s : s + args.batch]
+
+    def run_direct():
+        engine, _ = _tier_engine(args, "serve")
+        with engine:
+            t0 = time.perf_counter()
+            for kb, pb in batches():
+                engine.ingest_arrays(kb, pb)
+            rate = args.n / (time.perf_counter() - t0)
+            q0 = time.perf_counter()
+            for _ in range(args.queries):
+                hull = engine.merged_hull()
+            q_lat = (time.perf_counter() - q0) / args.queries
+            return rate, q_lat, hull
+
+    async def run_service():
+        engine, _ = _tier_engine(args, "serve")
+        async with AsyncHullService(engine, own_engine=True) as service:
+            t0 = time.perf_counter()
+            for kb, pb in batches():
+                await service.ingest_arrays(kb, pb)
+            await service.flush()
+            rate = args.n / (time.perf_counter() - t0)
+            q0 = time.perf_counter()
+            for _ in range(args.queries):
+                hull = await service.merged_hull()
+            q_lat = (time.perf_counter() - q0) / args.queries
+            return rate, q_lat, hull
+
+    async def run_tcp():
+        engine, _ = _tier_engine(args, "serve")
+        async with AsyncHullService(engine, own_engine=True) as service:
+            async with HullServer(service) as server:
+                client = await AsyncHullClient.connect(port=server.port)
+                try:
+                    t0 = time.perf_counter()
+                    for kb, pb in batches():
+                        await client.ingest(
+                            [
+                                (str(k), float(x), float(y))
+                                for k, (x, y) in zip(kb, pb)
+                            ]
+                        )
+                    await client.flush()
+                    rate = args.n / (time.perf_counter() - t0)
+                    q0 = time.perf_counter()
+                    for _ in range(args.queries):
+                        hull = await client.merged_hull()
+                    q_lat = (time.perf_counter() - q0) / args.queries
+                    return rate, q_lat, hull
+                finally:
+                    await client.aclose()
+
+    d_rate, d_lat, d_hull = run_direct()
+    s_rate, s_lat, s_hull = asyncio.run(run_service())
+    t_rate, t_lat, t_hull = asyncio.run(run_tcp())
+    print(f"{'path':>16} {'ingest rate':>16} {'query latency':>15}")
+    for name, rate, lat in (
+        ("direct sync", d_rate, d_lat),
+        ("async facade", s_rate, s_lat),
+        ("tcp loopback", t_rate, t_lat),
+    ):
+        print(f"{name:>16} {rate:>12,.0f} r/s {lat * 1e3:>11.2f} ms")
+    parity = d_hull == s_hull == t_hull
+    print(f"parity       : bit-identical global hulls: {parity}")
+    return 0 if parity else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.serve_cmd == "bench":
+        return _cmd_serve_bench(args)
+    return _cmd_serve_run(args)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig10": _cmd_fig10,
@@ -476,6 +756,7 @@ _COMMANDS = {
     "engine": _cmd_engine,
     "shard": _cmd_shard,
     "window": _cmd_window,
+    "serve": _cmd_serve,
 }
 
 

@@ -127,7 +127,16 @@ class AdaptiveHull(HullSummary):
         self.points_seen += 1
         if self._hull and contains_point(self._hull, p):
             return False
-        if self.ring_discard and self._inside_ring(p):
+        # The ring shortcut needs a genuine polygon: on a degenerate
+        # (collinear) hull the uncertainty triangles collapse onto the
+        # support line and would certify points far beyond the segment
+        # (e.g. (0,3) against the hull [(0,0),(0,1)]), violating the
+        # Corollary 5.2 bound.
+        if (
+            self.ring_discard
+            and len(self._hull) >= 3
+            and self._inside_ring(p)
+        ):
             self.ring_discards += 1
             return False
         self.points_processed += 1
@@ -384,17 +393,39 @@ class AdaptiveHull(HullSummary):
     # -- internals -----------------------------------------------------------
 
     def _inside_ring(self, p: Point) -> bool:
-        """Is ``p`` inside some leaf uncertainty triangle?
+        """Is ``p`` inside some *trusted* leaf uncertainty triangle?
 
         Called only for points already outside the sample hull, so
         membership in the ring reduces to membership in a triangle.
         O(r) over the leaf edges; such points are rare, and a ring hit
         saves the full tree update.
+
+        Only triangles whose height already sits within the Corollary
+        5.2 bound may certify a discard: a young forest (few processed
+        points, lazy queue-driven refinement) can still hold leaves
+        with ``ell_tilde`` far above ``16*pi*P/r^2``, and discarding a
+        point inside such a triangle would break the error guarantee
+        the discard exists to preserve (hypothesis found
+        ``[(0,0), (0,-1), (-1,0), (0,3)]`` at r=8).  Untrusted leaves
+        simply let the point take the full processing path, which
+        refines them.
         """
         from ..geometry.predicates import point_in_triangle
 
+        bound = 16.0 * math.pi * self.perimeter / (self.r * self.r)
         for t in self.leaf_triangles():
             if t.apex is None:
+                continue
+            if t.ell_tilde > bound:
+                continue  # too tall to certify the discard
+            # A collapsed (zero-area) triangle certifies nothing: the
+            # orientation predicate would treat its whole support line
+            # as boundary and "contain" points far beyond the segment
+            # (e.g. (0,3) against the sliver (0,-1),(0,-1),(0,0)).
+            area2 = (t.apex[0] - t.a[0]) * (t.b[1] - t.a[1]) - (
+                t.apex[1] - t.a[1]
+            ) * (t.b[0] - t.a[0])
+            if area2 == 0.0:
                 continue
             if point_in_triangle(p, t.a, t.apex, t.b):
                 return True

@@ -5,8 +5,24 @@ thousands of keyed streams, batch-routed ``(key, x, y)`` records,
 vectorised per-key ingestion, eviction/compaction hooks, standing-query
 subscriptions, and JSON snapshot/restore.  See
 :class:`~repro.engine.engine.StreamEngine`.
+
+The formal engine contract — the surface this tier shares with the
+multi-process :class:`~repro.shard.ShardedEngine` so the two are
+drop-in interchangeable — is :class:`~repro.engine.protocol.EngineProtocol`;
+the hoisted routing/validation/query plumbing lives in
+:mod:`repro.engine.common`.
 """
 
-from .engine import EngineStats, StreamEngine, Subscription
+from .common import ExtentQueryAPI, SubscriberAPI, Subscription
+from .engine import EngineStats, StreamEngine
+from .protocol import PROTOCOL_MEMBERS, EngineProtocol
 
-__all__ = ["StreamEngine", "EngineStats", "Subscription"]
+__all__ = [
+    "StreamEngine",
+    "EngineStats",
+    "Subscription",
+    "EngineProtocol",
+    "PROTOCOL_MEMBERS",
+    "SubscriberAPI",
+    "ExtentQueryAPI",
+]

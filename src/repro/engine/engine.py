@@ -28,6 +28,12 @@ records per key, caching hot summaries) and deliberately stays simple:
   summary through the :mod:`repro.streams.io` summary format;
   :meth:`StreamEngine.restore` rebuilds an identical engine (identical
   hulls, counters, and refinement state for the core schemes).
+
+The engine is the in-process tier of the
+:class:`~repro.engine.protocol.EngineProtocol` contract; the keyed
+routing, subscription dispatch, and global query folds it shares with
+the multi-process :class:`~repro.shard.engine.ShardedEngine` live in
+:mod:`repro.engine.common`.
 """
 
 from __future__ import annotations
@@ -55,6 +61,16 @@ from ..core.batch import as_key_array, as_point_array, as_ts_array
 from ..geometry.vec import Point
 from ..streams.io import summary_from_state, summary_state
 from ..window import WindowConfig, windowed_factory
+from .common import (
+    ExtentQueryAPI,
+    SubscriberAPI,
+    Subscription,
+    canonical_key_order,
+    check_snapshot_doc,
+    key_index_runs,
+    split_records,
+    validate_ts_batch,
+)
 
 __all__ = ["StreamEngine", "EngineStats", "Subscription"]
 
@@ -99,35 +115,7 @@ class EngineStats:
         )
 
 
-class Subscription:
-    """Handle for a standing-query callback (see
-    :meth:`StreamEngine.subscribe`); call :meth:`cancel` to detach."""
-
-    def __init__(
-        self,
-        engine: "StreamEngine",
-        callback: Callable[[Set[Hashable]], None],
-        keys: Optional[Set[Hashable]],
-    ):
-        self._engine = engine
-        self.callback = callback
-        self.keys = keys
-        self.fired = 0
-
-    def cancel(self) -> None:
-        """Detach this subscription; no further notifications fire."""
-        self._engine._subscriptions = [
-            s for s in self._engine._subscriptions if s is not self
-        ]
-
-    def _notify(self, touched: Set[Hashable]) -> None:
-        relevant = touched if self.keys is None else touched & self.keys
-        if relevant:
-            self.fired += 1
-            self.callback(relevant)
-
-
-class StreamEngine:
+class StreamEngine(SubscriberAPI, ExtentQueryAPI):
     """Thousands of keyed hull summaries behind one batch front door.
 
     Args:
@@ -177,6 +165,19 @@ class StreamEngine:
         # stats survive LRU churn.
         self._retired_bucket_merges = 0
         self._retired_bucket_expiries = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "StreamEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release engine resources (a no-op for the in-process tier;
+        here for :class:`~repro.engine.protocol.EngineProtocol`
+        lifecycle symmetry with the sharded tier)."""
 
     # -- keyed access ------------------------------------------------------
 
@@ -249,12 +250,16 @@ class StreamEngine:
         :func:`~repro.core.base.tree_merge`).  ``keys=None`` merges
         every live stream; unknown keys are skipped.
         """
+        # Fold in canonical key order: the merged answer then depends
+        # only on what was ingested per key — never on batch
+        # interleaving or LRU touch history — which is the property the
+        # serving layer's bit-identical parity rests on.
         if keys is None:
-            selected = list(self._summaries.values())
+            selection = list(self._summaries)
         else:
-            selected = [
-                self._summaries[k] for k in keys if k in self._summaries
-            ]
+            selection = [k for k in keys if k in self._summaries]
+        selection.sort(key=canonical_key_order)
+        selected = [self._summaries[k] for k in selection]
         if self.window is not None:
             # Windowed engines reduce over per-key *merged views* (plain
             # summaries of the base scheme): windows themselves refuse
@@ -279,6 +284,15 @@ class StreamEngine:
         Raises:
             ValueError: when the engine has no time-based window.
         """
+        return self.advance_time_detail(now)[0]
+
+    def advance_time_detail(
+        self, now: float
+    ) -> Tuple[int, List[Hashable]]:
+        """:meth:`advance_time`, also returning the keys whose windows
+        expired buckets — what a shard worker ships to the parent so
+        ring-level subscribers see the same notifications as local
+        ones."""
         if self.window is None or not self.window.timed:
             raise ValueError(
                 "advance_time requires an engine with a time-based window"
@@ -292,7 +306,7 @@ class StreamEngine:
                 touched.add(key)
         if touched:
             self._notify(touched)
-        return total
+        return total, list(touched)
 
     def stats(self) -> EngineStats:
         """Aggregate counters across all live streams."""
@@ -360,57 +374,17 @@ class StreamEngine:
         engine, records may instead be ``(key, x, y, ts)`` — all or
         none of a batch must carry timestamps.  Subscribers are
         notified once, after the whole batch, with the set of touched
-        keys.
-        """
-        if self.window is not None:
-            return self._ingest_windowed(records, chunk)
-        groups: Dict[Hashable, List[Tuple[float, float]]] = {}
-        try:
-            for key, x, y in records:
-                groups.setdefault(key, []).append((x, y))
-        except ValueError as exc:
-            # A 4-tuple here means the caller sent timestamps to an
-            # unwindowed engine — say so instead of an unpacking error.
-            raise ValueError(
-                "records must be (key, x, y) 3-tuples; ts requires a "
-                "windowed engine"
-            ) from exc
-        # Validate every group before touching any summary, so one bad
-        # record cannot leave the batch half-applied across keys.
-        validated = [
-            (key, as_point_array(pts), None) for key, pts in groups.items()
-        ]
-        return self._ingest_groups(validated, chunk)
+        keys; an empty batch is a no-op.
 
-    def _ingest_windowed(self, records, chunk: int) -> int:
-        """The windowed records path: 3- or 4-tuples, grouped with
-        their per-key timestamp runs and validated atomically."""
-        groups: Dict[Hashable, List[Tuple[float, float]]] = {}
-        ts_groups: Dict[Hashable, List[Optional[float]]] = {}
-        saw_ts = saw_bare = False
-        for rec in records:
-            key = rec[0]
-            groups.setdefault(key, []).append((rec[1], rec[2]))
-            if len(rec) > 3:
-                saw_ts = True
-                ts_groups.setdefault(key, []).append(rec[3])
-            else:
-                saw_bare = True
-                ts_groups.setdefault(key, []).append(None)
-        if saw_ts and saw_bare:
-            raise ValueError(
-                "mixed timestamped and untimestamped records in one batch"
-            )
-        validated = []
-        for key, pts in groups.items():
-            validated.append(
-                (
-                    key,
-                    as_point_array(pts),
-                    self._check_group_ts(key, ts_groups[key]),
-                )
-            )
-        return self._ingest_groups(validated, chunk)
+        This is :func:`~repro.engine.common.split_records` feeding
+        :meth:`ingest_arrays`, so both front doors (and both tiers —
+        the sharded ``ingest`` delegates the same way) share one
+        grouping/validation path.
+        """
+        keys, pts, ts_list = split_records(
+            records, windowed=self.window is not None
+        )
+        return self.ingest_arrays(keys, pts, chunk=chunk, ts=ts_list)
 
     def ingest_arrays(
         self, keys: Sequence[Hashable], points, chunk: int = 4096, ts=None
@@ -418,51 +392,32 @@ class StreamEngine:
         """Batch-route a parallel ``keys`` sequence and ``(n, 2)`` block.
 
         The NumPy-native front door: grouping is one ``argsort`` over
-        the key array, so a million-record batch routes without a
-        Python-level loop over records.  On a windowed engine ``ts``
-        may carry event time — one scalar for the whole batch or a
-        parallel length-``n`` array; per-key timestamp runs must be
-        non-decreasing (a globally time-ordered batch always is).
+        the key array (:func:`~repro.engine.common.key_index_runs`), so
+        a million-record batch routes without a Python-level loop over
+        records.  On a windowed engine ``ts`` may carry event time —
+        one scalar for the whole batch or a parallel length-``n``
+        array; per-key timestamp runs must be non-decreasing (a
+        globally time-ordered batch always is).
         """
         arr = as_point_array(points)
         key_arr = as_key_array(keys, len(arr))
         ts_arr = self._check_batch_ts(ts, len(arr))
         if len(arr) == 0:
             return 0
-        if key_arr.dtype == object:
-            # Arbitrary (possibly incomparable) hashables: group through
-            # a dict instead of sorting.
-            index_map: Dict[Hashable, List[int]] = {}
-            for i, k in enumerate(key_arr.tolist()):
-                index_map.setdefault(k, []).append(i)
-
-            def index_runs():
-                for k, idx in index_map.items():
-                    yield k, np.asarray(idx)
-
-        else:
-            order = np.argsort(key_arr, kind="stable")
-            sorted_keys = key_arr[order]
-            boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
-            starts = np.concatenate(([0], boundaries))
-            ends = np.concatenate((boundaries, [len(arr)]))
-
-            def index_runs():
-                for s, e in zip(starts, ends):
-                    key = sorted_keys[s]
-                    if isinstance(key, np.generic):
-                        key = key.item()  # native str/int, not a NumPy scalar
-                    yield key, order[s:e]
-
         if ts_arr is None:
-            groups = ((k, arr[idx], None) for k, idx in index_runs())
+            # Untimestamped: stream the groups lazily — no reason to
+            # hold every per-key slice of a huge batch at once.
+            groups = (
+                (k, arr[idx], None) for k, idx in key_index_runs(key_arr)
+            )
             return self._ingest_groups(groups, chunk)
-        # Timestamped: validate every key's run before any is applied,
-        # mirroring the records path's cross-key atomicity.
+        # Timestamped runs are validated for every key before any is
+        # applied, mirroring the records path's cross-key atomicity.
         validated = []
-        for k, idx in index_runs():
-            run_ts = ts_arr[idx]
-            validated.append((k, arr[idx], self._check_group_ts(k, run_ts)))
+        for k, idx in key_index_runs(key_arr):
+            validated.append(
+                (k, arr[idx], self._check_group_ts(k, ts_arr[idx]))
+            )
         return self._ingest_groups(validated, chunk)
 
     def _check_batch_ts(self, ts, n: int):
@@ -483,38 +438,13 @@ class StreamEngine:
             )
         return as_ts_array(ts, n)
 
-    def _check_group_ts(self, key: Hashable, run_ts):
+    def _check_group_ts(self, key: Hashable, run_ts) -> np.ndarray:
         """Validate one key's timestamp run against its live summary so
-        the whole batch can be rejected before any group is applied.
-        Returns the run as a float array (or None for untimestamped
-        groups on count windows)."""
-        assert self.window is not None
-        seq = list(run_ts) if not isinstance(run_ts, np.ndarray) else run_ts
-        if not isinstance(seq, np.ndarray):
-            if all(t is None for t in seq):
-                if self.window.timed:
-                    raise ValueError(
-                        "time-based windows require a ts on every record"
-                    )
-                return None
-            if any(t is None for t in seq):
-                raise ValueError(
-                    "mixed timestamped and untimestamped records in one batch"
-                )
-            seq = np.asarray(seq, dtype=np.float64)
-        if not np.isfinite(seq).all():
-            raise ValueError(f"key {key!r}: ts must be finite")
-        if (np.diff(seq) < 0.0).any():
-            raise ValueError(
-                f"key {key!r}: ts must be non-decreasing within a batch"
-            )
+        the whole batch can be rejected before any group is applied."""
+        seq = np.asarray(run_ts, dtype=np.float64)
         summary = self._summaries.get(key)
         last = summary.last_ts if summary is not None else None
-        if last is not None and len(seq) and seq[0] < last:
-            raise ValueError(
-                f"key {key!r}: ts must be non-decreasing: got {seq[0]} "
-                f"after {last}"
-            )
+        validate_ts_batch(seq, last, f"key {key!r}: ")
         return seq
 
     def _ingest_groups(self, groups, chunk: int) -> int:
@@ -532,6 +462,8 @@ class StreamEngine:
                 summary.points_seen - before if before is not None else len(pts)
             )
             touched.add(key)
+        if not touched:
+            return 0  # an empty batch is a no-op on every tier
         self.batches_ingested += 1
         self._notify(touched)
         return changed
@@ -578,21 +510,8 @@ class StreamEngine:
 
     # -- standing queries ---------------------------------------------------
 
-    def subscribe(
-        self,
-        callback: Callable[[Set[Hashable]], None],
-        keys: Optional[Iterable[Hashable]] = None,
-    ) -> Subscription:
-        """Register ``callback(touched_keys)`` to fire after every batch
-        that touches a subscribed key (all keys when ``keys`` is None).
-
-        This is the engine half of the paper's standing queries: a
-        subscriber re-evaluates its tracker predicates only when the
-        hulls it watches may have moved.
-        """
-        sub = Subscription(self, callback, None if keys is None else set(keys))
-        self._subscriptions.append(sub)
-        return sub
+    # ``subscribe`` / ``_notify`` come from SubscriberAPI (shared with
+    # the sharded tier, reentrancy-safe dispatch included).
 
     def attach_tracker(
         self,
@@ -627,10 +546,6 @@ class StreamEngine:
         if on_update is not None:
             return self.subscribe(on_update, keys)
         return None
-
-    def _notify(self, touched: Set[Hashable]) -> None:
-        for sub in list(self._subscriptions):
-            sub._notify(touched)
 
     # -- snapshot / restore --------------------------------------------------
 
@@ -686,10 +601,9 @@ class StreamEngine:
         A windowed snapshot restores its own window config by default;
         passing ``window`` explicitly must match the snapshot's.
         """
-        if doc.get("format") != ENGINE_FORMAT:
-            raise ValueError(f"not an engine snapshot: {doc.get('format')!r}")
-        if doc.get("version") != ENGINE_FORMAT_VERSION:
-            raise ValueError(f"unsupported snapshot version {doc.get('version')!r}")
+        check_snapshot_doc(
+            doc, ENGINE_FORMAT, ENGINE_FORMAT_VERSION, "an engine snapshot"
+        )
         snap_window = doc.get("window")
         snap_window = (
             WindowConfig.from_doc(snap_window) if snap_window else None

@@ -1,0 +1,51 @@
+"""repro.serve — the asyncio serving front door.
+
+Production monitoring wants the engines *behind a service*: producers
+push records without blocking on summary maintenance, dashboards pull
+hull/diameter/width answers, detectors sit on standing-query push —
+the continuous-monitoring shape the observing-run pipelines in
+PAPERS.md run at.  This package provides exactly that, over any
+:class:`~repro.engine.protocol.EngineProtocol` engine (in-process or
+sharded, windowed or not):
+
+* :class:`AsyncHullService` — bounded, batch-coalescing ingest queue
+  with awaitable backpressure; a single engine thread keeping the
+  event loop responsive; a periodic ``advance_time`` ticker for
+  time-windowed configs; per-subscriber asyncio push queues bridging
+  the engines' standing queries; graceful drain + final snapshot.
+* :class:`HullServer` — a newline-delimited-JSON TCP front end
+  (``asyncio.start_server``) speaking ingest / query / subscribe /
+  snapshot verbs.
+* :class:`AsyncHullClient` — the matching client; floats round-trip
+  JSON exactly, so remote results are bit-identical to local ones.
+
+Quickstart::
+
+    import asyncio
+    from repro import AdaptiveHull, StreamEngine, WindowConfig
+    from repro.serve import AsyncHullService, HullServer
+
+    async def main():
+        engine = StreamEngine(lambda: AdaptiveHull(32),
+                              window=WindowConfig(horizon=300.0))
+        async with AsyncHullService(engine, own_engine=True) as service:
+            async with HullServer(service, port=8765) as server:
+                await server.serve_forever()
+
+    asyncio.run(main())
+
+Or from the command line: ``python -m repro serve run --port 8765``.
+"""
+
+from .client import AsyncHullClient, RemoteEngineError, RemoteSubscription
+from .server import HullServer
+from .service import AsyncHullService, AsyncSubscription
+
+__all__ = [
+    "AsyncHullService",
+    "AsyncSubscription",
+    "HullServer",
+    "AsyncHullClient",
+    "RemoteEngineError",
+    "RemoteSubscription",
+]

@@ -1,0 +1,232 @@
+"""Asyncio client for the NDJSON hull-serving protocol.
+
+:class:`AsyncHullClient` mirrors the :class:`~repro.serve.HullServer`
+verb set with awaitable methods.  A single reader task demultiplexes
+the connection: replies resolve the pending request future matched by
+``id`` (requests pipeline freely), ``event`` lines land in the
+client-side subscription queue.
+
+Hull vertices come back as the same ``(x, y)`` float tuples the engines
+return — JSON round-trips IEEE doubles exactly, so a remotely ingested
+stream yields bit-identical hulls to a local engine fed the same
+records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Hashable, Iterable, List, Optional, Set, Tuple
+
+from .server import MAX_LINE
+
+__all__ = ["AsyncHullClient", "RemoteEngineError", "RemoteSubscription"]
+
+
+class RemoteEngineError(RuntimeError):
+    """The server reported an error for a request (or rejected an
+    ingested batch at drain time, for ``sync`` ingests)."""
+
+
+class RemoteSubscription:
+    """Client-side stream of standing-query events (touched key sets)."""
+
+    def __init__(self, client: "AsyncHullClient"):
+        self._client = client
+        self._queue: asyncio.Queue = asyncio.Queue()
+
+    async def get(self) -> Set[Hashable]:
+        """Wait for the next touched-key set pushed by the server."""
+        item = await self._queue.get()
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def __aiter__(self) -> "RemoteSubscription":
+        return self
+
+    async def __anext__(self) -> Set[Hashable]:
+        return await self.get()
+
+    async def cancel(self) -> None:
+        """Stop the server-side push for this connection."""
+        await self._client._request({"op": "unsubscribe"})
+        self._client._subscription = None
+
+
+class AsyncHullClient:
+    """Connect with :meth:`connect` (or ``async with``); every verb is
+    an awaitable method.  One client = one connection; requests may be
+    issued concurrently (they pipeline by id)."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        # Concurrent (pipelined) requests share one writer; asyncio's
+        # flow control allows a single drain() waiter per transport, so
+        # write+drain pairs serialise through this lock.
+        self._write_lock = asyncio.Lock()
+        self._pending: dict = {}
+        self._next_id = 0
+        self._subscription: Optional[RemoteSubscription] = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncHullClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "AsyncHullClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    # -- wire plumbing -----------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                msg = json.loads(line)
+                if "event" in msg:
+                    if self._subscription is not None:
+                        self._subscription._queue.put_nowait(
+                            set(msg.get("keys", []))
+                        )
+                    continue
+                fut = self._pending.pop(msg.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(msg)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - connection boundary
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+        self._pending.clear()
+        if self._subscription is not None:
+            self._subscription._queue.put_nowait(exc)
+
+    async def _request(self, payload: dict) -> dict:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        self._next_id += 1
+        req_id = self._next_id
+        payload = {**payload, "id": req_id}
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = fut
+        async with self._write_lock:
+            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await self._writer.drain()
+        reply = await fut
+        if not reply.get("ok"):
+            raise RemoteEngineError(reply.get("error", "unknown error"))
+        return reply
+
+    # -- verbs -------------------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self._request({"op": "ping"})
+
+    async def ingest(
+        self, records: Iterable[tuple], sync: bool = False
+    ) -> int:
+        """Send ``(key, x, y[, ts])`` records; returns the queued count.
+
+        ``sync=True`` waits until this batch has gone through the
+        engine and raises :class:`RemoteEngineError` carrying *its*
+        rejection (per-request attribution; other clients' batches
+        never bleed into this error).
+        """
+        reply = await self._request(
+            {
+                "op": "ingest",
+                "records": [list(rec) for rec in records],
+                "sync": sync,
+            }
+        )
+        return reply["queued"]
+
+    async def flush(self) -> None:
+        """Barrier: everything sent so far has been applied (or counted
+        as an ingest error in the server's service stats)."""
+        await self._request({"op": "flush"})
+
+    async def advance_time(self, now: float) -> int:
+        reply = await self._request({"op": "advance_time", "now": now})
+        return reply["expired"]
+
+    async def _query(self, what: str, **extra):
+        reply = await self._request({"op": "query", "what": what, **extra})
+        return reply["result"]
+
+    async def hull(self, key: Hashable) -> List[Tuple[float, float]]:
+        return [tuple(v) for v in await self._query("hull", key=key)]
+
+    async def merged_hull(self, keys=None) -> List[Tuple[float, float]]:
+        extra = {} if keys is None else {"keys": list(keys)}
+        return [tuple(v) for v in await self._query("merged_hull", **extra)]
+
+    async def diameter(self, keys=None) -> float:
+        extra = {} if keys is None else {"keys": list(keys)}
+        return await self._query("diameter", **extra)
+
+    async def width(self, keys=None) -> float:
+        extra = {} if keys is None else {"keys": list(keys)}
+        return await self._query("width", **extra)
+
+    async def keys(self) -> List[Hashable]:
+        return await self._query("keys")
+
+    async def stats(self) -> dict:
+        return await self._query("stats")
+
+    async def service_stats(self) -> dict:
+        return await self._query("service_stats")
+
+    async def snapshot_state(self) -> dict:
+        reply = await self._request({"op": "snapshot"})
+        return reply["state"]
+
+    async def snapshot(self, path) -> str:
+        reply = await self._request({"op": "snapshot", "path": str(path)})
+        return reply["path"]
+
+    async def subscribe(self, keys=None) -> RemoteSubscription:
+        """Start server push for batches touching ``keys`` (all keys
+        when None); one subscription per connection.  Calling again
+        replaces the server-side key filter — the returned (shared)
+        subscription then receives events for the new keys."""
+        if self._subscription is None:
+            self._subscription = RemoteSubscription(self)
+        await self._request(
+            {"op": "subscribe", "keys": None if keys is None else list(keys)}
+        )
+        return self._subscription

@@ -1,0 +1,305 @@
+"""Newline-delimited-JSON TCP serving of a hull service.
+
+:class:`HullServer` listens with :func:`asyncio.start_server` and
+speaks one JSON object per line in each direction.  Requests carry an
+``op`` (and an optional ``id`` echoed back so clients can pipeline);
+replies are ``{"id": ..., "ok": true, ...}`` or
+``{"id": ..., "ok": false, "error": "..."}``.  Server-initiated push
+messages (standing-query notifications) carry ``"event"`` instead of
+``"id"``.
+
+Verbs:
+
+``ping``
+    liveness probe; replies with the server's engine/window shape.
+``ingest``
+    ``{"records": [[key, x, y], ...]}`` or ``[key, x, y, ts]`` rows;
+    enqueued through the service's backpressured queue.  With
+    ``"sync": true`` the reply waits until *this* batch went through
+    the engine and carries its rejection as this request's error —
+    per-request attribution even with concurrent clients.
+``flush``
+    barrier — replies once everything enqueued so far was applied.
+``query``
+    ``{"what": "hull"|"merged_hull"|"diameter"|"width"|"keys"|"stats"|
+    "service_stats"|"len", "key": ..., "keys": [...]}``.
+``advance_time``
+    ``{"now": t}`` — broadcast window expiry.
+``subscribe`` / ``unsubscribe``
+    start/stop streaming ``{"event": "update", "keys": [...]}`` lines
+    to this connection after every batch touching the watched keys.
+``snapshot``
+    with ``"path"``: write a snapshot file server-side; without: return
+    the full engine state inline (``"state"``).
+
+Keys must be JSON scalars (the same constraint engine snapshots have);
+floats survive the trip exactly (JSON round-trips IEEE doubles), so a
+client-fed stream yields bit-identical hulls to a local one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Set
+
+from .service import AsyncHullService, AsyncSubscription
+
+__all__ = ["HullServer", "MAX_LINE"]
+
+#: Per-line size limit for reads (a 64 KiB asyncio default would cap
+#: ingest batches at a few hundred records).
+MAX_LINE = 1 << 24
+
+
+def _jsonable_key(key):
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    raise TypeError(
+        f"serving keys must be JSON scalars, got {type(key).__name__}"
+    )
+
+
+class HullServer:
+    """Serve an :class:`~repro.serve.AsyncHullService` over TCP.
+
+    Args:
+        service: a *started* service (the server does not own it — one
+            service can sit behind several listeners, and the caller
+            decides when to drain/close it).
+        host / port: listen address; port 0 picks an ephemeral port
+            (read :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        service: AsyncHullService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "HullServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aenter__(self) -> "HullServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- per-connection ----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        sub: Optional[AsyncSubscription] = None
+        pusher: Optional[asyncio.Task] = None
+        # The reply path and the subscription pusher share this writer;
+        # asyncio's flow control allows only one drain() waiter at a
+        # time, so every write+drain pair takes the connection lock.
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    # readline signals an over-limit line as ValueError
+                    # (LimitOverrunError is its internal cause); either
+                    # way the framing is broken — drop the connection.
+                    ValueError,
+                    asyncio.LimitOverrunError,
+                    ConnectionResetError,
+                ):
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    msg = json.loads(line)
+                    if not isinstance(msg, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await self._send(
+                        writer,
+                        {"id": None, "ok": False, "error": str(exc)},
+                        write_lock,
+                    )
+                    continue
+                req_id = msg.get("id")
+                op = msg.get("op")
+                try:
+                    if op == "subscribe":
+                        # A repeated subscribe replaces the connection's
+                        # subscription (new key filter takes effect).
+                        if pusher is not None:
+                            pusher.cancel()
+                            pusher = None
+                        if sub is not None:
+                            await sub.cancel()
+                        sub = await self.service.subscribe(msg.get("keys"))
+                        pusher = asyncio.ensure_future(
+                            self._push_events(writer, sub, write_lock)
+                        )
+                        reply = {}
+                    elif op == "unsubscribe":
+                        if pusher is not None:
+                            pusher.cancel()
+                            pusher = None
+                        if sub is not None:
+                            await sub.cancel()
+                            sub = None
+                        reply = {}
+                    else:
+                        reply = await self._dispatch(op, msg)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - protocol boundary
+                    await self._send(
+                        writer,
+                        {
+                            "id": req_id,
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                        write_lock,
+                    )
+                else:
+                    reply.update({"id": req_id, "ok": True})
+                    await self._send(writer, reply, write_lock)
+        except asyncio.CancelledError:
+            # Listener shutdown cancels in-flight handlers; exit
+            # cleanly (the finally below still runs) instead of
+            # propagating — asyncio.streams' connection callback would
+            # log the cancellation of a connection task as an error.
+            pass
+        except (ConnectionResetError, BrokenPipeError):
+            # The client vanished mid-reply; normal churn, not an
+            # error worth an asyncio traceback.
+            pass
+        finally:
+            if pusher is not None:
+                pusher.cancel()
+            if sub is not None:
+                # The listener may cancel this handler mid-cleanup;
+                # shield so the engine-side detach still completes.
+                try:
+                    await asyncio.shield(sub.cancel())
+                except asyncio.CancelledError:
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                # The listener may cancel in-flight handlers on close;
+                # the connection is going away either way, and we are
+                # on the last line of the task.
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown race
+                pass
+
+    async def _dispatch(self, op: str, msg: dict) -> dict:
+        service = self.service
+        if op == "ping":
+            window = service.engine.window
+            return {
+                "engine": type(service.engine).__name__,
+                "window": window.to_doc() if window else None,
+            }
+        if op == "ingest":
+            # sync=True waits on this batch's own completion future, so
+            # a rejection is attributed to exactly this request (and
+            # surfaces as this reply's error), never to concurrent
+            # clients' batches.
+            records = [tuple(rec) for rec in msg["records"]]
+            queued = await service.ingest(records, sync=bool(msg.get("sync")))
+            return {"queued": queued}
+        if op == "flush":
+            await service.flush()
+            return {}
+        if op == "advance_time":
+            return {"expired": await service.advance_time(msg["now"])}
+        if op == "snapshot":
+            path = msg.get("path")
+            if path is not None:
+                return {"path": str(await service.snapshot(path))}
+            return {"state": await service.snapshot_state()}
+        if op == "query":
+            return {"result": await self._query(msg)}
+        raise ValueError(f"unknown op {op!r}")
+
+    async def _query(self, msg: dict):
+        what = msg.get("what")
+        service = self.service
+        if what == "hull":
+            return await service.hull(msg["key"])
+        if what == "merged_hull":
+            return await service.merged_hull(msg.get("keys"))
+        if what == "diameter":
+            return await service.diameter(msg.get("keys"))
+        if what == "width":
+            return await service.width(msg.get("keys"))
+        if what == "keys":
+            return [_jsonable_key(k) for k in await service.keys()]
+        if what == "len":
+            return len(await service.keys())
+        if what == "stats":
+            stats = await service.stats()
+            doc = dict(stats.__dict__)
+            doc.pop("per_shard", None)  # summarised parent-side already
+            return doc
+        if what == "service_stats":
+            return service.service_stats()
+        raise ValueError(f"unknown query {what!r}")
+
+    async def _push_events(
+        self, writer, sub: AsyncSubscription, write_lock: asyncio.Lock
+    ) -> None:
+        try:
+            async for touched in sub:
+                await self._send(
+                    writer,
+                    {
+                        "event": "update",
+                        "keys": sorted(
+                            (_jsonable_key(k) for k in touched), key=str
+                        ),
+                    },
+                    write_lock,
+                )
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            return
+
+    @staticmethod
+    async def _send(
+        writer, payload: dict, write_lock: asyncio.Lock
+    ) -> None:
+        # One locked write+drain per message: the line stays atomic AND
+        # only one task ever waits in drain() (asyncio's flow control
+        # supports a single drain waiter per transport).
+        async with write_lock:
+            writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await writer.drain()

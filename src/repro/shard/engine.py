@@ -24,6 +24,14 @@ the way down).  Restoring onto the *same* worker count reloads each
 engine wholesale; restoring onto a *different* count re-routes each
 key's summary through the new ring — consistent hashing keeps the
 reshuffle proportional to the resize.
+
+The ring implements the same
+:class:`~repro.engine.protocol.EngineProtocol` surface as the
+in-process tier — single-record ``insert``, parent-side standing-query
+``subscribe``, ``snapshot_state``/``from_snapshot_state``, and the
+``merged_hull``/``diameter``/``width`` query folds — through the shared
+mixins in :mod:`repro.engine.common`, so the two tiers are drop-in
+interchangeable behind one contract.
 """
 
 from __future__ import annotations
@@ -32,12 +40,21 @@ import json
 import multiprocessing
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from ..core.base import HullSummary, coerce_point, tree_merge
 from ..core.batch import as_key_array, as_point_array, as_ts_array
+from ..engine.common import (
+    ExtentQueryAPI,
+    SubscriberAPI,
+    Subscription,
+    check_snapshot_doc,
+    key_index_runs,
+    split_records,
+    validate_ts_batch,
+)
 from ..geometry.vec import Point
 from ..streams.io import summary_from_state
 from ..window import WindowConfig, windowed_factory
@@ -71,6 +88,7 @@ class ShardStats:
     batches_ingested: int
     sample_points: int
     per_shard: List[Dict]
+    evictions: int = 0
     buckets: int = 0
     bucket_merges: int = 0
     bucket_expiries: int = 0
@@ -97,7 +115,7 @@ def _default_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-class ShardedEngine:
+class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
     """Keyed hull summaries sharded across worker processes.
 
     Args:
@@ -146,6 +164,7 @@ class ShardedEngine:
         self.ring = HashRing(shards, replicas=replicas)
         self.points_ingested = 0
         self.batches_ingested = 0
+        self._subscriptions: List[Subscription] = []
         # Route decisions are memoised per key: consistent hashing costs
         # one BLAKE2 digest per *distinct* key, not per record.  The
         # memo is bounded (workers may LRU-evict keys, but the parent
@@ -301,21 +320,32 @@ class ShardedEngine:
                 )
             return
         if self.window is None:
-            raise ValueError("ts requires a windowed ring")
-        if len(ts_arr) == 0:
-            return
-        if not np.isfinite(ts_arr).all():
-            raise ValueError("ts must be finite")
-        if (np.diff(ts_arr) < 0.0).any():
-            raise ValueError(
-                "sharded ingestion requires globally non-decreasing ts "
-                "within a batch"
-            )
-        if self._clock is not None and ts_arr[0] < self._clock:
-            raise ValueError(
-                f"ts must be non-decreasing across batches: got "
-                f"{ts_arr[0]} after {self._clock}"
-            )
+            raise ValueError("ts requires a windowed engine")
+        validate_ts_batch(ts_arr, self._clock, "sharded ring: ")
+
+    def insert(
+        self, key: Hashable, x: float, y: float, ts: Optional[float] = None
+    ) -> bool:
+        """Route a single record to its shard; True if the summary
+        changed.  ``ts`` is the record's event time — required on a
+        ring with a time-based window, rejected on an unwindowed one.
+        Validated parent-side first, so a malformed record raises here
+        without touching any worker."""
+        p = coerce_point((x, y))
+        ts_arr = (
+            np.asarray([float(ts)], dtype=np.float64)
+            if ts is not None
+            else None
+        )
+        self._check_ring_ts(ts_arr, 1)
+        changed = bool(
+            self._call(self.shard_for(key), "insert", key, p[0], p[1], ts)
+        )
+        if ts_arr is not None:
+            self._clock = float(ts_arr[0])
+        self.points_ingested += 1
+        self._notify({key})
+        return changed
 
     def ingest(
         self, records: Iterable[Tuple[Hashable, float, float]]
@@ -331,35 +361,10 @@ class ShardedEngine:
         sent, so a malformed record rejects the whole batch atomically
         across shards (a worker-side rejection would leave the other
         shards' slices already ingested)."""
-        per_shard: List[List[tuple]] = [[] for _ in range(self.num_shards)]
-        total = 0
-        ts_list: List[float] = []
-        saw_bare = False
-        for rec in records:
-            key = rec[0]
-            x, y = coerce_point((rec[1], rec[2]))
-            if len(rec) > 3:
-                ts_list.append(rec[3])
-                per_shard[self.shard_for(key)].append((key, x, y, rec[3]))
-            else:
-                saw_bare = True
-                per_shard[self.shard_for(key)].append((key, x, y))
-            total += 1
-        if ts_list and saw_bare:
-            raise ValueError(
-                "mixed timestamped and untimestamped records in one batch"
-            )
-        ts_arr = np.asarray(ts_list, dtype=np.float64) if ts_list else None
-        self._check_ring_ts(ts_arr, total)
-        return self._fan_out(
-            [
-                (i, ("ingest", recs))
-                for i, recs in enumerate(per_shard)
-                if recs
-            ],
-            total,
-            batch_max_ts=float(ts_arr[-1]) if ts_arr is not None else None,
+        keys, pts, ts_list = split_records(
+            records, windowed=self.window is not None
         )
+        return self.ingest_arrays(keys, pts, ts=ts_list)
 
     def ingest_arrays(
         self, keys: Sequence[Hashable], points, ts=None
@@ -376,21 +381,11 @@ class ShardedEngine:
         self._check_ring_ts(ts_arr, len(arr))
         if len(arr) == 0:
             return 0
-        if key_arr.dtype == object:
-            # Arbitrary hashables: route record by record (cached).
-            shard_ids = np.fromiter(
-                (self.shard_for(k) for k in key_arr.tolist()),
-                dtype=np.int64,
-                count=len(key_arr),
-            )
-        else:
-            uniq, inverse = np.unique(key_arr, return_inverse=True)
-            lookup = np.fromiter(
-                (self.shard_for(k) for k in uniq.tolist()),
-                dtype=np.int64,
-                count=len(uniq),
-            )
-            shard_ids = lookup[inverse]
+        shard_ids = np.empty(len(arr), dtype=np.int64)
+        touched: Set[Hashable] = set()
+        for key, idx in key_index_runs(key_arr):
+            shard_ids[idx] = self.shard_for(key)
+            touched.add(key)
         requests = []
         for i in range(self.num_shards):
             idx = np.flatnonzero(shard_ids == i)
@@ -403,6 +398,7 @@ class ShardedEngine:
             requests,
             len(arr),
             batch_max_ts=float(ts_arr[-1]) if ts_arr is not None else None,
+            touched=touched,
         )
 
     def _fan_out(
@@ -410,10 +406,12 @@ class ShardedEngine:
         requests: List[Tuple[int, tuple]],
         total: int,
         batch_max_ts: Optional[float] = None,
+        touched: Optional[Set[Hashable]] = None,
     ) -> int:
         """Send every shard its slice, then collect all acks.  The
         high-water clock advances here — after routing succeeded and
-        the slices are on the wire — never on a rejected batch."""
+        the slices are on the wire — never on a rejected batch.
+        Subscribers are notified once, after the whole batch."""
         self._check_open()
         for shard, msg in requests:
             self._request(shard, *msg)
@@ -422,6 +420,8 @@ class ShardedEngine:
         changed = sum(self._collect_all([shard for shard, _ in requests]))
         self.points_ingested += total
         self.batches_ingested += 1
+        if touched:
+            self._notify(touched)
         return changed
 
     # -- queries -----------------------------------------------------------
@@ -450,23 +450,37 @@ class ShardedEngine:
     def advance_time(self, now: float) -> int:
         """Broadcast a clock advance to every shard (time-based windows
         only); returns the total number of expired buckets across the
-        ring."""
+        ring.  Subscribers are notified with the keys whose windows
+        expired buckets, exactly like the in-process tier."""
         if self.window is None or not self.window.timed:
             raise ValueError(
-                "advance_time requires a ring with a time-based window"
+                "advance_time requires an engine with a time-based window"
             )
-        expired = sum(self._broadcast("advance_time", float(now)))
+        replies = self._broadcast("advance_time", float(now))
+        expired = sum(r[0] for r in replies)
+        touched: Set[Hashable] = set()
+        for r in replies:
+            touched.update(r[1])
         if self._clock is None or now > self._clock:
             self._clock = float(now)
+        if touched:
+            self._notify(touched)
         return expired
 
-    def summary(self, key: Hashable) -> Optional[HullSummary]:
-        """A *copy* of one key's summary, rebuilt from its shard's
-        snapshot state (None if the key was never fed).  Mutating the
-        copy does not touch the worker."""
-        state = self._call(self.shard_for(key), "summary_state", key)
+    def get(self, key: Hashable) -> Optional[HullSummary]:
+        """A *copy* of one key's summary, or None if the key is not
+        live (never routes a creation — the read-only probe)."""
+        state = self._call(self.shard_for(key), "summary_state", key, False)
         if state is None:
             return None
+        return summary_from_state(state, factory=self._summary_factory())
+
+    def summary(self, key: Hashable) -> HullSummary:
+        """A *copy* of one key's summary, created (empty, worker-side)
+        on first use like :meth:`StreamEngine.summary`.  Mutating the
+        copy does not touch the worker — it is rebuilt from the shard's
+        snapshot state."""
+        state = self._call(self.shard_for(key), "summary_state", key, True)
         return summary_from_state(state, factory=self._summary_factory())
 
     def merged_summary(
@@ -488,31 +502,8 @@ class ShardedEngine:
         ]
         return tree_merge(summaries)
 
-    def merged_hull(
-        self, keys: Optional[Iterable[Hashable]] = None
-    ) -> List[Point]:
-        """The all-keys (or selected-keys) approximate hull."""
-        return self.merged_summary(keys).hull()
-
-    def diameter(self, keys: Optional[Iterable[Hashable]] = None) -> float:
-        """Approximate diameter of the union of the selected streams
-        (0.0 before any data) via the existing query layer."""
-        from ..queries import diameter as diameter_query
-
-        merged = self.merged_summary(keys)
-        if not merged.hull():
-            return 0.0
-        return diameter_query(merged)
-
-    def width(self, keys: Optional[Iterable[Hashable]] = None) -> float:
-        """Approximate width of the union of the selected streams
-        (0.0 before any data) via the existing query layer."""
-        from ..queries import width as width_query
-
-        merged = self.merged_summary(keys)
-        if not merged.hull():
-            return 0.0
-        return width_query(merged)
+    # ``merged_hull`` / ``diameter`` / ``width`` come from
+    # ExtentQueryAPI — the same folds the in-process tier uses.
 
     def stats(self) -> ShardStats:
         """Aggregate counters across all shards."""
@@ -524,6 +515,7 @@ class ShardedEngine:
             batches_ingested=self.batches_ingested,
             sample_points=sum(s["sample_points"] for s in per_shard),
             per_shard=per_shard,
+            evictions=sum(s.get("evictions", 0) for s in per_shard),
             buckets=sum(s.get("buckets", 0) for s in per_shard),
             bucket_merges=sum(s.get("bucket_merges", 0) for s in per_shard),
             bucket_expiries=sum(
@@ -533,12 +525,12 @@ class ShardedEngine:
 
     # -- snapshot / restore ------------------------------------------------
 
-    def snapshot(self, path: PathLike) -> Path:
-        """Serialise the whole ring — every shard engine, every summary —
-        to one JSON document (keys must be JSON scalars, as for
-        :meth:`StreamEngine.snapshot`)."""
+    def snapshot_state(self) -> dict:
+        """The whole ring's state as one JSON-compatible document —
+        every shard engine, every summary (keys must be JSON scalars,
+        as for :meth:`StreamEngine.snapshot_state`)."""
         engines = self._broadcast("snapshot_state")
-        doc = {
+        return {
             "format": SHARD_FORMAT,
             "version": SHARD_FORMAT_VERSION,
             "shards": self.num_shards,
@@ -550,21 +542,24 @@ class ShardedEngine:
             "batches_ingested": self.batches_ingested,
             "engines": engines,
         }
+
+    def snapshot(self, path: PathLike) -> Path:
+        """Serialise :meth:`snapshot_state` to one JSON file."""
         path = Path(path)
-        path.write_text(json.dumps(doc), encoding="utf-8")
+        path.write_text(json.dumps(self.snapshot_state()), encoding="utf-8")
         return path
 
     @classmethod
-    def restore(
+    def from_snapshot_state(
         cls,
-        path: PathLike,
+        doc: dict,
         *,
         shards: Optional[int] = None,
         replicas: Optional[int] = None,
         max_streams: Optional[int] = None,
         start_method: Optional[str] = None,
     ) -> "ShardedEngine":
-        """Rebuild a ring from a :meth:`snapshot` file.
+        """Rebuild a ring from a :meth:`snapshot_state` document.
 
         With the snapshot's own shard count (the default) each worker
         reloads its engine wholesale — identical per-shard state and
@@ -574,13 +569,9 @@ class ShardedEngine:
         per-shard point counters are re-derived from the summaries' own
         ``points_seen`` (per-shard *batch* counts are not reconstructed).
         """
-        doc = json.loads(Path(path).read_text(encoding="utf-8"))
-        if doc.get("format") != SHARD_FORMAT:
-            raise ValueError(f"not a shard snapshot: {doc.get('format')!r}")
-        if doc.get("version") != SHARD_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported shard snapshot version {doc.get('version')!r}"
-            )
+        check_snapshot_doc(
+            doc, SHARD_FORMAT, SHARD_FORMAT_VERSION, "a shard snapshot"
+        )
         spec = SummarySpec.from_doc(doc["spec"])
         window_doc = doc.get("window")
         window = WindowConfig.from_doc(window_doc) if window_doc else None
@@ -618,3 +609,23 @@ class ShardedEngine:
         clock = doc.get("clock")
         engine._clock = float(clock) if clock is not None else None
         return engine
+
+    @classmethod
+    def restore(
+        cls,
+        path: PathLike,
+        *,
+        shards: Optional[int] = None,
+        replicas: Optional[int] = None,
+        max_streams: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> "ShardedEngine":
+        """Rebuild a ring from a :meth:`snapshot` file."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_snapshot_state(
+            doc,
+            shards=shards,
+            replicas=replicas,
+            max_streams=max_streams,
+            start_method=start_method,
+        )

@@ -44,14 +44,16 @@ class _ShardServer:
     # Each op_* method is one protocol verb; the result is pickled back
     # verbatim as the "ok" payload.
 
-    def op_ingest(self, records):
-        return self.engine.ingest(records)
-
     def op_ingest_arrays(self, keys, points, ts=None):
         return self.engine.ingest_arrays(keys, points, ts=ts)
 
+    def op_insert(self, key, x, y, ts=None):
+        return self.engine.insert(key, x, y, ts=ts)
+
     def op_advance_time(self, now):
-        return self.engine.advance_time(now)
+        # The parent's subscribers need the keys whose windows expired
+        # buckets, exactly as local subscribers would see them.
+        return self.engine.advance_time_detail(now)
 
     def op_keys(self):
         return self.engine.keys()
@@ -59,8 +61,8 @@ class _ShardServer:
     def op_hull(self, key):
         return self.engine.hull(key)
 
-    def op_summary_state(self, key):
-        summary = self.engine.get(key)
+    def op_summary_state(self, key, create=False):
+        summary = self.engine.summary(key) if create else self.engine.get(key)
         return None if summary is None else summary_state(summary)
 
     def op_merged_state(self, keys=None):

@@ -39,12 +39,28 @@ class WindowConfig:
             two oldest coalesce (>= 1; the exponential-histogram fanout
             parameter — bucket count grows with
             ``level_width * log(n)``).
+        warm_start: opt-in ingest accelerator — seed every fresh head
+            bucket with the previous bucket's hull vertices so the
+            young hull's containment filter starts hot.  The seeds are
+            purged when the head seals and when their source bucket
+            expires, so the windowed hull stays a sound inner
+            approximation (it never serves an expired point).  The
+            trade-off: genuine points discarded *because* the seed
+            hull covered them are not stored, so after the seed source
+            expires the window's error bound against the exact live
+            window hull can transiently exceed the cold-head bound —
+            by at most the expired bucket's extent, self-healing once
+            the seeded bucket itself expires.  Off by default: the
+            strict Theorem 5.4-style window bound is the library's
+            headline guarantee.  See
+            :class:`~repro.window.WindowedHullSummary`.
     """
 
     last_n: Optional[int] = None
     horizon: Optional[float] = None
     head_capacity: Optional[int] = None
     level_width: int = 2
+    warm_start: bool = False
 
     def __post_init__(self):
         if (self.last_n is None) == (self.horizon is None):
@@ -96,14 +112,16 @@ class WindowConfig:
             "horizon": self.horizon,
             "head_capacity": self.head_capacity,
             "level_width": self.level_width,
+            "warm_start": self.warm_start,
         }
 
     @classmethod
     def from_doc(cls, doc: Dict) -> "WindowConfig":
-        """Inverse of :meth:`to_doc`."""
+        """Inverse of :meth:`to_doc` (pre-warm-start docs were cold)."""
         return cls(
             last_n=doc.get("last_n"),
             horizon=doc.get("horizon"),
             head_capacity=doc.get("head_capacity"),
             level_width=int(doc.get("level_width", 2)),
+            warm_start=bool(doc.get("warm_start", False)),
         )

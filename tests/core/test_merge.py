@@ -89,15 +89,25 @@ def test_exact_hull_sharded_merge_identical(params, k, _salt):
 @given(stream_params, stream_params, r_values)
 def test_uniform_merge_matches_union_stream(params_a, params_b, r):
     """Direction-bucket-wise union == streaming the concatenation:
-    identical supports, extrema, hull, and union counters."""
+    identical supports, extrema, hull, and union counters.
+
+    Supports are compared with a 1e-9 relative tolerance: the
+    containment fast path discards borderline points within the
+    predicate's tolerance, so a point can be discarded in one
+    ingestion order yet processed in the other, leaving a support (and
+    possibly its extreme-point choice) an ulp apart — the same
+    measure-zero artifact the commutation test below tolerates.
+    """
     a_pts, b_pts = _pair(params_a, params_b)
     a, b, union = UniformHull(r), UniformHull(r), UniformHull(r)
     a.insert_many(a_pts)
     b.insert_many(b_pts)
     union.insert_many(a_pts + b_pts)
     a.merge(b)
-    assert a._support == union._support
-    assert a.hull() == union.hull()
+    assert a._support == pytest.approx(union._support, rel=1e-9, abs=1e-12)
+    scale = max(1.0, union.perimeter)
+    assert hull_distance(union.hull(), a.hull()) <= 1e-9 * scale
+    assert hull_distance(a.hull(), union.hull()) <= 1e-9 * scale
     assert a.points_seen == union.points_seen
 
 

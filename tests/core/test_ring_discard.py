@@ -63,6 +63,22 @@ class TestRingDiscardGuarantees:
         worst = max(point_polygon_distance(h.hull(), p) for p in pts)
         assert worst <= self.bound(h) + 1e-9
 
+    @pytest.mark.parametrize("pts", [
+        # Degenerate (collinear) hull: the uncertainty triangles sit on
+        # the support line; the orientation predicate would "contain"
+        # points far beyond the segment.
+        [(0.0, 0.0), (0.0, 1.0), (0.0, 3.0)],
+        # Genuine polygon, but a collapsed (zero-area) leaf triangle
+        # along one support line — same failure through another door.
+        [(0.0, 0.0), (0.0, -1.0), (-1.0, 0.0), (0.0, 3.0)],
+    ])
+    def test_degenerate_triangles_never_certify_discards(self, pts):
+        """Regression (hypothesis-found): the ring shortcut must not
+        trust collapsed or young, over-tall uncertainty triangles."""
+        h = feed(AdaptiveHull(8, ring_discard=True), pts)
+        worst = max(point_polygon_distance(h.hull(), p) for p in pts)
+        assert worst <= self.bound(h) + 1e-9
+
     @settings(max_examples=20, deadline=None)
     @given(point_lists)
     def test_error_bound_on_random_streams(self, pts):

@@ -173,6 +173,72 @@ class TestSubscriptions:
         e.ingest([("a", 1.0, 1.0)])
         assert seen == []
 
+    def test_callback_may_cancel_itself_mid_dispatch(self):
+        e = _engine()
+        seen = []
+        holder = {}
+
+        def once(keys):
+            seen.append(sorted(keys))
+            holder["sub"].cancel()
+
+        holder["sub"] = e.subscribe(once)
+        e.ingest([("a", 1.0, 1.0)])
+        e.ingest([("a", 2.0, 2.0)])
+        assert seen == [["a"]]
+
+    def test_cancelling_a_pending_sibling_suppresses_it(self):
+        """A subscription cancelled during dispatch must not fire later
+        in the same dispatch (regression: the dispatch loop iterated a
+        snapshot without re-checking membership)."""
+        e = _engine()
+        fired = []
+        holder = {}
+
+        def assassin(keys):
+            fired.append("assassin")
+            holder["victim"].cancel()
+
+        e.subscribe(assassin)
+        holder["victim"] = e.subscribe(lambda keys: fired.append("victim"))
+        e.ingest([("a", 1.0, 1.0)])
+        assert fired == ["assassin"]
+        e.ingest([("a", 2.0, 2.0)])
+        assert fired == ["assassin", "assassin"]
+
+    def test_subscribing_during_dispatch_defers_to_next_batch(self):
+        e = _engine()
+        fired = []
+
+        def recruiter(keys):
+            fired.append("recruiter")
+            if len(fired) == 1:
+                e.subscribe(lambda k: fired.append("recruit"))
+
+        e.subscribe(recruiter)
+        e.ingest([("a", 1.0, 1.0)])
+        assert fired == ["recruiter"]  # the recruit sees the NEXT batch
+        e.ingest([("a", 2.0, 2.0)])
+        assert fired == ["recruiter", "recruiter", "recruit"]
+
+    def test_reentrancy_safe_on_advance_time_dispatch(self):
+        from repro.window import WindowConfig
+
+        e = _engine(window=WindowConfig(horizon=1.0))
+        fired = []
+        holder = {}
+
+        def assassin(keys):
+            fired.append("assassin")
+            holder["victim"].cancel()
+
+        e.subscribe(assassin)
+        holder["victim"] = e.subscribe(lambda keys: fired.append("victim"))
+        e.insert("a", 400.0, 400.0, ts=0.0)
+        fired.clear()
+        assert e.advance_time(10.0) >= 1
+        assert fired == ["assassin"]
+
     def test_tracker_attach_reads_live_state(self):
         e = _engine()
         left = disk_stream(400, seed=1) - (5.0, 0.0)

@@ -1,0 +1,260 @@
+"""NDJSON TCP server + client: round-trip parity, push, errors.
+
+The acceptance property, over the wire: a stream ingested through the
+client/server loop yields bit-identical per-key and global results to
+the same stream fed synchronously into the underlying engine (JSON
+round-trips IEEE doubles exactly).
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.serve import (
+    AsyncHullClient,
+    AsyncHullService,
+    HullServer,
+    RemoteEngineError,
+)
+from repro.shard import ShardedEngine, SummarySpec
+from repro.streams import drifting_clusters_stream
+from repro.window import WindowConfig
+
+R = 8
+N = 600
+BATCH = 120
+KEYS = [f"tcp-{i}" for i in range(4)]
+
+
+def workload():
+    pts = drifting_clusters_stream(N, n_clusters=2, drift=0.1, seed=5)
+    keys = [KEYS[i % len(KEYS)] for i in range(N)]
+    ts = np.arange(N, dtype=np.float64) / 80.0
+    return keys, pts, ts
+
+
+def records(timed):
+    keys, pts, ts = workload()
+    for s in range(0, N, BATCH):
+        yield [
+            (
+                [k, float(p[0]), float(p[1]), float(t)]
+                if timed
+                else [k, float(p[0]), float(p[1])]
+            )
+            for k, p, t in zip(
+                keys[s : s + BATCH], pts[s : s + BATCH], ts[s : s + BATCH]
+            )
+        ]
+
+
+def sync_reference(engine_factory, timed):
+    with engine_factory() as engine:
+        for batch in records(timed):
+            engine.ingest([tuple(rec) for rec in batch])
+        return {
+            "keys": sorted(engine.keys()),
+            "per_key": {k: engine.hull(k) for k in engine.keys()},
+            "merged": engine.merged_hull(),
+            "diameter": engine.diameter(),
+            "width": engine.width(),
+        }
+
+
+async def tcp_results(engine_factory):
+    engine = engine_factory()
+    async with AsyncHullService(engine, own_engine=True) as service:
+        async with HullServer(service) as server:
+            client = await AsyncHullClient.connect(port=server.port)
+            try:
+                timed = engine.window is not None and engine.window.timed
+                for batch in records(timed):
+                    await client.ingest(batch)
+                await client.flush()
+                return {
+                    "keys": sorted(await client.keys()),
+                    "per_key": {
+                        k: await client.hull(k) for k in await client.keys()
+                    },
+                    "merged": await client.merged_hull(),
+                    "diameter": await client.diameter(),
+                    "width": await client.width(),
+                }
+            finally:
+                await client.aclose()
+
+
+@pytest.mark.parametrize(
+    "tier,mode",
+    [
+        ("stream", "none"),
+        ("stream", "count"),
+        ("stream", "timed"),
+        ("sharded", "timed"),
+    ],
+)
+def test_tcp_round_trip_parity(tier, mode):
+    window = {
+        "none": None,
+        "count": WindowConfig(last_n=150),
+        "timed": WindowConfig(horizon=3.0),
+    }[mode]
+
+    def factory():
+        if tier == "stream":
+            return StreamEngine(lambda: AdaptiveHull(R), window=window)
+        return ShardedEngine(
+            SummarySpec("AdaptiveHull", {"r": R}), shards=2, window=window
+        )
+
+    timed = window is not None and window.timed
+    expected = sync_reference(factory, timed)
+    got = asyncio.run(tcp_results(factory))
+    assert got == expected  # bit-identical through JSON/TCP
+
+
+def test_subscribe_push_and_unsubscribe_over_tcp():
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine) as service:
+            async with HullServer(service) as server:
+                client = await AsyncHullClient.connect(port=server.port)
+                try:
+                    sub = await client.subscribe(keys=["a"])
+                    await client.ingest([["b", 1.0, 1.0]], sync=True)
+                    await client.ingest([["a", 2.0, 2.0]], sync=True)
+                    touched = await asyncio.wait_for(sub.get(), 5)
+                    assert touched == {"a"}
+                    await sub.cancel()
+                    await client.ingest([["a", 3.0, 3.0]], sync=True)
+                    assert sub._queue.empty()
+                finally:
+                    await client.aclose()
+
+    asyncio.run(run())
+
+
+def test_resubscribe_replaces_key_filter():
+    """A second subscribe op on the same connection replaces the old
+    filter (regression: it was silently ignored)."""
+
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine) as service:
+            async with HullServer(service) as server:
+                client = await AsyncHullClient.connect(port=server.port)
+                try:
+                    sub = await client.subscribe(keys=["a"])
+                    # Raw re-subscribe with a different filter; events
+                    # keep landing in the client-side queue.
+                    await client._request({"op": "subscribe", "keys": ["b"]})
+                    await client.ingest([["a", 1.0, 1.0]], sync=True)
+                    await client.ingest([["b", 2.0, 2.0]], sync=True)
+                    touched = await asyncio.wait_for(sub.get(), 5)
+                    assert touched == {"b"}  # new filter is active
+                finally:
+                    await client.aclose()
+
+    asyncio.run(run())
+
+
+def test_oversize_line_drops_connection_cleanly():
+    from repro.serve.server import MAX_LINE
+
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine) as service:
+            async with HullServer(service) as server:
+                reader, writer = await asyncio.open_connection(
+                    port=server.port
+                )
+                writer.write(b"x" * (MAX_LINE + 64) + b"\n")
+                await writer.drain()
+                # The server drops the broken framing without crashing;
+                # the socket reaches EOF instead of hanging.
+                assert await asyncio.wait_for(reader.read(), 10) == b""
+                writer.close()
+                await writer.wait_closed()
+                # And the listener still accepts fresh connections.
+                client = await AsyncHullClient.connect(port=server.port)
+                try:
+                    assert (await client.ping())["engine"] == "StreamEngine"
+                finally:
+                    await client.aclose()
+
+    asyncio.run(run())
+
+
+def test_remote_errors_and_bad_lines():
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=5.0)
+        )
+        async with AsyncHullService(engine) as service:
+            async with HullServer(service) as server:
+                client = await AsyncHullClient.connect(port=server.port)
+                try:
+                    with pytest.raises(RemoteEngineError, match="unknown op"):
+                        await client._request({"op": "nonsense"})
+                    with pytest.raises(RemoteEngineError, match="unknown query"):
+                        await client._query("nonsense")
+                    # Producer-side validation travels back as an error.
+                    with pytest.raises(RemoteEngineError, match="coercible"):
+                        await client.ingest([["a", "oops", 0.0]])
+                    # Engine-level rejection surfaces on sync ingest.
+                    await client.ingest([["a", 1.0, 1.0, 9.0]], sync=True)
+                    with pytest.raises(
+                        RemoteEngineError, match="non-decreasing"
+                    ):
+                        await client.ingest([["a", 2.0, 2.0, 1.0]], sync=True)
+                    # The connection survives all of it.
+                    assert (await client.ping())["engine"] == "StreamEngine"
+                finally:
+                    await client.aclose()
+                # A malformed JSON line gets an error reply, not a hangup.
+                reader, writer = await asyncio.open_connection(
+                    port=server.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["ok"] is False
+                writer.write(b'{"op": "ping", "id": 1}\n')
+                await writer.drain()
+                assert json.loads(await reader.readline())["ok"] is True
+                writer.close()
+                await writer.wait_closed()
+
+    asyncio.run(run())
+
+
+def test_snapshot_over_tcp_restores_identically(tmp_path):
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine) as service:
+            async with HullServer(service) as server:
+                client = await AsyncHullClient.connect(port=server.port)
+                try:
+                    for batch in records(False):
+                        await client.ingest(batch)
+                    await client.flush()
+                    state = await client.snapshot_state()
+                    server_path = await client.snapshot(
+                        tmp_path / "remote.json"
+                    )
+                    hulls = {k: engine.hull(k) for k in engine.keys()}
+                    return state, server_path, hulls
+                finally:
+                    await client.aclose()
+
+    state, server_path, hulls = asyncio.run(run())
+    with StreamEngine.from_snapshot_state(
+        state, lambda: AdaptiveHull(R)
+    ) as restored:
+        assert {k: restored.hull(k) for k in restored.keys()} == hulls
+    with StreamEngine.restore(server_path, lambda: AdaptiveHull(R)) as disk:
+        assert {k: disk.hull(k) for k in disk.keys()} == hulls

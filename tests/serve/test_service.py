@@ -1,0 +1,416 @@
+"""AsyncHullService: parity, coalescing, push, ticker, drain.
+
+The acceptance property: a stream ingested through the async facade
+yields **bit-identical** per-key and global hull/diameter/width results
+to the same stream fed synchronously into the underlying engine — for
+both engine tiers, windowed and unwindowed.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.serve import AsyncHullService
+from repro.shard import ShardedEngine, SummarySpec
+from repro.streams import drifting_clusters_stream
+from repro.window import WindowConfig
+
+R = 8
+N = 900
+BATCH = 150
+KEYS = [f"svc-{i}" for i in range(5)]
+
+WINDOWS = {
+    "none": None,
+    "count": WindowConfig(last_n=200),
+    "timed": WindowConfig(horizon=3.0),
+}
+
+
+def make_engine(tier, window):
+    if tier == "stream":
+        return StreamEngine(lambda: AdaptiveHull(R), window=window)
+    return ShardedEngine(
+        SummarySpec("AdaptiveHull", {"r": R}), shards=2, window=window
+    )
+
+
+def workload():
+    pts = drifting_clusters_stream(N, n_clusters=2, drift=0.1, seed=3)
+    keys = np.array([KEYS[i % len(KEYS)] for i in range(N)])
+    ts = np.arange(N, dtype=np.float64) / 90.0
+    return keys, pts, ts
+
+
+def batches(timed):
+    keys, pts, ts = workload()
+    for s in range(0, N, BATCH):
+        yield (
+            keys[s : s + BATCH],
+            pts[s : s + BATCH],
+            ts[s : s + BATCH] if timed else None,
+        )
+
+
+@pytest.mark.parametrize("tier", ["stream", "sharded"])
+@pytest.mark.parametrize("mode", list(WINDOWS))
+def test_async_parity_with_sync_engine(tier, mode):
+    window = WINDOWS[mode]
+    timed = window is not None and window.timed
+
+    with make_engine(tier, window) as sync_engine:
+        for kb, pb, tb in batches(timed):
+            sync_engine.ingest_arrays(kb, pb, ts=tb)
+        expected = {
+            "keys": sorted(sync_engine.keys()),
+            "per_key": {k: sync_engine.hull(k) for k in sync_engine.keys()},
+            "merged": sync_engine.merged_hull(),
+            "diameter": sync_engine.diameter(),
+            "width": sync_engine.width(),
+            "points": sync_engine.stats().points_ingested,
+        }
+
+    async def run():
+        engine = make_engine(tier, window)
+        async with AsyncHullService(engine, own_engine=True) as service:
+            for kb, pb, tb in batches(timed):
+                await service.ingest_arrays(kb, pb, ts=tb)
+            await service.flush()
+            got = {
+                "keys": sorted(await service.keys()),
+                "per_key": {
+                    k: await service.hull(k) for k in await service.keys()
+                },
+                "merged": await service.merged_hull(),
+                "diameter": await service.diameter(),
+                "width": await service.width(),
+                "points": (await service.stats()).points_ingested,
+            }
+            assert service.service_stats()["ingest_errors"] == 0
+            return got
+
+    got = asyncio.run(run())
+    assert got == expected  # bit-identical, coalescing included
+
+
+def test_coalescing_preserves_results_and_batches_fewer():
+    keys, pts, _ = workload()
+    with StreamEngine(lambda: AdaptiveHull(R)) as direct:
+        for s in range(0, N, BATCH):
+            direct.ingest_arrays(keys[s : s + BATCH], pts[s : s + BATCH])
+        direct_hull = direct.merged_hull()
+        direct_batches = direct.stats().batches_ingested
+
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        service = AsyncHullService(engine, queue_size=N // BATCH + 1)
+        # Enqueue everything BEFORE starting the drain task: the first
+        # drain sees the whole backlog and must coalesce it.
+        await service.start()
+        service._drain_task.cancel()
+        try:
+            await service._drain_task
+        except asyncio.CancelledError:
+            pass
+        for s in range(0, N, BATCH):
+            await service.ingest_arrays(
+                keys[s : s + BATCH], pts[s : s + BATCH]
+            )
+        service._drain_task = asyncio.ensure_future(service._drain_loop())
+        await service.flush()
+        stats = service.service_stats()
+        merged = engine.merged_hull()
+        engine_batches = engine.stats().batches_ingested
+        await service.aclose()
+        return merged, engine_batches, stats
+
+    merged, engine_batches, stats = asyncio.run(run())
+    assert merged == direct_hull
+    assert stats["coalesced_batches"] == N // BATCH - 1
+    assert engine_batches == 1 < direct_batches
+
+
+def test_backpressure_queue_is_bounded():
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine, queue_size=2) as service:
+            assert service._queue.maxsize == 2
+            # put suspends once the queue is full; feeding through
+            # normally still lands everything.
+            for s in range(0, N, BATCH):
+                keys, pts, _ = workload()
+                await service.ingest_arrays(
+                    keys[s : s + BATCH], pts[s : s + BATCH]
+                )
+            await service.flush()
+            return (await service.stats()).points_ingested
+
+    assert asyncio.run(run()) == N
+
+
+def test_producer_side_validation_raises_synchronously():
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine) as service:
+            with pytest.raises(ValueError):
+                await service.ingest_arrays(["a"], [[float("nan"), 0.0]])
+            with pytest.raises(ValueError):
+                await service.ingest_arrays(["a"], [[0.0, 0.0]], ts=[1.0])
+            with pytest.raises(ValueError):
+                await service.ingest([("a", 0.0, 0.0, 1.0)])
+            assert service.service_stats()["enqueued_batches"] == 0
+
+    asyncio.run(run())
+
+
+def test_drain_time_rejection_counted_not_fatal():
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=5.0)
+        )
+        async with AsyncHullService(engine) as service:
+            await service.ingest([("a", 1.0, 1.0, 5.0)])
+            await service.flush()
+            # Stale timestamp: valid shape, rejected by the engine.
+            await service.ingest([("a", 2.0, 2.0, 1.0)])
+            await service.flush()
+            stats = service.service_stats()
+            assert stats["ingest_errors"] == 1
+            assert "non-decreasing" in stats["last_error"]
+            # The service keeps serving.
+            await service.ingest([("a", 3.0, 3.0, 6.0)])
+            await service.flush()
+            return (await service.stats()).points_ingested
+
+    assert asyncio.run(run()) == 2
+
+
+def test_coalescing_never_crosses_ts_presence_boundary():
+    """On a count-windowed engine a timestamped and an untimestamped
+    batch may share the queue; coalescing must not drop (or fabricate)
+    the timestamps (regression: mixed runs once collapsed to ts=None,
+    silently accepting later stale timestamps)."""
+
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(last_n=50)
+        )
+        service = AsyncHullService(engine, queue_size=8)
+        await service.start()
+        service._drain_task.cancel()
+        try:
+            await service._drain_task
+        except asyncio.CancelledError:
+            pass
+        await service.ingest_arrays(["a", "a"], [[1.0, 1.0], [2.0, 2.0]],
+                                    ts=[100.0, 101.0])
+        await service.ingest_arrays(["b"], [[3.0, 3.0]])
+        service._drain_task = asyncio.ensure_future(service._drain_loop())
+        await service.flush()
+        assert service.service_stats()["ingest_errors"] == 0
+        assert engine.get("a").last_ts == 101.0  # ts survived the mix
+        # One-by-one semantics preserved: a stale ts is still rejected.
+        await service.ingest_arrays(["a"], [[4.0, 4.0]], ts=[50.0])
+        await service.flush()
+        assert service.service_stats()["ingest_errors"] == 1
+        await service.aclose()
+
+    asyncio.run(run())
+
+
+def test_coalesced_rejection_replays_constituent_batches():
+    """When a merged run is rejected, the drain replays the queued
+    batches one by one, so a valid batch coalesced with a bad one is
+    never lost (regression: the whole merged run was rejected
+    atomically, silently dropping accepted data)."""
+
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=100.0)
+        )
+        service = AsyncHullService(engine, queue_size=8)
+        await service.start()
+        service._drain_task.cancel()
+        try:
+            await service._drain_task
+        except asyncio.CancelledError:
+            pass
+        # Valid batch A (ts up to 20), then batch B whose ts rewinds:
+        # one-by-one semantics apply A and reject only B.
+        await service.ingest_arrays(["k", "k"], [[1.0, 1.0], [2.0, 2.0]],
+                                    ts=[10.0, 20.0])
+        await service.ingest_arrays(["k"], [[3.0, 3.0]], ts=[15.0])
+        await service.ingest_arrays(["k"], [[4.0, 4.0]], ts=[25.0])
+        service._drain_task = asyncio.ensure_future(service._drain_loop())
+        await service.flush()
+        stats = service.service_stats()
+        assert stats["ingest_errors"] == 1  # only the rewinding batch
+        assert (await service.stats()).points_ingested == 3
+        assert engine.get("k").last_ts == 25.0
+        await service.aclose()
+
+    asyncio.run(run())
+
+
+def test_sync_ingest_attributes_rejection_to_its_own_batch():
+    """sync=True re-raises exactly this batch's rejection; a concurrent
+    valid sync batch is unaffected (regression: the server once
+    reported a shared error-counter delta, bleeding other producers'
+    failures into innocent replies)."""
+
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=100.0)
+        )
+        async with AsyncHullService(engine) as service:
+            await service.ingest([("k", 1.0, 1.0, 20.0)], sync=True)
+            bad = asyncio.ensure_future(
+                service.ingest([("k", 2.0, 2.0, 10.0)], sync=True)
+            )
+            good = asyncio.ensure_future(
+                service.ingest([("k", 3.0, 3.0, 30.0)], sync=True)
+            )
+            with pytest.raises(ValueError, match="non-decreasing"):
+                await bad
+            assert await good == 1  # the innocent producer succeeds
+            assert (await service.stats()).points_ingested == 2
+            assert service.service_stats()["ingest_errors"] == 1
+
+    asyncio.run(run())
+
+
+def test_subscription_overflow_merges_into_tail_in_order():
+    """A slow consumer sees notifications in dispatch order, with
+    overflow merged into the newest pending set (regression: the merge
+    once popped the queue head, reordering delivery)."""
+
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine) as service:
+            sub = await service.subscribe(maxsize=2)
+            sub._push({"a"})
+            sub._push({"b"})
+            sub._push({"c"})  # overflow: merges into {"b"}
+            assert sub.coalesced == 1
+            assert await sub.get() == {"a"}
+            assert await sub.get() == {"b", "c"}
+            # After draining, normal delivery resumes.
+            sub._push({"d"})
+            assert await sub.get() == {"d"}
+
+    asyncio.run(run())
+
+
+def test_standing_query_push_and_expiry():
+    """A spike is pushed to the subscriber, then its expiry (driven by
+    advance_time with no new data) is pushed too."""
+
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=1.0)
+        )
+        async with AsyncHullService(engine) as service:
+            sub = await service.subscribe()
+            await service.ingest([("probe", 400.0, 400.0, 0.0)])
+            await service.flush()
+            touched = await asyncio.wait_for(sub.get(), 5)
+            assert touched == {"probe"}
+            # Ageing out with no new data also notifies.
+            expired = await service.advance_time(10.0)
+            assert expired >= 1
+            touched = await asyncio.wait_for(sub.get(), 5)
+            assert touched == {"probe"}
+            assert (await service.hull("probe")) == []
+            await sub.cancel()
+            await service.ingest([("probe", 1.0, 1.0, 11.0)])
+            await service.flush()
+            assert sub._queue.empty()
+
+    asyncio.run(run())
+
+
+def test_ticker_drives_advance_time():
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=1.0)
+        )
+        fake_now = [100.0]
+        service = AsyncHullService(
+            engine, tick_interval=0.01, clock=lambda: fake_now[0]
+        )
+        async with service:
+            await service.ingest([("t", 1.0, 1.0, 0.5)])
+            await service.flush()
+            fake_now[0] = 200.0  # everything is now stale
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if (await service.stats()).bucket_expiries:
+                    break
+            stats = await service.stats()
+            assert stats.bucket_expiries >= 1
+            assert service.service_stats()["ticks"] >= 1
+
+    asyncio.run(run())
+
+
+def test_ticker_requires_timed_window_and_clock():
+    engine = StreamEngine(lambda: AdaptiveHull(R))
+    with pytest.raises(ValueError):
+        AsyncHullService(engine, tick_interval=1.0, clock=lambda: 0.0)
+    timed = StreamEngine(
+        lambda: AdaptiveHull(R), window=WindowConfig(horizon=1.0)
+    )
+    with pytest.raises(ValueError):
+        AsyncHullService(timed, tick_interval=1.0)
+
+
+def test_aclose_drains_inline_when_drain_task_died():
+    """Python 3.10's asyncio.run cancels *every* task on Ctrl-C, drain
+    worker included; aclose must then apply the accepted batches
+    inline (a bare queue.join() would hang with no consumer) and
+    resolve waiting sync producers."""
+
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        service = AsyncHullService(engine, queue_size=8)
+        await service.start()
+        service._drain_task.cancel()
+        try:
+            await service._drain_task
+        except asyncio.CancelledError:
+            pass
+        await service.ingest_arrays(["a"], [[1.0, 1.0]])
+        sync_task = asyncio.ensure_future(
+            service.ingest_arrays(["b"], [[2.0, 2.0]], sync=True)
+        )
+        await asyncio.sleep(0)  # let the sync put land
+        await service.aclose()
+        assert await sync_task == 1  # applied inline, future resolved
+        assert engine.stats().points_ingested == 2
+
+    asyncio.run(run())
+
+
+def test_graceful_close_drains_and_snapshots(tmp_path):
+    path = tmp_path / "final.json"
+
+    async def run():
+        keys, pts, _ = workload()
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        service = AsyncHullService(engine, own_engine=True)
+        await service.start()
+        for s in range(0, N, BATCH):
+            await service.ingest_arrays(keys[s : s + BATCH], pts[s : s + BATCH])
+        # No flush: aclose must drain the queue itself.
+        await service.aclose(final_snapshot=path)
+        assert engine.stats().points_ingested == N
+        with pytest.raises(RuntimeError):
+            await service.ingest_arrays(keys[:1], pts[:1])
+        return {k: engine.hull(k) for k in engine.keys()}
+
+    hulls = asyncio.run(run())
+    with StreamEngine.restore(path, lambda: AdaptiveHull(R)) as restored:
+        assert {k: restored.hull(k) for k in restored.keys()} == hulls

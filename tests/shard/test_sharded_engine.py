@@ -141,7 +141,13 @@ def test_summary_returns_a_detached_copy(keyed_workload):
         before = eng.hull(k)
         copy.insert((1e6, 1e6))  # mutate the copy only
         assert eng.hull(k) == before
-        assert eng.summary("never-fed") is None
+        # The read-only probe never creates; ``summary`` (the protocol
+        # surface) creates lazily, like StreamEngine.summary.
+        assert eng.get("never-probed") is None
+        assert "never-probed" not in eng.keys()
+        lazy = eng.summary("never-fed")
+        assert lazy.points_seen == 0
+        assert "never-fed" in eng.keys()
 
 
 def test_empty_engine_edge_cases():

@@ -57,6 +57,27 @@ class TestParser:
             with pytest.raises(SystemExit, match="window: --"):
                 main(argv)
 
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_run_defaults(self):
+        args = build_parser().parse_args(["serve", "run"])
+        assert args.serve_cmd == "run"
+        assert args.port == 0 and args.workers == 0
+        assert args.last_n is None and args.horizon is None
+        assert not args.selfcheck
+
+    def test_serve_modes_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "run", "--last-n", "100", "--horizon", "5"]
+            )
+
+    def test_serve_tick_requires_horizon(self):
+        with pytest.raises(SystemExit, match="--tick"):
+            main(["serve", "run", "--tick", "1.0", "--selfcheck"])
+
 
 class TestCommands:
     def test_table1_disk(self, capsys):
@@ -144,6 +165,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "window horizon=1.5" in out
         assert "bucket expiries" in out
+
+    def test_serve_run_selfcheck(self, tmp_path, capsys):
+        snap = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "serve", "run",
+                    "--selfcheck",
+                    "--r", "8",
+                    "--last-n", "500",
+                    "--snapshot", str(snap),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "selfcheck" in out
+        assert snap.exists()
+
+    def test_serve_bench_parity(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "bench",
+                    "--n", "3000",
+                    "--keys", "6",
+                    "--r", "8",
+                    "--batch", "1000",
+                    "--queries", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bit-identical global hulls: True" in out
 
     def test_fig10(self, tmp_path, capsys):
         assert main(["fig10", "--out", str(tmp_path), "--n", "800"]) == 0
