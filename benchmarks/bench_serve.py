@@ -19,9 +19,18 @@ assertion (1-CPU CI containers): the enforced property is the
 acceptance criterion — **bit-identical** global hulls across all three
 paths.  Coalescing typically makes the facade's *engine* batch count
 lower than the producer's put count; that is recorded too.
+
+The multi-client section serves the same workload split across N
+concurrent loopback connections (``--clients N`` from the command
+line, ``REPRO_BENCH_CLIENTS`` under pytest) — one server, one shared
+service queue, interleaved pipelined ingests — and records the
+aggregate rate next to the single-client one, still gated on the
+parity property (every client's slice lands, global hull identical to
+the single-connection run).
 """
 
 import asyncio
+import os
 import time
 
 import numpy as np
@@ -37,6 +46,7 @@ KEYS = 32
 R = 32
 BATCH = 2_000
 QUERIES = 5 if smoke() else 25
+CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "4"))
 
 
 def _workload():
@@ -45,6 +55,19 @@ def _workload():
         np.random.default_rng(9).integers(0, KEYS, N)
     ]
     return keys, pts
+
+
+#: Single-client baselines memoised across the two tests (both need
+#: the direct/TCP hulls for their parity gates; the workload is
+#: deterministic, so rerunning the most expensive sections would only
+#: double the bench job's wall time).
+_BASELINES: dict = {}
+
+
+def _baseline(name, fn):
+    if name not in _BASELINES:
+        _BASELINES[name] = fn()
+    return _BASELINES[name]
 
 
 def _engine():
@@ -107,11 +130,108 @@ async def _run_tcp(keys, pts):
                 await client.aclose()
 
 
+async def _run_tcp_multi(keys, pts, n_clients):
+    """N concurrent loopback clients splitting the same workload.
+
+    Each client owns a contiguous slice of the batch sequence and
+    pipelines its ingests over its own connection; the single service
+    queue coalesces across clients.  Returns the aggregate rate and
+    the final global hull (for the parity gate against the
+    single-client run)."""
+    engine = _engine()
+    async with AsyncHullService(engine, own_engine=True) as service:
+        # +1 admits the post-run probe even if a worker connection's
+        # server-side teardown lags its client-side close.
+        async with HullServer(
+            service, max_connections=n_clients + 1
+        ) as server:
+            starts = list(range(0, N, BATCH))
+            slices = [starts[i::n_clients] for i in range(n_clients)]
+
+            async def one_client(my_starts):
+                client = await AsyncHullClient.connect(port=server.port)
+                try:
+                    for s in my_starts:
+                        await client.ingest(
+                            [
+                                (str(k), float(x), float(y))
+                                for k, (x, y) in zip(
+                                    keys[s : s + BATCH], pts[s : s + BATCH]
+                                )
+                            ]
+                        )
+                    await client.flush()
+                finally:
+                    await client.aclose()
+
+            t0 = time.perf_counter()
+            await asyncio.gather(*(one_client(sl) for sl in slices))
+            rate = N / (time.perf_counter() - t0)
+            probe = await AsyncHullClient.connect(port=server.port)
+            try:
+                hull = await probe.merged_hull()
+                stats = await probe.stats()
+            finally:
+                await probe.aclose()
+            return rate, hull, stats["points_ingested"]
+
+
+def test_serve_multi_client():
+    keys, pts = _workload()
+    _, _, s_hull, _ = _baseline("direct", lambda: _run_direct(keys, pts))
+    t_rate, _, t_hull = _baseline(
+        "tcp", lambda: asyncio.run(_run_tcp(keys, pts))
+    )
+    m_rate, m_hull, m_points = asyncio.run(
+        _run_tcp_multi(keys, pts, CLIENTS)
+    )
+    # Parity gate: concurrent clients interleave batches, but every
+    # record lands and per-key order is preserved per client slice —
+    # the canonical-key-order global fold must match exactly.
+    assert m_points == N, f"multi-client run lost records: {m_points}/{N}"
+    assert m_hull == s_hull == t_hull, "multi-client hull diverged"
+
+    lines = [
+        f"{'path':>22} {'ingest rate':>16}",
+        f"{'tcp x1 client':>22} {t_rate:>12,.0f} r/s",
+        f"{f'tcp x{CLIENTS} clients':>22} {m_rate:>12,.0f} r/s",
+        "",
+        f"aggregate speedup : {m_rate / t_rate:.2f}x "
+        f"({CLIENTS} concurrent connections, one engine thread)",
+        "parity            : bit-identical global hull, no lost records",
+    ]
+    report = banner(
+        f"Multi-client serving, {N:,} records / {CLIENTS} clients", "\n".join(lines)
+    )
+    write_report("serve_multiclient", report)
+    write_json(
+        "serve_multiclient",
+        {
+            "benchmark": "serve_multiclient",
+            "n": N,
+            "keys": KEYS,
+            "r": R,
+            "batch": BATCH,
+            "clients": CLIENTS,
+            "smoke": smoke(),
+            "tcp_single_rate_records_per_sec": t_rate,
+            "tcp_multi_rate_records_per_sec": m_rate,
+            "multi_over_single": m_rate / t_rate,
+            "parity_bit_identical": True,
+        },
+    )
+    print("\n" + report)
+
+
 def test_serve_facade_and_tcp_vs_direct():
     keys, pts = _workload()
-    d_rate, d_lat, d_hull, d_batches = _run_direct(keys, pts)
+    d_rate, d_lat, d_hull, d_batches = _baseline(
+        "direct", lambda: _run_direct(keys, pts)
+    )
     f_rate, f_lat, f_hull, f_batches = asyncio.run(_run_facade(keys, pts))
-    t_rate, t_lat, t_hull = asyncio.run(_run_tcp(keys, pts))
+    t_rate, t_lat, t_hull = _baseline(
+        "tcp", lambda: asyncio.run(_run_tcp(keys, pts))
+    )
 
     # The acceptance property: identical answers through every door.
     assert f_hull == d_hull, "async facade result diverged from direct"
@@ -162,4 +282,16 @@ def test_serve_facade_and_tcp_vs_direct():
 
 
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--clients", type=int, default=CLIENTS,
+        help="concurrent loopback clients for the multi-client section",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.clients < 1:
+        raise SystemExit("bench_serve: --clients must be >= 1")
+    CLIENTS = cli_args.clients
     test_serve_facade_and_tcp_vs_direct()
+    test_serve_multi_client()

@@ -70,6 +70,13 @@ through the same algebra, whole-bucket expiry, logarithmic space::
     engine.advance_time(now)                    # expire with no new data
     engine.merged_summary().hull()              # hull of the live windows
 
+Real feeds arrive *out of order*: ``WindowConfig(horizon=...,
+max_delay=D)`` opts a time window into bounded lateness
+(:mod:`repro.engine.time`) — records up to ``D`` behind the newest
+event are reordered behind a watermark (hulls bit-identical to the
+sorted stream), later ones are counted and dropped, never silently
+applied.
+
 Both tiers implement one formal contract, :class:`EngineProtocol`
 (ingest / queries / standing-query subscribe / snapshots / lifecycle),
 so they are drop-in interchangeable — and the :mod:`repro.serve`
@@ -101,7 +108,13 @@ from .baselines import (
     RadialHistogramHull,
     RandomSampleHull,
 )
-from .engine import EngineProtocol, EngineStats, StreamEngine, Subscription
+from .engine import (
+    EngineProtocol,
+    EngineStats,
+    StreamEngine,
+    Subscription,
+    TimePolicy,
+)
 from .extensions.clusterhull import ClusterHull
 from .serve import AsyncHullClient, AsyncHullService, HullServer
 from .shard import HashRing, ShardedEngine, ShardError, ShardStats, SummarySpec, tree_merge
@@ -146,6 +159,7 @@ __all__ = [
     "tree_merge",
     "WindowConfig",
     "WindowedHullSummary",
+    "TimePolicy",
     "save_summary",
     "load_summary",
     "diameter",

@@ -14,11 +14,11 @@ Usage::
     python -m repro shard  [--keys K] [--n N] [--r R] [--batch B]
                            [--workers W] [--snapshot PATH] [--seed S]
     python -m repro window [--keys K] [--n N] [--r R] [--batch B]
-                           [--last-n N | --horizon T] [--workers W]
-                           [--snapshot PATH] [--seed S]
+                           [--last-n N | --horizon T] [--max-delay D]
+                           [--workers W] [--snapshot PATH] [--seed S]
     python -m repro serve run   [--host H] [--port P] [--r R]
-                                [--last-n N | --horizon T] [--workers W]
-                                [--tick SEC] [--duration SEC]
+                                [--last-n N | --horizon T] [--max-delay D]
+                                [--workers W] [--tick SEC] [--duration SEC]
                                 [--selfcheck] [--snapshot PATH]
     python -m repro serve bench [--n N] [--keys K] [--batch B] [--r R]
                                 [--workers W] [--queries Q]
@@ -144,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="time-based window in time units (records carry ts)",
     )
     win.add_argument(
+        "--max-delay", type=float, default=None,
+        help="bounded-lateness tolerance (time windows only): records are "
+        "fed out of order within this bound, reordered by the watermark, "
+        "and later-than-watermark records are counted and dropped",
+    )
+    win.add_argument(
         "--workers", type=int, default=0,
         help="shard worker processes (0 = in-process StreamEngine)",
     )
@@ -173,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument(
         "--horizon", type=float, default=None,
         help="time-based window in seconds (records carry wall-clock ts)",
+    )
+    run.add_argument(
+        "--max-delay", type=float, default=None,
+        help="bounded-lateness tolerance in seconds (needs --horizon): "
+        "out-of-order records within the bound are reordered by the "
+        "watermark; later ones are counted and dropped",
     )
     run.add_argument(
         "--workers", type=int, default=0,
@@ -449,6 +461,13 @@ def _cmd_window(args: argparse.Namespace) -> int:
     ]
     # One time unit per 1000 records; only sent for time-based windows.
     ts = np.arange(args.n, dtype=np.float64) / 1000.0
+    order = np.arange(args.n)
+    if window is not None and window.max_delay is not None:
+        # Bounded lateness: deliver the stream out of order (each
+        # record delayed < max_delay) — the watermark reorders it.
+        from .streams import bounded_shuffle
+
+        order = bounded_shuffle(ts, window.max_delay, seed=args.seed)
 
     all_time = AdaptiveHull(args.r)  # the contrast: extremes never age out
     all_time.insert_many(pts)  # fed outside the timed region
@@ -456,18 +475,29 @@ def _cmd_window(args: argparse.Namespace) -> int:
     def run(engine):
         t0 = time.perf_counter()
         for s in range(0, args.n, args.batch):
-            e = min(s + args.batch, args.n)
-            kw = {"ts": ts[s:e]} if window.timed else {}
-            engine.ingest_arrays(keys[s:e], pts[s:e], **kw)
+            sl = order[s : min(s + args.batch, args.n)]
+            kw = {"ts": ts[sl]} if window.timed else {}
+            engine.ingest_arrays(keys[sl], pts[sl], **kw)
+        if window.max_delay is not None:
+            # Heartbeat past the last event so the watermark passes
+            # everything still buffered before we query (2x the bound:
+            # (t + d) - d can round below t in floats).
+            engine.advance_time(float(ts[-1]) + 2 * window.max_delay)
         return time.perf_counter() - t0
 
     mode = (
         f"last_n={window.last_n}" if not window.timed
         else f"horizon={window.horizon}"
+        + (
+            f" max_delay={window.max_delay}"
+            if window.max_delay is not None
+            else ""
+        )
     )
     with engine_cm as engine:
         elapsed = run(engine)
         stats = engine.stats()
+        late = engine.late_dropped
         # One whole-engine reduction serves both global answers.
         merged = engine.merged_summary()
         merged_hull = merged.hull()
@@ -490,6 +520,9 @@ def _cmd_window(args: argparse.Namespace) -> int:
           f"{stats.buckets} buckets")
     print(f"maintenance  : {stats.bucket_merges} bucket merges, "
           f"{stats.bucket_expiries} bucket expiries")
+    if window.max_delay is not None:
+        print(f"event time   : shuffled within {window.max_delay}, "
+              f"{late} late drops, {stats.buffered} still buffered")
     print(f"throughput   : {args.n / elapsed:,.0f} records/sec")
     print(f"window hull  : {len(merged_hull)} vertices, "
           f"diameter {windowed_diam:.3f}")
@@ -517,14 +550,20 @@ def _tier_engine(args, prog: str, default_window=None):
         raise SystemExit(f"{prog}: --workers must be >= 0")
     last_n = getattr(args, "last_n", None)
     horizon = getattr(args, "horizon", None)
+    max_delay = getattr(args, "max_delay", None)
     if last_n is not None and last_n < 1:
         raise SystemExit(f"{prog}: --last-n must be >= 1")
     if horizon is not None and not (horizon > 0.0 and math.isfinite(horizon)):
         raise SystemExit(f"{prog}: --horizon must be positive and finite")
+    if max_delay is not None:
+        if horizon is None:
+            raise SystemExit(f"{prog}: --max-delay needs --horizon")
+        if not (max_delay > 0.0 and math.isfinite(max_delay)):
+            raise SystemExit(f"{prog}: --max-delay must be positive and finite")
     if last_n is not None:
         window = WindowConfig(last_n=last_n)
     elif horizon is not None:
-        window = WindowConfig(horizon=horizon)
+        window = WindowConfig(horizon=horizon, max_delay=max_delay)
     else:
         window = default_window
     if args.workers:
@@ -570,12 +609,27 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         client = await AsyncHullClient.connect(args.host, port)
         try:
             await client.ping()
+            ts = now + np.arange(len(pts)) * 1e-4
             records = []
             for i, (x, y) in enumerate(pts):
                 rec = [f"check-{i % 8}", float(x), float(y)]
                 if args.horizon is not None:
-                    rec.append(now + i * 1e-4)
+                    rec.append(float(ts[i]))
                 records.append(rec)
+            late_expected = 0
+            if args.horizon is not None and args.max_delay is not None:
+                # Bounded lateness: ship the stream shuffled within the
+                # bound — the server's watermark must reorder it — and
+                # one record far beyond it, which must be counted and
+                # dropped, never applied.
+                from .streams import bounded_shuffle
+
+                order = bounded_shuffle(ts, args.max_delay, seed=1)
+                records = [records[i] for i in order]
+                records.append(
+                    ["check-late", 0.0, 0.0, float(ts[0]) - 10 * args.max_delay]
+                )
+                late_expected = 1
             queued = sum(
                 [
                     await client.ingest(records[s : s + 500])
@@ -583,15 +637,32 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                 ]
             )
             await client.flush()
+            if args.horizon is not None and args.max_delay is not None:
+                # Heartbeat the watermark past the newest event so
+                # nothing is still sitting in the reorder buffers (2x
+                # the bound: (t + d) - d can round below t in floats).
+                await client.advance_time(float(ts[-1]) + 2 * args.max_delay)
             hull = await client.merged_hull()
             diam = await client.diameter()
             stats = await client.stats()
+            late_ok = True
+            if late_expected:
+                sstats = await client.service_stats()
+                drops = await client.late_drops()
+                late_ok = (
+                    sstats["late_dropped"] == late_expected
+                    and drops == {"check-late": late_expected}
+                )
+                print(f"selfcheck    : late drops {sstats['late_dropped']} "
+                      f"(expected {late_expected})")
             print(f"selfcheck    : queued {queued}, streams "
                   f"{stats['streams']}, hull {len(hull)} vertices, "
                   f"diameter {diam:.3f}")
             return (
                 queued == len(records)
-                and stats["points_ingested"] >= queued
+                and stats["points_ingested"] >= queued - late_expected
+                and stats["late_dropped"] == late_expected
+                and late_ok
                 and len(hull) >= 3
                 and diam > 0.0
             )
@@ -614,6 +685,11 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                     "no window" if window is None
                     else f"last_n={window.last_n}" if not window.timed
                     else f"horizon={window.horizon}"
+                    + (
+                        f" max_delay={window.max_delay}"
+                        if window.max_delay is not None
+                        else ""
+                    )
                 )
                 tier = (
                     f"sharded x{args.workers}" if args.workers

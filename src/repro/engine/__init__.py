@@ -16,6 +16,7 @@ the hoisted routing/validation/query plumbing lives in
 from .common import ExtentQueryAPI, SubscriberAPI, Subscription
 from .engine import EngineStats, StreamEngine
 from .protocol import PROTOCOL_MEMBERS, EngineProtocol
+from .time import EventClock, ReorderBuffer, TimePolicy
 
 __all__ = [
     "StreamEngine",
@@ -25,4 +26,7 @@ __all__ = [
     "PROTOCOL_MEMBERS",
     "SubscriberAPI",
     "ExtentQueryAPI",
+    "TimePolicy",
+    "EventClock",
+    "ReorderBuffer",
 ]

@@ -19,7 +19,10 @@ logic that must not drift between them lives here:
   ``argsort`` for comparable dtypes, dict grouping for arbitrary
   hashables);
 * **timestamp validation** — :func:`validate_ts_batch` applies the
-  shared finite/non-decreasing policy with a tier-specific boundary;
+  shared event-time policy with a tier-specific boundary: finite and
+  non-decreasing under the strict default, finiteness only under a
+  bounded-lateness :class:`~repro.engine.time.TimePolicy` (ordering is
+  then the reorder layer's job, not an error);
 * **query folds** — the :class:`ExtentQueryAPI` mixin derives
   ``merged_hull`` / ``diameter`` / ``width`` from ``merged_summary``,
   so every tier answers the Section 6 global queries identically;
@@ -29,6 +32,7 @@ logic that must not drift between them lives here:
 
 from __future__ import annotations
 
+import math
 from typing import (
     Callable,
     Hashable,
@@ -48,6 +52,7 @@ __all__ = [
     "Subscription",
     "SubscriberAPI",
     "ExtentQueryAPI",
+    "EventTimeAPI",
     "split_records",
     "key_index_runs",
     "canonical_key_order",
@@ -188,6 +193,43 @@ class ExtentQueryAPI:
         return width_query(merged)
 
 
+class EventTimeAPI:
+    """Mixin: the bounded-lateness event-time surface both tiers share.
+
+    The host engine sets ``self._event_clock`` (an
+    :class:`~repro.engine.time.EventClock`, or None under the strict
+    policy) and ``self._late_drops`` (the per-key count-and-drop
+    ledger) — the watermark translation and the late accounting then
+    cannot drift between the tiers.
+    """
+
+    _late_drops: dict
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """The bounded-lateness watermark — the event time at or
+        before which the stream is final (None under the strict policy
+        or before any event time was observed)."""
+        clock = self._event_clock
+        if clock is None or clock.watermark == -math.inf:
+            return None
+        return clock.watermark
+
+    def late_drops(self) -> dict:
+        """Per-key counts of records dropped for arriving later than
+        the watermark (empty under the strict policy — there, a stale
+        timestamp is an error, never a silent drop)."""
+        return dict(self._late_drops)
+
+    @property
+    def late_dropped(self) -> int:
+        """Total records dropped as later-than-watermark."""
+        return sum(self._late_drops.values())
+
+    def _record_late(self, key: Hashable, count: int) -> None:
+        self._late_drops[key] = self._late_drops.get(key, 0) + count
+
+
 def split_records(
     records: Iterable[tuple], *, windowed: bool
 ) -> Tuple[List[Hashable], List[Tuple[float, float]], Optional[List[float]]]:
@@ -269,20 +311,33 @@ def key_index_runs(
 
 
 def validate_ts_batch(
-    ts_arr: np.ndarray, last: Optional[float], label: str
+    ts_arr: np.ndarray,
+    last: Optional[float],
+    label: str,
+    policy=None,
 ) -> None:
-    """Shared timestamp policy: finite and non-decreasing, starting no
+    """Shared timestamp validation, parameterised by the time policy.
+
+    Under the default strict policy (``policy`` None or
+    ``TimePolicy.strict()``): finite and non-decreasing, starting no
     earlier than ``last`` (the tier's boundary — a key's live summary
-    clock, or a ring's high-water clock).  ``label`` prefixes the error
-    so the offending key/ring is named.
+    clock, or a ring's high-water clock).  Under a bounded-lateness
+    policy (:class:`~repro.engine.time.TimePolicy`), ordering is no
+    longer an *error* — out-of-order arrivals are the point, and the
+    reorder buffer / late-drop accounting own them — so only
+    finiteness is enforced here.  ``label`` prefixes the error so the
+    offending key/ring is named.
 
     Raises:
-        ValueError: on non-finite or decreasing timestamps.
+        ValueError: on non-finite timestamps; on decreasing timestamps
+            under the strict policy.
     """
     if len(ts_arr) == 0:
         return
     if not np.isfinite(ts_arr).all():
         raise ValueError(f"{label}ts must be finite")
+    if policy is not None and policy.bounded:
+        return
     if (np.diff(ts_arr) < 0.0).any():
         raise ValueError(f"{label}ts must be non-decreasing within a batch")
     if last is not None and ts_arr[0] < last:

@@ -39,6 +39,7 @@ the multi-process :class:`~repro.shard.engine.ShardedEngine` live in
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -62,6 +63,7 @@ from ..geometry.vec import Point
 from ..streams.io import summary_from_state, summary_state
 from ..window import WindowConfig, windowed_factory
 from .common import (
+    EventTimeAPI,
     ExtentQueryAPI,
     SubscriberAPI,
     Subscription,
@@ -71,6 +73,7 @@ from .common import (
     split_records,
     validate_ts_batch,
 )
+from .time import EventClock, ReorderBuffer, TimePolicy, late_split
 
 __all__ = ["StreamEngine", "EngineStats", "Subscription"]
 
@@ -89,7 +92,13 @@ class EngineStats:
     on unwindowed engines: ``buckets`` is the current live bucket
     total, ``bucket_merges``/``bucket_expiries`` count coalesces and
     whole-bucket expiries over the engine's lifetime (evicted keys'
-    counts included).
+    counts included).  The event-time fields stay zero under the
+    strict (default) time policy: ``late_dropped`` counts records that
+    arrived later than the bounded-lateness watermark (counted and
+    dropped, never applied — per-key breakdown via
+    :meth:`StreamEngine.late_drops`), ``buffered`` is the number of
+    admitted records still held in reorder buffers, waiting for the
+    watermark to pass them.
     """
 
     streams: int
@@ -100,6 +109,8 @@ class EngineStats:
     buckets: int = 0
     bucket_merges: int = 0
     bucket_expiries: int = 0
+    late_dropped: int = 0
+    buffered: int = 0
 
     def __str__(self) -> str:
         base = (
@@ -107,15 +118,17 @@ class EngineStats:
             f"batches={self.batches_ingested} evictions={self.evictions} "
             f"stored={self.sample_points}"
         )
-        return base + (
-            f" buckets={self.buckets} merges={self.bucket_merges} "
-            f"expiries={self.bucket_expiries}"
-            if self.buckets or self.bucket_merges or self.bucket_expiries
-            else ""
-        )
+        if self.buckets or self.bucket_merges or self.bucket_expiries:
+            base += (
+                f" buckets={self.buckets} merges={self.bucket_merges} "
+                f"expiries={self.bucket_expiries}"
+            )
+        if self.late_dropped or self.buffered:
+            base += f" late={self.late_dropped} buffered={self.buffered}"
+        return base
 
 
-class StreamEngine(SubscriberAPI, ExtentQueryAPI):
+class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
     """Thousands of keyed hull summaries behind one batch front door.
 
     Args:
@@ -134,7 +147,13 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             factory's scheme: ingestion accepts per-record timestamps,
             :meth:`advance_time` expires stale buckets across all keys,
             and every query answers over the sliding window instead of
-            the whole stream prefix.
+            the whole stream prefix.  A config with ``max_delay`` opts
+            a time window into bounded-lateness event time
+            (:mod:`repro.engine.time`): out-of-order records within
+            the bound are held in per-key reorder buffers and applied
+            in sorted order once the watermark passes them (queries
+            answer over the *applied* state), while later-than-
+            watermark records are counted per key and dropped.
     """
 
     def __init__(
@@ -153,6 +172,22 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             self._factory = windowed_factory(factory, self.window)
         else:
             self._factory = factory
+        # Event-time policy: strict monotonic unless the window opts
+        # into bounded lateness, in which case the engine owns the
+        # watermark clock and one reorder buffer per key (the window
+        # summaries themselves stay strictly monotonic and untouched).
+        self.time_policy = (
+            self.window.time_policy
+            if self.window is not None and self.window.timed
+            else TimePolicy.strict()
+        )
+        self._event_clock: Optional[EventClock] = (
+            EventClock(self.time_policy.max_delay)
+            if self.time_policy.bounded
+            else None
+        )
+        self._buffers: Dict[Hashable, ReorderBuffer] = {}
+        self._late_drops: Dict[Hashable, int] = {}
         self._summaries: Dict[Hashable, HullSummary] = {}
         self._subscriptions: List[Subscription] = []
         self._tracker_bindings: Dict[Hashable, List] = {}
@@ -274,36 +309,109 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             merged.merge(s)
         return merged
 
-    def advance_time(self, now: float) -> int:
-        """Advance every live windowed summary's clock (time-based
-        windows only); returns the total number of expired buckets.
-        Clocks that already ran ahead of ``now`` are left alone.
-        Subscribers are notified with the keys whose windows expired
-        buckets — their hulls moved without any new data.
+    # -- event time --------------------------------------------------------
+
+    # ``watermark`` / ``late_drops`` / ``late_dropped`` come from
+    # EventTimeAPI (shared with the sharded tier).
+
+    @property
+    def buffered_records(self) -> int:
+        """Admitted records still waiting in reorder buffers."""
+        return sum(len(b) for b in self._buffers.values())
+
+    def adopt_pending(self, key: Hashable, buffer_doc: dict) -> None:
+        """Install a serialised reorder buffer under ``key`` (the shard
+        layer's re-sharded-restore hook, mirroring :meth:`adopt` for
+        not-yet-released records).
 
         Raises:
-            ValueError: when the engine has no time-based window.
+            ValueError: on an engine without a bounded-lateness window
+                (there is nothing to buffer into).
         """
-        return self.advance_time_detail(now)[0]
+        if self._event_clock is None:
+            raise ValueError(
+                "adopt_pending requires a bounded-lateness window"
+            )
+        buf = ReorderBuffer.from_doc(buffer_doc)
+        if len(buf):
+            self._buffers[key] = buf
+
+    def advance_time(
+        self, now: float, watermark: Optional[float] = None
+    ) -> int:
+        """Advance every live windowed summary's clock (time-based
+        windows only); returns the total number of expired buckets.
+        Clocks that already ran ahead are left alone.  Subscribers are
+        notified with the keys whose windows expired buckets — their
+        hulls moved without any new data.
+
+        Under a bounded-lateness policy ``now`` is an *event-time
+        heartbeat*: it advances the watermark to ``now - max_delay``,
+        the reorder buffers flush everything the new watermark passed
+        (released keys notify subscribers too), and only then do the
+        summaries expire — and only up to the watermark, never to raw
+        ``now``, so a bucket can never expire while in-bound records
+        that belong near it are still buffered.  ``watermark`` is the
+        shard tier's internal hook: the parent computes the global
+        watermark once and ships it, so every worker releases at the
+        same cut no matter how keys are sharded.
+
+        Raises:
+            ValueError: when the engine has no time-based window, or
+                ``watermark`` is passed under the strict policy.
+        """
+        return self.advance_time_detail(now, watermark=watermark)[0]
 
     def advance_time_detail(
-        self, now: float
+        self, now: float, watermark: Optional[float] = None
     ) -> Tuple[int, List[Hashable]]:
         """:meth:`advance_time`, also returning the keys whose windows
-        expired buckets — what a shard worker ships to the parent so
-        ring-level subscribers see the same notifications as local
-        ones."""
+        expired buckets (or received flushed records) — what a shard
+        worker ships to the parent so ring-level subscribers see the
+        same notifications as local ones."""
         if self.window is None or not self.window.timed:
             raise ValueError(
                 "advance_time requires an engine with a time-based window"
             )
-        total = 0
-        touched: Set[Hashable] = set()
-        for key, s in self._summaries.items():
-            expired = s.advance_time(now)
-            if expired:
-                total += expired
+        now = float(now)
+        if not math.isfinite(now):
+            raise ValueError("advance_time requires a finite timestamp")
+        if self._event_clock is None:
+            if watermark is not None:
+                raise ValueError(
+                    "watermark requires a bounded-lateness window"
+                )
+            total = 0
+            touched: Set[Hashable] = set()
+            for key, s in self._summaries.items():
+                expired = s.advance_time(now)
+                if expired:
+                    total += expired
+                    touched.add(key)
+            if touched:
+                self._notify(touched)
+            return total, list(touched)
+        if watermark is None:
+            wm = self._event_clock.observe(now)
+        else:
+            wm = self._event_clock.observe_watermark(float(watermark))
+        touched = set()
+        # Flush the reorder buffers FIRST: the advance may have made
+        # buffered in-bound records final, and expiry must never run
+        # before they reach their buckets (nor may the summary clocks
+        # jump past timestamps still owed to them).
+        for key in list(self._buffers):
+            released = self._buffers[key].release(wm)
+            if released is not None:
+                self._apply_released(key, released[0], released[1])
                 touched.add(key)
+        total = 0
+        if math.isfinite(wm):
+            for key, s in self._summaries.items():
+                expired = s.advance_time(wm)
+                if expired:
+                    total += expired
+                    touched.add(key)
         if touched:
             self._notify(touched)
         return total, list(touched)
@@ -322,18 +430,32 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             + sum(getattr(s, "buckets_merged", 0) for s in live),
             bucket_expiries=self._retired_bucket_expiries
             + sum(getattr(s, "buckets_expired", 0) for s in live),
+            late_dropped=self.late_dropped,
+            buffered=self.buffered_records,
         )
 
     # -- ingestion ---------------------------------------------------------
 
     def insert(
-        self, key: Hashable, x: float, y: float, ts: Optional[float] = None
+        self,
+        key: Hashable,
+        x: float,
+        y: float,
+        ts: Optional[float] = None,
+        watermark: Optional[float] = None,
     ) -> bool:
-        """Route a single record; returns True if the summary changed.
+        """Route a single record; returns True if a summary changed.
 
         ``ts`` is the record's event time — required per record on an
         engine with a time-based window, rejected on an unwindowed
-        engine."""
+        engine.  Under bounded lateness the record is buffered until
+        the watermark passes it (a record later than the watermark is
+        counted and dropped, with the subscriber notified), so the
+        return value reflects changes applied by releases during
+        *this* call; ``watermark`` is the shard tier's internal hook
+        (the record was pre-screened and the global watermark computed
+        parent-side).
+        """
         # Validate the whole record first: a rejected record must not
         # touch the LRU order, create the key, or evict a victim.
         p = coerce_point((x, y))
@@ -343,14 +465,18 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             ts = float(ts)
             if not np.isfinite(ts):
                 raise ValueError("ts must be finite")
-        if self.window is not None:
-            if ts is None and self.window.timed:
-                raise ValueError(
-                    "time-based windows require an explicit ts per insert"
-                )
+        if self.window is not None and ts is None and self.window.timed:
+            raise ValueError(
+                "time-based windows require an explicit ts per insert"
+            )
+        if self._event_clock is not None:
+            return self._insert_bounded(key, p, ts, watermark)
+        if watermark is not None:
+            raise ValueError("watermark requires a bounded-lateness window")
+        if self.window is not None and ts is not None:
             live = self._summaries.get(key)
             last = live.last_ts if live is not None else None
-            if ts is not None and last is not None and ts < last:
+            if last is not None and ts < last:
                 raise ValueError(
                     f"timestamps must be non-decreasing: got {ts} after {last}"
                 )
@@ -360,6 +486,33 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             changed = summary.insert(p)
         else:
             changed = summary.insert(p, ts=ts)
+        self.points_ingested += 1
+        self._notify({key})
+        return changed
+
+    def _insert_bounded(
+        self,
+        key: Hashable,
+        p: Tuple[float, float],
+        ts: float,
+        ext_watermark: Optional[float],
+    ) -> bool:
+        """Single-record bounded-lateness path: judge against the
+        watermark, buffer, release what became final."""
+        if ext_watermark is None:
+            if ts < self._event_clock.watermark:
+                self._record_late(key, 1)
+                self._notify({key})
+                return False
+            wm = self._event_clock.observe(ts)
+        else:
+            wm = self._event_clock.observe_watermark(float(ext_watermark))
+        buf = self._buffers.setdefault(key, ReorderBuffer())
+        buf.add(np.asarray([p], dtype=np.float64), np.asarray([ts]))
+        changed = False
+        released = buf.release(wm)
+        if released is not None:
+            changed = self._apply_released(key, released[0], released[1]) > 0
         self.points_ingested += 1
         self._notify({key})
         return changed
@@ -387,7 +540,12 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
         return self.ingest_arrays(keys, pts, chunk=chunk, ts=ts_list)
 
     def ingest_arrays(
-        self, keys: Sequence[Hashable], points, chunk: int = 4096, ts=None
+        self,
+        keys: Sequence[Hashable],
+        points,
+        chunk: int = 4096,
+        ts=None,
+        watermark: Optional[float] = None,
     ) -> int:
         """Batch-route a parallel ``keys`` sequence and ``(n, 2)`` block.
 
@@ -397,13 +555,25 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
         records.  On a windowed engine ``ts`` may carry event time —
         one scalar for the whole batch or a parallel length-``n``
         array; per-key timestamp runs must be non-decreasing (a
-        globally time-ordered batch always is).
+        globally time-ordered batch always is) under the strict
+        policy.  Under bounded lateness the batch may be arbitrarily
+        out of order: each record is judged in arrival order against
+        the watermark of everything *before* it (late ones are counted
+        and dropped, with subscribers notified), the rest are buffered
+        and the runs the new watermark finalises are released sorted;
+        the changed count covers records applied by this call's
+        releases.  ``watermark`` is the shard tier's internal hook (a
+        pre-screened slice plus the parent's global watermark).
         """
         arr = as_point_array(points)
         key_arr = as_key_array(keys, len(arr))
         ts_arr = self._check_batch_ts(ts, len(arr))
         if len(arr) == 0:
             return 0
+        if self._event_clock is not None:
+            return self._ingest_bounded(key_arr, arr, ts_arr, chunk, watermark)
+        if watermark is not None:
+            raise ValueError("watermark requires a bounded-lateness window")
         if ts_arr is None:
             # Untimestamped: stream the groups lazily — no reason to
             # hold every per-key slice of a huge batch at once.
@@ -423,8 +593,9 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
     def _check_batch_ts(self, ts, n: int):
         """Normalise a batch-level ts argument (None, scalar, or
         parallel array) without per-key semantics yet.  Missing ts on a
-        timed window is rejected here — before any key is touched or
-        evicted — to keep the batch rejection atomic."""
+        timed window (and, under bounded lateness, any non-finite ts)
+        is rejected here — before any key is touched or evicted — to
+        keep the batch rejection atomic."""
         if ts is not None and self.window is None:
             raise ValueError("ts requires a windowed engine")
         if (
@@ -436,7 +607,10 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             raise ValueError(
                 "time-based windows require a ts on every record"
             )
-        return as_ts_array(ts, n)
+        ts_arr = as_ts_array(ts, n)
+        if ts_arr is not None and self.time_policy.bounded:
+            validate_ts_batch(ts_arr, None, "", policy=self.time_policy)
+        return ts_arr
 
     def _check_group_ts(self, key: Hashable, run_ts) -> np.ndarray:
         """Validate one key's timestamp run against its live summary so
@@ -468,18 +642,89 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
         self._notify(touched)
         return changed
 
+    def _ingest_bounded(
+        self,
+        key_arr: np.ndarray,
+        arr: np.ndarray,
+        ts_arr: np.ndarray,
+        chunk: int,
+        ext_watermark: Optional[float],
+    ) -> int:
+        """Batch bounded-lateness path: split late records off in
+        arrival order, buffer the rest per key, release every touched
+        key's finalised run under the new watermark.  Late drops are
+        counted per key and surfaced to subscribers alongside the keys
+        whose summaries actually changed."""
+        if ext_watermark is None:
+            late, new_max = late_split(
+                ts_arr, self._event_clock.max_ts, self._event_clock.max_delay
+            )
+            wm = self._event_clock.observe(new_max)
+        else:
+            # The shard parent pre-screened the slice and computed the
+            # global watermark; nothing here can be late.
+            late = None
+            wm = self._event_clock.observe_watermark(float(ext_watermark))
+        changed = 0
+        admitted = 0
+        # Notification contract (same on both tiers): a batch notifies
+        # every key with admitted records — buffered or applied — plus
+        # the keys with late drops; release-without-new-data paths
+        # (advance_time) notify the released keys separately.
+        touched: Set[Hashable] = set()
+        for key, idx in key_index_runs(key_arr):
+            if late is not None:
+                late_count = int(late[idx].sum())
+                if late_count:
+                    self._record_late(key, late_count)
+                    touched.add(key)
+                    idx = idx[~late[idx]]
+                    if len(idx) == 0:
+                        continue
+            admitted += len(idx)
+            touched.add(key)
+            buf = self._buffers.setdefault(key, ReorderBuffer())
+            buf.add(arr[idx], ts_arr[idx])
+            released = buf.release(wm)
+            if released is not None:
+                changed += self._apply_released(
+                    key, released[0], released[1], chunk
+                )
+        if admitted:
+            self.points_ingested += admitted
+            self.batches_ingested += 1
+        if touched:
+            self._notify(touched)
+        return changed
+
+    def _apply_released(
+        self, key: Hashable, pts: np.ndarray, ts_run: np.ndarray, chunk: int = 4096
+    ) -> int:
+        """Feed one finalised (sorted) run to the key's summary through
+        the unchanged strictly-monotonic window path."""
+        self._touch(key)
+        summary = self.summary(key)
+        return summary.insert_many(pts, chunk=chunk, ts=ts_run)
+
     # -- eviction / compaction ---------------------------------------------
 
     def evict(self, key: Hashable) -> HullSummary:
         """Drop a keyed summary (KeyError if not live) and return it.
 
         The ``on_evict`` hook runs first, while the summary is still
-        queryable — persist it there if it must survive.
+        queryable — persist it there if it must survive.  Eviction
+        drops the key's *whole* state: on a bounded-lateness engine
+        any not-yet-released buffered records go with it (they would
+        otherwise resurrect the key with only the buffered tail once
+        the watermark passed them).  Lifetime accounting — late-drop
+        counts, retired bucket counters — survives, like any other
+        engine-level stat.
         """
         summary = self._summaries[key]
         if self.on_evict is not None:
             self.on_evict(key, summary)
         del self._summaries[key]
+        self._buffers.pop(key, None)
         self.evictions += 1
         self._retired_bucket_merges += getattr(summary, "buckets_merged", 0)
         self._retired_bucket_expiries += getattr(summary, "buckets_expired", 0)
@@ -561,12 +806,9 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
         """
         entries = []
         for key, summary in self._summaries.items():
-            if not isinstance(key, (str, int, float, bool)):
-                raise TypeError(
-                    f"snapshot keys must be JSON scalars, got {type(key).__name__}"
-                )
+            self._check_snapshot_key(key)
             entries.append([key, summary_state(summary)])
-        return {
+        doc = {
             "format": ENGINE_FORMAT,
             "version": ENGINE_FORMAT_VERSION,
             "points_ingested": self.points_ingested,
@@ -575,6 +817,30 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
             "window": self.window.to_doc() if self.window else None,
             "summaries": entries,
         }
+        if self._event_clock is not None:
+            buffers = []
+            for key, buf in self._buffers.items():
+                if not len(buf):
+                    continue
+                self._check_snapshot_key(key)
+                buffers.append([key, buf.to_doc()])
+            late = []
+            for key, n in self._late_drops.items():
+                self._check_snapshot_key(key)
+                late.append([key, n])
+            doc["time"] = {
+                **self._event_clock.to_doc(),
+                "buffers": buffers,
+                "late_drops": late,
+            }
+        return doc
+
+    @staticmethod
+    def _check_snapshot_key(key: Hashable) -> None:
+        if not isinstance(key, (str, int, float, bool)):
+            raise TypeError(
+                f"snapshot keys must be JSON scalars, got {type(key).__name__}"
+            )
 
     def snapshot(self, path: PathLike) -> Path:
         """Serialise every live summary to a JSON snapshot file (see
@@ -627,6 +893,19 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI):
         engine.points_ingested = int(doc.get("points_ingested", 0))
         engine.batches_ingested = int(doc.get("batches_ingested", 0))
         engine.evictions = int(doc.get("evictions", 0))
+        time_doc = doc.get("time")
+        if time_doc is not None:
+            if engine._event_clock is None:  # window said strict, doc says not
+                raise ValueError(
+                    "snapshot carries reorder-buffer state but the window "
+                    "has no bounded-lateness policy"
+                )
+            engine._event_clock.load_doc(time_doc)
+            for key, buf_doc in time_doc.get("buffers", []):
+                engine.adopt_pending(key, buf_doc)
+            engine._late_drops = {
+                key: int(n) for key, n in time_doc.get("late_drops", [])
+            }
         engine._enforce_bound()
         return engine
 

@@ -15,6 +15,11 @@ The contract, grouped by concern:
   atomically (no key touched on failure);
 * **time** — ``advance_time(now)`` expires stale window buckets with
   no new data (ValueError on engines without a time-based window);
+  under a bounded-lateness window policy (see :mod:`repro.engine.time`)
+  it doubles as the event-time heartbeat that advances the watermark
+  and flushes the reorder buffers, and ``watermark`` /
+  ``late_drops()`` expose the policy's state and count-and-drop
+  accounting;
 * **keyed queries** — ``keys``, ``__len__``, ``hull(key)``,
   ``summary(key)`` (created lazily on first touch; the sharded tier
   returns a detached copy of the worker-owned state);
@@ -76,6 +81,8 @@ PROTOCOL_MEMBERS: Tuple[str, ...] = (
     "merged_hull",
     "diameter",
     "width",
+    "watermark",
+    "late_drops",
     "subscribe",
     "stats",
     "snapshot_state",
@@ -151,6 +158,17 @@ class EngineProtocol(Protocol):
 
     def width(self, keys: Optional[Iterable[Hashable]] = None) -> float:
         """Approximate width of the union of the selected streams."""
+        ...
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """The bounded-lateness watermark (event time at or before
+        which the stream is final), or None under the strict policy."""
+        ...
+
+    def late_drops(self) -> dict:
+        """Per-key counts of later-than-watermark dropped records
+        (empty under the strict policy)."""
         ...
 
     def subscribe(self, callback, keys=None):

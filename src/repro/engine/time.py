@@ -1,0 +1,243 @@
+"""Event time for out-of-order streams: policies, watermarks, reordering.
+
+The window layer (PR 3) enforces strictly monotonic event time — the
+right contract for replayed logs, but real sensor/telemetry feeds
+deliver records *out of order* within some bounded network/queueing
+delay.  This module is the single place that time model lives, shared
+by every tier:
+
+* :class:`TimePolicy` — the policy as data: ``strict()`` (the default;
+  any non-monotonic timestamp is rejected, exactly the pre-existing
+  behaviour) or ``bounded_lateness(max_delay)`` (records may arrive up
+  to ``max_delay`` time units after newer records; later than that they
+  are *counted and dropped*, never silently applied).
+* :class:`EventClock` — the watermark state machine.  The watermark is
+  ``max event time observed - max_delay``: everything at or before it
+  is final (no in-bound record can still arrive there), so buffered
+  records up to the watermark can be released to the strictly-monotonic
+  window path, and window buckets may expire only up to the watermark.
+* :class:`ReorderBuffer` — holds admitted (point, ts) records per key
+  until the watermark passes them, then releases them as one stably
+  ts-sorted run.  Downstream, :class:`~repro.window.WindowedHullSummary`
+  stays untouched and bit-exact: it only ever sees non-decreasing
+  timestamps.
+
+**Determinism.**  Lateness is judged record-by-record in arrival order
+against the watermark induced by *preceding* arrivals (vectorised as a
+prefix maximum), so whether a record is late never depends on batch
+boundaries, key grouping, or which newer records share its batch.
+Released runs are stable sorts by ts, so for a stream with distinct
+timestamps any arrival order shuffled within ``max_delay`` replays the
+exact sorted stream into the summaries — the bit-identical-parity
+property the engines and the serving layer advertise.  Ties are
+released in arrival order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TimePolicy", "EventClock", "ReorderBuffer", "late_split"]
+
+
+@dataclass(frozen=True)
+class TimePolicy:
+    """How an engine treats event-time order (policy as data).
+
+    ``max_delay is None`` means strict monotonic event time — the
+    default, and the only legal policy for count windows and
+    unwindowed engines.  A finite positive ``max_delay`` means bounded
+    lateness: records are admitted while they are no more than
+    ``max_delay`` behind the newest event time seen, buffered, and
+    applied in sorted order once the watermark passes them.
+    """
+
+    max_delay: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_delay is not None and not (
+            math.isfinite(self.max_delay) and self.max_delay > 0.0
+        ):
+            raise ValueError("max_delay must be positive and finite")
+
+    @classmethod
+    def strict(cls) -> "TimePolicy":
+        """Strictly monotonic event time (reject regressions)."""
+        return cls(max_delay=None)
+
+    @classmethod
+    def bounded_lateness(cls, max_delay: float) -> "TimePolicy":
+        """Admit records up to ``max_delay`` behind the newest event."""
+        return cls(max_delay=float(max_delay))
+
+    @property
+    def bounded(self) -> bool:
+        """True when this policy buffers/reorders (non-strict)."""
+        return self.max_delay is not None
+
+
+def late_split(
+    ts_arr: np.ndarray, max_ts: Optional[float], max_delay: float
+) -> Tuple[np.ndarray, float]:
+    """Split a batch into in-bound and late records, in arrival order.
+
+    Returns ``(late_mask, new_max_ts)``.  ``late_mask[i]`` is True when
+    record ``i`` arrived more than ``max_delay`` behind the maximum
+    event time of everything that *preceded* it (earlier batches —
+    ``max_ts`` — plus earlier records of this batch, via a prefix
+    maximum).  Judging against preceding arrivals only is what makes
+    the verdict independent of batch boundaries: a record never becomes
+    late because a newer record happened to share its batch.
+    """
+    prev = -math.inf if max_ts is None else max_ts
+    # Prefix max *before* each record: shift the running max right by one.
+    run = np.maximum.accumulate(np.concatenate(([prev], ts_arr[:-1])))
+    late = ts_arr < run - max_delay
+    return late, float(max(prev, ts_arr.max()))
+
+
+class EventClock:
+    """Watermark state for one bounded-lateness engine.
+
+    Tracks the maximum event time observed (inserts, batches, and
+    ``advance_time`` heartbeats all count) and derives the watermark
+    ``max_ts - max_delay``.  The sharded tier computes this parent-side
+    and ships the resulting watermark to its workers, so cross-shard
+    release order is deterministic; a worker's clock then only follows
+    the watermarks it is handed (:meth:`observe_watermark`).
+    """
+
+    __slots__ = ("max_delay", "max_ts", "watermark")
+
+    def __init__(self, max_delay: float):
+        self.max_delay = float(max_delay)
+        self.max_ts: Optional[float] = None
+        self.watermark: float = -math.inf
+
+    def observe(self, new_max_ts: float) -> float:
+        """Fold a newly observed maximum event time; returns the (never
+        decreasing) watermark."""
+        if self.max_ts is None or new_max_ts > self.max_ts:
+            self.max_ts = new_max_ts
+        self.watermark = max(self.watermark, self.max_ts - self.max_delay)
+        return self.watermark
+
+    def peek(self, new_max_ts: float) -> float:
+        """The watermark :meth:`observe` *would* produce, without
+        committing anything — what the shard parent ships with a batch
+        before knowing whether routing will succeed (a rejected batch
+        must not advance the clock)."""
+        return max(self.watermark, new_max_ts - self.max_delay)
+
+    def observe_watermark(self, watermark: float) -> float:
+        """Fold an externally computed watermark (a shard worker
+        trusting its parent's global clock)."""
+        self.watermark = max(self.watermark, watermark)
+        if self.max_ts is None or self.watermark + self.max_delay > self.max_ts:
+            self.max_ts = self.watermark + self.max_delay
+        return self.watermark
+
+    def to_doc(self) -> Dict:
+        """JSON-compatible state for engine snapshots."""
+        return {
+            "max_ts": self.max_ts,
+            "watermark": (
+                None if self.watermark == -math.inf else self.watermark
+            ),
+        }
+
+    def load_doc(self, doc: Dict) -> None:
+        max_ts = doc.get("max_ts")
+        self.max_ts = float(max_ts) if max_ts is not None else None
+        wm = doc.get("watermark")
+        self.watermark = float(wm) if wm is not None else -math.inf
+
+
+class ReorderBuffer:
+    """Holds one key's admitted records until the watermark passes them.
+
+    Records arrive as ``(points, ts)`` array chunks in arrival order;
+    :meth:`release` hands back everything with ``ts <= watermark`` as
+    one stably ts-sorted run (arrival order breaks ties) and keeps the
+    rest.  Because admission requires ``ts >= watermark`` and the
+    watermark never decreases, every released run starts at or after
+    the end of the previous one — the concatenation of releases is a
+    globally non-decreasing sequence, which is exactly what the strict
+    monotonic window path downstream requires.
+    """
+
+    __slots__ = ("_pts", "_ts", "_size", "_min_ts")
+
+    def __init__(self):
+        self._pts: List[np.ndarray] = []
+        self._ts: List[np.ndarray] = []
+        self._size = 0
+        self._min_ts = math.inf  # cheapest releasable ts (cached)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, pts: np.ndarray, ts: np.ndarray) -> None:
+        """Append an arrival-order chunk of admitted records."""
+        if len(pts):
+            self._pts.append(np.asarray(pts, dtype=np.float64))
+            ts = np.asarray(ts, dtype=np.float64)
+            self._ts.append(ts)
+            self._size += len(pts)
+            self._min_ts = min(self._min_ts, float(ts.min()))
+
+    def release(
+        self, watermark: float
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Remove and return the ``(points, ts)`` run with
+        ``ts <= watermark``, stably sorted by ts (None when nothing is
+        releasable).  The common no-release probe — a deep backlog the
+        watermark has not reached — is O(1) via the cached minimum, so
+        per-batch release checks never pay for the backlog size; the
+        kept remainder is a single sorted chunk, so repeat sorts run
+        on mostly-sorted input."""
+        if not self._size or self._min_ts > watermark:
+            return None
+        ts = np.concatenate(self._ts) if len(self._ts) > 1 else self._ts[0]
+        pts = np.concatenate(self._pts) if len(self._pts) > 1 else self._pts[0]
+        order = np.argsort(ts, kind="stable")
+        ts = ts[order]
+        pts = pts[order]
+        cut = int(np.searchsorted(ts, watermark, side="right"))
+        if cut < len(ts):
+            self._pts = [pts[cut:]]
+            self._ts = [ts[cut:]]
+            self._size = len(ts) - cut
+            self._min_ts = float(ts[cut])
+        else:
+            self._pts = []
+            self._ts = []
+            self._size = 0
+            self._min_ts = math.inf
+        return pts[:cut], ts[:cut]
+
+    def to_doc(self) -> Dict:
+        """JSON-compatible pending state (arrival order preserved)."""
+        if not self._size:
+            return {"points": [], "ts": []}
+        pts = np.concatenate(self._pts)
+        ts = np.concatenate(self._ts)
+        return {
+            "points": [[float(x), float(y)] for x, y in pts],
+            "ts": [float(t) for t in ts],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "ReorderBuffer":
+        buf = cls()
+        pts = doc.get("points", [])
+        if pts:
+            buf.add(
+                np.asarray(pts, dtype=np.float64),
+                np.asarray(doc.get("ts", []), dtype=np.float64),
+            )
+        return buf

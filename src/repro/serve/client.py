@@ -211,6 +211,18 @@ class AsyncHullClient:
     async def service_stats(self) -> dict:
         return await self._query("service_stats")
 
+    async def summary_state(self, key: Hashable) -> Optional[dict]:
+        """One key's full summary-state document
+        (:mod:`repro.streams.io` format; None when the key is not
+        live).  Rebuild a local copy with
+        :func:`repro.streams.io.summary_from_state`."""
+        return await self._query("summary_state", key=key)
+
+    async def late_drops(self) -> dict:
+        """Per-key later-than-watermark drop counts (empty under the
+        strict time policy)."""
+        return {k: n for k, n in await self._query("late_drops")}
+
     async def snapshot_state(self) -> dict:
         reply = await self._request({"op": "snapshot"})
         return reply["state"]

@@ -22,7 +22,11 @@ Verbs:
     barrier — replies once everything enqueued so far was applied.
 ``query``
     ``{"what": "hull"|"merged_hull"|"diameter"|"width"|"keys"|"stats"|
-    "service_stats"|"len", "key": ..., "keys": [...]}``.
+    "service_stats"|"summary_state"|"late_drops"|"len", "key": ...,
+    "keys": [...]}``.  ``summary_state`` fetches one key's full
+    :mod:`repro.streams.io` summary document (None for a key that is
+    not live); ``late_drops`` the per-key later-than-watermark drop
+    counts of a bounded-lateness window.
 ``advance_time``
     ``{"now": t}`` — broadcast window expiry.
 ``subscribe`` / ``unsubscribe``
@@ -35,6 +39,12 @@ Verbs:
 Keys must be JSON scalars (the same constraint engine snapshots have);
 floats survive the trip exactly (JSON round-trips IEEE doubles), so a
 client-fed stream yields bit-identical hulls to a local one.
+
+Hardening: ``max_connections`` caps concurrently served connections
+(an over-cap connection gets one error line and is closed before any
+request is read) and ``max_subscribers`` caps concurrent push
+subscriptions (an over-cap ``subscribe`` fails per-request; the
+connection stays usable).
 """
 
 from __future__ import annotations
@@ -69,6 +79,15 @@ class HullServer:
             decides when to drain/close it).
         host / port: listen address; port 0 picks an ephemeral port
             (read :attr:`port` after :meth:`start`).
+        max_connections: cap on concurrently served connections (the
+            hardening backlog bound; None = unlimited).  A connection
+            over the cap receives one ``{"ok": false, "error": ...}``
+            line and is closed before any request is read — it never
+            reaches the service.
+        max_subscribers: cap on concurrently subscribed connections
+            (None = unlimited); an over-cap ``subscribe`` op fails
+            with a normal per-request error, the connection stays
+            usable for everything else.
     """
 
     def __init__(
@@ -76,10 +95,25 @@ class HullServer:
         service: AsyncHullService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        max_connections: Optional[int] = None,
+        max_subscribers: Optional[int] = None,
     ):
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if max_subscribers is not None and max_subscribers < 1:
+            raise ValueError("max_subscribers must be >= 1")
         self.service = service
         self.host = host
         self.port = port
+        self.max_connections = max_connections
+        self.max_subscribers = max_subscribers
+        self._connections = 0
+        self._refused = 0
+        # TCP-originated subscriptions only: in-process subscribers an
+        # embedding application holds on the same service must not eat
+        # the TCP push budget.
+        self._tcp_subscribers = 0
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> "HullServer":
@@ -109,7 +143,52 @@ class HullServer:
 
     # -- per-connection ----------------------------------------------------
 
+    @property
+    def connection_count(self) -> int:
+        """Connections currently being served."""
+        return self._connections
+
+    @property
+    def refused_connections(self) -> int:
+        """Connections turned away at the ``max_connections`` cap."""
+        return self._refused
+
     async def _handle_connection(self, reader, writer) -> None:
+        if (
+            self.max_connections is not None
+            and self._connections >= self.max_connections
+        ):
+            # Over the backlog cap: one explanatory line, then the
+            # door — the connection never reaches the service.
+            self._refused += 1
+            try:
+                writer.write(
+                    json.dumps(
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": "server at max_connections",
+                        }
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            return
+        self._connections += 1
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self._connections -= 1
+
+    async def _serve_connection(self, reader, writer) -> None:
         sub: Optional[AsyncSubscription] = None
         pusher: Optional[asyncio.Task] = None
         # The reply path and the subscription pusher share this writer;
@@ -149,14 +228,27 @@ class HullServer:
                 op = msg.get("op")
                 try:
                     if op == "subscribe":
+                        if (
+                            self.max_subscribers is not None
+                            and sub is None
+                            and self._tcp_subscribers
+                            >= self.max_subscribers
+                        ):
+                            raise RuntimeError(
+                                "server at max_subscribers"
+                            )
                         # A repeated subscribe replaces the connection's
-                        # subscription (new key filter takes effect).
+                        # subscription (new key filter takes effect, the
+                        # budget slot is reused).
                         if pusher is not None:
                             pusher.cancel()
                             pusher = None
                         if sub is not None:
                             await sub.cancel()
+                            self._tcp_subscribers -= 1
+                            sub = None
                         sub = await self.service.subscribe(msg.get("keys"))
+                        self._tcp_subscribers += 1
                         pusher = asyncio.ensure_future(
                             self._push_events(writer, sub, write_lock)
                         )
@@ -167,6 +259,7 @@ class HullServer:
                             pusher = None
                         if sub is not None:
                             await sub.cancel()
+                            self._tcp_subscribers -= 1
                             sub = None
                         reply = {}
                     else:
@@ -200,6 +293,7 @@ class HullServer:
             if pusher is not None:
                 pusher.cancel()
             if sub is not None:
+                self._tcp_subscribers -= 1
                 # The listener may cancel this handler mid-cleanup;
                 # shield so the engine-side detach still completes.
                 try:
@@ -260,6 +354,19 @@ class HullServer:
             return await service.diameter(msg.get("keys"))
         if what == "width":
             return await service.width(msg.get("keys"))
+        if what == "summary_state":
+            # Per-key state fetch: the full streams.io summary doc, so
+            # a client can rebuild (or audit) one stream's summary
+            # without pulling a whole engine snapshot.  None when the
+            # key is not live — the probe never creates a key.
+            return await service.summary_state(msg["key"])
+        if what == "late_drops":
+            return [
+                [_jsonable_key(k), n]
+                for k, n in sorted(
+                    (await service.late_drops()).items(), key=str
+                )
+            ]
         if what == "keys":
             return [_jsonable_key(k) for k in await service.keys()]
         if what == "len":

@@ -11,7 +11,12 @@ into a non-blocking monitoring service:
 * **batch coalescing** — the single drain task concatenates every
   batch waiting in the queue into one engine call, so a burst of small
   puts ingests as one vectorised batch (order preserved, per-key
-  results bit-identical to feeding the batches one by one);
+  results bit-identical to feeding the batches one by one); on an
+  engine with a bounded-lateness window policy the coalesced run is
+  additionally stable-sorted by event time before the engine sees it —
+  the queue is the natural reorder point, so fewer records reach the
+  engine out of order (never *more* records judged late: in-batch
+  lateness can only be caused by newer records preceding older ones);
 * **one engine thread** — every engine touch (ingest, queries,
   snapshots, ``advance_time``) runs on a dedicated single-thread
   executor: the event loop never blocks on summary work, and the
@@ -358,6 +363,9 @@ class AsyncHullService:
                     key_arr, arr, ts_arr = self._coalesce(
                         [(k, a, t) for k, a, t, _ in run]
                     )
+                    key_arr, arr, ts_arr = self._presort(
+                        key_arr, arr, ts_arr
+                    )
                     try:
                         await self._run(
                             self.engine.ingest_arrays, key_arr, arr, ts=ts_arr
@@ -380,8 +388,35 @@ class AsyncHullService:
                 for _ in batch:
                     self._queue.task_done()
 
+    def _presort(self, key_arr, arr, ts_arr):
+        """Stable-sort a timestamped run by event time before it
+        reaches a bounded-lateness engine.
+
+        The coalescing queue is the natural reorder point the ROADMAP
+        called for: a burst of out-of-order producer batches leaves
+        here as one non-decreasing run, so the engine buffers less and
+        releases sooner.  Sorting is strictly permissive — a record
+        can only be judged late against *older* arrivals, so nothing
+        sorted here is ever dropped that one-by-one delivery would
+        have kept — and it never runs under the strict policy, where
+        producer order is the contract.
+        """
+        window = self.engine.window
+        if (
+            ts_arr is None
+            or window is None
+            or getattr(window, "max_delay", None) is None
+            or len(ts_arr) < 2
+        ):
+            return key_arr, arr, ts_arr
+        order = np.argsort(ts_arr, kind="stable")
+        if (order[1:] > order[:-1]).all():
+            return key_arr, arr, ts_arr  # already sorted: skip the copies
+        return key_arr[order], arr[order], ts_arr[order]
+
     async def _replay_individually(self, run) -> None:
         for key_arr, arr, ts_arr, fut in run:
+            key_arr, arr, ts_arr = self._presort(key_arr, arr, ts_arr)
             try:
                 await self._run(
                     self.engine.ingest_arrays, key_arr, arr, ts=ts_arr
@@ -481,13 +516,37 @@ class AsyncHullService:
     async def snapshot(self, path):
         return await self._run(self.engine.snapshot, path)
 
+    async def summary_state(self, key: Hashable) -> Optional[dict]:
+        """One key's summary as a :mod:`repro.streams.io` state doc
+        (None when the key is not live) — the per-key fetch the TCP
+        ``summary_state`` verb serves, without creating the key."""
+        from ..streams.io import summary_state as _summary_state
+
+        def fetch():
+            summary = self.engine.get(key)
+            return None if summary is None else _summary_state(summary)
+
+        return await self._run(fetch)
+
+    async def late_drops(self) -> dict:
+        """Per-key later-than-watermark drop counts from the engine
+        (empty under the strict time policy)."""
+        return await self._run(self.engine.late_drops)
+
     def service_stats(self) -> dict:
-        """Front-door counters (the engine's own ``stats()`` is async)."""
+        """Front-door counters (the engine's own ``stats()`` is async).
+
+        ``late_dropped`` mirrors the engine's count-and-drop total for
+        bounded-lateness windows; it is a plain counter read (no
+        engine-thread hop), so it may trail an in-flight drain by one
+        batch.
+        """
         return {
             "enqueued_batches": self._enqueued_batches,
             "coalesced_batches": self._coalesced_batches,
             "ingested_records": self._ingested_records,
             "ingest_errors": self._ingest_errors,
+            "late_dropped": int(getattr(self.engine, "late_dropped", 0)),
             "ticks": self._ticks,
             "subscribers": len(self._subscribers),
             "queue_depth": self._queue.qsize() if self._queue else 0,

@@ -47,6 +47,7 @@ import numpy as np
 from ..core.base import HullSummary, coerce_point, tree_merge
 from ..core.batch import as_key_array, as_point_array, as_ts_array
 from ..engine.common import (
+    EventTimeAPI,
     ExtentQueryAPI,
     SubscriberAPI,
     Subscription,
@@ -55,6 +56,7 @@ from ..engine.common import (
     split_records,
     validate_ts_batch,
 )
+from ..engine.time import EventClock, TimePolicy, late_split
 from ..geometry.vec import Point
 from ..streams.io import summary_from_state
 from ..window import WindowConfig, windowed_factory
@@ -92,6 +94,8 @@ class ShardStats:
     buckets: int = 0
     bucket_merges: int = 0
     bucket_expiries: int = 0
+    late_dropped: int = 0
+    buffered: int = 0
 
     def __str__(self) -> str:
         loads = "/".join(str(s["streams"]) for s in self.per_shard)
@@ -100,12 +104,14 @@ class ShardStats:
             f"points={self.points_ingested:,} batches={self.batches_ingested} "
             f"stored={self.sample_points} load={loads}"
         )
-        return base + (
-            f" buckets={self.buckets} merges={self.bucket_merges} "
-            f"expiries={self.bucket_expiries}"
-            if self.buckets or self.bucket_merges or self.bucket_expiries
-            else ""
-        )
+        if self.buckets or self.bucket_merges or self.bucket_expiries:
+            base += (
+                f" buckets={self.buckets} merges={self.bucket_merges} "
+                f"expiries={self.bucket_expiries}"
+            )
+        if self.late_dropped or self.buffered:
+            base += f" late={self.late_dropped} buffered={self.buffered}"
+        return base
 
 
 def _default_context():
@@ -115,7 +121,7 @@ def _default_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
+class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
     """Keyed hull summaries sharded across worker processes.
 
     Args:
@@ -138,7 +144,14 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
             batches must be globally time-ordered (each batch
             non-decreasing and no earlier than the previous batch /
             ``advance_time``) so the parent can reject violations
-            atomically before any shard ingests.
+            atomically before any shard ingests — unless the config
+            sets ``max_delay``, which opts the ring into
+            bounded-lateness event time: the parent judges lateness
+            in arrival order, counts-and-drops records beyond the
+            watermark, and ships the global watermark with every
+            slice so the workers' reorder buffers release at one
+            deterministic cut (per-key results stay bit-identical to
+            a single engine fed the same arrivals).
 
     The engine is a context manager; on exit the workers are stopped
     and joined.  All public methods raise :class:`ShardError` when a
@@ -159,7 +172,23 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
             raise ValueError("ShardedEngine needs at least one shard")
         self.spec = SummarySpec.coerce(spec)
         self.window = WindowConfig.coerce(window)
-        self._clock: Optional[float] = None  # high-water event time
+        self._clock: Optional[float] = None  # high-water event time (strict)
+        # Event-time policy: under bounded lateness the *parent* owns
+        # the watermark clock and the late-drop accounting — judging
+        # lateness and computing the watermark here, before any shard
+        # sees a record, is what keeps release order deterministic
+        # across shard layouts and batch rejections atomic.
+        self.time_policy = (
+            self.window.time_policy
+            if self.window is not None and self.window.timed
+            else TimePolicy.strict()
+        )
+        self._event_clock: Optional[EventClock] = (
+            EventClock(self.time_policy.max_delay)
+            if self.time_policy.bounded
+            else None
+        )
+        self._late_drops: Dict[Hashable, int] = {}
         self.num_shards = shards
         self.ring = HashRing(shards, replicas=replicas)
         self.points_ingested = 0
@@ -306,13 +335,16 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
     def _check_ring_ts(
         self, ts_arr: Optional[np.ndarray], n: int
     ) -> None:
-        """Parent-side timestamp policy for a windowed ring: the batch
-        must be globally non-decreasing and start no earlier than the
-        high-water clock — a sufficient condition for every worker to
-        accept its slice, which keeps a rejection atomic across shards
-        (nothing is sent on failure).  Validation only: the clock
-        itself advances in :meth:`_fan_out` once the batch is routed,
-        so a later routing error cannot poison subsequent retries."""
+        """Parent-side timestamp policy for a windowed ring.  Under the
+        strict (default) policy the batch must be globally
+        non-decreasing and start no earlier than the high-water clock —
+        a sufficient condition for every worker to accept its slice,
+        which keeps a rejection atomic across shards (nothing is sent
+        on failure).  Under bounded lateness ordering is no longer an
+        error (the reorder layer owns it) and only finiteness is
+        enforced.  Validation only: clocks advance in :meth:`_fan_out`
+        once the batch is routed, so a later routing error cannot
+        poison subsequent retries."""
         if ts_arr is None:
             if n and self.window is not None and self.window.timed:
                 raise ValueError(
@@ -321,7 +353,14 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
             return
         if self.window is None:
             raise ValueError("ts requires a windowed engine")
-        validate_ts_batch(ts_arr, self._clock, "sharded ring: ")
+        validate_ts_batch(
+            ts_arr, self._clock, "sharded ring: ", policy=self.time_policy
+        )
+
+    # ``watermark`` / ``late_drops`` / ``late_dropped`` come from
+    # EventTimeAPI (shared with the in-process tier); on a bounded
+    # ring the late accounting is parent-side — a late record never
+    # reaches a worker.
 
     def insert(
         self, key: Hashable, x: float, y: float, ts: Optional[float] = None
@@ -330,7 +369,10 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
         changed.  ``ts`` is the record's event time — required on a
         ring with a time-based window, rejected on an unwindowed one.
         Validated parent-side first, so a malformed record raises here
-        without touching any worker."""
+        without touching any worker.  Under bounded lateness a record
+        later than the ring watermark is counted and dropped here (the
+        subscriber is notified, no worker is touched); admitted
+        records ship together with the updated global watermark."""
         p = coerce_point((x, y))
         ts_arr = (
             np.asarray([float(ts)], dtype=np.float64)
@@ -338,6 +380,24 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
             else None
         )
         self._check_ring_ts(ts_arr, 1)
+        if self._event_clock is not None:
+            ts = float(ts_arr[0])
+            if ts < self._event_clock.watermark:
+                self._record_late(key, 1)
+                self._notify({key})
+                return False
+            # Ship the *candidate* watermark; commit the clock only
+            # after the worker accepted, like the batch path.
+            wm = self._event_clock.peek(ts)
+            changed = bool(
+                self._call(
+                    self.shard_for(key), "insert", key, p[0], p[1], ts, wm
+                )
+            )
+            self._event_clock.observe(ts)
+            self.points_ingested += 1
+            self._notify({key})
+            return changed
         changed = bool(
             self._call(self.shard_for(key), "insert", key, p[0], p[1], ts)
         )
@@ -381,24 +441,50 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
         self._check_ring_ts(ts_arr, len(arr))
         if len(arr) == 0:
             return 0
+        late_counts: Optional[Dict[Hashable, int]] = None
+        batch_max_ts = float(ts_arr[-1]) if ts_arr is not None else None
+        slice_watermark: Optional[float] = None
+        if self._event_clock is not None:
+            # Judge lateness once, parent-side, in arrival order — the
+            # verdict (and the watermark every worker releases at) must
+            # not depend on how keys shard.
+            late, new_max = late_split(
+                ts_arr, self._event_clock.max_ts, self._event_clock.max_delay
+            )
+            late_counts = {}
+            batch_max_ts = new_max
+            slice_watermark = self._event_clock.peek(new_max)
         shard_ids = np.empty(len(arr), dtype=np.int64)
+        keep = np.ones(len(arr), dtype=bool)
         touched: Set[Hashable] = set()
+        noted: Set[Hashable] = set()
         for key, idx in key_index_runs(key_arr):
             shard_ids[idx] = self.shard_for(key)
+            if late_counts is not None:
+                n_late = int(late[idx].sum())
+                if n_late:
+                    late_counts[key] = n_late
+                    noted.add(key)
+                    keep[idx[late[idx]]] = False
+                    if n_late == len(idx):
+                        continue
             touched.add(key)
         requests = []
         for i in range(self.num_shards):
-            idx = np.flatnonzero(shard_ids == i)
+            idx = np.flatnonzero((shard_ids == i) & keep)
             if len(idx):
                 slice_ts = ts_arr[idx] if ts_arr is not None else None
-                requests.append(
-                    (i, ("ingest_arrays", key_arr[idx], arr[idx], slice_ts))
-                )
+                msg = ("ingest_arrays", key_arr[idx], arr[idx], slice_ts)
+                if slice_watermark is not None:
+                    msg = msg + (slice_watermark,)
+                requests.append((i, msg))
         return self._fan_out(
             requests,
-            len(arr),
-            batch_max_ts=float(ts_arr[-1]) if ts_arr is not None else None,
+            int(keep.sum()),
+            batch_max_ts=batch_max_ts,
             touched=touched,
+            late_counts=late_counts,
+            noted=noted,
         )
 
     def _fan_out(
@@ -407,21 +493,33 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
         total: int,
         batch_max_ts: Optional[float] = None,
         touched: Optional[Set[Hashable]] = None,
+        late_counts: Optional[Dict[Hashable, int]] = None,
+        noted: Optional[Set[Hashable]] = None,
     ) -> int:
         """Send every shard its slice, then collect all acks.  The
-        high-water clock advances here — after routing succeeded and
-        the slices are on the wire — never on a rejected batch.
-        Subscribers are notified once, after the whole batch."""
+        clocks (strict high-water, or the bounded-lateness event clock)
+        and the late-drop counters advance here — after routing
+        succeeded and the slices are on the wire — never on a rejected
+        batch.  Subscribers are notified once, after the whole batch,
+        with the touched keys plus the keys that had late drops."""
         self._check_open()
         for shard, msg in requests:
             self._request(shard, *msg)
         if batch_max_ts is not None:
-            self._clock = batch_max_ts
+            if self._event_clock is not None:
+                self._event_clock.observe(batch_max_ts)
+            else:
+                self._clock = batch_max_ts
+        if late_counts:
+            for key, n in late_counts.items():
+                self._record_late(key, n)
         changed = sum(self._collect_all([shard for shard, _ in requests]))
-        self.points_ingested += total
-        self.batches_ingested += 1
-        if touched:
-            self._notify(touched)
+        if total:
+            self.points_ingested += total
+            self.batches_ingested += 1
+        notify = set(touched or ()) | set(noted or ())
+        if notify:
+            self._notify(notify)
         return changed
 
     # -- queries -----------------------------------------------------------
@@ -451,18 +549,28 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
         """Broadcast a clock advance to every shard (time-based windows
         only); returns the total number of expired buckets across the
         ring.  Subscribers are notified with the keys whose windows
-        expired buckets, exactly like the in-process tier."""
+        expired buckets, exactly like the in-process tier.  Under
+        bounded lateness ``now`` is the event-time heartbeat: the
+        parent advances the global watermark and every worker flushes
+        its reorder buffers up to it before expiring (so the keys
+        whose buffered records were released notify too)."""
         if self.window is None or not self.window.timed:
             raise ValueError(
                 "advance_time requires an engine with a time-based window"
             )
-        replies = self._broadcast("advance_time", float(now))
+        now = float(now)
+        if self._event_clock is not None:
+            wm = self._event_clock.peek(now)
+            replies = self._broadcast("advance_time", now, wm)
+            self._event_clock.observe(now)
+        else:
+            replies = self._broadcast("advance_time", now)
+            if self._clock is None or now > self._clock:
+                self._clock = now
         expired = sum(r[0] for r in replies)
         touched: Set[Hashable] = set()
         for r in replies:
             touched.update(r[1])
-        if self._clock is None or now > self._clock:
-            self._clock = float(now)
         if touched:
             self._notify(touched)
         return expired
@@ -521,6 +629,9 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
             bucket_expiries=sum(
                 s.get("bucket_expiries", 0) for s in per_shard
             ),
+            late_dropped=self.late_dropped
+            + sum(s.get("late_dropped", 0) for s in per_shard),
+            buffered=sum(s.get("buffered", 0) for s in per_shard),
         )
 
     # -- snapshot / restore ------------------------------------------------
@@ -530,7 +641,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
         every shard engine, every summary (keys must be JSON scalars,
         as for :meth:`StreamEngine.snapshot_state`)."""
         engines = self._broadcast("snapshot_state")
-        return {
+        doc = {
             "format": SHARD_FORMAT,
             "version": SHARD_FORMAT_VERSION,
             "shards": self.num_shards,
@@ -542,6 +653,24 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
             "batches_ingested": self.batches_ingested,
             "engines": engines,
         }
+        if self._event_clock is not None:
+            late = []
+            for key, n in self._late_drops.items():
+                # Same constraint as summary keys: a key that only
+                # ever appeared as a late drop must still round-trip
+                # the text format (json.dumps would silently turn a
+                # tuple into an unhashable list).
+                if not isinstance(key, (str, int, float, bool)):
+                    raise TypeError(
+                        "snapshot keys must be JSON scalars, got "
+                        f"{type(key).__name__}"
+                    )
+                late.append([key, n])
+            doc["time"] = {
+                **self._event_clock.to_doc(),
+                "late_drops": late,
+            }
+        return doc
 
     def snapshot(self, path: PathLike) -> Path:
         """Serialise :meth:`snapshot_state` to one JSON file."""
@@ -604,10 +733,29 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI):
             for engine_doc in doc["engines"]:
                 for key, snap in engine_doc["summaries"]:
                     engine._call(engine.shard_for(key), "adopt", key, snap)
+                # Not-yet-released reorder-buffer records re-route with
+                # their key, so a resized ring owes exactly the same
+                # pending work as the one that snapshotted.
+                time_doc = engine_doc.get("time") or {}
+                for key, buf_doc in time_doc.get("buffers", []):
+                    engine._call(
+                        engine.shard_for(key), "adopt_buffer", key, buf_doc
+                    )
         engine.points_ingested = int(doc.get("points_ingested", 0))
         engine.batches_ingested = int(doc.get("batches_ingested", 0))
         clock = doc.get("clock")
         engine._clock = float(clock) if clock is not None else None
+        time_doc = doc.get("time")
+        if time_doc is not None:
+            if engine._event_clock is None:
+                raise ValueError(
+                    "snapshot carries event-time state but the window has "
+                    "no bounded-lateness policy"
+                )
+            engine._event_clock.load_doc(time_doc)
+            engine._late_drops = {
+                key: int(n) for key, n in time_doc.get("late_drops", [])
+            }
         return engine
 
     @classmethod

@@ -44,16 +44,22 @@ class _ShardServer:
     # Each op_* method is one protocol verb; the result is pickled back
     # verbatim as the "ok" payload.
 
-    def op_ingest_arrays(self, keys, points, ts=None):
-        return self.engine.ingest_arrays(keys, points, ts=ts)
+    def op_ingest_arrays(self, keys, points, ts=None, watermark=None):
+        # ``watermark`` rides along on bounded-lateness rings: the
+        # parent pre-screened the slice and computed the global
+        # watermark, so every shard releases its reorder buffers at
+        # the same deterministic cut.
+        return self.engine.ingest_arrays(
+            keys, points, ts=ts, watermark=watermark
+        )
 
-    def op_insert(self, key, x, y, ts=None):
-        return self.engine.insert(key, x, y, ts=ts)
+    def op_insert(self, key, x, y, ts=None, watermark=None):
+        return self.engine.insert(key, x, y, ts=ts, watermark=watermark)
 
-    def op_advance_time(self, now):
+    def op_advance_time(self, now, watermark=None):
         # The parent's subscribers need the keys whose windows expired
         # buckets, exactly as local subscribers would see them.
-        return self.engine.advance_time_detail(now)
+        return self.engine.advance_time_detail(now, watermark=watermark)
 
     def op_keys(self):
         return self.engine.keys()
@@ -82,6 +88,12 @@ class _ShardServer:
             window=self.window,
         )
         return len(self.engine)
+
+    def op_adopt_buffer(self, key, buffer_doc):
+        # Re-sharded restore: not-yet-released reorder-buffer records
+        # follow their key onto this shard's engine.
+        self.engine.adopt_pending(key, buffer_doc)
+        return True
 
     def op_adopt(self, key, snapshot):
         summary = summary_from_state(

@@ -15,6 +15,7 @@ from .generators import (
 from .io import load_stream, replay, save_stream
 from .transforms import (
     as_tuples,
+    bounded_shuffle,
     concatenate,
     interleave,
     rotate,
@@ -28,6 +29,6 @@ __all__ = [
     "gaussian_stream", "clusters_stream", "drifting_clusters_stream",
     "changing_ellipse_stream", "spiral_stream", "convex_position_stream",
     "rotate", "scale", "translate", "concatenate", "interleave",
-    "shuffle", "as_tuples",
+    "shuffle", "bounded_shuffle", "as_tuples",
     "save_stream", "load_stream", "replay",
 ]

@@ -39,6 +39,15 @@ class WindowConfig:
             two oldest coalesce (>= 1; the exponential-histogram fanout
             parameter — bucket count grows with
             ``level_width * log(n)``).
+        max_delay: bounded-lateness tolerance for out-of-order event
+            time (time windows only).  ``None`` (the default) keeps the
+            strict monotonic-ts contract; a positive finite value lets
+            records arrive up to ``max_delay`` time units behind the
+            newest event time seen — the engines buffer them in a
+            :class:`~repro.engine.time.ReorderBuffer` and release
+            sorted runs once the watermark (``max ts - max_delay``)
+            passes, while records later than the watermark are counted
+            and dropped.  See :mod:`repro.engine.time`.
         warm_start: opt-in ingest accelerator — seed every fresh head
             bucket with the previous bucket's hull vertices so the
             young hull's containment filter starts hot.  The seeds are
@@ -61,6 +70,7 @@ class WindowConfig:
     head_capacity: Optional[int] = None
     level_width: int = 2
     warm_start: bool = False
+    max_delay: Optional[float] = None
 
     def __post_init__(self):
         if (self.last_n is None) == (self.horizon is None):
@@ -78,11 +88,28 @@ class WindowConfig:
             raise ValueError("head_capacity must be >= 1")
         if self.level_width < 1:
             raise ValueError("level_width must be >= 1")
+        if self.max_delay is not None:
+            if self.horizon is None:
+                raise ValueError(
+                    "max_delay (bounded lateness) requires a time-based "
+                    "window (horizon)"
+                )
+            if not (math.isfinite(self.max_delay) and self.max_delay > 0.0):
+                raise ValueError("max_delay must be positive and finite")
 
     @property
     def timed(self) -> bool:
         """True for time-based windows (inserts require timestamps)."""
         return self.horizon is not None
+
+    @property
+    def time_policy(self):
+        """The :class:`~repro.engine.time.TimePolicy` this window
+        implies (strict unless ``max_delay`` is set)."""
+        # Lazy import: the engine package imports this module.
+        from ..engine.time import TimePolicy
+
+        return TimePolicy(max_delay=self.max_delay)
 
     @property
     def effective_head_capacity(self) -> int:
@@ -113,15 +140,19 @@ class WindowConfig:
             "head_capacity": self.head_capacity,
             "level_width": self.level_width,
             "warm_start": self.warm_start,
+            "max_delay": self.max_delay,
         }
 
     @classmethod
     def from_doc(cls, doc: Dict) -> "WindowConfig":
-        """Inverse of :meth:`to_doc` (pre-warm-start docs were cold)."""
+        """Inverse of :meth:`to_doc` (pre-warm-start docs were cold,
+        pre-event-time docs were strict)."""
+        max_delay = doc.get("max_delay")
         return cls(
             last_n=doc.get("last_n"),
             horizon=doc.get("horizon"),
             head_capacity=doc.get("head_capacity"),
             level_width=int(doc.get("level_width", 2)),
             warm_start=bool(doc.get("warm_start", False)),
+            max_delay=float(max_delay) if max_delay is not None else None,
         )

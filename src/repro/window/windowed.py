@@ -457,8 +457,16 @@ class WindowedHullSummary(HullSummary):
     # -- persistence ---------------------------------------------------------
 
     def get_config(self) -> Dict:
-        """Constructor kwargs recreating an equivalent empty window."""
-        return {"scheme": self._spec.to_doc(), **self._cfg.to_doc()}
+        """Constructor kwargs recreating an equivalent empty window.
+
+        ``max_delay`` (bounded-lateness tolerance) is engine-level
+        policy, not summary state — the summary itself is always
+        strictly monotonic and only ever sees watermark-released
+        sorted runs — so it is not part of the summary config.
+        """
+        cfg = self._cfg.to_doc()
+        cfg.pop("max_delay", None)
+        return {"scheme": self._spec.to_doc(), **cfg}
 
     def state_dict(self) -> Dict:
         """JSON-serialisable snapshot: every bucket in the

@@ -1,0 +1,329 @@
+"""Bounded-lateness event time on StreamEngine (hypothesis + regressions).
+
+The headline property: a stream delivered in *any* arrival order
+shuffled within ``max_delay`` produces **bit-identical** windowed
+hulls, diameters, and widths to the sorted stream — nothing dropped,
+nothing reordered wrong, independent of batch boundaries.  Plus the
+explicit late policy: records beyond the watermark are always counted,
+never silently applied; snapshots round-trip not-yet-released buffered
+records; and the satellite regression that ``advance_time`` flushes
+the reorder buffer *before* expiry runs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.queries import diameter as diameter_query
+from repro.streams import bounded_shuffle
+from repro.window import WindowConfig
+
+R = 8
+KEYS = ["a", "b", "c"]
+
+
+def _workload(n, seed, span=30.0):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(0.0, 2.0, (n, 2))
+    # Distinct, sorted event times: the sorted-vs-shuffled comparison
+    # is exact only when ties cannot change the sorted order.
+    ts = np.sort(rng.uniform(0.0, span, n))
+    ts += np.arange(n) * 1e-9  # break exact ties
+    keys = np.array([KEYS[i % len(KEYS)] for i in range(n)])
+    return keys, pts, ts
+
+
+def _engine(max_delay, horizon=10.0):
+    return StreamEngine(
+        lambda: AdaptiveHull(R),
+        window=WindowConfig(horizon=horizon, max_delay=max_delay),
+    )
+
+
+def _feed(engine, keys, pts, ts, order, batch):
+    for s in range(0, len(order), batch):
+        sl = order[s : s + batch]
+        engine.ingest_arrays(keys[sl], pts[sl], ts=ts[sl])
+
+
+class TestShuffledParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(50, 400),
+        max_delay=st.floats(0.1, 5.0),
+        batch=st.integers(7, 200),
+    )
+    def test_shuffled_equals_sorted_bit_identical(
+        self, seed, n, max_delay, batch
+    ):
+        keys, pts, ts = _workload(n, seed)
+        order = bounded_shuffle(ts, max_delay, seed=seed + 1)
+        e_sorted = _engine(max_delay)
+        e_shuffled = _engine(max_delay)
+        _feed(e_sorted, keys, pts, ts, np.arange(n), batch)
+        _feed(e_shuffled, keys, pts, ts, order, batch)
+        final = float(ts[-1]) + 2 * max_delay
+        e_sorted.advance_time(final)
+        e_shuffled.advance_time(final)
+        # In-bound shuffles lose nothing...
+        assert e_sorted.late_dropped == 0
+        assert e_shuffled.late_dropped == 0
+        assert e_shuffled.stats().buffered == 0
+        # ...and replay the exact sorted stream: bit-identical per-key
+        # and global answers.
+        for k in KEYS:
+            assert e_shuffled.hull(k) == e_sorted.hull(k)
+        assert e_shuffled.merged_hull() == e_sorted.merged_hull()
+        assert e_shuffled.diameter() == e_sorted.diameter()
+        assert e_shuffled.width() == e_sorted.width()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), max_delay=st.floats(0.2, 3.0))
+    def test_single_insert_path_matches_batch_path(self, seed, max_delay):
+        keys, pts, ts = _workload(120, seed)
+        order = bounded_shuffle(ts, max_delay, seed=seed)
+        e_batch = _engine(max_delay)
+        e_single = _engine(max_delay)
+        _feed(e_batch, keys, pts, ts, order, 40)
+        for i in order:
+            e_single.insert(keys[i], pts[i, 0], pts[i, 1], ts=float(ts[i]))
+        final = float(ts[-1]) + 2 * max_delay
+        e_batch.advance_time(final)
+        e_single.advance_time(final)
+        for k in KEYS:
+            assert e_single.hull(k) == e_batch.hull(k)
+
+    def test_records_path_accepts_out_of_order(self):
+        keys, pts, ts = _workload(90, 5)
+        order = bounded_shuffle(ts, 1.0, seed=6)
+        engine = _engine(1.0)
+        engine.ingest(
+            [
+                (keys[i], float(pts[i, 0]), float(pts[i, 1]), float(ts[i]))
+                for i in order
+            ]
+        )
+        engine.advance_time(float(ts[-1]) + 2.0)
+        ref = _engine(1.0)
+        _feed(ref, keys, pts, ts, np.arange(len(ts)), 90)
+        ref.advance_time(float(ts[-1]) + 2.0)
+        for k in KEYS:
+            assert engine.hull(k) == ref.hull(k)
+
+
+class TestLatePolicy:
+    def test_late_records_counted_never_applied(self):
+        engine = _engine(1.0)
+        keys, pts, ts = _workload(60, 9, span=50.0)
+        _feed(engine, keys, pts, ts, np.arange(60), 60)
+        hull_before = {k: engine.hull(k) for k in KEYS}
+        stats_before = engine.stats()
+        # Far beyond the watermark: counted, dropped, state untouched.
+        assert engine.insert("a", 1e6, 1e6, ts=0.0) is False
+        engine.ingest_arrays(
+            ["b", "c"],
+            [[1e6, -1e6], [-1e6, 1e6]],
+            ts=[0.0, 0.1],
+        )
+        assert engine.late_drops() == {"a": 1, "b": 1, "c": 1}
+        assert engine.late_dropped == 3
+        assert engine.stats().late_dropped == 3
+        for k in KEYS:
+            assert engine.hull(k) == hull_before[k]
+        # Dropped records are not "ingested".
+        assert engine.points_ingested == stats_before.points_ingested
+        assert engine.batches_ingested == stats_before.batches_ingested
+
+    def test_late_drop_notifies_subscribers(self):
+        engine = _engine(1.0)
+        engine.ingest_arrays(["a"], [[0.0, 0.0]], ts=[100.0])
+        seen = []
+        engine.subscribe(lambda touched: seen.append(set(touched)))
+        engine.insert("zzz", 1.0, 1.0, ts=0.0)
+        assert seen and seen[-1] == {"zzz"}
+
+    def test_mixed_batch_drops_only_late_records(self):
+        engine = _engine(1.0, horizon=1000.0)
+        engine.ingest_arrays(["a"], [[0.0, 0.0]], ts=[100.0])
+        # One in-bound record, one late: partial admit, exact counts.
+        engine.ingest_arrays(
+            ["a", "a"], [[1.0, 1.0], [2.0, 2.0]], ts=[99.5, 10.0]
+        )
+        assert engine.late_drops() == {"a": 1}
+        engine.advance_time(200.0)
+        assert (1.0, 1.0) in [tuple(p) for p in engine.summary("a").samples()]
+
+    def test_strict_engine_has_no_late_surface(self):
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=5.0)
+        )
+        engine.ingest_arrays(["a"], [[0.0, 0.0]], ts=[10.0])
+        assert engine.watermark is None
+        assert engine.late_drops() == {}
+        with pytest.raises(ValueError, match="non-decreasing"):
+            engine.ingest_arrays(["a"], [[1.0, 1.0]], ts=[1.0])
+
+
+class TestAdvanceTimeFlush:
+    def test_advance_flushes_buffer_before_expiry(self):
+        """Satellite regression: a watermark advance must apply
+        buffered in-bound records before any expiry/clock motion — it
+        may neither reject them against an already-advanced summary
+        clock nor expire a bucket that still owes them coverage."""
+        engine = _engine(5.0, horizon=100.0)
+        engine.ingest_arrays(["a"], [[0.0, 0.0]], ts=[10.0])
+        # ts=7 is in bound (> watermark 5) but, like ts=10 itself, not
+        # final yet: both sit in the reorder buffer.
+        engine.ingest_arrays(["a"], [[50.0, 50.0]], ts=[7.0])
+        assert engine.stats().buffered == 2
+        # The advance makes ts=7 final (watermark 15).  Flushing after
+        # moving the summary clock to 15 would raise (7 < 15); not
+        # flushing would silently lose an in-bound record.
+        expired = engine.advance_time(20.0)
+        assert expired == 0
+        assert engine.late_dropped == 0
+        assert engine.stats().buffered == 0
+        assert (50.0, 50.0) in [tuple(p) for p in engine.hull("a")]
+
+    def test_advance_expires_only_to_watermark(self):
+        # Horizon 10, delay 5: an advance to 100 moves the summaries
+        # to watermark 95, so a bucket ending at 90 (> 95 - 10 = 85)
+        # must survive — records up to 5 late may still land near it.
+        engine = _engine(5.0, horizon=10.0)
+        engine.ingest_arrays(["a"], [[1.0, 1.0]], ts=[90.0])
+        engine.advance_time(95.0)  # watermark 90: applies the record
+        engine.advance_time(100.0)  # watermark 95, expiry cutoff 85
+        assert engine.hull("a") == [(1.0, 1.0)]
+        # A record 4.9 late still lands fine.
+        engine.ingest_arrays(["a"], [[2.0, 2.0]], ts=[95.1])
+        engine.advance_time(101.0)
+        assert (2.0, 2.0) in [tuple(p) for p in engine.hull("a")]
+        # Once the watermark passes end_ts + horizon the bucket goes.
+        assert engine.advance_time(90.0 + 10.0 + 5.0 + 1.0) >= 1
+
+    def test_advance_notifies_released_keys(self):
+        engine = _engine(2.0, horizon=50.0)
+        engine.ingest_arrays(["a"], [[0.0, 0.0]], ts=[10.0])
+        engine.ingest_arrays(["b"], [[1.0, 1.0]], ts=[9.5])  # buffered
+        seen = []
+        engine.subscribe(lambda touched: seen.append(set(touched)))
+        engine.advance_time(15.0)
+        assert seen and "b" in seen[-1]
+
+
+class TestEviction:
+    def test_evict_drops_buffered_records_with_the_key(self):
+        # Eviction is whole-state loss: a key's buffered tail must not
+        # silently resurrect it (with only that tail) once the
+        # watermark passes — and the eviction hook sees the summary of
+        # everything *applied*, which is all an eviction can persist.
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R),
+            window=WindowConfig(horizon=100.0, max_delay=5.0),
+            max_streams=1,
+        )
+        engine.ingest_arrays(["A"], [[1.0, 1.0]], ts=[10.0])
+        engine.advance_time(20.0)  # applies the record (watermark 15)
+        engine.ingest_arrays(["A"], [[2.0, 2.0]], ts=[18.0])  # buffered
+        assert engine.buffered_records == 1
+        evicted = engine.evict("A")
+        assert evicted.points_seen == 1
+        assert engine.buffered_records == 0
+        engine.advance_time(100.0)
+        assert "A" not in engine  # no resurrection from the buffer
+
+    def test_lru_eviction_takes_the_buffer_too(self):
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R),
+            window=WindowConfig(horizon=100.0, max_delay=5.0),
+            max_streams=1,
+        )
+        engine.ingest_arrays(["A"], [[1.0, 1.0]], ts=[10.0])
+        engine.advance_time(20.0)
+        engine.ingest_arrays(["A"], [[2.0, 2.0]], ts=[18.0])  # buffered
+        # B's batch releases its first record (watermark reaches 25),
+        # so B's summary is created and LRU-evicts A — buffer included.
+        engine.ingest_arrays(
+            ["B", "B"], [[3.0, 3.0], [4.0, 4.0]], ts=[25.0, 30.0]
+        )
+        assert engine.evictions == 1
+        assert "A" not in engine
+        assert engine.buffered_records == 1  # only B's ts=30 remains
+
+
+class TestEventTimeSnapshots:
+    def test_snapshot_round_trips_buffered_records(self):
+        keys, pts, ts = _workload(200, 21)
+        order = bounded_shuffle(ts, 3.0, seed=22)
+        engine = _engine(3.0)
+        _feed(engine, keys, pts, ts, order, 64)
+        engine.insert("a", 9.0, 9.0, ts=float(ts[-1]) - 40.0)  # a late drop
+        assert engine.stats().buffered > 0
+        doc = engine.snapshot_state()
+        clone = StreamEngine.from_snapshot_state(doc, lambda: AdaptiveHull(R))
+        assert clone.watermark == engine.watermark
+        assert clone.late_drops() == engine.late_drops()
+        assert clone.stats().buffered == engine.stats().buffered
+        # Both keep streaming identically: the buffered tail flushes
+        # to the same hulls.
+        final = float(ts[-1]) + 6.0
+        engine.advance_time(final)
+        clone.advance_time(final)
+        for k in KEYS:
+            assert clone.hull(k) == engine.hull(k)
+        assert clone.diameter() == engine.diameter()
+
+    def test_snapshot_doc_is_json_and_gated(self):
+        import json
+
+        engine = _engine(1.0)
+        engine.ingest_arrays(["a"], [[0.0, 0.0]], ts=[1.0])
+        doc = json.loads(json.dumps(engine.snapshot_state()))
+        assert doc["window"]["max_delay"] == 1.0
+        # A strict restore target must refuse event-time state rather
+        # than silently dropping pending records.
+        doc["window"]["max_delay"] = None
+        with pytest.raises(ValueError, match="bounded-lateness"):
+            StreamEngine.from_snapshot_state(doc, lambda: AdaptiveHull(R))
+
+
+class TestConfigValidation:
+    def test_max_delay_requires_horizon(self):
+        with pytest.raises(ValueError, match="time-based"):
+            WindowConfig(last_n=100, max_delay=1.0)
+        with pytest.raises(ValueError):
+            WindowConfig(horizon=5.0, max_delay=-1.0)
+
+    def test_watermark_arg_rejected_on_strict(self):
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=5.0)
+        )
+        with pytest.raises(ValueError, match="watermark"):
+            engine.ingest_arrays(["a"], [[0.0, 0.0]], ts=[1.0], watermark=0.5)
+        with pytest.raises(ValueError, match="watermark"):
+            engine.advance_time(1.0, watermark=0.5)
+
+    def test_non_finite_ts_rejected_atomically(self):
+        engine = _engine(1.0)
+        with pytest.raises(ValueError, match="finite"):
+            engine.ingest_arrays(
+                ["a", "b"], [[0.0, 0.0], [1.0, 1.0]], ts=[1.0, math.nan]
+            )
+        assert len(engine) == 0 and engine.stats().buffered == 0
+
+    def test_windowed_bound_still_holds_shuffled(self):
+        # The windowed-vs-exact error bound survives reordering: the
+        # summaries see exactly the sorted stream.
+        keys, pts, ts = _workload(500, 33, span=20.0)
+        order = bounded_shuffle(ts, 2.0, seed=34)
+        engine = _engine(2.0, horizon=8.0)
+        _feed(engine, keys, pts, ts, order, 100)
+        engine.advance_time(float(ts[-1]) + 4.0)
+        merged = engine.merged_summary()
+        assert diameter_query(merged) > 0.0

@@ -1,0 +1,138 @@
+"""Unit tests for the event-time building blocks (repro.engine.time).
+
+TimePolicy validation, the EventClock watermark state machine, the
+arrival-order ``late_split`` verdicts, and the ReorderBuffer's
+sorted-release / snapshot contracts — the primitives every tier's
+bounded-lateness behaviour is built from.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.time import EventClock, ReorderBuffer, TimePolicy, late_split
+
+
+class TestTimePolicy:
+    def test_strict_default(self):
+        assert TimePolicy().max_delay is None
+        assert not TimePolicy.strict().bounded
+
+    def test_bounded(self):
+        p = TimePolicy.bounded_lateness(2.5)
+        assert p.bounded and p.max_delay == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects_bad_delay(self, bad):
+        with pytest.raises(ValueError):
+            TimePolicy.bounded_lateness(bad)
+
+
+class TestLateSplit:
+    def test_sorted_batch_never_late(self):
+        ts = np.array([1.0, 2.0, 3.0, 4.0])
+        late, new_max = late_split(ts, None, 0.5)
+        assert not late.any() and new_max == 4.0
+
+    def test_verdict_uses_preceding_arrivals_only(self):
+        # Record 0 (ts=10) pushes the running max; record 1 (ts=1) is
+        # 9 behind it -> late at D=2.  Record 2 (ts=9) is only 1
+        # behind -> in bound.
+        ts = np.array([10.0, 1.0, 9.0])
+        late, new_max = late_split(ts, None, 2.0)
+        assert late.tolist() == [False, True, False]
+        assert new_max == 10.0
+
+    def test_batch_boundary_invariance(self):
+        # A record is never late because a *newer* record shares its
+        # batch: splitting the batch anywhere gives the same verdicts.
+        rng = np.random.default_rng(7)
+        ts = rng.uniform(0.0, 10.0, 64)
+        whole, _ = late_split(ts, None, 1.5)
+        for cut in (1, 13, 40, 63):
+            a, max_a = late_split(ts[:cut], None, 1.5)
+            b, _ = late_split(ts[cut:], max_a, 1.5)
+            assert np.concatenate([a, b]).tolist() == whole.tolist()
+
+    def test_prior_max_counts(self):
+        late, _ = late_split(np.array([1.0]), 10.0, 2.0)
+        assert late.tolist() == [True]
+
+
+class TestEventClock:
+    def test_watermark_trails_by_delay(self):
+        clock = EventClock(2.0)
+        assert clock.watermark == -math.inf
+        assert clock.observe(10.0) == 8.0
+        # Older observations never move anything backwards.
+        assert clock.observe(5.0) == 8.0
+        assert clock.max_ts == 10.0
+
+    def test_external_watermark(self):
+        clock = EventClock(2.0)
+        assert clock.observe_watermark(7.0) == 7.0
+        assert clock.observe_watermark(3.0) == 7.0  # monotone
+
+    def test_doc_round_trip(self):
+        clock = EventClock(1.0)
+        clock.observe(4.0)
+        other = EventClock(1.0)
+        other.load_doc(clock.to_doc())
+        assert other.max_ts == 4.0 and other.watermark == 3.0
+        fresh = EventClock(1.0)
+        fresh.load_doc(EventClock(1.0).to_doc())
+        assert fresh.watermark == -math.inf and fresh.max_ts is None
+
+
+class TestReorderBuffer:
+    def test_release_is_sorted_and_cut_at_watermark(self):
+        buf = ReorderBuffer()
+        buf.add(np.array([[3.0, 3.0], [1.0, 1.0]]), np.array([3.0, 1.0]))
+        buf.add(np.array([[2.0, 2.0]]), np.array([2.0]))
+        assert len(buf) == 3
+        pts, ts = buf.release(2.0)
+        assert ts.tolist() == [1.0, 2.0]
+        assert pts.tolist() == [[1.0, 1.0], [2.0, 2.0]]
+        assert len(buf) == 1
+        pts, ts = buf.release(10.0)
+        assert ts.tolist() == [3.0]
+        assert buf.release(100.0) is None
+
+    def test_nothing_releasable(self):
+        buf = ReorderBuffer()
+        buf.add(np.array([[1.0, 1.0]]), np.array([5.0]))
+        assert buf.release(4.0) is None and len(buf) == 1
+
+    def test_ties_release_in_arrival_order(self):
+        buf = ReorderBuffer()
+        buf.add(np.array([[1.0, 0.0]]), np.array([1.0]))
+        buf.add(np.array([[2.0, 0.0]]), np.array([1.0]))
+        pts, ts = buf.release(1.0)
+        assert pts.tolist() == [[1.0, 0.0], [2.0, 0.0]]
+        assert ts.tolist() == [1.0, 1.0]
+
+    def test_concatenated_releases_non_decreasing(self):
+        rng = np.random.default_rng(3)
+        buf = ReorderBuffer()
+        out = []
+        wm = -math.inf
+        for _ in range(20):
+            ts = rng.uniform(max(wm, 0.0), max(wm, 0.0) + 3.0, 5)
+            buf.add(rng.normal(0, 1, (5, 2)), ts)
+            wm = max(wm, float(ts.max()) - 1.0)
+            released = buf.release(wm)
+            if released is not None:
+                out.extend(released[1].tolist())
+        assert out == sorted(out)
+
+    def test_doc_round_trip(self):
+        buf = ReorderBuffer()
+        buf.add(np.array([[1.0, 2.0], [3.0, 4.0]]), np.array([7.0, 6.0]))
+        clone = ReorderBuffer.from_doc(buf.to_doc())
+        assert len(clone) == 2
+        a = buf.release(100.0)
+        b = clone.release(100.0)
+        assert a[0].tolist() == b[0].tolist()
+        assert a[1].tolist() == b[1].tolist()
+        assert ReorderBuffer.from_doc({"points": [], "ts": []}).release(1.0) is None

@@ -1,0 +1,106 @@
+"""HullServer hardening: connection backlog cap + subscriber cap.
+
+An over-cap connection is turned away before it reaches the service
+(one error line, then close — or a reset if the client races the
+close); slots free up when connections end.  An over-cap ``subscribe``
+fails as a normal per-request error and the connection stays usable;
+unsubscribing frees the slot.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.serve import (
+    AsyncHullClient,
+    AsyncHullService,
+    HullServer,
+    RemoteEngineError,
+)
+
+R = 8
+
+
+def _engine():
+    return StreamEngine(lambda: AdaptiveHull(R))
+
+
+def test_cap_validation():
+    service = AsyncHullService(_engine())
+    with pytest.raises(ValueError):
+        HullServer(service, max_connections=0)
+    with pytest.raises(ValueError):
+        HullServer(service, max_subscribers=0)
+
+
+def test_max_connections_refuses_then_recovers():
+    async def run():
+        async with AsyncHullService(_engine(), own_engine=True) as service:
+            async with HullServer(service, max_connections=1) as server:
+                c1 = await AsyncHullClient.connect(port=server.port)
+                try:
+                    await c1.ping()
+                    assert server.connection_count == 1
+                    # Second connection: refused before any request is
+                    # served (error line, reset, or closed stream —
+                    # whichever end of the race the client sees).
+                    c2 = await AsyncHullClient.connect(port=server.port)
+                    try:
+                        with pytest.raises(
+                            (RemoteEngineError, ConnectionError, OSError)
+                        ):
+                            await asyncio.wait_for(c2.ping(), 5)
+                    finally:
+                        await c2.aclose()
+                    assert server.refused_connections == 1
+                finally:
+                    await c1.aclose()
+                # The slot is free again once the first client left.
+                for _ in range(50):
+                    if server.connection_count == 0:
+                        break
+                    await asyncio.sleep(0.02)
+                c3 = await AsyncHullClient.connect(port=server.port)
+                try:
+                    await asyncio.wait_for(c3.ping(), 5)
+                finally:
+                    await c3.aclose()
+
+    asyncio.run(run())
+
+
+def test_max_subscribers_cap_and_release():
+    async def run():
+        async with AsyncHullService(_engine(), own_engine=True) as service:
+            async with HullServer(service, max_subscribers=1) as server:
+                c1 = await AsyncHullClient.connect(port=server.port)
+                c2 = await AsyncHullClient.connect(port=server.port)
+                try:
+                    sub = await c1.subscribe()
+                    with pytest.raises(
+                        RemoteEngineError, match="max_subscribers"
+                    ):
+                        await c2.subscribe()
+                    # The refused connection stays fully usable.
+                    await c2.ingest([("k", 1.0, 2.0)], sync=True)
+                    assert await c2.hull("k") == [(1.0, 2.0)]
+                    # The capped subscription still streams events.
+                    touched = await asyncio.wait_for(sub.get(), 5)
+                    assert touched == {"k"}
+                    # Re-subscribing on the *same* connection replaces
+                    # the filter — it must not hit the cap.
+                    await c1.subscribe(keys=["k"])
+                    # Unsubscribe frees the slot for the other client.
+                    await sub.cancel()
+                    for _ in range(50):
+                        if not service._subscribers:
+                            break
+                        await asyncio.sleep(0.02)
+                    await c2.subscribe()
+                finally:
+                    await c1.aclose()
+                    await c2.aclose()
+
+    asyncio.run(run())

@@ -1,0 +1,201 @@
+"""Bounded-lateness event time on the sharded tier.
+
+The parent computes the watermark and judges lateness before any shard
+sees a record, so: per-key results on a shuffled-within-bound stream
+are bit-identical to a single StreamEngine fed the same arrival order
+(and hence to the sorted stream); late records are counted parent-side
+and never reach a worker; ring snapshots round-trip buffered records —
+including onto a different worker count, where pending records re-route
+with their keys.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.shard import ShardedEngine, SummarySpec
+from repro.streams import bounded_shuffle
+from repro.window import WindowConfig
+
+R = 8
+KEYS = [f"ev-{i}" for i in range(6)]
+
+
+def _workload(n, seed, span=30.0):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(0.0, 2.0, (n, 2))
+    ts = np.sort(rng.uniform(0.0, span, n)) + np.arange(n) * 1e-9
+    keys = np.array([KEYS[i % len(KEYS)] for i in range(n)])
+    return keys, pts, ts
+
+
+def _window(max_delay, horizon=10.0):
+    return WindowConfig(horizon=horizon, max_delay=max_delay)
+
+
+def _ring(max_delay, shards=2, horizon=10.0):
+    return ShardedEngine(
+        SummarySpec("AdaptiveHull", {"r": R}),
+        shards=shards,
+        window=_window(max_delay, horizon),
+    )
+
+
+def _feed(engine, keys, pts, ts, order, batch):
+    for s in range(0, len(order), batch):
+        sl = order[s : s + batch]
+        engine.ingest_arrays(keys[sl], pts[sl], ts=ts[sl])
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 1000), shards=st.integers(1, 3))
+def test_cross_tier_parity_on_shuffled_stream(seed, shards):
+    n, max_delay = 400, 2.0
+    keys, pts, ts = _workload(n, seed)
+    order = bounded_shuffle(ts, max_delay, seed=seed + 7)
+    final = float(ts[-1]) + 2 * max_delay
+    single = StreamEngine(
+        lambda: AdaptiveHull(R), window=_window(max_delay)
+    )
+    _feed(single, keys, pts, ts, order, 130)
+    single.advance_time(final)
+    with _ring(max_delay, shards=shards) as ring:
+        _feed(ring, keys, pts, ts, order, 130)
+        ring.advance_time(final)
+        assert ring.late_dropped == 0
+        assert ring.stats().buffered == 0
+        for k in KEYS:
+            assert ring.hull(k) == single.hull(k)
+        if shards == 1:
+            assert ring.merged_hull() == single.merged_hull()
+
+
+def test_watermark_is_global_across_shards():
+    # Key routing must not affect release timing: a batch touching
+    # only some shards still releases those shards' keys at the
+    # *global* watermark the parent computed.
+    with _ring(1.0, shards=2, horizon=100.0) as ring:
+        ring.ingest_arrays([KEYS[0]], [[0.0, 0.0]], ts=[10.0])
+        assert ring.watermark == 9.0
+        # A newer record for (possibly) another shard advances the
+        # global watermark past 10; the first key's record must now be
+        # applied even though its shard got no new data for it.
+        ring.ingest_arrays([KEYS[1]], [[5.0, 5.0]], ts=[20.0])
+        ring.advance_time(25.0)
+        assert ring.hull(KEYS[0]) == [(0.0, 0.0)]
+        assert ring.stats().buffered == 0
+
+
+def test_late_records_counted_parent_side_never_applied():
+    with _ring(1.0, shards=2, horizon=1000.0) as ring:
+        keys, pts, ts = _workload(80, 3, span=50.0)
+        _feed(ring, keys, pts, ts, np.arange(80), 80)
+        before = {k: ring.hull(k) for k in KEYS}
+        points_before = ring.points_ingested
+        assert ring.insert(KEYS[0], 1e6, 1e6, ts=0.0) is False
+        ring.ingest_arrays(
+            [KEYS[1], KEYS[2]], [[1e6, -1e6], [-1e6, 1e6]], ts=[0.0, 0.1]
+        )
+        assert ring.late_drops() == {KEYS[0]: 1, KEYS[1]: 1, KEYS[2]: 1}
+        assert ring.stats().late_dropped == 3
+        assert ring.points_ingested == points_before
+        for k in KEYS:
+            assert ring.hull(k) == before[k]
+
+
+def test_notifications_identical_across_tiers():
+    # The bounded-lateness notification contract must not diverge
+    # between tiers: a batch notifies every key with admitted records
+    # (buffered or applied) plus late-dropped keys; advance_time
+    # notifies released/expired keys.
+    def drive(engine):
+        seen = []
+        engine.subscribe(lambda touched: seen.append(frozenset(touched)))
+        # Admitted but buffered only: still a notification.
+        engine.ingest_arrays(
+            [KEYS[0], KEYS[1]], [[0.0, 0.0], [1.0, 1.0]], ts=[10.0, 11.0]
+        )
+        # Mixed: one admitted (released), one late.
+        engine.ingest_arrays(
+            [KEYS[2], KEYS[3]], [[2.0, 2.0], [3.0, 3.0]], ts=[30.0, 5.0]
+        )
+        # Release-only advance.
+        engine.advance_time(40.0)
+        return seen
+
+    single = StreamEngine(
+        lambda: AdaptiveHull(R), window=_window(1.0, horizon=100.0)
+    )
+    with _ring(1.0, shards=2, horizon=100.0) as ring:
+        assert drive(ring) == drive(single)
+
+
+def test_late_drop_notifies_subscribers():
+    with _ring(1.0, shards=2, horizon=100.0) as ring:
+        ring.ingest_arrays([KEYS[0]], [[0.0, 0.0]], ts=[50.0])
+        seen = []
+        ring.subscribe(lambda touched: seen.append(set(touched)))
+        ring.insert("straggler", 0.0, 0.0, ts=1.0)
+        assert seen and seen[-1] == {"straggler"}
+
+
+@pytest.mark.parametrize("new_shards", [None, 3])
+def test_ring_snapshot_round_trips_buffered_records(new_shards):
+    keys, pts, ts = _workload(200, 17)
+    order = bounded_shuffle(ts, 3.0, seed=18)
+    with _ring(3.0, shards=2) as ring:
+        _feed(ring, keys, pts, ts, order, 64)
+        ring.insert(KEYS[0], 9.0, 9.0, ts=float(ts[-1]) - 40.0)  # late
+        assert ring.stats().buffered > 0
+        doc = ring.snapshot_state()
+        restored = ShardedEngine.from_snapshot_state(doc, shards=new_shards)
+        try:
+            assert restored.watermark == ring.watermark
+            assert restored.late_drops() == ring.late_drops()
+            assert restored.stats().buffered == ring.stats().buffered
+            final = float(ts[-1]) + 6.0
+            ring.advance_time(final)
+            restored.advance_time(final)
+            for k in KEYS:
+                assert restored.hull(k) == ring.hull(k)
+        finally:
+            restored.close()
+
+
+def test_advance_flushes_before_expiry_across_ring():
+    # The satellite-6 regression, through the worker protocol: the
+    # broadcast watermark must flush buffered in-bound records before
+    # worker summaries advance/expire.
+    with _ring(5.0, shards=2, horizon=100.0) as ring:
+        ring.ingest_arrays([KEYS[0]], [[0.0, 0.0]], ts=[10.0])
+        ring.ingest_arrays([KEYS[0]], [[50.0, 50.0]], ts=[7.0])
+        assert ring.stats().buffered == 2
+        assert ring.advance_time(20.0) == 0
+        assert ring.late_dropped == 0
+        assert ring.stats().buffered == 0
+        assert (50.0, 50.0) in [tuple(p) for p in ring.hull(KEYS[0])]
+
+
+def test_unsorted_batch_rejected_only_on_strict_ring():
+    strict = ShardedEngine(
+        SummarySpec("AdaptiveHull", {"r": R}),
+        shards=2,
+        window=WindowConfig(horizon=10.0),
+    )
+    with strict:
+        with pytest.raises(ValueError, match="non-decreasing"):
+            strict.ingest_arrays(
+                [KEYS[0], KEYS[1]], [[0.0, 0.0], [1.0, 1.0]], ts=[2.0, 1.0]
+            )
+        assert len(strict) == 0  # atomic: nothing reached a shard
+    with _ring(2.0, shards=2) as bounded:
+        assert (
+            bounded.ingest_arrays(
+                [KEYS[0], KEYS[1]], [[0.0, 0.0], [1.0, 1.0]], ts=[2.0, 1.0]
+            )
+            >= 0
+        )
+        assert bounded.late_dropped == 0
