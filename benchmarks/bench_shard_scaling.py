@@ -1,25 +1,35 @@
-"""Sharded ingestion throughput: 1, 2, and 4 worker processes.
+"""Sharded ingestion: transport A/B, worker scaling, query latency.
 
-The acceptance workload is a 10^6-record keyed stream (256 integer
-keys, Gaussian clusters, adaptive hulls at r = 32) pushed through the
-:class:`~repro.shard.ShardedEngine` in 10^5-record batches.  The parent
-partitions each batch with one vectorised routing pass and all owning
-workers ingest their slices concurrently, so on a multi-core machine
-throughput scales with the worker count until the parent's
-partition+pickle pass becomes the serial floor.
+Four measurements around :class:`~repro.shard.ShardedEngine`:
 
-The scaling assertion (>= 2x at 4 workers vs 1) only makes sense with
-at least 4 usable cores; on smaller machines (and under REPRO_SMOKE=1)
-the benchmark still runs, records its JSON series, and verifies
-correctness — per-key hulls at 4 workers identical to 1 worker — but
-skips the machine-dependent throughput check.
+* **Wire throughput** — a pipe pair driven in-process with a reader
+  thread, one request/reply per 10^5-record batch, for each transport
+  (``pickle`` / ``frames`` / ``shm``).  This isolates the serialisation
+  cost the zero-copy frame protocol removes: pickle copies every NumPy
+  buffer into the pickle stream, frames writes the array memory
+  straight to the pipe, shm memcpy's into a shared segment and ships
+  only a header.
+* **End-to-end A/B at 1 worker** — the full engine on each transport,
+  with the parent-side cost split (``partition_s`` routing/slicing vs
+  ``send_s`` wire writes vs ``collect_s`` waiting on acks) recorded
+  separately in the JSON.
+* **Worker scaling** — 1/2/4 workers on the default frames transport.
+  The >= 2x-at-4-workers assertion only makes sense with >= 4 usable
+  cores; on smaller machines (and under REPRO_SMOKE=1) the series is
+  still recorded but the machine-dependent gate is skipped (CI wires
+  the gate through a multi-core job).
+* **Global query latency** — ``merged_summary`` on a 256-key ring with
+  worker-push partials (warm) vs the cold tree-reduce
+  (``worker_push=False``): the warm path fetches one cached
+  shard-level partial per worker instead of folding every key on the
+  query path.
 
-Calibration note: on a single core the 1-worker ring reaches ~92% of a
-plain in-process StreamEngine on this workload, i.e. the IPC tax is
-small and the scaling headroom is genuine worker compute.
+``REPRO_SHARD_N`` overrides the record count (the CI gate job uses it
+to right-size the workload for runner speed).
 """
 
 import os
+import threading
 import time
 
 import numpy as np
@@ -27,13 +37,18 @@ import pytest
 from _util import banner, smoke, write_json, write_report
 
 from repro.shard import ShardedEngine, SummarySpec
+from repro.shard.transport import make_parent_pipe, make_worker_pipe, shm_available
 
-N = 50_000 if smoke() else 1_000_000
+N = int(
+    os.environ.get("REPRO_SHARD_N") or (50_000 if smoke() else 1_000_000)
+)
 KEYS = 256
 R = 32
 BATCH = 100_000
 WORKER_COUNTS = (1, 2, 4)
 PROBE_KEYS = 8  # per-run correctness probes
+
+TRANSPORTS = ["pickle", "frames"] + (["shm"] if shm_available() else [])
 
 
 def _cores() -> int:
@@ -53,9 +68,56 @@ def workload():
     return keys, pts
 
 
-def _run(workers: int, keys: np.ndarray, pts: np.ndarray):
+# -- wire microbenchmark -------------------------------------------------
+
+
+def _wire_rate(transport: str, keys: np.ndarray, pts: np.ndarray) -> dict:
+    """Records/sec through one pipe pair for ingest-shaped messages,
+    request/reply per batch (the shard protocol's discipline)."""
+    import multiprocessing
+
+    a, b = multiprocessing.Pipe()
+    parent = make_parent_pipe(a, transport)
+    worker = make_worker_pipe(b, transport)
+    batches = [
+        ("ingest_arrays", keys[s : s + BATCH], pts[s : s + BATCH], None)
+        for s in range(0, len(pts), BATCH)
+    ]
+
+    def serve():
+        for _ in batches:
+            msg = worker.recv()
+            worker.send(("ok", len(msg[1])))
+
+    t = threading.Thread(target=serve)
+    bytes_per_rec = keys.itemsize + pts.itemsize * 2
+    t.start()
+    t0 = time.perf_counter()
+    total = 0
+    for msg in batches:
+        parent.send(msg)
+        status, n = parent.recv()
+        assert status == "ok"
+        total += n
+    elapsed = time.perf_counter() - t0
+    t.join(timeout=30)
+    parent.close()
+    worker.close()
+    assert total == len(pts)
+    return {
+        "records_per_sec": total / elapsed,
+        "mb_per_sec": total * bytes_per_rec / elapsed / 1e6,
+    }
+
+
+# -- end-to-end runs -----------------------------------------------------
+
+
+def _run(workers: int, keys, pts, transport="frames", worker_push=True):
     spec = SummarySpec("AdaptiveHull", {"r": R})
-    with ShardedEngine(spec, shards=workers) as engine:
+    with ShardedEngine(
+        spec, shards=workers, transport=transport, worker_push=worker_push
+    ) as engine:
         t0 = time.perf_counter()
         for s in range(0, len(pts), BATCH):
             engine.ingest_arrays(keys[s : s + BATCH], pts[s : s + BATCH])
@@ -63,31 +125,84 @@ def _run(workers: int, keys: np.ndarray, pts: np.ndarray):
         stats = engine.stats()
         assert stats.points_ingested == len(pts)
         assert stats.streams == len(np.unique(keys))
-        probes = {
-            int(k): engine.hull(int(k)) for k in range(PROBE_KEYS)
-        }
-    return len(pts) / elapsed, probes
+        probes = {int(k): engine.hull(int(k)) for k in range(PROBE_KEYS)}
+        timings = dict(engine.timings)
+    return len(pts) / elapsed, probes, timings
+
+
+def _query_latency(keys, pts, worker_push: bool, reps: int = 20) -> float:
+    """Median seconds per global ``merged_summary`` on a 256-key ring."""
+    spec = SummarySpec("AdaptiveHull", {"r": R})
+    with ShardedEngine(
+        spec, shards=2, worker_push=worker_push
+    ) as engine:
+        n = min(len(pts), 200_000)
+        for s in range(0, n, BATCH):
+            engine.ingest_arrays(keys[s : s + BATCH], pts[s : s + BATCH])
+        engine.merged_summary()  # warm the push ring's partials
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            engine.merged_summary()
+            samples.append(time.perf_counter() - t0)
+        if worker_push:
+            assert engine.stats().partials_served >= reps
+    return float(np.median(samples))
 
 
 def test_shard_scaling(workload):
-    """Throughput at 1/2/4 workers; >= 2x at 4 workers on >= 4 cores."""
     keys, pts = workload
     cores = _cores()
-    rates = {}
-    probes = {}
-    for w in WORKER_COUNTS:
-        rates[w], probes[w] = _run(w, keys, pts)
-    # Correctness across worker counts: every key's stream lands on one
-    # shard in order, so per-key hulls must be identical regardless of
-    # how the ring is sized.
+
+    # 1) Wire throughput per transport (no engine, pure IPC).
+    wire = {tr: _wire_rate(tr, keys, pts) for tr in TRANSPORTS}
+
+    # 2) End-to-end transport A/B at 1 worker, parent costs split out.
+    ab = {}
+    rates, probes, timings = {}, {}, {}
+    for tr in TRANSPORTS:
+        rate, probe, tm = _run(1, keys, pts, transport=tr)
+        ab[tr] = {"records_per_sec": rate, **tm}
+        if tr == "frames":
+            rates[1], probes[1], timings[1] = rate, probe, tm
+
+    # 3) Worker scaling on the default transport.
+    for w in WORKER_COUNTS[1:]:
+        rates[w], probes[w], timings[w] = _run(w, keys, pts)
     for w in WORKER_COUNTS[1:]:
         assert probes[w] == probes[1], f"per-key hulls diverged at {w} workers"
 
+    # 4) Global query latency: worker-push partials vs cold tree-reduce.
+    latency = {
+        "cold_s": _query_latency(keys, pts, worker_push=False),
+        "warm_s": _query_latency(keys, pts, worker_push=True),
+    }
+    latency["speedup"] = latency["cold_s"] / latency["warm_s"]
+
     speedup = {w: rates[w] / rates[1] for w in WORKER_COUNTS}
     assertion_active = cores >= 4 and not smoke()
-    lines = [f"{'workers':>8} {'rate':>16} {'speedup':>8}"]
+
+    lines = [f"wire throughput ({BATCH:,}-record request/reply):"]
+    for tr in TRANSPORTS:
+        lines.append(
+            f"{tr:>8} {wire[tr]['records_per_sec']:>12,.0f} rec/s "
+            f"({wire[tr]['mb_per_sec']:,.0f} MB/s)"
+        )
+    lines.append("end-to-end at 1 worker (partition / send / collect):")
+    for tr in TRANSPORTS:
+        lines.append(
+            f"{tr:>8} {ab[tr]['records_per_sec']:>12,.0f} rec/s  "
+            f"{ab[tr]['partition_s']:.3f}s / {ab[tr]['send_s']:.3f}s / "
+            f"{ab[tr]['collect_s']:.3f}s"
+        )
+    lines.append("worker scaling (frames):")
     for w in WORKER_COUNTS:
-        lines.append(f"{w:>8} {rates[w]:>12,.0f} p/s {speedup[w]:>7.2f}x")
+        lines.append(f"{w:>8} {rates[w]:>12,.0f} rec/s {speedup[w]:>7.2f}x")
+    lines.append(
+        f"merged_summary on {KEYS} keys: cold {latency['cold_s']*1e3:.2f} ms, "
+        f"worker-push {latency['warm_s']*1e3:.2f} ms "
+        f"({latency['speedup']:.1f}x)"
+    )
     lines.append(
         f"cores: {cores}; 2x-at-4-workers assertion "
         f"{'ACTIVE' if assertion_active else 'skipped (needs >= 4 cores)'}"
@@ -107,12 +222,29 @@ def test_shard_scaling(workload):
             "batch": BATCH,
             "cores": cores,
             "smoke": smoke(),
+            "transports": TRANSPORTS,
+            "transport_default": "frames",
+            "wire_throughput": wire,
+            "ab_1_worker": ab,
             "rates_records_per_sec": {str(w): rates[w] for w in WORKER_COUNTS},
             "speedup_vs_1_worker": {str(w): speedup[w] for w in WORKER_COUNTS},
+            "parent_timings_s": {str(w): timings[w] for w in WORKER_COUNTS},
+            "merged_summary_latency": latency,
             "assertion_active": assertion_active,
         },
     )
     print("\n" + report)
+    if not smoke():
+        # The point of the transport layer: raw frames must beat the
+        # pickled baseline on the wire, and worker-push partials must
+        # cut global query latency.
+        assert (
+            wire["frames"]["records_per_sec"]
+            > wire["pickle"]["records_per_sec"]
+        ), "frames transport did not beat pickle on wire throughput"
+        assert latency["warm_s"] < latency["cold_s"], (
+            "worker-push partials did not reduce merged_summary latency"
+        )
     if assertion_active:
         assert speedup[4] >= 2.0, (
             f"sharded scaling regressed: {speedup[4]:.2f}x < 2x at 4 workers"

@@ -121,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot", default=None,
         help="write a whole-ring snapshot here and verify restore",
     )
+    sh.add_argument(
+        "--transport", choices=["pickle", "frames", "shm"], default="frames",
+        help="worker pipe protocol (frames = zero-copy default)",
+    )
     sh.add_argument("--seed", type=int, default=0)
 
     win = sub.add_parser(
@@ -386,7 +390,9 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     centers = rng.uniform(-100.0, 100.0, (args.keys, 2))
     spec = SummarySpec("AdaptiveHull", {"r": args.r})
 
-    with ShardedEngine(spec, shards=args.workers) as engine:
+    with ShardedEngine(
+        spec, shards=args.workers, transport=args.transport
+    ) as engine:
         t0 = time.perf_counter()
         done = 0
         while done < args.n:
@@ -403,6 +409,7 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             for i, s in enumerate(stats.per_shard)
         )
         print(f"workers      : {args.workers}")
+        print(f"transport    : {args.transport}")
         print(f"streams      : {stats.streams}")
         print(f"records      : {stats.points_ingested:,} in "
               f"{stats.batches_ingested} batches")

@@ -55,6 +55,7 @@ __all__ = [
     "EventTimeAPI",
     "split_records",
     "key_index_runs",
+    "unique_key_inverse",
     "canonical_key_order",
     "validate_ts_batch",
     "check_snapshot_doc",
@@ -308,6 +309,32 @@ def key_index_runs(
         if isinstance(key, np.generic):
             key = key.item()  # native str/int, not a NumPy scalar
         yield key, order[s:e]
+
+
+def unique_key_inverse(
+    key_arr: np.ndarray,
+) -> Tuple[List[Hashable], np.ndarray]:
+    """The batch's distinct keys plus an inverse index array.
+
+    Returns ``(uniq_keys, inverse)`` with ``uniq_keys`` native Python
+    values (NumPy scalars unboxed, like :func:`key_index_runs`) and
+    ``inverse[i]`` the position of record ``i``'s key in ``uniq_keys``
+    — the fully vectorised grouping form: per-key aggregates become
+    ``np.bincount(inverse, ...)`` and per-record lookups become one
+    fancy index, with no Python-level loop over records.  Comparable
+    dtypes go through one ``np.unique`` pass; object arrays (arbitrary
+    hashables) group through a dict in first-appearance order.  Used by
+    the shard tier's routing hot path, which maps ``uniq_keys`` through
+    the hash ring once and broadcasts shard ids with the inverse.
+    """
+    if key_arr.dtype == object:
+        index_of: dict = {}
+        inverse = np.empty(len(key_arr), dtype=np.int64)
+        for i, k in enumerate(key_arr.tolist()):
+            inverse[i] = index_of.setdefault(k, len(index_of))
+        return list(index_of), inverse
+    uniq, inverse = np.unique(key_arr, return_inverse=True)
+    return uniq.tolist(), inverse.astype(np.int64, copy=False)
 
 
 def validate_ts_batch(

@@ -12,9 +12,15 @@ reduce per-subsystem streams into one global result:
   proportional slice of keys);
 * :class:`~repro.shard.spec.SummarySpec` — a scheme as picklable data,
   so factories can cross process boundaries;
+* :mod:`~repro.shard.transport` — the zero-copy wire layer: batch
+  slices cross the worker pipes as raw length-prefixed NumPy buffer
+  frames (``frames``), optionally via a shared-memory double-buffer
+  ring for large slices (``shm``), with the legacy pickled-message
+  path (``pickle``) kept as a measurable baseline;
 * :func:`~repro.shard.worker.shard_worker_main` — one
   :class:`~repro.engine.StreamEngine` per worker process, spoken to
-  over a pipe in the :mod:`repro.streams.io` snapshot format;
+  over a framed pipe in the :mod:`repro.streams.io` snapshot format,
+  pre-folding its shard-level partial during ingest idle time;
 * :class:`~repro.shard.engine.ShardedEngine` — the front door: batch
   fan-out across all workers, per-key hulls bit-for-bit identical to a
   single engine, global hull/diameter/width through a tree reduction of
@@ -36,6 +42,7 @@ from ..core.base import tree_merge
 from .engine import ShardedEngine, ShardError, ShardStats
 from .hashing import HashRing, stable_key_token
 from .spec import SummarySpec
+from .transport import TRANSPORTS, TransportError, shm_available
 
 __all__ = [
     "ShardedEngine",
@@ -45,4 +52,7 @@ __all__ = [
     "SummarySpec",
     "stable_key_token",
     "tree_merge",
+    "TRANSPORTS",
+    "TransportError",
+    "shm_available",
 ]

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
@@ -52,8 +53,8 @@ from ..engine.common import (
     SubscriberAPI,
     Subscription,
     check_snapshot_doc,
-    key_index_runs,
     split_records,
+    unique_key_inverse,
     validate_ts_batch,
 )
 from ..engine.time import EventClock, TimePolicy, late_split
@@ -62,6 +63,12 @@ from ..streams.io import summary_from_state
 from ..window import WindowConfig, windowed_factory
 from .hashing import HashRing
 from .spec import SummarySpec
+from .transport import (
+    TRANSPORTS,
+    TransportError,
+    make_parent_pipe,
+    shm_available,
+)
 from .worker import shard_worker_main
 
 __all__ = ["ShardedEngine", "ShardStats", "ShardError"]
@@ -96,6 +103,10 @@ class ShardStats:
     bucket_expiries: int = 0
     late_dropped: int = 0
     buffered: int = 0
+    #: Worker-push partial reductions: idle-time folds across the ring
+    #: and global queries answered from a warm per-shard partial.
+    partials_reduced: int = 0
+    partials_served: int = 0
 
     def __str__(self) -> str:
         loads = "/".join(str(s["streams"]) for s in self.per_shard)
@@ -111,6 +122,11 @@ class ShardStats:
             )
         if self.late_dropped or self.buffered:
             base += f" late={self.late_dropped} buffered={self.buffered}"
+        if self.partials_reduced or self.partials_served:
+            base += (
+                f" partials={self.partials_reduced}"
+                f"/{self.partials_served} served"
+            )
         return base
 
 
@@ -152,10 +168,25 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             slice so the workers' reorder buffers release at one
             deterministic cut (per-key results stay bit-identical to
             a single engine fed the same arrivals).
+        transport: the pipe protocol — ``"frames"`` (default,
+            zero-copy raw-frame messaging), ``"shm"`` (frames plus a
+            shared-memory double-buffer ring for large batch slices),
+            or ``"pickle"`` (the legacy one-pickle-per-message
+            baseline).  Results are bit-identical across transports;
+            only the wire cost differs.
+        worker_push: enable worker-push partial reductions — once a
+            global query has been seen, each worker folds its shard-
+            level partial during ingest idle time, so
+            :meth:`merged_summary` (and the hull/diameter/width folds
+            on top of it) fetch one small pre-reduced state per shard
+            instead of paying the whole fold on the query path.
+            ``False`` recomputes per query (the cold tree-reduce).
 
     The engine is a context manager; on exit the workers are stopped
     and joined.  All public methods raise :class:`ShardError` when a
-    worker reports a failure or has died.
+    worker reports a failure or has died.  Per-batch parent-side costs
+    are split out in :attr:`timings` (``partition_s`` routing/slicing,
+    ``send_s`` wire writes, ``collect_s`` waiting on acks).
     """
 
     def __init__(
@@ -167,9 +198,23 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         max_streams: Optional[int] = None,
         start_method: Optional[str] = None,
         window=None,
+        transport: str = "frames",
+        worker_push: bool = True,
     ):
         if shards < 1:
             raise ValueError("ShardedEngine needs at least one shard")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r} "
+                f"(known: {', '.join(TRANSPORTS)})"
+            )
+        if transport == "shm" and not shm_available():
+            raise ValueError(
+                "the shm transport needs multiprocessing.shared_memory, "
+                "which this platform lacks — use transport='frames'"
+            )
+        self.transport = transport
+        self.worker_push = bool(worker_push)
         self.spec = SummarySpec.coerce(spec)
         self.window = WindowConfig.coerce(window)
         self._clock: Optional[float] = None  # high-water event time (strict)
@@ -200,6 +245,18 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         # would otherwise remember every key ever seen): on overflow it
         # is simply cleared — recomputing a route is pure and cheap.
         self._route_cache: Dict[Hashable, int] = {}
+        # Batch-level routing cache: monitoring streams send the same
+        # key population batch after batch, so the (unique keys ->
+        # shard ids) mapping from the previous batch usually applies
+        # verbatim — one array comparison replaces the per-key ring
+        # walk, keeping per-batch partitioning off the parent hot path.
+        self._batch_route: Optional[Tuple[np.ndarray, np.ndarray, List]] = None
+        #: Parent-side cost split, accumulated per ingest batch.
+        self.timings: Dict[str, float] = {
+            "partition_s": 0.0,
+            "send_s": 0.0,
+            "collect_s": 0.0,
+        }
         self._closed = False
         ctx = (
             multiprocessing.get_context(start_method)
@@ -207,19 +264,28 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             else _default_context()
         )
         self._conns = []
+        self._pipes = []
         self._procs = []
         try:
             for i in range(shards):
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=shard_worker_main,
-                    args=(child_conn, self.spec, max_streams, self.window),
+                    args=(
+                        child_conn,
+                        self.spec,
+                        max_streams,
+                        self.window,
+                        transport,
+                        self.worker_push,
+                    ),
                     name=f"repro-shard-{i}",
                     daemon=True,
                 )
                 proc.start()
                 child_conn.close()  # parent keeps only its end: EOF propagates
                 self._conns.append(parent_conn)
+                self._pipes.append(make_parent_pipe(parent_conn, transport))
                 self._procs.append(proc)
         except Exception:
             self.close()
@@ -244,18 +310,20 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for pipe in self._pipes:
             try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError, TransportError):
                 pass
-        for conn in self._conns:
+        for pipe in self._pipes:
             try:
-                if conn.poll(1.0):
-                    conn.recv()
-            except (EOFError, OSError):
+                if pipe.poll(1.0):
+                    pipe.recv()
+            except (EOFError, OSError, TransportError):
                 pass
-            conn.close()
+            # Closes the connection and releases any shared-memory
+            # segments the transport owns.
+            pipe.close()
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - stuck worker
@@ -270,15 +338,21 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
 
     def _request(self, shard: int, op: str, *args) -> None:
         try:
-            self._conns[shard].send((op,) + args)
+            self._pipes[shard].send((op,) + args)
         except (BrokenPipeError, OSError) as exc:
             raise ShardError(f"shard {shard} is gone: {exc}") from exc
 
     def _collect(self, shard: int):
         try:
-            status, payload = self._conns[shard].recv()
+            status, payload = self._pipes[shard].recv()
         except (EOFError, OSError) as exc:
             raise ShardError(f"shard {shard} died mid-request") from exc
+        except TransportError as exc:
+            # The reply stream is unreadable — a desynchronised frame
+            # cannot be skipped safely, so the shard is written off.
+            raise ShardError(
+                f"shard {shard} reply stream desynchronised: {exc}"
+            ) from exc
         if status != "ok":
             raise ShardError(f"shard {shard}: {payload}")
         return payload
@@ -306,12 +380,43 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             raise first_error
         return payloads
 
+    def _send_all(
+        self, requests: Sequence[Tuple[int, tuple]]
+    ) -> Tuple[List[int], Optional[Exception]]:
+        """Send every request, never aborting mid-loop: a dead shard
+        must not leave the *live* shards with requests unsent or (worse)
+        replies pending but uncollected — that would desynchronise
+        pipes that are still healthy.  Returns the shards actually sent
+        to and the first send failure."""
+        sent: List[int] = []
+        first_error: Optional[Exception] = None
+        for shard, msg in requests:
+            try:
+                self._request(shard, *msg)
+                sent.append(shard)
+            except ShardError as exc:
+                if first_error is None:
+                    first_error = exc
+        return sent, first_error
+
     def _broadcast(self, op: str, *args) -> List:
-        """Send ``op`` to every shard, then collect — requests overlap."""
+        """Send ``op`` to every shard, then collect — requests overlap.
+        On a dead shard the healthy replies are still drained before
+        the error surfaces, so the survivors stay usable."""
         self._check_open()
-        for i in range(self.num_shards):
-            self._request(i, op, *args)
-        return self._collect_all(range(self.num_shards))
+        msg = (op,) + args
+        sent, first_error = self._send_all(
+            [(i, msg) for i in range(self.num_shards)]
+        )
+        try:
+            payloads = self._collect_all(sent)
+        except ShardError as exc:
+            if first_error is None:
+                first_error = exc
+            payloads = []
+        if first_error is not None:
+            raise first_error
+        return payloads
 
     # -- routing -----------------------------------------------------------
 
@@ -426,24 +531,56 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         )
         return self.ingest_arrays(keys, pts, ts=ts_list)
 
+    def _route_keys(
+        self, key_arr: np.ndarray
+    ) -> Tuple[np.ndarray, List, np.ndarray]:
+        """Vectorised routing: the batch's per-record shard ids plus
+        its distinct keys.  Distinct keys map through the ring once
+        (memoised in :attr:`_route_cache`), and when consecutive
+        batches carry the same key population — the steady state of
+        every monitoring workload — the whole (unique keys -> shard
+        ids) array is reused from the previous batch, so the per-batch
+        cost is one grouping pass plus one fancy index."""
+        uniq_keys, inverse = unique_key_inverse(key_arr)
+        cached = self._batch_route
+        if (
+            cached is not None
+            and cached[0].dtype == key_arr.dtype
+            and len(cached[2]) == len(uniq_keys)
+            and cached[2] == uniq_keys
+        ):
+            uniq_shards = cached[1]
+        else:
+            uniq_shards = np.fromiter(
+                (self.shard_for(k) for k in uniq_keys),
+                dtype=np.int64,
+                count=len(uniq_keys),
+            )
+            self._batch_route = (key_arr, uniq_shards, uniq_keys)
+        return uniq_shards[inverse], uniq_keys, inverse
+
     def ingest_arrays(
         self, keys: Sequence[Hashable], points, ts=None
     ) -> int:
         """NumPy-native fan-out: a parallel ``keys`` sequence and an
         ``(n, 2)`` point block are partitioned per shard with one
-        vectorised routing pass (unique keys hashed once, cached across
-        batches) and the sub-batches ingest on all workers
-        concurrently.  On a windowed ring ``ts`` may carry event time
-        (scalar or parallel array, globally non-decreasing)."""
+        vectorised routing pass (unique keys hashed once, the whole
+        routing array reused across batches with the same key
+        population) and the sub-batches ship to all owning workers as
+        zero-copy buffer frames, ingesting concurrently.  On a
+        windowed ring ``ts`` may carry event time (scalar or parallel
+        array, globally non-decreasing)."""
         arr = as_point_array(points)
         key_arr = as_key_array(keys, len(arr))
         ts_arr = as_ts_array(ts, len(arr))
         self._check_ring_ts(ts_arr, len(arr))
         if len(arr) == 0:
             return 0
+        t0 = time.perf_counter()
         late_counts: Optional[Dict[Hashable, int]] = None
         batch_max_ts = float(ts_arr[-1]) if ts_arr is not None else None
         slice_watermark: Optional[float] = None
+        late = None
         if self._event_clock is not None:
             # Judge lateness once, parent-side, in arrival order — the
             # verdict (and the watermark every worker releases at) must
@@ -451,36 +588,42 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             late, new_max = late_split(
                 ts_arr, self._event_clock.max_ts, self._event_clock.max_delay
             )
-            late_counts = {}
             batch_max_ts = new_max
             slice_watermark = self._event_clock.peek(new_max)
-        shard_ids = np.empty(len(arr), dtype=np.int64)
-        keep = np.ones(len(arr), dtype=bool)
-        touched: Set[Hashable] = set()
+        shard_ids, uniq_keys, inverse = self._route_keys(key_arr)
+        touched: Set[Hashable] = set(uniq_keys)
         noted: Set[Hashable] = set()
-        for key, idx in key_index_runs(key_arr):
-            shard_ids[idx] = self.shard_for(key)
-            if late_counts is not None:
-                n_late = int(late[idx].sum())
-                if n_late:
-                    late_counts[key] = n_late
+        keep = None
+        if late is not None:
+            late_counts = {}
+            if late.any():
+                keep = ~late
+                n_uniq = len(uniq_keys)
+                per_key_late = np.bincount(inverse[late], minlength=n_uniq)
+                per_key_all = np.bincount(inverse, minlength=n_uniq)
+                for j in np.flatnonzero(per_key_late):
+                    key = uniq_keys[j]
+                    late_counts[key] = int(per_key_late[j])
                     noted.add(key)
-                    keep[idx[late[idx]]] = False
-                    if n_late == len(idx):
-                        continue
-            touched.add(key)
+                    if per_key_late[j] == per_key_all[j]:
+                        touched.discard(key)
         requests = []
         for i in range(self.num_shards):
-            idx = np.flatnonzero((shard_ids == i) & keep)
+            mask = shard_ids == i
+            if keep is not None:
+                mask &= keep
+            idx = np.flatnonzero(mask)
             if len(idx):
                 slice_ts = ts_arr[idx] if ts_arr is not None else None
                 msg = ("ingest_arrays", key_arr[idx], arr[idx], slice_ts)
                 if slice_watermark is not None:
                     msg = msg + (slice_watermark,)
                 requests.append((i, msg))
+        self.timings["partition_s"] += time.perf_counter() - t0
+        total = len(arr) if keep is None else int(keep.sum())
         return self._fan_out(
             requests,
-            int(keep.sum()),
+            total,
             batch_max_ts=batch_max_ts,
             touched=touched,
             late_counts=late_counts,
@@ -503,8 +646,9 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         batch.  Subscribers are notified once, after the whole batch,
         with the touched keys plus the keys that had late drops."""
         self._check_open()
-        for shard, msg in requests:
-            self._request(shard, *msg)
+        t0 = time.perf_counter()
+        sent, send_error = self._send_all(requests)
+        self.timings["send_s"] += time.perf_counter() - t0
         if batch_max_ts is not None:
             if self._event_clock is not None:
                 self._event_clock.observe(batch_max_ts)
@@ -513,7 +657,17 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         if late_counts:
             for key, n in late_counts.items():
                 self._record_late(key, n)
-        changed = sum(self._collect_all([shard for shard, _ in requests]))
+        t0 = time.perf_counter()
+        try:
+            changed = sum(self._collect_all(sent))
+        except ShardError as exc:
+            if send_error is None:
+                send_error = exc
+            changed = 0
+        finally:
+            self.timings["collect_s"] += time.perf_counter() - t0
+        if send_error is not None:
+            raise send_error
         if total:
             self.points_ingested += total
             self.batches_ingested += 1
@@ -632,6 +786,12 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             late_dropped=self.late_dropped
             + sum(s.get("late_dropped", 0) for s in per_shard),
             buffered=sum(s.get("buffered", 0) for s in per_shard),
+            partials_reduced=sum(
+                s.get("partials_reduced", 0) for s in per_shard
+            ),
+            partials_served=sum(
+                s.get("partials_served", 0) for s in per_shard
+            ),
         )
 
     # -- snapshot / restore ------------------------------------------------
@@ -687,6 +847,8 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         replicas: Optional[int] = None,
         max_streams: Optional[int] = None,
         start_method: Optional[str] = None,
+        transport: str = "frames",
+        worker_push: bool = True,
     ) -> "ShardedEngine":
         """Rebuild a ring from a :meth:`snapshot_state` document.
 
@@ -715,6 +877,8 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             max_streams=max_streams,
             start_method=start_method,
             window=window,
+            transport=transport,
+            worker_push=worker_push,
         )
         same_layout = (
             target_shards == int(doc["shards"])
@@ -767,6 +931,8 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         replicas: Optional[int] = None,
         max_streams: Optional[int] = None,
         start_method: Optional[str] = None,
+        transport: str = "frames",
+        worker_push: bool = True,
     ) -> "ShardedEngine":
         """Rebuild a ring from a :meth:`snapshot` file."""
         doc = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -776,4 +942,6 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             replicas=replicas,
             max_streams=max_streams,
             start_method=start_method,
+            transport=transport,
+            worker_push=worker_push,
         )

@@ -46,6 +46,10 @@ class SummarySpec:
             raise ValueError(
                 f"unknown summary scheme {self.scheme!r} (known: {known})"
             )
+        # Memoise the resolved class: build() sits on the per-key hot
+        # path of every worker engine, and the registry lookup per
+        # instantiation is pure overhead once the spec is validated.
+        object.__setattr__(self, "_cls", registry[self.scheme])
 
     @classmethod
     def of(cls, scheme, **config) -> "SummarySpec":
@@ -74,7 +78,7 @@ class SummarySpec:
 
     def build(self) -> HullSummary:
         """Instantiate a fresh summary (the factory the spec describes)."""
-        return scheme_registry()[self.scheme](**self.config)
+        return self._cls(**self.config)
 
     def to_doc(self) -> Dict:
         """JSON-compatible form for the whole-ring snapshot header."""

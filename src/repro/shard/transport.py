@@ -1,0 +1,650 @@
+"""Zero-copy frame transport for the shard pipe protocol.
+
+The original shard IPC sent every message through ``Connection.send``,
+i.e. one pickle per message: a 10^5-record batch slice crossed the pipe
+as a pickled ``(op, keys, points, ts)`` tuple, which copies every NumPy
+buffer into the pickle stream in the *parent* — exactly the serial cost
+that capped ingest scaling at ~1x.  This module replaces that path with
+a length-prefixed raw-frame protocol:
+
+* **Message = skeleton + buffers.**  :func:`extract_arrays` walks a
+  message and lifts every fixed-dtype :class:`numpy.ndarray` out of it,
+  leaving a tiny placeholder (index + dtype string + shape) behind; the
+  remaining skeleton (op names, keys lists, snapshot docs, scalars) is
+  pickled, but it is small — the bulk data never touches pickle.
+* **Frames mode** (:class:`FramePipe`): the header frame (magic, buffer
+  count, per-buffer byte lengths, skeleton) is followed by one raw
+  frame per buffer, each written straight from the array's memory via
+  ``Connection.send_bytes`` — no parent-side copy.  The receiver
+  validates every declared length before trusting it and rebuilds
+  arrays as zero-copy ``np.frombuffer`` views over the received bytes.
+* **Shared-memory mode** (:class:`ShmFramePipe`): for large slices the
+  sender instead memcpy's the buffers into a double-buffered
+  :mod:`multiprocessing.shared_memory` ring (two segments per pipe,
+  used alternately, grown on demand) and the header carries only the
+  segment name and offsets; the receiver attaches once per segment
+  (cached) and copies its slices out.  The two segments alternate so a
+  segment is never rewritten until the message after the message it
+  carried has been acknowledged — with the shard protocol's strict
+  request/reply discipline the reader is always done with segment A
+  before the writer returns to it.
+* **Pickle mode** (:class:`PicklePipe`): the legacy ``send``/``recv``
+  path, kept as the A/B baseline for ``--transport pickle``.
+
+Decoding is *defensive*: a frame that is truncated, oversized, declares
+an impossible dtype/shape, or is plain garbage raises
+:class:`TransportError` — never a silent desync.  The byte-level codec
+(:func:`dumps` / :func:`loads`) is the same header/payload format in a
+single buffer, which is what the property/fuzz suite in
+``tests/shard/test_transport.py`` hammers.
+
+Trust model: this transport connects a parent to worker processes *it
+spawned itself* — the skeleton uses pickle, which is fine between two
+halves of one program but makes the codec unsuitable for untrusted
+network peers as-is.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import struct
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # gate, not require: some platforms lack POSIX shared memory
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic platform
+    _shared_memory = None
+
+__all__ = [
+    "TransportError",
+    "TRANSPORTS",
+    "extract_arrays",
+    "restore_arrays",
+    "dumps",
+    "loads",
+    "PicklePipe",
+    "FramePipe",
+    "ShmFramePipe",
+    "make_parent_pipe",
+    "make_worker_pipe",
+    "shm_available",
+]
+
+#: Supported transport modes for :class:`~repro.shard.ShardedEngine`.
+TRANSPORTS = ("pickle", "frames", "shm")
+
+MAGIC = b"RSF1"  # repro shard frames, wire format v1
+
+#: Header mode byte: payload buffers follow as inline frames.
+_MODE_INLINE = 0
+#: Header mode byte: payload buffers live in a shared-memory segment.
+_MODE_SHM = 1
+
+#: Hard ceiling on a single buffer / skeleton (decoder rejects above).
+MAX_FRAME_BYTES = 1 << 31
+#: Hard ceiling on buffers per message (a shard op carries a handful).
+MAX_BUFFERS = 256
+#: Dimensions above this are certainly garbage, not geometry.
+_MAX_NDIM = 32
+
+#: Buffer bytes below which :class:`ShmFramePipe` sends inline frames
+#: anyway (the memcpy + attach bookkeeping only pays off for big slices).
+SHM_THRESHOLD = 1 << 16
+#: Initial shared-memory segment capacity.
+_SHM_MIN_SEGMENT = 1 << 20
+#: Buffer start alignment inside a shared-memory segment.
+_SHM_ALIGN = 64
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_shm_counter = itertools.count()
+
+#: Segment names created (and therefore unlinked) by this process —
+#: lets a same-process receiver tell loopback segments from a remote
+#: sender's (see the resource-tracker note in ``FramePipe._read_shm``).
+_owned_segments: set = set()
+
+
+def _untrack_shm(name: str) -> None:
+    """Drop an *attached* segment from this process's resource tracker
+    (best-effort; the registration APIs are internal)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - interpreter-internal API
+        pass
+
+
+class TransportError(RuntimeError):
+    """A malformed, truncated, oversized, or desynchronised frame."""
+
+
+def shm_available() -> bool:
+    """Whether the shared-memory transport can run on this platform."""
+    return _shared_memory is not None
+
+
+# -- structure <-> (skeleton, buffers) -----------------------------------
+
+
+class _NDRef:
+    """Placeholder a lifted array leaves in the pickled skeleton."""
+
+    __slots__ = ("index", "dtype", "shape")
+
+    def __init__(self, index: int, dtype: str, shape: Tuple[int, ...]):
+        self.index = index
+        self.dtype = dtype
+        self.shape = shape
+
+    def __getstate__(self):
+        return (self.index, self.dtype, self.shape)
+
+    def __setstate__(self, state):
+        self.index, self.dtype, self.shape = state
+
+
+def _bufferable(arr: np.ndarray) -> bool:
+    """Arrays that can ride the raw-buffer path: fixed-width dtypes
+    whose dtype string round-trips (object/structured dtypes stay in
+    the pickled skeleton — keys may be arbitrary hashables)."""
+    if arr.dtype.hasobject:
+        return False
+    try:
+        return np.dtype(arr.dtype.str) == arr.dtype
+    except TypeError:  # pragma: no cover - exotic dtype
+        return False
+
+
+def extract_arrays(msg: Any) -> Tuple[Any, List[np.ndarray]]:
+    """Rebuild ``msg`` with every bufferable ndarray replaced by a
+    :class:`_NDRef`; returns the skeleton and the lifted arrays (made
+    C-contiguous, which is a no-op for the shard layer's slices)."""
+    buffers: List[np.ndarray] = []
+
+    def walk(obj):
+        if isinstance(obj, np.ndarray) and _bufferable(obj):
+            # Only copy when actually strided: ascontiguousarray would
+            # also promote rank-0 arrays to 1-D (its contract is
+            # ndim >= 1), silently changing the round-tripped shape.
+            arr = obj if obj.flags.c_contiguous else np.ascontiguousarray(obj)
+            buffers.append(arr)
+            return _NDRef(len(buffers) - 1, arr.dtype.str, arr.shape)
+        if isinstance(obj, tuple):
+            return tuple(walk(o) for o in obj)
+        if isinstance(obj, list):
+            return [walk(o) for o in obj]
+        if isinstance(obj, dict):
+            return {k: walk(v) for k, v in obj.items()}
+        return obj
+
+    return walk(msg), buffers
+
+
+def _ref_nbytes(ref: _NDRef) -> Tuple[np.dtype, int, int]:
+    """Validate a decoded :class:`_NDRef`; returns (dtype, count, nbytes).
+
+    Raises:
+        TransportError: on dtypes/shapes that cannot describe a real
+            buffer (the fuzz path: garbage must fail loudly here).
+    """
+    try:
+        dt = np.dtype(ref.dtype)
+    except Exception as exc:
+        raise TransportError(f"undecodable dtype {ref.dtype!r}") from exc
+    shape = tuple(ref.shape)
+    if len(shape) > _MAX_NDIM:
+        raise TransportError(f"array rank {len(shape)} exceeds {_MAX_NDIM}")
+    count = 1
+    for dim in shape:
+        if not isinstance(dim, int) or dim < 0:
+            raise TransportError(f"bad array shape {shape!r}")
+        count *= dim
+    nbytes = count * dt.itemsize
+    if nbytes > MAX_FRAME_BYTES:
+        raise TransportError(f"array of {nbytes} bytes exceeds frame limit")
+    return dt, count, nbytes
+
+
+def restore_arrays(skeleton: Any, buffers: Sequence[Any]) -> Any:
+    """Inverse of :func:`extract_arrays`: graft the received buffers
+    back into the skeleton as zero-copy ``np.frombuffer`` views.
+
+    Raises:
+        TransportError: when a placeholder's dtype/shape does not match
+            its buffer's length (a truncated or mismatched frame).
+    """
+
+    def walk(obj):
+        if isinstance(obj, _NDRef):
+            if not 0 <= obj.index < len(buffers):
+                raise TransportError(f"buffer index {obj.index} out of range")
+            buf = buffers[obj.index]
+            dt, count, nbytes = _ref_nbytes(obj)
+            if len(memoryview(buf)) != nbytes:
+                raise TransportError(
+                    f"buffer {obj.index} holds {len(memoryview(buf))} bytes, "
+                    f"dtype/shape promise {nbytes}"
+                )
+            return np.frombuffer(buf, dtype=dt, count=count).reshape(obj.shape)
+        if isinstance(obj, tuple):
+            return tuple(walk(o) for o in obj)
+        if isinstance(obj, list):
+            return [walk(o) for o in obj]
+        if isinstance(obj, dict):
+            return {k: walk(v) for k, v in obj.items()}
+        return obj
+
+    return walk(skeleton)
+
+
+def _loads_skeleton(data: bytes) -> Any:
+    """Guarded skeleton unpickle: anything it throws becomes a
+    :class:`TransportError` (fuzz bytes must never leak raw pickle
+    machinery errors, let alone desync the stream)."""
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise TransportError(f"undecodable skeleton: {exc}") from exc
+
+
+# -- header codec --------------------------------------------------------
+
+
+def _build_header(
+    skel_bytes: bytes,
+    sizes: Sequence[int],
+    shm: Optional[Tuple[str, Sequence[int]]] = None,
+) -> bytes:
+    """One header frame: magic, mode, buffer lengths, optional shm
+    descriptor (segment name + per-buffer offsets), skeleton."""
+    parts = [
+        MAGIC,
+        bytes([_MODE_SHM if shm is not None else _MODE_INLINE]),
+        _U32.pack(len(sizes)),
+    ]
+    parts += [_U64.pack(n) for n in sizes]
+    if shm is not None:
+        name, offsets = shm
+        name_b = name.encode("ascii")
+        parts.append(_U32.pack(len(name_b)))
+        parts.append(name_b)
+        parts += [_U64.pack(off) for off in offsets]
+    parts.append(_U64.pack(len(skel_bytes)))
+    parts.append(skel_bytes)
+    return b"".join(parts)
+
+
+class _Reader:
+    """Bounds-checked cursor over a received header frame."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.data):
+            raise TransportError(
+                f"truncated frame: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data)}"
+            )
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise TransportError(
+                f"{len(self.data) - self.pos} trailing bytes after frame"
+            )
+
+
+def _parse_header(
+    data: bytes, *, max_buffers: int = MAX_BUFFERS,
+    max_bytes: int = MAX_FRAME_BYTES,
+):
+    """Parse one header frame.
+
+    Returns ``(skeleton_bytes, sizes, shm_desc)`` where ``shm_desc`` is
+    None for inline payload frames or ``(segment_name, offsets)``.
+    The cursor is *not* required to be exhausted — :func:`loads` checks
+    that separately because its payload follows in the same buffer.
+    """
+    r = _Reader(data)
+    if r.take(len(MAGIC)) != MAGIC:
+        raise TransportError("bad magic: not a shard frame")
+    mode = r.take(1)[0]
+    if mode not in (_MODE_INLINE, _MODE_SHM):
+        raise TransportError(f"unknown frame mode {mode}")
+    nbuf = r.u32()
+    if nbuf > max_buffers:
+        raise TransportError(f"{nbuf} buffers exceeds limit {max_buffers}")
+    sizes = [r.u64() for _ in range(nbuf)]
+    for n in sizes:
+        if n > max_bytes:
+            raise TransportError(f"buffer of {n} bytes exceeds limit")
+    shm_desc = None
+    if mode == _MODE_SHM:
+        name_len = r.u32()
+        if name_len > 255:
+            raise TransportError(f"shm name of {name_len} bytes")
+        try:
+            name = r.take(name_len).decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise TransportError("undecodable shm segment name") from exc
+        offsets = [r.u64() for _ in range(nbuf)]
+        shm_desc = (name, offsets)
+    skel_len = r.u64()
+    if skel_len > max_bytes:
+        raise TransportError(f"skeleton of {skel_len} bytes exceeds limit")
+    skel = r.take(skel_len)
+    return skel, sizes, shm_desc, r
+
+
+# -- byte-level codec (single buffer; the property-test surface) ---------
+
+
+def dumps(msg: Any) -> bytes:
+    """Encode a message into one self-contained byte string (header +
+    payload buffers, each length-prefixed).  The wire pipes use the
+    same header but ship payload as separate zero-copy frames; this
+    single-buffer form exists for tests and for callers that want the
+    codec without a :class:`~multiprocessing.connection.Connection`."""
+    skeleton, arrays = extract_arrays(msg)
+    if len(arrays) > MAX_BUFFERS:
+        raise TransportError(
+            f"{len(arrays)} buffers exceeds limit {MAX_BUFFERS}"
+        )
+    skel_bytes = pickle.dumps(skeleton, protocol=pickle.HIGHEST_PROTOCOL)
+    head = _build_header(skel_bytes, [a.nbytes for a in arrays])
+    return head + b"".join(a.tobytes() for a in arrays)
+
+
+def loads(
+    data: bytes, *, max_buffers: int = MAX_BUFFERS,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> Any:
+    """Decode :func:`dumps` output.  Strict: truncated input, trailing
+    garbage, oversized declarations, undecodable skeletons/dtypes all
+    raise :class:`TransportError`.
+
+    ``max_buffers`` / ``max_bytes`` exist so the rejection paths can be
+    tested without materialising multi-gigabyte frames.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TransportError("frame must be a bytes-like object")
+    skel, sizes, shm_desc, reader = _parse_header(
+        bytes(data), max_buffers=max_buffers, max_bytes=max_bytes
+    )
+    if shm_desc is not None:
+        raise TransportError("shm frames cannot be decoded from bytes")
+    buffers = [reader.take(n) for n in sizes]
+    reader.done()
+    return restore_arrays(_loads_skeleton(skel), buffers)
+
+
+# -- connection pipes ----------------------------------------------------
+
+
+class PicklePipe:
+    """The legacy transport: one pickle per message via
+    ``Connection.send`` — kept as the measurable A/B baseline."""
+
+    mode = "pickle"
+
+    def __init__(self, conn):
+        self.conn = conn
+
+    def send(self, msg: Any) -> None:
+        self.conn.send(msg)
+
+    def recv(self) -> Any:
+        return self.conn.recv()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self.conn.poll(timeout)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class FramePipe:
+    """Raw-frame transport over a :class:`Connection`.
+
+    Sends one header frame plus one zero-copy frame per lifted array;
+    receives either form — inline frames or a shared-memory descriptor
+    (so a worker on the frames transport can still read a parent that
+    escalated a large slice to shared memory)."""
+
+    mode = "frames"
+
+    #: Attached-segment cache bound (receiver side).
+    _ATTACH_CACHE = 8
+
+    def __init__(self, conn):
+        self.conn = conn
+        self._attached: dict = {}
+
+    # - sending -
+
+    def send(self, msg: Any) -> None:
+        skeleton, arrays = extract_arrays(msg)
+        self._send_frames(skeleton, arrays)
+
+    def _send_frames(self, skeleton, arrays: List[np.ndarray]) -> None:
+        if len(arrays) > MAX_BUFFERS:
+            raise TransportError(
+                f"{len(arrays)} buffers exceeds limit {MAX_BUFFERS}"
+            )
+        skel_bytes = pickle.dumps(skeleton, protocol=pickle.HIGHEST_PROTOCOL)
+        self.conn.send_bytes(
+            _build_header(skel_bytes, [a.nbytes for a in arrays])
+        )
+        for a in arrays:
+            # send_bytes accepts any buffer — the array's own memory
+            # goes to the pipe without an intermediate Python copy.
+            self.conn.send_bytes(a if a.nbytes else b"")
+
+    # - receiving -
+
+    def recv(self) -> Any:
+        head = self.conn.recv_bytes()
+        skel, sizes, shm_desc, reader = _parse_header(head)
+        reader.done()
+        if shm_desc is None:
+            buffers = []
+            for n in sizes:
+                try:
+                    buf = self.conn.recv_bytes(maxlength=max(n, 1))
+                except OSError as exc:
+                    raise TransportError(
+                        f"payload frame exceeded declared {n} bytes"
+                    ) from exc
+                if len(buf) != n:
+                    raise TransportError(
+                        f"payload frame of {len(buf)} bytes, declared {n}"
+                    )
+                buffers.append(buf)
+        else:
+            buffers = self._read_shm(shm_desc, sizes)
+        return restore_arrays(_loads_skeleton(skel), buffers)
+
+    def _read_shm(self, shm_desc, sizes) -> List[bytes]:
+        """Copy the declared slices out of the named segment.  Copies —
+        not views — because the sender's double buffer will rewrite the
+        segment two messages from now."""
+        if _shared_memory is None:  # pragma: no cover - platform gate
+            raise TransportError("shared memory unavailable on this platform")
+        name, offsets = shm_desc
+        seg = self._attached.get(name)
+        if seg is None:
+            try:
+                seg = _shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError) as exc:
+                raise TransportError(
+                    f"shm segment {name!r} not attachable: {exc}"
+                ) from exc
+            if name not in _owned_segments:
+                # Pre-3.13 attaching registers the segment with this
+                # process's resource tracker just like creating it —
+                # and a forked worker lazily starts its *own* tracker,
+                # which would then try to unlink segments the parent
+                # still owns at worker exit.  The sender's deterministic
+                # unlink in close() is the single cleanup authority, so
+                # drop the attach-side registration.  (Skipped when this
+                # very process created the segment — the loopback case —
+                # where unregistering would strip the creator's entry.)
+                _untrack_shm(name)
+            if len(self._attached) >= self._ATTACH_CACHE:
+                # The sender retired an old segment; drop the stalest
+                # handle (insertion order — segments retire in order).
+                oldest = next(iter(self._attached))
+                self._attached.pop(oldest).close()
+            self._attached[name] = seg
+        out = []
+        for off, n in zip(offsets, sizes):
+            if off + n > seg.size:
+                raise TransportError(
+                    f"shm slice [{off}:{off + n}] exceeds segment "
+                    f"size {seg.size}"
+                )
+            out.append(bytes(seg.buf[off : off + n]))
+        return out
+
+    # - misc -
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self.conn.poll(timeout)
+
+    def close(self) -> None:
+        for seg in self._attached.values():
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        self._attached.clear()
+        self.conn.close()
+
+
+class ShmFramePipe(FramePipe):
+    """Sender-side escalation of :class:`FramePipe`: messages whose
+    lifted buffers total at least :data:`SHM_THRESHOLD` bytes go
+    through a double-buffered shared-memory ring instead of inline
+    frames.  Small messages (acks, queries, stop) stay inline."""
+
+    mode = "shm"
+
+    def __init__(self, conn, *, threshold: int = SHM_THRESHOLD):
+        if _shared_memory is None:
+            raise ValueError(
+                "the shm transport needs multiprocessing.shared_memory"
+            )
+        super().__init__(conn)
+        self.threshold = threshold
+        self._segments: List[Optional[object]] = [None, None]
+        self._turn = 0
+
+    def send(self, msg: Any) -> None:
+        skeleton, arrays = extract_arrays(msg)
+        total = sum(a.nbytes for a in arrays)
+        if total < self.threshold:
+            self._send_frames(skeleton, arrays)
+            return
+        if len(arrays) > MAX_BUFFERS:
+            raise TransportError(
+                f"{len(arrays)} buffers exceeds limit {MAX_BUFFERS}"
+            )
+        seg, offsets = self._place(arrays)
+        skel_bytes = pickle.dumps(skeleton, protocol=pickle.HIGHEST_PROTOCOL)
+        self.conn.send_bytes(
+            _build_header(
+                skel_bytes,
+                [a.nbytes for a in arrays],
+                shm=(seg.name, offsets),
+            )
+        )
+
+    def _place(self, arrays: List[np.ndarray]):
+        """Copy the buffers into the next ring segment (aligned),
+        growing the segment when the batch outgrew it."""
+        need = sum(
+            (a.nbytes + _SHM_ALIGN - 1) // _SHM_ALIGN * _SHM_ALIGN
+            for a in arrays
+        )
+        idx = self._turn
+        self._turn ^= 1
+        seg = self._segments[idx]
+        if seg is None or seg.size < need:
+            if seg is not None:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                _owned_segments.discard(seg.name)
+            cap = max(_SHM_MIN_SEGMENT, need)
+            seg = _shared_memory.SharedMemory(
+                create=True,
+                size=cap,
+                name=f"repro-shard-{os.getpid()}-{next(_shm_counter)}",
+            )
+            _owned_segments.add(seg.name)
+            self._segments[idx] = seg
+        offsets = []
+        view = np.frombuffer(seg.buf, dtype=np.uint8)
+        off = 0
+        for a in arrays:
+            offsets.append(off)
+            if a.nbytes:
+                view[off : off + a.nbytes] = np.frombuffer(
+                    memoryview(a).cast("B"), dtype=np.uint8
+                )
+            off += (a.nbytes + _SHM_ALIGN - 1) // _SHM_ALIGN * _SHM_ALIGN
+        del view  # release the exported buffer before any future unlink
+        return seg, offsets
+
+    def close(self) -> None:
+        for seg in self._segments:
+            if seg is not None:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+                _owned_segments.discard(seg.name)
+        self._segments = [None, None]
+        super().close()
+
+
+def make_parent_pipe(conn, transport: str):
+    """The parent's side of a worker pipe for a transport mode."""
+    if transport == "pickle":
+        return PicklePipe(conn)
+    if transport == "frames":
+        return FramePipe(conn)
+    if transport == "shm":
+        return ShmFramePipe(conn)
+    raise ValueError(
+        f"unknown transport {transport!r} (known: {', '.join(TRANSPORTS)})"
+    )
+
+
+def make_worker_pipe(conn, transport: str):
+    """The worker's side: replies are small, so workers always answer
+    with inline frames; a :class:`FramePipe` receiver already
+    understands the parent's shm-escalated slices."""
+    if transport == "pickle":
+        return PicklePipe(conn)
+    return FramePipe(conn)

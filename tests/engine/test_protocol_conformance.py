@@ -20,27 +20,43 @@ from repro.core import AdaptiveHull
 from repro.engine import EngineProtocol, PROTOCOL_MEMBERS, StreamEngine
 from repro.experiments.metrics import hull_distance
 from repro.shard import ShardedEngine, SummarySpec
-from repro.streams import drifting_clusters_stream
+from repro.shard.transport import shm_available
+from repro.streams import bounded_shuffle, drifting_clusters_stream
 from repro.window import WindowConfig
 
 R = 8
 KEYS = [f"s-{i}" for i in range(6)]
 N = 600
 
+MAX_DELAY = 0.3
+
 WINDOWS = {
     "none": None,
     "count": WindowConfig(last_n=120),
     "timed": WindowConfig(horizon=2.0),
+    "lateness": WindowConfig(horizon=2.0, max_delay=MAX_DELAY),
 }
 
 TIERS = ["stream", "sharded"]
 
+#: Every wire protocol the sharded tier speaks; the whole behavioural
+#: contract must hold bit-identically on each.
+TRANSPORT_MATRIX = ["pickle", "frames"] + (
+    ["shm"] if shm_available() else []
+)
 
-def make_engine(tier, window, shards=2):
+
+def make_engine(
+    tier, window, shards=2, transport="frames", worker_push=True
+):
     if tier == "stream":
         return StreamEngine(lambda: AdaptiveHull(R), window=window)
     return ShardedEngine(
-        SummarySpec("AdaptiveHull", {"r": R}), shards=shards, window=window
+        SummarySpec("AdaptiveHull", {"r": R}),
+        shards=shards,
+        window=window,
+        transport=transport,
+        worker_push=worker_push,
     )
 
 
@@ -258,6 +274,129 @@ def test_snapshot_state_roundtrip_both_tiers(mode):
         feed(b, timed)
         doc = b.snapshot_state()
         with ShardedEngine.from_snapshot_state(doc) as restored:
+            assert sorted(restored.keys()) == sorted(b.keys())
+            for k in b.keys():
+                assert restored.hull(k) == b.hull(k)
+
+
+# -- transport matrix: every wire protocol, bit-identical ----------------
+
+
+@pytest.mark.parametrize("transport", TRANSPORT_MATRIX)
+@pytest.mark.parametrize("mode", list(WINDOWS))
+def test_transport_matrix_identical_results(mode, transport):
+    """The full conformance workload, per transport: per-key results
+    and counters must not depend on how the bytes cross the pipe."""
+    window = WINDOWS[mode]
+    timed = window is not None and window.timed
+    with make_engine("stream", window) as a, make_engine(
+        "sharded", window, transport=transport
+    ) as b:
+        feed(a, timed)
+        feed(b, timed)
+        assert sorted(a.keys()) == sorted(b.keys())
+        for k in a.keys():
+            assert a.hull(k) == b.hull(k), (mode, transport, k)
+        sa, sb = a.stats(), b.stats()
+        assert sa.points_ingested == sb.points_ingested
+        assert sa.sample_points == sb.sample_points
+        if timed:
+            assert a.advance_time(100.0) == b.advance_time(100.0)
+
+
+@pytest.mark.parametrize("transport", TRANSPORT_MATRIX)
+def test_event_time_shuffle_bit_identical(transport):
+    """Bounded-lateness parity under disorder: the same shuffled
+    arrival order fed to both tiers gives bit-identical per-key state,
+    and (after the flush) matches the sorted feed too."""
+    window = WINDOWS["lateness"]
+    keys, pts, ts = workload()
+    order = bounded_shuffle(ts, MAX_DELAY, seed=5)
+    sk, sp, sts = keys[order], pts[order], ts[order]
+    with StreamEngine(
+        lambda: AdaptiveHull(R), window=window
+    ) as a, make_engine(
+        "sharded", window, transport=transport
+    ) as b, StreamEngine(
+        lambda: AdaptiveHull(R), window=window
+    ) as sorted_ref:
+        for lo in range(0, N, 150):
+            a.ingest_arrays(sk[lo:lo + 150], sp[lo:lo + 150], ts=sts[lo:lo + 150])
+            b.ingest_arrays(sk[lo:lo + 150], sp[lo:lo + 150], ts=sts[lo:lo + 150])
+        sorted_ref.ingest_arrays(keys, pts, ts=ts)
+        # Same arrivals, different tiers: identical mid-stream.
+        assert sorted(a.keys()) == sorted(b.keys())
+        for k in a.keys():
+            assert a.hull(k) == b.hull(k), (transport, k)
+        assert a.stats().late_dropped == b.stats().late_dropped == 0
+        # After the watermark flushes everything, disorder is invisible.
+        horizon = float(ts[-1]) + MAX_DELAY + 1.0
+        a.advance_time(horizon)
+        b.advance_time(horizon)
+        sorted_ref.advance_time(horizon)
+        for k in sorted_ref.keys():
+            assert b.hull(k) == sorted_ref.hull(k), (transport, k)
+
+
+# -- worker-push partials vs cold tree-reduce ----------------------------
+
+
+@pytest.mark.parametrize("mode", ["none", "timed"])
+def test_worker_push_partials_bit_identical_to_cold(mode):
+    """Global reductions must not care whether a shard's partial was
+    folded opportunistically (worker-push) or on the query path (cold
+    tree-reduce): the warm partial is the same canonical-order fold."""
+    window = WINDOWS[mode]
+    timed = window is not None and window.timed
+    with make_engine(
+        "sharded", window, worker_push=True
+    ) as warm, make_engine(
+        "sharded", window, worker_push=False
+    ) as cold:
+        feed(warm, timed)
+        feed(cold, timed)
+        # Query twice: the first fold warms the push ring's partials,
+        # the second is served straight from them.
+        for _ in range(2):
+            assert warm.merged_hull() == cold.merged_hull()
+            assert warm.diameter() == cold.diameter()
+            assert warm.width() == cold.width()
+        s_warm, s_cold = warm.stats(), cold.stats()
+        assert s_warm.partials_served >= warm.num_shards
+        assert s_cold.partials_served == 0
+        # Mutate after the warm query: the partial must go dirty, never
+        # serve stale state.
+        warm.ingest([("fresh", 123.0, 456.0, 7.0)] if timed else [("fresh", 123.0, 456.0)])
+        cold.ingest([("fresh", 123.0, 456.0, 7.0)] if timed else [("fresh", 123.0, 456.0)])
+        assert warm.merged_hull() == cold.merged_hull()
+        assert any(
+            (123.0, 456.0) == v for v in warm.merged_hull()
+        ), "post-warm ingest missing from the global fold"
+
+
+def test_worker_push_selection_queries_never_use_partials():
+    """Key-selection folds always compute directly (the partial covers
+    the whole shard, not a selection)."""
+    with make_engine("sharded", None, worker_push=True) as eng:
+        feed(eng, False)
+        eng.merged_hull()  # warm the partials
+        some = KEYS[:2]
+        with make_engine("sharded", None, worker_push=False) as cold:
+            feed(cold, False)
+            assert eng.merged_hull(some) == cold.merged_hull(some)
+
+
+@pytest.mark.parametrize("transport", TRANSPORT_MATRIX)
+def test_snapshot_restore_across_transports(transport):
+    """A ring snapshotted on one transport restores on any other with
+    identical per-key state (the snapshot format is transport-blind)."""
+    with make_engine("sharded", None, transport="frames") as b:
+        feed(b, False)
+        doc = b.snapshot_state()
+        with ShardedEngine.from_snapshot_state(
+            doc, transport=transport, worker_push=False
+        ) as restored:
+            assert restored.transport == transport
             assert sorted(restored.keys()) == sorted(b.keys())
             for k in b.keys():
                 assert restored.hull(k) == b.hull(k)
