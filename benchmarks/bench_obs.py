@@ -1,0 +1,96 @@
+"""Observability overhead guard: the obs layer must stay near-free.
+
+Every engine hot path now increments ``repro.obs`` counters and
+histograms.  The instrumentation is delta-based (one ``inc`` per batch,
+not per record), so on the acceptance workload — a 10^5-point keyed
+disk stream at r = 32 — the enabled/disabled throughput gap must stay
+under 5%.  Both configurations run the identical ingest, so this also
+re-checks that the kill switch changes no result.
+"""
+
+import time
+
+import numpy as np
+from _util import banner, paper_n, smoke, write_json, write_report
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.obs import registry as obs_registry
+from repro.obs import set_enabled
+from repro.streams import disk_stream
+
+N = 2_000 if smoke() else paper_n(100_000)
+R = 32
+KEYS = 64
+BATCH = 5_000
+ROUNDS = 2 if smoke() else 4
+MAX_OVERHEAD = 0.05
+
+
+def _run_ingest(stream, keys):
+    engine = StreamEngine(lambda: AdaptiveHull(R))
+    t0 = time.perf_counter()
+    for start in range(0, N, BATCH):
+        stop = min(start + BATCH, N)
+        engine.ingest_arrays(keys[start:stop], stream[start:stop])
+    elapsed = time.perf_counter() - t0
+    return engine, elapsed
+
+
+def test_obs_overhead_under_five_percent():
+    stream = disk_stream(N, seed=0)
+    keys = np.array([f"k{i % KEYS:03d}" for i in range(N)])
+
+    best = {True: 1e9, False: 1e9}
+    hulls = {}
+    for _ in range(ROUNDS):
+        for enabled in (False, True):
+            set_enabled(enabled)
+            try:
+                obs_registry().reset()
+                engine, elapsed = _run_ingest(stream, keys)
+            finally:
+                set_enabled(True)
+            best[enabled] = min(best[enabled], elapsed)
+            hulls[enabled] = engine.merged_hull()
+            if enabled:
+                # The run really was instrumented.
+                assert (
+                    obs_registry().value(
+                        "repro_ingest_records_total", tier="engine"
+                    )
+                    == N
+                )
+
+    # The kill switch is observability-only: identical hulls either way.
+    assert hulls[True] == hulls[False]
+
+    overhead = best[True] / best[False] - 1.0
+    rate_on = N / best[True]
+    rate_off = N / best[False]
+    report = banner(
+        f"Obs overhead, {N:,}-point disk stream, {KEYS} keys, r={R}",
+        f"{'disabled':>10} {rate_off:>12,.0f} p/s\n"
+        f"{'enabled':>10} {rate_on:>12,.0f} p/s\n"
+        f"{'overhead':>10} {overhead:>11.2%}",
+    )
+    write_report("bench_obs", report)
+    write_json(
+        "bench_obs",
+        {
+            "benchmark": "bench_obs",
+            "n": N,
+            "r": R,
+            "keys": KEYS,
+            "batch": BATCH,
+            "rate_enabled_points_per_sec": rate_on,
+            "rate_disabled_points_per_sec": rate_off,
+            "overhead_fraction": overhead,
+            "max_overhead_fraction": MAX_OVERHEAD,
+        },
+    )
+    print("\n" + report)
+    if not smoke():  # smoke mode: correctness only, no machine-dependent perf
+        assert overhead < MAX_OVERHEAD, (
+            f"obs layer overhead {overhead:.2%} >= {MAX_OVERHEAD:.0%}"
+        )

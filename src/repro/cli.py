@@ -20,8 +20,13 @@ Usage::
                                 [--last-n N | --horizon T] [--max-delay D]
                                 [--workers W] [--tick SEC] [--duration SEC]
                                 [--selfcheck] [--snapshot PATH]
+                                [--metrics-port P]
     python -m repro serve bench [--n N] [--keys K] [--batch B] [--r R]
                                 [--workers W] [--queries Q]
+    python -m repro metrics [--keys K] [--n N] [--r R] [--batch B]
+                            [--workers W] [--last-n N | --horizon T]
+                            [--max-delay D] [--format prom|json]
+                            [--watch SEC] [--seed S]
 
 Every subcommand prints the corresponding table/series from the paper's
 evaluation; ``demo`` runs a quick end-to-end summary with queries,
@@ -36,7 +41,10 @@ window's hull/diameter with the ever-growing all-time hull; ``serve``
 is the asyncio front door — ``run`` starts the NDJSON TCP server over
 either engine tier, ``bench`` measures ingest throughput and query
 latency through the async facade and the TCP loop against direct
-synchronous calls (with a bit-identical parity check).
+synchronous calls (with a bit-identical parity check); ``metrics``
+runs a keyed workload through either tier and dumps (or, with
+``--watch``, periodically re-prints) the :mod:`repro.obs` registry as
+a Prometheus text page or a JSON snapshot.
 """
 
 from __future__ import annotations
@@ -212,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot", default=None,
         help="write a final engine snapshot here on shutdown",
     )
+    run.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="additionally serve plain-HTTP GET /metrics (Prometheus "
+        "text format) on this port (0 = ephemeral, printed on start)",
+    )
 
     sbench = srv_sub.add_parser(
         "bench", help="async facade + TCP throughput/latency vs direct calls"
@@ -230,6 +243,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--queries", type=int, default=20, help="global queries per path"
     )
     sbench.add_argument("--seed", type=int, default=0)
+
+    met = sub.add_parser(
+        "metrics",
+        help="run a keyed workload and dump/watch the obs registry",
+    )
+    met.add_argument("--keys", type=int, default=32, help="keyed streams")
+    met.add_argument(
+        "--n", type=int, default=100_000, help="total records across all keys"
+    )
+    met.add_argument("--r", type=int, default=32, help="adaptive parameter r")
+    met.add_argument(
+        "--batch", type=int, default=10_000, help="records per ingest batch"
+    )
+    met.add_argument(
+        "--workers", type=int, default=0,
+        help="shard worker processes (0 = in-process StreamEngine)",
+    )
+    mode = met.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--last-n", type=int, default=None,
+        help="count-based window per key (default: no window)",
+    )
+    mode.add_argument(
+        "--horizon", type=float, default=None,
+        help="time-based window in time units (records carry ts)",
+    )
+    met.add_argument(
+        "--max-delay", type=float, default=None,
+        help="bounded-lateness tolerance (needs --horizon)",
+    )
+    met.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="output format: Prometheus text exposition or JSON snapshot",
+    )
+    met.add_argument(
+        "--watch", type=float, default=None,
+        help="re-print the page at least this many seconds apart while "
+        "the workload runs (default: dump once at the end)",
+    )
+    met.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -592,6 +645,59 @@ def _tier_engine(args, prog: str, default_window=None):
     return engine, restore
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from .obs import render_snapshot
+
+    if args.keys < 1:
+        raise SystemExit("metrics: --keys must be >= 1")
+    if args.batch < 1:
+        raise SystemExit("metrics: --batch must be >= 1")
+    if args.watch is not None and args.watch < 0.0:
+        raise SystemExit("metrics: --watch must be >= 0")
+    engine_cm, _ = _tier_engine(args, "metrics")
+    window = engine_cm.window
+
+    rng = np.random.default_rng(args.seed)
+    keys = np.array([f"stream-{i:04d}" for i in range(args.keys)])
+    centers = rng.uniform(-100.0, 100.0, (args.keys, 2))
+    timed = window is not None and window.timed
+
+    def page(engine) -> str:
+        obs = engine.stats().obs
+        if args.format == "json":
+            return json.dumps(obs, indent=2, sort_keys=True)
+        return render_snapshot(obs)
+
+    with engine_cm as engine:
+        done = 0
+        last_print = time.perf_counter()
+        while done < args.n:
+            b = min(args.batch, args.n - done)
+            idx = rng.integers(0, args.keys, b)
+            pts = centers[idx] + rng.normal(0.0, 2.0, (b, 2))
+            kw = {}
+            if timed:
+                kw["ts"] = (np.arange(done, done + b, dtype=np.float64)
+                            / 1000.0)
+            engine.ingest_arrays(keys[idx], pts, **kw)
+            done += b
+            if args.watch is not None and (
+                time.perf_counter() - last_print >= args.watch
+            ):
+                print(page(engine))
+                print(f"# --- after {done:,}/{args.n:,} records ---")
+                last_print = time.perf_counter()
+        # A global query so shard/transport reply paths show traffic.
+        engine.merged_hull()
+        print(page(engine))
+    return 0
+
+
 def _cmd_serve_run(args: argparse.Namespace) -> int:
     import asyncio
     import time
@@ -603,7 +709,27 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     ):
         raise SystemExit("serve: --tick needs --horizon and must be > 0")
 
-    async def selfcheck(port: int) -> bool:
+    async def scrape_metrics(host: str, port: int) -> str:
+        """One plain-HTTP GET /metrics round trip; returns the body."""
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET /metrics HTTP/1.0\r\nHost: {host}\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        head, _, body = raw.partition(b"\r\n\r\n")
+        if b"200" not in head.split(b"\r\n", 1)[0]:
+            raise RuntimeError(f"/metrics scrape failed: {head[:120]!r}")
+        return body.decode("utf-8")
+
+    async def selfcheck(port: int, metrics_port=None) -> bool:
         import numpy as np
 
         rng = np.random.default_rng(0)
@@ -665,11 +791,22 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             print(f"selfcheck    : queued {queued}, streams "
                   f"{stats['streams']}, hull {len(hull)} vertices, "
                   f"diameter {diam:.3f}")
+            metrics_ok = True
+            if metrics_port is not None:
+                # Scrape the plain-HTTP listener and print the page so
+                # an outer harness (CI) can grep metric families from
+                # this command's stdout.
+                text = await scrape_metrics(args.host, metrics_port)
+                metrics_ok = "repro_ingest_records_total" in text
+                print(f"metrics      : scraped {len(text)} bytes from "
+                      f"/metrics (ok={metrics_ok})")
+                print(text)
             return (
                 queued == len(records)
                 and stats["points_ingested"] >= queued - late_expected
                 and stats["late_dropped"] == late_expected
                 and late_ok
+                and metrics_ok
                 and len(hull) >= 3
                 and diam > 0.0
             )
@@ -686,7 +823,12 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         )
         ok = True
         async with service:
-            async with HullServer(service, args.host, args.port) as server:
+            async with HullServer(
+                service,
+                args.host,
+                args.port,
+                metrics_port=args.metrics_port,
+            ) as server:
                 window = engine.window
                 mode = (
                     "no window" if window is None
@@ -704,8 +846,13 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                 )
                 print(f"serving      : {args.host}:{server.port} "
                       f"({tier}, {mode}, r={args.r})")
+                if server.metrics_port is not None:
+                    print(f"metrics      : http://{args.host}:"
+                          f"{server.metrics_port}/metrics")
                 if args.selfcheck:
-                    ok = await selfcheck(server.port)
+                    ok = await selfcheck(
+                        server.port, metrics_port=server.metrics_port
+                    )
                 elif args.duration > 0:
                     await asyncio.sleep(args.duration)
                 else:
@@ -840,6 +987,7 @@ _COMMANDS = {
     "shard": _cmd_shard,
     "window": _cmd_window,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -33,8 +33,10 @@ logic that must not drift between them lives here:
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 from typing import (
     Callable,
+    Dict,
     Hashable,
     Iterable,
     Iterator,
@@ -47,8 +49,10 @@ from typing import (
 import numpy as np
 
 from ..geometry.vec import Point
+from ..obs import metrics as _obs
 
 __all__ = [
+    "BaseStats",
     "Subscription",
     "SubscriberAPI",
     "ExtentQueryAPI",
@@ -60,6 +64,43 @@ __all__ = [
     "validate_ts_batch",
     "check_snapshot_doc",
 ]
+
+
+@dataclass
+class BaseStats:
+    """Counters shared by every engine tier's ``stats()`` document.
+
+    ``EngineStats`` and ``ShardStats`` both derive from this so the shared
+    fields — and the late/buffered repr suffix logic — cannot drift between
+    the tiers (the PR 4 must-not-drift convention).  ``obs`` carries the
+    tier's :meth:`repro.obs.Registry.collect` snapshot: for the shard tier
+    it is the parent registry merged with every worker's, so one document
+    holds the whole ring's metrics.
+    """
+
+    streams: int = 0
+    points_ingested: int = 0
+    batches_ingested: int = 0
+    evictions: int = 0
+    sample_points: int = 0
+    buckets: int = 0
+    bucket_merges: int = 0
+    bucket_expiries: int = 0
+    late_dropped: int = 0
+    buffered: int = 0
+    obs: Dict[str, dict] = field(default_factory=dict, repr=False)
+
+    def _suffix(self) -> str:
+        """The windowed/event-time tail both tiers append to ``__str__``."""
+        out = ""
+        if self.buckets or self.bucket_merges or self.bucket_expiries:
+            out += (
+                f" buckets={self.buckets} merges={self.bucket_merges}"
+                f" expiries={self.bucket_expiries}"
+            )
+        if self.late_dropped or self.buffered:
+            out += f" late={self.late_dropped} buffered={self.buffered}"
+        return out
 
 
 def canonical_key_order(key: Hashable) -> Tuple[str, str]:
@@ -201,10 +242,15 @@ class EventTimeAPI:
     :class:`~repro.engine.time.EventClock`, or None under the strict
     policy) and ``self._late_drops`` (the per-key count-and-drop
     ledger) — the watermark translation and the late accounting then
-    cannot drift between the tiers.
+    cannot drift between the tiers.  An engine may also set
+    ``self._on_late`` (the dead-letter hook): every late batch slice is
+    then handed to the callback as ``(key, points, ts, watermark)``
+    before being dropped, with the hand-off counted in
+    ``repro_dead_letter_records_total``.
     """
 
     _late_drops: dict
+    _on_late: Optional[Callable] = None
 
     @property
     def watermark(self) -> Optional[float]:
@@ -227,8 +273,32 @@ class EventTimeAPI:
         """Total records dropped as later-than-watermark."""
         return sum(self._late_drops.values())
 
-    def _record_late(self, key: Hashable, count: int) -> None:
+    def _record_late(
+        self, key: Hashable, count: int, points=None, ts=None
+    ) -> None:
+        """Account one key's late slice; dead-letter it if hooked.
+
+        ``points``/``ts`` are the raw dropped records (any array-likes);
+        they are only materialised as arrays when a hook is installed,
+        so the count-only default pays nothing beyond the counters.
+        """
         self._late_drops[key] = self._late_drops.get(key, 0) + count
+        _obs.LATE_DROPPED_RECORDS.inc(count)
+        hook = self._on_late
+        if hook is None:
+            return
+        pts = (
+            np.asarray(points, dtype=np.float64).reshape(-1, 2)
+            if points is not None
+            else np.empty((0, 2), dtype=np.float64)
+        )
+        ts_run = (
+            np.asarray(ts, dtype=np.float64)
+            if ts is not None
+            else np.empty(0, dtype=np.float64)
+        )
+        hook(key, pts, ts_run, self.watermark)
+        _obs.DEAD_LETTER_RECORDS.inc(count)
 
 
 def split_records(

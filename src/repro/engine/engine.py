@@ -60,9 +60,13 @@ import numpy as np
 from ..core.base import HullSummary, coerce_point
 from ..core.batch import as_key_array, as_point_array, as_ts_array
 from ..geometry.vec import Point
+from ..obs import metrics as OBS
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from ..streams.io import summary_from_state, summary_state
 from ..window import WindowConfig, windowed_factory
 from .common import (
+    BaseStats,
     EventTimeAPI,
     ExtentQueryAPI,
     SubscriberAPI,
@@ -85,7 +89,7 @@ ENGINE_FORMAT_VERSION = 1
 
 
 @dataclass
-class EngineStats:
+class EngineStats(BaseStats):
     """Aggregate bookkeeping across all keyed streams.
 
     The bucket fields describe the sliding-window layer and stay zero
@@ -101,31 +105,12 @@ class EngineStats:
     watermark to pass them.
     """
 
-    streams: int
-    points_ingested: int
-    batches_ingested: int
-    evictions: int
-    sample_points: int
-    buckets: int = 0
-    bucket_merges: int = 0
-    bucket_expiries: int = 0
-    late_dropped: int = 0
-    buffered: int = 0
-
     def __str__(self) -> str:
-        base = (
+        return (
             f"streams={self.streams} points={self.points_ingested:,} "
             f"batches={self.batches_ingested} evictions={self.evictions} "
-            f"stored={self.sample_points}"
+            f"stored={self.sample_points}" + self._suffix()
         )
-        if self.buckets or self.bucket_merges or self.bucket_expiries:
-            base += (
-                f" buckets={self.buckets} merges={self.bucket_merges} "
-                f"expiries={self.bucket_expiries}"
-            )
-        if self.late_dropped or self.buffered:
-            base += f" late={self.late_dropped} buffered={self.buffered}"
-        return base
 
 
 class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
@@ -154,6 +139,15 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             in sorted order once the watermark passes them (queries
             answer over the *applied* state), while later-than-
             watermark records are counted per key and dropped.
+        on_late: optional dead-letter callback
+            ``callback(key, points, ts, watermark)`` invoked with each
+            key's later-than-watermark batch slice *before* it is
+            dropped (``points`` is ``(n, 2)``, ``ts`` parallel, and
+            ``watermark`` the cut the records missed).  Count-only
+            accounting remains the default; the callback may also be
+            carried on ``WindowConfig(on_late=...)``.  Requires a
+            bounded-lateness window.  Callback exceptions propagate
+            (like ``on_evict``), failing the offending ingest call.
     """
 
     def __init__(
@@ -163,6 +157,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         max_streams: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
         window=None,
+        on_late=None,
     ):
         if max_streams is not None and max_streams < 1:
             raise ValueError("max_streams must be >= 1")
@@ -186,6 +181,14 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             if self.time_policy.bounded
             else None
         )
+        hook = on_late if on_late is not None else (
+            self.window.on_late if self.window is not None else None
+        )
+        if hook is not None and not self.time_policy.bounded:
+            raise ValueError(
+                "on_late requires a bounded-lateness window (max_delay)"
+            )
+        self._on_late = hook
         self._buffers: Dict[Hashable, ReorderBuffer] = {}
         self._late_drops: Dict[Hashable, int] = {}
         self._summaries: Dict[Hashable, HullSummary] = {}
@@ -388,6 +391,8 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                 if expired:
                     total += expired
                     touched.add(key)
+            if total:
+                OBS.ENGINE_EXPIRED_BUCKETS.inc(total)
             if touched:
                 self._notify(touched)
             return total, list(touched)
@@ -412,26 +417,39 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                 if expired:
                     total += expired
                     touched.add(key)
+        if total:
+            OBS.ENGINE_EXPIRED_BUCKETS.inc(total)
         if touched:
             self._notify(touched)
         return total, list(touched)
 
     def stats(self) -> EngineStats:
-        """Aggregate counters across all live streams."""
+        """Aggregate counters across all live streams.
+
+        Also refreshes the engine-level obs gauges and folds the
+        process registry snapshot into the document's ``obs`` field
+        (one of the three export surfaces of :mod:`repro.obs`).
+        """
         live = list(self._summaries.values())
+        sample_points = sum(s.sample_size for s in live)
+        buffered = self.buffered_records
+        OBS.ENGINE_STREAMS.set(len(live))
+        OBS.ENGINE_SAMPLE_POINTS.set(sample_points)
+        OBS.ENGINE_BUFFERED_RECORDS.set(buffered)
         return EngineStats(
             streams=len(live),
             points_ingested=self.points_ingested,
             batches_ingested=self.batches_ingested,
             evictions=self.evictions,
-            sample_points=sum(s.sample_size for s in live),
+            sample_points=sample_points,
             buckets=sum(getattr(s, "bucket_count", 0) for s in live),
             bucket_merges=self._retired_bucket_merges
             + sum(getattr(s, "buckets_merged", 0) for s in live),
             bucket_expiries=self._retired_bucket_expiries
             + sum(getattr(s, "buckets_expired", 0) for s in live),
             late_dropped=self.late_dropped,
-            buffered=self.buffered_records,
+            buffered=buffered,
+            obs=obs_registry().collect(),
         )
 
     # -- ingestion ---------------------------------------------------------
@@ -487,6 +505,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         else:
             changed = summary.insert(p, ts=ts)
         self.points_ingested += 1
+        OBS.ENGINE_INGEST_RECORDS.inc()
         self._notify({key})
         return changed
 
@@ -501,7 +520,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         watermark, buffer, release what became final."""
         if ext_watermark is None:
             if ts < self._event_clock.watermark:
-                self._record_late(key, 1)
+                self._record_late(key, 1, points=(p,), ts=(ts,))
                 self._notify({key})
                 return False
             wm = self._event_clock.observe(ts)
@@ -514,6 +533,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         if released is not None:
             changed = self._apply_released(key, released[0], released[1]) > 0
         self.points_ingested += 1
+        OBS.ENGINE_INGEST_RECORDS.inc()
         self._notify({key})
         return changed
 
@@ -570,6 +590,26 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         ts_arr = self._check_batch_ts(ts, len(arr))
         if len(arr) == 0:
             return 0
+        p0, b0 = self.points_ingested, self.batches_ingested
+        with span("engine.ingest", records=len(arr)) as sp:
+            changed = self._ingest_validated(
+                key_arr, arr, ts_arr, chunk, watermark
+            )
+        OBS.ENGINE_INGEST_BATCH_SECONDS.observe(sp.duration)
+        if self.points_ingested > p0:
+            OBS.ENGINE_INGEST_RECORDS.inc(self.points_ingested - p0)
+        if self.batches_ingested > b0:
+            OBS.ENGINE_INGEST_BATCHES.inc(self.batches_ingested - b0)
+        return changed
+
+    def _ingest_validated(
+        self,
+        key_arr: np.ndarray,
+        arr: np.ndarray,
+        ts_arr,
+        chunk: int,
+        watermark: Optional[float],
+    ) -> int:
         if self._event_clock is not None:
             return self._ingest_bounded(key_arr, arr, ts_arr, chunk, watermark)
         if watermark is not None:
@@ -674,11 +714,18 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         touched: Set[Hashable] = set()
         for key, idx in key_index_runs(key_arr):
             if late is not None:
-                late_count = int(late[idx].sum())
+                late_mask = late[idx]
+                late_count = int(late_mask.sum())
                 if late_count:
-                    self._record_late(key, late_count)
+                    late_idx = idx[late_mask]
+                    self._record_late(
+                        key,
+                        late_count,
+                        points=arr[late_idx],
+                        ts=ts_arr[late_idx],
+                    )
                     touched.add(key)
-                    idx = idx[~late[idx]]
+                    idx = idx[~late_mask]
                     if len(idx) == 0:
                         continue
             admitted += len(idx)
@@ -704,6 +751,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         the unchanged strictly-monotonic window path."""
         self._touch(key)
         summary = self.summary(key)
+        OBS.ENGINE_RELEASED_RECORDS.inc(len(pts))
         return summary.insert_many(pts, chunk=chunk, ts=ts_run)
 
     # -- eviction / compaction ---------------------------------------------
@@ -726,6 +774,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         del self._summaries[key]
         self._buffers.pop(key, None)
         self.evictions += 1
+        OBS.ENGINE_EVICTIONS.inc()
         self._retired_bucket_merges += getattr(summary, "buckets_merged", 0)
         self._retired_bucket_expiries += getattr(summary, "buckets_expired", 0)
         return summary
@@ -858,6 +907,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         max_streams: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
         window=None,
+        on_late=None,
     ) -> "StreamEngine":
         """Rebuild an engine from a :meth:`snapshot_state` document.
 
@@ -884,7 +934,11 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                 "a different policy"
             )
         engine = cls(
-            factory, max_streams=max_streams, on_evict=on_evict, window=window
+            factory,
+            max_streams=max_streams,
+            on_evict=on_evict,
+            window=window,
+            on_late=on_late,
         )
         for key, snap in doc["summaries"]:
             engine._summaries[key] = summary_from_state(
@@ -918,6 +972,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         max_streams: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
         window=None,
+        on_late=None,
     ) -> "StreamEngine":
         """Rebuild an engine from a :meth:`snapshot` file."""
         doc = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -927,4 +982,5 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             max_streams=max_streams,
             on_evict=on_evict,
             window=window,
+            on_late=on_late,
         )

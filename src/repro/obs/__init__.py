@@ -1,0 +1,50 @@
+"""repro.obs — unified metrics, tracing, and profiling for every tier.
+
+- :mod:`repro.obs.registry` — dependency-free Counter/Gauge/Histogram
+  registry with labels, thread-safety, a global ``REPRO_OBS`` kill switch,
+  JSON-safe snapshots (mergeable across processes), and Prometheus text
+  exposition.
+- :mod:`repro.obs.metrics` — the metric families every tier increments.
+- :mod:`repro.obs.trace` — ``span()`` context managers recording duration
+  histograms and, at ``REPRO_TRACE=1``, JSONL events with trace/span ids
+  propagated parent → shard worker → reply.
+"""
+
+from . import metrics
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    Registry,
+    SIZE_BUCKETS,
+    merge_snapshots,
+    obs_enabled,
+    registry,
+    render_snapshot,
+    reset,
+    set_enabled,
+)
+from .trace import configure as configure_tracing
+from .trace import current_context, resume, span, tracing
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "metrics",
+    "merge_snapshots",
+    "obs_enabled",
+    "registry",
+    "render_snapshot",
+    "reset",
+    "set_enabled",
+    "configure_tracing",
+    "current_context",
+    "resume",
+    "span",
+    "tracing",
+]

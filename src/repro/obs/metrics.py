@@ -1,0 +1,193 @@
+"""Metric families for every repro tier, declared once on the default registry.
+
+Hot-path call sites import the pre-resolved label children (e.g.
+``ENGINE_INGEST_RECORDS``) so steady-state cost is one attribute access, a
+flag check, and a locked add.  Families are declared eagerly so the
+Prometheus exposition always lists every HELP/TYPE pair, traffic or not.
+"""
+
+from __future__ import annotations
+
+from .registry import Counter, Gauge, Histogram, LATENCY_BUCKETS, SIZE_BUCKETS
+
+# -- ingest (shared across tiers via the tier label) -----------------------
+
+INGEST_RECORDS = Counter(
+    "repro_ingest_records_total",
+    "Records admitted by an engine tier (post late-drop filtering).",
+    ("tier",),
+)
+INGEST_BATCHES = Counter(
+    "repro_ingest_batches_total",
+    "ingest_arrays batches processed by an engine tier.",
+    ("tier",),
+)
+INGEST_BATCH_SECONDS = Histogram(
+    "repro_ingest_batch_seconds",
+    "Wall-clock latency of one ingest_arrays batch, per tier.",
+    ("tier",),
+)
+ENGINE_INGEST_RECORDS = INGEST_RECORDS.labels("engine")
+ENGINE_INGEST_BATCHES = INGEST_BATCHES.labels("engine")
+ENGINE_INGEST_BATCH_SECONDS = INGEST_BATCH_SECONDS.labels("engine")
+SHARD_INGEST_RECORDS = INGEST_RECORDS.labels("shard")
+SHARD_INGEST_BATCHES = INGEST_BATCHES.labels("shard")
+SHARD_INGEST_BATCH_SECONDS = INGEST_BATCH_SECONDS.labels("shard")
+
+# -- engine tier -----------------------------------------------------------
+
+ENGINE_RELEASED_RECORDS = Counter(
+    "repro_engine_released_records_total",
+    "Buffered out-of-order records released by watermark advance.",
+)
+ENGINE_EXPIRED_BUCKETS = Counter(
+    "repro_engine_expired_buckets_total",
+    "Window buckets expired by advance_time across all streams.",
+)
+ENGINE_EVICTIONS = Counter(
+    "repro_engine_evictions_total",
+    "Streams evicted (LRU or explicit evict).",
+)
+LATE_DROPPED_RECORDS = Counter(
+    "repro_late_dropped_records_total",
+    "Records dropped for arriving later than the bounded-lateness watermark.",
+)
+DEAD_LETTER_RECORDS = Counter(
+    "repro_dead_letter_records_total",
+    "Late-dropped records handed to an on_late dead-letter callback.",
+)
+ENGINE_STREAMS = Gauge(
+    "repro_engine_streams",
+    "Live keyed streams in the engine (refreshed at stats()).",
+)
+ENGINE_SAMPLE_POINTS = Gauge(
+    "repro_engine_sample_points",
+    "Total retained hull sample points (refreshed at stats()).",
+)
+ENGINE_BUFFERED_RECORDS = Gauge(
+    "repro_engine_buffered_records",
+    "Records held in reorder buffers awaiting watermark (refreshed at stats()).",
+)
+
+# -- window layer ----------------------------------------------------------
+
+WINDOW_BUCKET_SEALS = Counter(
+    "repro_window_bucket_seals_total",
+    "Head buckets sealed into the window ledger.",
+)
+WINDOW_BUCKET_MERGES = Counter(
+    "repro_window_bucket_merges_total",
+    "Bucket pairs coalesced by the exponential-histogram invariant.",
+)
+WINDOW_BUCKET_EXPIRIES = Counter(
+    "repro_window_bucket_expiries_total",
+    "Buckets dropped off the tail of the window.",
+)
+
+# -- shard tier (parent side) ----------------------------------------------
+
+SHARD_PARTITION_SECONDS = Histogram(
+    "repro_shard_partition_seconds",
+    "Parent-side time partitioning a batch into per-shard slices.",
+)
+SHARD_SEND_SECONDS = Histogram(
+    "repro_shard_send_seconds",
+    "Parent-side time serialising+sending one request to one shard.",
+    ("shard",),
+)
+SHARD_COLLECT_SECONDS = Histogram(
+    "repro_shard_collect_seconds",
+    "Parent-side time blocked collecting one reply from one shard.",
+    ("shard",),
+)
+SHARD_INFLIGHT = Gauge(
+    "repro_shard_inflight_requests",
+    "Requests sent to a shard and not yet collected.",
+    ("shard",),
+)
+SHARD_STREAMS = Gauge(
+    "repro_shard_streams",
+    "Streams owned by each shard (refreshed at stats()).",
+    ("shard",),
+)
+SHARD_PARTIALS_REDUCED = Gauge(
+    "repro_shard_partials_reduced",
+    "Worker-push partial reductions computed by each shard (refreshed at stats()).",
+    ("shard",),
+)
+SHARD_PARTIALS_SERVED = Gauge(
+    "repro_shard_partials_served",
+    "merged_state requests served from a warm worker-push partial (refreshed at stats()).",
+    ("shard",),
+)
+
+# -- transport -------------------------------------------------------------
+
+TRANSPORT_FRAMES = Counter(
+    "repro_transport_frames_total",
+    "Raw frames moved across shard pipes, by direction.",
+    ("dir",),
+)
+TRANSPORT_BYTES = Counter(
+    "repro_transport_bytes_total",
+    "Payload bytes moved across shard pipes, by direction.",
+    ("dir",),
+)
+TRANSPORT_SHM_MESSAGES = Counter(
+    "repro_transport_shm_messages_total",
+    "Messages escalated to the shared-memory ring, by direction.",
+    ("dir",),
+)
+TRANSPORT_FRAMES_SEND = TRANSPORT_FRAMES.labels("send")
+TRANSPORT_FRAMES_RECV = TRANSPORT_FRAMES.labels("recv")
+TRANSPORT_BYTES_SEND = TRANSPORT_BYTES.labels("send")
+TRANSPORT_BYTES_RECV = TRANSPORT_BYTES.labels("recv")
+TRANSPORT_SHM_SEND = TRANSPORT_SHM_MESSAGES.labels("send")
+TRANSPORT_SHM_RECV = TRANSPORT_SHM_MESSAGES.labels("recv")
+
+# -- worker-push partial cache (incremented worker-side) -------------------
+
+PARTIAL_CACHE = Counter(
+    "repro_partial_cache_total",
+    "Worker-push partial cache outcomes on merged_state requests.",
+    ("result",),
+)
+PARTIAL_CACHE_HIT = PARTIAL_CACHE.labels("hit")
+PARTIAL_CACHE_MISS = PARTIAL_CACHE.labels("miss")
+
+# -- serve tier ------------------------------------------------------------
+
+SERVE_QUEUE_WAIT_SECONDS = Histogram(
+    "repro_serve_queue_wait_seconds",
+    "Time an ingest batch waited in the service queue before coalescing.",
+)
+SERVE_COALESCED_RECORDS = Histogram(
+    "repro_serve_coalesced_records",
+    "Records per coalesced engine call in the service drain loop.",
+    buckets=SIZE_BUCKETS,
+)
+SERVE_QUEUE_DEPTH = Gauge(
+    "repro_serve_queue_depth",
+    "Batches waiting in the service ingest queue (refreshed at stats()).",
+)
+SERVE_CONNECTIONS = Gauge(
+    "repro_serve_connections",
+    "Open NDJSON client connections.",
+)
+SERVE_SUBSCRIBERS = Gauge(
+    "repro_serve_subscribers",
+    "Active subscription feeds.",
+)
+SERVE_VERB_SECONDS = Histogram(
+    "repro_serve_verb_seconds",
+    "Server-side latency per NDJSON verb.",
+    ("verb",),
+)
+
+# -- tracing ---------------------------------------------------------------
+
+SPAN_SECONDS = Histogram(
+    "repro_span_seconds",
+    "Duration of traced spans, by span name.",
+    ("span",),
+)

@@ -1,0 +1,475 @@
+"""Dependency-free metrics registry with Prometheus text exposition.
+
+Three metric kinds — :class:`Counter`, :class:`Gauge`, :class:`Histogram` —
+register themselves on a :class:`Registry` (the module-level default unless
+told otherwise).  Metrics may declare label names; ``metric.labels(...)``
+returns a cached child holding the per-label-set state.  All mutation is
+thread-safe (one lock per family) and gated on a module-level enabled flag
+so the whole layer collapses to a single attribute check when switched off
+(``REPRO_OBS=0`` in the environment, or :func:`set_enabled`).
+
+Two serialisation surfaces:
+
+- :meth:`Registry.collect` — a JSON-safe snapshot dict, suitable for folding
+  into ``stats()`` documents and for shipping across the shard pipe.
+  Snapshots from several processes can be summed with
+  :func:`merge_snapshots` (counters, histogram buckets, and gauges all add —
+  per-shard gauges are disjoint by label so addition is the right fold).
+- :func:`render_snapshot` — Prometheus text exposition format 0.0.4 from a
+  snapshot, so a parent process can expose worker metrics it never observed
+  locally.  ``Registry.render()`` is the local shortcut.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import threading
+from bisect import bisect_left
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "registry",
+    "reset",
+    "set_enabled",
+    "obs_enabled",
+    "merge_snapshots",
+    "render_snapshot",
+]
+
+# Log-scale (x4) latency buckets: 1 us .. ~4.2 s, 12 finite bounds + +Inf.
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 4.0 ** i for i in range(12))
+
+# Log-scale (x4) size buckets for batch/record counts: 1 .. ~262k.
+SIZE_BUCKETS: Tuple[float, ...] = tuple(float(4 ** i) for i in range(10))
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_enabled = os.environ.get("REPRO_OBS", "1") != "0"
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable metric mutation (overrides ``REPRO_OBS``)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def obs_enabled() -> bool:
+    return _enabled
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt_value(v: float) -> str:
+    f = float(v)
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _fmt_le(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _fmt_value(bound)
+
+
+class _MetricBase:
+    """Shared family machinery: name/help/labels, child cache, lock."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        registry: Optional["Registry"] = None,
+        _use_default: bool = True,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        labelnames = tuple(labelnames)
+        for ln in labelnames:
+            if not _LABEL_RE.match(ln):
+                raise ValueError(f"invalid label name: {ln!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not labelnames:
+            self._children[()] = self._new_child()
+        if registry is None and _use_default:
+            registry = _DEFAULT
+        if registry is not None:
+            registry.register(self)
+
+    # -- children ---------------------------------------------------------
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, *values: object, **kw: object):
+        if kw:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(kw[ln] for ln in self.labelnames)
+            except KeyError as e:
+                raise ValueError(f"missing label {e} for {self.name}") from None
+            if len(kw) != len(self.labelnames):
+                raise ValueError(f"unexpected labels for {self.name}: {sorted(kw)}")
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {key!r}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._new_child())
+        return child
+
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(f"{self.name} has labels {self.labelnames}; use .labels()")
+        return self._children[()]
+
+    def _reset(self) -> None:
+        # Zero children IN PLACE — never drop them: hot-path call sites
+        # hold pre-resolved child references (obs.metrics module
+        # constants), and replacing the objects would orphan those
+        # references so later increments vanish from snapshots.
+        with self._lock:
+            for child in self._children.values():
+                child._zero()  # type: ignore[attr-defined]
+
+    # -- snapshots --------------------------------------------------------
+    def _label_str(self, key: Tuple[str, ...]) -> str:
+        return ",".join(
+            f'{ln}="{_escape_label(lv)}"' for ln, lv in zip(self.labelnames, key)
+        )
+
+    def _snapshot(self) -> dict:
+        with self._lock:
+            items = list(self._children.items())
+        values = {
+            self._label_str(key): child.snapshot()  # type: ignore[attr-defined]
+            for key, child in items
+        }
+        return {"type": self.kind, "help": self.help, "values": values}
+
+
+class _CounterChild:
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    def _zero(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Counter(_MetricBase):
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+
+class _GaugeChild:
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        if not _enabled:
+            return
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _zero(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Gauge(_MetricBase):
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+
+class _HistogramChild:
+    __slots__ = ("_bounds", "_counts", "_sum", "_lock")
+
+    def __init__(self, bounds: Tuple[float, ...], lock: threading.Lock) -> None:
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        if not _enabled:
+            return
+        idx = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+
+    def time(self):
+        return _HistogramTimer(self)
+
+    def _zero(self) -> None:
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._sum = 0.0
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._sum
+        buckets: List[List[object]] = []
+        cum = 0
+        for bound, c in zip(self._bounds, counts[:-1]):
+            cum += c
+            buckets.append([_fmt_le(bound), cum])
+        cum += counts[-1]
+        buckets.append(["+Inf", cum])
+        return {"sum": total, "count": cum, "buckets": buckets}
+
+
+class _HistogramTimer:
+    __slots__ = ("_child", "_t0")
+
+    def __init__(self, child: _HistogramChild) -> None:
+        self._child = child
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._child.observe(perf_counter() - self._t0)
+
+
+class Histogram(_MetricBase):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        registry: Optional["Registry"] = None,
+        _use_default: bool = True,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets if not math.isinf(b))
+        if not bounds or list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be sorted and unique: {buckets!r}")
+        self._bounds = bounds
+        super().__init__(name, help, labelnames, registry, _use_default)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self._bounds, self._lock)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def time(self):
+        return self._solo().time()
+
+
+class Registry:
+    """An ordered collection of metric families."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _MetricBase] = {}
+        self._lock = threading.Lock()
+
+    def register(self, metric: _MetricBase) -> None:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None and existing is not metric:
+                raise ValueError(f"duplicate metric name: {metric.name}")
+            self._metrics[metric.name] = metric
+
+    def get(self, name: str) -> Optional[_MetricBase]:
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero every family (drop labeled children), e.g. in forked workers."""
+        for metric in list(self._metrics.values()):
+            metric._reset()
+
+    def collect(self) -> dict:
+        """JSON-safe snapshot of every family."""
+        return {name: m._snapshot() for name, m in sorted(self._metrics.items())}
+
+    def render(self) -> str:
+        return render_snapshot(self.collect())
+
+    # -- test/CLI convenience --------------------------------------------
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of a counter/gauge child (0.0 if absent)."""
+        metric = self._metrics[name]
+        key = tuple(str(labels[ln]) for ln in metric.labelnames)
+        child = metric._children.get(key)
+        if child is None:
+            return 0.0
+        snap = child.snapshot()  # type: ignore[attr-defined]
+        if isinstance(snap, dict):  # histogram: return observation count
+            return float(snap["count"])
+        return float(snap)
+
+
+_DEFAULT = Registry()
+
+
+def registry() -> Registry:
+    """The process-default registry."""
+    return _DEFAULT
+
+
+def reset() -> None:
+    """Zero the default registry (fresh forked worker, test isolation)."""
+    _DEFAULT.reset()
+
+
+def merge_snapshots(base: dict, other: dict) -> dict:
+    """Sum two ``Registry.collect()`` snapshots (cross-process aggregation)."""
+    out = {name: _copy_family(fam) for name, fam in base.items()}
+    for name, fam in other.items():
+        mine = out.get(name)
+        if mine is None:
+            out[name] = _copy_family(fam)
+            continue
+        for label_str, val in fam.get("values", {}).items():
+            cur = mine["values"].get(label_str)
+            if cur is None:
+                mine["values"][label_str] = _copy_value(val)
+            elif isinstance(val, dict):
+                cur["sum"] += val["sum"]
+                cur["count"] += val["count"]
+                by_le = {le: c for le, c in cur["buckets"]}
+                for le, c in val["buckets"]:
+                    by_le[le] = by_le.get(le, 0) + c
+                cur["buckets"] = [[le, by_le[le]] for le, _ in cur["buckets"]]
+            else:
+                mine["values"][label_str] = cur + val
+    return dict(sorted(out.items()))
+
+
+def _copy_value(val):
+    if isinstance(val, dict):
+        return {
+            "sum": val["sum"],
+            "count": val["count"],
+            "buckets": [list(b) for b in val["buckets"]],
+        }
+    return val
+
+
+def _copy_family(fam: dict) -> dict:
+    return {
+        "type": fam.get("type", "untyped"),
+        "help": fam.get("help", ""),
+        "values": {k: _copy_value(v) for k, v in fam.get("values", {}).items()},
+    }
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Prometheus text exposition format 0.0.4 from a snapshot dict."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        fam = snapshot[name]
+        kind = fam.get("type", "untyped")
+        lines.append(f"# HELP {name} {_escape_help(fam.get('help', ''))}")
+        lines.append(f"# TYPE {name} {kind}")
+        for label_str, val in fam.get("values", {}).items():
+            if isinstance(val, dict):  # histogram
+                for le, cum in val["buckets"]:
+                    le_pair = f'le="{le}"'
+                    labels = f"{label_str},{le_pair}" if label_str else le_pair
+                    lines.append(f"{name}_bucket{{{labels}}} {_fmt_value(cum)}")
+                suffix = f"{{{label_str}}}" if label_str else ""
+                lines.append(f"{name}_sum{suffix} {_fmt_value(val['sum'])}")
+                lines.append(f"{name}_count{suffix} {_fmt_value(val['count'])}")
+            else:
+                suffix = f"{{{label_str}}}" if label_str else ""
+                lines.append(f"{name}{suffix} {_fmt_value(val)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,153 @@
+"""Lightweight tracing: ``span()`` context managers + JSONL event emission.
+
+Every span records its duration into the ``repro_span_seconds`` histogram
+(near-zero cost when the registry is disabled).  When tracing is active —
+``REPRO_TRACE=1`` in the environment, or :func:`configure` — each span also
+emits one JSON line carrying ``trace``/``span``/``parent`` ids, so a single
+batch can be followed from the serve facade through the parent engine into
+a shard worker and back.
+
+Trace context lives in a :class:`contextvars.ContextVar`; it crosses the
+engine-thread hop via ``contextvars.copy_context()`` (see
+``AsyncHullService._run``) and crosses the shard pipe explicitly: the parent
+wraps requests as ``("~trace", (trace_id, span_id), msg)`` and the worker
+re-installs the pair with :func:`resume` before dispatching.
+
+Events are appended to ``REPRO_TRACE_FILE`` (one open/write/close per event
+so forked workers can share the file safely) or written to stderr when no
+file is configured.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, Optional, Tuple
+
+from .metrics import SPAN_SECONDS
+
+__all__ = ["span", "tracing", "configure", "current_context", "resume"]
+
+_ctx: contextvars.ContextVar[Optional[Tuple[str, str]]] = contextvars.ContextVar(
+    "repro_trace_ctx", default=None
+)
+
+# configure() overrides; None means "fall back to the environment".
+_override_enabled: Optional[bool] = None
+_override_path: Optional[str] = None
+_configured_path = False
+
+
+def configure(enabled: Optional[bool] = None, path: Optional[str] = None) -> None:
+    """Override tracing state in-process (pass ``enabled=None`` to re-read env)."""
+    global _override_enabled, _override_path, _configured_path
+    _override_enabled = enabled
+    _override_path = path
+    _configured_path = path is not None
+
+
+def tracing() -> bool:
+    if _override_enabled is not None:
+        return _override_enabled
+    val = os.environ.get("REPRO_TRACE", "")
+    return bool(val) and val != "0"
+
+
+def _trace_path() -> Optional[str]:
+    if _configured_path:
+        return _override_path
+    path = os.environ.get("REPRO_TRACE_FILE")
+    if path:
+        return path
+    val = os.environ.get("REPRO_TRACE", "")
+    if val not in ("", "0", "1"):
+        return val  # REPRO_TRACE=/path/to/file shorthand
+    return None
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+def current_context() -> Optional[Tuple[str, str]]:
+    """The active ``(trace_id, span_id)`` pair, or None outside any span."""
+    return _ctx.get()
+
+
+@contextmanager
+def resume(ctx: Optional[Tuple[str, str]]) -> Iterator[None]:
+    """Install a propagated ``(trace_id, span_id)`` pair as the current parent."""
+    if ctx is None:
+        yield
+        return
+    token = _ctx.set((str(ctx[0]), str(ctx[1])))
+    try:
+        yield
+    finally:
+        _ctx.reset(token)
+
+
+def _emit(doc: dict) -> None:
+    line = json.dumps(doc, separators=(",", ":"))
+    path = _trace_path()
+    if path is None:
+        sys.stderr.write(line + "\n")
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(line + "\n")
+    except OSError:
+        pass  # tracing must never take down the pipeline
+
+
+class Span:
+    """Handle yielded by :func:`span`; ``duration`` is set on exit."""
+
+    __slots__ = ("name", "trace_id", "span_id", "duration")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.duration = 0.0
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Span]:
+    """Time a block; always feeds ``repro_span_seconds``, emits JSONL if tracing."""
+    sp = Span(name)
+    active = tracing()
+    token = None
+    parent = None
+    if active:
+        parent = _ctx.get()
+        sp.trace_id = parent[0] if parent else _new_id()
+        sp.span_id = _new_id()
+        token = _ctx.set((sp.trace_id, sp.span_id))
+    t0 = perf_counter()
+    try:
+        yield sp
+    finally:
+        sp.duration = perf_counter() - t0
+        SPAN_SECONDS.labels(name).observe(sp.duration)
+        if active:
+            if token is not None:
+                _ctx.reset(token)
+            doc = {
+                "event": "span",
+                "name": name,
+                "trace": sp.trace_id,
+                "span": sp.span_id,
+                "parent": parent[1] if parent else None,
+                "dur_s": round(sp.duration, 9),
+                "pid": os.getpid(),
+                "ts": time.time(),
+            }
+            if attrs:
+                doc["attrs"] = attrs
+            _emit(doc)

@@ -211,6 +211,13 @@ class AsyncHullClient:
     async def service_stats(self) -> dict:
         return await self._query("service_stats")
 
+    async def metrics(self) -> str:
+        """The server's metrics page in Prometheus text exposition
+        format 0.0.4 (the same text the HTTP ``/metrics`` listener
+        serves)."""
+        reply = await self._request({"op": "metrics"})
+        return reply["text"]
+
     async def summary_state(self, key: Hashable) -> Optional[dict]:
         """One key's full summary-state document
         (:mod:`repro.streams.io` format; None when the key is not

@@ -35,6 +35,11 @@ Verbs:
 ``snapshot``
     with ``"path"``: write a snapshot file server-side; without: return
     the full engine state inline (``"state"``).
+``metrics``
+    the whole stack's metrics as Prometheus text exposition format
+    0.0.4 in ``"text"`` (see :mod:`repro.obs`) — the same page a
+    scraper gets from the plain-HTTP ``/metrics`` listener enabled
+    with ``HullServer(metrics_port=...)``.
 
 Keys must be JSON scalars (the same constraint engine snapshots have);
 floats survive the trip exactly (JSON round-trips IEEE doubles), so a
@@ -51,8 +56,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Optional, Set
 
+from ..obs import metrics as OBS
 from .service import AsyncHullService, AsyncSubscription
 
 __all__ = ["HullServer", "MAX_LINE"]
@@ -60,6 +67,22 @@ __all__ = ["HullServer", "MAX_LINE"]
 #: Per-line size limit for reads (a 64 KiB asyncio default would cap
 #: ingest batches at a few hundred records).
 MAX_LINE = 1 << 24
+
+#: Verbs that get a per-verb latency histogram sample.  A fixed set:
+#: client-controlled op strings must never mint new label children.
+_TIMED_VERBS = frozenset(
+    {
+        "ping",
+        "ingest",
+        "flush",
+        "advance_time",
+        "snapshot",
+        "query",
+        "subscribe",
+        "unsubscribe",
+        "metrics",
+    }
+)
 
 
 def _jsonable_key(key):
@@ -88,6 +111,13 @@ class HullServer:
             (None = unlimited); an over-cap ``subscribe`` op fails
             with a normal per-request error, the connection stays
             usable for everything else.
+        metrics_port: when set, additionally listen on this plain-HTTP
+            port (same host; 0 picks an ephemeral port, read
+            :attr:`metrics_port` after :meth:`start`) and answer
+            ``GET /metrics`` with the Prometheus text exposition — the
+            page a stock Prometheus scraper can consume without
+            speaking the NDJSON protocol.  Anything but ``/metrics``
+            gets a 404.
     """
 
     def __init__(
@@ -98,6 +128,7 @@ class HullServer:
         *,
         max_connections: Optional[int] = None,
         max_subscribers: Optional[int] = None,
+        metrics_port: Optional[int] = None,
     ):
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be >= 1")
@@ -108,6 +139,7 @@ class HullServer:
         self.port = port
         self.max_connections = max_connections
         self.max_subscribers = max_subscribers
+        self.metrics_port = metrics_port
         self._connections = 0
         self._refused = 0
         # TCP-originated subscriptions only: in-process subscribers an
@@ -115,12 +147,20 @@ class HullServer:
         # the TCP push budget.
         self._tcp_subscribers = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> "HullServer":
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, self.host, self.metrics_port
+            )
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
         return self
 
     async def __aenter__(self) -> "HullServer":
@@ -136,6 +176,10 @@ class HullServer:
         await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -183,10 +227,12 @@ class HullServer:
                     pass
             return
         self._connections += 1
+        OBS.SERVE_CONNECTIONS.inc()
         try:
             await self._serve_connection(reader, writer)
         finally:
             self._connections -= 1
+            OBS.SERVE_CONNECTIONS.dec()
 
     async def _serve_connection(self, reader, writer) -> None:
         sub: Optional[AsyncSubscription] = None
@@ -226,6 +272,7 @@ class HullServer:
                     continue
                 req_id = msg.get("id")
                 op = msg.get("op")
+                t_op = time.perf_counter()
                 try:
                     if op == "subscribe":
                         if (
@@ -279,6 +326,10 @@ class HullServer:
                 else:
                     reply.update({"id": req_id, "ok": True})
                     await self._send(writer, reply, write_lock)
+                if op in _TIMED_VERBS:
+                    OBS.SERVE_VERB_SECONDS.labels(op).observe(
+                        time.perf_counter() - t_op
+                    )
         except asyncio.CancelledError:
             # Listener shutdown cancels in-flight handlers; exit
             # cleanly (the finally below still runs) instead of
@@ -341,6 +392,8 @@ class HullServer:
             return {"state": await service.snapshot_state()}
         if op == "query":
             return {"result": await self._query(msg)}
+        if op == "metrics":
+            return {"text": await service.metrics_text()}
         raise ValueError(f"unknown op {op!r}")
 
     async def _query(self, msg: dict):
@@ -379,6 +432,61 @@ class HullServer:
         if what == "service_stats":
             return service.service_stats()
         raise ValueError(f"unknown query {what!r}")
+
+    async def _handle_metrics_http(self, reader, writer) -> None:
+        """Minimal plain-HTTP responder for ``GET /metrics``.
+
+        Deliberately tiny (no keep-alive, no chunking, one request per
+        connection — HTTP/1.0 semantics): Prometheus scrapers speak
+        exactly this much, and the NDJSON protocol stays the real API.
+        """
+        try:
+            request_line = await reader.readline()
+            # Swallow the request headers; nothing in them changes the
+            # answer.
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.split()
+            path = parts[1].decode("latin-1") if len(parts) >= 2 else ""
+            path = path.split("?", 1)[0]
+            if path == "/metrics":
+                body = (await self.service.metrics_text()).encode("utf-8")
+                status = b"HTTP/1.0 200 OK\r\n"
+                ctype = (
+                    b"Content-Type: text/plain; version=0.0.4; "
+                    b"charset=utf-8\r\n"
+                )
+            else:
+                body = b"not found\n"
+                status = b"HTTP/1.0 404 Not Found\r\n"
+                ctype = b"Content-Type: text/plain; charset=utf-8\r\n"
+            writer.write(
+                status
+                + ctype
+                + f"Content-Length: {len(body)}\r\n".encode("ascii")
+                + b"Connection: close\r\n\r\n"
+                + body
+            )
+            await writer.drain()
+        except (
+            asyncio.CancelledError,
+            ConnectionResetError,
+            BrokenPipeError,
+            ValueError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown race
+                pass
 
     async def _push_events(
         self, writer, sub: AsyncSubscription, write_lock: asyncio.Lock

@@ -45,6 +45,8 @@ results that must reflect everything enqueued.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Iterable, List, Optional, Sequence, Set
 
@@ -52,6 +54,10 @@ import numpy as np
 
 from ..core.batch import as_key_array, as_point_array, as_ts_array
 from ..engine.common import split_records
+from ..obs import metrics as OBS
+from ..obs import registry as obs_registry
+from ..obs import render_snapshot
+from ..obs.trace import span
 
 __all__ = ["AsyncHullService", "AsyncSubscription"]
 
@@ -277,7 +283,13 @@ class AsyncHullService:
             call = lambda: fn(*args, **kwargs)  # noqa: E731
         else:
             call = lambda: fn(*args)  # noqa: E731
-        return await self._loop.run_in_executor(self._executor, call)
+        # run_in_executor does not propagate contextvars; carry them
+        # over explicitly so trace spans opened on the loop parent the
+        # engine-thread work (and the shard hops beneath it).
+        ctx = contextvars.copy_context()
+        return await self._loop.run_in_executor(
+            self._executor, lambda: ctx.run(call)
+        )
 
     # -- ingestion ---------------------------------------------------------
 
@@ -329,7 +341,9 @@ class AsyncHullService:
         fut = self._loop.create_future() if sync else None
         if fut is not None:
             self._pending_futs.add(fut)
-        await self._queue.put((key_arr, arr, ts_arr, fut))
+        await self._queue.put(
+            (key_arr, arr, ts_arr, time.perf_counter(), fut)
+        )
         self._enqueued_batches += 1
         if fut is not None:
             await fut  # re-raises the engine's rejection, if any
@@ -346,6 +360,9 @@ class AsyncHullService:
             batch = [await self._queue.get()]
             while not self._queue.empty():
                 batch.append(self._queue.get_nowait())
+            t_deq = time.perf_counter()
+            for item in batch:
+                OBS.SERVE_QUEUE_WAIT_SECONDS.observe(t_deq - item[3])
             try:
                 # Coalescing never crosses a timestamped/untimestamped
                 # boundary (legal mix on count-windowed engines):
@@ -361,15 +378,22 @@ class AsyncHullService:
                         runs.append([item])
                 for run in runs:
                     key_arr, arr, ts_arr = self._coalesce(
-                        [(k, a, t) for k, a, t, _ in run]
+                        [(k, a, t) for k, a, t, _, _ in run]
                     )
                     key_arr, arr, ts_arr = self._presort(
                         key_arr, arr, ts_arr
                     )
+                    OBS.SERVE_COALESCED_RECORDS.observe(len(arr))
                     try:
-                        await self._run(
-                            self.engine.ingest_arrays, key_arr, arr, ts=ts_arr
-                        )
+                        with span(
+                            "serve.ingest", records=len(arr), batches=len(run)
+                        ):
+                            await self._run(
+                                self.engine.ingest_arrays,
+                                key_arr,
+                                arr,
+                                ts=ts_arr,
+                            )
                         self._ingested_records += len(arr)
                         if len(run) > 1:
                             self._coalesced_batches += len(run) - 1
@@ -415,7 +439,7 @@ class AsyncHullService:
         return key_arr[order], arr[order], ts_arr[order]
 
     async def _replay_individually(self, run) -> None:
-        for key_arr, arr, ts_arr, fut in run:
+        for key_arr, arr, ts_arr, _t_enq, fut in run:
             key_arr, arr, ts_arr = self._presort(key_arr, arr, ts_arr)
             try:
                 await self._run(
@@ -541,6 +565,9 @@ class AsyncHullService:
         engine-thread hop), so it may trail an in-flight drain by one
         batch.
         """
+        queue_depth = self._queue.qsize() if self._queue else 0
+        OBS.SERVE_QUEUE_DEPTH.set(queue_depth)
+        OBS.SERVE_SUBSCRIBERS.set(len(self._subscribers))
         return {
             "enqueued_batches": self._enqueued_batches,
             "coalesced_batches": self._coalesced_batches,
@@ -549,9 +576,27 @@ class AsyncHullService:
             "late_dropped": int(getattr(self.engine, "late_dropped", 0)),
             "ticks": self._ticks,
             "subscribers": len(self._subscribers),
-            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_depth": queue_depth,
             "last_error": self.last_error,
+            "obs": obs_registry().collect(),
         }
+
+    async def metrics_text(self) -> str:
+        """The whole stack's metrics in Prometheus text exposition
+        format (0.0.4).
+
+        Asks the engine for ``stats()`` first: on a sharded ring that
+        refreshes the per-shard gauges and folds every worker's
+        registry snapshot into the parent's, so the rendered page shows
+        the full cross-process picture — then refreshes this facade's
+        own gauges via :meth:`service_stats`.
+        """
+        self.service_stats()  # refresh serve-tier gauges first
+        stats = await self.stats()
+        obs = getattr(stats, "obs", None)
+        if obs:
+            return render_snapshot(obs)
+        return render_snapshot(obs_registry().collect())
 
     # -- standing queries --------------------------------------------------
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -48,6 +48,7 @@ import numpy as np
 from ..core.base import HullSummary, coerce_point, tree_merge
 from ..core.batch import as_key_array, as_point_array, as_ts_array
 from ..engine.common import (
+    BaseStats,
     EventTimeAPI,
     ExtentQueryAPI,
     SubscriberAPI,
@@ -59,6 +60,10 @@ from ..engine.common import (
 )
 from ..engine.time import EventClock, TimePolicy, late_split
 from ..geometry.vec import Point
+from ..obs import merge_snapshots
+from ..obs import metrics as OBS
+from ..obs import registry as obs_registry
+from ..obs.trace import current_context, span, tracing
 from ..streams.io import summary_from_state
 from ..window import WindowConfig, windowed_factory
 from .hashing import HashRing
@@ -84,25 +89,19 @@ class ShardError(RuntimeError):
 
 
 @dataclass
-class ShardStats:
+class ShardStats(BaseStats):
     """Aggregate bookkeeping across the whole ring.
 
-    The bucket fields aggregate the shards' sliding-window layers and
-    stay zero on unwindowed rings (see
-    :class:`~repro.engine.EngineStats`)."""
+    The shared fields (and the late/buffered ``__str__`` suffix) come
+    from :class:`~repro.engine.common.BaseStats` so the two tiers'
+    stats cannot drift; the bucket fields aggregate the shards'
+    sliding-window layers and stay zero on unwindowed rings (see
+    :class:`~repro.engine.EngineStats`).  ``obs`` holds the parent
+    registry snapshot merged with every worker's, so one document
+    carries the whole ring's metrics."""
 
-    shards: int
-    streams: int
-    points_ingested: int
-    batches_ingested: int
-    sample_points: int
-    per_shard: List[Dict]
-    evictions: int = 0
-    buckets: int = 0
-    bucket_merges: int = 0
-    bucket_expiries: int = 0
-    late_dropped: int = 0
-    buffered: int = 0
+    shards: int = 0
+    per_shard: List[Dict] = field(default_factory=list)
     #: Worker-push partial reductions: idle-time folds across the ring
     #: and global queries answered from a warm per-shard partial.
     partials_reduced: int = 0
@@ -114,14 +113,7 @@ class ShardStats:
             f"shards={self.shards} streams={self.streams} "
             f"points={self.points_ingested:,} batches={self.batches_ingested} "
             f"stored={self.sample_points} load={loads}"
-        )
-        if self.buckets or self.bucket_merges or self.bucket_expiries:
-            base += (
-                f" buckets={self.buckets} merges={self.bucket_merges} "
-                f"expiries={self.bucket_expiries}"
-            )
-        if self.late_dropped or self.buffered:
-            base += f" late={self.late_dropped} buffered={self.buffered}"
+        ) + self._suffix()
         if self.partials_reduced or self.partials_served:
             base += (
                 f" partials={self.partials_reduced}"
@@ -200,6 +192,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         window=None,
         transport: str = "frames",
         worker_push: bool = True,
+        on_late=None,
     ):
         if shards < 1:
             raise ValueError("ShardedEngine needs at least one shard")
@@ -233,6 +226,14 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             if self.time_policy.bounded
             else None
         )
+        hook = on_late if on_late is not None else (
+            self.window.on_late if self.window is not None else None
+        )
+        if hook is not None and not self.time_policy.bounded:
+            raise ValueError(
+                "on_late requires a bounded-lateness window (max_delay)"
+            )
+        self._on_late = hook
         self._late_drops: Dict[Hashable, int] = {}
         self.num_shards = shards
         self.ring = HashRing(shards, replicas=replicas)
@@ -257,11 +258,31 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             "send_s": 0.0,
             "collect_s": 0.0,
         }
+        # Per-shard metric children resolved once (hot-path increments
+        # then skip the label lookup).
+        self._send_hist = [
+            OBS.SHARD_SEND_SECONDS.labels(str(i)) for i in range(shards)
+        ]
+        self._collect_hist = [
+            OBS.SHARD_COLLECT_SECONDS.labels(str(i)) for i in range(shards)
+        ]
+        self._inflight = [
+            OBS.SHARD_INFLIGHT.labels(str(i)) for i in range(shards)
+        ]
         self._closed = False
         ctx = (
             multiprocessing.get_context(start_method)
             if start_method is not None
             else _default_context()
+        )
+        # Callbacks are parent-side policy: lateness is judged (and
+        # dead-lettered) before any worker sees a record, so the config
+        # shipped to workers must not carry the hook (it may not even
+        # pickle under spawn).
+        worker_window = (
+            replace(self.window, on_late=None)
+            if self.window is not None and self.window.on_late is not None
+            else self.window
         )
         self._conns = []
         self._pipes = []
@@ -275,7 +296,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                         child_conn,
                         self.spec,
                         max_streams,
-                        self.window,
+                        worker_window,
                         transport,
                         self.worker_push,
                     ),
@@ -337,12 +358,24 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             raise ShardError("ShardedEngine is closed")
 
     def _request(self, shard: int, op: str, *args) -> None:
+        msg = (op,) + args
+        if tracing():
+            # Propagate the active trace/span ids across the pipe so a
+            # worker's spans share the batch's trace id (the worker
+            # unwraps "~trace" and resumes the context before dispatch).
+            ctx = current_context()
+            if ctx is not None:
+                msg = ("~trace", ctx, msg)
+        t0 = time.perf_counter()
         try:
-            self._pipes[shard].send((op,) + args)
+            self._pipes[shard].send(msg)
         except (BrokenPipeError, OSError) as exc:
             raise ShardError(f"shard {shard} is gone: {exc}") from exc
+        self._send_hist[shard].observe(time.perf_counter() - t0)
+        self._inflight[shard].inc()
 
     def _collect(self, shard: int):
+        t0 = time.perf_counter()
         try:
             status, payload = self._pipes[shard].recv()
         except (EOFError, OSError) as exc:
@@ -353,6 +386,9 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             raise ShardError(
                 f"shard {shard} reply stream desynchronised: {exc}"
             ) from exc
+        finally:
+            self._collect_hist[shard].observe(time.perf_counter() - t0)
+            self._inflight[shard].dec()
         if status != "ok":
             raise ShardError(f"shard {shard}: {payload}")
         return payload
@@ -488,7 +524,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         if self._event_clock is not None:
             ts = float(ts_arr[0])
             if ts < self._event_clock.watermark:
-                self._record_late(key, 1)
+                self._record_late(key, 1, points=(p,), ts=(ts,))
                 self._notify({key})
                 return False
             # Ship the *candidate* watermark; commit the clock only
@@ -501,6 +537,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             )
             self._event_clock.observe(ts)
             self.points_ingested += 1
+            OBS.SHARD_INGEST_RECORDS.inc()
             self._notify({key})
             return changed
         changed = bool(
@@ -509,6 +546,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         if ts_arr is not None:
             self._clock = float(ts_arr[0])
         self.points_ingested += 1
+        OBS.SHARD_INGEST_RECORDS.inc()
         self._notify({key})
         return changed
 
@@ -576,6 +614,22 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         self._check_ring_ts(ts_arr, len(arr))
         if len(arr) == 0:
             return 0
+        p0, b0 = self.points_ingested, self.batches_ingested
+        with span("shard.ingest", records=len(arr)) as sp:
+            changed = self._ingest_validated(key_arr, arr, ts_arr)
+        OBS.SHARD_INGEST_BATCH_SECONDS.observe(sp.duration)
+        if self.points_ingested > p0:
+            OBS.SHARD_INGEST_RECORDS.inc(self.points_ingested - p0)
+        if self.batches_ingested > b0:
+            OBS.SHARD_INGEST_BATCHES.inc(self.batches_ingested - b0)
+        return changed
+
+    def _ingest_validated(
+        self,
+        key_arr: np.ndarray,
+        arr: np.ndarray,
+        ts_arr: Optional[np.ndarray],
+    ) -> int:
         t0 = time.perf_counter()
         late_counts: Optional[Dict[Hashable, int]] = None
         batch_max_ts = float(ts_arr[-1]) if ts_arr is not None else None
@@ -594,6 +648,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         touched: Set[Hashable] = set(uniq_keys)
         noted: Set[Hashable] = set()
         keep = None
+        late_slices: Optional[Dict[Hashable, tuple]] = None
         if late is not None:
             late_counts = {}
             if late.any():
@@ -601,10 +656,20 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                 n_uniq = len(uniq_keys)
                 per_key_late = np.bincount(inverse[late], minlength=n_uniq)
                 per_key_all = np.bincount(inverse, minlength=n_uniq)
+                late_pos = (
+                    np.flatnonzero(late) if self._on_late is not None else None
+                )
                 for j in np.flatnonzero(per_key_late):
                     key = uniq_keys[j]
                     late_counts[key] = int(per_key_late[j])
                     noted.add(key)
+                    if late_pos is not None:
+                        # Dead-letter hook installed: materialise this
+                        # key's dropped slice for the callback.
+                        sel = late_pos[inverse[late_pos] == j]
+                        if late_slices is None:
+                            late_slices = {}
+                        late_slices[key] = (arr[sel], ts_arr[sel])
                     if per_key_late[j] == per_key_all[j]:
                         touched.discard(key)
         requests = []
@@ -619,7 +684,9 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                 if slice_watermark is not None:
                     msg = msg + (slice_watermark,)
                 requests.append((i, msg))
-        self.timings["partition_s"] += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.timings["partition_s"] += dt
+        OBS.SHARD_PARTITION_SECONDS.observe(dt)
         total = len(arr) if keep is None else int(keep.sum())
         return self._fan_out(
             requests,
@@ -628,6 +695,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             touched=touched,
             late_counts=late_counts,
             noted=noted,
+            late_slices=late_slices,
         )
 
     def _fan_out(
@@ -638,6 +706,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         touched: Optional[Set[Hashable]] = None,
         late_counts: Optional[Dict[Hashable, int]] = None,
         noted: Optional[Set[Hashable]] = None,
+        late_slices: Optional[Dict[Hashable, tuple]] = None,
     ) -> int:
         """Send every shard its slice, then collect all acks.  The
         clocks (strict high-water, or the bounded-lateness event clock)
@@ -656,7 +725,13 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                 self._clock = batch_max_ts
         if late_counts:
             for key, n in late_counts.items():
-                self._record_late(key, n)
+                pts_ts = late_slices.get(key) if late_slices else None
+                if pts_ts is not None:
+                    self._record_late(
+                        key, n, points=pts_ts[0], ts=pts_ts[1]
+                    )
+                else:
+                    self._record_late(key, n)
         t0 = time.perf_counter()
         try:
             changed = sum(self._collect_all(sent))
@@ -768,8 +843,29 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
     # ExtentQueryAPI — the same folds the in-process tier uses.
 
     def stats(self) -> ShardStats:
-        """Aggregate counters across all shards."""
+        """Aggregate counters across all shards.
+
+        Also refreshes the per-shard obs gauges and merges every
+        worker's registry snapshot (shipped inside its stats reply)
+        with the parent's into the document's ``obs`` field — the one
+        place the whole ring's metrics, worker-side window/engine
+        families included, are visible together.
+        """
         per_shard = self._broadcast("stats")
+        for i, s in enumerate(per_shard):
+            label = str(i)
+            OBS.SHARD_STREAMS.labels(label).set(s.get("streams", 0))
+            OBS.SHARD_PARTIALS_REDUCED.labels(label).set(
+                s.get("partials_reduced", 0)
+            )
+            OBS.SHARD_PARTIALS_SERVED.labels(label).set(
+                s.get("partials_served", 0)
+            )
+        merged_obs = obs_registry().collect()
+        for s in per_shard:
+            worker_obs = s.get("obs")
+            if worker_obs:
+                merged_obs = merge_snapshots(merged_obs, worker_obs)
         return ShardStats(
             shards=self.num_shards,
             streams=sum(s["streams"] for s in per_shard),
@@ -792,6 +888,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             partials_served=sum(
                 s.get("partials_served", 0) for s in per_shard
             ),
+            obs=merged_obs,
         )
 
     # -- snapshot / restore ------------------------------------------------
@@ -849,6 +946,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         start_method: Optional[str] = None,
         transport: str = "frames",
         worker_push: bool = True,
+        on_late=None,
     ) -> "ShardedEngine":
         """Rebuild a ring from a :meth:`snapshot_state` document.
 
@@ -879,6 +977,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             window=window,
             transport=transport,
             worker_push=worker_push,
+            on_late=on_late,
         )
         same_layout = (
             target_shards == int(doc["shards"])
@@ -933,6 +1032,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         start_method: Optional[str] = None,
         transport: str = "frames",
         worker_push: bool = True,
+        on_late=None,
     ) -> "ShardedEngine":
         """Rebuild a ring from a :meth:`snapshot` file."""
         doc = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -944,4 +1044,5 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             start_method=start_method,
             transport=transport,
             worker_push=worker_push,
+            on_late=on_late,
         )

@@ -59,6 +59,8 @@ try:  # gate, not require: some platforms lack POSIX shared memory
 except ImportError:  # pragma: no cover - exotic platform
     _shared_memory = None
 
+from ..obs import metrics as _obs
+
 __all__ = [
     "TransportError",
     "TRANSPORTS",
@@ -449,13 +451,16 @@ class FramePipe:
                 f"{len(arrays)} buffers exceeds limit {MAX_BUFFERS}"
             )
         skel_bytes = pickle.dumps(skeleton, protocol=pickle.HIGHEST_PROTOCOL)
-        self.conn.send_bytes(
-            _build_header(skel_bytes, [a.nbytes for a in arrays])
-        )
+        header = _build_header(skel_bytes, [a.nbytes for a in arrays])
+        self.conn.send_bytes(header)
         for a in arrays:
             # send_bytes accepts any buffer — the array's own memory
             # goes to the pipe without an intermediate Python copy.
             self.conn.send_bytes(a if a.nbytes else b"")
+        _obs.TRANSPORT_FRAMES_SEND.inc(1 + len(arrays))
+        _obs.TRANSPORT_BYTES_SEND.inc(
+            len(header) + sum(a.nbytes for a in arrays)
+        )
 
     # - receiving -
 
@@ -479,6 +484,11 @@ class FramePipe:
                 buffers.append(buf)
         else:
             buffers = self._read_shm(shm_desc, sizes)
+            _obs.TRANSPORT_SHM_RECV.inc()
+        _obs.TRANSPORT_FRAMES_RECV.inc(
+            1 + (len(sizes) if shm_desc is None else 0)
+        )
+        _obs.TRANSPORT_BYTES_RECV.inc(len(head) + sum(sizes))
         return restore_arrays(_loads_skeleton(skel), buffers)
 
     def _read_shm(self, shm_desc, sizes) -> List[bytes]:
@@ -568,13 +578,15 @@ class ShmFramePipe(FramePipe):
             )
         seg, offsets = self._place(arrays)
         skel_bytes = pickle.dumps(skeleton, protocol=pickle.HIGHEST_PROTOCOL)
-        self.conn.send_bytes(
-            _build_header(
-                skel_bytes,
-                [a.nbytes for a in arrays],
-                shm=(seg.name, offsets),
-            )
+        header = _build_header(
+            skel_bytes,
+            [a.nbytes for a in arrays],
+            shm=(seg.name, offsets),
         )
+        self.conn.send_bytes(header)
+        _obs.TRANSPORT_SHM_SEND.inc()
+        _obs.TRANSPORT_FRAMES_SEND.inc()
+        _obs.TRANSPORT_BYTES_SEND.inc(len(header) + total)
 
     def _place(self, arrays: List[np.ndarray]):
         """Copy the buffers into the next ring segment (aligned),

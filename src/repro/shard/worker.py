@@ -50,6 +50,10 @@ from dataclasses import asdict
 from typing import Optional
 
 from ..engine import StreamEngine
+from ..obs import metrics as OBS
+from ..obs import registry as obs_registry
+from ..obs.trace import resume as trace_resume
+from ..obs.trace import span as trace_span
 from ..streams.io import summary_from_state, summary_state
 from .spec import SummarySpec
 from .transport import TransportError, make_worker_pipe
@@ -144,7 +148,9 @@ class _ShardServer:
             self._partial_wanted = True
             if self._push and self._partial is not None:
                 self.partials_served += 1
+                OBS.PARTIAL_CACHE_HIT.inc()
                 return self._partial
+            OBS.PARTIAL_CACHE_MISS.inc()
             state = summary_state(self.engine.merged_summary(None))
             if self._push:
                 self._partial = state
@@ -220,6 +226,10 @@ def shard_worker_main(
     the idle-time partial reductions.
     """
     pipe = make_worker_pipe(conn, transport)
+    # On fork start methods the child inherits the parent's metric
+    # counts; zero them so this worker's registry describes only its
+    # own work (the parent merges worker snapshots back via ``stats``).
+    obs_registry().reset()
     server = _ShardServer(spec, max_streams=max_streams, window=window, push=push)
     try:
         while True:
@@ -238,6 +248,12 @@ def shard_worker_main(
             if server.latency:
                 time.sleep(server.latency)
             op, args = msg[0], msg[1:]
+            trace_ctx = None
+            if op == "~trace":
+                # Parent-side tracing wrapped the real message so this
+                # worker's spans join the caller's trace tree.
+                trace_ctx, inner = args[0], args[1]
+                op, args = inner[0], tuple(inner[1:])
             if op == "stop":
                 pipe.send(("ok", None))
                 return
@@ -246,7 +262,12 @@ def shard_worker_main(
                 pipe.send(("err", f"unknown shard op {op!r}"))
                 continue
             try:
-                result = handler(*args)
+                if trace_ctx is not None:
+                    with trace_resume(trace_ctx):
+                        with trace_span(f"shard.{op}"):
+                            result = handler(*args)
+                else:
+                    result = handler(*args)
             except Exception as exc:  # noqa: BLE001 - protocol boundary
                 pipe.send(("err", f"{type(exc).__name__}: {exc}"))
             else:

@@ -12,8 +12,8 @@ summary scheme.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 __all__ = ["WindowConfig"]
 
@@ -63,6 +63,15 @@ class WindowConfig:
             strict Theorem 5.4-style window bound is the library's
             headline guarantee.  See
             :class:`~repro.window.WindowedHullSummary`.
+        on_late: optional dead-letter callback
+            ``callback(key, points, ts, watermark)`` the hosting engine
+            invokes with each key's later-than-watermark slice before
+            dropping it (requires ``max_delay``).  Callbacks are
+            runtime-only policy: they are excluded from comparison and
+            from :meth:`to_doc` (snapshots restore with count-only
+            accounting unless the restorer re-attaches a hook), and the
+            shard parent strips them before shipping the config to
+            workers (lateness is judged parent-side).
     """
 
     last_n: Optional[int] = None
@@ -71,6 +80,7 @@ class WindowConfig:
     level_width: int = 2
     warm_start: bool = False
     max_delay: Optional[float] = None
+    on_late: Optional[Callable] = field(default=None, compare=False)
 
     def __post_init__(self):
         if (self.last_n is None) == (self.horizon is None):
@@ -96,6 +106,15 @@ class WindowConfig:
                 )
             if not (math.isfinite(self.max_delay) and self.max_delay > 0.0):
                 raise ValueError("max_delay must be positive and finite")
+        if self.on_late is not None:
+            if self.max_delay is None:
+                raise ValueError(
+                    "on_late (dead-letter hook) requires bounded lateness "
+                    "(max_delay) — the strict policy raises on late "
+                    "records instead of dropping them"
+                )
+            if not callable(self.on_late):
+                raise TypeError("on_late must be callable")
 
     @property
     def timed(self) -> bool:

@@ -55,6 +55,7 @@ import numpy as np
 from ..core.base import HullSummary, coerce_point
 from ..core.batch import DEFAULT_CHUNK, as_point_array, as_ts_array
 from ..geometry.vec import Point, dot, unit
+from ..obs import metrics as OBS
 from ..streams.io import summary_from_state, summary_state
 from .config import WindowConfig
 
@@ -612,6 +613,7 @@ class WindowedHullSummary(HullSummary):
         self._sealed_total += self._head_count
         self._reset_head()
         self.buckets_sealed += 1
+        OBS.WINDOW_BUCKET_SEALS.inc()
         self._sealed_cache = None
         self._bump_generation()
         if self._cfg.warm_start:
@@ -724,6 +726,7 @@ class WindowedHullSummary(HullSummary):
                     self._head_seed_bucket = older
                 del self._sealed[i + 1]
                 self.buckets_merged += 1
+                OBS.WINDOW_BUCKET_MERGES.inc()
                 self._sealed_cache = None
                 merged = True
                 break
@@ -750,6 +753,7 @@ class WindowedHullSummary(HullSummary):
                 # new data): drop its contents as one expiry.
                 self._reset_head()
                 self.buckets_expired += 1
+                OBS.WINDOW_BUCKET_EXPIRIES.inc()
                 self._bump_generation()
         else:
             n = self._cfg.last_n
@@ -763,6 +767,7 @@ class WindowedHullSummary(HullSummary):
         b = self._sealed.pop(0)
         self._sealed_total -= b.count
         self.buckets_expired += 1
+        OBS.WINDOW_BUCKET_EXPIRIES.inc()
         self._sealed_cache = None
         if b is self._head_seed_bucket:
             # The head's seeds just left the window with their bucket:

@@ -1,0 +1,17 @@
+"""Obs tests share one process-default registry — zero it around each
+test so counts never bleed between tests (reset zeroes in place, so the
+pre-resolved metric children stay live)."""
+
+import pytest
+
+from repro.obs import registry as obs_registry
+from repro.obs import set_enabled
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    obs_registry().reset()
+    set_enabled(True)
+    yield
+    set_enabled(True)
+    obs_registry().reset()

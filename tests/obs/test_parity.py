@@ -1,0 +1,182 @@
+"""Registry totals must equal the legacy ``stats()`` counters.
+
+The obs layer mirrors counters the engines already kept; if the two
+ever disagree, one of them is lying.  The delta-based instrumentation
+(increment by ``points_ingested`` deltas) makes equality structural —
+this suite is the tripwire for future call sites forgetting one side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.obs import registry as obs_registry
+from repro.shard import ShardedEngine, SummarySpec
+
+
+def mixed_workload(engine, timed):
+    rng = np.random.default_rng(7)
+    keys = np.array([f"k{i % 6}" for i in range(300)])
+    pts = rng.normal(size=(300, 2))
+    if timed:
+        ts = np.arange(300, dtype=np.float64) / 10.0
+        engine.ingest_arrays(keys[:200], pts[:200], ts=ts[:200])
+        engine.ingest_arrays(keys[200:], pts[200:], ts=ts[200:])
+        # One record far behind the watermark: a late drop.
+        engine.advance_time(100.0)
+        engine.ingest_arrays(
+            np.array(["k0"]), np.array([[0.0, 0.0]]),
+            ts=np.array([0.5]),
+        )
+    else:
+        engine.ingest_arrays(keys[:200], pts[:200])
+        engine.ingest_arrays(keys[200:], pts[200:])
+        for i in range(7):
+            engine.insert(f"extra-{i}", float(i), float(i))
+    engine.merged_hull()
+    return engine.stats()
+
+
+def obs_total(obs, name, **labels):
+    fam = obs.get(name, {})
+    label_str = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    val = fam.get("values", {}).get(label_str, 0.0)
+    if isinstance(val, dict):
+        return val["count"]
+    return val
+
+
+def test_engine_tier_parity_plain():
+    engine = StreamEngine(lambda: AdaptiveHull(8))
+    stats = mixed_workload(engine, timed=False)
+    obs = stats.obs
+    assert obs_total(
+        obs, "repro_ingest_records_total", tier="engine"
+    ) == stats.points_ingested
+    assert obs_total(
+        obs, "repro_ingest_batches_total", tier="engine"
+    ) == stats.batches_ingested
+    assert obs_total(
+        obs, "repro_ingest_batch_seconds", tier="engine"
+    ) == stats.batches_ingested
+    # Gauges refreshed by stats() itself.
+    assert obs["repro_engine_streams"]["values"][""] == stats.streams
+    assert (
+        obs["repro_engine_sample_points"]["values"][""]
+        == stats.sample_points
+    )
+
+
+def test_engine_tier_parity_bounded_window():
+    engine = StreamEngine(
+        lambda: AdaptiveHull(8),
+        window={"horizon": 50.0, "max_delay": 5.0, "head_capacity": 8},
+    )
+    stats = mixed_workload(engine, timed=True)
+    obs = stats.obs
+    assert obs_total(
+        obs, "repro_ingest_records_total", tier="engine"
+    ) == stats.points_ingested
+    assert (
+        obs_total(obs, "repro_late_dropped_records_total")
+        == stats.late_dropped
+        == 1
+    )
+    assert obs_total(
+        obs, "repro_window_bucket_seals_total"
+    ) > 0
+    assert obs_total(
+        obs, "repro_window_bucket_merges_total"
+    ) == stats.bucket_merges
+    assert obs_total(
+        obs, "repro_window_bucket_expiries_total"
+    ) == stats.bucket_expiries
+    assert (
+        obs["repro_engine_buffered_records"]["values"][""] == stats.buffered
+    )
+
+
+def test_evictions_parity():
+    engine = StreamEngine(lambda: AdaptiveHull(8), max_streams=3)
+    for i in range(10):
+        engine.insert(f"s{i}", float(i), float(i))
+    stats = engine.stats()
+    assert stats.evictions == 7
+    assert (
+        stats.obs["repro_engine_evictions_total"]["values"][""]
+        == stats.evictions
+    )
+
+
+def test_shard_tier_parity_merged_across_workers():
+    with ShardedEngine(
+        SummarySpec("AdaptiveHull", {"r": 8}),
+        shards=2,
+        window={"horizon": 50.0, "max_delay": 5.0, "head_capacity": 8},
+    ) as engine:
+        stats = mixed_workload(engine, timed=True)
+        obs = stats.obs
+        # Parent-side shard-tier counters.
+        assert obs_total(
+            obs, "repro_ingest_records_total", tier="shard"
+        ) == stats.points_ingested
+        assert obs_total(
+            obs, "repro_ingest_batches_total", tier="shard"
+        ) == stats.batches_ingested
+        # Worker-side engine-tier counters, merged through stats():
+        # every record the ring admitted went through exactly one
+        # worker StreamEngine.
+        assert obs_total(
+            obs, "repro_ingest_records_total", tier="engine"
+        ) == stats.points_ingested
+        assert (
+            obs_total(obs, "repro_late_dropped_records_total")
+            == stats.late_dropped
+            == 1
+        )
+        # Window churn happens inside workers; the merged snapshot
+        # must agree with the summed legacy counters.
+        assert obs_total(
+            obs, "repro_window_bucket_merges_total"
+        ) == stats.bucket_merges
+        assert obs_total(
+            obs, "repro_window_bucket_expiries_total"
+        ) == stats.bucket_expiries
+        # Per-shard stream gauges sum to the ring total.
+        per_shard_streams = sum(
+            v for k, v in obs["repro_shard_streams"]["values"].items()
+        )
+        assert per_shard_streams == stats.streams
+        # The transport moved real traffic in both directions.
+        assert obs_total(
+            obs, "repro_transport_bytes_total", dir="send"
+        ) > 0
+        assert obs_total(
+            obs, "repro_transport_frames_total", dir="recv"
+        ) > 0
+
+
+def test_collect_folds_into_stats_surfaces():
+    engine = StreamEngine(lambda: AdaptiveHull(8))
+    engine.insert("a", 1.0, 2.0)
+    stats = engine.stats()
+    assert isinstance(stats.obs, dict)
+    assert "repro_ingest_records_total" in stats.obs
+    # repr stays compact: obs is excluded from the dataclass repr.
+    assert "repro_ingest_records_total" not in repr(stats)
+
+
+def test_disabled_obs_keeps_legacy_stats_working():
+    from repro.obs import set_enabled
+
+    set_enabled(False)
+    engine = StreamEngine(lambda: AdaptiveHull(8))
+    engine.ingest_arrays(
+        np.array(["a", "b"]), np.array([[0.0, 1.0], [2.0, 3.0]])
+    )
+    stats = engine.stats()
+    assert stats.points_ingested == 2
+    assert obs_total(
+        stats.obs, "repro_ingest_records_total", tier="engine"
+    ) == 0

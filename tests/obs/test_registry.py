@@ -1,0 +1,185 @@
+"""Core registry semantics: kinds, labels, the enable gate, snapshots,
+cross-process merging, and in-place reset."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    merge_snapshots,
+    render_snapshot,
+    set_enabled,
+)
+from repro.obs import metrics as M
+from repro.obs import registry as obs_registry
+
+
+def make_registry():
+    return Registry()
+
+
+def test_counter_inc_and_negative_rejected():
+    reg = make_registry()
+    c = Counter("t_total", "help", registry=reg, _use_default=False)
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_labeled_counter_children_cached():
+    reg = make_registry()
+    c = Counter("t_total", "help", ("op",), registry=reg, _use_default=False)
+    assert c.labels("a") is c.labels("a")
+    assert c.labels(op="a") is c.labels("a")
+    c.labels("a").inc(2)
+    c.labels("b").inc()
+    snap = reg.collect()["t_total"]["values"]
+    assert snap == {'op="a"': 2.0, 'op="b"': 1.0}
+    with pytest.raises(ValueError):
+        c.inc()  # labeled family has no solo child
+    with pytest.raises(ValueError):
+        c.labels("a", "b")
+
+
+def test_gauge_set_inc_dec():
+    reg = make_registry()
+    g = Gauge("t_gauge", "help", registry=reg, _use_default=False)
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12.0
+
+
+def test_histogram_buckets_cumulative_and_sum():
+    reg = make_registry()
+    h = Histogram(
+        "t_seconds", "help", buckets=(1.0, 10.0),
+        registry=reg, _use_default=False,
+    )
+    for v in (0.5, 0.5, 5.0, 100.0):
+        h.observe(v)
+    snap = reg.collect()["t_seconds"]["values"][""]
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(106.0)
+    assert snap["buckets"] == [["1", 2], ["10", 3], ["+Inf", 4]]
+
+
+def test_histogram_timer_and_bad_buckets():
+    reg = make_registry()
+    h = Histogram("t_seconds", "help", registry=reg, _use_default=False)
+    with h.time():
+        pass
+    assert reg.value("t_seconds") == 1
+    with pytest.raises(ValueError):
+        Histogram("bad", "h", buckets=(3.0, 1.0), _use_default=False)
+    with pytest.raises(ValueError):
+        Histogram("bad", "h", buckets=(1.0, 1.0), _use_default=False)
+
+
+def test_invalid_names_rejected():
+    with pytest.raises(ValueError):
+        Counter("0bad", "h", _use_default=False)
+    with pytest.raises(ValueError):
+        Counter("ok_total", "h", ("bad-label",), _use_default=False)
+    reg = make_registry()
+    Counter("dup_total", "h", registry=reg, _use_default=False)
+    with pytest.raises(ValueError):
+        Counter("dup_total", "h", registry=reg, _use_default=False)
+
+
+def test_enable_gate_short_circuits_everything():
+    reg = make_registry()
+    c = Counter("t_total", "h", registry=reg, _use_default=False)
+    g = Gauge("t_gauge", "h", registry=reg, _use_default=False)
+    h = Histogram("t_seconds", "h", registry=reg, _use_default=False)
+    set_enabled(False)
+    try:
+        c.inc()
+        g.set(7)
+        h.observe(1.0)
+    finally:
+        set_enabled(True)
+    assert c.value == 0.0
+    assert g.value == 0.0
+    assert reg.value("t_seconds") == 0
+    c.inc()
+    assert c.value == 1.0
+
+
+def test_reset_zeroes_in_place_keeping_child_references():
+    # The hot paths hold pre-resolved children (repro.obs.metrics
+    # constants); reset must zero those same objects, not orphan them —
+    # a forked shard worker resets, then keeps incrementing the
+    # module-level references.
+    M.PARTIAL_CACHE_HIT.inc(3)
+    obs_registry().reset()
+    assert obs_registry().value(
+        "repro_partial_cache_total", result="hit"
+    ) == 0
+    M.PARTIAL_CACHE_HIT.inc()
+    snap = obs_registry().collect()["repro_partial_cache_total"]["values"]
+    assert snap['result="hit"'] == 1.0
+
+
+def test_merge_snapshots_sums_counters_and_histograms():
+    reg_a, reg_b = make_registry(), make_registry()
+    for reg in (reg_a, reg_b):
+        Counter("c_total", "h", ("k",), registry=reg, _use_default=False)
+        Histogram(
+            "h_seconds", "h", buckets=(1.0,),
+            registry=reg, _use_default=False,
+        )
+    reg_a.get("c_total").labels("x").inc(2)
+    reg_b.get("c_total").labels("x").inc(3)
+    reg_b.get("c_total").labels("y").inc(1)
+    reg_a.get("h_seconds").observe(0.5)
+    reg_b.get("h_seconds").observe(2.0)
+    merged = merge_snapshots(reg_a.collect(), reg_b.collect())
+    assert merged["c_total"]["values"] == {'k="x"': 5.0, 'k="y"': 1.0}
+    hist = merged["h_seconds"]["values"][""]
+    assert hist["count"] == 2
+    assert hist["sum"] == pytest.approx(2.5)
+    assert hist["buckets"] == [["1", 1], ["+Inf", 2]]
+    # The inputs are not mutated.
+    assert reg_a.collect()["c_total"]["values"] == {'k="x"': 2.0}
+
+
+def test_thread_safety_under_contention():
+    reg = make_registry()
+    c = Counter("t_total", "h", registry=reg, _use_default=False)
+    h = Histogram(
+        "h_seconds", "h", buckets=(0.5,), registry=reg, _use_default=False
+    )
+
+    def work():
+        for _ in range(5000):
+            c.inc()
+            h.observe(0.1)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 20_000
+    snap = reg.collect()["h_seconds"]["values"][""]
+    assert snap["count"] == 20_000
+    assert snap["buckets"][-1] == ["+Inf", 20_000]
+
+
+def test_render_escapes_labels_and_help():
+    reg = make_registry()
+    c = Counter(
+        "t_total", 'weird "help"\nwith newline', ("k",),
+        registry=reg, _use_default=False,
+    )
+    c.labels('va"l\\ue\n').inc()
+    text = render_snapshot(reg.collect())
+    assert '# HELP t_total weird "help"\\nwith newline' in text
+    assert 't_total{k="va\\"l\\\\ue\\n"} 1' in text

@@ -1,0 +1,126 @@
+"""Tracing: span ids, JSONL emission, and cross-process propagation.
+
+The acceptance property: one traced batch through the serve facade over
+a sharded ring yields spans sharing a single trace id across the
+parent process and the shard workers.
+"""
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import configure_tracing, current_context, span, tracing
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    configure_tracing(enabled=True, path=str(path))
+    yield path
+    configure_tracing(enabled=None, path=None)
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def test_span_noop_without_tracing():
+    configure_tracing(enabled=False)
+    try:
+        with span("unit.test") as sp:
+            assert sp.trace_id is None
+            assert current_context() is None
+        assert sp.duration >= 0.0
+    finally:
+        configure_tracing(enabled=None)
+
+
+def test_span_nesting_and_emission(trace_file):
+    with span("outer") as outer:
+        with span("inner", detail=7) as inner:
+            assert current_context() == (inner.trace_id, inner.span_id)
+        assert current_context() == (outer.trace_id, outer.span_id)
+    assert current_context() is None
+    events = {e["name"]: e for e in read_events(trace_file)}
+    assert events["inner"]["trace"] == events["outer"]["trace"]
+    assert events["inner"]["parent"] == events["outer"]["span"]
+    assert events["outer"]["parent"] is None
+    assert events["inner"]["attrs"] == {"detail": 7}
+    assert events["inner"]["dur_s"] >= 0.0
+    # Spans also feed the duration histogram regardless of emission.
+    from repro.obs import registry as obs_registry
+
+    assert obs_registry().value("repro_span_seconds", span="outer") == 1
+
+
+def test_trace_env_shorthand(monkeypatch, tmp_path):
+    configure_tracing(enabled=None, path=None)
+    path = tmp_path / "env-trace.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", str(path))
+    assert tracing()
+    with span("env.span"):
+        pass
+    events = read_events(path)
+    assert events and events[0]["name"] == "env.span"
+
+
+def test_single_trace_id_across_serve_parent_and_workers(
+    monkeypatch, tmp_path
+):
+    # The workers read the environment at spawn, so configure via env
+    # BEFORE the ring forks (configure_tracing is process-local).
+    path = tmp_path / "e2e-trace.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setenv("REPRO_TRACE_FILE", str(path))
+
+    from repro.serve import AsyncHullService
+    from repro.shard import ShardedEngine, SummarySpec
+
+    async def run():
+        eng = ShardedEngine(
+            SummarySpec("AdaptiveHull", {"r": 8}), shards=2
+        )
+        async with AsyncHullService(eng, own_engine=True) as svc:
+            rng = np.random.default_rng(11)
+            pts = rng.normal(size=(64, 2))
+            keys = np.array([f"k{i % 4}" for i in range(64)])
+            await svc.ingest_arrays(keys, pts)
+            await svc.flush()
+
+    asyncio.run(run())
+    events = read_events(path)
+    by_name = {}
+    for e in events:
+        by_name.setdefault(e["name"], []).append(e)
+    assert "serve.ingest" in by_name
+    assert "shard.ingest" in by_name  # parent ring span
+    assert "shard.ingest_arrays" in by_name  # worker-side dispatch span
+    assert "engine.ingest" in by_name  # worker's inner StreamEngine
+    ingest_events = (
+        by_name["serve.ingest"]
+        + by_name["shard.ingest"]
+        + by_name["shard.ingest_arrays"]
+        + by_name["engine.ingest"]
+    )
+    trace_ids = {e["trace"] for e in ingest_events}
+    assert len(trace_ids) == 1, f"trace ids diverged: {trace_ids}"
+    pids = {e["pid"] for e in ingest_events}
+    assert len(pids) >= 2, "no worker-side spans crossed the pipe"
+    # Worker spans parent the ring-side request span.
+    parent_span = by_name["shard.ingest"][0]["span"]
+    worker_parents = {e["parent"] for e in by_name["shard.ingest_arrays"]}
+    assert parent_span in worker_parents
+
+
+def test_emit_survives_unwritable_path(monkeypatch):
+    configure_tracing(
+        enabled=True, path=os.path.join(os.sep, "nonexistent-dir", "t.jsonl")
+    )
+    try:
+        with span("unwritable"):
+            pass  # must not raise
+    finally:
+        configure_tracing(enabled=None, path=None)
