@@ -93,6 +93,24 @@ matching client (results bit-identical to direct synchronous calls)::
         async with HullServer(service, port=8765) as server:
             await server.serve_forever()
 
+Production streams also need to survive crashes: ``durability=`` gives
+either tier a write-ahead log (appended *before* apply, so recovery =
+latest snapshot + tail replay, bit-identical by determinism), the
+sharded tier takes ``standbys=`` hot replicas per shard (promoted
+automatically when a primary dies) and resizes its ring online with
+``resize(n)``, moving only the proportional key slice::
+
+    from repro import DurabilityConfig, ShardedEngine, SummarySpec
+    from repro.durable import recover_engine
+
+    cfg = DurabilityConfig("waldir")
+    with ShardedEngine(SummarySpec("AdaptiveHull", {"r": 32}), shards=4,
+                       standbys=1, durability=cfg) as eng:
+        eng.ingest_arrays(keys, points)         # durable before applied
+        eng.resize(8)                           # live, serving throughout
+
+    eng = recover_engine("waldir")              # after a crash
+
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
@@ -131,7 +149,10 @@ from .queries import (
 from .streams.io import load_summary, save_summary
 from .window import WindowConfig, WindowedHullSummary
 
-__version__ = "1.4.0"
+# After the engine tiers: repro.durable composes over both of them.
+from .durable import DurabilityConfig, WalError
+
+__version__ = "1.5.0"
 
 __all__ = [
     "AdaptiveHull",
@@ -159,6 +180,8 @@ __all__ = [
     "tree_merge",
     "WindowConfig",
     "WindowedHullSummary",
+    "DurabilityConfig",
+    "WalError",
     "TimePolicy",
     "save_summary",
     "load_summary",

@@ -12,13 +12,15 @@ Usage::
     python -m repro engine [--keys K] [--n N] [--r R] [--batch B]
                            [--snapshot PATH] [--seed S]
     python -m repro shard  [--keys K] [--n N] [--r R] [--batch B]
-                           [--workers W] [--snapshot PATH] [--seed S]
+                           [--workers W] [--replicas N] [--wal-dir DIR]
+                           [--snapshot PATH] [--seed S]
     python -m repro window [--keys K] [--n N] [--r R] [--batch B]
                            [--last-n N | --horizon T] [--max-delay D]
                            [--workers W] [--snapshot PATH] [--seed S]
     python -m repro serve run   [--host H] [--port P] [--r R]
                                 [--last-n N | --horizon T] [--max-delay D]
-                                [--workers W] [--tick SEC] [--duration SEC]
+                                [--workers W] [--replicas N] [--wal-dir DIR]
+                                [--tick SEC] [--duration SEC]
                                 [--selfcheck] [--snapshot PATH]
                                 [--metrics-port P]
     python -m repro serve bench [--n N] [--keys K] [--batch B] [--r R]
@@ -27,6 +29,11 @@ Usage::
                             [--workers W] [--last-n N | --horizon T]
                             [--max-delay D] [--format prom|json]
                             [--watch SEC] [--seed S]
+    python -m repro durable inspect WAL_DIR
+    python -m repro durable recover WAL_DIR [--workers W] [--replicas N]
+                                    [--snapshot PATH] [--compact]
+    python -m repro durable dead-letters WAL_DIR [--limit K]
+                                    [--replay] [--truncate]
 
 Every subcommand prints the corresponding table/series from the paper's
 evaluation; ``demo`` runs a quick end-to-end summary with queries,
@@ -43,8 +50,17 @@ either engine tier, ``bench`` measures ingest throughput and query
 latency through the async facade and the TCP loop against direct
 synchronous calls (with a bit-identical parity check); ``metrics``
 runs a keyed workload through either tier and dumps (or, with
-``--watch``, periodically re-prints) the :mod:`repro.obs` registry as
-a Prometheus text page or a JSON snapshot.
+``--watch``, periodically re-prints per-second *rates* from a scrape
+history of) the :mod:`repro.obs` registry as a Prometheus text page or
+a JSON snapshot; ``durable`` operates on a write-ahead log directory —
+``inspect`` summarises segments/snapshots/tail without replaying,
+``recover`` rebuilds the engine (snapshot + tail replay, bit-identical
+by determinism) and reports what came back, ``dead-letters`` lists and
+optionally redrives the later-than-watermark records the bounded-
+lateness window dropped.  ``--wal-dir`` on ``shard``/``serve run``
+makes ingest durable (and recovers first when the directory already
+holds a log); ``--replicas`` adds that many standby workers per shard,
+promoted automatically when a primary dies.
 """
 
 from __future__ import annotations
@@ -133,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--transport", choices=["pickle", "frames", "shm"], default="frames",
         help="worker pipe protocol (frames = zero-copy default)",
     )
+    sh.add_argument(
+        "--replicas", type=int, default=0,
+        help="standby replica workers per shard (promoted on primary death)",
+    )
+    sh.add_argument(
+        "--wal-dir", default=None,
+        help="write-ahead log directory: batches are durable before they "
+        "apply; a directory holding a prior log is recovered first",
+    )
     sh.add_argument("--seed", type=int, default=0)
 
     win = sub.add_parser(
@@ -201,6 +226,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--workers", type=int, default=0,
         help="shard worker processes (0 = in-process StreamEngine)",
+    )
+    run.add_argument(
+        "--replicas", type=int, default=0,
+        help="standby replica workers per shard (needs --workers >= 1)",
+    )
+    run.add_argument(
+        "--wal-dir", default=None,
+        help="write-ahead log directory: ingest is durable before it "
+        "applies; a directory holding a prior log is recovered first "
+        "(the logged window/spec win over the flags)",
     )
     run.add_argument(
         "--tick", type=float, default=None,
@@ -283,6 +318,58 @@ def build_parser() -> argparse.ArgumentParser:
         "the workload runs (default: dump once at the end)",
     )
     met.add_argument("--seed", type=int, default=0)
+
+    dur = sub.add_parser(
+        "durable",
+        help="write-ahead log inspection, crash recovery, dead letters",
+    )
+    dur_sub = dur.add_subparsers(dest="durable_cmd", required=True)
+
+    dins = dur_sub.add_parser(
+        "inspect", help="summarise a WAL directory without replaying it"
+    )
+    dins.add_argument("wal_dir", help="write-ahead log directory")
+
+    drec = dur_sub.add_parser(
+        "recover", help="rebuild the engine from latest snapshot + WAL tail"
+    )
+    drec.add_argument("wal_dir", help="write-ahead log directory")
+    drec.add_argument(
+        "--workers", type=int, default=None,
+        help="override the logged tier: 0 = in-process engine, N = ring "
+        "of N shards (default: whatever the log's meta entry says)",
+    )
+    drec.add_argument(
+        "--replicas", type=int, default=0,
+        help="standby replica workers per shard (sharded tier only)",
+    )
+    drec.add_argument(
+        "--snapshot", default=None,
+        help="write the recovered engine's snapshot file here",
+    )
+    drec.add_argument(
+        "--compact", action="store_true",
+        help="write a WAL snapshot after recovery so the next recovery "
+        "skips the replayed tail",
+    )
+
+    ddl = dur_sub.add_parser(
+        "dead-letters", help="list/redrive the durable dead-letter log"
+    )
+    ddl.add_argument("wal_dir", help="write-ahead log directory")
+    ddl.add_argument(
+        "--limit", type=int, default=20,
+        help="slices to list in detail (default 20)",
+    )
+    ddl.add_argument(
+        "--replay", action="store_true",
+        help="recover the engine from this WAL and re-ingest every dead "
+        "letter, timestamps clamped up to the current watermark",
+    )
+    ddl.add_argument(
+        "--truncate", action="store_true",
+        help="drop the dead-letter log (alone, or after a clean --replay)",
+    )
 
     return parser
 
@@ -438,14 +525,43 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         raise SystemExit("shard: --batch must be >= 1")
     if args.workers < 1:
         raise SystemExit("shard: --workers must be >= 1")
+    if args.replicas < 0:
+        raise SystemExit("shard: --replicas must be >= 0")
     rng = np.random.default_rng(args.seed)
     keys = np.array([f"stream-{i:04d}" for i in range(args.keys)])
     centers = rng.uniform(-100.0, 100.0, (args.keys, 2))
     spec = SummarySpec("AdaptiveHull", {"r": args.r})
 
-    with ShardedEngine(
-        spec, shards=args.workers, transport=args.transport
-    ) as engine:
+    durability = None
+    if args.wal_dir is not None:
+        from .durable import DurabilityConfig, recover_engine, wal_exists
+
+        durability = DurabilityConfig(args.wal_dir)
+    if durability is not None and wal_exists(args.wal_dir):
+        # A prior run left a log: pick up exactly where it stopped
+        # (the logged spec/window win over this invocation's flags).
+        engine = recover_engine(
+            args.wal_dir,
+            workers=args.workers,
+            standbys=args.replicas,
+            transport=args.transport,
+            durability=durability,
+        )
+    else:
+        engine = ShardedEngine(
+            spec,
+            shards=args.workers,
+            transport=args.transport,
+            standbys=args.replicas,
+            durability=durability,
+        )
+
+    with engine:
+        replay = getattr(engine, "last_replay", None)
+        if replay is not None:
+            print(f"recovered    : {replay['entries']} WAL entries "
+                  f"({replay['records']:,} records, "
+                  f"{replay['rejected']} rejected)")
         t0 = time.perf_counter()
         done = 0
         while done < args.n:
@@ -469,6 +585,12 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         print(f"stored       : {stats.sample_points:,} sample points")
         print(f"throughput   : {done / elapsed:,.0f} records/sec")
         print(f"ring load    : {loads}")
+        if args.replicas:
+            print(f"replicas     : {stats.standbys} standbys, "
+                  f"{stats.promotions} promotions")
+        if engine.wal is not None:
+            print(f"wal          : seq {engine.wal.last_seq} in "
+                  f"{args.wal_dir}")
         # One whole-ring reduction serves all three global answers.
         from .queries import diameter, width
 
@@ -603,7 +725,6 @@ def _tier_engine(args, prog: str, default_window=None):
     ``serve`` subcommands so their construction cannot drift."""
     import math
 
-    from .core import AdaptiveHull
     from .window import WindowConfig
 
     if args.workers < 0:
@@ -626,22 +747,58 @@ def _tier_engine(args, prog: str, default_window=None):
         window = WindowConfig(horizon=horizon, max_delay=max_delay)
     else:
         window = default_window
+    standbys = getattr(args, "replicas", 0) or 0
+    if standbys < 0:
+        raise SystemExit(f"{prog}: --replicas must be >= 0")
+    if standbys and not args.workers:
+        raise SystemExit(f"{prog}: --replicas needs --workers >= 1")
+    wal_dir = getattr(args, "wal_dir", None)
+    durability = None
+    recovering = False
+    if wal_dir is not None:
+        from .durable import DurabilityConfig, wal_exists
+
+        durability = DurabilityConfig(wal_dir)
+        recovering = wal_exists(wal_dir)
     if args.workers:
         from .shard import ShardedEngine, SummarySpec
 
-        engine = ShardedEngine(
-            SummarySpec("AdaptiveHull", {"r": args.r}),
-            shards=args.workers,
-            window=window,
-        )
+        if recovering:
+            from .durable import recover_engine
+
+            # The logged spec/window win over the flags: replay is only
+            # bit-identical under the configuration that wrote the log.
+            engine = recover_engine(
+                wal_dir,
+                workers=args.workers,
+                standbys=standbys,
+                durability=durability,
+            )
+        else:
+            engine = ShardedEngine(
+                SummarySpec("AdaptiveHull", {"r": args.r}),
+                shards=args.workers,
+                window=window,
+                standbys=standbys,
+                durability=durability,
+            )
         restore = ShardedEngine.restore
     else:
         from .engine import StreamEngine
+        from .shard import SummarySpec
 
-        engine = StreamEngine(lambda: AdaptiveHull(args.r), window=window)
-        restore = lambda p: StreamEngine.restore(  # noqa: E731
-            p, lambda: AdaptiveHull(args.r)
-        )
+        # A spec-built factory (not a bare lambda) so an attached WAL
+        # captures the configuration and recovery needs no restating.
+        factory = SummarySpec("AdaptiveHull", {"r": args.r}).build
+        if recovering:
+            from .durable import recover_engine
+
+            engine = recover_engine(wal_dir, workers=0, durability=durability)
+        else:
+            engine = StreamEngine(
+                factory, window=window, durability=durability
+            )
+        restore = lambda p: StreamEngine.restore(p, factory)  # noqa: E731
     return engine, restore
 
 
@@ -651,7 +808,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from .obs import render_snapshot
+    from .obs import ScrapeHistory, render_snapshot
 
     if args.keys < 1:
         raise SystemExit("metrics: --keys must be >= 1")
@@ -666,6 +823,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     keys = np.array([f"stream-{i:04d}" for i in range(args.keys)])
     centers = rng.uniform(-100.0, 100.0, (args.keys, 2))
     timed = window is not None and window.timed
+    history = ScrapeHistory()
+    span = args.watch or None
 
     def page(engine) -> str:
         obs = engine.stats().obs
@@ -673,8 +832,20 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             return json.dumps(obs, indent=2, sort_keys=True)
         return render_snapshot(obs)
 
+    def rates_page(engine) -> str:
+        # Watch prints *rates*, not totals: difference the scrape taken
+        # now against the previous watch tick's (see repro.obs.history).
+        history.record(engine.stats().obs)
+        if args.format == "json":
+            return json.dumps(
+                history.rates(span=span), indent=2, sort_keys=True
+            )
+        return history.render(span=span)
+
     with engine_cm as engine:
         done = 0
+        if args.watch is not None:
+            history.record(engine.stats().obs)
         last_print = time.perf_counter()
         while done < args.n:
             b = min(args.batch, args.n - done)
@@ -689,7 +860,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             if args.watch is not None and (
                 time.perf_counter() - last_print >= args.watch
             ):
-                print(page(engine))
+                print(rates_page(engine))
                 print(f"# --- after {done:,}/{args.n:,} records ---")
                 last_print = time.perf_counter()
         # A global query so shard/transport reply paths show traffic.
@@ -815,6 +986,11 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
 
     async def main() -> int:
         engine, _ = _tier_engine(args, "serve")
+        replay = getattr(engine, "last_replay", None)
+        if replay is not None:
+            print(f"recovered    : {replay['entries']} WAL entries "
+                  f"({replay['records']:,} records, "
+                  f"{replay['rejected']} rejected)")
         service = AsyncHullService(
             engine,
             tick_interval=args.tick,
@@ -846,6 +1022,9 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                 )
                 print(f"serving      : {args.host}:{server.port} "
                       f"({tier}, {mode}, r={args.r})")
+                if engine.wal is not None:
+                    print(f"wal          : {args.wal_dir} "
+                          f"(seq {engine.wal.last_seq})")
                 if server.metrics_port is not None:
                     print(f"metrics      : http://{args.host}:"
                           f"{server.metrics_port}/metrics")
@@ -976,6 +1155,170 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _cmd_serve_run(args)
 
 
+def _cmd_durable_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .durable import (
+        DeadLetterLog,
+        iter_entries,
+        list_segments,
+        list_snapshots,
+        load_latest_snapshot,
+        read_meta,
+        wal_exists,
+    )
+
+    wal_dir = Path(args.wal_dir)
+    if not wal_exists(wal_dir):
+        print(f"no WAL at {wal_dir}")
+        return 1
+    meta = read_meta(wal_dir) or {}
+    tier = meta.get("tier") or "unknown"
+    if meta.get("shards"):
+        tier += f" x{meta['shards']}"
+    spec = meta.get("spec")
+    window = meta.get("window")
+    segments = list_segments(wal_dir)
+    snapshots = list_snapshots(wal_dir)
+    snap = load_latest_snapshot(wal_dir)
+    after = snap[0] if snap is not None else 0
+    counts: dict = {}
+    records = 0
+    last_seq = after
+    for entry in iter_entries(wal_dir, after=after):
+        last_seq = entry[0]
+        counts[entry[1]] = counts.get(entry[1], 0) + 1
+        if entry[1] == "batch":
+            records += len(entry[3])
+        elif entry[1] == "insert":
+            records += 1
+    seg_bytes = sum(p.stat().st_size for _, p in segments)
+    print(f"wal dir      : {wal_dir}")
+    print(f"tier         : {tier}")
+    if spec:
+        print(f"spec         : {spec.get('class')} {spec.get('config')}")
+    print(f"window       : {window if window else 'none'}")
+    print(f"segments     : {len(segments)} ({seg_bytes:,} bytes)")
+    print(f"snapshots    : {len(snapshots)}"
+          + (f" (latest covers seq {after})" if snap is not None else ""))
+    print(f"tail entries : {sum(counts.values())} to replay "
+          f"({records:,} records) -> seq {last_seq}")
+    for kind in sorted(counts):
+        print(f"  {kind:<10} : {counts[kind]}")
+    log = DeadLetterLog(wal_dir)
+    try:
+        print(f"dead letters : {len(log)}")
+    finally:
+        log.close()
+    return 0
+
+
+def _cmd_durable_recover(args: argparse.Namespace) -> int:
+    from .durable import DurabilityConfig, recover_engine, wal_exists
+
+    if args.workers is not None and args.workers < 0:
+        raise SystemExit("durable: --workers must be >= 0")
+    if args.replicas < 0:
+        raise SystemExit("durable: --replicas must be >= 0")
+    if args.compact and args.workers is not None:
+        # A compaction snapshot written under a tier/shard override
+        # would not load back under the logged meta on the next
+        # default recovery.
+        raise SystemExit(
+            "durable: --compact cannot be combined with --workers "
+            "(the snapshot must match the logged tier)"
+        )
+    if not wal_exists(args.wal_dir):
+        print(f"no WAL at {args.wal_dir}")
+        return 1
+    engine = recover_engine(
+        args.wal_dir,
+        workers=args.workers,
+        standbys=args.replicas,
+        durability=DurabilityConfig(args.wal_dir) if args.compact else None,
+    )
+    try:
+        replay = engine.last_replay
+        stats = engine.stats()
+        workers = getattr(engine, "num_shards", 0)
+        tier = f"sharded x{workers}" if workers else "in-process"
+        print(f"recovered    : {replay['entries']} WAL entries replayed "
+              f"({replay['records']:,} records, "
+              f"{replay['rejected']} rejected)")
+        print(f"tier         : {tier}")
+        print(f"streams      : {stats.streams}")
+        print(f"records      : {stats.points_ingested:,}")
+        print(f"stored       : {stats.sample_points:,} sample points")
+        if args.snapshot:
+            path = engine.snapshot(args.snapshot)
+            print(f"snapshot     : {path}")
+        if args.compact:
+            engine.wal.write_snapshot(engine.snapshot_state())
+            print(f"compacted    : WAL snapshot covers seq "
+                  f"{engine.wal.last_seq}")
+    finally:
+        engine.close()
+    return 0
+
+
+def _cmd_durable_dead_letters(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .durable import DeadLetterLog
+
+    if args.limit < 0:
+        raise SystemExit("durable: --limit must be >= 0")
+    log = DeadLetterLog(args.wal_dir)
+    try:
+        entries = list(log.iter_entries())
+        total = sum(len(e[3]) for e in entries)
+        print(f"dead letters : {len(entries)} slices / {total:,} records")
+        for seq, _, key, points, ts, watermark in entries[: args.limit]:
+            ts_arr = np.asarray(ts, dtype=np.float64).reshape(-1)
+            print(f"  #{seq} key={key!r} n={len(points)} "
+                  f"ts=[{ts_arr.min():g}, {ts_arr.max():g}] "
+                  f"watermark={watermark:g}")
+        if len(entries) > args.limit:
+            print(f"  ... {len(entries) - args.limit} more")
+        if args.replay and entries:
+            from .durable import DurabilityConfig, recover_engine, wal_exists
+
+            if not wal_exists(args.wal_dir):
+                print(f"no WAL at {args.wal_dir}: nothing to replay into")
+                return 1
+            # Redriven slices become fresh (logged) ingests; the
+            # engine's own dead-letter hook stays off so the two
+            # writers never race on the same log file.
+            engine = recover_engine(
+                args.wal_dir,
+                durability=DurabilityConfig(args.wal_dir, dead_letters=False),
+            )
+            try:
+                result = log.replay_into(engine)
+            finally:
+                engine.close()
+            print(f"redriven     : {result['entries']} slices / "
+                  f"{result['records']:,} records "
+                  f"({result['skipped']} skipped)")
+            if result["skipped"] and args.truncate:
+                print("truncate skipped: some slices were still rejected")
+                return 1
+        if args.truncate:
+            dropped = log.truncate()
+            print(f"truncated    : {dropped} slices dropped")
+    finally:
+        log.close()
+    return 0
+
+
+def _cmd_durable(args: argparse.Namespace) -> int:
+    if args.durable_cmd == "inspect":
+        return _cmd_durable_inspect(args)
+    if args.durable_cmd == "recover":
+        return _cmd_durable_recover(args)
+    return _cmd_durable_dead_letters(args)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig10": _cmd_fig10,
@@ -988,6 +1331,7 @@ _COMMANDS = {
     "window": _cmd_window,
     "serve": _cmd_serve,
     "metrics": _cmd_metrics,
+    "durable": _cmd_durable,
 }
 
 

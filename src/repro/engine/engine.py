@@ -148,6 +148,14 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             carried on ``WindowConfig(on_late=...)``.  Requires a
             bounded-lateness window.  Callback exceptions propagate
             (like ``on_evict``), failing the offending ingest call.
+        durability: optional
+            :class:`~repro.durable.DurabilityConfig` (or a bare WAL
+            directory path).  When set, every mutation is appended to
+            a write-ahead log *before* it is applied — crash recovery
+            via :func:`repro.durable.recover_stream_engine` replays
+            the tail onto the latest compacted snapshot, bit-identical
+            by determinism.  A fresh engine requires the directory
+            empty; continuing an existing log goes through recovery.
     """
 
     def __init__(
@@ -158,6 +166,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         on_evict: Optional[Callable[[Hashable, HullSummary], None]] = None,
         window=None,
         on_late=None,
+        durability=None,
     ):
         if max_streams is not None and max_streams < 1:
             raise ValueError("max_streams must be >= 1")
@@ -203,6 +212,10 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         # stats survive LRU churn.
         self._retired_bucket_merges = 0
         self._retired_bucket_expiries = 0
+        self._wal = None
+        self._dead_letter_log = None
+        if durability is not None:
+            self.attach_durability(durability, require_empty=True)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -213,9 +226,66 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         self.close()
 
     def close(self) -> None:
-        """Release engine resources (a no-op for the in-process tier;
-        here for :class:`~repro.engine.protocol.EngineProtocol`
-        lifecycle symmetry with the sharded tier)."""
+        """Release engine resources: seal the write-ahead and
+        dead-letter logs if durability is attached (otherwise a no-op
+        for the in-process tier, here for
+        :class:`~repro.engine.protocol.EngineProtocol` lifecycle
+        symmetry with the sharded tier)."""
+        if self._wal is not None:
+            self._wal.close()
+        if self._dead_letter_log is not None:
+            self._dead_letter_log.close()
+
+    # -- durability --------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.durable.WalWriter`, or None."""
+        return self._wal
+
+    def _wal_meta(self) -> dict:
+        """Engine configuration captured into the log, so recovery can
+        rebuild the factory/window without the caller restating them
+        (possible only when the factory is a SummarySpec.build)."""
+        owner = getattr(self._base_factory, "__self__", None)
+        return {
+            "tier": "engine",
+            "spec": owner.to_doc()
+            if owner is not None and hasattr(owner, "to_doc")
+            else None,
+            "window": self.window.to_doc() if self.window is not None else None,
+        }
+
+    def attach_durability(self, durability, *, require_empty: bool = False):
+        """Attach a write-ahead log (and, for bounded-lateness windows,
+        a dead-letter log) to an already-built engine.
+
+        This is the recovery half of the ``durability=`` constructor
+        kwarg: :func:`repro.durable.recover_stream_engine` replays the
+        log first and then attaches a continuing writer, so replayed
+        entries are never re-appended.  ``durability`` may be a
+        :class:`~repro.durable.DurabilityConfig` or a bare directory.
+        """
+        from ..durable.deadletter import attach_dead_letters
+        from ..durable.wal import DurabilityConfig, WalError, WalWriter
+
+        if self._wal is not None:
+            raise WalError("durability is already attached")
+        config = (
+            durability
+            if isinstance(durability, DurabilityConfig)
+            else DurabilityConfig(durability)
+        )
+        self._wal = WalWriter(
+            config, meta=self._wal_meta(), require_empty=require_empty
+        )
+        if config.dead_letters:
+            self._dead_letter_log = attach_dead_letters(self, config.path)
+        return self._wal
+
+    def _maybe_compact(self) -> None:
+        if self._wal is not None and self._wal.should_compact():
+            self._wal.write_snapshot(self.snapshot_state())
 
     # -- keyed access ------------------------------------------------------
 
@@ -379,6 +449,11 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         now = float(now)
         if not math.isfinite(now):
             raise ValueError("advance_time requires a finite timestamp")
+        if self._wal is not None:
+            # Expiry and watermark advances mutate state too: a
+            # recovery that skipped them would diverge from the live
+            # engine the moment a bucket aged out.
+            self._wal.append_advance(now, watermark)
         if self._event_clock is None:
             if watermark is not None:
                 raise ValueError(
@@ -487,8 +562,12 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             raise ValueError(
                 "time-based windows require an explicit ts per insert"
             )
+        if self._wal is not None:
+            self._wal.append_insert(key, p[0], p[1], ts, watermark)
         if self._event_clock is not None:
-            return self._insert_bounded(key, p, ts, watermark)
+            changed = self._insert_bounded(key, p, ts, watermark)
+            self._maybe_compact()
+            return changed
         if watermark is not None:
             raise ValueError("watermark requires a bounded-lateness window")
         if self.window is not None and ts is not None:
@@ -507,6 +586,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         self.points_ingested += 1
         OBS.ENGINE_INGEST_RECORDS.inc()
         self._notify({key})
+        self._maybe_compact()
         return changed
 
     def _insert_bounded(
@@ -590,6 +670,12 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         ts_arr = self._check_batch_ts(ts, len(arr))
         if len(arr) == 0:
             return 0
+        if self._wal is not None:
+            # Write-ahead: the ack the caller gets implies the batch is
+            # durable.  A slice the engine rejects *after* this point
+            # rejects identically on replay (determinism), so recovery
+            # skips it and still lands on the acknowledged state.
+            self._wal.append_batch(key_arr, arr, ts_arr, watermark)
         p0, b0 = self.points_ingested, self.batches_ingested
         with span("engine.ingest", records=len(arr)) as sp:
             changed = self._ingest_validated(
@@ -600,6 +686,7 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             OBS.ENGINE_INGEST_RECORDS.inc(self.points_ingested - p0)
         if self.batches_ingested > b0:
             OBS.ENGINE_INGEST_BATCHES.inc(self.batches_ingested - b0)
+        self._maybe_compact()
         return changed
 
     def _ingest_validated(
@@ -778,6 +865,33 @@ class StreamEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         self._retired_bucket_merges += getattr(summary, "buckets_merged", 0)
         self._retired_bucket_expiries += getattr(summary, "buckets_expired", 0)
         return summary
+
+    def extract(
+        self, key: Hashable
+    ) -> Optional[Tuple[Optional[HullSummary], Optional[dict]]]:
+        """Remove a key *for migration*: returns ``(summary,
+        buffer_doc)``, or None when the key holds no state here.
+
+        Unlike :meth:`evict` this is not an eviction — no ``on_evict``
+        hook, no eviction counter: the key's whole state (summary plus
+        any not-yet-released reorder buffer) is leaving for another
+        engine, which adopts it via :meth:`adopt` /
+        :meth:`adopt_pending`.  ``points_ingested`` drops by the
+        summary's own stream length, mirroring what adoption adds on
+        the destination, so per-engine counters stay truthful across a
+        live resharding.  ``summary`` may be None when only buffered
+        records exist (admitted but never released under bounded
+        lateness)."""
+        summary = self._summaries.pop(key, None)
+        buf = self._buffers.pop(key, None)
+        if summary is None and buf is None:
+            return None
+        if summary is not None:
+            self.points_ingested -= int(
+                getattr(summary, "points_seen", 0) or 0
+            )
+        buffer_doc = buf.to_doc() if buf is not None and len(buf) else None
+        return summary, buffer_doc
 
     def compact(
         self, drop: Callable[[Hashable, HullSummary], bool]

@@ -11,6 +11,7 @@
 """
 
 from . import metrics
+from .history import ScrapeHistory, render_rates, snapshot_rates
 from .registry import (
     Counter,
     Gauge,
@@ -36,6 +37,9 @@ __all__ = [
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "metrics",
+    "ScrapeHistory",
+    "snapshot_rates",
+    "render_rates",
     "merge_snapshots",
     "obs_enabled",
     "registry",

@@ -184,6 +184,67 @@ SERVE_VERB_SECONDS = Histogram(
     ("verb",),
 )
 
+# -- durability (repro.durable) --------------------------------------------
+
+WAL_APPENDS = Counter(
+    "repro_wal_appends_total",
+    "Entries appended to the write-ahead log, by entry kind.",
+    ("kind",),
+)
+WAL_APPEND_BATCH = WAL_APPENDS.labels("batch")
+WAL_APPEND_INSERT = WAL_APPENDS.labels("insert")
+WAL_APPEND_ADVANCE = WAL_APPENDS.labels("advance")
+WAL_BYTES = Counter(
+    "repro_wal_bytes_total",
+    "Framed bytes appended to write-ahead log segments.",
+)
+WAL_FSYNCS = Counter(
+    "repro_wal_fsyncs_total",
+    "fsync calls issued by the write-ahead log.",
+)
+WAL_ROTATIONS = Counter(
+    "repro_wal_rotations_total",
+    "WAL segment files rotated out (closed at the size threshold).",
+)
+WAL_SNAPSHOTS = Counter(
+    "repro_wal_snapshots_total",
+    "Snapshot compactions written by the write-ahead log.",
+)
+WAL_TORN_FRAMES = Counter(
+    "repro_wal_torn_frames_total",
+    "Torn frames found (and truncated) at a crashed segment tail.",
+)
+WAL_REPLAYED_ENTRIES = Counter(
+    "repro_wal_replayed_entries_total",
+    "WAL entries replayed into an engine during recovery.",
+)
+WAL_REPLAYED_RECORDS = Counter(
+    "repro_wal_replayed_records_total",
+    "Records re-ingested from the WAL during recovery.",
+)
+WAL_REPLAY_REJECTED = Counter(
+    "repro_wal_replay_rejected_total",
+    "Replayed WAL entries rejected by the engine (identically to the "
+    "live ingest that logged them).",
+)
+DEAD_LETTERS_PERSISTED = Counter(
+    "repro_dead_letters_persisted_total",
+    "Late-dropped records appended to the dead-letter log.",
+)
+REPLICA_PROMOTIONS = Counter(
+    "repro_replica_promotions_total",
+    "Standby workers promoted to primary after a worker death.",
+    ("shard",),
+)
+RESIZES = Counter(
+    "repro_resize_total",
+    "Online ring resizes completed.",
+)
+RESIZE_MOVED_KEYS = Counter(
+    "repro_resize_moved_keys_total",
+    "Keys migrated between shards by online ring resizes.",
+)
+
 # -- tracing ---------------------------------------------------------------
 
 SPAN_SECONDS = Histogram(

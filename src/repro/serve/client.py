@@ -183,6 +183,13 @@ class AsyncHullClient:
         reply = await self._request({"op": "advance_time", "now": now})
         return reply["expired"]
 
+    async def resize(self, shards: int) -> dict:
+        """Resize the served ring online (sharded engines only);
+        returns the resize event
+        (``from``/``to``/``moved_keys``/``total_keys``)."""
+        reply = await self._request({"op": "resize", "shards": int(shards)})
+        return reply["resize"]
+
     async def _query(self, what: str, **extra):
         reply = await self._request({"op": "query", "what": what, **extra})
         return reply["result"]

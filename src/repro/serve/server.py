@@ -29,6 +29,11 @@ Verbs:
     counts of a bounded-lateness window.
 ``advance_time``
     ``{"now": t}`` — broadcast window expiry.
+``resize``
+    ``{"shards": n}`` — online ring resize (sharded engines only);
+    replies with the resize event (``from``/``to``/``moved_keys``/
+    ``total_keys``).  Ingest keeps flowing: queued batches apply right
+    after the migration, on the new layout.
 ``subscribe`` / ``unsubscribe``
     start/stop streaming ``{"event": "update", "keys": [...]}`` lines
     to this connection after every batch touching the watched keys.
@@ -76,6 +81,7 @@ _TIMED_VERBS = frozenset(
         "ingest",
         "flush",
         "advance_time",
+        "resize",
         "snapshot",
         "query",
         "subscribe",
@@ -385,6 +391,8 @@ class HullServer:
             return {}
         if op == "advance_time":
             return {"expired": await service.advance_time(msg["now"])}
+        if op == "resize":
+            return {"resize": await service.resize(int(msg["shards"]))}
         if op == "snapshot":
             path = msg.get("path")
             if path is not None:

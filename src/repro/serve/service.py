@@ -140,6 +140,18 @@ class AsyncHullService:
             ingestion.
         own_engine: close the engine on :meth:`aclose` (the service
             took ownership).
+        durability: optional :class:`~repro.durable.DurabilityConfig`
+            (or bare WAL directory), attached to the engine.  Appends
+            happen on the engine thread, write-ahead of each apply —
+            *behind* the coalescing queue deliberately: the drain's
+            coalesce/presort step changes arrival order under bounded
+            lateness, so only the engine-side log captures exactly what
+            was applied and replays bit-identically.  The queue itself
+            is volatile; a ``sync=True`` producer's acknowledgement
+            implies its batch is durable.  To serve a *recovered*
+            engine, build it with :func:`~repro.durable.recover_engine`
+            (which re-attaches the log) and pass ``durability=None``
+            here.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`aclose` explicitly.
@@ -153,6 +165,7 @@ class AsyncHullService:
         tick_interval: Optional[float] = None,
         clock=None,
         own_engine: bool = False,
+        durability=None,
     ):
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
@@ -166,6 +179,8 @@ class AsyncHullService:
             if clock is None:
                 raise ValueError("tick_interval requires a clock")
         self.engine = engine
+        if durability is not None:
+            engine.attach_durability(durability, require_empty=True)
         self.tick_interval = tick_interval
         self.clock = clock
         self.own_engine = own_engine
@@ -502,6 +517,18 @@ class AsyncHullService:
         subscribers like any batch."""
         return await self._run(self.engine.advance_time, float(now))
 
+    async def resize(self, shards: int) -> dict:
+        """Resize a sharded engine's ring online (see
+        :meth:`~repro.shard.ShardedEngine.resize`).  Runs on the engine
+        thread like any other engine touch, so in-flight batches are
+        never interleaved with the migration — producers keep enqueuing
+        throughout, and everything queued applies right after on the
+        new layout."""
+        resize = getattr(self.engine, "resize", None)
+        if resize is None:
+            raise ValueError("resize requires a sharded engine")
+        return await self._run(resize, int(shards))
+
     async def _tick_loop(self) -> None:
         while True:
             await asyncio.sleep(self.tick_interval)
@@ -568,12 +595,14 @@ class AsyncHullService:
         queue_depth = self._queue.qsize() if self._queue else 0
         OBS.SERVE_QUEUE_DEPTH.set(queue_depth)
         OBS.SERVE_SUBSCRIBERS.set(len(self._subscribers))
+        wal = getattr(self.engine, "wal", None)
         return {
             "enqueued_batches": self._enqueued_batches,
             "coalesced_batches": self._coalesced_batches,
             "ingested_records": self._ingested_records,
             "ingest_errors": self._ingest_errors,
             "late_dropped": int(getattr(self.engine, "late_dropped", 0)),
+            "wal_seq": wal.last_seq if wal is not None else None,
             "ticks": self._ticks,
             "subscribers": len(self._subscribers),
             "queue_depth": queue_depth,

@@ -32,6 +32,17 @@ in-process tier — single-record ``insert``, parent-side standing-query
 ``merged_hull``/``diameter``/``width`` query folds — through the shared
 mixins in :mod:`repro.engine.common`, so the two tiers are drop-in
 interchangeable behind one contract.
+
+**Failure domain.**  ``standbys=`` runs each shard as a *lane group*:
+one primary worker plus N standby workers, every request teed to all
+live lanes.  The workers are deterministic, so a standby that applied
+the same slices holds bit-identical state — when the primary dies at
+the pipe layer the first surviving lane is promoted in place and the
+ring keeps serving instead of failing the shard.  ``durability=``
+attaches a write-ahead log (:mod:`repro.durable`) at the parent, where
+batches are framed once for the whole ring; :meth:`resize` grows or
+shrinks the worker count online, migrating only the proportional key
+slice consistent hashing displaces.
 """
 
 from __future__ import annotations
@@ -106,6 +117,10 @@ class ShardStats(BaseStats):
     #: and global queries answered from a warm per-shard partial.
     partials_reduced: int = 0
     partials_served: int = 0
+    #: Replica lanes: standby workers currently alive across the ring,
+    #: and how many primary deaths have been absorbed by promotion.
+    standbys: int = 0
+    promotions: int = 0
 
     def __str__(self) -> str:
         loads = "/".join(str(s["streams"]) for s in self.per_shard)
@@ -119,6 +134,10 @@ class ShardStats(BaseStats):
                 f" partials={self.partials_reduced}"
                 f"/{self.partials_served} served"
             )
+        if self.standbys or self.promotions:
+            base += (
+                f" standbys={self.standbys} promotions={self.promotions}"
+            )
         return base
 
 
@@ -127,6 +146,24 @@ def _default_context():
     back to spawn where fork is unavailable."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _Lane:
+    """One worker process serving a shard slot.
+
+    A shard is a *lane group*: lane 0 is the primary (its replies are
+    the shard's answers), later lanes are standbys applying the same
+    deterministic requests so their engines hold bit-identical state.
+    ``pending`` counts requests sent but not yet collected on this
+    lane's pipe — the unit the reply drain must respect per lane."""
+
+    __slots__ = ("conn", "pipe", "proc", "pending")
+
+    def __init__(self, conn, pipe, proc):
+        self.conn = conn
+        self.pipe = pipe
+        self.proc = proc
+        self.pending = 0
 
 
 class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
@@ -173,6 +210,20 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             on top of it) fetch one small pre-reduced state per shard
             instead of paying the whole fold on the query path.
             ``False`` recomputes per query (the cold tree-reduce).
+        standbys: replica workers per shard (default 0).  Each shard's
+            requests tee to ``1 + standbys`` lanes; determinism keeps
+            the lanes bit-identical, so when a primary dies at the pipe
+            layer the first surviving standby is promoted in place and
+            the shard keeps serving (promotions are recorded in
+            :attr:`promotions` and in the ring stats).  With
+            ``standbys=0`` a dead worker fails its shard fast, exactly
+            as before.
+        durability: optional :class:`~repro.durable.DurabilityConfig`
+            (or a bare WAL directory path).  Batches are framed into a
+            write-ahead log at the parent *before* fan-out, so a crash
+            of the whole process recovers via
+            :func:`~repro.durable.recover_sharded_engine` — snapshot
+            plus tail replay, bit-identical by determinism.
 
     The engine is a context manager; on exit the workers are stopped
     and joined.  All public methods raise :class:`ShardError` when a
@@ -193,9 +244,13 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         transport: str = "frames",
         worker_push: bool = True,
         on_late=None,
+        standbys: int = 0,
+        durability=None,
     ):
         if shards < 1:
             raise ValueError("ShardedEngine needs at least one shard")
+        if standbys < 0:
+            raise ValueError("standbys must be >= 0")
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"unknown transport {transport!r} "
@@ -270,7 +325,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             OBS.SHARD_INFLIGHT.labels(str(i)) for i in range(shards)
         ]
         self._closed = False
-        ctx = (
+        self._ctx = (
             multiprocessing.get_context(start_method)
             if start_method is not None
             else _default_context()
@@ -279,38 +334,75 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         # dead-lettered) before any worker sees a record, so the config
         # shipped to workers must not carry the hook (it may not even
         # pickle under spawn).
-        worker_window = (
+        self._worker_window = (
             replace(self.window, on_late=None)
             if self.window is not None and self.window.on_late is not None
             else self.window
         )
-        self._conns = []
-        self._pipes = []
-        self._procs = []
+        self._max_streams = max_streams
+        self.standbys = int(standbys)
+        #: Promotion events, oldest first: {"shard", "standbys_left"}.
+        self.promotions: List[Dict] = []
+        #: Resize events, oldest first (see :meth:`resize`).
+        self.resize_events: List[Dict] = []
+        self._wal = None
+        self._dead_letter_log = None
+        # Lane groups per shard; _conns/_pipes/_procs mirror the current
+        # primaries (index = shard) for callers that reach into the ring.
+        self._lanes: List[List[_Lane]] = []
+        self._conns: List = []
+        self._pipes: List = []
+        self._procs: List = []
         try:
             for i in range(shards):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=shard_worker_main,
-                    args=(
-                        child_conn,
-                        self.spec,
-                        max_streams,
-                        worker_window,
-                        transport,
-                        self.worker_push,
-                    ),
-                    name=f"repro-shard-{i}",
-                    daemon=True,
+                self._lanes.append(
+                    [self._spawn_lane(i, role) for role in range(standbys + 1)]
                 )
-                proc.start()
-                child_conn.close()  # parent keeps only its end: EOF propagates
-                self._conns.append(parent_conn)
-                self._pipes.append(make_parent_pipe(parent_conn, transport))
-                self._procs.append(proc)
+            self._sync_primary_views()
+            if durability is not None:
+                self.attach_durability(durability, require_empty=True)
         except Exception:
             self.close()
             raise
+
+    def _spawn_lane(self, shard: int, role: int = 0) -> _Lane:
+        """Start one worker process for ``shard`` (role 0 = primary)."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        name = f"repro-shard-{shard}" + (f"-standby{role}" if role else "")
+        proc = self._ctx.Process(
+            target=shard_worker_main,
+            args=(
+                child_conn,
+                self.spec,
+                self._max_streams,
+                self._worker_window,
+                self.transport,
+                self.worker_push,
+            ),
+            name=name,
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only its end: EOF propagates
+        return _Lane(
+            parent_conn, make_parent_pipe(parent_conn, self.transport), proc
+        )
+
+    def _sync_primary_views(self) -> None:
+        """Refresh the primary-lane mirrors after promotion or resize.
+        A shard whose lanes are all dead keeps its stale (dead) entries
+        so per-shard indexing stays valid for external probes."""
+        conns, pipes, procs = [], [], []
+        for i, lanes in enumerate(self._lanes):
+            if lanes:
+                conns.append(lanes[0].conn)
+                pipes.append(lanes[0].pipe)
+                procs.append(lanes[0].proc)
+            else:
+                conns.append(self._conns[i] if i < len(self._conns) else None)
+                pipes.append(self._pipes[i] if i < len(self._pipes) else None)
+                procs.append(self._procs[i] if i < len(self._procs) else None)
+        self._conns, self._pipes, self._procs = conns, pipes, procs
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -327,29 +419,85 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             pass
 
     def close(self) -> None:
-        """Stop every worker and join its process (idempotent)."""
+        """Stop every worker (standby lanes included), join its process,
+        and seal the write-ahead / dead-letter logs (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        for pipe in self._pipes:
+        self._stop_lanes(
+            [lane for lanes in getattr(self, "_lanes", []) for lane in lanes]
+        )
+        if getattr(self, "_wal", None) is not None:
+            self._wal.close()
+        if getattr(self, "_dead_letter_log", None) is not None:
+            self._dead_letter_log.close()
+
+    @staticmethod
+    def _stop_lanes(lanes: Sequence[_Lane]) -> None:
+        """Stop-message, drain, close, and join a set of lanes."""
+        for lane in lanes:
             try:
-                pipe.send(("stop",))
+                lane.pipe.send(("stop",))
             except (BrokenPipeError, OSError, TransportError):
                 pass
-        for pipe in self._pipes:
+        for lane in lanes:
             try:
-                if pipe.poll(1.0):
-                    pipe.recv()
+                if lane.pipe.poll(1.0):
+                    lane.pipe.recv()
             except (EOFError, OSError, TransportError):
                 pass
             # Closes the connection and releases any shared-memory
             # segments the transport owns.
-            pipe.close()
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=1.0)
+            lane.pipe.close()
+        for lane in lanes:
+            lane.proc.join(timeout=5.0)
+            if lane.proc.is_alive():  # pragma: no cover - stuck worker
+                lane.proc.terminate()
+                lane.proc.join(timeout=1.0)
+
+    # -- durability --------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.durable.WalWriter`, or None."""
+        return self._wal
+
+    def _wal_meta(self) -> dict:
+        return {
+            "tier": "shard",
+            "spec": self.spec.to_doc(),
+            "window": self.window.to_doc() if self.window else None,
+            "shards": self.num_shards,
+        }
+
+    def attach_durability(self, durability, *, require_empty: bool = False):
+        """Attach a write-ahead log (and dead-letter queue) to the ring.
+
+        Batches are framed once, parent-side, before fan-out — one log
+        covers the whole ring regardless of shard layout, and recovery
+        (:func:`~repro.durable.recover_sharded_engine`) may replay it
+        onto any worker count.  ``require_empty`` refuses a directory
+        that already holds a log (the constructor path: silently
+        appending to someone else's log is never right there)."""
+        from ..durable.deadletter import attach_dead_letters
+        from ..durable.wal import DurabilityConfig, WalError, WalWriter
+
+        if self._wal is not None:
+            raise WalError("engine already has a write-ahead log attached")
+        if not isinstance(durability, DurabilityConfig):
+            durability = DurabilityConfig(durability)
+        self._wal = WalWriter(
+            durability, meta=self._wal_meta(), require_empty=require_empty
+        )
+        if durability.dead_letters:
+            self._dead_letter_log = attach_dead_letters(
+                self, durability.wal_dir
+            )
+        return self._wal
+
+    def _maybe_compact(self) -> None:
+        if self._wal is not None and self._wal.should_compact():
+            self._wal.write_snapshot(self.snapshot_state())
 
     # -- worker RPC --------------------------------------------------------
 
@@ -357,7 +505,34 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         if self._closed:
             raise ShardError("ShardedEngine is closed")
 
+    def _drop_lane(self, shard: int, lane: _Lane) -> None:
+        """Write a dead lane off the shard.  When the dead lane was the
+        primary and standbys survive, the first survivor is promoted in
+        place — its engine holds bit-identical state (same deterministic
+        requests), so the shard keeps serving without replay."""
+        lanes = self._lanes[shard]
+        if lane not in lanes:
+            return
+        was_primary = lanes[0] is lane
+        lanes.remove(lane)
+        try:
+            lane.pipe.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+        if lane.proc.is_alive():
+            lane.proc.terminate()
+        lane.proc.join(timeout=1.0)
+        if was_primary and lanes:
+            self._sync_primary_views()
+            OBS.REPLICA_PROMOTIONS.labels(str(shard)).inc()
+            self.promotions.append(
+                {"shard": shard, "standbys_left": len(lanes) - 1}
+            )
+
     def _request(self, shard: int, op: str, *args) -> None:
+        """Tee one request to every live lane of ``shard``.  A lane
+        whose send fails is dropped (possibly promoting a standby);
+        the request only errors when *no* lane accepted it."""
         msg = (op,) + args
         if tracing():
             # Propagate the active trace/span ids across the pipe so a
@@ -367,28 +542,65 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             if ctx is not None:
                 msg = ("~trace", ctx, msg)
         t0 = time.perf_counter()
-        try:
-            self._pipes[shard].send(msg)
-        except (BrokenPipeError, OSError) as exc:
-            raise ShardError(f"shard {shard} is gone: {exc}") from exc
+        sent = 0
+        last_exc: Optional[BaseException] = None
+        for lane in list(self._lanes[shard]):
+            try:
+                lane.pipe.send(msg)
+            except (BrokenPipeError, OSError) as exc:
+                last_exc = exc
+                self._drop_lane(shard, lane)
+            else:
+                lane.pending += 1
+                sent += 1
+        if not sent:
+            raise ShardError(
+                f"shard {shard} is gone: {last_exc or 'no live workers'}"
+            ) from last_exc
         self._send_hist[shard].observe(time.perf_counter() - t0)
         self._inflight[shard].inc()
 
     def _collect(self, shard: int):
+        """Collect one reply from every pending lane of ``shard``.  The
+        first live lane's reply (the primary's, when it survives) is
+        the shard's answer; a lane that dies mid-reply is dropped —
+        only when *every* lane died does the shard error surface."""
         t0 = time.perf_counter()
+        result = None
+        got = False
+        last_exc: Optional[BaseException] = None
+        desync: Optional[TransportError] = None
         try:
-            status, payload = self._pipes[shard].recv()
-        except (EOFError, OSError) as exc:
-            raise ShardError(f"shard {shard} died mid-request") from exc
-        except TransportError as exc:
-            # The reply stream is unreadable — a desynchronised frame
-            # cannot be skipped safely, so the shard is written off.
-            raise ShardError(
-                f"shard {shard} reply stream desynchronised: {exc}"
-            ) from exc
+            for lane in [l for l in self._lanes[shard] if l.pending > 0]:
+                lane.pending -= 1
+                try:
+                    reply = lane.pipe.recv()
+                except (EOFError, OSError) as exc:
+                    if last_exc is None:
+                        last_exc = exc
+                    self._drop_lane(shard, lane)
+                    continue
+                except TransportError as exc:
+                    # The reply stream is unreadable — a desynchronised
+                    # frame cannot be skipped safely, so this lane is
+                    # written off.
+                    if desync is None:
+                        desync = exc
+                    self._drop_lane(shard, lane)
+                    continue
+                if not got:
+                    result = reply
+                    got = True
         finally:
             self._collect_hist[shard].observe(time.perf_counter() - t0)
             self._inflight[shard].dec()
+        if not got:
+            if desync is not None:
+                raise ShardError(
+                    f"shard {shard} reply stream desynchronised: {desync}"
+                ) from desync
+            raise ShardError(f"shard {shard} died mid-request") from last_exc
+        status, payload = result
         if status != "ok":
             raise ShardError(f"shard {shard}: {payload}")
         return payload
@@ -521,6 +733,17 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             else None
         )
         self._check_ring_ts(ts_arr, 1)
+        if self._wal is not None:
+            # Logged before the lateness verdict: a late record replays
+            # late (same parent-side judgment), so the recovered ring
+            # reproduces the drop counters too.
+            self._wal.append_insert(
+                key,
+                p[0],
+                p[1],
+                float(ts_arr[0]) if ts_arr is not None else None,
+                None,
+            )
         if self._event_clock is not None:
             ts = float(ts_arr[0])
             if ts < self._event_clock.watermark:
@@ -539,6 +762,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             self.points_ingested += 1
             OBS.SHARD_INGEST_RECORDS.inc()
             self._notify({key})
+            self._maybe_compact()
             return changed
         changed = bool(
             self._call(self.shard_for(key), "insert", key, p[0], p[1], ts)
@@ -548,6 +772,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         self.points_ingested += 1
         OBS.SHARD_INGEST_RECORDS.inc()
         self._notify({key})
+        self._maybe_compact()
         return changed
 
     def ingest(
@@ -614,6 +839,11 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         self._check_ring_ts(ts_arr, len(arr))
         if len(arr) == 0:
             return 0
+        if self._wal is not None:
+            # Write-ahead, whole batch, before partitioning: the log is
+            # layout-independent (replay re-routes through whatever ring
+            # recovers it), and records judged late below replay late.
+            self._wal.append_batch(key_arr, arr, ts_arr)
         p0, b0 = self.points_ingested, self.batches_ingested
         with span("shard.ingest", records=len(arr)) as sp:
             changed = self._ingest_validated(key_arr, arr, ts_arr)
@@ -622,6 +852,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             OBS.SHARD_INGEST_RECORDS.inc(self.points_ingested - p0)
         if self.batches_ingested > b0:
             OBS.SHARD_INGEST_BATCHES.inc(self.batches_ingested - b0)
+        self._maybe_compact()
         return changed
 
     def _ingest_validated(
@@ -788,6 +1019,9 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
                 "advance_time requires an engine with a time-based window"
             )
         now = float(now)
+        if self._wal is not None:
+            # Expiry mutates worker state, so the heartbeat must replay.
+            self._wal.append_advance(now, None)
         if self._event_clock is not None:
             wm = self._event_clock.peek(now)
             replies = self._broadcast("advance_time", now, wm)
@@ -802,6 +1036,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             touched.update(r[1])
         if touched:
             self._notify(touched)
+        self._maybe_compact()
         return expired
 
     def get(self, key: Hashable) -> Optional[HullSummary]:
@@ -888,8 +1123,102 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             partials_served=sum(
                 s.get("partials_served", 0) for s in per_shard
             ),
+            standbys=sum(max(len(lanes) - 1, 0) for lanes in self._lanes),
+            promotions=len(self.promotions),
             obs=merged_obs,
         )
+
+    # -- online resharding -------------------------------------------------
+
+    def resize(self, shards: int) -> Dict:
+        """Resize the ring to ``shards`` workers without stopping it.
+
+        Consistent hashing keeps the reshuffle proportional: growing
+        moves keys only *onto* the new shards, shrinking moves only the
+        retired shards' keys — every other key stays where it is (the
+        migrated fraction is about ``|old - new| / max(old, new)``).
+        Each displaced key moves through the workers' ``extract`` /
+        ``adopt`` pair — summary and any pending reorder-buffer records
+        together — so nothing is lost and per-key state is preserved
+        exactly.  New lanes (with the ring's ``standbys``) spawn before
+        any key moves; surplus lanes stop only after their keys are
+        safely adopted.  Returns the resize event, also appended to
+        :attr:`resize_events`:
+        ``{"from", "to", "moved_keys", "total_keys"}``.
+
+        The write-ahead log, if attached, is untouched: the log is
+        layout-independent (replay re-routes every record), so a resize
+        needs no logging of its own.
+        """
+        self._check_open()
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError("resize needs at least one shard")
+        old = self.num_shards
+        if shards == old:
+            return {
+                "from": old,
+                "to": old,
+                "moved_keys": 0,
+                "total_keys": len(self),
+            }
+        new_ring = HashRing(shards, replicas=self.ring.replicas)
+
+        def route(key):
+            if isinstance(key, np.generic):
+                key = key.item()
+            return new_ring.shard_for(key)
+
+        # Grow first: destinations must be serving before keys move.
+        for i in range(old, shards):
+            self._lanes.append(
+                [self._spawn_lane(i, role) for role in range(self.standbys + 1)]
+            )
+        for i in range(len(self._send_hist), shards):
+            label = str(i)
+            self._send_hist.append(OBS.SHARD_SEND_SECONDS.labels(label))
+            self._collect_hist.append(OBS.SHARD_COLLECT_SECONDS.labels(label))
+            self._inflight.append(OBS.SHARD_INFLIGHT.labels(label))
+        self._sync_primary_views()
+        moved = total_keys = 0
+        for src in range(old):
+            shard_keys = self._call(src, "keys")
+            total_keys += len(shard_keys)
+            movers = [k for k in shard_keys if route(k) != src]
+            if not movers:
+                continue
+            extracted = self._call(src, "extract", movers)
+            for key, state, buffer_doc in extracted:
+                dst = route(key)
+                if state is not None:
+                    self._call(dst, "adopt", key, state)
+                if buffer_doc is not None:
+                    self._call(dst, "adopt_buffer", key, buffer_doc)
+            moved += len(extracted)
+        retired: List[List[_Lane]] = []
+        if shards < old:
+            retired = self._lanes[shards:]
+            del self._lanes[shards:]
+            del self._send_hist[shards:]
+            del self._collect_hist[shards:]
+            del self._inflight[shards:]
+        self.ring = new_ring
+        self.num_shards = shards
+        self._route_cache.clear()
+        self._batch_route = None
+        self._sync_primary_views()
+        self._stop_lanes([lane for lanes in retired for lane in lanes])
+        OBS.RESIZES.inc()
+        if moved:
+            OBS.RESIZE_MOVED_KEYS.inc(moved)
+        event = {
+            "from": old,
+            "to": shards,
+            "moved_keys": moved,
+            "total_keys": total_keys,
+        }
+        self.resize_events.append(event)
+        return event
 
     # -- snapshot / restore ------------------------------------------------
 
@@ -947,6 +1276,9 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         transport: str = "frames",
         worker_push: bool = True,
         on_late=None,
+        standbys: int = 0,
+        window=None,
+        durability=None,
     ) -> "ShardedEngine":
         """Rebuild a ring from a :meth:`snapshot_state` document.
 
@@ -957,13 +1289,18 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         its new owner; per-key summaries are preserved exactly, while
         per-shard point counters are re-derived from the summaries' own
         ``points_seen`` (per-shard *batch* counts are not reconstructed).
+        ``window=None`` keeps the snapshot's own window config;
+        ``standbys``/``durability`` configure the rebuilt ring like the
+        constructor (the durability directory must be fresh — recovery
+        re-attaches to an existing log *after* replay instead).
         """
         check_snapshot_doc(
             doc, SHARD_FORMAT, SHARD_FORMAT_VERSION, "a shard snapshot"
         )
         spec = SummarySpec.from_doc(doc["spec"])
-        window_doc = doc.get("window")
-        window = WindowConfig.from_doc(window_doc) if window_doc else None
+        if window is None:
+            window_doc = doc.get("window")
+            window = WindowConfig.from_doc(window_doc) if window_doc else None
         target_shards = shards if shards is not None else int(doc["shards"])
         target_replicas = (
             replicas if replicas is not None else int(doc["replicas"])
@@ -978,6 +1315,8 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             transport=transport,
             worker_push=worker_push,
             on_late=on_late,
+            standbys=standbys,
+            durability=durability,
         )
         same_layout = (
             target_shards == int(doc["shards"])
@@ -1033,6 +1372,9 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
         transport: str = "frames",
         worker_push: bool = True,
         on_late=None,
+        standbys: int = 0,
+        window=None,
+        durability=None,
     ) -> "ShardedEngine":
         """Rebuild a ring from a :meth:`snapshot` file."""
         doc = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -1045,4 +1387,7 @@ class ShardedEngine(SubscriberAPI, ExtentQueryAPI, EventTimeAPI):
             transport=transport,
             worker_push=worker_push,
             on_late=on_late,
+            standbys=standbys,
+            window=window,
+            durability=durability,
         )

@@ -191,6 +191,22 @@ class _ShardServer:
         self.engine.adopt_pending(key, buffer_doc)
         return True
 
+    def op_extract(self, keys):
+        # Live resharding: hand the listed keys' whole state (summary
+        # snapshot + pending reorder buffer) to the parent, removing
+        # them here.  Keys with no local state are skipped.
+        out = []
+        for key in keys:
+            got = self.engine.extract(key)
+            if got is None:
+                continue
+            summary, buffer_doc = got
+            state = None if summary is None else summary_state(summary)
+            out.append([key, state, buffer_doc])
+        if out:
+            self._mutated()
+        return out
+
     def op_adopt(self, key, snapshot):
         self._mutated()
         summary = summary_from_state(

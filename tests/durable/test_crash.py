@@ -1,0 +1,145 @@
+"""Full-process crash recovery: SIGKILL the whole engine, replay the WAL.
+
+A child process ingests a deterministic stream with ``fsync="always"``
+durability and prints ``ACK n`` only after each batch's WAL frame is on
+disk.  The parent SIGKILLs it mid-stream — no atexit, no flush, maybe a
+torn final frame — then recovers and checks the invariant that makes
+the WAL a real durability story:
+
+* nothing acknowledged is lost (replayed entries >= acked batches), and
+* the recovered state is bit-identical to direct ingestion of exactly
+  the replayed prefix of the same deterministic stream.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.durable import recover_engine
+from repro.engine import StreamEngine
+from repro.shard import ShardedEngine, SummarySpec
+
+SPEC = SummarySpec("AdaptiveHull", {"r": 8})
+SEED = 42
+BATCH = 20
+POOL = [f"key-{i}" for i in range(6)]
+
+CHILD = """
+import sys, time
+import numpy as np
+from repro.durable import DurabilityConfig
+from repro.engine import StreamEngine
+from repro.shard import ShardedEngine, SummarySpec
+
+wal_dir, tier = sys.argv[1], sys.argv[2]
+spec = SummarySpec("AdaptiveHull", {"r": 8})
+durability = DurabilityConfig(wal_dir, fsync="always")
+if tier == "stream":
+    eng = StreamEngine(spec.build, durability=durability)
+else:
+    eng = ShardedEngine(spec, shards=2, durability=durability)
+rng = np.random.default_rng(%d)
+pool = np.array(%r)
+for batch in range(10_000):
+    keys = pool[rng.integers(0, len(pool), %d)]
+    pts = rng.normal(0.0, 10.0, (%d, 2))
+    eng.ingest_arrays(keys, pts)
+    print("ACK", batch + 1, flush=True)
+""" % (SEED, POOL, BATCH, BATCH)
+
+
+def batches(n):
+    """Regenerate the child's stream: same seed, same draw order."""
+    rng = np.random.default_rng(SEED)
+    pool = np.array(POOL)
+    out = []
+    for _ in range(n):
+        keys = pool[rng.integers(0, len(pool), BATCH)]
+        pts = rng.normal(0.0, 10.0, (BATCH, 2))
+        out.append((keys, pts))
+    return out
+
+
+def crash_child(wal_dir, tier, kill_after=5):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(wal_dir), tier],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    acked = 0
+    try:
+        for line in proc.stdout:
+            if line.startswith("ACK"):
+                acked = int(line.split()[1])
+            if acked >= kill_after:
+                # SIGKILL, not terminate: no cleanup handler runs.
+                os.kill(proc.pid, signal.SIGKILL)
+                break
+    finally:
+        proc.stdout.close()
+        proc.wait(timeout=10)
+    assert proc.returncode == -signal.SIGKILL
+    assert acked >= kill_after
+    return acked
+
+
+@pytest.mark.parametrize("tier", ["stream", "shard"])
+def test_sigkill_loses_no_acknowledged_batch(tmp_path, tier):
+    wal_dir = tmp_path / "wal"
+    acked = crash_child(wal_dir, tier)
+
+    rec = recover_engine(wal_dir)
+    try:
+        replayed = rec.last_replay["entries"]
+        # Zero lost acknowledged batches: every ACKed frame was fsynced
+        # before the ACK, so it must have survived the SIGKILL.
+        assert replayed >= acked
+        if tier == "stream":
+            assert isinstance(rec, StreamEngine)
+            ref = StreamEngine(SPEC.build)
+        else:
+            assert isinstance(rec, ShardedEngine)
+            assert rec.num_shards == 2
+            ref = ShardedEngine(SPEC, shards=2)
+        try:
+            for keys, pts in batches(replayed):
+                ref.ingest_arrays(keys, pts)
+            assert rec.snapshot_state() == ref.snapshot_state()
+            for k in POOL:
+                assert rec.hull(k) == ref.hull(k)
+        finally:
+            ref.close()
+    finally:
+        rec.close()
+
+
+def test_recovered_engine_keeps_ingesting_durably(tmp_path):
+    """Crash, recover with durability, extend, recover again."""
+    from repro.durable import DurabilityConfig
+
+    wal_dir = tmp_path / "wal"
+    crash_child(wal_dir, "stream", kill_after=3)
+
+    rec = recover_engine(wal_dir, durability=DurabilityConfig(wal_dir))
+    replayed = rec.last_replay["entries"]
+    extra = batches(replayed + 2)[replayed:]
+    for keys, pts in extra:
+        rec.ingest_arrays(keys, pts)
+    expect = rec.snapshot_state()
+    rec.close()
+
+    again = recover_engine(wal_dir)
+    try:
+        assert again.last_replay["entries"] == replayed + 2
+        assert again.snapshot_state() == expect
+    finally:
+        again.close()

@@ -1,0 +1,152 @@
+"""ScrapeHistory: snapshot differencing into per-second rates."""
+
+import pytest
+
+from repro.obs import ScrapeHistory
+from repro.obs.history import render_rates, snapshot_rates
+
+
+def counter(name, value, labels="", help_=""):
+    return {name: {"type": "counter", "help": help_, "values": {labels: value}}}
+
+
+def snap(records=0.0, depth=0.0, lat=(0, 0.0)):
+    """A small fabricated registry snapshot: counter + gauge + histogram."""
+    count, total = lat
+    return {
+        "recs_total": {
+            "type": "counter",
+            "help": "records",
+            "values": {"": records},
+        },
+        "queue_depth": {
+            "type": "gauge",
+            "help": "depth",
+            "values": {"": depth},
+        },
+        "latency_seconds": {
+            "type": "histogram",
+            "help": "latency",
+            "values": {"": {"count": count, "sum": total, "buckets": {}}},
+        },
+    }
+
+
+class TestSnapshotRates:
+    def test_counter_becomes_delta_per_second(self):
+        rates = snapshot_rates(snap(records=100.0), snap(records=40.0), 2.0)
+        assert rates["recs_total"]["values"][""] == 30.0
+        assert rates["recs_total"]["type"] == "counter"
+
+    def test_gauge_passes_through_latest_value(self):
+        rates = snapshot_rates(snap(depth=7.0), snap(depth=99.0), 2.0)
+        assert rates["queue_depth"]["values"][""] == 7.0
+
+    def test_histogram_becomes_rate_and_mean(self):
+        rates = snapshot_rates(
+            snap(lat=(30, 6.0)), snap(lat=(10, 2.0)), 4.0
+        )
+        hist = rates["latency_seconds"]["values"][""]
+        assert hist["rate"] == 5.0  # 20 observations / 4s
+        assert hist["mean"] == 0.2  # 4.0s over 20 observations
+
+    def test_new_series_starts_from_zero(self):
+        rates = snapshot_rates(counter("c", 10.0), {}, 5.0)
+        assert rates["c"]["values"][""] == 2.0
+
+    def test_counter_reset_is_skipped_not_negative(self):
+        rates = snapshot_rates(counter("c", 3.0), counter("c", 50.0), 1.0)
+        assert rates["c"]["values"] == {}
+
+    def test_elapsed_must_be_positive(self):
+        with pytest.raises(ValueError, match="elapsed"):
+            snapshot_rates(snap(), snap(), 0.0)
+
+
+class TestRenderRates:
+    def test_renders_one_line_per_series(self):
+        text = render_rates(
+            snapshot_rates(
+                snap(records=10.0, depth=3.0, lat=(4, 2.0)), snap(), 2.0
+            )
+        )
+        lines = text.splitlines()
+        assert "latency_seconds 2/s mean=0.5" in lines
+        assert "queue_depth 3" in lines
+        assert "recs_total 5/s" in lines
+
+    def test_labels_are_kept_on_the_series(self):
+        text = render_rates(
+            snapshot_rates(
+                counter("c", 8.0, labels='shard="1"'),
+                counter("c", 0.0, labels='shard="1"'),
+                2.0,
+            )
+        )
+        assert text == 'c{shard="1"} 4/s'
+
+    def test_skip_zero_hides_idle_series(self):
+        rates = snapshot_rates(snap(records=0.0), snap(records=0.0), 1.0)
+        assert "recs_total" not in render_rates(rates)
+        assert "recs_total 0/s" in render_rates(rates, skip_zero=False)
+
+
+class TestScrapeHistory:
+    def test_needs_two_scrapes(self):
+        hist = ScrapeHistory()
+        hist.record(snap(), t=0.0)
+        with pytest.raises(ValueError, match="two scrapes"):
+            hist.rates()
+
+    def test_rates_span_oldest_to_newest(self):
+        hist = ScrapeHistory()
+        hist.record(snap(records=0.0), t=0.0)
+        hist.record(snap(records=10.0), t=1.0)
+        hist.record(snap(records=40.0), t=2.0)
+        assert hist.rates()["recs_total"]["values"][""] == 20.0
+        assert hist.span_seconds() == 2.0
+
+    def test_span_narrows_to_recent_scrapes(self):
+        hist = ScrapeHistory()
+        hist.record(snap(records=0.0), t=0.0)
+        hist.record(snap(records=10.0), t=9.0)
+        hist.record(snap(records=40.0), t=10.0)
+        # Only the last second: (40 - 10) / 1s.
+        assert hist.rates(span=1.0)["recs_total"]["values"][""] == 30.0
+        assert hist.span_seconds(span=1.0) == 1.0
+
+    def test_ring_capacity_evicts_oldest(self):
+        hist = ScrapeHistory(capacity=2)
+        hist.record(snap(records=0.0), t=0.0)
+        hist.record(snap(records=10.0), t=1.0)
+        hist.record(snap(records=40.0), t=2.0)
+        assert len(hist) == 2
+        assert hist.rates()["recs_total"]["values"][""] == 30.0
+
+    def test_capacity_must_hold_a_pair(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ScrapeHistory(capacity=1)
+
+    def test_record_defaults_to_process_registry(self):
+        hist = ScrapeHistory()
+        first = hist.record(t=0.0)
+        assert isinstance(first, dict)
+        hist.record(t=1.0)
+        assert isinstance(hist.rates(), dict)
+
+    def test_render_has_interval_header(self):
+        hist = ScrapeHistory()
+        hist.record(snap(records=0.0), t=0.0)
+        hist.record(snap(records=5.0), t=2.0)
+        text = hist.render()
+        assert text.startswith("# rates over 2.0s\n")
+        assert "recs_total 2.5/s" in text
+
+    def test_render_all_zero_placeholder(self):
+        # Counters only: a gauge always renders (it is a level, not a
+        # rate), so an idle counter-only registry collapses to the
+        # placeholder line.
+        hist = ScrapeHistory()
+        hist.record(counter("c", 5.0), t=0.0)
+        hist.record(counter("c", 5.0), t=1.0)
+        assert "# (all zero)" in hist.render()

@@ -150,3 +150,71 @@ class TestSlowWorker:
             for k in pool:
                 assert eng.hull(k) == ref.hull(k)
             assert eng.stats().points_ingested == len(keys)
+
+
+@pytest.mark.parametrize("transport", TRANSPORT_PARAMS)
+class TestDeadWorkerWithStandbys:
+    """The same deaths, with replicas enabled: instead of the fail-fast
+    ShardError the standby lane is promoted and service continues —
+    the dead-worker contract above only holds when ``standbys=0``."""
+
+    def test_kill_mid_batch_keeps_serving(self, transport):
+        keys, pts, pool = workload()
+        ref = StreamEngine(SPEC.build)
+        ref.ingest_arrays(keys, pts)
+        ref.ingest_arrays(keys, pts)
+        with ShardedEngine(
+            SPEC, shards=3, transport=transport, standbys=1
+        ) as eng:
+            eng.ingest_arrays(keys, pts)
+            victim = eng.shard_for(pool[0])
+            kill_worker(eng, victim)
+            eng.ingest_arrays(keys, pts)  # promotes in-line, no error
+            for k in pool:
+                assert eng.hull(k) == ref.hull(k)
+            assert eng.stats().promotions == 1
+
+    def test_kill_mid_query_keeps_answering(self, transport):
+        keys, pts, pool = workload()
+        ref = StreamEngine(SPEC.build)
+        ref.ingest_arrays(keys, pts)
+        with ShardedEngine(
+            SPEC, shards=3, transport=transport, standbys=1
+        ) as eng:
+            eng.ingest_arrays(keys, pts)
+            kill_worker(eng, 1)
+            t0 = time.monotonic()
+            merged = eng.merged_summary()  # broadcast survives the corpse
+            assert time.monotonic() - t0 < 10.0
+            assert merged.points_seen == ref.merged_summary().points_seen
+            for k in pool:
+                assert eng.hull(k) == ref.hull(k)
+
+    def test_exhausted_lane_group_fails_fast_again(self, transport):
+        keys, pts, pool = workload()
+        with ShardedEngine(
+            SPEC, shards=2, transport=transport, standbys=1
+        ) as eng:
+            eng.ingest_arrays(keys, pts)
+            kill_worker(eng, 0)
+            eng.merged_summary()  # promotion consumed the standby
+            kill_worker(eng, 0)
+            for _ in range(3):  # back to the standbys=0 contract
+                with pytest.raises(ShardError):
+                    eng.merged_summary()
+
+    def test_close_completes_with_standbys_after_death(self, transport):
+        keys, pts, pool = workload()
+        eng = ShardedEngine(
+            SPEC, shards=3, transport=transport, standbys=1
+        )
+        try:
+            eng.ingest_arrays(keys, pts)
+            kill_worker(eng, 2)
+        finally:
+            t0 = time.monotonic()
+            eng.close()
+            assert time.monotonic() - t0 < 10.0
+        for lanes in eng._lanes:
+            for lane in lanes:
+                assert not lane.proc.is_alive()

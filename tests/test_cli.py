@@ -208,3 +208,170 @@ class TestCommands:
         assert "fig10_adaptive.svg" in out
         assert (tmp_path / "fig10_adaptive.svg").exists()
         assert (tmp_path / "fig10_uniform.svg").exists()
+
+
+class TestDurableParser:
+    def test_durable_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["durable"])
+
+    def test_recover_defaults(self):
+        args = build_parser().parse_args(["durable", "recover", "wal"])
+        assert args.durable_cmd == "recover"
+        assert args.wal_dir == "wal"
+        assert args.workers is None and args.replicas == 0
+        assert args.snapshot is None and not args.compact
+
+    def test_dead_letters_defaults(self):
+        args = build_parser().parse_args(["durable", "dead-letters", "wal"])
+        assert args.limit == 20
+        assert not args.replay and not args.truncate
+
+    def test_shard_gains_wal_and_replica_flags(self):
+        args = build_parser().parse_args(["shard"])
+        assert args.wal_dir is None and args.replicas == 0
+        args = build_parser().parse_args(
+            ["shard", "--wal-dir", "d", "--replicas", "2"]
+        )
+        assert args.wal_dir == "d" and args.replicas == 2
+
+    def test_serve_run_gains_wal_and_replica_flags(self):
+        args = build_parser().parse_args(["serve", "run"])
+        assert args.wal_dir is None and args.replicas == 0
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(SystemExit, match="--replicas"):
+            main(["shard", "--workers", "2", "--replicas", "-1"])
+
+    def test_replicas_need_workers(self):
+        with pytest.raises(SystemExit, match="--replicas"):
+            main(["serve", "run", "--replicas", "1", "--selfcheck"])
+
+
+class TestDurableCommands:
+    def _write_late_wal(self, wal_dir):
+        """A WAL with two dead-lettered slices, built via the API."""
+        import numpy as np
+
+        from repro.durable import DurabilityConfig
+        from repro.engine import StreamEngine
+        from repro.shard import SummarySpec
+        from repro.window import WindowConfig
+
+        eng = StreamEngine(
+            SummarySpec("AdaptiveHull", {"r": 8}).build,
+            window=WindowConfig(horizon=5.0, max_delay=1.0),
+            durability=DurabilityConfig(wal_dir),
+        )
+        ts = np.arange(40, dtype=np.float64) / 4.0
+        keys = np.array([f"k-{i % 4}" for i in range(40)])
+        pts = np.arange(80, dtype=np.float64).reshape(40, 2)
+        eng.ingest_arrays(keys, pts, ts=ts)
+        for i in range(2):
+            eng.ingest_arrays(
+                np.array([f"late-{i}"]),
+                np.array([[float(i), -float(i)]]),
+                ts=np.array([0.0]),
+            )
+        eng.close()
+
+    def test_shard_wal_roundtrip(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal")
+        argv = [
+            "shard", "--n", "4000", "--keys", "8",
+            "--workers", "2", "--wal-dir", wal,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "wal          : seq" in out
+
+        assert main(["durable", "inspect", wal]) == 0
+        out = capsys.readouterr().out
+        assert "tier         : shard x2" in out
+        assert "spec         : AdaptiveHull" in out
+
+        assert main(["durable", "recover", wal]) == 0
+        out = capsys.readouterr().out
+        assert "recovered    :" in out
+        assert "records      : 4,000" in out
+        assert "tier         : sharded x2" in out
+
+        # A second run against the same WAL continues from it.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "recovered    : " in out
+        assert "records      : 8,000" in out
+
+    def test_recover_workers_zero_and_snapshot(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal")
+        snap = tmp_path / "rec.json"
+        assert main(
+            ["shard", "--n", "2000", "--workers", "2", "--wal-dir", wal]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["durable", "recover", wal, "--workers", "0",
+             "--snapshot", str(snap)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tier         : in-process" in out
+        assert snap.exists()
+
+    def test_recover_compact_skips_replayed_tail(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal")
+        assert main(
+            ["shard", "--n", "2000", "--workers", "2", "--wal-dir", wal]
+        ) == 0
+        capsys.readouterr()
+        assert main(["durable", "recover", wal, "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted    :" in out
+        # The compaction snapshot makes the next recovery's tail empty.
+        assert main(["durable", "recover", wal]) == 0
+        out = capsys.readouterr().out
+        assert "recovered    : 0 WAL entries" in out
+
+    def test_compact_refuses_tier_override(self, tmp_path):
+        with pytest.raises(SystemExit, match="--compact"):
+            main(
+                ["durable", "recover", str(tmp_path), "--workers", "0",
+                 "--compact"]
+            )
+
+    def test_inspect_without_wal_fails(self, tmp_path, capsys):
+        assert main(["durable", "inspect", str(tmp_path / "nope")]) == 1
+        assert "no WAL" in capsys.readouterr().out
+
+    def test_dead_letters_list_replay_truncate(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal")
+        self._write_late_wal(wal)
+
+        assert main(["durable", "dead-letters", wal]) == 0
+        out = capsys.readouterr().out
+        assert "dead letters : 2 slices / 2 records" in out
+        assert "key='late-0'" in out
+
+        assert main(
+            ["durable", "dead-letters", wal, "--replay", "--truncate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "redriven     : 2 slices / 2 records (0 skipped)" in out
+        assert "truncated    : 2 slices dropped" in out
+
+        # The redriven records are now part of the recovered state.
+        assert main(["durable", "recover", wal]) == 0
+        out = capsys.readouterr().out
+        assert "records      : 42" in out
+
+    def test_metrics_watch_prints_rates(self, capsys):
+        assert main(
+            [
+                "metrics", "--n", "20000", "--keys", "4",
+                "--batch", "2000", "--watch", "0.0001",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# rates over" in out
+        assert "/s" in out
+        # The final page still carries the absolute totals.
+        assert "repro_ingest_records_total" in out
