@@ -279,6 +279,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sbench.add_argument("--seed", type=int, default=0)
 
+    gw = sub.add_parser(
+        "gateway",
+        help="multi-tenant HTTP/SSE front door (auth, quotas, rate limits)",
+    )
+    gw.add_argument("--host", default="127.0.0.1")
+    gw.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 picks an ephemeral port, printed on start)",
+    )
+    gw.add_argument(
+        "--tenants", default=None,
+        help="tenant registry config (.json or .toml; see repro.gateway); "
+        "default: a demo registry with tenants alpha/beta (tokens "
+        "alpha-token/beta-token) and admin token admin-token",
+    )
+    gw.add_argument("--r", type=int, default=32, help="adaptive parameter r")
+    mode = gw.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--last-n", type=int, default=None,
+        help="count-based window per key (default: no window)",
+    )
+    mode.add_argument(
+        "--horizon", type=float, default=None,
+        help="time-based window in seconds (records carry wall-clock ts)",
+    )
+    gw.add_argument(
+        "--max-delay", type=float, default=None,
+        help="bounded-lateness tolerance in seconds (needs --horizon)",
+    )
+    gw.add_argument(
+        "--workers", type=int, default=0,
+        help="shard worker processes (0 = in-process StreamEngine)",
+    )
+    gw.add_argument(
+        "--replicas", type=int, default=0,
+        help="standby replica workers per shard (needs --workers >= 1)",
+    )
+    gw.add_argument(
+        "--wal-dir", default=None,
+        help="write-ahead log directory (recovered first when it holds "
+        "a prior log; the logged window/spec win over the flags)",
+    )
+    gw.add_argument(
+        "--tick", type=float, default=None,
+        help="advance_time tick interval in seconds (time windows only)",
+    )
+    gw.add_argument(
+        "--duration", type=float, default=0.0,
+        help="serve for this many seconds then drain and exit (0 = forever)",
+    )
+    gw.add_argument(
+        "--selfcheck", action="store_true",
+        help="run a loopback multi-tenant workload against the live "
+        "gateway, verify isolation and metrics, then exit",
+    )
+    gw.add_argument(
+        "--snapshot", default=None,
+        help="write a final engine snapshot here on shutdown",
+    )
+    gw.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="additionally serve plain-HTTP GET /metrics on this port "
+        "(0 = ephemeral, printed on start); the main port serves "
+        "/metrics too",
+    )
+
     met = sub.add_parser(
         "metrics",
         help="run a keyed workload and dump/watch the obs registry",
@@ -329,6 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarise a WAL directory without replaying it"
     )
     dins.add_argument("wal_dir", help="write-ahead log directory")
+    dins.add_argument(
+        "--fsck", action="store_true",
+        help="verify every segment's frame checksums, entry decoding, "
+        "and sequence contiguity end-to-end (not just the torn tail); "
+        "reports the first bad offset and exits 1 on mid-log corruption",
+    )
 
     drec = dur_sub.add_parser(
         "recover", help="rebuild the engine from latest snapshot + WAL tail"
@@ -1155,6 +1227,234 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _cmd_serve_run(args)
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from .gateway import (
+        GatewayClient,
+        HullGateway,
+        Tenant,
+        TenantRegistry,
+        tenant_dead_letter_hook,
+    )
+    from .serve import AsyncHullService
+
+    if args.tick is not None and (
+        args.horizon is None or args.tick <= 0.0
+    ):
+        raise SystemExit("gateway: --tick needs --horizon and must be > 0")
+    if args.tenants is not None:
+        try:
+            registry = TenantRegistry.load(args.tenants)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"gateway: {exc}") from exc
+        if len(registry) == 0:
+            raise SystemExit(
+                f"gateway: {args.tenants} defines no tenants"
+            )
+    else:
+        registry = TenantRegistry(
+            [
+                Tenant(id="alpha", token="alpha-token"),
+                Tenant(id="beta", token="beta-token"),
+            ],
+            admin_token="admin-token",
+        )
+
+    async def selfcheck(port: int) -> bool:
+        import numpy as np
+
+        tenants = registry.tenants()[:2]
+        rng = np.random.default_rng(0)
+        # Synthetic event times run ahead of the wall clock so a --tick
+        # ticker can never mark them stale (same trick as serve).
+        now = time.time() + 3600.0
+        ok = True
+        clients = []
+        hulls = {}
+        per_tenant = 600
+        admin = (
+            GatewayClient(args.host, port, registry.admin_token)
+            if registry.admin_token is not None
+            else None
+        )
+        if args.max_delay is not None and admin is None:
+            raise SystemExit(
+                "gateway: --selfcheck with --max-delay needs an "
+                "admin_token in the tenants config (the reorder buffer "
+                "is flushed through the admin advance_time verb)"
+            )
+        for t_i, tenant in enumerate(tenants):
+            client = GatewayClient(args.host, port, tenant.token)
+            clients.append(client)
+            pts = rng.normal(10.0 * t_i, 2.0, (per_tenant, 2))
+            # Strictly later ts range per tenant: the event clock is
+            # global, so an earlier range would be late once the
+            # previous tenant's flush advanced the watermark.
+            base = now + 10.0 * t_i
+            records = []
+            for i, (x, y) in enumerate(pts):
+                rec = [f"gw-{i % 4}", float(x), float(y)]
+                if args.horizon is not None:
+                    rec.append(base + i * 1e-4)
+                records.append(rec)
+            for s in range(0, len(records), 200):
+                await client.ingest(
+                    records[s:s + 200],
+                    sync=s + 200 >= len(records),
+                )
+            if args.max_delay is not None:
+                # Bounded lateness buffers everything within the bound;
+                # push the watermark past it so the queries below see
+                # the applied records.
+                await admin.advance_time(
+                    base + per_tenant * 1e-4 + 2 * args.max_delay
+                )
+            keys = await client.keys()
+            hull = await client.hull("gw-0")
+            hulls[tenant.id] = hull
+            stats = await client.stats()
+            print(f"selfcheck    : tenant {tenant.id} keys={len(keys)} "
+                  f"hull={len(hull)} "
+                  f"ingested={stats['ingested_records']}")
+            ok = (
+                ok
+                and keys == [f"gw-{i}" for i in range(4)]
+                and len(hull) >= 3
+                and stats["ingested_records"] == per_tenant
+            )
+        if len(tenants) == 2:
+            # The same client-side key name must resolve to disjoint
+            # per-tenant streams (the clusters are 10 units apart).
+            isolated = hulls[tenants[0].id] != hulls[tenants[1].id]
+            print(f"selfcheck    : namespace isolation ok={isolated}")
+            ok = ok and isolated
+        # SSE: a subscriber must see its own ingest pushed.
+        sse = await clients[0].subscribe()
+        probe = ["gw-sse", 0.5, 0.5]
+        if args.horizon is not None:
+            probe.append(now + 60.0)
+        await clients[0].ingest([probe], sync=True)
+        if args.max_delay is not None:
+            # Touch notifications fire on apply, not on buffering.
+            await admin.advance_time(now + 60.0 + 2 * args.max_delay)
+        event = await sse.next_event(timeout=10.0)
+        sse_ok = (
+            event["event"] == "update"
+            and "gw-sse" in event["data"]["keys"]
+        )
+        print(f"selfcheck    : sse push ok={sse_ok}")
+        ok = ok and sse_ok
+        await sse.aclose()
+        # Auth: an unknown token must be refused with 401.
+        anon = GatewayClient(args.host, port, "not-a-token")
+        status, _ = await anon.request("GET", "/v1/keys")
+        print(f"selfcheck    : bogus token -> {status}")
+        ok = ok and status == 401
+        await anon.aclose()
+        # Scrape /metrics and print the page so an outer harness (CI)
+        # can grep per-tenant families from this command's stdout.
+        text = await clients[0].metrics_text()
+        labeled = f'tenant="{tenants[0].id}"' in text
+        ok = (
+            ok
+            and "repro_gateway_requests_total" in text
+            and labeled
+        )
+        print(f"metrics      : scraped {len(text)} bytes "
+              f"(tenant label ok={labeled})")
+        print(text)
+        if admin is not None:
+            await admin.aclose()
+        for client in clients:
+            await client.aclose()
+        return ok
+
+    async def main() -> int:
+        engine, _ = _tier_engine(args, "gateway")
+        replay = getattr(engine, "last_replay", None)
+        if replay is not None:
+            print(f"recovered    : {replay['entries']} WAL entries "
+                  f"({replay['records']:,} records, "
+                  f"{replay['rejected']} rejected)")
+        if (
+            engine.window is not None
+            and engine.window.max_delay is not None
+        ):
+            # Attribute later-than-watermark drops to tenants before
+            # any other late hook (e.g. the durable dead-letter log,
+            # which recovery already chained) fires.
+            engine._on_late = tenant_dead_letter_hook(
+                chain=engine._on_late
+            )
+        service = AsyncHullService(
+            engine,
+            tick_interval=args.tick,
+            clock=time.time if args.tick is not None else None,
+            own_engine=True,
+        )
+        ok = True
+        async with service:
+            async with HullGateway(
+                service,
+                registry,
+                host=args.host,
+                port=args.port,
+                metrics_port=args.metrics_port,
+            ) as gateway:
+                window = engine.window
+                mode = (
+                    "no window" if window is None
+                    else f"last_n={window.last_n}" if not window.timed
+                    else f"horizon={window.horizon}"
+                    + (
+                        f" max_delay={window.max_delay}"
+                        if window.max_delay is not None
+                        else ""
+                    )
+                )
+                tier = (
+                    f"sharded x{args.workers}" if args.workers
+                    else "in-process"
+                )
+                print(f"gateway      : http://{args.host}:{gateway.port} "
+                      f"({tier}, {mode}, r={args.r})")
+                source = (
+                    args.tenants if args.tenants is not None
+                    else "demo registry (tokens alpha-token/beta-token, "
+                    "admin admin-token)"
+                )
+                print(f"tenants      : {len(registry)} from {source}")
+                if engine.wal is not None:
+                    print(f"wal          : {args.wal_dir} "
+                          f"(seq {engine.wal.last_seq})")
+                if gateway.metrics_port is not None:
+                    print(f"metrics      : http://{args.host}:"
+                          f"{gateway.metrics_port}/metrics")
+                if args.selfcheck:
+                    ok = await selfcheck(gateway.port)
+                elif args.duration > 0:
+                    await asyncio.sleep(args.duration)
+                else:
+                    try:
+                        await gateway.serve_forever()
+                    except asyncio.CancelledError:
+                        pass
+            await service.aclose(final_snapshot=args.snapshot)
+            sstats = service.service_stats()
+            print(f"drained      : {sstats['ingested_records']:,} records "
+                  f"({sstats['ingest_errors']} rejected)")
+            if args.snapshot:
+                print(f"snapshot     : {args.snapshot}")
+        return 0 if ok else 1
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_durable_inspect(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1167,6 +1467,7 @@ def _cmd_durable_inspect(args: argparse.Namespace) -> int:
         read_meta,
         wal_exists,
     )
+    from .durable import WalError, fsck
 
     wal_dir = Path(args.wal_dir)
     if not wal_exists(wal_dir):
@@ -1185,13 +1486,21 @@ def _cmd_durable_inspect(args: argparse.Namespace) -> int:
     counts: dict = {}
     records = 0
     last_seq = after
-    for entry in iter_entries(wal_dir, after=after):
-        last_seq = entry[0]
-        counts[entry[1]] = counts.get(entry[1], 0) + 1
-        if entry[1] == "batch":
-            records += len(entry[3])
-        elif entry[1] == "insert":
-            records += 1
+    tail_error = None
+    try:
+        for entry in iter_entries(wal_dir, after=after):
+            last_seq = entry[0]
+            counts[entry[1]] = counts.get(entry[1], 0) + 1
+            if entry[1] == "batch":
+                records += len(entry[3])
+            elif entry[1] == "insert":
+                records += 1
+    except WalError as exc:
+        # Without --fsck a broken tail is a hard error, as before; with
+        # it, the fsck report below localises the damage instead.
+        if not args.fsck:
+            raise
+        tail_error = exc
     seg_bytes = sum(p.stat().st_size for _, p in segments)
     print(f"wal dir      : {wal_dir}")
     print(f"tier         : {tier}")
@@ -1201,16 +1510,42 @@ def _cmd_durable_inspect(args: argparse.Namespace) -> int:
     print(f"segments     : {len(segments)} ({seg_bytes:,} bytes)")
     print(f"snapshots    : {len(snapshots)}"
           + (f" (latest covers seq {after})" if snap is not None else ""))
-    print(f"tail entries : {sum(counts.values())} to replay "
-          f"({records:,} records) -> seq {last_seq}")
-    for kind in sorted(counts):
-        print(f"  {kind:<10} : {counts[kind]}")
+    if tail_error is not None:
+        print(f"tail entries : unreadable ({tail_error})")
+    else:
+        print(f"tail entries : {sum(counts.values())} to replay "
+              f"({records:,} records) -> seq {last_seq}")
+        for kind in sorted(counts):
+            print(f"  {kind:<10} : {counts[kind]}")
+    rc = 0
+    if args.fsck:
+        report = fsck(wal_dir)
+        for seg in report["segments"]:
+            line = (f"  {seg['path']} : {seg['frames']} frames, "
+                    f"{seg['bytes']:,} bytes")
+            if seg["first_seq"] is not None:
+                line += f", seq {seg['first_seq']}..{seg['last_seq']}"
+            if seg["error"] is not None:
+                tag = "torn tail" if seg["torn_tail"] else "CORRUPT"
+                line += (f" [{tag}: {seg['error']} at offset "
+                         f"{seg['error_offset']}]")
+            print(line)
+        if report["ok"]:
+            verdict = "clean" if report["first_error"] is None else "torn tail"
+        else:
+            verdict = "CORRUPT"
+        print(f"fsck         : {verdict} ({report['entries']} entries, "
+              f"{report['records']:,} records, last seq "
+              f"{report['last_seq']})")
+        if report["first_error"] is not None:
+            print(f"first error  : {report['first_error']}")
+        rc = 0 if report["ok"] else 1
     log = DeadLetterLog(wal_dir)
     try:
         print(f"dead letters : {len(log)}")
     finally:
         log.close()
-    return 0
+    return rc
 
 
 def _cmd_durable_recover(args: argparse.Namespace) -> int:
@@ -1330,6 +1665,7 @@ _COMMANDS = {
     "shard": _cmd_shard,
     "window": _cmd_window,
     "serve": _cmd_serve,
+    "gateway": _cmd_gateway,
     "metrics": _cmd_metrics,
     "durable": _cmd_durable,
 }

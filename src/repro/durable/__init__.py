@@ -42,6 +42,7 @@ from .wal import (
     DurabilityConfig,
     WalError,
     WalWriter,
+    fsck,
     iter_entries,
     list_segments,
     list_snapshots,
@@ -56,6 +57,7 @@ __all__ = [
     "WalWriter",
     "DeadLetterLog",
     "attach_dead_letters",
+    "fsck",
     "iter_entries",
     "list_segments",
     "list_snapshots",

@@ -1,0 +1,118 @@
+"""Token-bucket rate limiting for per-tenant ingest budgets.
+
+:class:`TokenBucket` is the classic meter: capacity ``burst`` tokens,
+refilled continuously at ``rate`` tokens/sec.  A request for ``n``
+tokens is admitted when the bucket holds ``min(n, burst)`` — the
+clamp means one batch larger than the burst capacity is still
+admissible from a full bucket (the balance goes negative and is paid
+back before anything else is admitted), so oversized-but-legal batches
+make progress instead of being unsatisfiable forever.  Long-run
+throughput never exceeds ``rate`` either way.
+
+:class:`TenantLimiter` pairs a records/sec and a bytes/sec bucket and
+admits **atomically**: a request is charged against both budgets or
+neither, so a rejection leaves the tenant's remaining allowance
+untouched (a denied request must not eat the budget of the retry the
+``Retry-After`` header asks for).
+
+Everything is driven by an injectable monotonic ``clock`` so tests
+advance time explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["TokenBucket", "TenantLimiter"]
+
+
+class TokenBucket:
+    """A continuously refilling token bucket (see module docstring)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        rate = float(rate)
+        if not rate > 0.0:
+            raise ValueError("rate must be > 0")
+        burst = rate if burst is None else float(burst)
+        if not burst > 0.0:
+            raise ValueError("burst must be > 0")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0.0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (may be negative after an oversized admit)."""
+        self._refill()
+        return self._tokens
+
+    def retry_after(self, amount: float) -> float:
+        """Seconds until ``amount`` tokens would be admissible
+        (0.0 = admissible right now).  Does not charge the bucket."""
+        need = min(float(amount), self.burst)
+        self._refill()
+        if self._tokens >= need:
+            return 0.0
+        return (need - self._tokens) / self.rate
+
+    def take(self, amount: float) -> None:
+        """Charge ``amount`` tokens unconditionally (the caller already
+        checked :meth:`retry_after`)."""
+        self._refill()
+        self._tokens -= float(amount)
+
+
+class TenantLimiter:
+    """Atomic records/sec + bytes/sec admission for one tenant.
+
+    Built from a :class:`~repro.gateway.tenants.Tenant`'s limit fields;
+    a tenant with neither rate admits everything at zero cost.
+    """
+
+    def __init__(self, tenant, *, clock: Callable[[], float] = time.monotonic):
+        self._records: Optional[TokenBucket] = None
+        self._bytes: Optional[TokenBucket] = None
+        if tenant.rate_records is not None:
+            self._records = TokenBucket(
+                tenant.rate_records, tenant.burst_records, clock=clock
+            )
+        if tenant.rate_bytes is not None:
+            self._bytes = TokenBucket(
+                tenant.rate_bytes, tenant.burst_bytes, clock=clock
+            )
+
+    @property
+    def limited(self) -> bool:
+        return self._records is not None or self._bytes is not None
+
+    def admit(self, records: int, nbytes: int) -> float:
+        """Admit (charge both budgets, return 0.0) or refuse (charge
+        neither, return the seconds after which a retry can succeed)."""
+        wait = 0.0
+        if self._records is not None:
+            wait = max(wait, self._records.retry_after(records))
+        if self._bytes is not None:
+            wait = max(wait, self._bytes.retry_after(nbytes))
+        if wait > 0.0:
+            return wait
+        if self._records is not None:
+            self._records.take(records)
+        if self._bytes is not None:
+            self._bytes.take(nbytes)
+        return 0.0

@@ -1,0 +1,325 @@
+"""Tenant registry: identities, bearer tokens, and key namespaces.
+
+A *tenant* is one customer of the gateway: an id, a bearer token, and
+its service limits (ingest rate, byte rate, live-key quota).  Tenants
+own disjoint **key namespaces** implemented by prefixing every client
+key with the tenant id before it reaches the engine tiers::
+
+    scoped = "<tenant_id>:<client_key>"
+
+Tenant ids cannot contain the separator, so the mapping is reversible
+and collision-free; everything below the gateway — the consistent-hash
+ring, windows, snapshots, the WAL — sees ordinary string keys and
+needs no tenancy concept at all.  Per-key results therefore stay
+bit-identical to a single-tenant engine fed the same records (the
+parity property the gateway test suite asserts).
+
+The registry is loaded from a JSON (or, on Python 3.11+, TOML) config
+document::
+
+    {
+      "admin_token": "s3cret-admin",
+      "tenants": [
+        {"id": "acme", "token": "acme-token",
+         "rate_records": 5000, "rate_bytes": 1048576, "max_keys": 64},
+        {"id": "globex", "token": "globex-token"}
+      ]
+    }
+
+and may be mutated at runtime through the gateway's admin verbs.  All
+mutation happens on the gateway's event loop, so the registry needs no
+locking of its own.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "NAMESPACE_SEP",
+    "Tenant",
+    "TenantRegistry",
+    "scope_key",
+    "split_key",
+]
+
+#: Separator between the tenant id and the client key in engine keys.
+#: Tenant ids cannot contain it, so ``split_key`` is unambiguous.
+NAMESPACE_SEP = ":"
+
+_TENANT_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+_LIMIT_FIELDS = (
+    "rate_records",
+    "rate_bytes",
+    "burst_records",
+    "burst_bytes",
+)
+
+
+def scope_key(tenant_id: str, key: str) -> str:
+    """The engine-side key for one tenant's client key."""
+    return f"{tenant_id}{NAMESPACE_SEP}{key}"
+
+
+def split_key(scoped: str) -> Tuple[str, str]:
+    """Invert :func:`scope_key`; raises ``ValueError`` on an unscoped key."""
+    tenant_id, sep, key = str(scoped).partition(NAMESPACE_SEP)
+    if not sep:
+        raise ValueError(f"key {scoped!r} carries no tenant namespace")
+    return tenant_id, key
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's identity and service limits.
+
+    Args:
+        id: namespace owner; letters/digits plus ``_ . -``, and never
+            the ``:`` separator (max 64 chars).
+        token: bearer token presented in ``Authorization: Bearer ...``.
+        rate_records: sustained ingest budget in records/sec (None =
+            unlimited).
+        rate_bytes: sustained ingest budget in request-body bytes/sec
+            (None = unlimited).
+        burst_records / burst_bytes: bucket capacities; default to one
+            second's worth of the corresponding rate.
+        max_keys: live-key quota — distinct keys this tenant may hold
+            summaries for (None = unlimited).  Enforced *before* engine
+            ingest, so a quota rejection is atomic and never reaches
+            the WAL.
+        enabled: a disabled tenant authenticates (the token is known)
+            but every verb answers 403 — the soft-suspend switch.
+    """
+
+    id: str
+    token: str
+    rate_records: Optional[float] = None
+    rate_bytes: Optional[float] = None
+    burst_records: Optional[float] = None
+    burst_bytes: Optional[float] = None
+    max_keys: Optional[int] = None
+    enabled: bool = True
+
+    def __post_init__(self):
+        if not _TENANT_ID_RE.match(self.id):
+            raise ValueError(
+                f"invalid tenant id {self.id!r} (letters/digits/_.- only, "
+                f"64 chars max, no {NAMESPACE_SEP!r})"
+            )
+        if not isinstance(self.token, str) or not self.token:
+            raise ValueError(f"tenant {self.id!r} needs a non-empty token")
+        for name in _LIMIT_FIELDS:
+            value = getattr(self, name)
+            if value is not None and not (float(value) > 0.0):
+                raise ValueError(f"tenant {self.id!r}: {name} must be > 0")
+        if self.max_keys is not None and int(self.max_keys) < 1:
+            raise ValueError(f"tenant {self.id!r}: max_keys must be >= 1")
+
+    # -- namespace ---------------------------------------------------------
+
+    @property
+    def prefix(self) -> str:
+        """The engine-key prefix owned by this tenant."""
+        return f"{self.id}{NAMESPACE_SEP}"
+
+    def scope(self, key: str) -> str:
+        return scope_key(self.id, key)
+
+    def owns(self, scoped_key: object) -> bool:
+        """Whether an engine key belongs to this tenant's namespace.
+
+        Used as the service-level subscription ``key_filter``; engine
+        keys that are not strings (possible when an embedding
+        application shares the engine) are simply not ours.
+        """
+        return isinstance(scoped_key, str) and scoped_key.startswith(
+            self.prefix
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_doc(self, *, redact: bool = False) -> dict:
+        """JSON-safe document; ``redact=True`` omits the token (the
+        shape admin listings return)."""
+        doc = {
+            "id": self.id,
+            "rate_records": self.rate_records,
+            "rate_bytes": self.rate_bytes,
+            "burst_records": self.burst_records,
+            "burst_bytes": self.burst_bytes,
+            "max_keys": self.max_keys,
+            "enabled": self.enabled,
+        }
+        if not redact:
+            doc["token"] = self.token
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Tenant":
+        if not isinstance(doc, dict):
+            raise ValueError("tenant document must be an object")
+        unknown = set(doc) - {
+            "id", "token", "max_keys", "enabled", *_LIMIT_FIELDS,
+        }
+        if unknown:
+            raise ValueError(f"unknown tenant fields: {sorted(unknown)}")
+        if "id" not in doc or "token" not in doc:
+            raise ValueError("tenant document needs 'id' and 'token'")
+        limits = {
+            name: None if doc.get(name) is None else float(doc[name])
+            for name in _LIMIT_FIELDS
+        }
+        max_keys = doc.get("max_keys")
+        return cls(
+            id=str(doc["id"]),
+            token=str(doc["token"]),
+            max_keys=None if max_keys is None else int(max_keys),
+            enabled=bool(doc.get("enabled", True)),
+            **limits,
+        )
+
+
+class TenantRegistry:
+    """Token-indexed tenant store with constant-time token comparison.
+
+    Token lookup walks the (small) tenant list comparing with
+    :func:`hmac.compare_digest` — authentication cost is deliberately
+    independent of which byte of a guessed token is wrong.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[Tenant] = (),
+        *,
+        admin_token: Optional[str] = None,
+    ):
+        if admin_token is not None and not admin_token:
+            raise ValueError("admin_token must be non-empty when set")
+        self.admin_token = admin_token
+        self._tenants: Dict[str, Tenant] = {}
+        for tenant in tenants:
+            self.add(tenant)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, tenant: Tenant) -> Tenant:
+        """Insert or replace one tenant (the runtime admin verb).
+
+        Tokens must be unique across tenants and distinct from the
+        admin token — a shared secret would make attribution (and the
+        per-tenant limits) meaningless.
+        """
+        if not isinstance(tenant, Tenant):
+            raise TypeError("add() takes a Tenant")
+        for other in self._tenants.values():
+            if other.id != tenant.id and hmac.compare_digest(
+                other.token, tenant.token
+            ):
+                raise ValueError(
+                    f"token for tenant {tenant.id!r} already belongs to "
+                    f"tenant {other.id!r}"
+                )
+        if self.admin_token is not None and hmac.compare_digest(
+            self.admin_token, tenant.token
+        ):
+            raise ValueError(
+                f"tenant {tenant.id!r} must not reuse the admin token"
+            )
+        self._tenants[tenant.id] = tenant
+        return tenant
+
+    def remove(self, tenant_id: str) -> Tenant:
+        try:
+            return self._tenants.pop(tenant_id)
+        except KeyError:
+            raise KeyError(f"unknown tenant {tenant_id!r}") from None
+
+    def set_enabled(self, tenant_id: str, enabled: bool) -> Tenant:
+        tenant = self.get(tenant_id)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {tenant_id!r}")
+        updated = replace(tenant, enabled=bool(enabled))
+        self._tenants[tenant_id] = updated
+        return updated
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, tenant_id: str) -> Optional[Tenant]:
+        return self._tenants.get(tenant_id)
+
+    def tenants(self) -> List[Tenant]:
+        return [self._tenants[tid] for tid in sorted(self._tenants)]
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def by_token(self, token: str) -> Optional[Tenant]:
+        """The tenant owning ``token`` (constant-time comparison)."""
+        if not isinstance(token, str) or not token:
+            return None
+        found = None
+        for tenant in self._tenants.values():
+            # No early exit: every registered token is compared so the
+            # walk's timing does not reveal which tenant matched.
+            if hmac.compare_digest(tenant.token, token):
+                found = tenant
+        return found
+
+    def is_admin(self, token: str) -> bool:
+        return (
+            self.admin_token is not None
+            and isinstance(token, str)
+            and hmac.compare_digest(self.admin_token, token)
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_doc(self, *, redact: bool = False) -> dict:
+        doc = {"tenants": [t.to_doc(redact=redact) for t in self.tenants()]}
+        if self.admin_token is not None and not redact:
+            doc["admin_token"] = self.admin_token
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "TenantRegistry":
+        if not isinstance(doc, dict):
+            raise ValueError("tenants config must be an object")
+        unknown = set(doc) - {"admin_token", "tenants"}
+        if unknown:
+            raise ValueError(f"unknown config fields: {sorted(unknown)}")
+        tenants_doc = doc.get("tenants", [])
+        if not isinstance(tenants_doc, list):
+            raise ValueError("'tenants' must be a list")
+        return cls(
+            (Tenant.from_doc(t) for t in tenants_doc),
+            admin_token=doc.get("admin_token"),
+        )
+
+    @classmethod
+    def load(cls, path) -> "TenantRegistry":
+        """Read a registry from a ``.json`` or ``.toml`` config file."""
+        path = Path(path)
+        raw = path.read_bytes()
+        if path.suffix.lower() == ".toml":
+            try:
+                import tomllib
+            except ImportError as exc:  # pragma: no cover - py3.10
+                raise ValueError(
+                    "TOML tenant configs need Python 3.11+; use JSON"
+                ) from exc
+            doc = tomllib.loads(raw.decode("utf-8"))
+        else:
+            try:
+                doc = json.loads(raw)
+            except ValueError as exc:
+                raise ValueError(f"{path}: invalid JSON: {exc}") from exc
+        return cls.from_doc(doc)

@@ -17,6 +17,7 @@ from .registry import (
     Gauge,
     Histogram,
     LATENCY_BUCKETS,
+    OVERFLOW_LABEL,
     Registry,
     SIZE_BUCKETS,
     merge_snapshots,
@@ -35,6 +36,7 @@ __all__ = [
     "Histogram",
     "Registry",
     "LATENCY_BUCKETS",
+    "OVERFLOW_LABEL",
     "SIZE_BUCKETS",
     "metrics",
     "ScrapeHistory",

@@ -245,6 +245,77 @@ RESIZE_MOVED_KEYS = Counter(
     "Keys migrated between shards by online ring resizes.",
 )
 
+# -- gateway tier (repro.gateway) -------------------------------------------
+#
+# Tenant ids are client-visible configuration, so every tenant-labeled
+# family carries a cardinality cap: past MAX_TENANT_CHILDREN distinct
+# tenants the registry folds newcomers into one "__overflow__" child
+# instead of growing without bound.
+
+#: Per-family bound on distinct tenant label children.
+MAX_TENANT_CHILDREN = 256
+
+GATEWAY_REQUESTS = Counter(
+    "repro_gateway_requests_total",
+    "HTTP requests served by the gateway, by verb and status code.",
+    ("verb", "code"),
+)
+GATEWAY_REQUEST_SECONDS = Histogram(
+    "repro_gateway_request_seconds",
+    "Server-side latency per gateway verb.",
+    ("verb",),
+)
+GATEWAY_INGEST_RECORDS = Counter(
+    "repro_gateway_ingest_records_total",
+    "Records accepted through the gateway ingest verb, per tenant.",
+    ("tenant",),
+    max_label_children=MAX_TENANT_CHILDREN,
+)
+GATEWAY_INGEST_BYTES = Counter(
+    "repro_gateway_ingest_bytes_total",
+    "Request-body bytes accepted through the gateway ingest verb, per tenant.",
+    ("tenant",),
+    max_label_children=MAX_TENANT_CHILDREN,
+)
+GATEWAY_REJECTED = Counter(
+    "repro_gateway_rejected_total",
+    "Gateway requests rejected per tenant, by reason "
+    "(rate_limit, quota, bad_request, engine).",
+    ("tenant", "reason"),
+    max_label_children=4 * MAX_TENANT_CHILDREN,
+)
+GATEWAY_AUTH_FAILURES = Counter(
+    "repro_gateway_auth_failures_total",
+    "Requests refused before tenant resolution (missing or bad token).",
+)
+GATEWAY_TENANT_KEYS = Gauge(
+    "repro_gateway_tenant_keys",
+    "Live keys owned by each tenant (refreshed at stats/metrics).",
+    ("tenant",),
+    max_label_children=MAX_TENANT_CHILDREN,
+)
+GATEWAY_LATE_DROPPED = Gauge(
+    "repro_gateway_late_dropped_records",
+    "Later-than-watermark records dropped per tenant "
+    "(refreshed at stats/metrics from the engine's late-drop ledger).",
+    ("tenant",),
+    max_label_children=MAX_TENANT_CHILDREN,
+)
+GATEWAY_DEAD_LETTER_RECORDS = Counter(
+    "repro_gateway_dead_letter_records_total",
+    "Late-dropped records handed to the dead-letter hook, per tenant.",
+    ("tenant",),
+    max_label_children=MAX_TENANT_CHILDREN,
+)
+GATEWAY_SSE_STREAMS = Gauge(
+    "repro_gateway_sse_streams",
+    "Open SSE subscription streams.",
+)
+GATEWAY_CONNECTIONS = Gauge(
+    "repro_gateway_connections",
+    "Open gateway HTTP connections.",
+)
+
 # -- tracing ---------------------------------------------------------------
 
 SPAN_SECONDS = Histogram(

@@ -26,6 +26,7 @@ import math
 import os
 import re
 import threading
+import warnings
 from bisect import bisect_left
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -36,6 +37,7 @@ __all__ = [
     "Histogram",
     "Registry",
     "LATENCY_BUCKETS",
+    "OVERFLOW_LABEL",
     "SIZE_BUCKETS",
     "registry",
     "reset",
@@ -88,6 +90,12 @@ def _fmt_le(bound: float) -> str:
     return "+Inf" if math.isinf(bound) else _fmt_value(bound)
 
 
+#: Label-set children a family folds into when its ``max_label_children``
+#: cap is hit: the overflow bucket keeps totals correct while bounding
+#: the registry against client-controlled label values (tenant ids).
+OVERFLOW_LABEL = "__overflow__"
+
+
 class _MetricBase:
     """Shared family machinery: name/help/labels, child cache, lock."""
 
@@ -99,6 +107,7 @@ class _MetricBase:
         help: str,
         labelnames: Sequence[str] = (),
         registry: Optional["Registry"] = None,
+        max_label_children: Optional[int] = None,
         _use_default: bool = True,
     ) -> None:
         if not _NAME_RE.match(name):
@@ -107,9 +116,16 @@ class _MetricBase:
         for ln in labelnames:
             if not _LABEL_RE.match(ln):
                 raise ValueError(f"invalid label name: {ln!r}")
+        if max_label_children is not None:
+            if not labelnames:
+                raise ValueError("max_label_children requires labelnames")
+            if max_label_children < 1:
+                raise ValueError("max_label_children must be >= 1")
         self.name = name
         self.help = help
         self.labelnames = labelnames
+        self.max_label_children = max_label_children
+        self._overflowed = False
         self._lock = threading.Lock()
         self._children: Dict[Tuple[str, ...], object] = {}
         if not labelnames:
@@ -141,7 +157,34 @@ class _MetricBase:
         child = self._children.get(key)
         if child is None:
             with self._lock:
-                child = self._children.setdefault(key, self._new_child())
+                child = self._children.get(key)
+                if child is None:
+                    # Children are minted on first resolve; a family fed
+                    # client-controlled label values (tenant ids) must not
+                    # grow the registry unbounded.  At the cap, fold the
+                    # newcomer into one shared overflow child — totals
+                    # stay correct, cardinality stays bounded.
+                    cap = self.max_label_children
+                    if (
+                        cap is not None
+                        and len(self._children) >= cap
+                        and key != (OVERFLOW_LABEL,) * len(self.labelnames)
+                    ):
+                        if not self._overflowed:
+                            self._overflowed = True
+                            warnings.warn(
+                                f"metric {self.name} hit max_label_children"
+                                f"={cap}; folding new label sets into "
+                                f"{OVERFLOW_LABEL!r}",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                        key = (OVERFLOW_LABEL,) * len(self.labelnames)
+                        child = self._children.get(key)
+                        if child is None:
+                            child = self._children[key] = self._new_child()
+                        return child
+                    child = self._children[key] = self._new_child()
         return child
 
     def _solo(self):
@@ -336,13 +379,16 @@ class Histogram(_MetricBase):
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = LATENCY_BUCKETS,
         registry: Optional["Registry"] = None,
+        max_label_children: Optional[int] = None,
         _use_default: bool = True,
     ) -> None:
         bounds = tuple(float(b) for b in buckets if not math.isinf(b))
         if not bounds or list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
             raise ValueError(f"histogram buckets must be sorted and unique: {buckets!r}")
         self._bounds = bounds
-        super().__init__(name, help, labelnames, registry, _use_default)
+        super().__init__(
+            name, help, labelnames, registry, max_label_children, _use_default
+        )
 
     def _new_child(self) -> _HistogramChild:
         return _HistogramChild(self._bounds, self._lock)

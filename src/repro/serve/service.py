@@ -320,7 +320,12 @@ class AsyncHullService:
         return await self.ingest_arrays(keys, pts, ts=ts_list, sync=sync)
 
     async def ingest_arrays(
-        self, keys: Sequence[Hashable], points, ts=None, sync: bool = False
+        self,
+        keys: Sequence[Hashable],
+        points,
+        ts=None,
+        sync: bool = False,
+        on_result=None,
     ) -> int:
         """Enqueue a parallel key sequence and ``(n, 2)`` block.
 
@@ -333,6 +338,14 @@ class AsyncHullService:
         its rejection here — the precise per-producer error channel;
         fire-and-forget producers instead watch
         :meth:`service_stats`.
+
+        ``on_result`` is the non-blocking attribution hook the same
+        per-batch future drives: a callable invoked on the event loop
+        once *this* batch has gone through the engine, with ``None``
+        on success or the rejection exception — a front door (e.g.
+        :mod:`repro.gateway`) can attribute drain-time rejections to
+        the producer that enqueued the batch without paying ``sync``'s
+        round-trip latency.
         """
         self._check_started()
         if self._closed:
@@ -352,15 +365,28 @@ class AsyncHullService:
         if ts_arr is not None and not np.isfinite(ts_arr).all():
             raise ValueError("ts must be finite")
         if len(arr) == 0:
+            if on_result is not None:
+                on_result(None)
             return 0
-        fut = self._loop.create_future() if sync else None
+        fut = (
+            self._loop.create_future()
+            if sync or on_result is not None
+            else None
+        )
         if fut is not None:
             self._pending_futs.add(fut)
+            if on_result is not None:
+                # The callback retrieves the exception, so a fire-and-
+                # forget producer's rejection is both attributed and
+                # never logged as an unretrieved future error.
+                fut.add_done_callback(
+                    lambda f: on_result(f.exception())
+                )
         await self._queue.put(
             (key_arr, arr, ts_arr, time.perf_counter(), fut)
         )
         self._enqueued_batches += 1
-        if fut is not None:
+        if sync:
             await fut  # re-raises the engine's rejection, if any
         return len(arr)
 
@@ -633,12 +659,20 @@ class AsyncHullService:
         self,
         keys: Optional[Iterable[Hashable]] = None,
         maxsize: int = 256,
+        key_filter=None,
     ) -> AsyncSubscription:
         """Bridge the engine's standing queries to an async consumer.
 
         The returned :class:`AsyncSubscription` receives every
         touched-key set the engine dispatches (ingest batches and
         window expiries), delivered on the event loop.
+
+        ``key_filter`` is a predicate over single keys applied before
+        delivery (a notification reduced to the empty set is not
+        delivered at all) — the namespaced-subscription hook: a
+        multi-tenant front door can watch exactly one tenant's key
+        prefix without enumerating the keys up front.  It runs on the
+        engine thread, so keep it cheap and side-effect free.
         """
         if maxsize < 1:
             raise ValueError("subscription maxsize must be >= 1")
@@ -648,6 +682,10 @@ class AsyncHullService:
 
         def on_touch(touched: Set[Hashable]) -> None:
             # Engine callbacks run on the engine thread; hop to the loop.
+            if key_filter is not None:
+                touched = {k for k in touched if key_filter(k)}
+                if not touched:
+                    return
             loop.call_soon_threadsafe(sub._push, touched)
 
         sub._handle = await self._run(

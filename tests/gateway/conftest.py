@@ -1,0 +1,61 @@
+"""Shared gateway-test plumbing.
+
+``gateway_ctx`` is a factory fixture: an async context manager that
+stands up engine -> AsyncHullService -> HullGateway on an ephemeral
+port and tears the stack down in order.  Tests drive it inside plain
+``asyncio.run`` coroutines (the repo-wide idiom — no pytest-asyncio).
+"""
+
+import contextlib
+
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.gateway import HullGateway, Tenant, TenantRegistry
+from repro.obs import registry as obs_registry
+from repro.serve import AsyncHullService
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    # Gateway counters live on the process-default obs registry; zero
+    # it around each test so per-tenant counts never bleed between
+    # tests (reset zeroes in place — resolved children stay live).
+    obs_registry().reset()
+    yield
+    obs_registry().reset()
+
+R = 8
+
+ADMIN_TOKEN = "admin-tok"
+TENANTS = (
+    ("acme", "tok-acme"),
+    ("globex", "tok-globex"),
+)
+
+
+def default_tenants():
+    return [Tenant(id=tid, token=tok) for tid, tok in TENANTS]
+
+
+@pytest.fixture
+def gateway_ctx():
+    @contextlib.asynccontextmanager
+    async def ctx(
+        engine=None,
+        tenants=None,
+        admin_token=ADMIN_TOKEN,
+        **gw_kwargs,
+    ):
+        if engine is None:
+            engine = StreamEngine(lambda: AdaptiveHull(R))
+        registry = TenantRegistry(
+            default_tenants() if tenants is None else tenants,
+            admin_token=admin_token,
+        )
+        async with AsyncHullService(engine, own_engine=True) as service:
+            async with HullGateway(service, registry, **gw_kwargs) as gw:
+                yield gw, service, registry
+
+    return ctx

@@ -1,0 +1,441 @@
+"""Gateway verbs over real sockets: auth, isolation, limits, SSE.
+
+Acceptance criteria exercised here:
+
+* a tenant over its rate limit gets 429 + ``Retry-After`` while the
+  other tenant's ingest keeps flowing;
+* cross-tenant key access is impossible through every verb, including
+  the SSE stream;
+* a quota rejection is atomic — nothing reaches the engine;
+* ``/metrics`` exposes per-tenant ingest/reject counters.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import AdaptiveHull
+from repro.engine import StreamEngine
+from repro.gateway import GatewayClient, GatewayHTTPError, Tenant
+from repro.window import WindowConfig
+
+R = 8  # matches the conftest gateway_ctx default engine
+ADMIN_TOKEN = "admin-tok"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def client_for(gw, token):
+    return GatewayClient("127.0.0.1", gw.port, token)
+
+
+class TestVerbs:
+    def test_ingest_hull_keys_parity(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, service, registry):
+                c = client_for(gw, "tok-acme")
+                doc = await c.ingest(
+                    [["k", 0, 0], ["k", 2, 0], ["k", 1, 3], ["k", 1, 1]],
+                    sync=True,
+                )
+                assert doc == {"queued": 4, "live_keys": 1}
+                direct = AdaptiveHull(R)
+                for x, y in [(0, 0), (2, 0), (1, 3), (1, 1)]:
+                    direct.insert((float(x), float(y)))
+                assert await c.hull("k") == [
+                    (float(x), float(y)) for x, y in direct.hull()
+                ]
+                assert await c.keys() == ["k"]
+                await c.aclose()
+
+        run(main())
+
+    def test_numeric_keys_coerce_to_strings(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                await c.ingest([[7, 0, 0], [7, 1, 1]], sync=True)
+                assert await c.keys() == ["7"]
+                assert len(await c.hull("7")) == 2
+                await c.aclose()
+
+        run(main())
+
+    def test_key_percent_encoding_roundtrip(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                key = "a b/c:d"  # spaces, slashes, separators
+                await c.ingest([[key, 0, 0]], sync=True)
+                assert await c.keys() == [key]
+                assert await c.hull(key) == [(0.0, 0.0)]
+                await c.aclose()
+
+        run(main())
+
+    def test_hull_unknown_key_404(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                status, payload = await c.request("GET", "/v1/hull/nope")
+                assert status == 404
+                assert "unknown key" in payload["error"]
+                await c.aclose()
+
+        run(main())
+
+    def test_stats_and_healthz(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                await c.ingest([["k", 1, 2]], sync=True)
+                stats = await c.stats()
+                assert stats["tenant"] == "acme"
+                assert stats["keys"] == 1
+                assert stats["ingested_records"] == 1
+                assert stats["ingested_bytes"] > 0
+                assert stats["rejected"] == {}
+                anon = GatewayClient("127.0.0.1", gw.port)
+                status, doc = await anon.request("GET", "/healthz")
+                assert (status, doc) == (200, {"ok": True})
+                await c.aclose()
+                await anon.aclose()
+
+        run(main())
+
+    def test_malformed_requests_400(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                for doc in (
+                    {"records": "nope"},
+                    {"records": [["k", 1]]},
+                    {"records": [[None, 1, 2]]},
+                    {"records": [["k", 1, 2, 3.0], ["k", 1, 2]]},
+                    {"records": [["k", "x", "y"]]},
+                    {"records": [["k", 1, 2, 3.0]]},  # ts, no window
+                ):
+                    status, _ = await c.request("POST", "/v1/ingest", doc)
+                    assert status == 400, doc
+                stats = await c.stats()
+                assert stats["rejected"]["bad_request"] >= 5
+                await c.aclose()
+
+        run(main())
+
+    def test_method_and_path_errors(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                status, _ = await c.request("GET", "/v1/ingest")
+                assert status == 405
+                assert c.last_headers.get("allow") == "POST"
+                status, _ = await c.request("GET", "/v1/nothing")
+                assert status == 404
+                status, _ = await c.request("GET", "/elsewhere")
+                assert status == 404
+                await c.aclose()
+
+        run(main())
+
+    def test_sync_engine_rejection_maps_to_400(self, gateway_ctx):
+        async def main():
+            engine = StreamEngine(
+                lambda: AdaptiveHull(R),
+                window=WindowConfig(horizon=5.0),
+            )
+            async with gateway_ctx(engine=engine) as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                await c.ingest([["k", 0, 0, 100.0]], sync=True)
+                # Strict time policy: an older-than-watermark record is
+                # an engine-level rejection, surfaced to the sync
+                # producer as 400 and attributed in stats.
+                with pytest.raises(GatewayHTTPError) as err:
+                    await c.ingest([["k", 1, 1, 1.0]], sync=True)
+                assert err.value.status == 400
+                stats = await c.stats()
+                assert stats["rejected"]["engine"] == 1
+                assert stats["last_error"]
+                await c.aclose()
+
+        run(main())
+
+
+class TestAuth:
+    def test_missing_and_unknown_tokens_401(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                anon = GatewayClient("127.0.0.1", gw.port)
+                status, _ = await anon.request("GET", "/v1/keys")
+                assert status == 401
+                assert "bearer" in anon.last_headers.get(
+                    "www-authenticate", ""
+                ).lower()
+                bad = client_for(gw, "wrong-token")
+                status, _ = await bad.request("GET", "/v1/keys")
+                assert status == 401
+                await anon.aclose()
+                await bad.aclose()
+
+        run(main())
+
+    def test_disabled_tenant_403(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, _svc, registry):
+                registry.set_enabled("acme", False)
+                c = client_for(gw, "tok-acme")
+                status, payload = await c.request("GET", "/v1/keys")
+                assert status == 403
+                assert "disabled" in payload["error"]
+                await c.aclose()
+
+        run(main())
+
+    def test_admin_only_verbs(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                tenant = client_for(gw, "tok-acme")
+                admin = client_for(gw, ADMIN_TOKEN)
+                # advance_time: tenants must not move the shared clock.
+                status, _ = await tenant.request(
+                    "POST", "/v1/advance_time", {"now": 1.0}
+                )
+                assert status == 403
+                status, _ = await tenant.request(
+                    "GET", "/v1/admin/tenants"
+                )
+                assert status == 403
+                # The admin token owns no namespace: data verbs refuse.
+                status, _ = await admin.request("GET", "/v1/keys")
+                assert status == 403
+                await tenant.aclose()
+                await admin.aclose()
+
+        run(main())
+
+    def test_admin_tenant_crud(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                admin = client_for(gw, ADMIN_TOKEN)
+                status, doc = await admin.request(
+                    "POST",
+                    "/v1/admin/tenants",
+                    {"id": "initech", "token": "tok-init", "max_keys": 1},
+                )
+                assert (status, doc["created"]) == (200, True)
+                assert "token" not in doc["tenant"]
+                init = client_for(gw, "tok-init")
+                await init.ingest([["k", 1, 1]], sync=True)
+                status, doc = await admin.request("GET", "/v1/admin/tenants")
+                listed = {t["id"]: t for t in doc["tenants"]}
+                assert listed["initech"]["ingested_records"] == 1
+                status, _ = await admin.request(
+                    "DELETE", "/v1/admin/tenants/initech"
+                )
+                assert status == 200
+                status, _ = await init.request("GET", "/v1/keys")
+                assert status == 401  # token revoked with the tenant
+                status, _ = await admin.request(
+                    "DELETE", "/v1/admin/tenants/initech"
+                )
+                assert status == 404
+                await admin.aclose()
+                await init.aclose()
+
+        run(main())
+
+
+class TestLimits:
+    def test_rate_limited_tenant_gets_429_other_continues(
+        self, gateway_ctx
+    ):
+        async def main():
+            tenants = [
+                Tenant(id="small", token="tok-small", rate_records=4.0),
+                Tenant(id="big", token="tok-big"),
+            ]
+            async with gateway_ctx(tenants=tenants) as (gw, *_):
+                small = client_for(gw, "tok-small")
+                big = client_for(gw, "tok-big")
+                await small.ingest([["k", i, i] for i in range(4)])
+                status, payload = await small.request(
+                    "POST", "/v1/ingest", {"records": [["k", 9, 9]]}
+                )
+                assert status == 429
+                assert int(small.last_headers["retry-after"]) >= 1
+                # The unlimited tenant is unaffected mid-breach.
+                for _ in range(3):
+                    doc = await big.ingest(
+                        [["k", i, i] for i in range(50)], sync=True
+                    )
+                    assert doc["queued"] == 50
+                stats = await small.stats()
+                assert stats["rejected"]["rate_limit"] == 1
+                assert stats["ingested_records"] == 4
+                await small.aclose()
+                await big.aclose()
+
+        run(main())
+
+    def test_byte_budget_429(self, gateway_ctx):
+        async def main():
+            tenants = [
+                Tenant(id="tiny", token="tok-tiny", rate_bytes=64.0),
+            ]
+            async with gateway_ctx(tenants=tenants) as (gw, *_):
+                c = client_for(gw, "tok-tiny")
+                # One batch is admitted even though it exceeds the burst
+                # (the clamp); the balance goes deep negative, so the
+                # next request is refused with a proportional wait.
+                await c.ingest([["key-name", 1.25, 2.5]] * 8)
+                status, _ = await c.request(
+                    "POST", "/v1/ingest", {"records": [["k", 1, 1]]}
+                )
+                assert status == 429
+                assert int(c.last_headers["retry-after"]) >= 1
+                await c.aclose()
+
+        run(main())
+
+    def test_quota_403_is_atomic(self, gateway_ctx):
+        async def main():
+            tenants = [
+                Tenant(id="capped", token="tok-cap", max_keys=2),
+                Tenant(id="free", token="tok-free"),
+            ]
+            async with gateway_ctx(tenants=tenants) as (
+                gw, service, _registry,
+            ):
+                c = client_for(gw, "tok-cap")
+                await c.ingest([["a", 1, 1], ["b", 2, 2]], sync=True)
+                # A batch mixing an existing key with one over quota is
+                # refused whole, before anything reaches the engine.
+                status, payload = await c.request(
+                    "POST",
+                    "/v1/ingest",
+                    {"records": [["a", 3, 3], ["c", 4, 4]]},
+                )
+                assert status == 403
+                assert "quota" in payload["error"]
+                await service.flush()
+                assert sorted(await service.keys()) == [
+                    "capped:a", "capped:b",
+                ]
+                assert await c.hull("a") == [(1.0, 1.0)]
+                # Existing keys keep ingesting under the cap.
+                await c.ingest([["a", 5, 5]], sync=True)
+                # The other tenant's identically named keys are theirs.
+                free = client_for(gw, "tok-free")
+                await free.ingest([["c", 0, 0]], sync=True)
+                assert await free.keys() == ["c"]
+                assert await c.keys() == ["a", "b"]
+                await c.aclose()
+                await free.aclose()
+
+        run(main())
+
+
+class TestSSE:
+    def test_subscription_is_namespaced(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                acme = client_for(gw, "tok-acme")
+                globex = client_for(gw, "tok-globex")
+                stream = await acme.subscribe()
+                # Another tenant's ingest (same client-side key name!)
+                # must never surface on this stream.
+                await globex.ingest([["shared", 9, 9]], sync=True)
+                with pytest.raises(asyncio.TimeoutError):
+                    await stream.next_event(timeout=0.3)
+                await acme.ingest([["shared", 1, 1]], sync=True)
+                event = await stream.next_event(timeout=5.0)
+                assert event["event"] == "update"
+                assert event["data"]["keys"] == ["shared"]  # unscoped
+                await stream.aclose()
+                await acme.aclose()
+                await globex.aclose()
+
+        run(main())
+
+    def test_key_filter_query(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                stream = await c.subscribe(keys=["watched"])
+                await c.ingest([["other", 1, 1]], sync=True)
+                with pytest.raises(asyncio.TimeoutError):
+                    await stream.next_event(timeout=0.3)
+                await c.ingest([["watched", 2, 2]], sync=True)
+                event = await stream.next_event(timeout=5.0)
+                assert event["data"]["keys"] == ["watched"]
+                await stream.aclose()
+                await c.aclose()
+
+        run(main())
+
+    def test_subscribe_requires_auth(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                anon = GatewayClient("127.0.0.1", gw.port)
+                with pytest.raises(GatewayHTTPError) as err:
+                    await anon.subscribe()
+                assert err.value.status == 401
+                await anon.aclose()
+
+        run(main())
+
+
+class TestMetrics:
+    def test_metrics_expose_per_tenant_counters(self, gateway_ctx):
+        async def main():
+            tenants = [
+                Tenant(id="acme", token="tok-acme", rate_records=1.0),
+                Tenant(id="globex", token="tok-globex"),
+            ]
+            async with gateway_ctx(tenants=tenants) as (gw, *_):
+                acme = client_for(gw, "tok-acme")
+                globex = client_for(gw, "tok-globex")
+                await acme.ingest([["k", 1, 1]], sync=True)
+                await globex.ingest([["k", 2, 2]], sync=True)
+                status, _ = await acme.request(
+                    "POST", "/v1/ingest", {"records": [["k", 3, 3]]}
+                )
+                assert status == 429
+                text = await globex.metrics_text()
+                assert (
+                    'repro_gateway_ingest_records_total{tenant="acme"} 1'
+                    in text
+                )
+                assert (
+                    'repro_gateway_ingest_records_total{tenant="globex"} 1'
+                    in text
+                )
+                assert (
+                    'repro_gateway_rejected_total{tenant="acme",'
+                    'reason="rate_limit"} 1' in text
+                )
+                assert 'repro_gateway_tenant_keys{tenant="acme"} 1' in text
+                await acme.aclose()
+                await globex.aclose()
+
+        run(main())
+
+    def test_dedicated_metrics_port(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx(metrics_port=0) as (gw, *_):
+                assert gw.metrics_port not in (None, 0, gw.port)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gw.metrics_port
+                )
+                writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                head, _, body = raw.partition(b"\r\n\r\n")
+                assert b"200" in head.split(b"\r\n", 1)[0]
+                assert b"repro_gateway_requests_total" in body
+
+        run(main())

@@ -1,0 +1,153 @@
+"""Tenant model, key namespacing, and the registry's auth surface."""
+
+import json
+
+import pytest
+
+from repro.gateway import (
+    NAMESPACE_SEP,
+    Tenant,
+    TenantRegistry,
+    scope_key,
+    split_key,
+)
+
+
+class TestKeys:
+    def test_scope_split_roundtrip(self):
+        scoped = scope_key("acme", "sensor-1")
+        assert scoped == f"acme{NAMESPACE_SEP}sensor-1"
+        assert split_key(scoped) == ("acme", "sensor-1")
+
+    def test_client_key_may_contain_separator(self):
+        # Only tenant ids are separator-free; the split is on the FIRST
+        # separator, so client keys round-trip with colons inside.
+        scoped = scope_key("acme", "a:b:c")
+        assert split_key(scoped) == ("acme", "a:b:c")
+
+    def test_split_rejects_unscoped(self):
+        with pytest.raises(ValueError, match="namespace"):
+            split_key("bare-key")
+
+
+class TestTenant:
+    def test_id_charset_enforced(self):
+        for bad in ("", "with space", "no:colon", "a" * 65, "-lead"):
+            with pytest.raises(ValueError):
+                Tenant(id=bad, token="t")
+        Tenant(id="ok-id_1.x", token="t")  # the legal charset
+
+    def test_token_required(self):
+        with pytest.raises(ValueError, match="token"):
+            Tenant(id="a", token="")
+
+    def test_limits_must_be_positive(self):
+        with pytest.raises(ValueError, match="rate_records"):
+            Tenant(id="a", token="t", rate_records=0)
+        with pytest.raises(ValueError, match="burst_bytes"):
+            Tenant(id="a", token="t", burst_bytes=-1)
+        with pytest.raises(ValueError, match="max_keys"):
+            Tenant(id="a", token="t", max_keys=0)
+
+    def test_owns(self):
+        t = Tenant(id="acme", token="t")
+        assert t.owns(t.scope("k"))
+        assert not t.owns("acmeish:k")
+        assert not t.owns("other:k")
+        assert not t.owns(("acme", "k"))  # non-string engine keys
+
+    def test_doc_roundtrip_and_redaction(self):
+        t = Tenant(
+            id="acme", token="s3cret", rate_records=10.0, max_keys=3,
+            enabled=False,
+        )
+        assert Tenant.from_doc(t.to_doc()) == t
+        assert "token" not in t.to_doc(redact=True)
+
+    def test_from_doc_rejects_unknown_and_missing(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Tenant.from_doc({"id": "a", "token": "t", "surprise": 1})
+        with pytest.raises(ValueError, match="'id' and 'token'"):
+            Tenant.from_doc({"id": "a"})
+
+
+class TestRegistry:
+    def test_token_lookup_and_admin(self):
+        reg = TenantRegistry(
+            [Tenant(id="a", token="ta"), Tenant(id="b", token="tb")],
+            admin_token="adm",
+        )
+        assert reg.by_token("ta").id == "a"
+        assert reg.by_token("tb").id == "b"
+        assert reg.by_token("nope") is None
+        assert reg.by_token("") is None
+        assert reg.is_admin("adm") and not reg.is_admin("ta")
+        assert len(reg) == 2 and "a" in reg
+
+    def test_duplicate_tokens_rejected(self):
+        reg = TenantRegistry([Tenant(id="a", token="shared")])
+        with pytest.raises(ValueError, match="already belongs"):
+            reg.add(Tenant(id="b", token="shared"))
+        # Replacing the SAME tenant with the same token is an update.
+        reg.add(Tenant(id="a", token="shared", max_keys=5))
+        assert reg.get("a").max_keys == 5
+
+    def test_admin_token_collision_rejected(self):
+        reg = TenantRegistry(admin_token="adm")
+        with pytest.raises(ValueError, match="admin token"):
+            reg.add(Tenant(id="a", token="adm"))
+
+    def test_remove_and_disable(self):
+        reg = TenantRegistry([Tenant(id="a", token="ta")])
+        assert not reg.set_enabled("a", False).enabled
+        assert reg.remove("a").id == "a"
+        with pytest.raises(KeyError):
+            reg.remove("a")
+        with pytest.raises(KeyError):
+            reg.set_enabled("a", True)
+
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps({
+            "admin_token": "adm",
+            "tenants": [
+                {"id": "a", "token": "ta", "rate_records": 100},
+                {"id": "b", "token": "tb", "max_keys": 2},
+            ],
+        }))
+        reg = TenantRegistry.load(path)
+        assert [t.id for t in reg.tenants()] == ["a", "b"]
+        assert reg.get("a").rate_records == 100.0
+        assert reg.is_admin("adm")
+
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "tenants.toml"
+        path.write_text(
+            'admin_token = "adm"\n'
+            "[[tenants]]\n"
+            'id = "a"\ntoken = "ta"\nrate_records = 50\n'
+        )
+        reg = TenantRegistry.load(path)
+        assert reg.get("a").rate_records == 50.0
+
+    def test_load_bad_json_raises_valueerror(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            TenantRegistry.load(path)
+
+    def test_from_doc_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            TenantRegistry.from_doc({"tenants": [], "extra": 1})
+        with pytest.raises(ValueError, match="must be a list"):
+            TenantRegistry.from_doc({"tenants": {}})
+
+    def test_doc_roundtrip(self):
+        reg = TenantRegistry(
+            [Tenant(id="a", token="ta", rate_bytes=1024.0)],
+            admin_token="adm",
+        )
+        again = TenantRegistry.from_doc(reg.to_doc())
+        assert again.get("a") == reg.get("a")
+        assert again.admin_token == "adm"
+        assert "admin_token" not in reg.to_doc(redact=True)

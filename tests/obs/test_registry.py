@@ -2,6 +2,7 @@
 cross-process merging, and in-place reset."""
 
 import threading
+import warnings
 
 import pytest
 
@@ -183,3 +184,89 @@ def test_render_escapes_labels_and_help():
     text = render_snapshot(reg.collect())
     assert '# HELP t_total weird "help"\\nwith newline' in text
     assert 't_total{k="va\\"l\\\\ue\\n"} 1' in text
+
+
+class TestLabelCardinalityCap:
+    """``max_label_children``: client-controlled label values (tenant
+    ids through the gateway) must not grow a family unbounded."""
+
+    def make_capped(self, cap=2):
+        from repro.obs import OVERFLOW_LABEL  # noqa: F401 - doc import
+
+        reg = make_registry()
+        c = Counter(
+            "t_total", "h", ("tenant",),
+            registry=reg, max_label_children=cap, _use_default=False,
+        )
+        return reg, c
+
+    def test_overflow_folds_into_shared_child(self):
+        from repro.obs import OVERFLOW_LABEL
+
+        reg, c = self.make_capped(cap=2)
+        c.labels("a").inc()
+        c.labels("b").inc(2)
+        with pytest.warns(RuntimeWarning, match="max_label_children"):
+            c.labels("c").inc(5)
+        c.labels("d").inc(7)  # second newcomer: same fold, no new warning
+        values = reg.collect()["t_total"]["values"]
+        assert values['tenant="a"'] == 1
+        assert values['tenant="b"'] == 2
+        assert values[f'tenant="{OVERFLOW_LABEL}"'] == 12
+        assert len(values) == 3  # a, b, overflow — never c or d
+
+    def test_warning_fires_once(self):
+        reg, c = self.make_capped(cap=1)
+        c.labels("a").inc()
+        with pytest.warns(RuntimeWarning):
+            c.labels("b").inc()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            c.labels("z").inc()
+
+    def test_existing_children_unaffected_by_overflow(self):
+        reg, c = self.make_capped(cap=2)
+        c.labels("a").inc()
+        c.labels("b").inc()
+        with pytest.warns(RuntimeWarning):
+            c.labels("c").inc()
+        c.labels("a").inc(10)  # resolved before the cap: still private
+        assert reg.collect()["t_total"]["values"]['tenant="a"'] == 11
+
+    def test_overflow_label_set_resolves_to_the_shared_child(self):
+        from repro.obs import OVERFLOW_LABEL
+
+        reg, c = self.make_capped(cap=1)
+        c.labels("a").inc()
+        with pytest.warns(RuntimeWarning):
+            c.labels("b").inc()
+        # Addressing the overflow child directly is legal and does not
+        # mint a new child even though the family is at its cap.
+        c.labels(OVERFLOW_LABEL).inc(3)
+        values = reg.collect()["t_total"]["values"]
+        assert values[f'tenant="{OVERFLOW_LABEL}"'] == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="requires labelnames"):
+            Counter(
+                "t_total", "h",
+                max_label_children=3, _use_default=False,
+            )
+        with pytest.raises(ValueError, match="must be >= 1"):
+            Counter(
+                "t_total", "h", ("k",),
+                max_label_children=0, _use_default=False,
+            )
+
+    def test_gateway_families_are_capped(self):
+        # The per-tenant gateway families all carry a cap — the gateway
+        # cannot be made to blow up /metrics by minting tokens.
+        for fam in (
+            M.GATEWAY_INGEST_RECORDS,
+            M.GATEWAY_INGEST_BYTES,
+            M.GATEWAY_REJECTED,
+            M.GATEWAY_TENANT_KEYS,
+            M.GATEWAY_LATE_DROPPED,
+            M.GATEWAY_DEAD_LETTER_RECORDS,
+        ):
+            assert fam.max_label_children is not None

@@ -414,3 +414,84 @@ def test_graceful_close_drains_and_snapshots(tmp_path):
     hulls = asyncio.run(run())
     with StreamEngine.restore(path, lambda: AdaptiveHull(R)) as restored:
         assert {k: restored.hull(k) for k in restored.keys()} == hulls
+
+
+def test_on_result_attributes_success_and_rejection():
+    """The fire-and-forget attribution hook fires on the loop with None
+    on success and the rejection exception on failure — the channel the
+    gateway uses to charge drain-time errors to the right tenant."""
+
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=100.0)
+        )
+        async with AsyncHullService(engine) as service:
+            results = []
+            ok = await service.ingest_arrays(
+                ["k"], [(1.0, 1.0)], ts=[20.0],
+                on_result=results.append,
+            )
+            assert ok == 1
+            await service.flush()
+            assert results == [None]
+            # A stale batch: accepted at enqueue, rejected at drain.
+            await service.ingest_arrays(
+                ["k"], [(2.0, 2.0)], ts=[10.0],
+                on_result=results.append,
+            )
+            await service.flush()
+            assert len(results) == 2
+            assert isinstance(results[1], ValueError)
+            # Empty batches resolve immediately.
+            await service.ingest_arrays(
+                [], np.empty((0, 2)), on_result=results.append
+            )
+            assert results[2] is None
+
+    asyncio.run(run())
+
+
+def test_on_result_composes_with_sync():
+    async def run():
+        engine = StreamEngine(
+            lambda: AdaptiveHull(R), window=WindowConfig(horizon=100.0)
+        )
+        async with AsyncHullService(engine) as service:
+            seen = []
+            await service.ingest_arrays(
+                ["k"], [(1.0, 1.0)], ts=[5.0],
+                sync=True, on_result=seen.append,
+            )
+            with pytest.raises(ValueError):
+                await service.ingest_arrays(
+                    ["k"], [(1.0, 1.0)], ts=[1.0],
+                    sync=True, on_result=seen.append,
+                )
+            assert seen[0] is None and isinstance(seen[1], ValueError)
+
+    asyncio.run(run())
+
+
+def test_subscribe_key_filter_scopes_delivery():
+    """key_filter drops foreign keys engine-side; a notification that
+    filters to the empty set is never delivered at all."""
+
+    async def run():
+        engine = StreamEngine(lambda: AdaptiveHull(R))
+        async with AsyncHullService(engine) as service:
+            sub = await service.subscribe(
+                key_filter=lambda k: str(k).startswith("mine:")
+            )
+            await service.ingest(
+                [("theirs:a", 1.0, 1.0)], sync=True
+            )
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(sub.get(), 0.2)
+            await service.ingest(
+                [("mine:a", 1.0, 1.0), ("theirs:b", 2.0, 2.0)],
+                sync=True,
+            )
+            assert await asyncio.wait_for(sub.get(), 5.0) == {"mine:a"}
+            await sub.cancel()
+
+    asyncio.run(run())

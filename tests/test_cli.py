@@ -375,3 +375,94 @@ class TestDurableCommands:
         assert "/s" in out
         # The final page still carries the absolute totals.
         assert "repro_ingest_records_total" in out
+
+
+class TestGatewayParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["gateway"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.tenants is None
+        assert args.r == 32
+        assert args.last_n is None and args.horizon is None
+        assert args.workers == 0 and args.replicas == 0
+        assert args.wal_dir is None and args.snapshot is None
+        assert args.duration == 0.0 and not args.selfcheck
+        assert args.metrics_port is None
+
+    def test_window_modes_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["gateway", "--last-n", "10", "--horizon", "5"]
+            )
+
+    def test_inspect_gains_fsck_flag(self):
+        args = build_parser().parse_args(
+            ["durable", "inspect", "/tmp/x", "--fsck"]
+        )
+        assert args.fsck
+        assert not build_parser().parse_args(
+            ["durable", "inspect", "/tmp/x"]
+        ).fsck
+
+
+class TestGatewayCommands:
+    def test_selfcheck_inprocess(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal")
+        rc = main([
+            "gateway", "--selfcheck", "--r", "8", "--wal-dir", wal,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "namespace isolation ok=True" in out
+        assert "sse push ok=True" in out
+        assert "bogus token -> 401" in out
+        assert 'tenant="alpha"' in out and 'tenant="beta"' in out
+
+    def test_selfcheck_with_custom_tenants(self, tmp_path, capsys):
+        import json
+
+        config = tmp_path / "tenants.json"
+        config.write_text(json.dumps({
+            "admin_token": "adm",
+            "tenants": [
+                {"id": "alpha", "token": "a-tok"},
+                {"id": "beta", "token": "b-tok"},
+            ],
+        }))
+        rc = main([
+            "gateway", "--selfcheck", "--r", "8",
+            "--tenants", str(config),
+        ])
+        assert rc == 0
+        assert "namespace isolation ok=True" in capsys.readouterr().out
+
+    def test_bad_tenants_config_fails(self, tmp_path):
+        config = tmp_path / "tenants.json"
+        config.write_text("{broken")
+        with pytest.raises(SystemExit, match="gateway: .*invalid JSON"):
+            main(["gateway", "--selfcheck", "--tenants", str(config)])
+
+    def test_fsck_clean_and_corrupt(self, tmp_path, capsys):
+        import os
+
+        from repro.durable import list_segments
+
+        wal = str(tmp_path / "wal")
+        assert main([
+            "gateway", "--selfcheck", "--r", "8", "--wal-dir", wal,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["durable", "inspect", wal, "--fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "fsck" in out and "clean" in out
+        # Flip one mid-file byte: fsck must now fail with the offset.
+        path = list_segments(wal)[0][1]
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.seek(size // 2)
+            byte = fh.read(1)
+            fh.seek(size // 2)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["durable", "inspect", wal, "--fsck"]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
