@@ -1525,6 +1525,8 @@ def _cmd_durable_inspect(args: argparse.Namespace) -> int:
                     f"{seg['bytes']:,} bytes")
             if seg["first_seq"] is not None:
                 line += f", seq {seg['first_seq']}..{seg['last_seq']}"
+            if seg["gap"] is not None:
+                line += f" [GAP: {seg['gap']}]"
             if seg["error"] is not None:
                 tag = "torn tail" if seg["torn_tail"] else "CORRUPT"
                 line += (f" [{tag}: {seg['error']} at offset "

@@ -263,8 +263,13 @@ def fsck(wal_dir) -> dict:
         {"wal_dir", "ok", "entries", "records", "last_seq",
          "first_error",                  # "seg: reason at offset N" | None
          "segments": [{"path", "bytes", "frames", "first_seq",
-                       "last_seq", "error", "error_offset",
+                       "last_seq", "gap", "error", "error_offset",
                        "torn_tail"}, ...]}
+
+    A segment gap is recorded in ``gap`` (not ``error``) so the frame
+    audit still runs over the post-gap segment — corruption after a
+    missing segment is reported too, and its intact entries still
+    count toward the report totals.
     """
     wal_dir = Path(wal_dir)
     report = {
@@ -286,85 +291,90 @@ def fsck(wal_dir) -> dict:
             "frames": 0,
             "first_seq": None,
             "last_seq": None,
+            "gap": None,
             "error": None,
             "error_offset": None,
             "torn_tail": False,
         }
         if expected is not None and first_seq != expected:
-            seg["error"] = f"segment gap: expected seq {expected}"
-            seg["error_offset"] = 0
+            seg["gap"] = f"segment gap: expected seq {expected}"
             # Contiguity is unprovable past a gap; rebase on this
             # segment's declared first sequence and keep auditing the
             # frames themselves.
             expected = None
-        if seg["error"] is None:
-            with open(path, "rb") as f:
-                offset = 0
-                while True:
-                    header = f.read(_FRAME.size)
-                    if not header:
-                        break
-                    problem = None
-                    entry = None
-                    length = 0
-                    # Whether the damage plausibly extends to EOF (a
-                    # partial final write) rather than sitting between
-                    # intact frames (bit rot).
-                    at_eof = False
-                    if len(header) < _FRAME.size:
-                        problem = "truncated frame header"
+        with open(path, "rb") as f:
+            offset = 0
+            while True:
+                header = f.read(_FRAME.size)
+                if not header:
+                    break
+                problem = None
+                entry = None
+                length = 0
+                # Whether the damage plausibly extends to EOF (a
+                # partial final write) rather than sitting between
+                # intact frames (bit rot).
+                at_eof = False
+                if len(header) < _FRAME.size:
+                    problem = "truncated frame header"
+                    at_eof = True
+                else:
+                    length, crc = _FRAME.unpack(header)
+                    if length > transport.MAX_FRAME_BYTES:
+                        # The length field itself is garbage, so
+                        # nothing after this point is parseable.
+                        problem = f"oversized frame ({length} bytes)"
                         at_eof = True
                     else:
-                        length, crc = _FRAME.unpack(header)
-                        if length > transport.MAX_FRAME_BYTES:
-                            # The length field itself is garbage, so
-                            # nothing after this point is parseable.
-                            problem = f"oversized frame ({length} bytes)"
+                        payload = f.read(length)
+                        if len(payload) < length:
+                            problem = "truncated frame payload"
                             at_eof = True
-                        else:
-                            payload = f.read(length)
-                            if len(payload) < length:
-                                problem = "truncated frame payload"
-                                at_eof = True
-                            elif zlib.crc32(payload) != crc:
-                                problem = "checksum mismatch"
-                                at_eof = (
-                                    offset + _FRAME.size + length
-                                    >= seg["bytes"]
-                                )
-                    if problem is None:
-                        try:
-                            entry = _decode_entry(payload, path)
-                        except WalError as exc:
-                            problem = f"undecodable entry ({exc})"
-                    if problem is None and expected is not None and (
-                        entry[0] != expected
-                    ):
-                        problem = (
-                            f"sequence break: expected {expected}, "
-                            f"found {entry[0]}"
-                        )
-                    if problem is not None:
-                        # Framing is byte-offset based, so nothing past
-                        # the first bad frame can be trusted; stop here
-                        # (exactly where _repair_tail would truncate).
-                        seg["error"] = problem
-                        seg["error_offset"] = offset
-                        seg["torn_tail"] = final and at_eof
-                        expected = None
-                        break
-                    if seg["first_seq"] is None:
-                        seg["first_seq"] = entry[0]
-                    seg["last_seq"] = entry[0]
-                    seg["frames"] += 1
-                    expected = entry[0] + 1
-                    report["entries"] += 1
-                    report["last_seq"] = max(report["last_seq"], entry[0])
-                    if entry[1] == "batch":
-                        report["records"] += len(entry[3])
-                    elif entry[1] == "insert":
-                        report["records"] += 1
-                    offset += _FRAME.size + length
+                        elif zlib.crc32(payload) != crc:
+                            problem = "checksum mismatch"
+                            at_eof = (
+                                offset + _FRAME.size + length
+                                >= seg["bytes"]
+                            )
+                if problem is None:
+                    try:
+                        entry = _decode_entry(payload, path)
+                    except WalError as exc:
+                        problem = f"undecodable entry ({exc})"
+                if problem is None and expected is not None and (
+                    entry[0] != expected
+                ):
+                    problem = (
+                        f"sequence break: expected {expected}, "
+                        f"found {entry[0]}"
+                    )
+                if problem is not None:
+                    # Framing is byte-offset based, so nothing past
+                    # the first bad frame can be trusted; stop here
+                    # (exactly where _repair_tail would truncate).
+                    seg["error"] = problem
+                    seg["error_offset"] = offset
+                    seg["torn_tail"] = final and at_eof
+                    expected = None
+                    break
+                if seg["first_seq"] is None:
+                    seg["first_seq"] = entry[0]
+                seg["last_seq"] = entry[0]
+                seg["frames"] += 1
+                expected = entry[0] + 1
+                report["entries"] += 1
+                report["last_seq"] = max(report["last_seq"], entry[0])
+                if entry[1] == "batch":
+                    report["records"] += len(entry[3])
+                elif entry[1] == "insert":
+                    report["records"] += 1
+                offset += _FRAME.size + length
+        if seg["gap"] is not None:
+            report["ok"] = False
+            if report["first_error"] is None:
+                report["first_error"] = (
+                    f"{seg['path']}: {seg['gap']} at offset 0"
+                )
         if seg["error"] is not None:
             if not seg["torn_tail"]:
                 report["ok"] = False

@@ -171,7 +171,13 @@ class GatewayClient:
         self, method: str, path: str, doc=None
     ) -> Tuple[int, object]:
         """One round trip; returns ``(status, payload)`` and never
-        raises on HTTP-level errors (only transport failures)."""
+        raises on HTTP-level errors (only transport failures).
+
+        A dropped connection is reopened and the request replayed once
+        — but only for GET, which is idempotent.  A POST (an ingest,
+        say) may already have been applied before the connection died,
+        so replaying it blindly could double-ingest; non-GET callers
+        see the transport error and decide for themselves."""
         body = (
             b""
             if doc is None
@@ -189,9 +195,10 @@ class GatewayClient:
                 )
             except (ConnectionError, asyncio.IncompleteReadError):
                 # The server may have dropped an idle keep-alive
-                # connection between requests; reopen once.
+                # connection between requests; reopen once, for
+                # idempotent verbs only.
                 await self.aclose()
-                if attempt:
+                if attempt or method != "GET":
                     raise
                 continue
             self.last_headers = headers

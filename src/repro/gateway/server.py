@@ -488,6 +488,15 @@ class HullGateway:
             self._require_admin(headers)
             return await self._h_advance_time(body)
 
+        if segs[1] == "stats" and len(segs) == 2:
+            self._expect(method, "GET")
+            if self.registry.is_admin(self._token(headers)):
+                # The admin token owns no namespace, so its stats view
+                # is the documented global one.
+                return await self._h_admin_stats()
+            tenant, state = self._require_tenant(headers)
+            return await self._h_stats(tenant, state)
+
         tenant, state = self._require_tenant(headers)
         if segs[1] == "ingest" and len(segs) == 2:
             self._expect(method, "POST")
@@ -498,9 +507,6 @@ class HullGateway:
         if segs[1] == "keys" and len(segs) == 2:
             self._expect(method, "GET")
             return await self._h_keys(tenant, state)
-        if segs[1] == "stats" and len(segs) == 2:
-            self._expect(method, "GET")
-            return await self._h_stats(tenant, state)
         if segs[1] == "subscribe" and len(segs) == 2:
             self._expect(method, "GET")
             await self._h_subscribe(tenant, query, writer)
@@ -622,6 +628,12 @@ class HullGateway:
                 f"tenant {tenant.id!r} live-key quota "
                 f"({tenant.max_keys}) exceeded",
             )
+        # Reserve the novel keys *before* the enqueue awaits: a
+        # concurrent ingest on another connection must see them counted
+        # against the quota, or two in-flight batches could each pass
+        # the check above and collectively exceed max_keys.  The
+        # reservation is released if nothing reaches the engine.
+        state.keys.update(novel)
 
         loop = asyncio.get_running_loop()
         applied = loop.create_future()
@@ -630,6 +642,7 @@ class HullGateway:
             # Runs on the event loop once this batch went through the
             # engine: attribute drain-time rejections to this tenant.
             if exc is not None:
+                state.keys.difference_update(novel)
                 state.count_reject(tenant, "engine")
                 state.last_error = f"{type(exc).__name__}: {exc}"
             if not applied.done():
@@ -645,15 +658,16 @@ class HullGateway:
         except (ValueError, TypeError) as exc:
             # Producer-side validation (shape, finiteness, ts-vs-window)
             # failed before anything was enqueued.
+            state.keys.difference_update(novel)
             state.count_reject(tenant, "bad_request")
             raise GatewayError(400, str(exc)) from exc
         if sync:
             exc = await applied
             if exc is not None:
-                # Already attributed by on_result; surface it to the
-                # producer that asked to wait.
+                # Already attributed (and the reservation released) by
+                # on_result; surface it to the producer that asked to
+                # wait.
                 raise GatewayError(400, f"engine rejected batch: {exc}")
-        state.keys.update(novel)
         state.ingested_records += accepted
         state.ingested_bytes += len(body)
         OBS.GATEWAY_INGEST_RECORDS.labels(tenant.id).inc(accepted)
@@ -704,6 +718,48 @@ class HullGateway:
         }
         return 200, doc, ()
 
+    async def _h_admin_stats(self):
+        """``GET /v1/stats`` with the admin token: every tenant's usage
+        plus engine-wide totals, including keys no tenant owns (an
+        embedding application sharing the engine)."""
+        await self._refresh_ledgers()
+        live = await self.service.keys()
+        late = await self.service.late_drops()
+        tenants, owned = [], set()
+        for tenant in self.registry.tenants():
+            state = self._state(tenant)
+            owned.update(state.keys)
+            tenants.append(
+                {
+                    "tenant": tenant.id,
+                    "keys": len(state.keys),
+                    "max_keys": tenant.max_keys,
+                    "ingested_records": state.ingested_records,
+                    "ingested_bytes": state.ingested_bytes,
+                    "rejected": dict(state.rejected),
+                    "late_dropped": sum(
+                        n for k, n in late.items() if tenant.owns(k)
+                    ),
+                    "last_error": state.last_error,
+                }
+            )
+        doc = {
+            "tenants": tenants,
+            "totals": {
+                "tenants": len(tenants),
+                "keys": len(live),
+                "unscoped_keys": len(set(live) - owned),
+                "ingested_records": sum(
+                    t["ingested_records"] for t in tenants
+                ),
+                "ingested_bytes": sum(
+                    t["ingested_bytes"] for t in tenants
+                ),
+                "late_dropped": sum(late.values()),
+            },
+        }
+        return 200, doc, ()
+
     async def _h_advance_time(self, body):
         doc = self._json_body(body)
         now = doc.get("now")
@@ -743,7 +799,10 @@ class HullGateway:
                     touched = await asyncio.wait_for(
                         sub.get(), self.sse_heartbeat
                     )
-                except TimeoutError:
+                except (TimeoutError, asyncio.TimeoutError):
+                    # Both spellings: asyncio.TimeoutError only became
+                    # the builtin on 3.11, and this stream must idle
+                    # forever on 3.10 too.
                     writer.write(b": keep-alive\n\n")
                     await writer.drain()
                     continue

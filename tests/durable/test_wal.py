@@ -319,6 +319,38 @@ class TestFsck:
         report = fsck(wal_dir)
         assert report["ok"] is False
         assert "gap" in report["first_error"]
+        # The gap lives in its own field and the post-gap segment's
+        # frames are still audited and counted.
+        post_gap = report["segments"][1]
+        assert post_gap["gap"] is not None
+        assert post_gap["error"] is None
+        assert post_gap["frames"] > 0
+        assert post_gap["first_seq"] is not None
+        intact = sum(s["frames"] for s in report["segments"])
+        assert report["entries"] == intact
+
+    def test_post_gap_corruption_is_still_reported(self, tmp_path):
+        wal_dir = self.write_wal(tmp_path)
+        segments = list_segments(wal_dir)
+        assert len(segments) >= 3
+        os.unlink(segments[1][1])
+        # Flip a byte inside the segment right after the gap: both the
+        # gap and the bit rot must show up, gap first.
+        victim = segments[2][1]
+        size = os.path.getsize(victim)
+        flip_at = size // 2
+        with open(victim, "r+b") as fh:
+            fh.seek(flip_at)
+            byte = fh.read(1)
+            fh.seek(flip_at)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        report = fsck(wal_dir)
+        assert report["ok"] is False
+        bad = report["segments"][1]
+        assert bad["gap"] is not None
+        assert bad["error"] is not None
+        assert bad["error_offset"] is not None
+        assert "gap" in report["first_error"]  # offset-0 gap wins
 
     def test_empty_dir(self, tmp_path):
         (tmp_path / "wal").mkdir()

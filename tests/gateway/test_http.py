@@ -105,6 +105,37 @@ class TestVerbs:
 
         run(main())
 
+    def test_admin_stats_global_view(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx() as (gw, *_):
+                acme = client_for(gw, "tok-acme")
+                globex = client_for(gw, "tok-globex")
+                await acme.ingest([["a", 1, 1]], sync=True)
+                await globex.ingest([["b", 2, 2], ["c", 3, 3]], sync=True)
+                # The admin token gets the documented global view from
+                # the one data verb that has an operator shape...
+                admin = client_for(gw, ADMIN_TOKEN)
+                doc = await admin.stats()
+                by_id = {t["tenant"]: t for t in doc["tenants"]}
+                assert by_id["acme"]["keys"] == 1
+                assert by_id["globex"]["keys"] == 2
+                assert by_id["globex"]["ingested_records"] == 2
+                assert doc["totals"]["tenants"] == 2
+                assert doc["totals"]["keys"] == 3
+                assert doc["totals"]["unscoped_keys"] == 0
+                assert doc["totals"]["ingested_records"] == 3
+                # ...while tenant tokens keep getting their own view
+                # and the other data verbs still refuse the admin.
+                stats = await acme.stats()
+                assert stats["tenant"] == "acme"
+                status, _ = await admin.request("GET", "/v1/keys")
+                assert status == 403
+                await acme.aclose()
+                await globex.aclose()
+                await admin.aclose()
+
+        run(main())
+
     def test_malformed_requests_400(self, gateway_ctx):
         async def main():
             async with gateway_ctx() as (gw, *_):
@@ -336,6 +367,43 @@ class TestLimits:
 
         run(main())
 
+    def test_concurrent_ingests_cannot_exceed_quota(self, gateway_ctx):
+        async def main():
+            tenants = [Tenant(id="capped", token="tok-cap", max_keys=1)]
+            async with gateway_ctx(tenants=tenants) as (
+                gw, service, _registry,
+            ):
+                # Hold every enqueue long enough that both requests sit
+                # past their quota checks at the same time: the novel
+                # keys must be reserved against the ledger *before*
+                # that await, or both batches pass.
+                orig = service.ingest_arrays
+
+                async def slow_ingest(*a, **kw):
+                    await asyncio.sleep(0.05)
+                    return await orig(*a, **kw)
+
+                service.ingest_arrays = slow_ingest
+                a = client_for(gw, "tok-cap")
+                b = client_for(gw, "tok-cap")
+                results = await asyncio.gather(
+                    a.request(
+                        "POST", "/v1/ingest",
+                        {"records": [["one", 1, 1]], "sync": True},
+                    ),
+                    b.request(
+                        "POST", "/v1/ingest",
+                        {"records": [["two", 2, 2]], "sync": True},
+                    ),
+                )
+                assert sorted(s for s, _ in results) == [202, 403]
+                await service.flush()
+                assert len(list(await service.keys())) == 1
+                await a.aclose()
+                await b.aclose()
+
+        run(main())
+
 
 class TestSSE:
     def test_subscription_is_namespaced(self, gateway_ctx):
@@ -370,6 +438,28 @@ class TestSSE:
                 await c.ingest([["watched", 2, 2]], sync=True)
                 event = await stream.next_event(timeout=5.0)
                 assert event["data"]["keys"] == ["watched"]
+                await stream.aclose()
+                await c.aclose()
+
+        run(main())
+
+    def test_heartbeat_keeps_idle_stream_alive(self, gateway_ctx):
+        async def main():
+            async with gateway_ctx(sse_heartbeat=0.05) as (gw, *_):
+                c = client_for(gw, "tok-acme")
+                stream = await c.subscribe()
+                # An idle stream gets comment frames (on every Python
+                # the CI matrix runs — asyncio.TimeoutError was not the
+                # builtin until 3.11), never a JSON 500...
+                raw = await asyncio.wait_for(
+                    stream._reader.readline(), timeout=5.0
+                )
+                assert raw.startswith(b":")
+                # ...and stays live for real events afterwards.
+                await c.ingest([["k", 1, 1]], sync=True)
+                event = await stream.next_event(timeout=5.0)
+                assert event["event"] == "update"
+                assert event["data"]["keys"] == ["k"]
                 await stream.aclose()
                 await c.aclose()
 
@@ -437,5 +527,43 @@ class TestMetrics:
                 head, _, body = raw.partition(b"\r\n\r\n")
                 assert b"200" in head.split(b"\r\n", 1)[0]
                 assert b"repro_gateway_requests_total" in body
+
+
+class TestClientRetry:
+    def test_only_get_is_replayed_on_connection_drop(self):
+        async def main():
+            # A server that reads one request line and hangs up without
+            # answering, counting connections.
+            conns = []
+
+            async def handle(reader, writer):
+                conns.append(None)
+                await reader.readline()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                # POST is not idempotent: one connection, no replay —
+                # the server may have applied the batch already.
+                c = GatewayClient("127.0.0.1", port, "tok")
+                with pytest.raises(ConnectionError):
+                    await c.request(
+                        "POST", "/v1/ingest", {"records": []}
+                    )
+                assert len(conns) == 1
+                await c.aclose()
+                # GET retries once before giving up.
+                del conns[:]
+                c = GatewayClient("127.0.0.1", port, "tok")
+                with pytest.raises(ConnectionError):
+                    await c.request("GET", "/v1/keys")
+                assert len(conns) == 2
+                await c.aclose()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(main())
 
         run(main())
