@@ -35,15 +35,23 @@ O(log r) regime.  See DESIGN.md ("substitutions") for the discussion.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..geometry.directions import DyadicDirection
 from ..geometry.hull import convex_hull
-from ..geometry.polygon import contains_point
+from ..geometry.polygon import contains_point, contains_points
+from ..geometry.predicates import points_in_triangles
 from ..geometry.vec import Point, Vector, dot
 from ..structures.bucket_queue import make_threshold_queue
 from .base import HullSummary, coerce_point
-from .batch import DEFAULT_CHUNK, prefiltered_insert_many
+from .batch import (
+    DEFAULT_CHUNK,
+    SURVIVOR_LOOKAHEAD,
+    SURVIVOR_SCALAR_PREFIX,
+    prefiltered_insert_many,
+)
 from .refinement import RefinementNode
 from .uncertainty import UncertaintyTriangle, triangle_for_edge
 from .uniform_hull import UniformHull
@@ -106,6 +114,19 @@ class AdaptiveHull(HullSummary):
         self._queue = make_threshold_queue(queue_mode)
         self._hull: List[Point] = []
         self._vec_cache: Dict[DyadicDirection, Vector] = {}
+        # Survivor fast-path state (see insert).  After a full tree walk
+        # the forest is steady for the current perimeter, so a point
+        # that changes no uniform support can only disturb the trees
+        # whose internal-node mid-direction support it beats; the
+        # registry/count/ring caches make that test one multiply-add
+        # sweep.  All three are invalidated at the _rebuild_hull
+        # chokepoint.  _needs_full_sync forces the classic full walk
+        # when the forest is not known to be steady (fresh summary,
+        # load_state drops pure-leaf roots).
+        self._needs_full_sync = True
+        self._registry_cache: Optional[Tuple[np.ndarray, ...]] = None
+        self._tree_count_cache: Optional[Tuple[List[int], int]] = None
+        self._ring_cache: Optional[np.ndarray] = None
         self.points_seen = 0
         self.points_processed = 0
         self.refinements = 0
@@ -140,11 +161,36 @@ class AdaptiveHull(HullSummary):
             self.ring_discards += 1
             return False
         self.points_processed += 1
-        uniform_changed = self._uniform.offer(p)
-        if uniform_changed:
-            self._drain_queue()
-        for j in range(self.r):
-            self._sync_tree(j, p)
+        changed_dirs = self._uniform.offer_changed(p)
+        if len(changed_dirs) or self._needs_full_sync:
+            # A uniform extremum changed: the perimeter (and possibly
+            # tree endpoints) moved, so run the classic full pass —
+            # queue-driven unrefinement plus a walk of every tree.
+            if len(changed_dirs):
+                self._drain_queue()
+            for j in range(self.r):
+                self._sync_tree(j, p)
+            self._needs_full_sync = False
+            self._rebuild_hull()
+            return True
+        # No uniform support moved: the perimeter and every tree's
+        # endpoints are unchanged, so a tree walk can only act where p
+        # beats an internal node's mid-direction support — everywhere
+        # else the walk is a provable no-op that visits exactly
+        # count_nodes(root) nodes.  Walk only the dirty trees and
+        # reconstruct the clean trees' nodes_visited arithmetically.
+        counts, total = self._tree_node_counts()
+        dirty = self._dirty_trees(p)
+        if not len(dirty):
+            # p beats no active sampling direction at all: pure counter
+            # churn.  The samples are untouched, so the cached hull (and
+            # the registry/ring caches) stay valid — the rebuild is
+            # skipped entirely (deferred-rebuild fast path).
+            self.nodes_visited += total
+            return True
+        self.nodes_visited += total - sum(counts[int(j)] for j in dirty)
+        for j in dirty:
+            self._sync_tree(int(j), p)
         self._rebuild_hull()
         return True
 
@@ -168,12 +214,19 @@ class AdaptiveHull(HullSummary):
         extremum per refined (internal) tree node.  Theorem 5.4 bounds
         this at ``2r + 1``."""
         out = dict.fromkeys(self._uniform.samples())
+        # Explicit pre-order stack: this runs inside every hull rebuild,
+        # where the recursive-generator form dominated the profile.
         for root in self._roots:
             if root is None:
                 continue
-            for node in root.iter_internal():
-                if node.t is not None:
-                    out.setdefault(node.t, None)
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                if node.left is not None:
+                    if node.t is not None:
+                        out.setdefault(node.t, None)
+                    stack.append(node.right)
+                    stack.append(node.left)
         return list(out)
 
     # -- merging -------------------------------------------------------------
@@ -188,10 +241,12 @@ class AdaptiveHull(HullSummary):
         queue is drained against the grown perimeter and every
         refinement tree re-synced, exactly the step-4/5 sequence a
         hull-changing insert runs.  Second, the other operand's stored
-        samples are offered through the standard :meth:`insert` path so
-        they can compete for the adaptively chosen dyadic directions;
-        points that fall inside the merged hull are discarded by step 1,
-        which is sound — a contained point beats no direction's support.
+        samples are re-offered through :meth:`insert_many` — the same
+        vectorised prefilter + survivor path batch ingestion uses, and
+        exactly equivalent to a per-point :meth:`insert` loop — so they
+        can compete for the adaptively chosen dyadic directions; points
+        that fall inside the merged hull are discarded by step 1, which
+        is sound — a contained point beats no direction's support.
 
         The result is a valid adaptive summary of the concatenated
         stream: the sample budget (≤ 2r + 1) and the Theorem 5.4 error
@@ -212,9 +267,10 @@ class AdaptiveHull(HullSummary):
             self._drain_queue()
             for j in range(self.r):
                 self._sync_tree(j, None)
+            self._needs_full_sync = False
             self._rebuild_hull()
-        for p in extras:
-            self.insert(p)
+        if extras:
+            self.insert_many(extras)
         self.points_seen = seen
         self.points_processed = processed
         return self
@@ -367,6 +423,12 @@ class AdaptiveHull(HullSummary):
         self.unrefinements = int(counters["unrefinements"])
         self.nodes_visited = int(counters["nodes_visited"])
         self.ring_discards = int(counters["ring_discards"])
+        # Snapshots store pure-leaf trees as None (their roots are
+        # recreated lazily), so the restored forest is not node-for-node
+        # the live one; the next surviving point must take the classic
+        # full walk, which recreates those roots exactly as sequential
+        # streaming would.
+        self._needs_full_sync = True
         self._rebuild_hull()
 
     def _tree_state(self, node: Optional[RefinementNode]):
@@ -392,13 +454,53 @@ class AdaptiveHull(HullSummary):
 
     # -- internals -----------------------------------------------------------
 
+    def _trusted_ring_triangles(self) -> np.ndarray:
+        """Cached ``(m, 3, 2)`` array of the *trusted* leaf uncertainty
+        triangles, as ``(a, apex, b)`` rows (the argument order of the
+        scalar ``point_in_triangle`` test they replace).
+
+        Trusted means the triangle may certify a ring discard: apex
+        defined, height within the Corollary 5.2 bound, non-degenerate.
+        The forest and perimeter are frozen between mutations, so the
+        array is a pure function of summary state — it is rebuilt lazily
+        and invalidated at the :meth:`_rebuild_hull` chokepoint.
+        """
+        tris = self._ring_cache
+        if tris is None:
+            bound = 16.0 * math.pi * self.perimeter / (self.r * self.r)
+            rows = []
+            for t in self.leaf_triangles():
+                if t.apex is None:
+                    continue
+                if t.ell_tilde > bound:
+                    continue  # too tall to certify the discard
+                # A collapsed (zero-area) triangle certifies nothing:
+                # the orientation predicate would treat its whole
+                # support line as boundary and "contain" points far
+                # beyond the segment (e.g. (0,3) against the sliver
+                # (0,-1),(0,-1),(0,0)).
+                area2 = (t.apex[0] - t.a[0]) * (t.b[1] - t.a[1]) - (
+                    t.apex[1] - t.a[1]
+                ) * (t.b[0] - t.a[0])
+                if area2 == 0.0:
+                    continue
+                rows.append((t.a, t.apex, t.b))
+            tris = (
+                np.asarray(rows, dtype=np.float64)
+                if rows
+                else np.empty((0, 3, 2), dtype=np.float64)
+            )
+            self._ring_cache = tris
+        return tris
+
     def _inside_ring(self, p: Point) -> bool:
         """Is ``p`` inside some *trusted* leaf uncertainty triangle?
 
         Called only for points already outside the sample hull, so
-        membership in the ring reduces to membership in a triangle.
-        O(r) over the leaf edges; such points are rare, and a ring hit
-        saves the full tree update.
+        membership in the ring reduces to membership in a triangle —
+        one vectorised sweep over the cached trusted-triangle array
+        (bit-identical to the per-triangle ``point_in_triangle`` loop
+        it replaced).
 
         Only triangles whose height already sits within the Corollary
         5.2 bound may certify a discard: a young forest (few processed
@@ -410,26 +512,164 @@ class AdaptiveHull(HullSummary):
         simply let the point take the full processing path, which
         refines them.
         """
-        from ..geometry.predicates import point_in_triangle
+        tris = self._trusted_ring_triangles()
+        if not len(tris):
+            return False
+        px = np.array([p[0]], dtype=np.float64)
+        py = np.array([p[1]], dtype=np.float64)
+        return bool(points_in_triangles(px, py, tris).any())
 
-        bound = 16.0 * math.pi * self.perimeter / (self.r * self.r)
-        for t in self.leaf_triangles():
-            if t.apex is None:
-                continue
-            if t.ell_tilde > bound:
-                continue  # too tall to certify the discard
-            # A collapsed (zero-area) triangle certifies nothing: the
-            # orientation predicate would treat its whole support line
-            # as boundary and "contain" points far beyond the segment
-            # (e.g. (0,3) against the sliver (0,-1),(0,-1),(0,0)).
-            area2 = (t.apex[0] - t.a[0]) * (t.b[1] - t.a[1]) - (
-                t.apex[1] - t.a[1]
-            ) * (t.b[0] - t.a[0])
-            if area2 == 0.0:
-                continue
-            if point_in_triangle(p, t.a, t.apex, t.b):
-                return True
-        return False
+    def _direction_registry(self) -> Tuple[np.ndarray, ...]:
+        """Flat registry of the active *internal* sampling directions.
+
+        Returns ``(mvx, mvy, support, tree)`` arrays with one entry per
+        internal node: its mid-direction unit vector components, the
+        support ``dot(t, mid_vector)`` of its stored extremum, and the
+        index of the tree that owns it.  While the uniform layer is
+        unchanged, a surviving point can only disturb the trees whose
+        registry support it beats (see insert); one elementwise
+        multiply-add against these arrays finds them.  Rebuilt lazily,
+        invalidated at :meth:`_rebuild_hull`.
+        """
+        reg = self._registry_cache
+        if reg is None:
+            mvx: List[float] = []
+            mvy: List[float] = []
+            sup: List[float] = []
+            tree: List[int] = []
+            for j, root in enumerate(self._roots):
+                if root is None:
+                    continue
+                for node in root.iter_internal():
+                    mv = node.mid_vector
+                    t = node.t
+                    mvx.append(mv[0])
+                    mvy.append(mv[1])
+                    sup.append(t[0] * mv[0] + t[1] * mv[1])
+                    tree.append(j)
+            reg = (
+                np.asarray(mvx, dtype=np.float64),
+                np.asarray(mvy, dtype=np.float64),
+                np.asarray(sup, dtype=np.float64),
+                np.asarray(tree, dtype=np.intp),
+            )
+            self._registry_cache = reg
+        return reg
+
+    def _dirty_trees(self, p: Point) -> np.ndarray:
+        """Ascending indices of trees holding an internal node whose
+        mid-direction support ``p`` strictly beats (the only trees a
+        walk could change while the uniform layer is unchanged)."""
+        mvx, mvy, sup, tree = self._direction_registry()
+        if not len(sup):
+            return tree
+        hits = (p[0] * mvx + p[1] * mvy) > sup
+        if not hits.any():
+            return tree[:0]
+        return np.unique(tree[hits])
+
+    def _tree_node_counts(self) -> Tuple[List[int], int]:
+        """Per-tree live node counts and their total (cached).
+
+        A no-op walk of a steady tree visits exactly ``count_nodes``
+        nodes, which is how the survivor fast path reconstructs
+        ``nodes_visited`` without walking clean trees.
+        """
+        cached = self._tree_count_cache
+        if cached is None:
+            counts = [
+                root.count_nodes() if root is not None else 0
+                for root in self._roots
+            ]
+            cached = (counts, sum(counts))
+            self._tree_count_cache = cached
+        return cached
+
+    def _bulk_noop_safe(self) -> bool:
+        """May ``consume_survivors`` account no-op survivors in bulk?
+
+        True whenever the forest is steady for the current perimeter —
+        always the case here after any insert; the fixed-size subclass
+        overrides this to rule out a pending budget rebalance.
+        """
+        return True
+
+    def consume_survivors(self, sxs: np.ndarray, sys: np.ndarray):
+        """Bulk-ingest a leading run of prefilter survivors (see
+        :func:`repro.core.batch.prefiltered_insert_many`).
+
+        One vectorised sweep classifies the rows exactly as sequential
+        :meth:`insert` would: exact containment (discard), trusted-ring
+        membership (discard + ring counter), or a support sweep over
+        *every* active sampling direction — uniform and internal — that
+        separates pure counter churn (state provably untouched) from
+        genuinely mutating points.  The non-mutating prefix is accounted
+        in bulk; the first mutating row goes through the real
+        :meth:`insert`.  Returns ``(consumed, changed, mutated)``.
+        """
+        hull = self._hull
+        if self._needs_full_sync or not self._bulk_noop_safe() or len(hull) < 3:
+            return 1, int(self.insert((float(sxs[0]), float(sys[0])))), True
+        k = min(len(sxs), SURVIVOR_LOOKAHEAD)
+        # Scalar prefix: while mutations are dense (young hull) the
+        # sweep's fixed cost cannot amortise, so the first few rows take
+        # the sequential path, bailing at the first state change.  Every
+        # ``_rebuild_hull`` installs a fresh hull list, so object
+        # identity detects mutation exactly (the deferred-rebuild
+        # counter-churn path keeps the same list).
+        changed = 0
+        split = k if k < 2 * SURVIVOR_SCALAR_PREFIX else SURVIVOR_SCALAR_PREFIX
+        for i in range(split):
+            changed += int(self.insert((float(sxs[i]), float(sys[i]))))
+            if self._hull is not hull:
+                return i + 1, changed, True
+        if split == k:
+            return k, changed, False
+        sxs = sxs[split:k]
+        sys = sys[split:k]
+        k -= split
+        inside = contains_points(hull, sxs, sys)
+        outside = ~inside
+        if self.ring_discard:
+            tris = self._trusted_ring_triangles()
+            if len(tris):
+                ring = outside & points_in_triangles(sxs, sys, tris).any(axis=1)
+            else:
+                ring = np.zeros(k, dtype=bool)
+        else:
+            ring = np.zeros(k, dtype=bool)
+        u = self._uniform
+        beats = (
+            (sxs[:, None] * u._dx[None, :] + sys[:, None] * u._dy[None, :])
+            > u._support[None, :]
+        ).any(axis=1)
+        mvx, mvy, sup, _tree = self._direction_registry()
+        if len(sup):
+            beats |= (
+                (sxs[:, None] * mvx[None, :] + sys[:, None] * mvy[None, :])
+                > sup[None, :]
+            ).any(axis=1)
+        mutating = outside & ~ring & beats
+        first = int(np.argmax(mutating)) if mutating.any() else k
+        # Bulk-account the non-mutating prefix exactly as sequential
+        # insert: insiders bump points_seen only; ring hits add a ring
+        # discard; the rest are processed no-ops — uniform offer plus a
+        # full-forest no-op walk, all reconstructed arithmetically.
+        n_inside = int(np.count_nonzero(inside[:first]))
+        n_ring = int(np.count_nonzero(ring[:first]))
+        n_noop = first - n_inside - n_ring
+        self.points_seen += first
+        self.ring_discards += n_ring
+        changed += n_noop  # a processed no-op still returns True
+        if n_noop:
+            self.points_processed += n_noop
+            u.points_processed += n_noop
+            _counts, total = self._tree_node_counts()
+            self.nodes_visited += n_noop * total
+        if first < k:
+            changed += int(self.insert((float(sxs[first]), float(sys[first]))))
+            return split + first + 1, changed, True
+        return split + k, changed, False
 
     def _dir_vec(self, d: DyadicDirection) -> Vector:
         v = self._vec_cache.get(d)
@@ -439,14 +679,33 @@ class AdaptiveHull(HullSummary):
         return v
 
     def _ell_tilde(self, node: RefinementNode) -> float:
-        return triangle_for_edge(
-            node.a, node.b, self._dir_vec(node.lo), self._dir_vec(node.hi)
-        ).ell_tilde
+        # ell_tilde is a pure function of the edge endpoints and the
+        # node's (immutable) dyadic range — memoised on the node, keyed
+        # by the endpoints, because the walk re-derives thresholds from
+        # it at every visit.
+        key = (node.a, node.b)
+        if node._ell_key != key:
+            node._ell = triangle_for_edge(
+                node.a, node.b, self._dir_vec(node.lo), self._dir_vec(node.hi)
+            ).ell_tilde
+            node._ell_key = key
+            node._thr = -1.0  # derived thresholds are now stale
+        return node._ell
 
     def _effective_threshold(self, node: RefinementNode) -> tuple:
-        """(effective, exact) perimeter thresholds for a node's weight."""
-        thr = refine_threshold(self._ell_tilde(node), self.r, node.depth)
-        return self._queue.effective_threshold(thr), thr
+        """(effective, exact) perimeter thresholds for a node's weight.
+
+        Memoised with ``_ell_tilde``: both are pure functions of the
+        endpoints (``refine_threshold`` is never negative, so ``-1``
+        marks staleness), and the pow2 queue's rounding costs a
+        ``log2`` per call that the walk would otherwise repeat at every
+        node visit."""
+        ell = self._ell_tilde(node)
+        thr = node._thr
+        if thr < 0.0:
+            node._thr = thr = refine_threshold(ell, self.r, node.depth)
+            node._eff = self._queue.effective_threshold(thr)
+        return node._eff, thr
 
     def _sync_tree(self, j: int, p: Optional[Point]) -> None:
         """Steps 3 and 5 for the tree over uniform edge j."""
@@ -492,9 +751,13 @@ class AdaptiveHull(HullSummary):
             self._try_refine(node)
             return
         # Internal node: the bisecting direction is active; let p compete.
+        # (dot() inlined: the walk visits every node on the hot path.)
         mv = node.mid_vector
-        assert node.t is not None
-        if p is not None and dot(p, mv) > dot(node.t, mv):
+        t = node.t
+        assert t is not None
+        if p is not None and (
+            p[0] * mv[0] + p[1] * mv[1] > t[0] * mv[0] + t[1] * mv[1]
+        ):
             node.t = p
         if self._should_unrefine(node, perim):
             node.unrefine()
@@ -548,7 +811,7 @@ class AdaptiveHull(HullSummary):
         """
         perim = self._uniform.perimeter
         requeue = []
-        for node in self._queue.pop_due(perim):
+        for node in self._queue.drain_due(perim):
             if not node.alive or node.is_leaf:
                 continue
             eff, thr = self._effective_threshold(node)
@@ -562,6 +825,11 @@ class AdaptiveHull(HullSummary):
 
     def _rebuild_hull(self) -> None:
         # Every sample-changing path (insert, merge, load_state) ends
-        # here, making it the one chokepoint for the staleness counter.
+        # here, making it the one chokepoint for the staleness counter —
+        # and therefore for the survivor fast-path caches, which are
+        # valid precisely while the forest/perimeter are frozen.
         self._bump_generation()
+        self._registry_cache = None
+        self._tree_count_cache = None
+        self._ring_cache = None
         self._hull = convex_hull(self.samples())

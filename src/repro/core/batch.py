@@ -45,6 +45,8 @@ import numpy as np
 from ..geometry.vec import Point
 
 __all__ = [
+    "SURVIVOR_LOOKAHEAD",
+    "SURVIVOR_SCALAR_PREFIX",
     "as_key_array",
     "as_point_array",
     "as_ts_array",
@@ -67,6 +69,19 @@ _MIN_SEGMENT = 64
 #: Mask re-filters allowed per segment before degrading that segment to
 #: the per-point path (protects against adversarial hull churn).
 _MAX_REFILTERS = 8
+
+#: Max survivors a summary's ``consume_survivors`` hook classifies per
+#: call.  Caps the vectorised lookahead so that a churn-heavy stream
+#: (every survivor mutating) costs O(survivors * lookahead) row ops in
+#: the worst case instead of O(survivors^2).
+SURVIVOR_LOOKAHEAD = 256
+
+#: Rows a ``consume_survivors`` hook steps through the scalar sequential
+#: path before paying the fixed cost of a vectorised sweep.  While the
+#: young hull mutates every few survivors, the sweep can never amortise;
+#: the scalar prefix exits at the first mutation for the cost of the
+#: per-point path the driver would have used anyway.
+SURVIVOR_SCALAR_PREFIX = 8
 
 
 def as_point_array(points) -> np.ndarray:
@@ -150,8 +165,18 @@ def as_ts_array(ts, n: int) -> Optional[np.ndarray]:
     return ts_arr
 
 
+#: One-entry memo for :func:`_edge_forms`, keyed by hull-list identity.
+#: Summaries never mutate a hull list in place (every rebuild installs a
+#: fresh list), so identity implies identical contents; holding the
+#: reference pins the list so its id cannot be recycled.  The driver
+#: filters the same hull object many times per batch (segment after
+#: segment until the next mutation), which otherwise rebuilds these
+#: arrays from scratch on every call.
+_FORMS_MEMO: list = [None, None]
+
+
 def _edge_forms(hull: Sequence[Point]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Linear forms of a CCW hull's edges.
+    """Linear forms of a CCW hull's edges (memoised on hull identity).
 
     For edge ``a -> b`` the orientation cross product of point ``p`` is
     the linear form ``-ey*px + ex*py + (ey*ax - ex*ay)`` with
@@ -161,13 +186,20 @@ def _edge_forms(hull: Sequence[Point]) -> Tuple[np.ndarray, np.ndarray, np.ndarr
     ``|ex| + |ey|`` used to bound the relative tolerance of the exact
     predicate.
     """
+    if _FORMS_MEMO[0] is hull:
+        return _FORMS_MEMO[1]
     h = np.asarray(hull, dtype=np.float64)
-    b = np.roll(h, -1, axis=0)
+    b = np.empty_like(h)
+    b[:-1] = h[1:]
+    b[-1] = h[0]
     ex = b[:, 0] - h[:, 0]
     ey = b[:, 1] - h[:, 1]
     coeffs = np.stack((-ey, ex), axis=1)
     const = ey * h[:, 0] - ex * h[:, 1]
-    return coeffs, const, np.abs(ex) + np.abs(ey)
+    forms = (coeffs, const, np.abs(ex) + np.abs(ey))
+    _FORMS_MEMO[0] = hull
+    _FORMS_MEMO[1] = forms
+    return forms
 
 
 def certain_inside_mask(
@@ -227,6 +259,17 @@ def prefiltered_insert_many(
     points — identical to what a sequential ``insert`` loop would
     return, with identical final state and counters.
 
+    Summaries may additionally expose a ``consume_survivors(sxs, sys)``
+    hook: given the coordinate arrays of the remaining mask survivors
+    (in stream order), it must ingest a leading run of them with state
+    and counters identical to sequential ``insert`` and return
+    ``(consumed, changed, mutated)`` with ``consumed >= 1``.  ``mutated``
+    may be conservatively True (the driver then revalidates the mask
+    against the possibly-changed hull — segmentation of the survivor
+    stream is equivalence-invariant, so an extra revalidation can never
+    change the result).  The hook is where the adaptive and uniform
+    summaries classify survivors in bulk instead of one insert() each.
+
     Raises:
         ValueError / TypeError: on malformed batches, before any point
             is ingested (atomic validation).
@@ -237,6 +280,7 @@ def prefiltered_insert_many(
     xs = arr[:, 0]
     ys = arr[:, 1]
     n = len(arr)
+    consume = getattr(summary, "consume_survivors", None)
     changed = 0
     pos = 0
     seg = min(_MIN_SEGMENT, chunk)
@@ -261,29 +305,54 @@ def prefiltered_insert_many(
                 pos = end
                 break
             ref_hull = list(hull)
-            mask = certain_inside_mask(ref_hull, xs[pos:end], ys[pos:end])
+            # Filter against the live hull object (not the copy): its
+            # identity keys the edge-forms memo across segments.
+            mask = certain_inside_mask(hull, xs[pos:end], ys[pos:end])
             survivors = np.flatnonzero(~mask)
             done = pos  # next index whose points_seen is unaccounted
             dirty = False
-            for off in survivors:
-                j = pos + int(off)
-                # Everything between the last survivor and this one is
-                # certified inside: sequential insert would discard
-                # each after bumping points_seen.
-                summary.points_seen += j - done
-                if summary.insert((float(xs[j]), float(ys[j]))):
-                    changed += 1
-                    new_hull = summary.hull()
-                    if new_hull != ref_hull and not _region_covers(
-                        new_hull, ref_hull
-                    ):
-                        # The hull shrank: the mask past this point is
-                        # no longer certified — re-filter the rest of
-                        # the segment against the new hull.
-                        done = j + 1
-                        dirty = True
-                        break
-                done = j + 1
+            if consume is not None:
+                sxs = xs[pos + survivors]
+                sys_ = ys[pos + survivors]
+                i = 0
+                m = len(survivors)
+                while i < m:
+                    consumed, ch, mutated = consume(sxs[i:], sys_[i:])
+                    changed += ch
+                    # The hook accounted points_seen for the consumed
+                    # survivors themselves; the certified insiders
+                    # interleaved with them are billed here.
+                    last = pos + int(survivors[i + consumed - 1])
+                    summary.points_seen += (last + 1 - done) - consumed
+                    done = last + 1
+                    i += consumed
+                    if mutated:
+                        new_hull = summary.hull()
+                        if new_hull != ref_hull and not _region_covers(
+                            new_hull, ref_hull
+                        ):
+                            dirty = True
+                            break
+            else:
+                for off in survivors:
+                    j = pos + int(off)
+                    # Everything between the last survivor and this one
+                    # is certified inside: sequential insert would
+                    # discard each after bumping points_seen.
+                    summary.points_seen += j - done
+                    if summary.insert((float(xs[j]), float(ys[j]))):
+                        changed += 1
+                        new_hull = summary.hull()
+                        if new_hull != ref_hull and not _region_covers(
+                            new_hull, ref_hull
+                        ):
+                            # The hull shrank: the mask past this point
+                            # is no longer certified — re-filter the
+                            # rest of the segment against the new hull.
+                            done = j + 1
+                            dirty = True
+                            break
+                    done = j + 1
             if dirty:
                 refilters += 1
                 pos = done

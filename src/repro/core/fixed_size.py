@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
-from ..geometry.vec import Point
+from ..geometry.vec import Point, dot
 from .adaptive_hull import AdaptiveHull
 from .refinement import RefinementNode
 from .weights import sample_weight
@@ -61,6 +61,12 @@ class FixedSizeAdaptiveHull(AdaptiveHull):
         self.budget = r  # internal (refined) nodes == extra directions
         self.max_swaps = max_swaps if max_swaps is not None else 8 * r
         self.swaps = 0
+        # Bulk-survivor safety (see _bulk_noop_safe): True only while
+        # the last completed rebalance terminated naturally *after* the
+        # latest forest mutation, i.e. while a rebalance is provably a
+        # no-op and no-op survivors may skip it in bulk.
+        self._budget_steady = True
+        self._bulk_safe = True
 
     # -- persistence ----------------------------------------------------------
 
@@ -95,6 +101,7 @@ class FixedSizeAdaptiveHull(AdaptiveHull):
         super().merge(other)
         self._rebalance()
         self._rebuild_hull()
+        self._bulk_safe = self._budget_steady
         self.swaps += other.swaps
         return self
 
@@ -108,12 +115,29 @@ class FixedSizeAdaptiveHull(AdaptiveHull):
         """Budget mode: no threshold-driven refinement inside the walk."""
         return
 
+    def _bulk_noop_safe(self) -> bool:
+        """Bulk no-op accounting is sound only while a rebalance is
+        provably a no-op: the forest is unchanged since a rebalance that
+        terminated naturally (a re-run would rescan the same forest and
+        immediately return).  A pending rebalance — mid-merge before the
+        trailing one, or a run cut off by ``max_swaps`` — could still
+        act on a state-preserving insert, so those fall back to the
+        per-point path."""
+        return self._bulk_safe
+
+    def _rebuild_hull(self) -> None:
+        # Any mutation makes the last completed rebalance stale until
+        # the owning operation's trailing rebalance re-certifies it.
+        self._bulk_safe = False
+        super()._rebuild_hull()
+
     def insert(self, p: Point) -> bool:
         """Process a point, then rebalance the direction budget."""
         changed = super().insert(p)
         if changed:
             self._rebalance()
             self._rebuild_hull()
+            self._bulk_safe = self._budget_steady
         return changed
 
     # -- rebalancing -------------------------------------------------------------
@@ -160,15 +184,20 @@ class FixedSizeAdaptiveHull(AdaptiveHull):
         return count, best_leaf, best_w, worst_int, worst_w
 
     def _refine_leaf(self, leaf: RefinementNode) -> None:
-        from ..geometry.vec import dot
-
         mv = leaf.mid_vector
         t = leaf.a if dot(leaf.a, mv) >= dot(leaf.b, mv) else leaf.b
         leaf.refine(t)
         self.refinements += 1
 
     def _rebalance(self) -> None:
-        """Greedy budget maintenance (see module docstring)."""
+        """Greedy budget maintenance (see module docstring).
+
+        Sets ``_budget_steady``: True when the loop terminated naturally
+        (no further action is possible, so an immediate re-run would be
+        a no-op — the certificate the bulk-survivor fast path needs),
+        False when the ``max_swaps`` cap cut it off mid-rebalance.
+        """
+        self._budget_steady = True
         if self._uniform.perimeter <= 0.0:
             return
         for _ in range(self.max_swaps):
@@ -198,4 +227,4 @@ class FixedSizeAdaptiveHull(AdaptiveHull):
             if best_leaf is not None:
                 self._refine_leaf(best_leaf)
             self.swaps += 1
-        return
+        self._budget_steady = False

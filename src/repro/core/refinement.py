@@ -58,6 +58,10 @@ class RefinementNode:
         "right",
         "alive",
         "_mid_vec",
+        "_ell",
+        "_ell_key",
+        "_thr",
+        "_eff",
     )
 
     def __init__(
@@ -79,6 +83,16 @@ class RefinementNode:
         self.right: Optional["RefinementNode"] = None
         self.alive = True
         self._mid_vec: Optional[Vector] = None
+        # Memoised ell_tilde for the edge (a, b): the dyadic range of a
+        # node never changes, so the uncertainty-triangle geometry is a
+        # pure function of the endpoints — the owner caches it here and
+        # revalidates by comparing the key against the current (a, b).
+        # The derived perimeter thresholds (exact and queue-rounded) are
+        # cached alongside; ``_thr < 0`` marks them stale.
+        self._ell: float = 0.0
+        self._ell_key: Optional[tuple] = None
+        self._thr: float = -1.0
+        self._eff: float = 0.0
 
     # -- structure queries -------------------------------------------------
 

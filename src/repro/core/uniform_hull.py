@@ -27,10 +27,20 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..geometry.hull import convex_hull
-from ..geometry.polygon import contains_point, perimeter as polygon_perimeter
+from ..geometry.polygon import (
+    contains_point,
+    contains_points,
+    perimeter as polygon_perimeter,
+)
 from ..geometry.vec import Point, Vector, dot, unit
 from .base import HullSummary, coerce_point
-from .batch import DEFAULT_CHUNK, prefiltered_insert_many
+from .batch import (
+    DEFAULT_CHUNK,
+    SURVIVOR_LOOKAHEAD,
+    SURVIVOR_SCALAR_PREFIX,
+    prefiltered_insert_many,
+)
+from .uncertainty import triangle_for_edge
 
 __all__ = ["UniformHull"]
 
@@ -60,8 +70,15 @@ class UniformHull(HullSummary):
         self.r = r
         self.theta0 = 2.0 * math.pi / r
         self._dirs: List[Vector] = [unit(j * self.theta0) for j in range(r)]
+        # Direction components as (r,) arrays and supports as one (r,)
+        # float64 array: offer() is a single elementwise multiply-add +
+        # compare instead of a Python loop over directions.  Elementwise
+        # ops (never a BLAS matvec) keep every support value bit-equal
+        # to the scalar expression ``p[0]*dx + p[1]*dy``.
+        self._dx = np.array([d[0] for d in self._dirs], dtype=np.float64)
+        self._dy = np.array([d[1] for d in self._dirs], dtype=np.float64)
         self._extreme: List[Optional[Point]] = [None] * r
-        self._support: List[float] = [-math.inf] * r
+        self._support = np.full(r, -math.inf, dtype=np.float64)
         self._hull: List[Point] = []
         self._perimeter = 0.0
         self.points_seen = 0
@@ -83,7 +100,7 @@ class UniformHull(HullSummary):
         self.points_seen += 1
         if self._hull and contains_point(self._hull, p):
             return False
-        return self._offer(p)
+        return len(self.offer_changed(p)) > 0
 
     def insert_many(self, points, chunk: int = DEFAULT_CHUNK) -> int:
         """Vectorised batch ingestion (see :mod:`repro.core.batch`).
@@ -130,16 +147,14 @@ class UniformHull(HullSummary):
         uniform layer in before re-syncing its refinement forest;
         returns True when any direction changed.
         """
-        wins = np.flatnonzero(
-            np.asarray(other._support) > np.asarray(self._support)
-        )
+        wins = np.flatnonzero(other._support > self._support)
+        if not len(wins):
+            return False
+        self._support[wins] = other._support[wins]
         for j in wins:
-            self._support[j] = other._support[j]
-            self._extreme[j] = other._extreme[j]
-        if len(wins):
-            self._rebuild()
-            return True
-        return False
+            self._extreme[int(j)] = other._extreme[int(j)]
+        self._rebuild()
+        return True
 
     # -- persistence ---------------------------------------------------------
 
@@ -151,7 +166,7 @@ class UniformHull(HullSummary):
         """JSON-serialisable snapshot of the full summary state."""
         return {
             "extreme": [list(e) if e is not None else None for e in self._extreme],
-            "support": list(self._support),
+            "support": [float(s) for s in self._support],
             "points_seen": self.points_seen,
             "points_processed": self.points_processed,
         }
@@ -167,7 +182,7 @@ class UniformHull(HullSummary):
         self._extreme = [
             (float(e[0]), float(e[1])) if e is not None else None for e in extreme
         ]
-        self._support = [float(s) for s in support]
+        self._support = np.array([float(s) for s in support], dtype=np.float64)
         self.points_seen = int(state["points_seen"])
         self.points_processed = int(state["points_processed"])
         if any(e is not None for e in self._extreme):
@@ -185,20 +200,71 @@ class UniformHull(HullSummary):
         discard test before delegating here.  Returns True if any
         direction's extremum changed.
         """
-        return self._offer(p)
+        return len(self.offer_changed(p)) > 0
 
-    def _offer(self, p: Point) -> bool:
+    def offer_changed(self, p: Point) -> np.ndarray:
+        """Like :meth:`offer`, but return the array of direction indices
+        whose extremum ``p`` replaced (ascending; empty for no change).
+
+        One elementwise multiply-add over the direction components plus
+        one compare against the support array — the vectorised form of
+        the per-direction loop, producing bit-identical supports.
+        """
         self.points_processed += 1
-        changed = False
-        for j in range(self.r):
-            s = p[0] * self._dirs[j][0] + p[1] * self._dirs[j][1]
-            if s > self._support[j]:
-                self._support[j] = s
-                self._extreme[j] = p
-                changed = True
-        if changed:
+        s = p[0] * self._dx + p[1] * self._dy
+        wins = np.flatnonzero(s > self._support)
+        if len(wins):
+            self._support[wins] = s[wins]
+            for j in wins:
+                self._extreme[int(j)] = p
             self._rebuild()
-        return changed
+        return wins
+
+    def consume_survivors(self, sxs: np.ndarray, sys: np.ndarray):
+        """Bulk-ingest a leading run of prefilter survivors (see
+        :func:`repro.core.batch.prefiltered_insert_many`).
+
+        The rows are points the conservative inside-mask could not
+        certify.  One exact vectorised containment sweep plus one
+        support sweep classifies them; rows that sequential
+        :meth:`insert` would discard (exactly inside) or process without
+        changing any extremum are accounted for in bulk, and the first
+        row that would actually change a direction goes through the real
+        :meth:`insert`.  Returns ``(consumed, changed, mutated)``.
+        """
+        hull = self._hull
+        if len(hull) < 3:
+            return 1, int(self.insert((float(sxs[0]), float(sys[0])))), True
+        k = min(len(sxs), SURVIVOR_LOOKAHEAD)
+        # Scalar prefix: while mutations are dense (young hull) the
+        # vectorised sweep's fixed cost cannot amortise — step the first
+        # few rows through the sequential insert, bailing at the first
+        # extremum change.
+        split = k if k < 2 * SURVIVOR_SCALAR_PREFIX else SURVIVOR_SCALAR_PREFIX
+        for i in range(split):
+            if self.insert((float(sxs[i]), float(sys[i]))):
+                return i + 1, 1, True
+        if split == k:
+            return k, 0, False
+        sxs = sxs[split:k]
+        sys = sys[split:k]
+        k -= split
+        inside = contains_points(hull, sxs, sys)
+        beats = (
+            (sxs[:, None] * self._dx[None, :] + sys[:, None] * self._dy[None, :])
+            > self._support[None, :]
+        ).any(axis=1)
+        mutating = ~inside & beats
+        first = int(np.argmax(mutating)) if mutating.any() else k
+        # Sequential accounting for the non-mutating prefix: every row
+        # bumps points_seen; exact outsiders also reach _offer (one
+        # points_processed each) but beat nothing and return False.
+        self.points_seen += first
+        self.points_processed += first - int(np.count_nonzero(inside[:first]))
+        if first < k:
+            changed = int(self.insert((float(sxs[first]), float(sys[first]))))
+            return split + first + 1, changed, True
+        return split + k, 0, False
 
     def _rebuild(self) -> None:
         # Every extremum-changing path (offer, merge_directions,
@@ -223,7 +289,7 @@ class UniformHull(HullSummary):
 
     def support(self, j: int) -> float:
         """The support value ``max dot(p, u_j)`` over processed points."""
-        return self._support[j % self.r]
+        return float(self._support[j % self.r])
 
     def direction(self, j: int) -> Vector:
         """Unit vector of sampling direction ``j``."""
@@ -231,7 +297,7 @@ class UniformHull(HullSummary):
 
     def beats(self, p: Point, j: int) -> bool:
         """Would ``p`` strictly improve the extremum in direction ``j``?"""
-        return dot(p, self._dirs[j % self.r]) > self._support[j % self.r]
+        return dot(p, self._dirs[j % self.r]) > float(self._support[j % self.r])
 
     def edge_triangles(self):
         """Uncertainty triangles of the uniformly sampled hull's edges.
@@ -242,8 +308,6 @@ class UniformHull(HullSummary):
         Together these form the uniform hull's uncertainty ring
         (Lemma 3.2: heights are O(D/r)).
         """
-        from .uncertainty import triangle_for_edge
-
         for j in range(self.r):
             a = self._extreme[j]
             b = self._extreme[(j + 1) % self.r]
@@ -262,4 +326,4 @@ class UniformHull(HullSummary):
         opp = (j + self.r // 2) % self.r
         if self._extreme[j % self.r] is None:
             return 0.0
-        return self._support[j % self.r] + self._support[opp]
+        return float(self._support[j % self.r] + self._support[opp])

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-from .predicates import orientation_sign
+from .polygon import contains_point
+from .predicates import EPS
 from .vec import Point
 
 __all__ = ["convex_hull", "OnlineHull"]
@@ -24,16 +25,30 @@ __all__ = ["convex_hull", "OnlineHull"]
 def _half_hull(points: Sequence[Point]) -> List[Point]:
     """Build one chain of the hull from x-sorted points (strict turns).
 
-    Uses the library's toleranced orientation sign, so vertices that are
-    collinear within the relative EPS are dropped — keeping hulls
-    consistent with the predicates used by containment and convexity
-    checks elsewhere.
+    Uses the library's toleranced orientation sign — inlined, because
+    this loop dominates every hull rebuild on the ingest hot path: the
+    arithmetic and the relative-EPS policy are exactly
+    :func:`~repro.geometry.predicates.orientation_sign` (vertices that
+    are collinear within the relative EPS are dropped), keeping hulls
+    consistent with the containment and convexity predicates elsewhere.
     """
     chain: List[Point] = []
+    append = chain.append
+    pop = chain.pop
     for p in points:
-        while len(chain) >= 2 and orientation_sign(chain[-2], chain[-1], p) <= 0:
-            chain.pop()
-        chain.append(p)
+        cx, cy = p
+        while len(chain) >= 2:
+            ax, ay = chain[-2]
+            bx, by = chain[-1]
+            t1 = (bx - ax) * (cy - ay)
+            t2 = (by - ay) * (cx - ax)
+            v = t1 - t2
+            # keep only strict CCW turns: sign(v) == +1 under the
+            # relative tolerance |v| <= EPS * (|t1| + |t2| + 1e-300)
+            if v > 0.0 and v > EPS * (abs(t1) + abs(t2) + 1e-300):
+                break
+            pop()
+        append(p)
     return chain
 
 
@@ -100,8 +115,6 @@ class OnlineHull:
 
     def contains(self, p: Point) -> bool:
         """True if ``p`` lies inside or on the current hull."""
-        from .polygon import contains_point
-
         if not self._hull:
             return False
         return contains_point(self._hull, p)

@@ -18,13 +18,16 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
-from .predicates import EPS, between, orientation_sign
+import numpy as np
+
+from .predicates import EPS, between, orientation_sign, orientation_signs
 from .vec import Point, Vector, cross, dist, dot, sub
 
 __all__ = [
     "perimeter",
     "area",
     "contains_point",
+    "contains_points",
     "extreme_vertex",
     "support",
     "extent",
@@ -111,6 +114,51 @@ def contains_point(poly: Sequence[Point], p: Point, tol: float = 0.0) -> bool:
         else:
             hi = mid
     return orientation_sign(poly[lo], poly[hi], p) >= 0
+
+
+def contains_points(
+    poly: Sequence[Point], xs: np.ndarray, ys: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`contains_point` (``tol=0``) for ``len(poly) >= 3``.
+
+    Returns a boolean array, *bit-identical* per point to the scalar
+    predicate: the same fan checks against vertex 0's incident edges,
+    the same binary search over the fan (every lane takes the exact
+    ``orientation_sign >= 0`` branch the scalar search takes), and the
+    same closing test against the located fan triangle.  Degenerate
+    polygons (< 3 vertices) use ``dist``/segment predicates whose
+    float behaviour is not replicated here — callers keep those on the
+    scalar path.
+
+    Raises:
+        ValueError: when ``poly`` has fewer than 3 vertices.
+    """
+    n = len(poly)
+    if n < 3:
+        raise ValueError("contains_points requires a polygon with >= 3 vertices")
+    pv = np.asarray(poly, dtype=np.float64)
+    ox = pv[0, 0]
+    oy = pv[0, 1]
+    ok = orientation_signs(ox, oy, pv[1, 0], pv[1, 1], xs, ys) >= 0
+    ok &= orientation_signs(ox, oy, pv[n - 1, 0], pv[n - 1, 1], xs, ys) <= 0
+    lo = np.ones(len(xs), dtype=np.intp)
+    hi = np.full(len(xs), n - 1, dtype=np.intp)
+    while True:
+        gap = hi - lo
+        active = gap > 1
+        if not active.any():
+            break
+        mid = np.where(active, (lo + hi) >> 1, lo)
+        left = (
+            orientation_signs(ox, oy, pv[mid, 0], pv[mid, 1], xs, ys) >= 0
+        )
+        lo = np.where(active & left, mid, lo)
+        hi = np.where(active & ~left, mid, hi)
+    ok &= (
+        orientation_signs(pv[lo, 0], pv[lo, 1], pv[hi, 0], pv[hi, 1], xs, ys)
+        >= 0
+    )
+    return ok
 
 
 def _contains_with_tolerance(poly: Sequence[Point], p: Point, tol: float) -> bool:

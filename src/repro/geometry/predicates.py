@@ -8,6 +8,8 @@ operands, so the predicates behave consistently across coordinate scales.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .vec import Point, cross, dist_sq, dot, sub
 
 EPS = 1e-12
@@ -16,10 +18,12 @@ __all__ = [
     "EPS",
     "orient",
     "orientation_sign",
+    "orientation_signs",
     "is_ccw",
     "is_cw",
     "collinear",
     "point_in_triangle",
+    "points_in_triangles",
     "between",
 ]
 
@@ -76,6 +80,48 @@ def between(a: Point, b: Point, c: Point) -> bool:
         min(a[0], b[0]) - EPS <= c[0] <= max(a[0], b[0]) + EPS
         and min(a[1], b[1]) - EPS <= c[1] <= max(a[1], b[1]) + EPS
     )
+
+
+def orientation_signs(ax, ay, bx, by, cx, cy) -> np.ndarray:
+    """Vectorised :func:`orientation_sign` over broadcastable arrays.
+
+    Replicates the scalar predicate *bit for bit*: the two products of
+    :func:`orient` are formed with the same elementwise expressions (no
+    BLAS/FMA reassociation), and the relative tolerance uses the same
+    ``|t1| + |t2| + 1e-300`` scale.  The batch fast paths rely on this
+    exactness to stay undetectable from the sequential code.
+    """
+    t1 = (bx - ax) * (cy - ay)
+    t2 = (by - ay) * (cx - ax)
+    v = t1 - t2
+    scale = np.abs(t1) + np.abs(t2) + 1e-300
+    out = np.where(v > 0.0, 1, -1)
+    return np.where(np.abs(v) <= EPS * scale, 0, out)
+
+
+def points_in_triangles(
+    px: np.ndarray, py: np.ndarray, triangles: np.ndarray
+) -> np.ndarray:
+    """Closed-triangle containment of ``k`` points against ``m`` triangles.
+
+    ``triangles`` has shape ``(m, 3, 2)``; the result is a ``(k, m)``
+    boolean matrix, elementwise identical to
+    ``point_in_triangle(p, tri[0], tri[1], tri[2])``.
+    """
+    ax = triangles[:, 0, 0][None, :]
+    ay = triangles[:, 0, 1][None, :]
+    bx = triangles[:, 1, 0][None, :]
+    by = triangles[:, 1, 1][None, :]
+    cx = triangles[:, 2, 0][None, :]
+    cy = triangles[:, 2, 1][None, :]
+    qx = px[:, None]
+    qy = py[:, None]
+    s1 = orientation_signs(ax, ay, bx, by, qx, qy)
+    s2 = orientation_signs(bx, by, cx, cy, qx, qy)
+    s3 = orientation_signs(cx, cy, ax, ay, qx, qy)
+    has_neg = (s1 < 0) | (s2 < 0) | (s3 < 0)
+    has_pos = (s1 > 0) | (s2 > 0) | (s3 > 0)
+    return ~(has_neg & has_pos)
 
 
 def point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:

@@ -47,6 +47,17 @@ class HeapThresholdQueue:
         while self._heap and self._heap[0][0] <= driver:
             yield heapq.heappop(self._heap)[2]
 
+    def drain_due(self, driver: float) -> List[Any]:
+        """All due items as a list, in the exact :meth:`pop_due` order
+        (threshold order, insertion-counter tiebreak) — one bulk call
+        for the hot unrefinement sweep instead of a generator round trip
+        per item."""
+        heap = self._heap
+        out: List[Any] = []
+        while heap and heap[0][0] <= driver:
+            out.append(heapq.heappop(heap)[2])
+        return out
+
     def effective_threshold(self, threshold: float) -> float:
         """The threshold actually used (exact for the heap queue)."""
         return threshold
@@ -100,6 +111,20 @@ class Pow2BucketQueue:
             items = self._buckets.pop(b)
             self._size -= len(items)
             yield from items
+
+    def drain_due(self, driver: float) -> List[Any]:
+        """All due items as a list, in the exact :meth:`pop_due` order
+        (bucket order, insertion order within a bucket)."""
+        if driver <= 0.0:
+            return []
+        cut = math.floor(math.log2(driver))
+        due = [b for b in self._buckets if b <= cut]
+        out: List[Any] = []
+        for b in sorted(due):
+            items = self._buckets.pop(b)
+            self._size -= len(items)
+            out.extend(items)
+        return out
 
     def effective_threshold(self, threshold: float) -> float:
         """The power-of-two value at which the item will actually surface."""

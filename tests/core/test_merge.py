@@ -124,7 +124,7 @@ def test_uniform_merge_commutes(params_a, params_b, r):
 
     ab = build(a_pts, b_pts)
     ba = build(b_pts, a_pts)
-    assert ab._support == ba._support
+    assert list(ab._support) == list(ba._support)
     # Vertex sets match up to ties: equal supports keep *self*'s
     # extremum, so swapping operand order can store a different witness
     # point whose coordinates differ by an ulp.  Supports above are
@@ -265,7 +265,7 @@ def test_merge_after_snapshot_restore_roundtrip(params_a, params_b, r):
     assert reloaded.points_processed == a.points_processed
 
     # (2) merge of restored operands: deterministic layers identical
-    assert a2.uniform_layer._support == a.uniform_layer._support
+    assert list(a2.uniform_layer._support) == list(a.uniform_layer._support)
     assert a2.uniform_layer._extreme == a.uniform_layer._extreme
     assert a2.points_seen == a.points_seen
     assert a2.points_processed == a.points_processed
@@ -374,3 +374,60 @@ def test_merged_hull_vertices_inside_merged_region(small_disk_points):
         assert s in pts
     for v in a.hull():
         assert contains_point(a.hull(), v)
+
+
+# -- merge extras go through the batch path -------------------------------
+
+
+class _LoopMergeAdaptive(AdaptiveHull):
+    """AdaptiveHull whose batch ingestion is a plain per-point loop —
+    the reference semantics `merge` must be indistinguishable from."""
+
+    def insert_many(self, points, chunk=None):
+        return sum(1 for p in points if self.insert(p))
+
+
+class _LoopMergeFixed(FixedSizeAdaptiveHull):
+    def insert_many(self, points, chunk=None):
+        return sum(1 for p in points if self.insert(p))
+
+
+@pytest.mark.parametrize(
+    "fast_cls,loop_cls",
+    [
+        (AdaptiveHull, _LoopMergeAdaptive),
+        (FixedSizeAdaptiveHull, _LoopMergeFixed),
+    ],
+    ids=["adaptive", "fixed-size"],
+)
+def test_merge_extras_batch_path_matches_per_point_loop(fast_cls, loop_cls):
+    """`merge` re-offers the other operand's samples through
+    `insert_many`; routing them through the vectorised survivor path
+    must leave hull, samples, and every counter identical to a
+    per-point `insert` loop."""
+    xs = list(as_tuples(disk_stream(2500, seed=41)))
+    ys = list(as_tuples(ellipse_stream(2500, a=6.0, b=1.5, rotation=0.3, seed=42)))
+
+    def build(cls):
+        a, b = cls(16), cls(16)
+        for p in xs:
+            a.insert(p)
+        for p in ys:
+            b.insert(p)
+        return a.merge(b)
+
+    fast = build(fast_cls)
+    loop = build(loop_cls)
+    assert fast.hull() == loop.hull()
+    assert fast.samples() == loop.samples()
+    for attr in (
+        "points_seen",
+        "points_processed",
+        "refinements",
+        "unrefinements",
+        "nodes_visited",
+        "ring_discards",
+    ):
+        assert getattr(fast, attr) == getattr(loop, attr), attr
+    if hasattr(fast, "swaps"):
+        assert fast.swaps == loop.swaps

@@ -6,10 +6,24 @@ the adversarial spiral that maximises hull churn and the grid stream
 full of exact ties), and every chunk size, ``insert_many`` must yield
 the identical hull, identical samples, and identical operation
 counters as the sequential loop.
+
+Counter semantics under bulk classification: the vectorised survivor
+hooks (``consume_survivors``) may discharge a run of non-mutating rows
+without executing the per-point walk, but the counters still describe
+the *sequential* execution — each bulk-discharged row advances
+``points_seen``/``points_processed`` exactly as its scalar fate would
+have, and ``nodes_visited`` is reconstructed arithmetically as
+``rows x live-node count`` (the walk sequential insert would have
+done, node for node).  ``generation`` is deliberately *outside* the
+contract: it counts cache rebuilds, and deferring a rebuild the
+sequential path would have performed eagerly is exactly the kind of
+internal freedom the batch path is allowed.
 """
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.baselines import (
     DudleyKernelHull,
@@ -45,7 +59,13 @@ SCHEMES = [
     pytest.param(lambda: AdaptiveHull(16, queue_mode="exact"), id="adaptive-exact"),
     pytest.param(lambda: AdaptiveHull(16, ring_discard=True), id="adaptive-ring"),
     pytest.param(lambda: AdaptiveHull(16, height_limit=0), id="adaptive-k0"),
+    pytest.param(lambda: AdaptiveHull(32), id="adaptive-32"),
+    pytest.param(
+        lambda: AdaptiveHull(16, ring_discard=True, queue_mode="exact"),
+        id="adaptive-ring-exact",
+    ),
     pytest.param(lambda: FixedSizeAdaptiveHull(8), id="fixed-size"),
+    pytest.param(lambda: FixedSizeAdaptiveHull(16), id="fixed-size-16"),
     pytest.param(lambda: ExactHull(), id="exact"),
     pytest.param(lambda: DudleyKernelHull(8), id="dudley"),
     pytest.param(lambda: PartiallyAdaptiveHull(8, train_size=200), id="partial"),
@@ -61,6 +81,34 @@ def _grid_stream(n, seed):
     return g.integers(-5, 6, (n, 2)).astype(float)
 
 
+def _churn_stream(n, seed):
+    """Mostly-interior noise with periodic outward spikes at a rotating
+    angle.  Every spike replaces several extrema mid-segment (the sample
+    hull both grows toward the spike and sheds vertices elsewhere), so
+    the batch driver's re-filter / hull-shrink certification logic fires
+    over and over instead of once per chunk."""
+    g = np.random.default_rng(seed)
+    pts = g.normal(0.0, 0.2, (n, 2))
+    idx = np.arange(0, n, 37)
+    ang = 0.7 * idx
+    rad = 1.0 + 0.01 * idx
+    pts[idx, 0] = rad * np.cos(ang)
+    pts[idx, 1] = rad * np.sin(ang)
+    return pts
+
+
+def _collinear_then_fan(n, seed):
+    """A long exactly-collinear prefix (hulls of 1-2 vertices) before any
+    2-D spread: exercises every vectorised path's degenerate-hull
+    fallback, then the transition to a real polygon."""
+    g = np.random.default_rng(seed)
+    m = n // 2
+    xs = g.uniform(-3.0, 3.0, m)
+    line = np.stack([xs, 0.25 * xs], axis=1)
+    fan = g.normal(0.0, 1.0, (n - m, 2))
+    return np.concatenate([line, fan])
+
+
 STREAMS = [
     pytest.param(lambda: disk_stream(1500, seed=1), id="disk"),
     pytest.param(lambda: ellipse_stream(1500, rotation=0.1, seed=2), id="ellipse"),
@@ -68,6 +116,8 @@ STREAMS = [
     pytest.param(lambda: spiral_stream(800, seed=4), id="spiral"),
     pytest.param(lambda: clusters_stream(1500, seed=5), id="clusters"),
     pytest.param(lambda: _grid_stream(1500, 6), id="grid-ties"),
+    pytest.param(lambda: _churn_stream(1500, 7), id="extremum-churn"),
+    pytest.param(lambda: _collinear_then_fan(1200, 8), id="collinear-fan"),
 ]
 
 
@@ -171,4 +221,82 @@ def test_interleaved_batch_and_single_inserts():
     for p in as_tuples(arr[400:600]):
         mixed.insert(p)
     mixed.insert_many(arr[600:])
+    _assert_equivalent(seq, mixed)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda: UniformHull(16), id="uniform"),
+        pytest.param(lambda: AdaptiveHull(16), id="adaptive"),
+        pytest.param(
+            lambda: AdaptiveHull(16, ring_discard=True), id="adaptive-ring"
+        ),
+        pytest.param(lambda: FixedSizeAdaptiveHull(8), id="fixed-size"),
+    ],
+)
+def test_snapshot_restore_then_batch_matches_sequential(factory):
+    """After restoring a snapshot (which stores pure-leaf trees as
+    ``None``), ``insert_many`` must equal per-point ``insert`` on an
+    identically restored twin — the restored summary's direction
+    registry must be resynchronised before any bulk shortcut is
+    trusted.  (Both runs start from the *restored* state: for the
+    fixed-size scheme a restore itself is not perfectly transparent to
+    later rebalance choices, batch or not.)"""
+    from repro.streams.io import summary_from_state, summary_state
+
+    arr = _churn_stream(1200, 21)
+    first = factory()
+    first.insert_many(arr[:600])
+    snap = summary_state(first)
+    seq = summary_from_state(snap)
+    for p in as_tuples(arr[600:]):
+        seq.insert(p)
+    bat = summary_from_state(snap)
+    bat.insert_many(arr[600:])
+    _assert_equivalent(seq, bat)
+
+
+_INTERLEAVE_SCHEMES = [
+    lambda: UniformHull(8),
+    lambda: AdaptiveHull(8),
+    lambda: AdaptiveHull(8, ring_discard=True),
+    lambda: AdaptiveHull(8, queue_mode="exact"),
+    lambda: FixedSizeAdaptiveHull(8),
+]
+
+_INTERLEAVE_STREAMS = [
+    lambda n, seed: disk_stream(n, seed=seed),
+    lambda n, seed: spiral_stream(n, seed=seed),
+    lambda n, seed: _grid_stream(n, seed),
+    lambda n, seed: _churn_stream(n, seed),
+    lambda n, seed: _collinear_then_fan(n, seed),
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scheme_i=st.integers(min_value=0, max_value=len(_INTERLEAVE_SCHEMES) - 1),
+    stream_i=st.integers(min_value=0, max_value=len(_INTERLEAVE_STREAMS) - 1),
+    seed=st.integers(min_value=0, max_value=99),
+    n=st.integers(min_value=5, max_value=400),
+    cuts=st.lists(st.integers(min_value=0, max_value=400), max_size=6),
+    singles=st.booleans(),
+)
+def test_adversarial_interleavings(scheme_i, stream_i, seed, n, cuts, singles):
+    """Any segmentation of any stream through any mix of ``insert`` and
+    ``insert_many`` is indistinguishable from the sequential run."""
+    arr = np.asarray(_INTERLEAVE_STREAMS[stream_i](n, seed), dtype=float)
+    factory = _INTERLEAVE_SCHEMES[scheme_i]
+    seq = factory()
+    for p in as_tuples(arr):
+        seq.insert(p)
+    bounds = sorted({min(c, n) for c in cuts} | {0, n})
+    mixed = factory()
+    for i, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        if singles and i % 2 == 1:
+            for p in as_tuples(arr[lo:hi]):
+                mixed.insert(p)
+        else:
+            mixed.insert_many(arr[lo:hi])
     _assert_equivalent(seq, mixed)

@@ -198,3 +198,40 @@ class TestTangents:
         }
         assert 1 not in left_signs
         assert -1 not in right_signs
+
+
+class TestContainsPointsVectorised:
+    """contains_points must be bit-identical to contains_point (tol=0)
+    on every lane — the batch survivor classifier depends on it."""
+
+    @given(st.lists(points, min_size=3, max_size=40), st.lists(points, min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_on_random_hulls(self, cloud, queries):
+        import numpy as np
+        from repro.geometry.polygon import contains_points
+
+        poly = convex_hull(cloud)
+        if len(poly) < 3:
+            return
+        xs = np.array([q[0] for q in queries])
+        ys = np.array([q[1] for q in queries])
+        got = contains_points(poly, xs, ys)
+        for i, q in enumerate(queries):
+            assert bool(got[i]) == contains_point(poly, q), (poly, q)
+
+    def test_vertices_and_edge_midpoints_are_inside(self):
+        import numpy as np
+        from repro.geometry.polygon import contains_points
+
+        poly = [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]
+        probes = list(poly) + [(2.0, 0.0), (4.0, 2.0), (2.0, 4.0), (0.0, 2.0)]
+        xs = np.array([p[0] for p in probes])
+        ys = np.array([p[1] for p in probes])
+        assert contains_points(poly, xs, ys).all()
+
+    def test_degenerate_polygon_rejected(self):
+        import numpy as np
+        from repro.geometry.polygon import contains_points
+
+        with pytest.raises(ValueError):
+            contains_points([(0.0, 0.0), (1.0, 1.0)], np.zeros(1), np.zeros(1))

@@ -116,3 +116,57 @@ class TestPointInTriangle:
             u * a[1] + v * b[1] + w * c[1],
         )
         assert pr.point_in_triangle(p, a, b, c)
+
+
+class TestVectorisedSigns:
+    """orientation_signs / points_in_triangles must be *bit-identical*
+    to their scalar counterparts — the batch hot path relies on it."""
+
+    @given(st.lists(st.tuples(points, points, points), min_size=1, max_size=30))
+    def test_orientation_signs_matches_scalar(self, triples):
+        import numpy as np
+
+        a, b, c = zip(*triples)
+        ax, ay = np.array([p[0] for p in a]), np.array([p[1] for p in a])
+        bx, by = np.array([p[0] for p in b]), np.array([p[1] for p in b])
+        cx, cy = np.array([p[0] for p in c]), np.array([p[1] for p in c])
+        vec = pr.orientation_signs(ax, ay, bx, by, cx, cy)
+        for i, (pa, pb, pc) in enumerate(triples):
+            assert int(vec[i]) == pr.orientation_sign(pa, pb, pc)
+
+    def test_orientation_signs_exact_ties(self):
+        import numpy as np
+
+        # Exactly collinear integer points must report 0, not ±1.
+        ax = np.array([0.0, 0.0])
+        ay = np.array([0.0, 0.0])
+        bx = np.array([2.0, 1.0])
+        by = np.array([2.0, 0.0])
+        cx = np.array([5.0, 3.0])
+        cy = np.array([5.0, 0.0])
+        assert list(pr.orientation_signs(ax, ay, bx, by, cx, cy)) == [0, 0]
+
+    @given(
+        st.lists(points, min_size=1, max_size=40),
+        st.lists(st.tuples(points, points, points), min_size=1, max_size=8),
+    )
+    def test_points_in_triangles_matches_scalar(self, pts, tris):
+        import numpy as np
+
+        qx = np.array([p[0] for p in pts])
+        qy = np.array([p[1] for p in pts])
+        tarr = np.array([[list(a), list(b), list(c)] for a, b, c in tris])
+        grid = pr.points_in_triangles(qx, qy, tarr)
+        assert grid.shape == (len(pts), len(tris))
+        for i, p in enumerate(pts):
+            for j, (a, b, c) in enumerate(tris):
+                assert bool(grid[i, j]) == pr.point_in_triangle(p, a, b, c)
+
+    def test_points_in_triangles_boundary_and_vertex(self):
+        import numpy as np
+
+        tri = np.array([[[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]]])
+        qx = np.array([0.0, 2.0, 2.0, 5.0])
+        qy = np.array([0.0, 0.0, 2.0, 5.0])  # vertex, edge, hypotenuse, outside
+        got = pr.points_in_triangles(qx, qy, tri)[:, 0]
+        assert list(got) == [True, True, True, False]

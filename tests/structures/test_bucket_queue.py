@@ -139,3 +139,37 @@ class TestQueueContract:
             seen.extend(q.pop_due(driver))
         assert sorted(seen) == [1.0, 2.0, 4.0, 8.0, 16.0]
         assert len(q) == 0
+
+
+class TestDrainDue:
+    """drain_due must return exactly pop_due's items in pop_due's order
+    (it is the bulk form the adaptive hull's hot sweep uses)."""
+
+    @pytest.mark.parametrize("mode", ["exact", "pow2"])
+    @settings(max_examples=40, deadline=None)
+    @given(
+        thresholds=st.lists(
+            st.floats(min_value=0.01, max_value=1e6), min_size=0, max_size=30
+        ),
+        drivers=st.lists(
+            st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=5
+        ),
+    )
+    def test_matches_pop_due_order(self, mode, thresholds, drivers):
+        q1 = make_threshold_queue(mode)
+        q2 = make_threshold_queue(mode)
+        for i, t in enumerate(thresholds):
+            q1.push(t, i)
+            q2.push(t, i)
+        for d in sorted(drivers):
+            assert q1.drain_due(d) == list(q2.pop_due(d))
+        assert len(q1) == len(q2)
+
+    @pytest.mark.parametrize("mode", ["exact", "pow2"])
+    def test_drain_on_empty_and_nonpositive_driver(self, mode):
+        q = make_threshold_queue(mode)
+        assert q.drain_due(10.0) == []
+        q.push(1.0, "a")
+        assert q.drain_due(0.0) == []
+        assert q.drain_due(-5.0) == []
+        assert q.drain_due(1.0) == ["a"]
